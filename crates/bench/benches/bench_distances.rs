@@ -1,0 +1,65 @@
+//! Criterion micro-bench: distance-function throughput (supports the
+//! §5 quality experiments — fms is the expensive one, edit distance the
+//! cheap one; this bench quantifies the per-pair cost each sweep pays).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fuzzydedup_datagen::{org, DatasetSpec};
+use fuzzydedup_textdist::{
+    levenshtein, levenshtein_bounded, CosineDistance, Distance, EditDistance,
+    FuzzyMatchDistance, IdfModel, JaroWinklerDistance,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pairs() -> Vec<(Vec<String>, Vec<String>)> {
+    let mut rng = StdRng::seed_from_u64(1);
+    let d = org::generate(&mut rng, DatasetSpec::with_entities(64));
+    d.records.windows(2).map(|w| (w[0].clone(), w[1].clone())).collect()
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let pairs = pairs();
+    let flat: Vec<String> = pairs.iter().map(|(a, _)| a.join(" ")).collect();
+    let idf = IdfModel::fit_strings(&flat);
+
+    let mut group = c.benchmark_group("distances");
+    group.bench_function("levenshtein_raw", |b| {
+        b.iter(|| {
+            for (x, y) in &pairs {
+                black_box(levenshtein(&x[0], &y[0]));
+            }
+        })
+    });
+    group.bench_function("levenshtein_bounded_k2", |b| {
+        b.iter(|| {
+            for (x, y) in &pairs {
+                black_box(levenshtein_bounded(&x[0], &y[0], 2));
+            }
+        })
+    });
+
+    let ed = EditDistance;
+    let fms = FuzzyMatchDistance::new(idf.clone());
+    let cos = CosineDistance::new(idf);
+    let jw = JaroWinklerDistance;
+    for (name, d) in [
+        ("ed", &ed as &dyn Distance),
+        ("fms", &fms as &dyn Distance),
+        ("cosine", &cos as &dyn Distance),
+        ("jw", &jw as &dyn Distance),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for (x, y) in &pairs {
+                    let xa: Vec<&str> = x.iter().map(String::as_str).collect();
+                    let ya: Vec<&str> = y.iter().map(String::as_str).collect();
+                    black_box(d.distance(&xa, &ya));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: the whole pipeline — `DE_S`, `DE_D`, and the
+//! cut-vs-cut / distance-vs-distance cost comparison (supports Figure 9's
+//! absolute numbers).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fuzzydedup_core::{deduplicate, CutSpec, DedupConfig};
+use fuzzydedup_datagen::{restaurants, DatasetSpec};
+use fuzzydedup_textdist::DistanceKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let dataset = restaurants::generate(&mut rng, DatasetSpec::with_entities(600));
+    let records = dataset.records;
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for (name, config) in [
+        (
+            "de_s5_fms",
+            DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(5)).sn_threshold(4.0),
+        ),
+        (
+            "de_d03_fms",
+            DedupConfig::new(DistanceKind::FuzzyMatch)
+                .cut(CutSpec::Diameter(0.3))
+                .sn_threshold(4.0),
+        ),
+        (
+            "de_s5_ed",
+            DedupConfig::new(DistanceKind::EditDistance).cut(CutSpec::Size(5)).sn_threshold(4.0),
+        ),
+        (
+            "de_s5_fms_tables",
+            DedupConfig::new(DistanceKind::FuzzyMatch)
+                .cut(CutSpec::Size(5))
+                .sn_threshold(4.0)
+                .via_tables(true),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(deduplicate(&records, &config).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion micro-bench: nearest-neighbor index lookups — the inverted
+//! index against the nested-loop reference (DESIGN.md ablation #4). The
+//! inverted index should win by a widening factor as the corpus grows.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzydedup_datagen::{org, DatasetSpec};
+use fuzzydedup_nnindex::{InvertedIndex, InvertedIndexConfig, NestedLoopIndex, NnIndex};
+use fuzzydedup_storage::{BufferPool, BufferPoolConfig, InMemoryDisk};
+use fuzzydedup_textdist::DistanceKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_nn_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_index_topk");
+    group.sample_size(10);
+    for n in [500usize, 2000] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dataset = org::generate(&mut rng, DatasetSpec::with_entities(n));
+        let records = dataset.records;
+
+        let pool = Arc::new(BufferPool::new(
+            BufferPoolConfig::with_capacity(4096),
+            Arc::new(InMemoryDisk::new()),
+        ));
+        let inverted = InvertedIndex::build(
+            records.clone(),
+            DistanceKind::EditDistance.build(&records),
+            pool,
+            InvertedIndexConfig::default(),
+        );
+        let nested = NestedLoopIndex::new(
+            records.clone(),
+            fuzzydedup_textdist::EditDistance,
+        );
+
+        group.bench_with_input(BenchmarkId::new("inverted", n), &n, |b, _| {
+            b.iter(|| {
+                for id in 0..64u32 {
+                    black_box(inverted.top_k(id, 5));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("nested_loop", n), &n, |b, _| {
+            b.iter(|| {
+                for id in 0..64u32 {
+                    black_box(nested.top_k(id, 5));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nn_index);
+criterion_main!(benches);

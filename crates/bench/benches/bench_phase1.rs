@@ -1,0 +1,48 @@
+//! Criterion bench: Phase 1 (NN-list materialization) under the three
+//! lookup orders — the wall-clock companion to the Figure-8 buffer-metric
+//! experiment (DESIGN.md ablation #1).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fuzzydedup_core::{compute_nn_reln, NeighborSpec};
+use fuzzydedup_datagen::{org, DatasetSpec};
+use fuzzydedup_nnindex::{InvertedIndex, InvertedIndexConfig, LookupOrder};
+use fuzzydedup_storage::{BufferPool, BufferPoolConfig, InMemoryDisk};
+use fuzzydedup_textdist::DistanceKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_phase1(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let dataset = org::generate(&mut rng, DatasetSpec::with_entities(1500));
+    let records = dataset.records;
+
+    // Small pool: misses are the point.
+    let pool = Arc::new(BufferPool::new(
+        BufferPoolConfig::with_capacity(32),
+        Arc::new(InMemoryDisk::new()),
+    ));
+    let index = InvertedIndex::build(
+        records.clone(),
+        DistanceKind::FuzzyMatch.build(&records),
+        pool,
+        InvertedIndexConfig::default(),
+    );
+
+    let mut group = c.benchmark_group("phase1_order");
+    group.sample_size(10);
+    for (name, order) in [
+        ("sequential", LookupOrder::Sequential),
+        ("random", LookupOrder::Random(9)),
+        ("breadth_first", LookupOrder::breadth_first()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(compute_nn_reln(&index, NeighborSpec::TopK(5), order, 2.0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase1);
+criterion_main!(benches);

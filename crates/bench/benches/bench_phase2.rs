@@ -1,0 +1,58 @@
+//! Criterion bench: Phase 2 (CSPairs construction + partitioning) — the
+//! in-memory fast path vs the SQL-shaped relational path, plus the
+//! single-linkage baseline over the same NN lists.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fuzzydedup_core::{
+    compute_nn_reln, partition_entries, partition_via_tables, single_linkage, Aggregation,
+    CutSpec, NeighborSpec,
+};
+use fuzzydedup_datagen::{org, DatasetSpec};
+use fuzzydedup_nnindex::{InvertedIndex, InvertedIndexConfig, LookupOrder};
+use fuzzydedup_storage::{BufferPool, BufferPoolConfig, InMemoryDisk};
+use fuzzydedup_textdist::DistanceKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_phase2(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let dataset = org::generate(&mut rng, DatasetSpec::with_entities(1500));
+    let records = dataset.records;
+    let pool = Arc::new(BufferPool::new(
+        BufferPoolConfig::with_capacity(4096),
+        Arc::new(InMemoryDisk::new()),
+    ));
+    let index = InvertedIndex::build(
+        records.clone(),
+        DistanceKind::FuzzyMatch.build(&records),
+        pool.clone(),
+        InvertedIndexConfig::default(),
+    );
+    let (reln, _) =
+        compute_nn_reln(&index, NeighborSpec::TopK(5), LookupOrder::breadth_first(), 2.0);
+
+    let mut group = c.benchmark_group("phase2");
+    group.sample_size(10);
+    group.bench_function("in_memory", |b| {
+        b.iter(|| {
+            black_box(partition_entries(&reln, CutSpec::Size(5), Aggregation::Max, 4.0))
+        })
+    });
+    group.bench_function("via_tables", |b| {
+        b.iter(|| {
+            black_box(
+                partition_via_tables(&reln, CutSpec::Size(5), Aggregation::Max, 4.0, pool.clone())
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("single_linkage_baseline", |b| {
+        b.iter(|| black_box(single_linkage(&reln, 0.3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase2);
+criterion_main!(benches);

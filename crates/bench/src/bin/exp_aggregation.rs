@@ -1,0 +1,52 @@
+//! Experiment F7 — Figure 7: aggregation functions on Restaurants.
+//!
+//! Precision vs recall of `DE_S(·)` and `DE_D(·)` under the Max, Avg and
+//! Max2 aggregation functions. The paper: "All three aggregation functions
+//! yield very similar results because a large percentage of groups are of
+//! size 2."
+//!
+//! Run with: `cargo run --release -p fuzzydedup-bench --bin exp_aggregation`
+
+use fuzzydedup_bench::{best_f1, render_quality_table, sweep_de_diameter, sweep_de_size, SweepContext};
+use fuzzydedup_core::Aggregation;
+use fuzzydedup_datagen::{restaurants, DatasetSpec};
+use fuzzydedup_textdist::DistanceKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let dataset = restaurants::generate(&mut rng, DatasetSpec::small());
+    let distance = DistanceKind::FuzzyMatch;
+    let c = 4.0;
+
+    let ctx = SweepContext::build(&dataset, distance);
+    let mut series = Vec::new();
+    for agg in [Aggregation::Max, Aggregation::Avg, Aggregation::Max2] {
+        series.push(sweep_de_size(&ctx, &dataset, agg, c));
+        series.push(sweep_de_diameter(&ctx, &dataset, agg, c));
+    }
+    println!(
+        "{}",
+        render_quality_table(
+            &format!(
+                "Restaurants — aggregation functions (Figure 7; {} records, c={c})",
+                dataset.len()
+            ),
+            &series
+        )
+    );
+
+    println!("# Spread of best F1 across aggregation functions (should be small):");
+    for points in &series {
+        println!(
+            "  {:<16} best F1 = {:.3}",
+            points.first().map(|p| p.algorithm.as_str()).unwrap_or("?"),
+            best_f1(points)
+        );
+    }
+    let f1s: Vec<f64> = series.iter().map(|s| best_f1(s)).collect();
+    let spread = f1s.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - f1s.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("  max spread = {spread:.3} (paper: 'very similar results')");
+}

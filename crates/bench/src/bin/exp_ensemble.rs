@@ -1,0 +1,63 @@
+//! Experiment A2 (ours) — ensemble deduplication via the partition lattice.
+//!
+//! The paper notes its criteria are "orthogonal to the choice of specific
+//! distance functions"; nothing prevents running DE under *several*
+//! distance functions and combining the partitions. The partition lattice
+//! gives the two natural combinators:
+//!
+//! * **meet** (greatest common refinement) — keep a pair only when every
+//!   distance agrees: precision goes up, recall down;
+//! * **join** (finest common coarsening) — keep a pair when any distance
+//!   found it: recall goes up, precision down.
+//!
+//! Run with: `cargo run --release -p fuzzydedup-bench --bin exp_ensemble`
+
+use fuzzydedup_core::{deduplicate, evaluate, CutSpec, DedupConfig, Partition};
+use fuzzydedup_datagen::{restaurants, DatasetSpec};
+use fuzzydedup_textdist::DistanceKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn report(label: &str, p: &Partition, gold: &[usize]) {
+    let pr = evaluate(p, gold);
+    println!(
+        "{label:<18} recall={:.3} precision={:.3} f1={:.3} pairs={}",
+        pr.recall,
+        pr.precision,
+        pr.f1(),
+        pr.predicted_pairs
+    );
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let dataset = restaurants::generate(&mut rng, DatasetSpec::small());
+    println!(
+        "Restaurants: {} records, {} true pairs\n",
+        dataset.len(),
+        dataset.true_pairs()
+    );
+
+    let mut partitions = Vec::new();
+    for distance in [DistanceKind::FuzzyMatch, DistanceKind::EditDistance, DistanceKind::Cosine]
+    {
+        let config = DedupConfig::new(distance).cut(CutSpec::Size(4)).sn_threshold(6.0);
+        let outcome = deduplicate(&dataset.records, &config).expect("pipeline");
+        report(distance.name(), &outcome.partition, &dataset.gold);
+        partitions.push(outcome.partition);
+    }
+
+    println!();
+    let meet_all = partitions.iter().skip(1).fold(partitions[0].clone(), |acc, p| acc.meet(p));
+    report("meet (all agree)", &meet_all, &dataset.gold);
+    let join_all = partitions.iter().skip(1).fold(partitions[0].clone(), |acc, p| acc.join(p));
+    report("join (any found)", &join_all, &dataset.gold);
+    let fms_ed = partitions[0].meet(&partitions[1]);
+    report("meet (fms, ed)", &fms_ed, &dataset.gold);
+
+    println!("\nExpected shape: the join raises recall above every single run;");
+    println!("the meet of two *strong* distances (fms ∧ ed) trades recall for a");
+    println!("precision boost over either component. Meeting with a weak");
+    println!("component (cosine) hurts instead — ensembles inherit their");
+    println!("members' quality, they don't transcend it.");
+}

@@ -1,0 +1,121 @@
+//! Experiments F-ED / F-FMS — the §5.1 precision-vs-recall figures.
+//!
+//! One plot per dataset (Restaurants, BirdScott, Parks, Census, Media,
+//! Org) per distance function (edit distance / fuzzy match similarity):
+//! the single-linkage threshold baseline `thr` swept over θ, against
+//! `DE_S(K)` with c ∈ {4, 6} swept over K and `DE_D(θ)` with c ∈ {4, 6}
+//! swept over θ (AGG = max throughout, as in the paper's Figures).
+//!
+//! Expected shape (the paper's): DE dominates thr on most datasets —
+//! "for the same recall, our DE approaches yield higher precision (often
+//! 5-10% and sometimes 20% or more), especially for higher recall values.
+//! Only for the Parks dataset, there is no improvement."
+//!
+//! Run with:
+//! `cargo run --release -p fuzzydedup-bench --bin exp_quality -- [--distance ed|fms] [--seed N] [--json PATH]`
+//!
+//! With `--json PATH`, every sweep point is additionally written as a JSON
+//! array of `{dataset, distance, algorithm, parameter, recall, precision,
+//! f1}` rows — ready for external plotting.
+
+use fuzzydedup_bench::{
+    render_quality_table, render_summary, sweep_de_diameter, sweep_de_size,
+    sweep_threshold_baseline, SweepContext,
+};
+use fuzzydedup_core::Aggregation;
+use fuzzydedup_datagen::standard_quality_datasets;
+use fuzzydedup_textdist::DistanceKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut distances = vec![DistanceKind::EditDistance, DistanceKind::FuzzyMatch];
+    let mut seed = 42u64;
+    let mut json_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--distance" => {
+                i += 1;
+                let kind = DistanceKind::parse(&args[i]).expect("unknown distance");
+                distances = vec![kind];
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("seed must be an integer");
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args[i].clone());
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    #[derive(serde::Serialize)]
+    struct JsonRow<'a> {
+        dataset: &'a str,
+        distance: &'a str,
+        #[serde(flatten)]
+        point: &'a fuzzydedup_bench::QualityPoint,
+    }
+    let mut json_rows: Vec<String> = Vec::new();
+
+    let datasets = standard_quality_datasets(seed);
+    for distance in distances {
+        for dataset in &datasets {
+            eprintln!("[exp_quality] {} / {} ({} records)...", dataset.name, distance.name(), dataset.len());
+            let ctx = SweepContext::build(dataset, distance);
+            let thr = sweep_threshold_baseline(&ctx, dataset);
+            let de_s4 = sweep_de_size(&ctx, dataset, Aggregation::Max, 4.0);
+            let de_s6 = sweep_de_size(&ctx, dataset, Aggregation::Max, 6.0);
+            let de_d4 = sweep_de_diameter(&ctx, dataset, Aggregation::Max, 4.0);
+            let de_d6 = sweep_de_diameter(&ctx, dataset, Aggregation::Max, 6.0);
+
+            let title = format!(
+                "{} — precision vs recall ({} records, {} true pairs, distance={})",
+                dataset.name,
+                dataset.len(),
+                dataset.true_pairs(),
+                distance.name()
+            );
+            println!(
+                "{}",
+                render_quality_table(
+                    &title,
+                    &[thr.clone(), de_s4.clone(), de_s6.clone(), de_d4.clone(), de_d6.clone()]
+                )
+            );
+            if json_path.is_some() {
+                for points in [&thr, &de_s4, &de_s6, &de_d4, &de_d6] {
+                    for point in points.iter() {
+                        let row = JsonRow {
+                            dataset: &dataset.name,
+                            distance: distance.name(),
+                            point,
+                        };
+                        json_rows.push(serde_json::to_string(&row).expect("serializable"));
+                    }
+                }
+            }
+            println!(
+                "{}",
+                render_summary(
+                    &format!("{} ({})", dataset.name, distance.name()),
+                    &[
+                        ("thr", thr.as_slice()),
+                        ("DE_S c=4", de_s4.as_slice()),
+                        ("DE_S c=6", de_s6.as_slice()),
+                        ("DE_D c=4", de_d4.as_slice()),
+                        ("DE_D c=6", de_d6.as_slice()),
+                    ]
+                )
+            );
+        }
+    }
+    if let Some(path) = json_path {
+        let body = format!("[\n{}\n]\n", json_rows.join(",\n"));
+        std::fs::write(&path, body).expect("write json output");
+        eprintln!("[exp_quality] wrote {} rows to {path}", json_rows.len());
+    }
+}

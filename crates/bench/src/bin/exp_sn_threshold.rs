@@ -1,0 +1,73 @@
+//! Experiment X1 — §4.4: deriving the SN threshold from a duplicate
+//! fraction estimate.
+//!
+//! For each standard dataset: run Phase 1, show the NG distribution, the
+//! true duplicate fraction, the threshold the heuristic returns at that
+//! fraction (and under mis-estimation ±50%), and the quality the derived
+//! threshold achieves versus the paper's fixed c = 4 and c = 6.
+//!
+//! Run with: `cargo run --release -p fuzzydedup-bench --bin exp_sn_threshold`
+
+use fuzzydedup_core::{
+    deduplicate, estimate_sn_threshold, evaluate, CutSpec, DedupConfig,
+};
+use fuzzydedup_datagen::standard_quality_datasets;
+use fuzzydedup_textdist::DistanceKind;
+
+fn main() {
+    let datasets = standard_quality_datasets(42);
+    let distance = DistanceKind::FuzzyMatch;
+    for dataset in &datasets {
+        eprintln!("[exp_sn_threshold] {}...", dataset.name);
+        // Phase 1 once; the paper notes the threshold "is not required
+        // until the second partitioning phase", so NG values are reusable.
+        let probe = DedupConfig::new(distance).cut(CutSpec::Size(5)).sn_threshold(4.0);
+        let outcome = deduplicate(&dataset.records, &probe).expect("phase 1");
+        let ng = outcome.nn_reln.ng_values();
+
+        // NG histogram (coarse).
+        let mut hist = std::collections::BTreeMap::new();
+        for &v in &ng {
+            *hist.entry(v as i64).or_insert(0usize) += 1;
+        }
+        let f_true = dataset.duplicate_fraction();
+        println!("== {} ({} records, true duplicate fraction {:.3})", dataset.name, dataset.len(), f_true);
+        print!("   NG histogram:");
+        for (v, count) in hist.iter().take(12) {
+            print!(" {v}:{count}");
+        }
+        println!();
+
+        for (label, f) in [
+            ("f/2", f_true / 2.0),
+            ("true f", f_true),
+            ("1.5f", (1.5 * f_true).min(1.0)),
+        ] {
+            let c = estimate_sn_threshold(&ng, f).unwrap_or(4.0);
+            let config = DedupConfig::new(distance).cut(CutSpec::Size(5)).sn_threshold(c);
+            let pr = evaluate(
+                &deduplicate(&dataset.records, &config).expect("DE run").partition,
+                &dataset.gold,
+            );
+            println!(
+                "   estimate at {label:<7} -> c = {c:<6.1} recall={:.3} precision={:.3} f1={:.3}",
+                pr.recall,
+                pr.precision,
+                pr.f1()
+            );
+        }
+        for c in [4.0, 6.0] {
+            let config = DedupConfig::new(distance).cut(CutSpec::Size(5)).sn_threshold(c);
+            let pr = evaluate(
+                &deduplicate(&dataset.records, &config).expect("DE run").partition,
+                &dataset.gold,
+            );
+            println!(
+                "   fixed c = {c:<13} recall={:.3} precision={:.3} f1={:.3}",
+                pr.recall,
+                pr.precision,
+                pr.f1()
+            );
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Checkers for the axiomatic properties of §3.1 (Lemmas 1–4).
+//!
+//! The paper analyzes `DE_S(K)` / `DE_D(θ)` as *partitioning functions* in
+//! the spirit of Kleinberg's axiomatic clustering framework and states four
+//! properties: uniqueness of the solution, scale invariance (of `DE_S`),
+//! split/merge consistency, and constrained `(α, β)`-richness. Proof
+//! sketches are omitted in the paper; here each property gets an executable
+//! checker used by the test suite and by the `exp_ablation` driver. The
+//! checkers operate on [`MatrixIndex`] relations so arbitrary metric
+//! structures can be exercised.
+
+use crate::criteria::Aggregation;
+use crate::matrix::MatrixIndex;
+use crate::partition::Partition;
+use crate::phase1::{compute_nn_reln, NeighborSpec};
+use crate::phase2::partition_entries;
+use crate::problem::CutSpec;
+use fuzzydedup_nnindex::{LookupOrder, NnIndex};
+
+/// Run the full DE pipeline over a distance matrix.
+pub fn de_on_matrix(m: &MatrixIndex, cut: CutSpec, agg: Aggregation, c: f64) -> Partition {
+    let spec = NeighborSpec::from_cut(&cut, m.len());
+    let (reln, _) = compute_nn_reln(m, spec, LookupOrder::Sequential, 2.0);
+    partition_entries(&reln, cut, agg, c)
+}
+
+/// **Lemma 1 (uniqueness / well-definedness).** The DE problems have unique
+/// solutions; operationally, the computed partition must not depend on the
+/// lookup order. Returns `true` if sequential, shuffled, and breadth-first
+/// orders agree.
+pub fn check_uniqueness(m: &MatrixIndex, cut: CutSpec, agg: Aggregation, c: f64) -> bool {
+    let spec = NeighborSpec::from_cut(&cut, m.len());
+    let orders = [
+        LookupOrder::Sequential,
+        LookupOrder::Random(0xDED0),
+        LookupOrder::Random(0xDED1),
+        LookupOrder::breadth_first(),
+    ];
+    let partitions: Vec<Partition> = orders
+        .iter()
+        .map(|&o| {
+            let (reln, _) = compute_nn_reln(m, spec, o, 2.0);
+            partition_entries(&reln, cut, agg, c)
+        })
+        .collect();
+    partitions.windows(2).all(|w| w[0] == w[1])
+}
+
+/// **Lemma 2 (scale invariance).** `DE_S(K)` is scale-invariant:
+/// `f(α·d) = f(d)` for every `α > 0`. Returns `true` if the partition is
+/// unchanged under each provided scale factor.
+///
+/// Note this is *specific to the size cut*: `DE_D(θ)` compares distances
+/// against the absolute θ and is deliberately not scale-invariant (a test
+/// asserts the failure).
+pub fn check_scale_invariance(
+    m: &MatrixIndex,
+    k: usize,
+    agg: Aggregation,
+    c: f64,
+    alphas: &[f64],
+) -> bool {
+    let base = de_on_matrix(m, CutSpec::Size(k), agg, c);
+    alphas.iter().all(|&alpha| {
+        de_on_matrix(&m.scaled(alpha), CutSpec::Size(k), agg, c) == base
+    })
+}
+
+/// Build a P-conscious transformation of `m` with respect to partition `p`:
+/// distances within a group are multiplied by `shrink ∈ (0, 1]`, distances
+/// across groups by `expand ≥ 1`.
+pub fn p_conscious_transform(
+    m: &MatrixIndex,
+    p: &Partition,
+    shrink: f64,
+    expand: f64,
+) -> MatrixIndex {
+    assert!(shrink > 0.0 && shrink <= 1.0, "shrink must be in (0, 1]");
+    assert!(expand >= 1.0, "expand must be >= 1");
+    m.transformed(|a, b, d| if p.are_together(a, b) { d * shrink } else { d * expand })
+}
+
+/// **Lemma 3 (split/merge consistency).** For `P = f(d)` and any
+/// P-conscious transformation `d'`, each group of `f(d')` is either a
+/// subset of a group of `P` or a union of groups of `P`. Returns `true` if
+/// the property holds for the given transformation factors.
+pub fn check_split_merge_consistency(
+    m: &MatrixIndex,
+    cut: CutSpec,
+    agg: Aggregation,
+    c: f64,
+    shrink: f64,
+    expand: f64,
+) -> bool {
+    let p = de_on_matrix(m, cut, agg, c);
+    let transformed = p_conscious_transform(m, &p, shrink, expand);
+    let q = de_on_matrix(&transformed, cut, agg, c);
+    q.groups().iter().all(|g| {
+        let is_subset_of_one = {
+            let host = p.group_index_of(g[0]);
+            g.iter().all(|&id| p.group_index_of(id) == host)
+        };
+        let is_union_of_groups = {
+            // Every P-group touched by g must be entirely inside g.
+            g.iter().all(|&id| p.group_of(id).iter().all(|&other| g.contains(&other)))
+        };
+        is_subset_of_one || is_union_of_groups
+    })
+}
+
+/// **Permutation equivariance** (implicit in the paper's functional view
+/// of DE): relabeling the tuples must permute the partition accordingly —
+/// the algorithm may not depend on tuple identifiers beyond deterministic
+/// tie-breaking. Returns `true` if `f(π(d)) = π(f(d))` for the given
+/// permutation (a slice where `perm[old_id] = new_id`).
+///
+/// Caveat: with *tied* distances the id-based tie-break genuinely depends
+/// on labels, so callers should use relations with distinct pairwise
+/// distances (as the paper assumes throughout).
+pub fn check_permutation_equivariance(
+    m: &MatrixIndex,
+    cut: CutSpec,
+    agg: Aggregation,
+    c: f64,
+    perm: &[u32],
+) -> bool {
+    let n = m.len();
+    assert_eq!(perm.len(), n, "permutation must cover the relation");
+    let mut inverse = vec![0u32; n];
+    for (old, &new) in perm.iter().enumerate() {
+        inverse[new as usize] = old as u32;
+    }
+    let permuted =
+        MatrixIndex::from_fn(n, |a, b| m.dist(inverse[a as usize], inverse[b as usize]));
+    let p = de_on_matrix(m, cut, agg, c);
+    let q = de_on_matrix(&permuted, cut, agg, c);
+    // π(p) must equal q.
+    let relabeled = Partition::from_groups(
+        n,
+        p.groups().iter().map(|g| g.iter().map(|&id| perm[id as usize]).collect()),
+    );
+    relabeled == q
+}
+
+/// Realize a target partition as a 1-D relation: group `i` of size `s_i`
+/// is a tight cluster (spacing `eps`) centered at `i * separation`.
+/// Returns the matrix and the target partition.
+pub fn realize_partition(
+    group_sizes: &[usize],
+    eps: f64,
+    separation: f64,
+) -> (MatrixIndex, Partition) {
+    assert!(eps > 0.0 && separation > eps * 100.0, "clusters must be well separated");
+    let mut points = Vec::new();
+    let mut groups = Vec::new();
+    for (gi, &size) in group_sizes.iter().enumerate() {
+        let mut group = Vec::with_capacity(size);
+        for j in 0..size {
+            group.push(points.len() as u32);
+            points.push(gi as f64 * separation + j as f64 * eps);
+        }
+        groups.push(group);
+    }
+    let n = points.len();
+    (MatrixIndex::from_points_1d(&points), Partition::from_groups(n, groups))
+}
+
+/// **Lemma 4 (constrained (α, β)-richness).** `DE_S(K)` is `(α, β)`-rich
+/// when `c < |R|^(1−α)` and `K ≥ |R|^β`: its range contains every partition
+/// into at least `|R|^(1−α)`... many groups of size below `|R|^β`.
+/// Operationally: for the given `group_sizes` (all `≤ K`), there exists a
+/// distance function for which `DE_S(K)` outputs exactly that partition.
+/// Returns `true` if the realized instance is recovered.
+pub fn check_richness(group_sizes: &[usize], k: usize, agg: Aggregation, c: f64) -> bool {
+    assert!(group_sizes.iter().all(|&s| s >= 1 && s <= k));
+    let (m, target) = realize_partition(group_sizes, 1e-3, 1e3);
+    de_on_matrix(&m, CutSpec::Size(k), agg, c) == target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn integers() -> MatrixIndex {
+        MatrixIndex::from_points_1d(&[1.0, 2.0, 4.0, 20.0, 22.0, 30.0, 32.0])
+    }
+
+    #[test]
+    fn lemma1_uniqueness() {
+        let m = integers();
+        for cut in [CutSpec::Size(3), CutSpec::Diameter(2.5)] {
+            assert!(check_uniqueness(&m, cut, Aggregation::Max, 4.0), "{cut:?}");
+        }
+    }
+
+    #[test]
+    fn lemma2_scale_invariance_of_de_s() {
+        let m = integers();
+        assert!(check_scale_invariance(
+            &m,
+            3,
+            Aggregation::Max,
+            4.0,
+            &[0.001, 0.1, 2.0, 1000.0]
+        ));
+    }
+
+    #[test]
+    fn de_d_is_not_scale_invariant() {
+        // The complementary sanity check: DE_D(θ) compares against an
+        // absolute threshold, so a large rescale changes the partition.
+        let m = integers();
+        let base = de_on_matrix(&m, CutSpec::Diameter(2.5), Aggregation::Max, 4.0);
+        let scaled = de_on_matrix(&m.scaled(100.0), CutSpec::Diameter(2.5), Aggregation::Max, 4.0);
+        assert_ne!(base, scaled);
+    }
+
+    #[test]
+    fn lemma3_split_merge_consistency() {
+        let m = integers();
+        for cut in [CutSpec::Size(3), CutSpec::Size(4), CutSpec::Diameter(3.0)] {
+            for (shrink, expand) in [(0.5, 1.0), (1.0, 2.0), (0.25, 4.0), (1.0, 1.0)] {
+                assert!(
+                    check_split_merge_consistency(&m, cut, Aggregation::Max, 4.0, shrink, expand),
+                    "cut={cut:?} shrink={shrink} expand={expand}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma4_richness_small_groups() {
+        // Partitions into many small groups are realizable.
+        assert!(check_richness(&[2, 2, 2, 1, 3], 3, Aggregation::Max, 10.0));
+        // The all-singletons partition needs the SN criterion to do the
+        // work (any finite point set has a mutual-nearest pair, so the CS
+        // criterion alone cannot forbid all groups): choose c = 1 so that
+        // no pair is sparse enough.
+        assert!(check_richness(&[1, 1, 1, 1], 2, Aggregation::Max, 1.0));
+        assert!(check_richness(&[3, 3, 3], 3, Aggregation::Max, 10.0));
+        assert!(check_richness(&[2; 10], 4, Aggregation::Max, 10.0));
+    }
+
+    #[test]
+    fn permutation_equivariance_holds() {
+        let m = integers();
+        // Reverse and a rotated permutation.
+        let reverse: Vec<u32> = (0..7u32).rev().collect();
+        let rotate: Vec<u32> = (0..7u32).map(|i| (i + 3) % 7).collect();
+        for perm in [reverse, rotate] {
+            for cut in [CutSpec::Size(3), CutSpec::Diameter(2.5)] {
+                assert!(
+                    check_permutation_equivariance(&m, cut, Aggregation::Max, 4.0, &perm),
+                    "cut={cut:?} perm={perm:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn p_conscious_transform_respects_sides() {
+        let m = integers();
+        let p = de_on_matrix(&m, CutSpec::Size(3), Aggregation::Max, 4.0);
+        let t = p_conscious_transform(&m, &p, 0.5, 2.0);
+        for a in 0..7u32 {
+            for b in 0..7u32 {
+                if a == b {
+                    continue;
+                }
+                if p.are_together(a, b) {
+                    assert!(t.dist(a, b) <= m.dist(a, b));
+                } else {
+                    assert!(t.dist(a, b) >= m.dist(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shrink")]
+    fn bad_shrink_panics() {
+        let m = integers();
+        let p = Partition::singletons(7);
+        p_conscious_transform(&m, &p, 0.0, 1.0);
+    }
+
+    #[test]
+    fn realize_partition_shape() {
+        let (m, p) = realize_partition(&[2, 3], 1e-3, 1e3);
+        assert_eq!(m.len(), 5);
+        assert_eq!(p.num_groups(), 2);
+        assert!(p.are_together(0, 1));
+        assert!(p.are_together(2, 4));
+        assert!(!p.are_together(1, 2));
+    }
+}

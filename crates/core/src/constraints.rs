@@ -1,0 +1,162 @@
+//! Negative constraining predicates (§4.5.1).
+//!
+//! A domain expert may know that certain tuple pairs *cannot* be duplicates
+//! (e.g. two product descriptions identical but for the version number).
+//! Such knowledge — including rules obtained via supervised learning — can
+//! be added to the DE formulation as an extra post-processing check: "if
+//! any group violates the new constraining predicate, we would further
+//! split the group". (Positive knowledge, forcing pairs together, does
+//! *not* fit the formulation; the paper is explicit about this asymmetry.)
+
+use crate::partition::Partition;
+
+/// A negative constraint: `true` means the two tuples can never be
+/// duplicates of each other.
+pub trait CannotLink {
+    /// Whether `a` and `b` are forbidden from sharing a group.
+    fn cannot_link(&self, a: u32, b: u32) -> bool;
+}
+
+impl<F: Fn(u32, u32) -> bool> CannotLink for F {
+    fn cannot_link(&self, a: u32, b: u32) -> bool {
+        self(a, b)
+    }
+}
+
+/// An explicit list of forbidden pairs.
+#[derive(Debug, Clone, Default)]
+pub struct ForbiddenPairs {
+    pairs: std::collections::HashSet<(u32, u32)>,
+}
+
+impl ForbiddenPairs {
+    /// Build from unordered pairs.
+    pub fn new(pairs: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let pairs = pairs
+            .into_iter()
+            .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+            .collect();
+        Self { pairs }
+    }
+
+    /// Number of forbidden pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether there are no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+impl CannotLink for ForbiddenPairs {
+    fn cannot_link(&self, a: u32, b: u32) -> bool {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.pairs.contains(&key)
+    }
+}
+
+/// Split one group so that no remaining subgroup contains a forbidden pair.
+/// Greedy first-fit: members (in id order) go to the first subgroup they
+/// do not conflict with; a new subgroup is opened otherwise. First-fit is
+/// deterministic and never merges beyond the input group.
+pub fn split_group(group: &[u32], constraint: &impl CannotLink) -> Vec<Vec<u32>> {
+    let mut subgroups: Vec<Vec<u32>> = Vec::new();
+    for &id in group {
+        let slot = subgroups
+            .iter()
+            .position(|sg| sg.iter().all(|&other| !constraint.cannot_link(id, other)));
+        match slot {
+            Some(i) => subgroups[i].push(id),
+            None => subgroups.push(vec![id]),
+        }
+    }
+    subgroups
+}
+
+/// Apply a negative constraint to a partition: every group containing a
+/// forbidden pair is split (per [`split_group`]); clean groups pass
+/// through.
+pub fn apply_constraints(partition: &Partition, constraint: &impl CannotLink) -> Partition {
+    let mut groups: Vec<Vec<u32>> = Vec::new();
+    for g in partition.groups() {
+        let violates = g.iter().enumerate().any(|(i, &a)| {
+            g[i + 1..].iter().any(|&b| constraint.cannot_link(a, b))
+        });
+        if violates {
+            groups.extend(split_group(g, constraint));
+        } else {
+            groups.push(g.clone());
+        }
+    }
+    Partition::from_groups(partition.n(), groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forbidden_pairs_normalize_order() {
+        let f = ForbiddenPairs::new([(3, 1)]);
+        assert!(f.cannot_link(1, 3));
+        assert!(f.cannot_link(3, 1));
+        assert!(!f.cannot_link(1, 2));
+        assert_eq!(f.len(), 1);
+        assert!(!f.is_empty());
+        assert!(ForbiddenPairs::default().is_empty());
+    }
+
+    #[test]
+    fn clean_groups_pass_through() {
+        let p = Partition::from_groups(4, vec![vec![0, 1], vec![2, 3]]);
+        let f = ForbiddenPairs::new([(0, 2)]); // cross-group pair, irrelevant
+        assert_eq!(apply_constraints(&p, &f), p);
+    }
+
+    #[test]
+    fn violating_group_is_split() {
+        let p = Partition::from_groups(4, vec![vec![0, 1, 2, 3]]);
+        let f = ForbiddenPairs::new([(0, 2)]);
+        let q = apply_constraints(&p, &f);
+        assert!(!q.are_together(0, 2));
+        // Non-conflicting members stay with the first-fit host.
+        assert!(q.are_together(0, 1));
+        assert!(q.are_together(0, 3));
+        assert!(q.are_together(2, 2));
+    }
+
+    #[test]
+    fn closure_constraints_work() {
+        let p = Partition::from_groups(4, vec![vec![0, 1, 2, 3]]);
+        // Parity predicate: odd and even ids can't mix.
+        let q = apply_constraints(&p, &|a: u32, b: u32| (a % 2) != (b % 2));
+        assert!(q.are_together(0, 2));
+        assert!(q.are_together(1, 3));
+        assert!(!q.are_together(0, 1));
+    }
+
+    #[test]
+    fn all_pairs_forbidden_yields_singletons() {
+        let p = Partition::from_groups(3, vec![vec![0, 1, 2]]);
+        let q = apply_constraints(&p, &|_: u32, _: u32| true);
+        assert_eq!(q, Partition::singletons(3));
+    }
+
+    #[test]
+    fn split_group_first_fit_is_deterministic() {
+        let f = ForbiddenPairs::new([(0, 1), (1, 2)]);
+        let parts = split_group(&[0, 1, 2], &f);
+        // 0 opens group A; 1 conflicts with A → group B; 2 conflicts with B
+        // but fits A.
+        assert_eq!(parts, vec![vec![0, 2], vec![1]]);
+    }
+
+    #[test]
+    fn result_refines_input() {
+        let p = Partition::from_groups(6, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        let q = apply_constraints(&p, &|a: u32, b: u32| a + b == 5);
+        assert!(p.is_refined_by(&q), "constraint application only splits");
+    }
+}

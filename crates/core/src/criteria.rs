@@ -1,0 +1,230 @@
+//! The compact-set (CS) and sparse-neighborhood (SN) criteria of §2.
+//!
+//! **CS criterion** — a set `S` is *compact* iff every tuple in `S` is
+//! closer to every other tuple in `S` than to any tuple outside `S`;
+//! equivalently, the `|S|`-nearest-neighbor set (self included) of every
+//! member equals `S`. The second formulation is what the algorithm checks,
+//! using the materialized NN lists: [`is_compact_set`].
+//!
+//! **SN criterion** — `S` is an `SN(AGG, c)` group iff `|S| = 1` or the
+//! aggregated neighborhood growths of its members stay below `c`:
+//! [`sparse_neighborhood_ok`] with an [`Aggregation`] function (the paper
+//! evaluates `max` and `avg`; Figure 7 additionally uses the second
+//! maximum, `max2`).
+
+use crate::nnreln::NnReln;
+
+/// Aggregation function for the SN criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Aggregation {
+    /// Maximum neighborhood growth in the group (the paper's default).
+    #[default]
+    Max,
+    /// Arithmetic mean of the growths.
+    Avg,
+    /// Second-largest growth (Figure 7's `Max2`): tolerates one dense
+    /// member.
+    Max2,
+    /// Minimum growth (lenient; included for ablations).
+    Min,
+}
+
+impl Aggregation {
+    /// Aggregate a non-empty slice of NG values.
+    pub fn aggregate(&self, values: &[f64]) -> f64 {
+        assert!(!values.is_empty(), "aggregate of empty group");
+        match self {
+            Aggregation::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Aggregation::Avg => values.iter().sum::<f64>() / values.len() as f64,
+            Aggregation::Max2 => {
+                let (mut first, mut second) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+                for &v in values {
+                    if v > first {
+                        second = first;
+                        first = v;
+                    } else if v > second {
+                        second = v;
+                    }
+                }
+                if values.len() == 1 {
+                    first
+                } else {
+                    second
+                }
+            }
+            Aggregation::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    /// Parse from the experiment drivers' names.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "max" => Some(Self::Max),
+            "avg" | "mean" => Some(Self::Avg),
+            "max2" => Some(Self::Max2),
+            "min" => Some(Self::Min),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Max => "max",
+            Self::Avg => "avg",
+            Self::Max2 => "max2",
+            Self::Min => "min",
+        }
+    }
+}
+
+/// Check the CS criterion for a candidate set `S` (sorted ids) against the
+/// materialized NN lists: every member's `|S|`-nearest-neighbor set
+/// (including itself) must equal `S`.
+///
+/// Singletons are trivially compact. Returns `false` when any member's NN
+/// list is too short to decide.
+pub fn is_compact_set(reln: &NnReln, s: &[u32]) -> bool {
+    let m = s.len();
+    if m <= 1 {
+        return true;
+    }
+    debug_assert!(s.windows(2).all(|w| w[0] < w[1]), "S must be sorted and unique");
+    s.iter().all(|&u| reln.entry(u).prefix_set(m).as_deref() == Some(s))
+}
+
+/// Check the SN criterion: `AGG({ng(v) : v ∈ S}) < c`, with singletons
+/// passing unconditionally (clause (i) of the definition).
+pub fn sparse_neighborhood_ok(reln: &NnReln, s: &[u32], agg: Aggregation, c: f64) -> bool {
+    if s.len() <= 1 {
+        return true;
+    }
+    let ngs: Vec<f64> = s.iter().map(|&u| reln.entry(u).ng).collect();
+    agg.aggregate(&ngs) < c
+}
+
+/// The diameter of a set under the materialized NN lists: the maximum
+/// pairwise distance, or `None` if some pairwise distance is not recorded
+/// (which, for radius-θ lists, means the diameter exceeds θ).
+pub fn diameter(reln: &NnReln, s: &[u32]) -> Option<f64> {
+    let mut max = 0.0f64;
+    for (i, &u) in s.iter().enumerate() {
+        for &w in &s[i + 1..] {
+            let d = reln.entry(u).dist_to(w)?;
+            max = max.max(d);
+        }
+    }
+    Some(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nnreln::NnEntry;
+    use fuzzydedup_relation::Neighbor;
+
+    fn entry(id: u32, neighbors: &[(u32, f64)], ng: f64) -> NnEntry {
+        NnEntry::new(id, neighbors.iter().map(|&(i, d)| Neighbor::new(i, d)).collect(), ng)
+    }
+
+    /// Figure-6-style fixture: {0, 1} mutual NNs, {2, 3} mutual NNs, and
+    /// tuple 4 pointing at 2 without reciprocation.
+    fn reln() -> NnReln {
+        NnReln::new(vec![
+            entry(0, &[(1, 0.1), (2, 0.8), (3, 0.85), (4, 0.9)], 2.0),
+            entry(1, &[(0, 0.1), (2, 0.82), (3, 0.87), (4, 0.92)], 2.0),
+            entry(2, &[(3, 0.2), (4, 0.3), (0, 0.8), (1, 0.82)], 3.0),
+            entry(3, &[(2, 0.2), (4, 0.35), (0, 0.85), (1, 0.87)], 3.0),
+            entry(4, &[(2, 0.3), (3, 0.35), (0, 0.9), (1, 0.92)], 3.0),
+        ])
+    }
+
+    #[test]
+    fn aggregation_functions() {
+        let v = [2.0, 5.0, 3.0];
+        assert_eq!(Aggregation::Max.aggregate(&v), 5.0);
+        assert_eq!(Aggregation::Avg.aggregate(&v), 10.0 / 3.0);
+        assert_eq!(Aggregation::Max2.aggregate(&v), 3.0);
+        assert_eq!(Aggregation::Min.aggregate(&v), 2.0);
+        assert_eq!(Aggregation::Max2.aggregate(&[7.0]), 7.0, "singleton max2 = max");
+        assert_eq!(Aggregation::Max2.aggregate(&[7.0, 7.0]), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty group")]
+    fn aggregate_empty_panics() {
+        Aggregation::Max.aggregate(&[]);
+    }
+
+    #[test]
+    fn aggregation_parsing() {
+        for a in [Aggregation::Max, Aggregation::Avg, Aggregation::Max2, Aggregation::Min] {
+            assert_eq!(Aggregation::parse(a.name()), Some(a));
+        }
+        assert_eq!(Aggregation::parse("median"), None);
+    }
+
+    #[test]
+    fn mutual_nn_pairs_are_compact() {
+        let r = reln();
+        assert!(is_compact_set(&r, &[0, 1]));
+        assert!(is_compact_set(&r, &[2, 3]));
+    }
+
+    #[test]
+    fn non_mutual_pairs_are_not_compact() {
+        let r = reln();
+        // 4's nearest neighbor is 2, but 2's is 3.
+        assert!(!is_compact_set(&r, &[2, 4]));
+        assert!(!is_compact_set(&r, &[0, 2]));
+    }
+
+    #[test]
+    fn larger_compact_sets() {
+        let r = reln();
+        // {2,3,4}: each member's 3-NN set is {2,3,4}.
+        assert!(is_compact_set(&r, &[2, 3, 4]));
+        // {0,1,2} is not: 2's 3-prefix is {2,3,4}.
+        assert!(!is_compact_set(&r, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn singletons_trivially_compact_and_sparse() {
+        let r = reln();
+        assert!(is_compact_set(&r, &[4]));
+        assert!(sparse_neighborhood_ok(&r, &[4], Aggregation::Max, 0.5));
+    }
+
+    #[test]
+    fn sn_criterion_thresholds() {
+        let r = reln();
+        assert!(sparse_neighborhood_ok(&r, &[0, 1], Aggregation::Max, 2.5));
+        assert!(!sparse_neighborhood_ok(&r, &[0, 1], Aggregation::Max, 2.0), "strict <");
+        assert!(!sparse_neighborhood_ok(&r, &[2, 3, 4], Aggregation::Max, 3.0));
+        assert!(sparse_neighborhood_ok(&r, &[2, 3, 4], Aggregation::Avg, 3.5));
+    }
+
+    #[test]
+    fn diameter_from_lists() {
+        let r = reln();
+        assert_eq!(diameter(&r, &[0, 1]), Some(0.1));
+        assert_eq!(diameter(&r, &[2, 3, 4]), Some(0.35));
+        assert_eq!(diameter(&r, &[2]), Some(0.0));
+        // Unrecorded pair → None.
+        let short = NnReln::new(vec![
+            entry(0, &[(1, 0.1)], 1.0),
+            entry(1, &[(0, 0.1)], 1.0),
+            entry(2, &[(1, 0.5)], 1.0),
+        ]);
+        assert_eq!(diameter(&short, &[0, 2]), None);
+    }
+
+    #[test]
+    fn compact_set_with_short_lists_is_rejected() {
+        let r = NnReln::new(vec![
+            entry(0, &[(1, 0.1)], 1.0),
+            entry(1, &[], 1.0), // no neighbors recorded
+        ]);
+        assert!(!is_compact_set(&r, &[0, 1]));
+    }
+}

@@ -1,0 +1,278 @@
+//! Incremental duplicate elimination: keep the partition current as
+//! records arrive in batches.
+//!
+//! The paper's pipeline is batch-only; this module is the natural
+//! production extension. The key observation makes incremental maintenance
+//! cheap: Phase 2 is a fast function of `NN_Reln` (the paper measures it
+//! at a small fraction of Phase-1 cost), so only the *NN entries* need
+//! incremental maintenance — the partition is recomputed from scratch
+//! each batch.
+//!
+//! **Affected-set rule.** After appending a batch, an existing tuple's
+//! entry can only change if some new record is visible to it through the
+//! index, i.e. appears in its candidate set (shares a non-stop term).
+//! We therefore recompute entries for (a) every new id and (b) every
+//! existing id in some new id's candidate set. This is exactly consistent
+//! with the index semantics: a pair the index cannot see never appears in
+//! any NN list, so its entry cannot have depended on the new record.
+//! Equivalence with full recomputation is asserted by the test suite on
+//! randomized batch splits.
+
+use fuzzydedup_nnindex::{DynamicIndexConfig, DynamicInvertedIndex, LookupSpec, NnIndex};
+use fuzzydedup_textdist::Distance;
+
+use crate::criteria::Aggregation;
+use crate::nnreln::{NnEntry, NnReln};
+use crate::partition::Partition;
+use crate::phase1::NeighborSpec;
+use crate::phase2::partition_entries;
+use crate::problem::CutSpec;
+
+/// Statistics of one incremental batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Records appended in this batch.
+    pub inserted: usize,
+    /// Pre-existing entries recomputed because a new record entered their
+    /// candidate neighborhoods.
+    pub refreshed: usize,
+}
+
+/// An incrementally-maintained deduplication state; see module docs.
+pub struct IncrementalDedup<D: Distance> {
+    index: DynamicInvertedIndex<D>,
+    entries: Vec<NnEntry>,
+    cut: CutSpec,
+    agg: Aggregation,
+    c: f64,
+    p: f64,
+    partition: Partition,
+}
+
+impl<D: Distance> IncrementalDedup<D> {
+    /// Create an empty incremental state.
+    ///
+    /// # Errors
+    /// Returns the cut-validation message for invalid parameters.
+    pub fn new(
+        distance: D,
+        index_config: DynamicIndexConfig,
+        cut: CutSpec,
+        agg: Aggregation,
+        c: f64,
+    ) -> Result<Self, String> {
+        cut.validate()?;
+        // `!(c > 0.0)` deliberately rejects NaN as well as non-positives.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let bad_c = !(c > 0.0);
+        if bad_c {
+            return Err(format!("SN threshold c must be positive, got {c}"));
+        }
+        Ok(Self {
+            index: DynamicInvertedIndex::new(distance, index_config),
+            entries: Vec::new(),
+            cut,
+            agg,
+            c,
+            p: 2.0,
+            partition: Partition::singletons(0),
+        })
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the state is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The current partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The current `NN_Reln` (rebuilt view over the maintained entries).
+    pub fn nn_reln(&self) -> NnReln {
+        NnReln::new(self.entries.clone())
+    }
+
+    fn spec(&self) -> LookupSpec {
+        match NeighborSpec::from_cut(&self.cut, self.index.len()) {
+            NeighborSpec::TopK(k) => LookupSpec::TopK(k),
+            NeighborSpec::Radius(theta) => LookupSpec::Radius(theta),
+        }
+    }
+
+    fn recompute_entry(&mut self, id: u32) {
+        let (neighbors, ng) = self.index.lookup(id, self.spec(), self.p);
+        self.entries[id as usize] = NnEntry::new(id, neighbors, ng);
+    }
+
+    /// Append a batch of records, refresh affected entries, and recompute
+    /// the partition.
+    pub fn insert_batch(&mut self, records: impl IntoIterator<Item = Vec<String>>) -> BatchStats {
+        let first_new = self.index.len() as u32;
+        let mut new_ids: Vec<u32> = Vec::new();
+        for record in records {
+            let id = self.index.push(record);
+            // Placeholder; filled below once all ids exist (a batch can
+            // contain mutual duplicates, so entries must see the whole
+            // batch).
+            self.entries.push(NnEntry::new(id, Vec::new(), 1.0));
+            new_ids.push(id);
+        }
+
+        // Affected pre-existing ids: candidates of the new records. The
+        // scan is *uncapped*: term-sharing visibility is symmetric, but the
+        // per-query candidate cap is not — an old record can rank a new one
+        // inside its own top-k even when the (capped) reverse query drops
+        // it, and that old record's entry must still refresh.
+        let mut affected: Vec<u32> = Vec::new();
+        for &id in &new_ids {
+            for candidate in self.index.candidates_with_limit(id, 0) {
+                if candidate < first_new {
+                    affected.push(candidate);
+                }
+            }
+        }
+        affected.sort_unstable();
+        affected.dedup();
+
+        for &id in &new_ids {
+            self.recompute_entry(id);
+        }
+        for &id in &affected {
+            self.recompute_entry(id);
+        }
+
+        // Phase 2 from scratch (cheap).
+        let reln = NnReln::new(self.entries.clone());
+        self.partition = partition_entries(&reln, self.cut, self.agg, self.c);
+        BatchStats { inserted: new_ids.len(), refreshed: affected.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzydedup_textdist::EditDistance;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fresh() -> IncrementalDedup<EditDistance> {
+        IncrementalDedup::new(
+            EditDistance,
+            DynamicIndexConfig::default(),
+            CutSpec::Size(4),
+            Aggregation::Max,
+            4.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let bad_cut = IncrementalDedup::new(
+            EditDistance,
+            DynamicIndexConfig::default(),
+            CutSpec::Size(1),
+            Aggregation::Max,
+            4.0,
+        );
+        assert!(bad_cut.is_err());
+        let bad_c = IncrementalDedup::new(
+            EditDistance,
+            DynamicIndexConfig::default(),
+            CutSpec::Size(4),
+            Aggregation::Max,
+            f64::NAN,
+        );
+        assert!(bad_c.is_err());
+    }
+
+    #[test]
+    fn single_batch_matches_batch_pipeline() {
+        // Single-typo pairs: close enough that their 2·nn growth spheres
+        // stay sparse even in a six-record relation.
+        let records: Vec<Vec<String>> = [
+            "the doors", "the doorz", "xylophone concerto", "xylophone concertoo",
+            "aaliyah", "bob dylan",
+        ]
+        .iter()
+        .map(|s| vec![s.to_string()])
+        .collect();
+        let mut inc = fresh();
+        inc.insert_batch(records.clone());
+        assert!(inc.partition().are_together(0, 1), "{:?}", inc.partition().groups());
+        assert!(inc.partition().are_together(2, 3));
+        assert!(!inc.partition().are_together(4, 5));
+    }
+
+    #[test]
+    fn later_batch_merges_with_earlier_records() {
+        let mut inc = fresh();
+        inc.insert_batch(vec![
+            vec!["the doors".to_string()],
+            vec!["aaliyah".to_string()],
+        ]);
+        assert_eq!(inc.partition().num_duplicate_pairs(), 0);
+        let stats = inc.insert_batch(vec![vec!["the doorz".to_string()]]);
+        assert_eq!(stats.inserted, 1);
+        assert!(stats.refreshed >= 1, "the old 'the doors' entry must refresh");
+        assert!(inc.partition().are_together(0, 2));
+        assert_eq!(inc.len(), 3);
+    }
+
+    #[test]
+    fn incremental_equals_full_recompute_on_random_splits() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let base: Vec<Vec<String>> = (0..60)
+            .map(|i| {
+                let v = if i % 3 == 0 {
+                    format!("entity number {:03} alpha", i / 3)
+                } else {
+                    format!("entity number {:03} alphaa", i / 3)
+                };
+                vec![v]
+            })
+            .collect();
+        for trial in 0..3 {
+            // Random batch split.
+            let mut inc = fresh();
+            let mut at = 0;
+            while at < base.len() {
+                let take = rng.gen_range(1..=10).min(base.len() - at);
+                inc.insert_batch(base[at..at + take].to_vec());
+                at += take;
+            }
+            // Full recompute: one batch into a fresh state.
+            let mut full = fresh();
+            full.insert_batch(base.clone());
+            assert_eq!(inc.partition(), full.partition(), "trial {trial}");
+            assert_eq!(inc.nn_reln(), full.nn_reln(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let mut inc = fresh();
+        let stats = inc.insert_batch(Vec::<Vec<String>>::new());
+        assert_eq!(stats, BatchStats { inserted: 0, refreshed: 0 });
+        assert!(inc.is_empty());
+        inc.insert_batch(vec![vec!["solo".to_string()]]);
+        let stats = inc.insert_batch(Vec::<Vec<String>>::new());
+        assert_eq!(stats.inserted, 0);
+        assert_eq!(inc.partition().num_groups(), 1);
+    }
+
+    #[test]
+    fn refresh_counts_are_bounded_by_corpus() {
+        let mut inc = fresh();
+        inc.insert_batch((0..20).map(|i| vec![format!("record {i:02}")]));
+        let stats = inc.insert_batch(vec![vec!["record 21".to_string()]]);
+        assert!(stats.refreshed <= 20);
+    }
+}

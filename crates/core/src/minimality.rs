@@ -1,0 +1,189 @@
+//! Minimality of compact sets (§4.5.2).
+//!
+//! The union of disjoint non-trivial compact sets can itself be a compact
+//! SN set, producing groups like `{v₁, v₁', v₂, v₂', v₃, v₃'}` where each
+//! `{vᵢ, vᵢ'}` is a pair of duplicates. `S` is a **minimal** compact set if
+//! it contains no two disjoint non-trivial compact subsets. The paper makes
+//! minimality an optional post-processing check ("we would further split
+//! such groups into minimal groups") and argues such mergers are rare in
+//! real data; [`enforce_minimality`] implements the split.
+
+use crate::criteria::is_compact_set;
+use crate::nnreln::NnReln;
+use crate::partition::Partition;
+
+/// Non-trivial (size ≥ 2) compact *proper* subsets of `group` that arise
+/// as some member's prefix set. Compact sets are always prefix sets of
+/// each of their members, so this enumeration is exhaustive.
+fn compact_proper_subsets(reln: &NnReln, group: &[u32]) -> Vec<Vec<u32>> {
+    let mut found: Vec<Vec<u32>> = Vec::new();
+    for &v in group {
+        for m in 2..group.len() {
+            let Some(s) = reln.entry(v).prefix_set(m) else { continue };
+            // Must lie inside the group and be compact.
+            if !s.iter().all(|id| group.contains(id)) {
+                continue;
+            }
+            if !is_compact_set(reln, &s) {
+                continue;
+            }
+            if !found.contains(&s) {
+                found.push(s);
+            }
+        }
+    }
+    found
+}
+
+/// Whether `group` is a minimal compact set: it contains no two *disjoint*
+/// non-trivial compact subsets.
+pub fn is_minimal(reln: &NnReln, group: &[u32]) -> bool {
+    if group.len() <= 3 {
+        // Two disjoint subsets of size ≥ 2 need at least 4 members.
+        return true;
+    }
+    let subsets = compact_proper_subsets(reln, group);
+    for (i, a) in subsets.iter().enumerate() {
+        for b in &subsets[i + 1..] {
+            if a.iter().all(|id| !b.contains(id)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Split a non-minimal group into its maximal disjoint non-trivial compact
+/// subsets (greedy, largest first; members covered by none become
+/// singletons). Minimal groups are returned unchanged.
+pub fn split_to_minimal(reln: &NnReln, group: &[u32]) -> Vec<Vec<u32>> {
+    if is_minimal(reln, group) {
+        return vec![group.to_vec()];
+    }
+    let mut subsets = compact_proper_subsets(reln, group);
+    subsets.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    let mut taken: Vec<Vec<u32>> = Vec::new();
+    let mut covered: Vec<u32> = Vec::new();
+    for s in subsets {
+        if s.iter().all(|id| !covered.contains(id)) {
+            covered.extend_from_slice(&s);
+            taken.push(s);
+        }
+    }
+    for &id in group {
+        if !covered.contains(&id) {
+            taken.push(vec![id]);
+        }
+    }
+    // Recursively ensure the chosen subsets are themselves minimal.
+    taken
+        .into_iter()
+        .flat_map(|s| {
+            if s.len() > 3 {
+                split_to_minimal(reln, &s)
+            } else {
+                vec![s]
+            }
+        })
+        .collect()
+}
+
+/// Apply the minimality post-pass to a whole partition.
+pub fn enforce_minimality(reln: &NnReln, partition: &Partition) -> Partition {
+    let mut groups: Vec<Vec<u32>> = Vec::new();
+    for g in partition.groups() {
+        if g.len() > 3 {
+            groups.extend(split_to_minimal(reln, g));
+        } else {
+            groups.push(g.clone());
+        }
+    }
+    Partition::from_groups(partition.n(), groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criteria::Aggregation;
+    use crate::matrix::MatrixIndex;
+    use crate::phase1::{compute_nn_reln, NeighborSpec};
+    use crate::phase2::partition_entries;
+    use crate::problem::CutSpec;
+    use fuzzydedup_nnindex::LookupOrder;
+
+    /// The §4.5.2 construction: three well-separated duplicate pairs whose
+    /// union still forms a compact set. Pairs at {0, 0.1}, {10, 10.1},
+    /// {20, 20.1}; the whole cluster sits 10⁶ away from a far crowd, so the
+    /// 6-element set is compact (members are closer to each other than to
+    /// anything outside).
+    fn pairs_universe() -> MatrixIndex {
+        MatrixIndex::from_points_1d(&[
+            0.0, 0.1, 10.0, 10.1, 20.0, 20.1, 1e6, 1e6 + 1.0,
+        ])
+    }
+
+    fn reln() -> NnReln {
+        compute_nn_reln(&pairs_universe(), NeighborSpec::TopK(7), LookupOrder::Sequential, 2.0).0
+    }
+
+    #[test]
+    fn union_of_pairs_is_compact_but_not_minimal() {
+        let r = reln();
+        let six = vec![0, 1, 2, 3, 4, 5];
+        assert!(is_compact_set(&r, &six), "the 6-set is compact");
+        assert!(!is_minimal(&r, &six), "but not minimal");
+        assert!(is_minimal(&r, &[0, 1]));
+        assert!(is_minimal(&r, &[0, 1, 2]), "size ≤ 3 always minimal");
+    }
+
+    #[test]
+    fn split_recovers_the_pairs() {
+        let r = reln();
+        let mut parts = split_to_minimal(&r, &[0, 1, 2, 3, 4, 5]);
+        parts.sort();
+        assert_eq!(parts, vec![vec![0, 1], vec![2, 3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn partition_post_pass() {
+        let r = reln();
+        // With a lenient c and size cut 6, DE merges the six tuples (the
+        // §4.5.2 outcome)...
+        let merged = partition_entries(&r, CutSpec::Size(6), Aggregation::Max, 100.0);
+        assert!(merged.are_together(0, 5));
+        // ...and the post-pass splits them back into minimal pairs.
+        let minimal = enforce_minimality(&r, &merged);
+        assert!(minimal.are_together(0, 1));
+        assert!(minimal.are_together(2, 3));
+        assert!(minimal.are_together(4, 5));
+        assert!(!minimal.are_together(0, 2));
+        assert!(minimal.are_together(6, 7), "unrelated groups untouched");
+    }
+
+    #[test]
+    fn minimal_groups_pass_through_unchanged() {
+        let r = reln();
+        let p = Partition::from_groups(8, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(enforce_minimality(&r, &p), p);
+    }
+
+    #[test]
+    fn genuine_sextet_is_not_split() {
+        // Six mutually-equidistant-ish points forming one true cluster: no
+        // disjoint compact subsets exist because every pair's nearest
+        // neighbors interleave.
+        let idx = MatrixIndex::from_fn(7, |a, b| {
+            if a == 6 || b == 6 {
+                1000.0
+            } else {
+                1.0 + 0.001 * (a + b) as f64
+            }
+        });
+        let r = compute_nn_reln(&idx, NeighborSpec::TopK(6), LookupOrder::Sequential, 2.0).0;
+        let six = vec![0, 1, 2, 3, 4, 5];
+        if is_compact_set(&r, &six) {
+            let parts = split_to_minimal(&r, &six);
+            assert_eq!(parts.len(), 1, "true cluster must not be split: {parts:?}");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! `NN_Reln` — the materialized nearest-neighbor relation of Phase 1.
+//!
+//! The output of the paper's first phase is the relation
+//! `NN_Reln[ID, NN-List, NG]`: per tuple, the list of its nearest neighbors
+//! (top-K for `DE_S(K)`, all within θ for `DE_D(θ)`) and its neighborhood
+//! growth `ng(v) = |{u : d(u,v) < p · nn(v)}|` (we follow the formal
+//! definition, under which the tuple itself is counted — `d(v,v) = 0` is
+//! always inside the sphere).
+
+use fuzzydedup_relation::Neighbor;
+
+/// One row of `NN_Reln`: a tuple's neighbor list and neighborhood growth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnEntry {
+    /// Tuple identifier.
+    pub id: u32,
+    /// Nearest neighbors of `id`, **excluding `id` itself**, sorted
+    /// ascending by `(distance, id)`.
+    pub neighbors: Vec<Neighbor>,
+    /// Neighborhood growth `ng(id)` (≥ 1; the tuple itself counts).
+    pub ng: f64,
+}
+
+impl NnEntry {
+    /// Construct an entry; neighbors must already be in canonical order.
+    pub fn new(id: u32, neighbors: Vec<Neighbor>, ng: f64) -> Self {
+        debug_assert!(
+            neighbors.windows(2).all(|w| (w[0].dist, w[0].id) <= (w[1].dist, w[1].id)),
+            "neighbors must be sorted by (dist, id)"
+        );
+        debug_assert!(neighbors.iter().all(|n| n.id != id), "self must be excluded");
+        Self { id, neighbors, ng }
+    }
+
+    /// The nearest-neighbor distance `nn(id)`; `None` when the tuple has no
+    /// recorded neighbors.
+    pub fn nn_dist(&self) -> Option<f64> {
+        self.neighbors.first().map(|n| n.dist)
+    }
+
+    /// The *m-nearest-neighbor set* of the tuple: itself plus its first
+    /// `m − 1` neighbors, as a sorted id vector. Returns `None` if fewer
+    /// than `m − 1` neighbors are recorded (the set would be ill-defined).
+    pub fn prefix_set(&self, m: usize) -> Option<Vec<u32>> {
+        if m == 0 || self.neighbors.len() < m - 1 {
+            return None;
+        }
+        let mut set: Vec<u32> = Vec::with_capacity(m);
+        set.push(self.id);
+        set.extend(self.neighbors[..m - 1].iter().map(|n| n.id));
+        set.sort_unstable();
+        Some(set)
+    }
+
+    /// Distance to a specific neighbor, if recorded in the list.
+    pub fn dist_to(&self, other: u32) -> Option<f64> {
+        self.neighbors.iter().find(|n| n.id == other).map(|n| n.dist)
+    }
+}
+
+/// The whole `NN_Reln`: one entry per tuple, indexed by id (entry `i` has
+/// `id == i`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NnReln {
+    entries: Vec<NnEntry>,
+}
+
+impl NnReln {
+    /// Build from entries; they are sorted into id order and must form a
+    /// dense id space `0..n`.
+    ///
+    /// # Panics
+    /// Panics if ids are not exactly `0..n` after sorting.
+    pub fn new(mut entries: Vec<NnEntry>) -> Self {
+        entries.sort_by_key(|e| e.id);
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.id as usize, i, "entry ids must be dense 0..n");
+        }
+        Self { entries }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry for a tuple id.
+    pub fn entry(&self, id: u32) -> &NnEntry {
+        &self.entries[id as usize]
+    }
+
+    /// All entries in id order.
+    pub fn entries(&self) -> &[NnEntry] {
+        &self.entries
+    }
+
+    /// The NG values in id order (input to the SN-threshold estimator).
+    pub fn ng_values(&self) -> Vec<f64> {
+        self.entries.iter().map(|e| e.ng).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u32, neighbors: &[(u32, f64)], ng: f64) -> NnEntry {
+        NnEntry::new(
+            id,
+            neighbors.iter().map(|&(i, d)| Neighbor::new(i, d)).collect(),
+            ng,
+        )
+    }
+
+    #[test]
+    fn prefix_sets() {
+        let e = entry(10, &[(5, 0.1), (11, 0.2), (3, 0.3)], 2.0);
+        assert_eq!(e.prefix_set(1), Some(vec![10]));
+        assert_eq!(e.prefix_set(2), Some(vec![5, 10]));
+        assert_eq!(e.prefix_set(4), Some(vec![3, 5, 10, 11]));
+        assert_eq!(e.prefix_set(5), None, "not enough neighbors");
+        assert_eq!(e.prefix_set(0), None);
+    }
+
+    #[test]
+    fn nn_dist_and_dist_to() {
+        let e = entry(0, &[(2, 0.15), (1, 0.4)], 3.0);
+        assert_eq!(e.nn_dist(), Some(0.15));
+        assert_eq!(e.dist_to(1), Some(0.4));
+        assert_eq!(e.dist_to(9), None);
+        let lonely = entry(7, &[], 1.0);
+        assert_eq!(lonely.nn_dist(), None);
+        assert_eq!(lonely.prefix_set(2), None);
+        assert_eq!(lonely.prefix_set(1), Some(vec![7]));
+    }
+
+    #[test]
+    fn reln_indexing() {
+        let reln = NnReln::new(vec![
+            entry(1, &[(0, 0.2)], 2.0),
+            entry(0, &[(1, 0.2)], 2.0),
+        ]);
+        assert_eq!(reln.len(), 2);
+        assert_eq!(reln.entry(1).id, 1);
+        assert_eq!(reln.ng_values(), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_ids_panic() {
+        NnReln::new(vec![entry(0, &[], 1.0), entry(2, &[], 1.0)]);
+    }
+
+    #[test]
+    fn empty_reln() {
+        let r = NnReln::new(vec![]);
+        assert!(r.is_empty());
+        assert!(r.ng_values().is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Parallel Phase 1: multi-threaded nearest-neighbor materialization.
+//!
+//! The paper's Phase 1 is a sequential scan in breadth-first order because
+//! its win is *buffer locality* against a disk-resident index. When the
+//! index is memory-resident (the common modern deployment), Phase 1 is
+//! embarrassingly parallel instead: every tuple's NN list is an
+//! independent query. [`compute_nn_reln_parallel`] shards the id space
+//! over scoped threads and produces a result *identical* to the
+//! sequential computation (the NN lists do not depend on lookup order —
+//! the same fact Lemma 1's uniqueness rests on).
+//!
+//! This is an engineering extension beyond the paper; the ablation bench
+//! `bench_phase1` quantifies when it pays off.
+
+use fuzzydedup_nnindex::{LookupSpec, NnIndex};
+
+use crate::nnreln::{NnEntry, NnReln};
+use crate::phase1::NeighborSpec;
+
+/// Compute one tuple's `NN_Reln` entry (shared by the sequential and
+/// parallel drivers) via the index's combined lookup.
+pub(crate) fn compute_entry(
+    index: &dyn NnIndex,
+    spec: NeighborSpec,
+    p: f64,
+    id: u32,
+) -> NnEntry {
+    let lookup_spec = match spec {
+        NeighborSpec::TopK(k) => LookupSpec::TopK(k),
+        NeighborSpec::Radius(theta) => LookupSpec::Radius(theta),
+    };
+    let (neighbors, ng) = index.lookup(id, lookup_spec, p);
+    NnEntry::new(id, neighbors, ng)
+}
+
+/// Compute `NN_Reln` using `n_threads` worker threads (`0` = one per
+/// available CPU). Produces exactly the same relation as
+/// [`crate::phase1::compute_nn_reln`].
+pub fn compute_nn_reln_parallel(
+    index: &dyn NnIndex,
+    spec: NeighborSpec,
+    p: f64,
+    n_threads: usize,
+) -> NnReln {
+    assert!(p >= 1.0, "growth multiplier p must be >= 1, got {p}");
+    let n = index.len();
+    let threads = if n_threads == 0 {
+        std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1)
+    } else {
+        n_threads
+    }
+    .max(1)
+    .min(n.max(1));
+
+    let mut entries: Vec<Option<NnEntry>> = vec![None; n];
+    let chunk_size = n.div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for (t, chunk) in entries.chunks_mut(chunk_size).enumerate() {
+            let start = t * chunk_size;
+            scope.spawn(move || {
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    let id = (start + offset) as u32;
+                    *slot = Some(compute_entry(index, spec, p, id));
+                }
+            });
+        }
+    });
+    NnReln::new(entries.into_iter().map(|e| e.expect("all ids computed")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::MatrixIndex;
+    use crate::phase1::compute_nn_reln;
+    use fuzzydedup_nnindex::LookupOrder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(n: usize, seed: u64) -> MatrixIndex {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1000.0)).collect();
+        MatrixIndex::from_points_1d(&points)
+    }
+
+    #[test]
+    fn matches_sequential_for_topk() {
+        let idx = random_matrix(200, 1);
+        let (seq, _) = compute_nn_reln(&idx, NeighborSpec::TopK(5), LookupOrder::Sequential, 2.0);
+        for threads in [1, 2, 4, 0] {
+            let par = compute_nn_reln_parallel(&idx, NeighborSpec::TopK(5), 2.0, threads);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_for_radius() {
+        let idx = random_matrix(150, 2);
+        let (seq, _) =
+            compute_nn_reln(&idx, NeighborSpec::Radius(20.0), LookupOrder::Sequential, 2.0);
+        let par = compute_nn_reln_parallel(&idx, NeighborSpec::Radius(20.0), 2.0, 3);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let idx = random_matrix(1, 3);
+        let par = compute_nn_reln_parallel(&idx, NeighborSpec::TopK(3), 2.0, 8);
+        assert_eq!(par.len(), 1);
+        let empty = MatrixIndex::new(vec![]);
+        let par = compute_nn_reln_parallel(&empty, NeighborSpec::TopK(3), 2.0, 4);
+        assert!(par.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let idx = random_matrix(3, 4);
+        let par = compute_nn_reln_parallel(&idx, NeighborSpec::TopK(2), 2.0, 64);
+        assert_eq!(par.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be >= 1")]
+    fn bad_p_panics() {
+        let idx = random_matrix(4, 5);
+        compute_nn_reln_parallel(&idx, NeighborSpec::TopK(2), 0.0, 2);
+    }
+}

@@ -1,0 +1,316 @@
+//! Partitions of a relation into groups of duplicates.
+
+use std::collections::HashMap;
+
+/// A partition of tuple ids `0..n` into disjoint groups. Groups are stored
+/// in canonical form: each group sorted ascending, groups ordered by their
+/// minimum id, singletons included. Canonical form makes partitions
+/// directly comparable — which the uniqueness axiom tests rely on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    n: usize,
+    groups: Vec<Vec<u32>>,
+    group_of: Vec<u32>,
+}
+
+impl Partition {
+    /// Build from groups (possibly missing singletons, possibly unsorted).
+    /// Ids not covered by any group become singletons.
+    ///
+    /// # Panics
+    /// Panics if a group references an id `>= n` or if two groups overlap —
+    /// both indicate a bug in the partitioning algorithm, not bad data.
+    pub fn from_groups(n: usize, groups: impl IntoIterator<Item = Vec<u32>>) -> Self {
+        let mut group_of: Vec<Option<u32>> = vec![None; n];
+        let mut canonical: Vec<Vec<u32>> = Vec::new();
+        for mut g in groups {
+            g.sort_unstable();
+            g.dedup();
+            if g.is_empty() {
+                continue;
+            }
+            let gi = canonical.len() as u32;
+            for &id in &g {
+                assert!((id as usize) < n, "group references id {id} >= n={n}");
+                assert!(
+                    group_of[id as usize].is_none(),
+                    "id {id} appears in more than one group"
+                );
+                group_of[id as usize] = Some(gi);
+            }
+            canonical.push(g);
+        }
+        for id in 0..n as u32 {
+            if group_of[id as usize].is_none() {
+                group_of[id as usize] = Some(canonical.len() as u32);
+                canonical.push(vec![id]);
+            }
+        }
+        // Canonical order: by minimum id.
+        let mut order: Vec<usize> = (0..canonical.len()).collect();
+        order.sort_by_key(|&gi| canonical[gi][0]);
+        let mut remap = vec![0u32; canonical.len()];
+        for (new_gi, &old_gi) in order.iter().enumerate() {
+            remap[old_gi] = new_gi as u32;
+        }
+        let groups: Vec<Vec<u32>> = order.iter().map(|&gi| canonical[gi].clone()).collect();
+        let group_of: Vec<u32> =
+            group_of.into_iter().map(|g| remap[g.expect("all ids covered") as usize]).collect();
+        Self { n, groups, group_of }
+    }
+
+    /// The all-singletons partition.
+    pub fn singletons(n: usize) -> Self {
+        Self::from_groups(n, std::iter::empty())
+    }
+
+    /// Number of tuples.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The groups in canonical order (singletons included).
+    pub fn groups(&self) -> &[Vec<u32>] {
+        &self.groups
+    }
+
+    /// Groups with at least two members (the actual duplicate groups).
+    pub fn duplicate_groups(&self) -> impl Iterator<Item = &Vec<u32>> {
+        self.groups.iter().filter(|g| g.len() > 1)
+    }
+
+    /// Index of the group containing `id`.
+    pub fn group_index_of(&self, id: u32) -> usize {
+        self.group_of[id as usize] as usize
+    }
+
+    /// The group containing `id`.
+    pub fn group_of(&self, id: u32) -> &[u32] {
+        &self.groups[self.group_index_of(id)]
+    }
+
+    /// Whether two ids are in the same group.
+    pub fn are_together(&self, a: u32, b: u32) -> bool {
+        self.group_of[a as usize] == self.group_of[b as usize]
+    }
+
+    /// All unordered pairs `(a, b)`, `a < b`, placed in the same group.
+    pub fn duplicate_pairs(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for g in self.duplicate_groups() {
+            for i in 0..g.len() {
+                for j in i + 1..g.len() {
+                    out.push((g[i], g[j]));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of same-group pairs (without materializing them).
+    pub fn num_duplicate_pairs(&self) -> u64 {
+        self.duplicate_groups().map(|g| (g.len() as u64 * (g.len() as u64 - 1)) / 2).sum()
+    }
+
+    /// Number of groups (including singletons).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether `other` refines `self` (every group of `other` is contained
+    /// in a group of `self`).
+    pub fn is_refined_by(&self, other: &Partition) -> bool {
+        if self.n != other.n {
+            return false;
+        }
+        other.groups.iter().all(|g| {
+            let host = self.group_of[g[0] as usize];
+            g.iter().all(|&id| self.group_of[id as usize] == host)
+        })
+    }
+
+    /// The **meet** (greatest common refinement) of two partitions: ids
+    /// share a group in the result iff they share a group in *both*
+    /// inputs. The high-precision ensemble combinator — e.g. intersecting
+    /// a `DE` run under fms with one under edit distance keeps only pairs
+    /// both distances agree on.
+    ///
+    /// # Panics
+    /// Panics if the partitions cover different relations.
+    pub fn meet(&self, other: &Partition) -> Partition {
+        assert_eq!(self.n, other.n, "partitions must cover the same relation");
+        let mut cells: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+        for id in 0..self.n as u32 {
+            cells
+                .entry((self.group_of[id as usize], other.group_of[id as usize]))
+                .or_default()
+                .push(id);
+        }
+        Partition::from_groups(self.n, cells.into_values())
+    }
+
+    /// The **join** (finest common coarsening) of two partitions: ids share
+    /// a group iff they are connected through any chain of same-group
+    /// relations in either input. The high-recall ensemble combinator.
+    ///
+    /// # Panics
+    /// Panics if the partitions cover different relations.
+    pub fn join(&self, other: &Partition) -> Partition {
+        assert_eq!(self.n, other.n, "partitions must cover the same relation");
+        // Union-find over both partitions' groups.
+        let mut parent: Vec<u32> = (0..self.n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                let gp = parent[parent[x as usize] as usize];
+                parent[x as usize] = gp;
+                x = gp;
+            }
+            x
+        }
+        for p in [self, other] {
+            for g in p.groups() {
+                for w in g.windows(2) {
+                    let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+                    if a != b {
+                        parent[a as usize] = b;
+                    }
+                }
+            }
+        }
+        let mut roots: HashMap<u32, Vec<u32>> = HashMap::new();
+        for id in 0..self.n as u32 {
+            roots.entry(find(&mut parent, id)).or_default().push(id);
+        }
+        Partition::from_groups(self.n, roots.into_values())
+    }
+
+    /// Size histogram: map from group size to count, useful for the
+    /// "most groups of duplicates are of size 2 or 3" observations.
+    pub fn size_histogram(&self) -> HashMap<usize, usize> {
+        let mut h = HashMap::new();
+        for g in &self.groups {
+            *h.entry(g.len()).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form_and_singletons() {
+        let p = Partition::from_groups(6, vec![vec![4, 2], vec![5, 0]]);
+        assert_eq!(p.groups(), &[vec![0, 5], vec![1], vec![2, 4], vec![3]]);
+        assert_eq!(p.num_groups(), 4);
+        assert!(p.are_together(2, 4));
+        assert!(!p.are_together(0, 1));
+        assert_eq!(p.group_of(5), &[0, 5]);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = Partition::from_groups(4, vec![vec![1, 0], vec![3, 2]]);
+        let b = Partition::from_groups(4, vec![vec![2, 3], vec![0, 1]]);
+        assert_eq!(a, b);
+        let c = Partition::from_groups(4, vec![vec![0, 2]]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn duplicate_pairs_enumeration() {
+        let p = Partition::from_groups(5, vec![vec![0, 1, 2]]);
+        let mut pairs = p.duplicate_pairs();
+        pairs.sort();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(p.num_duplicate_pairs(), 3);
+        assert_eq!(Partition::singletons(5).num_duplicate_pairs(), 0);
+    }
+
+    #[test]
+    fn refinement() {
+        let coarse = Partition::from_groups(4, vec![vec![0, 1, 2, 3]]);
+        let fine = Partition::from_groups(4, vec![vec![0, 1], vec![2, 3]]);
+        assert!(coarse.is_refined_by(&fine));
+        assert!(!fine.is_refined_by(&coarse));
+        assert!(coarse.is_refined_by(&coarse));
+        assert!(!coarse.is_refined_by(&Partition::singletons(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one group")]
+    fn overlapping_groups_panic() {
+        Partition::from_groups(3, vec![vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= n")]
+    fn out_of_range_panics() {
+        Partition::from_groups(2, vec![vec![0, 5]]);
+    }
+
+    #[test]
+    fn size_histogram_counts() {
+        let p = Partition::from_groups(6, vec![vec![0, 1], vec![2, 3]]);
+        let h = p.size_histogram();
+        assert_eq!(h[&2], 2);
+        assert_eq!(h[&1], 2);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let p = Partition::singletons(0);
+        assert_eq!(p.num_groups(), 0);
+        assert!(p.duplicate_pairs().is_empty());
+    }
+
+    #[test]
+    fn meet_intersects_groups() {
+        let a = Partition::from_groups(5, vec![vec![0, 1, 2], vec![3, 4]]);
+        let b = Partition::from_groups(5, vec![vec![0, 1], vec![2, 3, 4]]);
+        let m = a.meet(&b);
+        assert_eq!(m.groups(), &[vec![0, 1], vec![2], vec![3, 4]]);
+        // Meet refines both inputs.
+        assert!(a.is_refined_by(&m));
+        assert!(b.is_refined_by(&m));
+        // Idempotent and commutative.
+        assert_eq!(a.meet(&a), a);
+        assert_eq!(a.meet(&b), b.meet(&a));
+    }
+
+    #[test]
+    fn join_unions_transitively() {
+        let a = Partition::from_groups(5, vec![vec![0, 1], vec![2, 3]]);
+        let b = Partition::from_groups(5, vec![vec![1, 2]]);
+        let j = a.join(&b);
+        assert!(j.are_together(0, 3), "chained through 1-2");
+        assert!(!j.are_together(0, 4));
+        // Both inputs refine the join.
+        assert!(j.is_refined_by(&a));
+        assert!(j.is_refined_by(&b));
+        assert_eq!(a.join(&a), a);
+        assert_eq!(a.join(&b), b.join(&a));
+    }
+
+    #[test]
+    fn meet_join_absorption() {
+        let a = Partition::from_groups(6, vec![vec![0, 1, 2], vec![4, 5]]);
+        let b = Partition::from_groups(6, vec![vec![1, 2, 3]]);
+        // Lattice absorption laws: a ∧ (a ∨ b) = a and a ∨ (a ∧ b) = a.
+        assert_eq!(a.meet(&a.join(&b)), a);
+        assert_eq!(a.join(&a.meet(&b)), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "same relation")]
+    fn meet_requires_same_n() {
+        Partition::singletons(3).meet(&Partition::singletons(4));
+    }
+
+    #[test]
+    fn duplicate_ids_within_group_are_deduped() {
+        let p = Partition::from_groups(3, vec![vec![1, 1, 0]]);
+        assert_eq!(p.groups(), &[vec![0, 1], vec![2]]);
+    }
+}

@@ -1,0 +1,463 @@
+//! End-to-end duplicate elimination pipeline.
+//!
+//! Mirrors the paper's architecture (Figure 3): a client driving
+//! (1) the nearest-neighbor computation phase against an NN index whose
+//! pages live in the database buffer, and (2) the partitioning phase
+//! running as relational queries. [`deduplicate`] is the one-call API over
+//! string records; [`run_pipeline`] runs the same phases over any
+//! [`NnIndex`] (e.g. a [`crate::matrix::MatrixIndex`]).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fuzzydedup_nnindex::{
+    InvertedIndex, InvertedIndexConfig, LookupOrder, MinHashConfig, MinHashIndex,
+    NestedLoopIndex, NnIndex,
+};
+use fuzzydedup_relation::RelationError;
+use fuzzydedup_storage::{BufferPool, BufferPoolConfig, BufferStats, InMemoryDisk};
+use fuzzydedup_textdist::DistanceKind;
+
+use crate::criteria::Aggregation;
+use crate::minimality::enforce_minimality;
+use crate::nnreln::NnReln;
+use crate::partition::Partition;
+use crate::phase1::{compute_nn_reln, NeighborSpec, Phase1Stats};
+use crate::phase2::{partition_entries, partition_via_tables};
+use crate::problem::CutSpec;
+
+/// Which nearest-neighbor index Phase 1 uses.
+#[derive(Debug, Clone)]
+pub enum IndexChoice {
+    /// IDF-weighted inverted q-gram/token index over buffer-pool pages
+    /// (the paper's assumed probabilistic index).
+    Inverted(InvertedIndexConfig),
+    /// Exact nested-loop scan (the paper's stated fallback).
+    NestedLoop,
+    /// MinHash-LSH signature index (the other probabilistic family the
+    /// paper cites, [23, 24]).
+    MinHash(MinHashConfig),
+}
+
+impl Default for IndexChoice {
+    fn default() -> Self {
+        IndexChoice::Inverted(InvertedIndexConfig::default())
+    }
+}
+
+/// Configuration of a deduplication run. Construct with
+/// [`DedupConfig::new`] and refine with the builder methods.
+#[derive(Debug, Clone)]
+pub struct DedupConfig {
+    /// Distance function.
+    pub distance: DistanceKind,
+    /// Cut specification (`DE_S(K)` / `DE_D(θ)` / both / none).
+    pub cut: CutSpec,
+    /// SN aggregation function.
+    pub agg: Aggregation,
+    /// SN threshold `c` (use [`crate::threshold::estimate_sn_threshold`]
+    /// to derive it from a duplicate-fraction estimate).
+    pub c: f64,
+    /// Neighborhood-growth multiplier `p` (the paper fixes 2).
+    pub p: f64,
+    /// Phase-1 lookup order.
+    pub order: LookupOrder,
+    /// Index choice.
+    pub index: IndexChoice,
+    /// Apply the §4.5.2 minimality post-pass.
+    pub minimality: bool,
+    /// Run Phase 2 through the relational substrate (the paper's SQL
+    /// shape) instead of the in-memory fast path. Both produce identical
+    /// partitions.
+    pub via_tables: bool,
+    /// Buffer-pool frames for index pages and Phase-2 tables.
+    pub buffer_frames: usize,
+    /// Run Phase 1 on this many threads instead of the ordered sequential
+    /// scan (`None` = sequential with `order`). Results are identical —
+    /// see [`crate::parallel`]; the sequential BF order only matters for
+    /// disk-resident indexes.
+    pub parallel_threads: Option<usize>,
+}
+
+impl DedupConfig {
+    /// Defaults: `DE_S(5)`, `Max` aggregation, `c = 4`, `p = 2`,
+    /// breadth-first lookups, inverted index, 4096 buffer frames (32 MB).
+    pub fn new(distance: DistanceKind) -> Self {
+        Self {
+            distance,
+            cut: CutSpec::Size(5),
+            agg: Aggregation::Max,
+            c: 4.0,
+            p: 2.0,
+            order: LookupOrder::breadth_first(),
+            index: IndexChoice::default(),
+            minimality: false,
+            via_tables: false,
+            buffer_frames: 4096,
+            parallel_threads: None,
+        }
+    }
+
+    /// Set the cut specification.
+    pub fn cut(mut self, cut: CutSpec) -> Self {
+        self.cut = cut;
+        self
+    }
+
+    /// Set the SN aggregation function.
+    pub fn aggregation(mut self, agg: Aggregation) -> Self {
+        self.agg = agg;
+        self
+    }
+
+    /// Set the SN threshold `c`.
+    pub fn sn_threshold(mut self, c: f64) -> Self {
+        self.c = c;
+        self
+    }
+
+    /// Set the growth multiplier `p`.
+    pub fn growth_multiplier(mut self, p: f64) -> Self {
+        self.p = p;
+        self
+    }
+
+    /// Set the Phase-1 lookup order.
+    pub fn lookup_order(mut self, order: LookupOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Choose the NN index.
+    pub fn index_choice(mut self, index: IndexChoice) -> Self {
+        self.index = index;
+        self
+    }
+
+    /// Enable/disable the minimality post-pass.
+    pub fn minimality(mut self, on: bool) -> Self {
+        self.minimality = on;
+        self
+    }
+
+    /// Route Phase 2 through the relational substrate.
+    pub fn via_tables(mut self, on: bool) -> Self {
+        self.via_tables = on;
+        self
+    }
+
+    /// Set the buffer-pool size in frames (8 KiB each).
+    pub fn buffer_frames(mut self, frames: usize) -> Self {
+        self.buffer_frames = frames.max(1);
+        self
+    }
+
+    /// Run Phase 1 in parallel on `threads` workers (`0` = all CPUs).
+    pub fn parallel_phase1(mut self, threads: usize) -> Self {
+        self.parallel_threads = Some(threads);
+        self
+    }
+}
+
+/// Errors from a deduplication run.
+#[derive(Debug)]
+pub enum DedupError {
+    /// The configuration is invalid (bad cut parameters, `p < 1`, ...).
+    InvalidConfig(String),
+    /// A relational-substrate failure during Phase 2.
+    Relation(RelationError),
+}
+
+impl std::fmt::Display for DedupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            Self::Relation(e) => write!(f, "relation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DedupError {}
+
+impl From<RelationError> for DedupError {
+    fn from(e: RelationError) -> Self {
+        Self::Relation(e)
+    }
+}
+
+/// Everything a run produces: the partition plus the intermediate state
+/// and instrumentation the experiments consume.
+#[derive(Debug)]
+pub struct DedupOutcome {
+    /// The computed partition (after any post-passes).
+    pub partition: Partition,
+    /// The materialized `NN_Reln` (reusable, e.g. for threshold
+    /// re-estimation — "the SN threshold value is not required until the
+    /// second partitioning phase").
+    pub nn_reln: NnReln,
+    /// Phase-1 statistics (lookup count, visit order).
+    pub phase1_stats: Phase1Stats,
+    /// Wall-clock duration of Phase 1.
+    pub phase1_duration: Duration,
+    /// Wall-clock duration of Phase 2.
+    pub phase2_duration: Duration,
+    /// Buffer-pool statistics accumulated during Phase 1 (index lookups);
+    /// zeroed when the index does not use the pool.
+    pub buffer_stats: BufferStats,
+}
+
+// `!(c > 0.0)` deliberately rejects NaN as well as non-positives.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn validate(config: &DedupConfig) -> Result<(), DedupError> {
+    config.cut.validate().map_err(DedupError::InvalidConfig)?;
+    if config.p < 1.0 {
+        return Err(DedupError::InvalidConfig(format!(
+            "growth multiplier p must be >= 1, got {}",
+            config.p
+        )));
+    }
+    if !(config.c > 0.0) {
+        return Err(DedupError::InvalidConfig(format!(
+            "SN threshold c must be positive, got {}",
+            config.c
+        )));
+    }
+    Ok(())
+}
+
+/// Run both phases over an already-built index. `pool` carries Phase-2
+/// tables (and, for the inverted index, already carried Phase-1 lookups).
+fn run_phases(
+    index: &dyn NnIndex,
+    config: &DedupConfig,
+    pool: Arc<BufferPool>,
+) -> Result<DedupOutcome, DedupError> {
+    validate(config)?;
+    let spec = NeighborSpec::from_cut(&config.cut, index.len());
+
+    let t1 = Instant::now();
+    let (nn_reln, phase1_stats) = match config.parallel_threads {
+        Some(threads) => {
+            let reln = crate::parallel::compute_nn_reln_parallel(index, spec, config.p, threads);
+            let lookups = reln.len() as u64;
+            (reln, Phase1Stats { lookups, visit_order: Vec::new() })
+        }
+        None => compute_nn_reln(index, spec, config.order, config.p),
+    };
+    let phase1_duration = t1.elapsed();
+    let buffer_stats = pool.stats();
+
+    let t2 = Instant::now();
+    let mut partition = if config.via_tables {
+        partition_via_tables(&nn_reln, config.cut, config.agg, config.c, pool)?
+    } else {
+        partition_entries(&nn_reln, config.cut, config.agg, config.c)
+    };
+    if config.minimality {
+        partition = enforce_minimality(&nn_reln, &partition);
+    }
+    let phase2_duration = t2.elapsed();
+
+    Ok(DedupOutcome {
+        partition,
+        nn_reln,
+        phase1_stats,
+        phase1_duration,
+        phase2_duration,
+        buffer_stats,
+    })
+}
+
+/// Deduplicate string records: builds the distance function (fitting IDF
+/// weights on the records when the distance needs them), the configured
+/// index, and runs both phases.
+pub fn deduplicate(
+    records: &[Vec<String>],
+    config: &DedupConfig,
+) -> Result<DedupOutcome, DedupError> {
+    validate(config)?;
+    let pool = Arc::new(BufferPool::new(
+        BufferPoolConfig::with_capacity(config.buffer_frames),
+        Arc::new(InMemoryDisk::new()),
+    ));
+    let distance = config.distance.build(records);
+    match &config.index {
+        IndexChoice::Inverted(index_config) => {
+            let index = InvertedIndex::build(
+                records.to_vec(),
+                distance,
+                pool.clone(),
+                index_config.clone(),
+            );
+            pool.reset_stats(); // measure lookups, not the build
+            run_phases(&index, config, pool)
+        }
+        IndexChoice::NestedLoop => {
+            let index = NestedLoopIndex::new(records.to_vec(), distance);
+            run_phases(&index, config, pool)
+        }
+        IndexChoice::MinHash(minhash_config) => {
+            let index =
+                MinHashIndex::build(records.to_vec(), distance, minhash_config.clone());
+            run_phases(&index, config, pool)
+        }
+    }
+}
+
+/// Run the pipeline over an arbitrary pre-built index (used for matrix
+/// relations and custom indexes). A private pool is created for Phase-2
+/// tables.
+pub fn run_pipeline(
+    index: &dyn NnIndex,
+    config: &DedupConfig,
+) -> Result<DedupOutcome, DedupError> {
+    let pool = Arc::new(BufferPool::new(
+        BufferPoolConfig::with_capacity(config.buffer_frames),
+        Arc::new(InMemoryDisk::new()),
+    ));
+    run_phases(index, config, pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::MatrixIndex;
+
+    fn music_records() -> Vec<Vec<String>> {
+        [
+            ["The Doors", "LA Woman"],
+            ["Doors", "LA Woman"],
+            ["The Beatles", "A Little Help from My Friends"],
+            ["Beatles, The", "With A Little Help From My Friend"],
+            ["Shania Twain", "Im Holdin on to Love"],
+            ["Twian, Shania", "I'm Holding On To Love"],
+            ["Aaliyah", "Are You Ready"],
+            ["AC DC", "Are You Ready"],
+            ["Bob Dylan", "Are You Ready"],
+            ["Creed", "Are You Ready"],
+        ]
+        .iter()
+        .map(|r| r.iter().map(|s| s.to_string()).collect())
+        .collect()
+    }
+
+    #[test]
+    fn end_to_end_fms_finds_duplicates() {
+        let config = DedupConfig::new(DistanceKind::FuzzyMatch)
+            .cut(CutSpec::Size(4))
+            .sn_threshold(4.0);
+        let outcome = deduplicate(&music_records(), &config).unwrap();
+        let p = &outcome.partition;
+        assert!(p.are_together(0, 1), "Doors pair: {:?}", p.groups());
+        assert!(p.are_together(4, 5), "Twain pair: {:?}", p.groups());
+        // The four distinct "Are You Ready" tracks must not merge.
+        for a in 6..10u32 {
+            for b in (a + 1)..10 {
+                assert!(!p.are_together(a, b), "({a},{b}) merged: {:?}", p.groups());
+            }
+        }
+        assert_eq!(outcome.phase1_stats.lookups, 10);
+        assert!(outcome.buffer_stats.accesses() > 0, "index lookups hit the pool");
+    }
+
+    #[test]
+    fn nested_loop_and_inverted_agree_here() {
+        let base = DedupConfig::new(DistanceKind::EditDistance)
+            .cut(CutSpec::Size(3))
+            .sn_threshold(4.0);
+        let inv = deduplicate(&music_records(), &base).unwrap();
+        let nl = deduplicate(
+            &music_records(),
+            &base.clone().index_choice(IndexChoice::NestedLoop),
+        )
+        .unwrap();
+        assert_eq!(inv.partition, nl.partition);
+    }
+
+    #[test]
+    fn via_tables_matches_in_memory() {
+        let base = DedupConfig::new(DistanceKind::FuzzyMatch)
+            .cut(CutSpec::Size(4))
+            .sn_threshold(4.0);
+        let mem = deduplicate(&music_records(), &base).unwrap();
+        let tab = deduplicate(&music_records(), &base.clone().via_tables(true)).unwrap();
+        assert_eq!(mem.partition, tab.partition);
+    }
+
+    #[test]
+    fn run_pipeline_over_matrix() {
+        let m = MatrixIndex::from_points_1d(&[1.0, 2.0, 4.0, 20.0, 22.0, 30.0, 32.0]);
+        let config = DedupConfig::new(DistanceKind::EditDistance) // distance unused
+            .cut(CutSpec::Size(3))
+            .sn_threshold(4.0);
+        let outcome = run_pipeline(&m, &config).unwrap();
+        assert!(outcome.partition.are_together(0, 1));
+        assert!(outcome.partition.are_together(3, 4));
+        assert!(outcome.partition.are_together(5, 6));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let records = music_records();
+        let bad_cut = DedupConfig::new(DistanceKind::EditDistance).cut(CutSpec::Size(1));
+        assert!(matches!(
+            deduplicate(&records, &bad_cut),
+            Err(DedupError::InvalidConfig(_))
+        ));
+        let bad_p = DedupConfig::new(DistanceKind::EditDistance).growth_multiplier(0.5);
+        assert!(deduplicate(&records, &bad_p).is_err());
+        let bad_c = DedupConfig::new(DistanceKind::EditDistance).sn_threshold(0.0);
+        assert!(deduplicate(&records, &bad_c).is_err());
+        let nan_theta = DedupConfig::new(DistanceKind::EditDistance).cut(CutSpec::Diameter(f64::NAN));
+        assert!(deduplicate(&records, &nan_theta).is_err());
+    }
+
+    #[test]
+    fn empty_relation_is_fine() {
+        let config = DedupConfig::new(DistanceKind::EditDistance);
+        let outcome = deduplicate(&[], &config).unwrap();
+        assert_eq!(outcome.partition.num_groups(), 0);
+    }
+
+    #[test]
+    fn minimality_flag_plumbs_through() {
+        let config = DedupConfig::new(DistanceKind::EditDistance).minimality(true);
+        let outcome = deduplicate(&music_records(), &config).unwrap();
+        // Just verifies the pass runs; minimality semantics are tested in
+        // `minimality`.
+        assert_eq!(outcome.partition.n(), 10);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DedupError::InvalidConfig("k too small".into());
+        assert!(e.to_string().contains("k too small"));
+    }
+
+    #[test]
+    fn minhash_index_choice_finds_duplicates() {
+        use fuzzydedup_nnindex::MinHashConfig;
+        let config = DedupConfig::new(DistanceKind::FuzzyMatch)
+            .cut(CutSpec::Size(4))
+            .sn_threshold(4.0)
+            .index_choice(IndexChoice::MinHash(MinHashConfig::default()));
+        let outcome = deduplicate(&music_records(), &config).unwrap();
+        assert!(outcome.partition.are_together(0, 1), "{:?}", outcome.partition.groups());
+        assert!(outcome.partition.are_together(4, 5));
+    }
+
+    #[test]
+    fn parallel_phase1_matches_sequential() {
+        let base = DedupConfig::new(DistanceKind::FuzzyMatch)
+            .cut(CutSpec::Size(4))
+            .sn_threshold(4.0);
+        let seq = deduplicate(&music_records(), &base).unwrap();
+        for threads in [1, 3, 0] {
+            let par =
+                deduplicate(&music_records(), &base.clone().parallel_phase1(threads)).unwrap();
+            assert_eq!(seq.partition, par.partition, "threads={threads}");
+            assert_eq!(seq.nn_reln, par.nn_reln);
+            assert!(par.phase1_stats.visit_order.is_empty(), "no order in parallel mode");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! The duplicate elimination problem statement (§3).
+//!
+//! `DE` asks for a partition of the relation into the **minimum number of
+//! groups** such that every group is a compact set, an `SN(AGG, c)` group,
+//! and satisfies a *cut specification*. The paper shows (§3) that without a
+//! cut the formulation can produce unintuitive results (its integer example
+//! `{1, 2, 4, 20, 22, 30, 32}` collapses into one group), and that with a
+//! cut the solution is unique (Lemma 1).
+
+/// The cut specification bounding groups of duplicates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CutSpec {
+    /// `DE_S(K)`: every group has at most `K` members (`K ≥ 2`).
+    Size(usize),
+    /// `DE_D(θ)`: every group has diameter (max pairwise distance) `≤ θ`.
+    Diameter(f64),
+    /// `DE_SD(K, θ)`: both bounds together ("it is also possible to use
+    /// size and diameter specifications together", §3).
+    SizeAndDiameter(usize, f64),
+    /// No cut — the initial formulation of §3, exposed for the
+    /// growth-spheres demonstration. Requires full-length NN lists and can
+    /// produce the unintuitive mergers the paper warns about.
+    Unbounded,
+}
+
+impl CutSpec {
+    /// Maximum group size this cut admits given a relation of `n` tuples.
+    pub fn max_group_size(&self, n: usize) -> usize {
+        match *self {
+            CutSpec::Size(k) | CutSpec::SizeAndDiameter(k, _) => k.min(n),
+            CutSpec::Diameter(_) | CutSpec::Unbounded => n,
+        }
+    }
+
+    /// Diameter bound, if any.
+    pub fn diameter_bound(&self) -> Option<f64> {
+        match *self {
+            CutSpec::Diameter(theta) | CutSpec::SizeAndDiameter(_, theta) => Some(theta),
+            _ => None,
+        }
+    }
+
+    /// Validate the parameters: `K ≥ 2`, `θ > 0`.
+    // The negated comparisons are deliberate: `!(t > 0.0)` also rejects
+    // NaN, which `t <= 0.0` would let through.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            CutSpec::Size(k) if k < 2 => {
+                Err(format!("DE_S(K) requires K >= 2, got {k}"))
+            }
+            CutSpec::Diameter(t) if !(t > 0.0) => {
+                Err(format!("DE_D(theta) requires theta > 0, got {t}"))
+            }
+            CutSpec::SizeAndDiameter(k, t) => {
+                if k < 2 {
+                    Err(format!("DE_SD requires K >= 2, got {k}"))
+                } else if !(t > 0.0) {
+                    Err(format!("DE_SD requires theta > 0, got {t}"))
+                } else {
+                    Ok(())
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Display form used in experiment output, e.g. `DE_S(5)` /
+    /// `DE_D(0.300)`.
+    pub fn label(&self) -> String {
+        match *self {
+            CutSpec::Size(k) => format!("DE_S({k})"),
+            CutSpec::Diameter(t) => format!("DE_D({t:.3})"),
+            CutSpec::SizeAndDiameter(k, t) => format!("DE_SD({k},{t:.3})"),
+            CutSpec::Unbounded => "DE".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_group_size() {
+        assert_eq!(CutSpec::Size(5).max_group_size(100), 5);
+        assert_eq!(CutSpec::Size(5).max_group_size(3), 3);
+        assert_eq!(CutSpec::Diameter(0.2).max_group_size(100), 100);
+        assert_eq!(CutSpec::SizeAndDiameter(4, 0.2).max_group_size(100), 4);
+        assert_eq!(CutSpec::Unbounded.max_group_size(7), 7);
+    }
+
+    #[test]
+    fn diameter_bound() {
+        assert_eq!(CutSpec::Size(5).diameter_bound(), None);
+        assert_eq!(CutSpec::Diameter(0.25).diameter_bound(), Some(0.25));
+        assert_eq!(CutSpec::SizeAndDiameter(4, 0.5).diameter_bound(), Some(0.5));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CutSpec::Size(2).validate().is_ok());
+        assert!(CutSpec::Size(1).validate().is_err());
+        assert!(CutSpec::Diameter(0.1).validate().is_ok());
+        assert!(CutSpec::Diameter(0.0).validate().is_err());
+        assert!(CutSpec::Diameter(f64::NAN).validate().is_err());
+        assert!(CutSpec::SizeAndDiameter(3, 0.5).validate().is_ok());
+        assert!(CutSpec::SizeAndDiameter(1, 0.5).validate().is_err());
+        assert!(CutSpec::SizeAndDiameter(3, -1.0).validate().is_err());
+        assert!(CutSpec::Unbounded.validate().is_ok());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(CutSpec::Size(5).label(), "DE_S(5)");
+        assert_eq!(CutSpec::Diameter(0.3).label(), "DE_D(0.300)");
+        assert_eq!(CutSpec::SizeAndDiameter(4, 0.25).label(), "DE_SD(4,0.250)");
+        assert_eq!(CutSpec::Unbounded.label(), "DE");
+    }
+}

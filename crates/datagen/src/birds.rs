@@ -1,0 +1,88 @@
+//! `BirdScott[Name]` — Riddle-style bird common names. Bird lists are the
+//! worst case for global thresholds: legitimate distinct species differ in
+//! one word (`"northern flicker"` / `"gilded flicker"`), exactly the
+//! "inherently close but not duplicates" phenomenon of §1.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::dataset::{assemble_dataset, Dataset, DatasetSpec};
+use crate::errors::ErrorModel;
+use crate::seeds::{BIRD_ADJECTIVES, BIRD_SPECIES};
+
+fn bird(rng: &mut impl Rng) -> String {
+    let adj = BIRD_ADJECTIVES[rng.gen_range(0..BIRD_ADJECTIVES.len())];
+    let species = BIRD_SPECIES[rng.gen_range(0..BIRD_SPECIES.len())];
+    if rng.gen_bool(0.2) {
+        let adj2 = BIRD_ADJECTIVES[rng.gen_range(0..BIRD_ADJECTIVES.len())];
+        format!("{adj} {adj2} {species}")
+    } else {
+        format!("{adj} {species}")
+    }
+}
+
+/// Generate a BirdScott dataset. Every species noun appears under many
+/// adjectives, so the unique records form natural near-neighbor families.
+pub fn generate(rng: &mut impl Rng, spec: DatasetSpec) -> Dataset {
+    let mut base: Vec<Vec<String>> = Vec::with_capacity(spec.n_entities);
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut attempts = 0usize;
+    while base.len() < spec.n_entities {
+        attempts += 1;
+        assert!(
+            attempts < 200 * spec.n_entities + 10_000,
+            "vocabulary too small for {} distinct entities",
+            spec.n_entities
+        );
+        let name = bird(rng);
+        if seen.insert(name.clone()) {
+            base.push(vec![name]);
+        }
+    }
+    // Bird-name errors are nearly all typos (field observers, scanned
+    // checklists) — little token-level noise.
+    let model = ErrorModel { typo: 6, token_swap: 1, token_drop: 1, abbreviate: 0, squash: 1 };
+    let intensity = spec.intensity;
+    assemble_dataset("BirdScott", &["name"], base, spec, rng, |rng, b| {
+        let edits = intensity.num_edits(&mut *rng);
+        model.perturb_record(&mut *rng, b, edits)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let d = generate(&mut rng, DatasetSpec::small());
+        assert_eq!(d.name, "BirdScott");
+        assert!(d.len() >= 400);
+    }
+
+    #[test]
+    fn species_families_share_nouns() {
+        let mut rng = StdRng::seed_from_u64(59);
+        let d = generate(&mut rng, DatasetSpec::with_entities(300).dup_fraction(0.0));
+        use std::collections::HashMap;
+        let mut by_species: HashMap<&str, usize> = HashMap::new();
+        for r in &d.records {
+            let noun = r[0].split_whitespace().last().unwrap();
+            *by_species.entry(noun).or_insert(0) += 1;
+        }
+        // Many distinct entities share a species noun — the near-neighbor
+        // families that punish global thresholds.
+        assert!(by_species.values().any(|&c| c >= 5));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&mut StdRng::seed_from_u64(61), DatasetSpec::with_entities(100));
+        let b = generate(&mut StdRng::seed_from_u64(61), DatasetSpec::with_entities(100));
+        assert_eq!(a.records, b.records);
+    }
+}

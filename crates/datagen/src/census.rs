@@ -1,0 +1,122 @@
+//! `Census[LastName, FirstName, MiddleInitial, Number, Street]` —
+//! Riddle-style census records (the repository's synthetic census files
+//! have this shape). Duplicates mix name typos, dropped middle initials,
+//! and street abbreviations.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::dataset::{assemble_dataset, Dataset, DatasetSpec};
+use crate::errors::{typo, ErrorModel};
+use crate::seeds::{FIRST_NAMES, LAST_NAMES, STREETS, STREET_TYPES};
+
+fn middle_initial(rng: &mut impl Rng) -> String {
+    let letters = "abcdefghijklmnopqrstuvwxyz";
+    letters
+        .chars()
+        .nth(rng.gen_range(0..letters.len()))
+        .unwrap()
+        .to_string()
+}
+
+/// Generate a Census dataset of the given spec.
+pub fn generate(rng: &mut impl Rng, spec: DatasetSpec) -> Dataset {
+    let mut base: Vec<Vec<String>> = Vec::with_capacity(spec.n_entities);
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut attempts = 0usize;
+    while base.len() < spec.n_entities {
+        attempts += 1;
+        assert!(
+            attempts < 200 * spec.n_entities + 10_000,
+            "vocabulary too small for {} distinct entities",
+            spec.n_entities
+        );
+        let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())].to_string();
+        let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())].to_string();
+        let mi = middle_initial(rng);
+        let number = rng.gen_range(1..9999).to_string();
+        let street = format!(
+            "{} {}",
+            STREETS[rng.gen_range(0..STREETS.len())],
+            STREET_TYPES[rng.gen_range(0..STREET_TYPES.len())]
+        );
+        let key = format!("{last}|{first}|{mi}|{number}|{street}");
+        if seen.insert(key) {
+            base.push(vec![last, first, mi, number, street]);
+        }
+    }
+    let name_model = ErrorModel { typo: 6, token_swap: 0, token_drop: 0, abbreviate: 0, squash: 1 };
+    let street_model = ErrorModel { typo: 2, token_swap: 0, token_drop: 1, abbreviate: 5, squash: 0 };
+    let intensity = spec.intensity;
+    assemble_dataset(
+        "Census",
+        &["last_name", "first_name", "middle_initial", "number", "street"],
+        base,
+        spec,
+        rng,
+        move |rng, b| {
+            let mut out = b.to_vec();
+            for _ in 0..intensity.num_edits(&mut *rng) {
+                match rng.gen_range(0..6u8) {
+                    0 => out[0] = name_model.perturb_string(&mut *rng, &out[0]),
+                    1 => out[1] = name_model.perturb_string(&mut *rng, &out[1]),
+                    // Drop or change the middle initial.
+                    2 => out[2] = String::new(),
+                    // Digit noise in the house number.
+                    3 => out[3] = typo(&mut *rng, &out[3]),
+                    _ => out[4] = street_model.perturb_string(&mut *rng, &out[4]),
+                }
+            }
+            if out == b {
+                out[0] = typo(&mut *rng, &out[0]);
+            }
+            out
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape() {
+        let mut rng = StdRng::seed_from_u64(79);
+        let d = generate(&mut rng, DatasetSpec::small());
+        assert_eq!(d.name, "Census");
+        assert_eq!(d.attributes.len(), 5);
+        assert!(d.len() >= 400);
+    }
+
+    #[test]
+    fn some_duplicates_drop_middle_initial() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let d = generate(&mut rng, DatasetSpec::with_entities(400));
+        let dropped = d.records.iter().filter(|r| r[2].is_empty()).count();
+        assert!(dropped > 0, "expected dropped middle initials");
+    }
+
+    #[test]
+    fn base_records_keep_initials() {
+        let mut rng = StdRng::seed_from_u64(89);
+        let d = generate(&mut rng, DatasetSpec::with_entities(200).dup_fraction(0.0));
+        assert!(d.records.iter().all(|r| r[2].len() == 1));
+    }
+
+    #[test]
+    fn name_collisions_exist_among_uniques() {
+        // 50 first × 50 last names over ≥ 1000 entities guarantee distinct
+        // people sharing full names — the hard case for census matching.
+        let mut rng = StdRng::seed_from_u64(97);
+        let d = generate(&mut rng, DatasetSpec::with_entities(1500).dup_fraction(0.0));
+        use std::collections::HashMap;
+        let mut by_name: HashMap<(String, String), usize> = HashMap::new();
+        for r in &d.records {
+            *by_name.entry((r[0].clone(), r[1].clone())).or_insert(0) += 1;
+        }
+        assert!(by_name.values().any(|&c| c >= 2));
+    }
+}

@@ -1,0 +1,347 @@
+//! Error injection: the perturbations that create fuzzy duplicates.
+//!
+//! Models the error classes the paper's Table 1 exhibits (typos, token
+//! transposition, dropped tokens/characters, abbreviations) plus the
+//! data-entry noise its introduction describes (`"Simson Lisa"` for
+//! `"Lisa Simpson"`, `"United States"` for `"USA"`).
+
+use rand::Rng;
+
+/// Relative weights of the perturbation operators.
+#[derive(Debug, Clone)]
+pub struct ErrorModel {
+    /// Weight of single-character typos (insert/delete/substitute/
+    /// transpose).
+    pub typo: u32,
+    /// Weight of swapping two adjacent tokens (or rotating "First Last" to
+    /// "Last, First").
+    pub token_swap: u32,
+    /// Weight of dropping one token (articles preferred).
+    pub token_drop: u32,
+    /// Weight of applying an abbreviation/expansion from
+    /// [`crate::seeds::ABBREVIATIONS`].
+    pub abbreviate: u32,
+    /// Weight of dropping an apostrophe-like character or duplicating a
+    /// letter.
+    pub squash: u32,
+}
+
+impl Default for ErrorModel {
+    fn default() -> Self {
+        Self { typo: 4, token_swap: 2, token_drop: 2, abbreviate: 2, squash: 1 }
+    }
+}
+
+impl ErrorModel {
+    /// Apply `n_edits` random perturbations to a record, never producing an
+    /// output identical to the input (a final forced typo breaks ties).
+    pub fn perturb_record<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        record: &[String],
+        n_edits: usize,
+    ) -> Vec<String> {
+        let mut out: Vec<String> = record.to_vec();
+        for _ in 0..n_edits {
+            // Pick a non-empty field to damage.
+            let candidates: Vec<usize> =
+                (0..out.len()).filter(|&i| !out[i].trim().is_empty()).collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let field = candidates[rng.gen_range(0..candidates.len())];
+            out[field] = self.perturb_string(rng, &out[field]);
+        }
+        if out == record && !record.is_empty() {
+            // Ensure the duplicate is not an exact copy.
+            let field = (0..out.len()).find(|&i| !out[i].is_empty()).unwrap_or(0);
+            out[field] = typo(rng, &out[field]);
+        }
+        out
+    }
+
+    /// Apply one weighted perturbation to a string.
+    pub fn perturb_string<R: Rng + ?Sized>(&self, rng: &mut R, s: &str) -> String {
+        let total = self.typo + self.token_swap + self.token_drop + self.abbreviate + self.squash;
+        if total == 0 || s.is_empty() {
+            return s.to_string();
+        }
+        let mut pick = rng.gen_range(0..total);
+        if pick < self.typo {
+            return typo(rng, s);
+        }
+        pick -= self.typo;
+        if pick < self.token_swap {
+            return token_swap(rng, s);
+        }
+        pick -= self.token_swap;
+        if pick < self.token_drop {
+            return token_drop(rng, s);
+        }
+        pick -= self.token_drop;
+        if pick < self.abbreviate {
+            return abbreviate(rng, s);
+        }
+        squash(rng, s)
+    }
+}
+
+/// One character-level edit: insert, delete, substitute, or transpose.
+pub fn typo<R: Rng + ?Sized>(rng: &mut R, s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return "x".to_string();
+    }
+    fn random_letter<R: Rng + ?Sized>(rng: &mut R) -> char {
+        (b'a' + rng.gen_range(0..26u8)) as char
+    }
+    let mut out = chars.clone();
+    match rng.gen_range(0..4u8) {
+        0 => {
+            // insert
+            let at = rng.gen_range(0..=out.len());
+            let ch = random_letter(rng);
+            out.insert(at, ch);
+        }
+        1 => {
+            // delete
+            let at = rng.gen_range(0..out.len());
+            out.remove(at);
+        }
+        2 => {
+            // substitute
+            let at = rng.gen_range(0..out.len());
+            let ch = random_letter(rng);
+            out[at] = ch;
+        }
+        _ => {
+            // transpose adjacent
+            if out.len() >= 2 {
+                let at = rng.gen_range(0..out.len() - 1);
+                out.swap(at, at + 1);
+            } else {
+                let ch = random_letter(rng);
+                out.push(ch);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Swap two adjacent tokens, or produce the "Last, First" rotation for
+/// two-token strings (the `"Twian, Shania"` pattern).
+pub fn token_swap<R: Rng + ?Sized>(rng: &mut R, s: &str) -> String {
+    let tokens: Vec<&str> = s.split_whitespace().collect();
+    if tokens.len() < 2 {
+        return typo(rng, s);
+    }
+    if tokens.len() == 2 && rng.gen_bool(0.5) {
+        return format!("{}, {}", tokens[1], tokens[0]);
+    }
+    let mut toks: Vec<String> = tokens.iter().map(|t| t.to_string()).collect();
+    let at = rng.gen_range(0..toks.len() - 1);
+    toks.swap(at, at + 1);
+    toks.join(" ")
+}
+
+/// Drop one token, preferring articles/stopwords (`"The Doors"` →
+/// `"Doors"`).
+pub fn token_drop<R: Rng + ?Sized>(rng: &mut R, s: &str) -> String {
+    let tokens: Vec<&str> = s.split_whitespace().collect();
+    if tokens.len() < 2 {
+        return typo(rng, s);
+    }
+    let article = tokens
+        .iter()
+        .position(|t| matches!(t.to_ascii_lowercase().trim_matches(','), "the" | "a" | "an" | "of"));
+    let at = article.unwrap_or_else(|| rng.gen_range(0..tokens.len()));
+    let kept: Vec<&str> =
+        tokens.iter().enumerate().filter(|&(i, _)| i != at).map(|(_, t)| *t).collect();
+    kept.join(" ")
+}
+
+/// Apply one abbreviation or expansion from the shared table; falls back
+/// to a typo when nothing matches.
+pub fn abbreviate<R: Rng + ?Sized>(rng: &mut R, s: &str) -> String {
+    let lowered = s.to_ascii_lowercase();
+    let mut applicable: Vec<(usize, &str, &str)> = Vec::new();
+    for &(long, short) in crate::seeds::ABBREVIATIONS {
+        if let Some(at) = find_word(&lowered, long) {
+            applicable.push((at, long, short));
+        }
+        if let Some(at) = find_word(&lowered, short) {
+            applicable.push((at, short, long));
+        }
+    }
+    if applicable.is_empty() {
+        return typo(rng, s);
+    }
+    let (at, from, to) = applicable[rng.gen_range(0..applicable.len())];
+    let mut out = String::with_capacity(s.len());
+    out.push_str(&s[..at]);
+    out.push_str(to);
+    out.push_str(&s[at + from.len()..]);
+    out
+}
+
+/// Find `word` in `haystack` at word boundaries; both must be lowercase.
+fn find_word(haystack: &str, word: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = haystack[from..].find(word) {
+        let at = from + rel;
+        let before_ok =
+            at == 0 || !haystack[..at].chars().next_back().unwrap().is_alphanumeric();
+        let end = at + word.len();
+        let after_ok =
+            end == haystack.len() || !haystack[end..].chars().next().unwrap().is_alphanumeric();
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + word.len();
+    }
+    None
+}
+
+/// Remove an apostrophe (`"I'm"` → `"Im"`) or double a letter.
+pub fn squash<R: Rng + ?Sized>(rng: &mut R, s: &str) -> String {
+    if let Some(at) = s.find('\'') {
+        let mut out = String::with_capacity(s.len());
+        out.push_str(&s[..at]);
+        out.push_str(&s[at + 1..]);
+        return out;
+    }
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return typo(rng, s);
+    }
+    let at = rng.gen_range(0..chars.len());
+    let mut out: Vec<char> = chars.clone();
+    out.insert(at, chars[at]);
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn typo_changes_string_by_one_edit() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let out = typo(&mut r, "microsoft");
+            assert_ne!(out, "");
+            let diff = (out.chars().count() as i64 - 9).abs();
+            assert!(diff <= 1, "{out}");
+        }
+    }
+
+    #[test]
+    fn typo_on_empty_and_single() {
+        let mut r = rng();
+        assert_eq!(typo(&mut r, ""), "x");
+        for _ in 0..50 {
+            // One edit on a single char: empty (delete), one char
+            // (substitute/transpose-fallback) or two (insert/double).
+            let out = typo(&mut r, "a");
+            assert!(out.chars().count() <= 2, "{out:?}");
+        }
+    }
+
+    #[test]
+    fn token_swap_produces_rotation_or_swap() {
+        let mut r = rng();
+        let mut saw_rotation = false;
+        let mut saw_swap = false;
+        for _ in 0..50 {
+            let out = token_swap(&mut r, "Shania Twain");
+            if out == "Twain, Shania" {
+                saw_rotation = true;
+            }
+            if out == "Twain Shania" {
+                saw_swap = true;
+            }
+        }
+        assert!(saw_rotation && saw_swap);
+    }
+
+    #[test]
+    fn token_drop_prefers_articles() {
+        let mut r = rng();
+        assert_eq!(token_drop(&mut r, "The Doors"), "Doors");
+        assert_eq!(token_drop(&mut r, "Queen of Hearts"), "Queen Hearts");
+        let out = token_drop(&mut r, "alpha beta");
+        assert!(out == "alpha" || out == "beta");
+    }
+
+    #[test]
+    fn abbreviation_round_trips() {
+        let mut r = rng();
+        let mut saw = std::collections::HashSet::new();
+        for _ in 0..200 {
+            saw.insert(abbreviate(&mut r, "Acme Corporation"));
+        }
+        assert!(saw.contains("Acme corp") || saw.contains("Acme Corp") || saw.iter().any(|s| s.to_lowercase() == "acme corp"),
+            "expected an abbreviation, got {saw:?}");
+        // Expansion direction.
+        let mut saw2 = std::collections::HashSet::new();
+        for _ in 0..200 {
+            saw2.insert(abbreviate(&mut r, "main st"));
+        }
+        assert!(saw2.iter().any(|s| s.contains("street") || s.contains("saint")), "{saw2:?}");
+    }
+
+    #[test]
+    fn abbreviation_respects_word_boundaries() {
+        // "st" inside "first" must not be replaced.
+        let mut r = rng();
+        for _ in 0..50 {
+            let out = abbreviate(&mut r, "first prize");
+            assert!(!out.contains("firstreet") && !out.to_lowercase().contains("firsaint"), "{out}");
+        }
+    }
+
+    #[test]
+    fn squash_removes_apostrophe_first() {
+        let mut r = rng();
+        assert_eq!(squash(&mut r, "I'm Holding"), "Im Holding");
+        let out = squash(&mut r, "abc");
+        assert_eq!(out.len(), 4, "doubled letter: {out}");
+    }
+
+    #[test]
+    fn perturb_record_never_returns_exact_copy() {
+        let model = ErrorModel::default();
+        let mut r = rng();
+        let record = vec!["The Doors".to_string(), "LA Woman".to_string()];
+        for _ in 0..100 {
+            let out = model.perturb_record(&mut r, &record, 1);
+            assert_ne!(out, record);
+            assert_eq!(out.len(), 2);
+        }
+    }
+
+    #[test]
+    fn perturb_is_deterministic_per_seed() {
+        let model = ErrorModel::default();
+        let record = vec!["Shania Twain".to_string()];
+        let a = model.perturb_record(&mut StdRng::seed_from_u64(9), &record, 2);
+        let b = model.perturb_record(&mut StdRng::seed_from_u64(9), &record, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_weight_model_is_identity_on_string() {
+        let model = ErrorModel { typo: 0, token_swap: 0, token_drop: 0, abbreviate: 0, squash: 0 };
+        let mut r = rng();
+        assert_eq!(model.perturb_string(&mut r, "abc"), "abc");
+        // But perturb_record still forces a difference.
+        let out = model.perturb_record(&mut r, &["abc".to_string()], 1);
+        assert_ne!(out, vec!["abc".to_string()]);
+    }
+}

@@ -1,0 +1,194 @@
+//! `Media[artistName, trackName]` — the paper's music warehouse, including
+//! the exact Table 1 example and its two hard phenomena: *confusable
+//! series* (`"Ears/Eyes - Part II/III/IV"`: distinct entities at tiny edit
+//! distance) and *shared titles* (`"Are You Ready"` by four different
+//! artists).
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::dataset::{assemble_dataset, Dataset, DatasetSpec};
+use crate::errors::ErrorModel;
+use crate::seeds::{ARTIST_WORDS, FIRST_NAMES, LAST_NAMES, TRACK_CLOSERS, TRACK_OPENERS};
+
+/// The exact Table 1 relation. Records 0–5 are three duplicate pairs;
+/// records 6–13 are unique.
+pub fn table1() -> Dataset {
+    let rows: [(&str, &str); 14] = [
+        ("The Doors", "LA Woman"),
+        ("Doors", "LA Woman"),
+        ("The Beatles", "A Little Help from My Friends"),
+        ("Beatles, The", "With A Little Help From My Friend"),
+        ("Shania Twain", "Im Holdin on to Love"),
+        ("Twian, Shania", "I'm Holding On To Love"),
+        ("4 th Elemynt", "Ears/Eyes"),
+        ("4 th Elemynt", "Ears/Eyes - Part II"),
+        ("4th Elemynt", "Ears/Eyes - Part III"),
+        ("4 th Elemynt", "Ears/Eyes - Part IV"),
+        ("Aaliyah", "Are You Ready"),
+        ("AC DC", "Are You Ready"),
+        ("Bob Dylan", "Are You Ready"),
+        ("Creed", "Are You Ready"),
+    ];
+    let records = rows.iter().map(|(a, t)| vec![a.to_string(), t.to_string()]).collect();
+    let gold = vec![0, 0, 1, 1, 2, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+    Dataset::new("Media-Table1", vec!["artistName".into(), "trackName".into()], records, gold)
+}
+
+fn roman(n: usize) -> &'static str {
+    ["i", "ii", "iii", "iv", "v", "vi"][n.min(5)]
+}
+
+fn artist(rng: &mut impl Rng) -> String {
+    if rng.gen_bool(0.5) {
+        // Band name.
+        let word = ARTIST_WORDS[rng.gen_range(0..ARTIST_WORDS.len())];
+        if rng.gen_bool(0.6) {
+            format!("the {word}")
+        } else {
+            word.to_string()
+        }
+    } else {
+        // Solo artist.
+        let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+        let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+        format!("{first} {last}")
+    }
+}
+
+fn track(rng: &mut impl Rng) -> String {
+    let opener = TRACK_OPENERS[rng.gen_range(0..TRACK_OPENERS.len())];
+    let closer = TRACK_CLOSERS[rng.gen_range(0..TRACK_CLOSERS.len())];
+    format!("{opener} {closer}")
+}
+
+/// Generate a Media dataset. Besides ordinary entities, it plants the two
+/// hard structures of Table 1 with ~10% of the entity budget each:
+/// part-series by one artist (unique entities, tiny distances) and one
+/// title shared by several artists (unique entities, shared tokens).
+pub fn generate(rng: &mut impl Rng, spec: DatasetSpec) -> Dataset {
+    let mut base: Vec<Vec<String>> = Vec::with_capacity(spec.n_entities);
+    let mut seen: HashSet<(String, String)> = HashSet::new();
+    let push_unique = |base: &mut Vec<Vec<String>>,
+                           seen: &mut HashSet<(String, String)>,
+                           a: String,
+                           t: String| {
+        if seen.insert((a.clone(), t.clone())) {
+            base.push(vec![a, t]);
+        }
+    };
+
+    let mut attempts = 0usize;
+    while base.len() < spec.n_entities {
+        attempts += 1;
+        assert!(
+            attempts < 200 * spec.n_entities + 10_000,
+            "vocabulary too small for {} distinct entities",
+            spec.n_entities
+        );
+        let roll = rng.gen_range(0..10u8);
+        if roll == 0 && base.len() + 4 <= spec.n_entities {
+            // Confusable series: one artist, "<track> - part i..iv".
+            let a = artist(rng);
+            let t = track(rng);
+            for part in 0..4 {
+                push_unique(
+                    &mut base,
+                    &mut seen,
+                    a.clone(),
+                    format!("{t} - part {}", roman(part)),
+                );
+            }
+        } else if roll == 1 && base.len() + 3 <= spec.n_entities {
+            // Shared title across distinct artists.
+            let t = track(rng);
+            for _ in 0..3 {
+                push_unique(&mut base, &mut seen, artist(rng), t.clone());
+            }
+        } else {
+            push_unique(&mut base, &mut seen, artist(rng), track(rng));
+        }
+    }
+
+    let model = ErrorModel::default();
+    let intensity = spec.intensity;
+    assemble_dataset("Media", &["artistName", "trackName"], base, spec, rng, |rng, b| {
+        let edits = intensity.num_edits(&mut *rng);
+        model.perturb_record(&mut *rng, b, edits)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table1_shape() {
+        let d = table1();
+        assert_eq!(d.len(), 14);
+        assert_eq!(d.true_pairs(), 3);
+        assert_eq!(d.attributes, vec!["artistName", "trackName"]);
+        assert!((d.duplicate_fraction() - 6.0 / 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generated_media_has_planted_structures() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = generate(&mut rng, DatasetSpec::with_entities(300));
+        assert!(d.len() >= 300);
+        // Confusable series present.
+        let parts = d
+            .records
+            .iter()
+            .filter(|r| r[1].contains(" - part "))
+            .count();
+        assert!(parts >= 4, "expected planted series, found {parts}");
+        // Shared titles present: some track appears under ≥ 3 artists with
+        // different gold labels.
+        use std::collections::HashMap;
+        let mut by_track: HashMap<&str, HashSet<usize>> = HashMap::new();
+        for (r, &g) in d.records.iter().zip(&d.gold) {
+            by_track.entry(r[1].as_str()).or_default().insert(g);
+        }
+        assert!(by_track.values().any(|s| s.len() >= 3), "no shared titles planted");
+    }
+
+    #[test]
+    fn base_records_are_unique() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = generate(&mut rng, DatasetSpec::with_entities(200));
+        // Records with unique gold labels must be pairwise distinct.
+        use std::collections::HashMap;
+        let mut label_count: HashMap<usize, usize> = HashMap::new();
+        for &g in &d.gold {
+            *label_count.entry(g).or_insert(0) += 1;
+        }
+        let uniques: Vec<&Vec<String>> = d
+            .records
+            .iter()
+            .zip(&d.gold)
+            .filter(|(_, g)| label_count[g] == 1)
+            .map(|(r, _)| r)
+            .collect();
+        let set: HashSet<&Vec<String>> = uniques.iter().copied().collect();
+        assert_eq!(set.len(), uniques.len());
+    }
+
+    #[test]
+    fn duplicates_differ_from_their_base() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = generate(&mut rng, DatasetSpec::with_entities(200));
+        use std::collections::HashMap;
+        let mut by_gold: HashMap<usize, Vec<&Vec<String>>> = HashMap::new();
+        for (r, &g) in d.records.iter().zip(&d.gold) {
+            by_gold.entry(g).or_default().push(r);
+        }
+        for group in by_gold.values().filter(|g| g.len() > 1) {
+            let set: HashSet<&&Vec<String>> = group.iter().collect();
+            assert_eq!(set.len(), group.len(), "duplicates must not be exact copies");
+        }
+    }
+}

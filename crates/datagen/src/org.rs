@@ -1,0 +1,124 @@
+//! `Org[name, address, city, state, zipcode]` — the organization-address
+//! warehouse used for the paper's performance experiments (3 million rows
+//! in the paper; any size here). Duplicates carry the classic CRM noise:
+//! abbreviated suffixes ("corporation"/"corp"), abbreviated street types,
+//! and typos in names.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::dataset::{assemble_dataset, Dataset, DatasetSpec};
+use crate::errors::ErrorModel;
+use crate::seeds::{CITIES, ORG_CORES, ORG_HEADS, ORG_SUFFIXES, STREETS, STREET_TYPES};
+
+fn org_name(rng: &mut impl Rng) -> String {
+    let head = ORG_HEADS[rng.gen_range(0..ORG_HEADS.len())];
+    let core = ORG_CORES[rng.gen_range(0..ORG_CORES.len())];
+    let suffix = ORG_SUFFIXES[rng.gen_range(0..ORG_SUFFIXES.len())];
+    format!("{head} {core} {suffix}")
+}
+
+fn address(rng: &mut impl Rng) -> String {
+    let number = rng.gen_range(1..9999);
+    let street = STREETS[rng.gen_range(0..STREETS.len())];
+    let ty = STREET_TYPES[rng.gen_range(0..STREET_TYPES.len())];
+    format!("{number} {street} {ty}")
+}
+
+/// Generate an Org dataset of the given spec.
+pub fn generate(rng: &mut impl Rng, spec: DatasetSpec) -> Dataset {
+    let mut base: Vec<Vec<String>> = Vec::with_capacity(spec.n_entities);
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut attempts = 0usize;
+    while base.len() < spec.n_entities {
+        attempts += 1;
+        assert!(
+            attempts < 200 * spec.n_entities + 10_000,
+            "vocabulary too small for {} distinct entities",
+            spec.n_entities
+        );
+        let name = org_name(rng);
+        let addr = address(rng);
+        let (city, state, zip_prefix) = CITIES[rng.gen_range(0..CITIES.len())];
+        let zip = format!("{zip_prefix}{:02}", rng.gen_range(0..100));
+        let key = format!("{name}|{addr}");
+        if seen.insert(key) {
+            base.push(vec![
+                name,
+                addr,
+                city.to_string(),
+                state.to_string(),
+                zip,
+            ]);
+        }
+    }
+    // Org noise leans on abbreviations more than music data does.
+    let model = ErrorModel { typo: 3, token_swap: 1, token_drop: 1, abbreviate: 5, squash: 1 };
+    let intensity = spec.intensity;
+    assemble_dataset(
+        "Org",
+        &["name", "address", "city", "state", "zipcode"],
+        base,
+        spec,
+        rng,
+        |rng, b| {
+            let edits = intensity.num_edits(&mut *rng);
+            model.perturb_record(&mut *rng, b, edits)
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_and_labels() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let d = generate(&mut rng, DatasetSpec::with_entities(250));
+        assert_eq!(d.attributes.len(), 5);
+        assert!(d.len() >= 250);
+        assert!(d.true_pairs() > 10);
+        for r in &d.records {
+            assert_eq!(r.len(), 5);
+        }
+    }
+
+    #[test]
+    fn zips_match_city_prefixes() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let d = generate(&mut rng, DatasetSpec::with_entities(100).dup_fraction(0.0));
+        for r in &d.records {
+            let city = r[2].as_str();
+            let zip = r[4].as_str();
+            let (_, _, prefix) = CITIES.iter().find(|(c, _, _)| *c == city).unwrap();
+            assert!(zip.starts_with(prefix), "{city} {zip}");
+            assert_eq!(zip.len(), 5);
+        }
+    }
+
+    #[test]
+    fn scales_to_larger_sizes() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let d = generate(&mut rng, DatasetSpec::with_entities(5000));
+        assert!(d.len() >= 5000);
+    }
+
+    #[test]
+    fn duplicates_often_use_abbreviations() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let d = generate(&mut rng, DatasetSpec::with_entities(500));
+        // At least one duplicate should contain a short form.
+        let has_abbrev = d
+            .records
+            .iter()
+            .any(|r| {
+                let joined = r.join(" ");
+                joined.split_whitespace().any(|w| matches!(w, "corp" | "inc" | "co" | "st" | "ave" | "rd" | "&"))
+            });
+        assert!(has_abbrev);
+    }
+}

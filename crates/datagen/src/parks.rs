@@ -1,0 +1,94 @@
+//! `Parks[Name]` — Riddle-style park names. The paper found *no*
+//! improvement over threshold baselines on Parks; the generator keeps the
+//! profile that plausibly causes that: long, highly regular names whose
+//! duplicates differ only by suffix conventions, so thresholds already do
+//! well.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::dataset::{assemble_dataset, Dataset, DatasetSpec};
+use crate::errors::ErrorModel;
+use crate::seeds::{PARK_FEATURES, PARK_HEADS, PARK_TYPES};
+
+fn park(rng: &mut impl Rng) -> String {
+    let head = PARK_HEADS[rng.gen_range(0..PARK_HEADS.len())];
+    let ty = PARK_TYPES[rng.gen_range(0..PARK_TYPES.len())];
+    if rng.gen_bool(0.5) {
+        let feature = PARK_FEATURES[rng.gen_range(0..PARK_FEATURES.len())];
+        format!("{head} {feature} {ty}")
+    } else {
+        format!("{head} {ty}")
+    }
+}
+
+/// Generate a Parks dataset of the given spec.
+pub fn generate(rng: &mut impl Rng, spec: DatasetSpec) -> Dataset {
+    let mut base: Vec<Vec<String>> = Vec::with_capacity(spec.n_entities);
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut attempts = 0usize;
+    while base.len() < spec.n_entities {
+        attempts += 1;
+        assert!(
+            attempts < 200 * spec.n_entities + 10_000,
+            "vocabulary too small for {} distinct entities",
+            spec.n_entities
+        );
+        let name = park(rng);
+        if seen.insert(name.clone()) {
+            base.push(vec![name]);
+        }
+    }
+    // Park duplicates mostly drop the type suffix or abbreviate it.
+    let model = ErrorModel { typo: 2, token_swap: 0, token_drop: 5, abbreviate: 2, squash: 1 };
+    let intensity = spec.intensity;
+    assemble_dataset("Parks", &["name"], base, spec, rng, |rng, b| {
+        let edits = intensity.num_edits(&mut *rng);
+        model.perturb_record(&mut *rng, b, edits)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape() {
+        let mut rng = StdRng::seed_from_u64(67);
+        let d = generate(&mut rng, DatasetSpec::small());
+        assert_eq!(d.name, "Parks");
+        assert!(d.len() >= 400);
+        assert!(d.true_pairs() > 10);
+    }
+
+    #[test]
+    fn vocabulary_is_bounded() {
+        // The combination space must comfortably exceed the standard spec
+        // sizes, or generation could not terminate.
+        let ceiling = PARK_HEADS.len() * PARK_TYPES.len() * (PARK_FEATURES.len() + 1);
+        assert!(ceiling > 2 * DatasetSpec::small().n_entities);
+        let mut rng = StdRng::seed_from_u64(71);
+        let d = generate(&mut rng, DatasetSpec::with_entities(500).dup_fraction(0.0));
+        assert_eq!(d.len(), 500);
+    }
+
+    #[test]
+    fn duplicates_often_drop_suffix_words() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let d = generate(&mut rng, DatasetSpec::with_entities(150));
+        use std::collections::HashMap;
+        let mut by_gold: HashMap<usize, Vec<&str>> = HashMap::new();
+        for (r, &g) in d.records.iter().zip(&d.gold) {
+            by_gold.entry(g).or_default().push(r[0].as_str());
+        }
+        let shorter_variant = by_gold.values().filter(|v| v.len() > 1).any(|v| {
+            let min = v.iter().map(|s| s.split_whitespace().count()).min().unwrap();
+            let max = v.iter().map(|s| s.split_whitespace().count()).max().unwrap();
+            min < max
+        });
+        assert!(shorter_variant, "expected a token-dropped duplicate");
+    }
+}

@@ -1,0 +1,94 @@
+//! `Restaurants[Name]` — Riddle-style single-attribute restaurant names.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::dataset::{assemble_dataset, Dataset, DatasetSpec};
+use crate::errors::ErrorModel;
+use crate::seeds::{CITIES, CUISINES, LAST_NAMES, RESTAURANT_CORES, RESTAURANT_HEADS};
+
+fn restaurant(rng: &mut impl Rng) -> String {
+    let head = RESTAURANT_HEADS[rng.gen_range(0..RESTAURANT_HEADS.len())];
+    let core = RESTAURANT_CORES[rng.gen_range(0..RESTAURANT_CORES.len())];
+    match rng.gen_range(0..6u8) {
+        0 => format!("the {head} {core}"),
+        1 => {
+            let cuisine = CUISINES[rng.gen_range(0..CUISINES.len())];
+            format!("{head} {core} {cuisine} restaurant")
+        }
+        2 => {
+            let cuisine = CUISINES[rng.gen_range(0..CUISINES.len())];
+            format!("{cuisine} {core} {head}")
+        }
+        3 => {
+            // Owner-named places: "smith's diner".
+            let owner = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+            format!("{owner}'s {core}")
+        }
+        4 => {
+            let (city, _, _) = CITIES[rng.gen_range(0..CITIES.len())];
+            format!("{head} {core} of {city}")
+        }
+        _ => format!("{head} {core}"),
+    }
+}
+
+/// Generate a Restaurants dataset of the given spec.
+pub fn generate(rng: &mut impl Rng, spec: DatasetSpec) -> Dataset {
+    let mut base: Vec<Vec<String>> = Vec::with_capacity(spec.n_entities);
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut attempts = 0usize;
+    while base.len() < spec.n_entities {
+        attempts += 1;
+        assert!(
+            attempts < 200 * spec.n_entities + 10_000,
+            "vocabulary too small for {} distinct entities",
+            spec.n_entities
+        );
+        let name = restaurant(rng);
+        if seen.insert(name.clone()) {
+            base.push(vec![name]);
+        }
+    }
+    let model = ErrorModel::default();
+    let intensity = spec.intensity;
+    assemble_dataset("Restaurants", &["name"], base, spec, rng, |rng, b| {
+        let edits = intensity.num_edits(&mut *rng);
+        model.perturb_record(&mut *rng, b, edits)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let d = generate(&mut rng, DatasetSpec::small());
+        assert_eq!(d.name, "Restaurants");
+        assert_eq!(d.attributes, vec!["name"]);
+        assert!(d.len() >= 400);
+        assert!(d.true_pairs() > 20);
+    }
+
+    #[test]
+    fn names_are_multi_token() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let d = generate(&mut rng, DatasetSpec::with_entities(100).dup_fraction(0.0));
+        for r in &d.records {
+            assert!(r[0].split_whitespace().count() >= 2, "{:?}", r[0]);
+        }
+    }
+
+    #[test]
+    fn dup_fraction_zero_means_no_pairs() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let d = generate(&mut rng, DatasetSpec::with_entities(150).dup_fraction(0.0));
+        assert_eq!(d.true_pairs(), 0);
+        assert_eq!(d.len(), 150);
+    }
+}

@@ -1,0 +1,193 @@
+//! Loaders for externally-supplied labelled dedup datasets (Riddle-style).
+//!
+//! The paper's public datasets come from the RIDDLE repository
+//! (Restaurants, BirdScott, Parks, Census). We cannot redistribute them,
+//! but users who obtain them can load any dataset shaped the usual way —
+//! a records file plus a gold-pairs file — into a [`Dataset`]:
+//!
+//! * **records**: CSV (with or without header) or one record per line;
+//! * **gold pairs**: one duplicate pair of 0-based record indexes per
+//!   line, separated by whitespace or a comma; `#` starts a comment.
+//!   Pairs are closed transitively (union-find) into entity labels, the
+//!   same convention RIDDLE's evaluation scripts use.
+
+use crate::csvio::parse_csv;
+use crate::dataset::Dataset;
+
+/// How the records file is shaped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordFormat {
+    /// CSV with a header row naming the attributes.
+    CsvWithHeader,
+    /// CSV without a header (attributes are named `col0`, `col1`, ...).
+    CsvNoHeader,
+    /// One single-attribute record per line (the shape of the RIDDLE name
+    /// lists).
+    Lines,
+}
+
+/// Parse a records file. Returns `(attribute names, records)`.
+pub fn parse_records(
+    text: &str,
+    format: RecordFormat,
+) -> Result<(Vec<String>, Vec<Vec<String>>), String> {
+    match format {
+        RecordFormat::Lines => {
+            let records: Vec<Vec<String>> = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .map(|l| vec![l.to_string()])
+                .collect();
+            Ok((vec!["name".to_string()], records))
+        }
+        RecordFormat::CsvWithHeader | RecordFormat::CsvNoHeader => {
+            let mut rows = parse_csv(text)?;
+            if rows.is_empty() {
+                return Ok((Vec::new(), Vec::new()));
+            }
+            let arity = rows.iter().map(Vec::len).max().unwrap_or(0);
+            for row in &mut rows {
+                row.resize(arity, String::new());
+            }
+            let attributes = if format == RecordFormat::CsvWithHeader {
+                rows.remove(0)
+            } else {
+                (0..arity).map(|i| format!("col{i}")).collect()
+            };
+            Ok((attributes, rows))
+        }
+    }
+}
+
+/// Parse a gold-pairs file into 0-based index pairs.
+pub fn parse_gold_pairs(text: &str) -> Result<Vec<(u32, u32)>, String> {
+    let mut pairs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> =
+            line.split(|c: char| c == ',' || c.is_whitespace()).filter(|f| !f.is_empty()).collect();
+        if fields.len() != 2 {
+            return Err(format!("line {}: expected two indexes, got {raw:?}", lineno + 1));
+        }
+        let a: u32 =
+            fields[0].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let b: u32 =
+            fields[1].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        pairs.push((a, b));
+    }
+    Ok(pairs)
+}
+
+/// Assemble a [`Dataset`] from parsed parts: gold pairs are closed
+/// transitively into entity labels.
+pub fn dataset_from_parts(
+    name: &str,
+    attributes: Vec<String>,
+    records: Vec<Vec<String>>,
+    pairs: &[(u32, u32)],
+) -> Result<Dataset, String> {
+    let n = records.len();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            let gp = parent[parent[x as usize] as usize];
+            parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+    for &(a, b) in pairs {
+        if a as usize >= n || b as usize >= n {
+            return Err(format!("gold pair ({a}, {b}) out of range for {n} records"));
+        }
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent[ra as usize] = rb;
+        }
+    }
+    // Dense entity labels from union-find roots.
+    let mut label_of_root = std::collections::HashMap::new();
+    let gold: Vec<usize> = (0..n as u32)
+        .map(|id| {
+            let root = find(&mut parent, id);
+            let next = label_of_root.len();
+            *label_of_root.entry(root).or_insert(next)
+        })
+        .collect();
+    Ok(Dataset::new(name, attributes, records, gold))
+}
+
+/// One-call loader: records text + gold-pairs text → labelled dataset.
+pub fn load_dataset(
+    name: &str,
+    records_text: &str,
+    format: RecordFormat,
+    pairs_text: &str,
+) -> Result<Dataset, String> {
+    let (attributes, records) = parse_records(records_text, format)?;
+    let pairs = parse_gold_pairs(pairs_text)?;
+    dataset_from_parts(name, attributes, records, &pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RECORDS: &str = "golden dragon\ngolden dragon restaurant\nblue moon cafe\nblue mon cafe\nsolo diner\n";
+    const PAIRS: &str = "# duplicate pairs\n0 1\n2,3\n";
+
+    #[test]
+    fn loads_line_records_with_pairs() {
+        let d = load_dataset("test", RECORDS, RecordFormat::Lines, PAIRS).unwrap();
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.attributes, vec!["name"]);
+        assert_eq!(d.true_pairs(), 2);
+        assert_eq!(d.gold[0], d.gold[1]);
+        assert_eq!(d.gold[2], d.gold[3]);
+        assert_ne!(d.gold[0], d.gold[2]);
+        assert_ne!(d.gold[4], d.gold[0]);
+    }
+
+    #[test]
+    fn transitive_closure_of_pairs() {
+        let d = load_dataset("t", "a\nb\nc\nd\n", RecordFormat::Lines, "0 1\n1 2\n").unwrap();
+        assert_eq!(d.gold[0], d.gold[2], "0-1 and 1-2 chain into one entity");
+        assert_ne!(d.gold[0], d.gold[3]);
+        assert_eq!(d.true_pairs(), 3);
+    }
+
+    #[test]
+    fn csv_formats() {
+        let text = "name,city\ngolden dragon,seattle\nblue moon,portland\n";
+        let (attrs, recs) = parse_records(text, RecordFormat::CsvWithHeader).unwrap();
+        assert_eq!(attrs, vec!["name", "city"]);
+        assert_eq!(recs.len(), 2);
+        let (attrs, recs) = parse_records(text, RecordFormat::CsvNoHeader).unwrap();
+        assert_eq!(attrs, vec!["col0", "col1"]);
+        assert_eq!(recs.len(), 3, "header row becomes a record");
+    }
+
+    #[test]
+    fn malformed_pairs_error() {
+        assert!(parse_gold_pairs("0 1 2\n").is_err());
+        assert!(parse_gold_pairs("zero one\n").is_err());
+        assert!(parse_gold_pairs("").unwrap().is_empty());
+        assert!(parse_gold_pairs("# only comments\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_pairs_error() {
+        let err = load_dataset("t", "a\nb\n", RecordFormat::Lines, "0 7\n").unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let d = load_dataset("t", "", RecordFormat::Lines, "").unwrap();
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! Dynamic (append-only) inverted index for incremental deduplication.
+//!
+//! The paper's pipeline is batch: the index is built once over a frozen
+//! relation. Production deduplication is incremental — records arrive in
+//! batches and the partition must be kept current. [`DynamicInvertedIndex`]
+//! supports `push` with memory-resident postings (no buffer-pool layout:
+//! an appendable disk index is a different engineering exercise, and the
+//! incremental path is CPU-bound on verification anyway).
+//!
+//! IDF weights shift as the corpus grows; weights are computed from the
+//! current document frequency at query time, so a term that becomes common
+//! automatically loses discrimination power without any rebuild.
+
+use std::collections::HashMap;
+
+use fuzzydedup_relation::Neighbor;
+use fuzzydedup_textdist::tokenize::{record_string, tokenize_record};
+use fuzzydedup_textdist::{qgrams, Distance};
+
+use crate::{lookup_from_verified, sort_neighbors, LookupSpec, NnIndex};
+
+/// Configuration of the dynamic index (mirrors
+/// [`crate::InvertedIndexConfig`]'s candidate-generation knobs).
+#[derive(Debug, Clone)]
+pub struct DynamicIndexConfig {
+    /// q-gram length (default 3).
+    pub q: usize,
+    /// Also index whole tokens.
+    pub index_tokens: bool,
+    /// Verify at most this many candidates per query (0 = unlimited).
+    pub candidate_limit: usize,
+    /// Stop-gram fraction (terms above `max(fraction·n, floor)` document
+    /// frequency are skipped at query time).
+    pub max_df_fraction: f64,
+    /// Stop-gram document-frequency floor.
+    pub stop_df_floor: u32,
+}
+
+impl Default for DynamicIndexConfig {
+    fn default() -> Self {
+        Self {
+            q: 3,
+            index_tokens: true,
+            candidate_limit: 256,
+            max_df_fraction: 0.2,
+            stop_df_floor: 100,
+        }
+    }
+}
+
+/// Append-only inverted index; see module docs.
+pub struct DynamicInvertedIndex<D> {
+    records: Vec<Vec<String>>,
+    distance: D,
+    config: DynamicIndexConfig,
+    postings: HashMap<String, Vec<u32>>,
+}
+
+impl<D: Distance> DynamicInvertedIndex<D> {
+    /// Create an empty index.
+    pub fn new(distance: D, config: DynamicIndexConfig) -> Self {
+        Self { records: Vec::new(), distance, config, postings: HashMap::new() }
+    }
+
+    /// Terms of a record under this config (deduplicated).
+    fn terms_of(&self, record: &[String]) -> Vec<String> {
+        let fields: Vec<&str> = record.iter().map(String::as_str).collect();
+        let joined = record_string(&fields);
+        let mut terms = qgrams(&joined, self.config.q);
+        if self.config.index_tokens {
+            terms.extend(tokenize_record(&fields).into_iter().map(|t| t.text));
+        }
+        terms.sort();
+        terms.dedup();
+        terms
+    }
+
+    /// Append a record, returning its id.
+    pub fn push(&mut self, record: Vec<String>) -> u32 {
+        let id = self.records.len() as u32;
+        for term in self.terms_of(&record) {
+            self.postings.entry(term).or_default().push(id);
+        }
+        self.records.push(record);
+        id
+    }
+
+    /// The indexed records.
+    pub fn records(&self) -> &[Vec<String>] {
+        &self.records
+    }
+
+    /// Exact distance between two indexed records.
+    pub fn distance_between(&self, a: u32, b: u32) -> f64 {
+        let ra: Vec<&str> = self.records[a as usize].iter().map(String::as_str).collect();
+        let rb: Vec<&str> = self.records[b as usize].iter().map(String::as_str).collect();
+        self.distance.distance(&ra, &rb)
+    }
+
+    /// Candidate ids sharing at least one non-stop term with `id`, sorted
+    /// descending by shared IDF weight (capped at `candidate_limit`).
+    pub fn candidates(&self, id: u32) -> Vec<u32> {
+        self.candidates_with_limit(id, self.config.candidate_limit)
+    }
+
+    /// [`Self::candidates`] with an explicit cap (`0` = unlimited). The
+    /// incremental-dedup affected-set scan needs the *uncapped* variant:
+    /// candidate visibility is symmetric in shared terms, but the per-query
+    /// cap is not — an existing record can rank a new record inside its own
+    /// top-k while falling outside the new record's.
+    pub fn candidates_with_limit(&self, id: u32, limit: usize) -> Vec<u32> {
+        let n = self.records.len().max(1) as f64;
+        let max_df = (self.config.max_df_fraction * n)
+            .max(f64::from(self.config.stop_df_floor));
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for term in self.terms_of(&self.records[id as usize]) {
+            let Some(ids) = self.postings.get(&term) else { continue };
+            let df = ids.len() as f64;
+            if df > max_df {
+                continue;
+            }
+            let weight = (1.0 + n / df).ln();
+            for &other in ids {
+                if other != id {
+                    *scores.entry(other).or_insert(0.0) += weight;
+                }
+            }
+        }
+        let mut scored: Vec<(u32, f64)> = scores.into_iter().collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        if limit > 0 {
+            scored.truncate(limit);
+        }
+        scored.into_iter().map(|(id, _)| id).collect()
+    }
+
+    fn verified(&self, id: u32, candidates: &[u32]) -> Vec<Neighbor> {
+        let query: Vec<&str> = self.records[id as usize].iter().map(String::as_str).collect();
+        candidates
+            .iter()
+            .map(|&c| {
+                let fields: Vec<&str> =
+                    self.records[c as usize].iter().map(String::as_str).collect();
+                Neighbor::new(c, self.distance.distance(&query, &fields))
+            })
+            .collect()
+    }
+}
+
+impl<D: Distance> NnIndex for DynamicInvertedIndex<D> {
+    fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    fn top_k(&self, id: u32, k: usize) -> Vec<Neighbor> {
+        let mut verified = self.verified(id, &self.candidates(id));
+        sort_neighbors(&mut verified);
+        verified.truncate(k);
+        verified
+    }
+
+    fn within(&self, id: u32, radius: f64) -> Vec<Neighbor> {
+        let mut verified = self.verified(id, &self.candidates(id));
+        verified.retain(|n| n.dist < radius);
+        sort_neighbors(&mut verified);
+        verified
+    }
+
+    fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64) {
+        let verified = self.verified(id, &self.candidates(id));
+        lookup_from_verified(verified, spec, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzydedup_textdist::EditDistance;
+
+    fn push_all(idx: &mut DynamicInvertedIndex<EditDistance>, records: &[&str]) {
+        for r in records {
+            idx.push(vec![r.to_string()]);
+        }
+    }
+
+    #[test]
+    fn grows_and_finds_new_neighbors() {
+        let mut idx = DynamicInvertedIndex::new(EditDistance, DynamicIndexConfig::default());
+        push_all(&mut idx, &["the doors", "aaliyah"]);
+        assert!(idx.top_k(0, 1).first().map(|n| n.dist > 0.5).unwrap_or(true));
+        let new_id = idx.push(vec!["doors".to_string()]);
+        assert_eq!(new_id, 2);
+        // The old record's nearest neighbor is now the new one.
+        let nn = idx.top_k(0, 1);
+        assert_eq!(nn[0].id, 2);
+        // And symmetrically.
+        assert_eq!(idx.top_k(2, 1)[0].id, 0);
+    }
+
+    #[test]
+    fn matches_static_index_after_bulk_load() {
+        use crate::{InvertedIndex, InvertedIndexConfig};
+        use fuzzydedup_storage::{BufferPool, BufferPoolConfig, InMemoryDisk};
+        use std::sync::Arc;
+
+        let records: Vec<Vec<String>> = [
+            "the doors", "doors", "the beatles", "beatles the", "shania twain",
+            "twian shania", "aaliyah", "bob dylan",
+        ]
+        .iter()
+        .map(|s| vec![s.to_string()])
+        .collect();
+
+        let mut dynamic =
+            DynamicInvertedIndex::new(EditDistance, DynamicIndexConfig::default());
+        for r in &records {
+            dynamic.push(r.clone());
+        }
+        let pool = Arc::new(BufferPool::new(
+            BufferPoolConfig::with_capacity(16),
+            Arc::new(InMemoryDisk::new()),
+        ));
+        let static_idx = InvertedIndex::build(
+            records.clone(),
+            EditDistance,
+            pool,
+            InvertedIndexConfig::default(),
+        );
+        for id in 0..records.len() as u32 {
+            assert_eq!(dynamic.top_k(id, 3), static_idx.top_k(id, 3), "id {id}");
+        }
+    }
+
+    #[test]
+    fn candidate_sets_are_symmetric_for_shared_terms() {
+        let mut idx = DynamicInvertedIndex::new(EditDistance, DynamicIndexConfig::default());
+        push_all(&mut idx, &["golden dragon", "golden palace", "unrelated thing"]);
+        let c0 = idx.candidates(0);
+        let c1 = idx.candidates(1);
+        assert!(c0.contains(&1));
+        assert!(c1.contains(&0));
+    }
+
+    #[test]
+    fn empty_index_queries() {
+        let mut idx = DynamicInvertedIndex::new(EditDistance, DynamicIndexConfig::default());
+        assert!(idx.is_empty());
+        let id = idx.push(vec!["only".to_string()]);
+        assert!(idx.top_k(id, 3).is_empty());
+        assert!(idx.within(id, 0.9).is_empty());
+    }
+
+    #[test]
+    fn combined_lookup_consistent() {
+        let mut idx = DynamicInvertedIndex::new(EditDistance, DynamicIndexConfig::default());
+        push_all(&mut idx, &["alpha beta", "alpha betb", "gamma delta"]);
+        let (neighbors, ng) = idx.lookup(0, LookupSpec::TopK(2), 2.0);
+        assert_eq!(neighbors, idx.top_k(0, 2));
+        assert!(ng >= 2.0);
+    }
+}

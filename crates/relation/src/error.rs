@@ -1,0 +1,69 @@
+//! Relation-layer error types.
+
+use std::fmt;
+
+use fuzzydedup_storage::StorageError;
+
+/// Result alias for relation operations.
+pub type RelationResult<T> = Result<T, RelationError>;
+
+/// Errors raised by the relation layer.
+#[derive(Debug)]
+pub enum RelationError {
+    /// A tuple's arity or value types do not match the table schema.
+    SchemaMismatch {
+        /// What was expected, human-readable.
+        expected: String,
+        /// What was found, human-readable.
+        found: String,
+    },
+    /// Encoded tuple bytes could not be decoded.
+    DecodeError(&'static str),
+    /// A referenced column does not exist.
+    NoSuchColumn(String),
+    /// An underlying storage failure.
+    Storage(StorageError),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SchemaMismatch { expected, found } => {
+                write!(f, "schema mismatch: expected {expected}, found {found}")
+            }
+            Self::DecodeError(why) => write!(f, "tuple decode error: {why}"),
+            Self::NoSuchColumn(name) => write!(f, "no such column: {name}"),
+            Self::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for RelationError {
+    fn from(e: StorageError) -> Self {
+        Self::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = RelationError::SchemaMismatch { expected: "i64".into(), found: "str".into() };
+        assert!(e.to_string().contains("expected i64"));
+        assert!(RelationError::DecodeError("truncated").to_string().contains("truncated"));
+        assert!(RelationError::NoSuchColumn("ng".into()).to_string().contains("ng"));
+        let s: RelationError = StorageError::PageNotFound(3).into();
+        assert!(s.to_string().contains("page 3"));
+    }
+}

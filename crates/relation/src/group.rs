@@ -1,0 +1,94 @@
+//! Grouping of sorted input: the engine behind the CS-group query.
+//!
+//! Phase 2 processes the result of `select * from CSPairs order by ID` one
+//! group at a time: "each compact SN set G will be grouped together under
+//! the tuple with the minimum ID in G". [`group_sorted`] turns a sorted
+//! tuple stream into `(key, rows)` groups.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Group consecutive tuples of a **sorted** sequence by the values of
+/// `key_columns`. Returns `(key values, tuples)` per group, preserving
+/// input order within groups.
+///
+/// The input must already be sorted on the key columns (e.g. by
+/// [`crate::sort::external_sort`]); equal keys that are not adjacent end up
+/// in separate groups, exactly like SQL `GROUP BY` over a clustered scan
+/// would misbehave — callers sort first.
+pub fn group_sorted(
+    tuples: impl IntoIterator<Item = Tuple>,
+    key_columns: &[usize],
+) -> Vec<(Vec<Value>, Vec<Tuple>)> {
+    let mut out: Vec<(Vec<Value>, Vec<Tuple>)> = Vec::new();
+    for t in tuples {
+        let key: Vec<Value> = key_columns.iter().map(|&k| t.get(k).clone()).collect();
+        match out.last_mut() {
+            Some((last_key, rows)) if *last_key == key => rows.push(t),
+            _ => out.push((key, vec![t])),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: i64, s: &str) -> Tuple {
+        Tuple::new(vec![Value::I64(id), Value::from(s)])
+    }
+
+    #[test]
+    fn groups_adjacent_keys() {
+        let tuples = vec![row(1, "a"), row(1, "b"), row(2, "c"), row(3, "d"), row(3, "e")];
+        let groups = group_sorted(tuples, &[0]);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, vec![Value::I64(1)]);
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].1.len(), 1);
+        assert_eq!(groups[2].1.len(), 2);
+    }
+
+    #[test]
+    fn preserves_order_within_group() {
+        let tuples = vec![row(1, "first"), row(1, "second"), row(1, "third")];
+        let groups = group_sorted(tuples, &[0]);
+        let texts: Vec<&str> =
+            groups[0].1.iter().map(|t| t.get(1).as_str().unwrap()).collect();
+        assert_eq!(texts, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(group_sorted(Vec::new(), &[0]).is_empty());
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let tuples = vec![
+            Tuple::new(vec![Value::I64(1), Value::from("x"), Value::Bool(true)]),
+            Tuple::new(vec![Value::I64(1), Value::from("x"), Value::Bool(false)]),
+            Tuple::new(vec![Value::I64(1), Value::from("y"), Value::Bool(true)]),
+        ];
+        let groups = group_sorted(tuples, &[0, 1]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].1.len(), 2);
+    }
+
+    #[test]
+    fn unsorted_input_splits_groups() {
+        // Documents the contract: non-adjacent equal keys form two groups.
+        let tuples = vec![row(1, "a"), row(2, "b"), row(1, "c")];
+        let groups = group_sorted(tuples, &[0]);
+        assert_eq!(groups.len(), 3);
+    }
+
+    #[test]
+    fn empty_key_is_one_group() {
+        let tuples = vec![row(1, "a"), row(2, "b")];
+        let groups = group_sorted(tuples, &[]);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].1.len(), 2);
+    }
+}

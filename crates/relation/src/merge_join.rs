@@ -1,0 +1,164 @@
+//! Sort-merge equi-join: the I/O-friendly alternative to [`crate::join`].
+//!
+//! The hash join builds an in-memory table of one side; when neither side
+//! fits in memory a database instead sorts both inputs on the join key
+//! (external sort) and merges them. Since our external sort already runs
+//! through the buffer pool, this operator gives the substrate a fully
+//! out-of-core join path. Results are identical to [`crate::join::hash_join`]
+//! up to emission order (asserted by tests).
+
+use std::cmp::Ordering;
+
+use crate::error::RelationResult;
+use crate::sort::{external_sort, SortConfig};
+use crate::table::Table;
+use crate::tuple::Tuple;
+
+/// Sort-merge join `left` and `right` on equality of the given key
+/// columns, invoking `emit` for each matching pair. Duplicate keys produce
+/// the full cross product, as SQL requires.
+pub fn merge_join(
+    left: &Table,
+    right: &Table,
+    left_key: &[usize],
+    right_key: &[usize],
+    mut emit: impl FnMut(&Tuple, &Tuple),
+) -> RelationResult<()> {
+    assert_eq!(left_key.len(), right_key.len(), "key arity must match");
+
+    let sorted_left = external_sort(left, &SortConfig::by_columns(left_key.to_vec()))?;
+    let sorted_right = external_sort(right, &SortConfig::by_columns(right_key.to_vec()))?;
+    let l: Vec<Tuple> = sorted_left.read_all()?;
+    let r: Vec<Tuple> = sorted_right.read_all()?;
+
+    let key_cmp = |a: &Tuple, b: &Tuple| -> Ordering {
+        for (&ka, &kb) in left_key.iter().zip(right_key) {
+            let c = a.get(ka).cmp(b.get(kb));
+            if c != Ordering::Equal {
+                return c;
+            }
+        }
+        Ordering::Equal
+    };
+
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < l.len() && j < r.len() {
+        match key_cmp(&l[i], &r[j]) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                // Extent of the equal-key run on each side.
+                let i_end = (i..l.len())
+                    .find(|&x| key_cmp(&l[x], &r[j]) != Ordering::Equal)
+                    .unwrap_or(l.len());
+                let j_end = (j..r.len())
+                    .find(|&y| key_cmp(&l[i], &r[y]) != Ordering::Equal)
+                    .unwrap_or(r.len());
+                for lt in &l[i..i_end] {
+                    for rt in &r[j..j_end] {
+                        emit(lt, rt);
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::hash_join;
+    use crate::schema::{Column, ColumnType, Schema};
+    use crate::value::Value;
+    use fuzzydedup_storage::{BufferPool, BufferPoolConfig, InMemoryDisk};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    fn table_with(rows: &[(i64, &str)]) -> Table {
+        let disk = Arc::new(InMemoryDisk::new());
+        let pool = Arc::new(BufferPool::new(BufferPoolConfig::with_capacity(4), disk));
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("k", ColumnType::I64),
+            Column::new("v", ColumnType::Str),
+        ]));
+        let t = Table::create(pool, schema);
+        for (k, v) in rows {
+            t.insert(&Tuple::new(vec![Value::I64(*k), Value::from(*v)])).unwrap();
+        }
+        t
+    }
+
+    fn collect_pairs(
+        join: impl FnOnce(&mut dyn FnMut(&Tuple, &Tuple)),
+    ) -> Vec<(String, String)> {
+        let mut pairs = Vec::new();
+        join(&mut |a: &Tuple, b: &Tuple| {
+            pairs.push((
+                a.get(1).as_str().unwrap().to_string(),
+                b.get(1).as_str().unwrap().to_string(),
+            ));
+        });
+        pairs.sort();
+        pairs
+    }
+
+    #[test]
+    fn matches_hash_join_output() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let l_rows: Vec<(i64, String)> =
+            (0..120).map(|i| (rng.gen_range(0..20), format!("l{i}"))).collect();
+        let r_rows: Vec<(i64, String)> =
+            (0..80).map(|i| (rng.gen_range(0..20), format!("r{i}"))).collect();
+        let l_refs: Vec<(i64, &str)> =
+            l_rows.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        let r_refs: Vec<(i64, &str)> =
+            r_rows.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        let l = table_with(&l_refs);
+        let r = table_with(&r_refs);
+
+        let merged = collect_pairs(|emit| merge_join(&l, &r, &[0], &[0], emit).unwrap());
+        let hashed = collect_pairs(|emit| hash_join(&l, &r, &[0], &[0], emit).unwrap());
+        assert_eq!(merged.len(), hashed.len());
+        assert_eq!(merged, hashed);
+        assert!(!merged.is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_cross_product() {
+        let l = table_with(&[(1, "a1"), (1, "a2"), (2, "b")]);
+        let r = table_with(&[(1, "x1"), (1, "x2"), (3, "z")]);
+        let pairs = collect_pairs(|emit| merge_join(&l, &r, &[0], &[0], emit).unwrap());
+        assert_eq!(pairs.len(), 4);
+        assert!(pairs.contains(&("a2".to_string(), "x1".to_string())));
+    }
+
+    #[test]
+    fn disjoint_keys_empty() {
+        let l = table_with(&[(1, "a")]);
+        let r = table_with(&[(2, "b")]);
+        let pairs = collect_pairs(|emit| merge_join(&l, &r, &[0], &[0], emit).unwrap());
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn empty_sides() {
+        let l = table_with(&[]);
+        let r = table_with(&[(1, "b")]);
+        let mut count = 0;
+        merge_join(&l, &r, &[0], &[0], |_, _| count += 1).unwrap();
+        merge_join(&r, &l, &[0], &[0], |_, _| count += 1).unwrap();
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "key arity")]
+    fn mismatched_keys_panic() {
+        let l = table_with(&[(1, "a")]);
+        let r = table_with(&[(1, "b")]);
+        merge_join(&l, &r, &[0], &[0, 1], |_, _| {}).unwrap();
+    }
+}

@@ -1,0 +1,207 @@
+//! Basic relational operators: selection, projection, simple aggregates.
+//!
+//! Rounds out the Phase-2 substrate with the remaining textbook operators
+//! so the experiment drivers (and downstream users) can express their
+//! bookkeeping queries against tables instead of ad-hoc vectors. All
+//! operators stream through [`Table::scan`], so their I/O goes through the
+//! instrumented buffer pool like everything else.
+
+use std::sync::Arc;
+
+use crate::error::RelationResult;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Selection: copy the tuples satisfying `predicate` into a new table with
+/// the same schema.
+pub fn filter(input: &Table, predicate: impl Fn(&Tuple) -> bool) -> RelationResult<Table> {
+    let output = Table::create(input.pool().clone(), input.schema().clone());
+    let mut pending = Vec::new();
+    input.scan(|_, t| {
+        if predicate(&t) {
+            pending.push(t);
+        }
+    })?;
+    for t in pending {
+        output.insert(&t)?;
+    }
+    Ok(output)
+}
+
+/// Projection: keep the given columns (in the given order), producing a
+/// table with the corresponding sub-schema.
+pub fn project(input: &Table, columns: &[usize]) -> RelationResult<Table> {
+    let in_schema = input.schema();
+    let out_columns = columns
+        .iter()
+        .map(|&c| {
+            in_schema
+                .columns()
+                .get(c)
+                .cloned()
+                .ok_or_else(|| crate::error::RelationError::NoSuchColumn(format!("#{c}")))
+        })
+        .collect::<RelationResult<Vec<_>>>()?;
+    let output = Table::create(input.pool().clone(), Arc::new(Schema::new(out_columns)));
+    let mut pending = Vec::new();
+    input.scan(|_, t| {
+        let values: Vec<Value> = columns.iter().map(|&c| t.get(c).clone()).collect();
+        pending.push(Tuple::new(values));
+    })?;
+    for t in pending {
+        output.insert(&t)?;
+    }
+    Ok(output)
+}
+
+/// Simple scalar aggregates over one numeric column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnStats {
+    /// Row count (all rows, including NULLs in the column).
+    pub count: u64,
+    /// Count of non-NULL numeric values.
+    pub non_null: u64,
+    /// Minimum value (None when no numeric values).
+    pub min: Option<f64>,
+    /// Maximum value.
+    pub max: Option<f64>,
+    /// Sum of values.
+    pub sum: f64,
+}
+
+impl ColumnStats {
+    /// Mean of the non-NULL values.
+    pub fn mean(&self) -> Option<f64> {
+        (self.non_null > 0).then(|| self.sum / self.non_null as f64)
+    }
+}
+
+/// Aggregate a column, accepting `I64` and `F64` values (NULL and other
+/// types are skipped but counted in `count`).
+pub fn aggregate_column(input: &Table, column: usize) -> RelationResult<ColumnStats> {
+    let mut stats =
+        ColumnStats { count: 0, non_null: 0, min: None, max: None, sum: 0.0 };
+    input.scan(|_, t| {
+        stats.count += 1;
+        let v = match t.get(column) {
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        };
+        if let Some(v) = v {
+            stats.non_null += 1;
+            stats.sum += v;
+            stats.min = Some(stats.min.map_or(v, |m: f64| m.min(v)));
+            stats.max = Some(stats.max.map_or(v, |m: f64| m.max(v)));
+        }
+    })?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+    use fuzzydedup_storage::{BufferPool, BufferPoolConfig, InMemoryDisk};
+
+    fn table() -> Table {
+        let pool = Arc::new(BufferPool::new(
+            BufferPoolConfig::with_capacity(4),
+            Arc::new(InMemoryDisk::new()),
+        ));
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("id", ColumnType::I64),
+            Column::new("score", ColumnType::F64),
+            Column::new("name", ColumnType::Str),
+        ]));
+        let t = Table::create(pool, schema);
+        for i in 0..10i64 {
+            t.insert(&Tuple::new(vec![
+                Value::I64(i),
+                if i == 5 { Value::Null } else { Value::F64(i as f64 * 0.5) },
+                Value::from(format!("row{i}").as_str()),
+            ]))
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn filter_keeps_matching_rows() {
+        let t = table();
+        let even = filter(&t, |row| row.get(0).as_i64().unwrap() % 2 == 0).unwrap();
+        assert_eq!(even.len(), 5);
+        assert_eq!(even.schema().arity(), 3);
+        for row in even.read_all().unwrap() {
+            assert_eq!(row.get(0).as_i64().unwrap() % 2, 0);
+        }
+    }
+
+    #[test]
+    fn filter_nothing_and_everything() {
+        let t = table();
+        assert_eq!(filter(&t, |_| false).unwrap().len(), 0);
+        assert_eq!(filter(&t, |_| true).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let t = table();
+        let p = project(&t, &[2, 0]).unwrap();
+        assert_eq!(p.schema().arity(), 2);
+        assert_eq!(p.schema().columns()[0].name, "name");
+        let first = &p.read_all().unwrap()[0];
+        assert_eq!(first.get(0).as_str().unwrap(), "row0");
+        assert_eq!(first.get(1).as_i64().unwrap(), 0);
+    }
+
+    #[test]
+    fn project_bad_column_errors() {
+        let t = table();
+        assert!(project(&t, &[7]).is_err());
+    }
+
+    #[test]
+    fn project_duplicate_column_panics_on_schema() {
+        // Projecting the same column twice duplicates the name — the
+        // schema constructor treats that as a programming error.
+        let t = table();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            project(&t, &[0, 0])
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn aggregate_handles_nulls() {
+        let t = table();
+        let stats = aggregate_column(&t, 1).unwrap();
+        assert_eq!(stats.count, 10);
+        assert_eq!(stats.non_null, 9);
+        assert_eq!(stats.min, Some(0.0));
+        assert_eq!(stats.max, Some(4.5));
+        // sum of 0,0.5,...,4.5 minus the 2.5 at i=5.
+        assert!((stats.sum - (22.5 - 2.5)).abs() < 1e-12);
+        assert!((stats.mean().unwrap() - 20.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_i64_column() {
+        let t = table();
+        let stats = aggregate_column(&t, 0).unwrap();
+        assert_eq!(stats.non_null, 10);
+        assert_eq!(stats.sum, 45.0);
+    }
+
+    #[test]
+    fn aggregate_non_numeric_column() {
+        let t = table();
+        let stats = aggregate_column(&t, 2).unwrap();
+        assert_eq!(stats.count, 10);
+        assert_eq!(stats.non_null, 0);
+        assert_eq!(stats.mean(), None);
+        assert_eq!(stats.min, None);
+    }
+}

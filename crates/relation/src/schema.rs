@@ -1,0 +1,170 @@
+//! Named, typed column schemas.
+
+use crate::error::{RelationError, RelationResult};
+use crate::value::Value;
+
+/// Column data types (matching the [`Value`] variants; every column is
+/// implicitly nullable, as in SQL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// Booleans.
+    Bool,
+    /// 64-bit integers.
+    I64,
+    /// 64-bit floats.
+    F64,
+    /// UTF-8 strings.
+    Str,
+    /// Neighbor lists (`NN-List`).
+    Neighbors,
+    /// Boolean vectors (`[CS2..CSK]`).
+    BoolList,
+}
+
+impl ColumnType {
+    /// Whether a value inhabits this type (NULL inhabits every type).
+    pub fn admits(&self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (ColumnType::Bool, Value::Bool(_))
+                | (ColumnType::I64, Value::I64(_))
+                | (ColumnType::F64, Value::F64(_))
+                | (ColumnType::Str, Value::Str(_))
+                | (ColumnType::Neighbors, Value::Neighbors(_))
+                | (ColumnType::BoolList, Value::BoolList(_))
+        )
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+impl Column {
+    /// Construct a column.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Self { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Construct a schema. Panics on duplicate column names (a programming
+    /// error, not a data error).
+    pub fn new(columns: Vec<Column>) -> Self {
+        for (i, c) in columns.iter().enumerate() {
+            assert!(
+                !columns[..i].iter().any(|o| o.name == c.name),
+                "duplicate column name {:?}",
+                c.name
+            );
+        }
+        Self { columns }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> RelationResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| RelationError::NoSuchColumn(name.to_string()))
+    }
+
+    /// Validate that a row of values matches this schema.
+    pub fn check(&self, values: &[Value]) -> RelationResult<()> {
+        if values.len() != self.arity() {
+            return Err(RelationError::SchemaMismatch {
+                expected: format!("{} columns", self.arity()),
+                found: format!("{} values", values.len()),
+            });
+        }
+        for (col, val) in self.columns.iter().zip(values) {
+            if !col.ty.admits(val) {
+                return Err(RelationError::SchemaMismatch {
+                    expected: format!("{:?} for column {}", col.ty, col.name),
+                    found: val.type_name().to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", ColumnType::I64),
+            Column::new("nn_list", ColumnType::Neighbors),
+            Column::new("ng", ColumnType::F64),
+        ])
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("ng").unwrap(), 2);
+        assert!(s.index_of("nope").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_panic() {
+        Schema::new(vec![
+            Column::new("id", ColumnType::I64),
+            Column::new("id", ColumnType::Str),
+        ]);
+    }
+
+    #[test]
+    fn check_accepts_valid_rows() {
+        let s = schema();
+        s.check(&[Value::I64(1), Value::Neighbors(vec![]), Value::F64(2.0)]).unwrap();
+        // NULL inhabits any column.
+        s.check(&[Value::Null, Value::Null, Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn check_rejects_bad_rows() {
+        let s = schema();
+        assert!(s.check(&[Value::I64(1)]).is_err(), "wrong arity");
+        assert!(
+            s.check(&[Value::Str("x".into()), Value::Neighbors(vec![]), Value::F64(0.0)])
+                .is_err(),
+            "wrong type"
+        );
+    }
+
+    #[test]
+    fn admits_matrix() {
+        assert!(ColumnType::I64.admits(&Value::I64(1)));
+        assert!(!ColumnType::I64.admits(&Value::F64(1.0)));
+        assert!(ColumnType::Bool.admits(&Value::Null));
+        assert!(ColumnType::BoolList.admits(&Value::BoolList(vec![])));
+        assert!(!ColumnType::Neighbors.admits(&Value::BoolList(vec![])));
+    }
+}

@@ -1,0 +1,267 @@
+//! External merge sort: the engine behind `ORDER BY`.
+//!
+//! Phase 2 of the paper's algorithm issues the *CS-group query*
+//! `select * from CSPairs order by ID`, and observes that "the cost of
+//! sorting the CSPairs relation dominates the partitioning step cost". We
+//! implement the textbook external merge sort: bounded-memory run
+//! generation (quicksort of up to `run_size` tuples) followed by a k-way
+//! merge via a binary heap. Runs are spilled to temporary tables on the
+//! same buffer pool, so sort I/O flows through the instrumented pool like
+//! everything else.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use crate::error::RelationResult;
+use crate::table::Table;
+use crate::tuple::Tuple;
+
+/// Configuration for the external sort.
+#[derive(Debug, Clone)]
+pub struct SortConfig {
+    /// Key column indices, in significance order.
+    pub key_columns: Vec<usize>,
+    /// Maximum tuples per in-memory run.
+    pub run_size: usize,
+}
+
+impl SortConfig {
+    /// Sort on the given key columns with the default run size (64k tuples).
+    pub fn by_columns(key_columns: Vec<usize>) -> Self {
+        Self { key_columns, run_size: 65_536 }
+    }
+
+    /// Override the run size (mainly for tests that want to force merging).
+    pub fn run_size(mut self, run_size: usize) -> Self {
+        self.run_size = run_size.max(1);
+        self
+    }
+}
+
+/// Heap entry for the k-way merge. `BinaryHeap` is a max-heap, so ordering
+/// is reversed; ties are broken by run index to make the sort stable across
+/// runs (within a run, the in-memory sort is stable already).
+struct MergeEntry {
+    tuple: Tuple,
+    run: usize,
+    pos: usize,
+    key_columns: Arc<Vec<usize>>,
+}
+
+impl PartialEq for MergeEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for MergeEntry {}
+impl PartialOrd for MergeEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MergeEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behavior.
+        other
+            .tuple
+            .compare_on(&self.tuple, &self.key_columns)
+            .then_with(|| other.run.cmp(&self.run))
+    }
+}
+
+/// Sort `input` into a fresh table with the same schema, using bounded
+/// memory (`config.run_size` tuples per run).
+pub fn external_sort(input: &Table, config: &SortConfig) -> RelationResult<Table> {
+    let pool = input.pool().clone();
+    let schema = input.schema().clone();
+
+    // Run generation.
+    let mut runs: Vec<Table> = Vec::new();
+    let mut current: Vec<Tuple> = Vec::with_capacity(config.run_size.min(1024));
+    let spill = |current: &mut Vec<Tuple>, runs: &mut Vec<Table>| -> RelationResult<()> {
+        if current.is_empty() {
+            return Ok(());
+        }
+        current.sort_by(|a, b| a.compare_on(b, &config.key_columns));
+        let run = Table::create(pool.clone(), schema.clone());
+        for t in current.drain(..) {
+            run.insert(&t)?;
+        }
+        runs.push(run);
+        Ok(())
+    };
+
+    // Collect runs; `scan` is closure-based so spills are deferred until
+    // after the scan to keep error handling straightforward.
+    let mut pending: Vec<Vec<Tuple>> = Vec::new();
+    input.scan(|_, t| {
+        current.push(t);
+        if current.len() >= config.run_size {
+            pending.push(std::mem::take(&mut current));
+        }
+    })?;
+    for mut p in pending {
+        spill(&mut p, &mut runs)?;
+    }
+    spill(&mut current, &mut runs)?;
+
+    let output = Table::create(pool, schema);
+    if runs.is_empty() {
+        return Ok(output);
+    }
+
+    // Fast path: a single run is already sorted.
+    if runs.len() == 1 {
+        runs[0].scan(|_, t| {
+            // Insert errors can only be schema mismatches, impossible here.
+            output.insert(&t).expect("same schema");
+        })?;
+        return Ok(output);
+    }
+
+    // K-way merge. Run contents are materialized per run; the merge then
+    // proceeds index-wise. (Runs were just written through the pool, so
+    // reading them back exercises the same I/O path a disk-based merge
+    // would.)
+    let run_tuples: Vec<Vec<Tuple>> =
+        runs.iter().map(|r| r.read_all()).collect::<RelationResult<_>>()?;
+    let key_columns = Arc::new(config.key_columns.clone());
+    let mut heap = BinaryHeap::with_capacity(run_tuples.len());
+    for (run, tuples) in run_tuples.iter().enumerate() {
+        if let Some(first) = tuples.first() {
+            heap.push(MergeEntry {
+                tuple: first.clone(),
+                run,
+                pos: 0,
+                key_columns: key_columns.clone(),
+            });
+        }
+    }
+    while let Some(entry) = heap.pop() {
+        output.insert(&entry.tuple)?;
+        let next_pos = entry.pos + 1;
+        if let Some(next) = run_tuples[entry.run].get(next_pos) {
+            heap.push(MergeEntry {
+                tuple: next.clone(),
+                run: entry.run,
+                pos: next_pos,
+                key_columns: key_columns.clone(),
+            });
+        }
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType, Schema};
+    use crate::value::Value;
+    use fuzzydedup_storage::{BufferPool, BufferPoolConfig, InMemoryDisk};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn make_table() -> Table {
+        let disk = Arc::new(InMemoryDisk::new());
+        let pool = Arc::new(BufferPool::new(BufferPoolConfig::with_capacity(8), disk));
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("id", ColumnType::I64),
+            Column::new("payload", ColumnType::Str),
+        ]));
+        Table::create(pool, schema)
+    }
+
+    fn ids_of(t: &Table) -> Vec<i64> {
+        t.read_all().unwrap().iter().map(|t| t.get(0).as_i64().unwrap()).collect()
+    }
+
+    #[test]
+    fn sorts_random_input() {
+        let t = make_table();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut expected: Vec<i64> = Vec::new();
+        for _ in 0..500 {
+            let v: i64 = rng.gen_range(-1000..1000);
+            expected.push(v);
+            t.insert(&Tuple::new(vec![Value::I64(v), Value::from("x")])).unwrap();
+        }
+        expected.sort();
+        let sorted = external_sort(&t, &SortConfig::by_columns(vec![0])).unwrap();
+        assert_eq!(ids_of(&sorted), expected);
+    }
+
+    #[test]
+    fn merges_many_small_runs() {
+        let t = make_table();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut expected: Vec<i64> = Vec::new();
+        for _ in 0..300 {
+            let v: i64 = rng.gen_range(0..10_000);
+            expected.push(v);
+            t.insert(&Tuple::new(vec![Value::I64(v), Value::from("y")])).unwrap();
+        }
+        expected.sort();
+        // run_size 16 → ~19 runs merged.
+        let cfg = SortConfig::by_columns(vec![0]).run_size(16);
+        let sorted = external_sort(&t, &cfg).unwrap();
+        assert_eq!(ids_of(&sorted), expected);
+    }
+
+    #[test]
+    fn multi_key_sort() {
+        let t = make_table();
+        let rows = [(2, "b"), (1, "z"), (2, "a"), (1, "a")];
+        for (i, s) in rows {
+            t.insert(&Tuple::new(vec![Value::I64(i), Value::from(s)])).unwrap();
+        }
+        let sorted = external_sort(&t, &SortConfig::by_columns(vec![0, 1]).run_size(2)).unwrap();
+        let got: Vec<(i64, String)> = sorted
+            .read_all()
+            .unwrap()
+            .iter()
+            .map(|t| (t.get(0).as_i64().unwrap(), t.get(1).as_str().unwrap().to_string()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (1, "a".to_string()),
+                (1, "z".to_string()),
+                (2, "a".to_string()),
+                (2, "b".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let t = make_table();
+        let sorted = external_sort(&t, &SortConfig::by_columns(vec![0])).unwrap();
+        assert!(sorted.is_empty());
+
+        t.insert(&Tuple::new(vec![Value::I64(9), Value::from("only")])).unwrap();
+        let sorted = external_sort(&t, &SortConfig::by_columns(vec![0])).unwrap();
+        assert_eq!(ids_of(&sorted), vec![9]);
+    }
+
+    #[test]
+    fn already_sorted_input_is_preserved() {
+        let t = make_table();
+        for i in 0..100 {
+            t.insert(&Tuple::new(vec![Value::I64(i), Value::from("s")])).unwrap();
+        }
+        let sorted = external_sort(&t, &SortConfig::by_columns(vec![0]).run_size(10)).unwrap();
+        assert_eq!(ids_of(&sorted), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_keys_all_survive() {
+        let t = make_table();
+        for _ in 0..50 {
+            t.insert(&Tuple::new(vec![Value::I64(5), Value::from("dup")])).unwrap();
+        }
+        let sorted = external_sort(&t, &SortConfig::by_columns(vec![0]).run_size(7)).unwrap();
+        assert_eq!(sorted.len(), 50);
+        assert!(ids_of(&sorted).iter().all(|&v| v == 5));
+    }
+}

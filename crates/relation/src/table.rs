@@ -1,0 +1,213 @@
+//! Heap-file-backed tables with pull-based scans.
+
+use std::sync::Arc;
+
+use fuzzydedup_storage::{BufferPool, HeapFile, RecordId};
+
+use crate::error::RelationResult;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// A relation: a schema plus a heap file of encoded tuples.
+pub struct Table {
+    schema: Arc<Schema>,
+    heap: HeapFile,
+}
+
+impl Table {
+    /// Create an empty table on a buffer pool.
+    pub fn create(pool: Arc<BufferPool>, schema: Arc<Schema>) -> Self {
+        Self { schema, heap: HeapFile::create(pool) }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The buffer pool backing this table.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        self.heap.pool()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> u64 {
+        self.heap.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pages occupied.
+    pub fn num_pages(&self) -> usize {
+        self.heap.num_pages()
+    }
+
+    /// Insert a tuple after validating it against the schema.
+    pub fn insert(&self, tuple: &Tuple) -> RelationResult<RecordId> {
+        self.schema.check(tuple.values())?;
+        Ok(self.heap.insert(&tuple.encode())?)
+    }
+
+    /// Fetch one tuple by record id.
+    pub fn get(&self, id: RecordId) -> RelationResult<Tuple> {
+        let bytes = self.heap.get(id)?;
+        Tuple::decode(&bytes)
+    }
+
+    /// Visit every tuple in storage order.
+    pub fn scan(&self, mut visit: impl FnMut(RecordId, Tuple)) -> RelationResult<()> {
+        let mut decode_err = None;
+        self.heap.scan(|id, bytes| {
+            if decode_err.is_some() {
+                return;
+            }
+            match Tuple::decode(bytes) {
+                Ok(t) => visit(id, t),
+                Err(e) => decode_err = Some(e),
+            }
+        })?;
+        match decode_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Pull-based tuple iterator over a snapshot of the table (materialized
+    /// on the first `next()` call; each page is touched exactly once).
+    pub fn iter(&self) -> TupleIter<'_> {
+        TupleIter { table: self, buffered: Vec::new(), buffered_pos: 0, done: false, fetched: false }
+    }
+
+    /// Collect all tuples into memory.
+    pub fn read_all(&self) -> RelationResult<Vec<Tuple>> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        self.scan(|_, t| out.push(t))?;
+        Ok(out)
+    }
+}
+
+/// Pull iterator over a table's tuples.
+///
+/// The current implementation materializes the scan buffer lazily on first
+/// `next()` call; each item is `RelationResult<Tuple>` so decode errors
+/// surface instead of silently truncating.
+pub struct TupleIter<'a> {
+    table: &'a Table,
+    buffered: Vec<Tuple>,
+    buffered_pos: usize,
+    done: bool,
+    fetched: bool,
+}
+
+impl Iterator for TupleIter<'_> {
+    type Item = RelationResult<Tuple>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if !self.fetched {
+            self.fetched = true;
+            match self.table.read_all() {
+                Ok(tuples) => self.buffered = tuples,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        if self.buffered_pos < self.buffered.len() {
+            let t = self.buffered[self.buffered_pos].clone();
+            self.buffered_pos += 1;
+            Some(Ok(t))
+        } else {
+            self.done = true;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+    use crate::value::Value;
+    use fuzzydedup_storage::{BufferPoolConfig, InMemoryDisk};
+
+    fn make_table() -> Table {
+        let disk = Arc::new(InMemoryDisk::new());
+        let pool = Arc::new(BufferPool::new(BufferPoolConfig::with_capacity(4), disk));
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("id", ColumnType::I64),
+            Column::new("name", ColumnType::Str),
+        ]));
+        Table::create(pool, schema)
+    }
+
+    fn row(id: i64, name: &str) -> Tuple {
+        Tuple::new(vec![Value::I64(id), Value::from(name)])
+    }
+
+    #[test]
+    fn insert_scan_roundtrip() {
+        let t = make_table();
+        for i in 0..10 {
+            t.insert(&row(i, &format!("name{i}"))).unwrap();
+        }
+        assert_eq!(t.len(), 10);
+        let all = t.read_all().unwrap();
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[3].get(1).as_str().unwrap(), "name3");
+    }
+
+    #[test]
+    fn schema_enforced_on_insert() {
+        let t = make_table();
+        let bad_arity = Tuple::new(vec![Value::I64(1)]);
+        assert!(t.insert(&bad_arity).is_err());
+        let bad_type = Tuple::new(vec![Value::Str("x".into()), Value::Str("y".into())]);
+        assert!(t.insert(&bad_type).is_err());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn get_by_record_id() {
+        let t = make_table();
+        let rid = t.insert(&row(42, "answer")).unwrap();
+        let back = t.get(rid).unwrap();
+        assert_eq!(back.get(0).as_i64().unwrap(), 42);
+    }
+
+    #[test]
+    fn iterator_yields_everything() {
+        let t = make_table();
+        for i in 0..25 {
+            t.insert(&row(i, "x")).unwrap();
+        }
+        let ids: Vec<i64> =
+            t.iter().map(|r| r.unwrap().get(0).as_i64().unwrap()).collect();
+        assert_eq!(ids, (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn large_table_spills_pages() {
+        let t = make_table();
+        let long_name = "x".repeat(500);
+        for i in 0..100 {
+            t.insert(&row(i, &long_name)).unwrap();
+        }
+        assert!(t.num_pages() > 1);
+        assert_eq!(t.read_all().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = make_table();
+        assert!(t.is_empty());
+        assert_eq!(t.iter().count(), 0);
+        assert!(t.read_all().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,429 @@
+//! Typed values with a total order and a compact binary encoding.
+//!
+//! The value set is the one Phase 2 needs: integers for tuple identifiers,
+//! floats for distances and neighborhood growths, strings for record
+//! attributes, booleans for the `CSi` flags, and *neighbor lists* — the
+//! `NN-List` attribute of `NN_Reln` holding `(tuple id, distance)` pairs
+//! sorted by distance.
+//!
+//! `Value` implements a **total order** (floats via `f64::total_cmp`, NaN
+//! sorting last) so it can key external sorts without panics.
+
+use std::cmp::Ordering;
+
+use crate::error::{RelationError, RelationResult};
+
+/// One entry of an `NN-List`: a neighbor's tuple id and its distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Neighboring tuple's identifier.
+    pub id: u32,
+    /// Distance from the list's owner to this neighbor.
+    pub dist: f64,
+}
+
+impl Neighbor {
+    /// Construct a neighbor entry.
+    pub fn new(id: u32, dist: f64) -> Self {
+        Self { id, dist }
+    }
+}
+
+/// A typed relational value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean (the `CSi` flags of the CSPairs relation).
+    Bool(bool),
+    /// 64-bit integer (tuple identifiers, counts).
+    I64(i64),
+    /// 64-bit float (distances, neighborhood growths).
+    F64(f64),
+    /// UTF-8 string (record attributes).
+    Str(String),
+    /// Neighbor list sorted ascending by distance (the `NN-List` column).
+    Neighbors(Vec<Neighbor>),
+    /// List of booleans (the `[CS2..CSK]` vector, variable length for the
+    /// diameter specification).
+    BoolList(Vec<bool>),
+}
+
+impl Value {
+    /// Type tag used by the binary encoding and by schema checks.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) => "i64",
+            Value::F64(_) => "f64",
+            Value::Str(_) => "str",
+            Value::Neighbors(_) => "neighbors",
+            Value::BoolList(_) => "boollist",
+        }
+    }
+
+    /// Extract an i64, erroring on other types.
+    pub fn as_i64(&self) -> RelationResult<i64> {
+        match self {
+            Value::I64(v) => Ok(*v),
+            other => Err(RelationError::SchemaMismatch {
+                expected: "i64".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Extract an f64, erroring on other types.
+    pub fn as_f64(&self) -> RelationResult<f64> {
+        match self {
+            Value::F64(v) => Ok(*v),
+            other => Err(RelationError::SchemaMismatch {
+                expected: "f64".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Extract a string slice, erroring on other types.
+    pub fn as_str(&self) -> RelationResult<&str> {
+        match self {
+            Value::Str(v) => Ok(v),
+            other => Err(RelationError::SchemaMismatch {
+                expected: "str".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Extract a neighbor list, erroring on other types.
+    pub fn as_neighbors(&self) -> RelationResult<&[Neighbor]> {
+        match self {
+            Value::Neighbors(v) => Ok(v),
+            other => Err(RelationError::SchemaMismatch {
+                expected: "neighbors".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Extract a bool list, erroring on other types.
+    pub fn as_bool_list(&self) -> RelationResult<&[bool]> {
+        match self {
+            Value::BoolList(v) => Ok(v),
+            other => Err(RelationError::SchemaMismatch {
+                expected: "boollist".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::I64(_) => 2,
+            Value::F64(_) => 3,
+            Value::Str(_) => 4,
+            Value::Neighbors(_) => 5,
+            Value::BoolList(_) => 6,
+        }
+    }
+
+    /// Append the binary encoding of this value to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(0),
+            Value::Bool(b) => {
+                out.push(1);
+                out.push(u8::from(*b));
+            }
+            Value::I64(v) => {
+                out.push(2);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Value::F64(v) => {
+                out.push(3);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(4);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Neighbors(ns) => {
+                out.push(5);
+                out.extend_from_slice(&(ns.len() as u32).to_le_bytes());
+                for n in ns {
+                    out.extend_from_slice(&n.id.to_le_bytes());
+                    out.extend_from_slice(&n.dist.to_le_bytes());
+                }
+            }
+            Value::BoolList(bs) => {
+                out.push(6);
+                out.extend_from_slice(&(bs.len() as u32).to_le_bytes());
+                out.extend(bs.iter().map(|&b| u8::from(b)));
+            }
+        }
+    }
+
+    /// Decode one value from `bytes` starting at `*pos`, advancing `*pos`.
+    pub fn decode(bytes: &[u8], pos: &mut usize) -> RelationResult<Value> {
+        fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> RelationResult<&'a [u8]> {
+            let end = *pos + n;
+            if end > bytes.len() {
+                return Err(RelationError::DecodeError("truncated value"));
+            }
+            let slice = &bytes[*pos..end];
+            *pos = end;
+            Ok(slice)
+        }
+        fn take_u32(bytes: &[u8], pos: &mut usize) -> RelationResult<u32> {
+            Ok(u32::from_le_bytes(take(bytes, pos, 4)?.try_into().unwrap()))
+        }
+
+        let tag = *bytes.get(*pos).ok_or(RelationError::DecodeError("missing tag"))?;
+        *pos += 1;
+        match tag {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Bool(take(bytes, pos, 1)?[0] != 0)),
+            2 => Ok(Value::I64(i64::from_le_bytes(take(bytes, pos, 8)?.try_into().unwrap()))),
+            3 => Ok(Value::F64(f64::from_le_bytes(take(bytes, pos, 8)?.try_into().unwrap()))),
+            4 => {
+                let len = take_u32(bytes, pos)? as usize;
+                let raw = take(bytes, pos, len)?;
+                let s = std::str::from_utf8(raw)
+                    .map_err(|_| RelationError::DecodeError("invalid utf-8"))?;
+                Ok(Value::Str(s.to_string()))
+            }
+            5 => {
+                let len = take_u32(bytes, pos)? as usize;
+                let mut ns = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let id = take_u32(bytes, pos)?;
+                    let dist =
+                        f64::from_le_bytes(take(bytes, pos, 8)?.try_into().unwrap());
+                    ns.push(Neighbor::new(id, dist));
+                }
+                Ok(Value::Neighbors(ns))
+            }
+            6 => {
+                let len = take_u32(bytes, pos)? as usize;
+                let raw = take(bytes, pos, len)?;
+                Ok(Value::BoolList(raw.iter().map(|&b| b != 0).collect()))
+            }
+            _ => Err(RelationError::DecodeError("unknown tag")),
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::I64(v) => v.hash(state),
+            // Hash the bit pattern; consistent with `Ord` via `total_cmp`
+            // for all values a HashMap key would actually contain (equal
+            // bit patterns compare equal).
+            Value::F64(v) => v.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Neighbors(ns) => {
+                ns.len().hash(state);
+                for n in ns {
+                    n.id.hash(state);
+                    n.dist.to_bits().hash(state);
+                }
+            }
+            Value::BoolList(bs) => bs.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (I64(a), I64(b)) => a.cmp(b),
+            (F64(a), F64(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Neighbors(a), Neighbors(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let c = x.id.cmp(&y.id).then(x.dist.total_cmp(&y.dist));
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (BoolList(a), BoolList(b)) => a.cmp(b),
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::I64(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut pos = 0;
+        let back = Value::decode(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len(), "decode must consume everything");
+        back
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let values = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::I64(-42),
+            Value::I64(i64::MAX),
+            Value::F64(0.375),
+            Value::F64(f64::NEG_INFINITY),
+            Value::Str("".into()),
+            Value::Str("the doors — la woman".into()),
+            Value::Neighbors(vec![Neighbor::new(1, 0.1), Neighbor::new(7, 0.9)]),
+            Value::Neighbors(vec![]),
+            Value::BoolList(vec![true, false, true]),
+            Value::BoolList(vec![]),
+        ];
+        for v in &values {
+            assert_eq!(&roundtrip(v), v);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::I64(5).as_i64().unwrap(), 5);
+        assert_eq!(Value::F64(2.5).as_f64().unwrap(), 2.5);
+        assert_eq!(Value::Str("x".into()).as_str().unwrap(), "x");
+        assert!(Value::I64(5).as_str().is_err());
+        assert!(Value::Str("x".into()).as_i64().is_err());
+        let ns = Value::Neighbors(vec![Neighbor::new(3, 0.5)]);
+        assert_eq!(ns.as_neighbors().unwrap()[0].id, 3);
+        assert!(ns.as_bool_list().is_err());
+        assert_eq!(Value::BoolList(vec![true]).as_bool_list().unwrap(), &[true]);
+    }
+
+    #[test]
+    fn total_order_across_types() {
+        let mut vals = [
+            Value::Str("a".into()),
+            Value::I64(1),
+            Value::Null,
+            Value::F64(0.5),
+            Value::Bool(true),
+        ];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert!(matches!(vals[4], Value::Str(_)));
+    }
+
+    #[test]
+    fn nan_sorts_without_panic() {
+        let mut vals = [Value::F64(f64::NAN), Value::F64(1.0), Value::F64(-1.0)];
+        vals.sort();
+        assert_eq!(vals[0], Value::F64(-1.0));
+        assert_eq!(vals[1], Value::F64(1.0));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut pos = 0;
+        assert!(Value::decode(&[], &mut pos).is_err());
+        let mut pos = 0;
+        assert!(Value::decode(&[99], &mut pos).is_err());
+        let mut pos = 0;
+        assert!(Value::decode(&[2, 1, 2], &mut pos).is_err(), "truncated i64");
+        let mut pos = 0;
+        assert!(Value::decode(&[4, 5, 0, 0, 0, b'a'], &mut pos).is_err(), "short string");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::I64(3));
+        assert_eq!(Value::from(3u32), Value::I64(3));
+        assert_eq!(Value::from(0.5f64), Value::F64(0.5));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_strings(s in ".{0,80}") {
+            let v = Value::Str(s);
+            prop_assert_eq!(roundtrip(&v), v);
+        }
+
+        #[test]
+        fn roundtrip_neighbors(ns in prop::collection::vec((any::<u32>(), any::<f64>()), 0..32)) {
+            let v = Value::Neighbors(ns.iter().map(|&(i, d)| Neighbor::new(i, d)).collect());
+            let back = roundtrip(&v);
+            // NaN distances compare unequal under PartialEq; compare bits.
+            if let (Value::Neighbors(a), Value::Neighbors(b)) = (&v, &back) {
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    prop_assert_eq!(x.id, y.id);
+                    prop_assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+                }
+            } else {
+                prop_assert!(false, "wrong variant");
+            }
+        }
+
+        #[test]
+        fn ord_is_total_and_consistent(a in any::<i64>(), b in any::<i64>()) {
+            let va = Value::I64(a);
+            let vb = Value::I64(b);
+            prop_assert_eq!(va.cmp(&vb), a.cmp(&b));
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! Buffer pool: fixed set of page frames with replacement and statistics.
+//!
+//! The pool is the centerpiece of the Figure-8 reproduction: the paper's
+//! breadth-first lookup order wins *because* consecutive nearest-neighbor
+//! lookups touch the same index pages, raising the database buffer hit
+//! ratio. [`BufferStats`] exposes hits, misses, evictions and dirty
+//! write-backs; the experiment drivers derive "buffer hit ratio",
+//! "processor usage" (useful-work fraction under a fixed page-miss stall
+//! cost) and lookup throughput from them.
+//!
+//! Access is closure-based ([`BufferPool::with_page`] /
+//! [`BufferPool::with_page_mut`]): the page is pinned for the duration of
+//! the closure and unpinned afterwards, which makes pin leaks impossible in
+//! safe code. Replacement is LRU (via an ordered recency index, `O(log n)`
+//! per access) or Clock (second chance, `O(1)` amortized).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::disk::DiskManager;
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PageId, PAGE_SIZE};
+
+/// Replacement policy for the buffer pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used unpinned frame.
+    #[default]
+    Lru,
+    /// Clock / second-chance.
+    Clock,
+}
+
+/// Buffer pool configuration.
+#[derive(Debug, Clone)]
+pub struct BufferPoolConfig {
+    /// Number of page frames.
+    pub capacity: usize,
+    /// Replacement policy.
+    pub policy: ReplacementPolicy,
+}
+
+impl BufferPoolConfig {
+    /// Capacity given as a memory budget in bytes (rounded down to whole
+    /// pages, minimum one frame). `BufferPoolConfig::with_memory(32 << 20)`
+    /// models the paper's "32MB" database buffer.
+    pub fn with_memory(bytes: usize) -> Self {
+        Self { capacity: (bytes / PAGE_SIZE).max(1), policy: ReplacementPolicy::Lru }
+    }
+
+    /// Capacity in frames.
+    pub fn with_capacity(frames: usize) -> Self {
+        Self { capacity: frames.max(1), policy: ReplacementPolicy::Lru }
+    }
+
+    /// Select a replacement policy.
+    pub fn policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Cumulative buffer pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Page requests served from a resident frame.
+    pub hits: u64,
+    /// Page requests that required a disk read.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty frames written back to disk on eviction or flush.
+    pub writebacks: u64,
+}
+
+impl BufferStats {
+    /// Total page requests.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; `0` when no accesses were made.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Frame {
+    page_id: Option<PageId>,
+    page: Page,
+    dirty: bool,
+    pins: u32,
+    /// LRU recency tick (key into `lru_index`).
+    tick: u64,
+    /// Clock reference bit.
+    referenced: bool,
+}
+
+struct Inner {
+    frames: Vec<Frame>,
+    page_table: HashMap<PageId, usize>,
+    /// tick -> frame index, for O(log n) LRU victim selection.
+    lru_index: BTreeMap<u64, usize>,
+    clock_hand: usize,
+    next_tick: u64,
+}
+
+/// A fixed-capacity pool of page frames over a [`DiskManager`].
+pub struct BufferPool {
+    disk: Arc<dyn DiskManager>,
+    inner: Mutex<Inner>,
+    policy: ReplacementPolicy,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
+}
+
+impl BufferPool {
+    /// Create a pool over a disk manager.
+    pub fn new(config: BufferPoolConfig, disk: Arc<dyn DiskManager>) -> Self {
+        let frames = (0..config.capacity)
+            .map(|_| Frame {
+                page_id: None,
+                page: Page::new(),
+                dirty: false,
+                pins: 0,
+                tick: 0,
+                referenced: false,
+            })
+            .collect();
+        Self {
+            disk,
+            inner: Mutex::new(Inner {
+                frames,
+                page_table: HashMap::new(),
+                lru_index: BTreeMap::new(),
+                clock_hand: 0,
+                next_tick: 1,
+            }),
+            policy: config.policy,
+            capacity: config.capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            writebacks: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying disk manager.
+    pub fn disk(&self) -> &Arc<dyn DiskManager> {
+        &self.disk
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Allocate a fresh page on the backing disk.
+    pub fn allocate_page(&self) -> PageId {
+        self.disk.allocate()
+    }
+
+    /// Snapshot of the cumulative statistics.
+    pub fn stats(&self) -> BufferStats {
+        BufferStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the statistics (frame contents are untouched), e.g. between a
+    /// warm-up phase and a measured phase.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.writebacks.store(0, Ordering::Relaxed);
+    }
+
+    /// Run `f` with shared access to a page, pinning it for the duration.
+    ///
+    /// The pool latch is held while `f` runs: `f` must not call back into
+    /// this pool (use [`crate::heap::HeapFile::scan`]-style copy-out when a
+    /// visitor needs to perform further storage operations).
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> StorageResult<R> {
+        let mut inner = self.inner.lock();
+        let idx = self.fetch(&mut inner, id)?;
+        inner.frames[idx].pins += 1;
+        // The pool lock is held across `f`; all consumers in this workspace
+        // perform short, CPU-only work inside the closure.
+        let result = f(&inner.frames[idx].page);
+        inner.frames[idx].pins -= 1;
+        Ok(result)
+    }
+
+    /// Run `f` with exclusive access to a page, marking it dirty.
+    pub fn with_page_mut<R>(
+        &self,
+        id: PageId,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> StorageResult<R> {
+        let mut inner = self.inner.lock();
+        let idx = self.fetch(&mut inner, id)?;
+        inner.frames[idx].pins += 1;
+        inner.frames[idx].dirty = true;
+        let result = f(&mut inner.frames[idx].page);
+        inner.frames[idx].pins -= 1;
+        Ok(result)
+    }
+
+    /// Write all dirty frames back to disk.
+    pub fn flush_all(&self) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        for idx in 0..inner.frames.len() {
+            if inner.frames[idx].dirty {
+                if let Some(pid) = inner.frames[idx].page_id {
+                    self.disk.write(pid, &inner.frames[idx].page)?;
+                    self.writebacks.fetch_add(1, Ordering::Relaxed);
+                    inner.frames[idx].dirty = false;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.inner.lock().page_table.len()
+    }
+
+    fn touch(&self, inner: &mut Inner, idx: usize) {
+        match self.policy {
+            ReplacementPolicy::Lru => {
+                let old_tick = inner.frames[idx].tick;
+                if old_tick != 0 {
+                    inner.lru_index.remove(&old_tick);
+                }
+                let tick = inner.next_tick;
+                inner.next_tick += 1;
+                inner.frames[idx].tick = tick;
+                inner.lru_index.insert(tick, idx);
+            }
+            ReplacementPolicy::Clock => {
+                inner.frames[idx].referenced = true;
+            }
+        }
+    }
+
+    fn fetch(&self, inner: &mut Inner, id: PageId) -> StorageResult<usize> {
+        if let Some(&idx) = inner.page_table.get(&id) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.touch(inner, idx);
+            return Ok(idx);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let idx = self.find_victim(inner)?;
+        // Write back the evicted page if needed.
+        if let Some(old_id) = inner.frames[idx].page_id.take() {
+            inner.page_table.remove(&old_id);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            if inner.frames[idx].dirty {
+                self.disk.write(old_id, &inner.frames[idx].page)?;
+                self.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let page = self.disk.read(id)?;
+        let frame = &mut inner.frames[idx];
+        frame.page = page;
+        frame.page_id = Some(id);
+        frame.dirty = false;
+        inner.page_table.insert(id, idx);
+        self.touch(inner, idx);
+        Ok(idx)
+    }
+
+    fn find_victim(&self, inner: &mut Inner) -> StorageResult<usize> {
+        // Prefer a frame that has never held a page.
+        if let Some(idx) = inner.frames.iter().position(|f| f.page_id.is_none()) {
+            return Ok(idx);
+        }
+        match self.policy {
+            ReplacementPolicy::Lru => {
+                let victim = inner
+                    .lru_index
+                    .iter()
+                    .map(|(&tick, &idx)| (tick, idx))
+                    .find(|&(_, idx)| inner.frames[idx].pins == 0);
+                match victim {
+                    Some((tick, idx)) => {
+                        inner.lru_index.remove(&tick);
+                        inner.frames[idx].tick = 0;
+                        Ok(idx)
+                    }
+                    None => Err(StorageError::BufferPoolFull),
+                }
+            }
+            ReplacementPolicy::Clock => {
+                let n = inner.frames.len();
+                // Two sweeps: the first clears reference bits, the second
+                // must find a victim unless everything is pinned.
+                for _ in 0..2 * n {
+                    let idx = inner.clock_hand;
+                    inner.clock_hand = (inner.clock_hand + 1) % n;
+                    let frame = &mut inner.frames[idx];
+                    if frame.pins > 0 {
+                        continue;
+                    }
+                    if frame.referenced {
+                        frame.referenced = false;
+                    } else {
+                        return Ok(idx);
+                    }
+                }
+                Err(StorageError::BufferPoolFull)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::InMemoryDisk;
+
+    fn pool(capacity: usize, policy: ReplacementPolicy) -> BufferPool {
+        let disk = Arc::new(InMemoryDisk::new());
+        BufferPool::new(BufferPoolConfig { capacity, policy }, disk)
+    }
+
+    fn write_marker(pool: &BufferPool, id: PageId, marker: u8) {
+        pool.with_page_mut(id, |p| {
+            p.insert(&[marker]).unwrap();
+        })
+        .unwrap();
+    }
+
+    fn read_marker(pool: &BufferPool, id: PageId) -> u8 {
+        pool.with_page(id, |p| p.get(0).unwrap()[0]).unwrap()
+    }
+
+    #[test]
+    fn pages_survive_eviction() {
+        for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Clock] {
+            let pool = pool(2, policy);
+            let ids: Vec<PageId> = (0..5).map(|_| pool.allocate_page()).collect();
+            for (i, &id) in ids.iter().enumerate() {
+                write_marker(&pool, id, i as u8);
+            }
+            // Only 2 frames: earlier pages were evicted and written back.
+            for (i, &id) in ids.iter().enumerate() {
+                assert_eq!(read_marker(&pool, id), i as u8, "policy {policy:?}");
+            }
+            let stats = pool.stats();
+            assert!(stats.evictions > 0);
+            assert!(stats.writebacks > 0);
+        }
+    }
+
+    #[test]
+    fn hit_when_resident() {
+        let pool = pool(4, ReplacementPolicy::Lru);
+        let id = pool.allocate_page();
+        write_marker(&pool, id, 1);
+        pool.reset_stats();
+        for _ in 0..10 {
+            read_marker(&pool, id);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.hits, 10);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let pool = pool(2, ReplacementPolicy::Lru);
+        let a = pool.allocate_page();
+        let b = pool.allocate_page();
+        let c = pool.allocate_page();
+        write_marker(&pool, a, 0);
+        write_marker(&pool, b, 1);
+        read_marker(&pool, a); // a is now the most recent
+        write_marker(&pool, c, 2); // evicts b
+        pool.reset_stats();
+        read_marker(&pool, a);
+        read_marker(&pool, c);
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 0, "a and c should be resident");
+        read_marker(&pool, b);
+        assert_eq!(pool.stats().misses, 1, "b was the LRU victim");
+    }
+
+    #[test]
+    fn locality_beats_random_access() {
+        // The core phenomenon behind Figure 8: sequentially-local access
+        // patterns enjoy a far higher hit ratio than scattered ones.
+        let pool_local = pool(8, ReplacementPolicy::Lru);
+        let ids: Vec<PageId> = (0..64).map(|_| pool_local.allocate_page()).collect();
+        for &id in &ids {
+            write_marker(&pool_local, id, 0);
+        }
+        pool_local.reset_stats();
+        // Local: dwell on a window of 4 pages at a time.
+        for w in ids.chunks(4) {
+            for _ in 0..8 {
+                for &id in w {
+                    read_marker(&pool_local, id);
+                }
+            }
+        }
+        let local_ratio = pool_local.stats().hit_ratio();
+
+        let pool_rand = pool(8, ReplacementPolicy::Lru);
+        let ids2: Vec<PageId> = (0..64).map(|_| pool_rand.allocate_page()).collect();
+        for &id in &ids2 {
+            write_marker(&pool_rand, id, 0);
+        }
+        pool_rand.reset_stats();
+        // Scattered: stride through all pages repeatedly.
+        for round in 0..32 {
+            for (i, _) in ids2.iter().enumerate() {
+                let id = ids2[(i * 17 + round * 7) % ids2.len()];
+                read_marker(&pool_rand, id);
+            }
+        }
+        let rand_ratio = pool_rand.stats().hit_ratio();
+        assert!(
+            local_ratio > rand_ratio + 0.2,
+            "local {local_ratio:.3} should beat random {rand_ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn flush_all_persists_dirty_pages() {
+        let disk = Arc::new(InMemoryDisk::new());
+        let pool = BufferPool::new(BufferPoolConfig::with_capacity(4), disk.clone());
+        let id = pool.allocate_page();
+        write_marker(&pool, id, 42);
+        assert_eq!(disk.writes(), 0, "write should be buffered");
+        pool.flush_all().unwrap();
+        assert_eq!(disk.writes(), 1);
+        // Direct disk read sees the flushed content.
+        let p = disk.read(id).unwrap();
+        assert_eq!(p.get(0), Some(&[42u8][..]));
+        // Flushing again is a no-op (page now clean).
+        pool.flush_all().unwrap();
+        assert_eq!(disk.writes(), 1);
+    }
+
+    #[test]
+    fn with_memory_config() {
+        let cfg = BufferPoolConfig::with_memory(32 << 20);
+        assert_eq!(cfg.capacity, (32 << 20) / PAGE_SIZE);
+        let tiny = BufferPoolConfig::with_memory(1);
+        assert_eq!(tiny.capacity, 1, "minimum one frame");
+    }
+
+    #[test]
+    fn capacity_one_pool_works() {
+        let pool = pool(1, ReplacementPolicy::Lru);
+        let a = pool.allocate_page();
+        let b = pool.allocate_page();
+        write_marker(&pool, a, 1);
+        write_marker(&pool, b, 2);
+        assert_eq!(read_marker(&pool, a), 1);
+        assert_eq!(read_marker(&pool, b), 2);
+    }
+
+    #[test]
+    fn clock_policy_second_chance() {
+        let pool = pool(3, ReplacementPolicy::Clock);
+        let ids: Vec<PageId> = (0..6).map(|_| pool.allocate_page()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            write_marker(&pool, id, i as u8);
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(read_marker(&pool, id), i as u8);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let pool = pool(2, ReplacementPolicy::Lru);
+        let id = pool.allocate_page();
+        write_marker(&pool, id, 0);
+        assert!(pool.stats().accesses() > 0);
+        pool.reset_stats();
+        assert_eq!(pool.stats(), BufferStats::default());
+        assert_eq!(BufferStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn resident_pages_tracks_occupancy() {
+        let pool = pool(4, ReplacementPolicy::Lru);
+        assert_eq!(pool.resident_pages(), 0);
+        let ids: Vec<PageId> = (0..6).map(|_| pool.allocate_page()).collect();
+        for &id in &ids {
+            write_marker(&pool, id, 0);
+        }
+        assert_eq!(pool.resident_pages(), 4, "occupancy capped at capacity");
+    }
+}

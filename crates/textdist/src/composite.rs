@@ -1,0 +1,146 @@
+//! Composite multi-attribute record distances.
+//!
+//! The paper's relations are multi-attribute (`Media[artistName, trackName]`,
+//! `Org[name, address, city, state, zipcode]`, `Census[...]`). Its distance
+//! functions treat the record as a whole; in practice data-cleaning
+//! deployments often weight attributes differently (a zip-code mismatch
+//! matters less than an organization-name mismatch). [`CompositeDistance`]
+//! combines per-field distances with normalized weights, with a fallback to
+//! whole-record distance when field counts differ.
+
+use crate::Distance;
+
+/// Weight assigned to one field of a record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldWeight {
+    /// 0-based field index.
+    pub field: usize,
+    /// Non-negative relative weight.
+    pub weight: f64,
+}
+
+impl FieldWeight {
+    /// Construct a field weight.
+    pub fn new(field: usize, weight: f64) -> Self {
+        Self { field, weight: weight.max(0.0) }
+    }
+}
+
+/// Weighted combination of an inner distance applied per field.
+///
+/// `d(a, b) = Σ_i w_i · inner(a_i, b_i) / Σ_i w_i` over the configured
+/// fields. Fields absent from either record contribute distance `1`
+/// (maximally dissimilar) for their weight. If no weights are configured,
+/// all fields present in either record are weighted equally.
+pub struct CompositeDistance<D> {
+    inner: D,
+    weights: Vec<FieldWeight>,
+    name: String,
+}
+
+impl<D: Distance> CompositeDistance<D> {
+    /// Equal weighting across fields.
+    pub fn uniform(inner: D) -> Self {
+        let name = format!("composite({})", inner.name());
+        Self { inner, weights: Vec::new(), name }
+    }
+
+    /// Explicit per-field weights; fields not listed are ignored.
+    pub fn weighted(inner: D, weights: Vec<FieldWeight>) -> Self {
+        let name = format!("composite({})", inner.name());
+        Self { inner, weights, name }
+    }
+}
+
+impl<D: Distance> Distance for CompositeDistance<D> {
+    fn distance(&self, a: &[&str], b: &[&str]) -> f64 {
+        let n_fields = a.len().max(b.len());
+        if n_fields == 0 {
+            return 0.0;
+        }
+        let field_dist = |i: usize| -> f64 {
+            match (a.get(i), b.get(i)) {
+                (Some(fa), Some(fb)) => self.inner.distance(&[fa], &[fb]),
+                (None, None) => 0.0,
+                _ => 1.0,
+            }
+        };
+        if self.weights.is_empty() {
+            let total: f64 = (0..n_fields).map(field_dist).sum();
+            total / n_fields as f64
+        } else {
+            let wsum: f64 = self.weights.iter().map(|w| w.weight).sum();
+            if wsum == 0.0 {
+                return 0.0;
+            }
+            let total: f64 =
+                self.weights.iter().map(|w| w.weight * field_dist(w.field)).sum();
+            (total / wsum).clamp(0.0, 1.0)
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::EditDistance;
+
+    #[test]
+    fn uniform_averages_fields() {
+        let d = CompositeDistance::uniform(EditDistance);
+        // One identical field, one fully different single-char field.
+        let x = d.distance(&["abc", "x"], &["abc", "y"]);
+        assert!((x - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let d = CompositeDistance::weighted(
+            EditDistance,
+            vec![FieldWeight::new(0, 3.0), FieldWeight::new(1, 1.0)],
+        );
+        // field 0 identical, field 1 different → 1/4 of the weight mismatched.
+        let x = d.distance(&["abc", "x"], &["abc", "y"]);
+        assert!((x - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_fields_cost_full_weight() {
+        let d = CompositeDistance::uniform(EditDistance);
+        let x = d.distance(&["abc", "x"], &["abc"]);
+        assert!((x - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_empty_records() {
+        let d = CompositeDistance::uniform(EditDistance);
+        assert_eq!(d.distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn zero_weight_sum_is_zero_distance() {
+        let d = CompositeDistance::weighted(EditDistance, vec![FieldWeight::new(0, 0.0)]);
+        assert_eq!(d.distance(&["a"], &["b"]), 0.0);
+    }
+
+    #[test]
+    fn name_reflects_inner() {
+        let d = CompositeDistance::uniform(EditDistance);
+        assert_eq!(d.name(), "composite(ed)");
+    }
+
+    #[test]
+    fn symmetric() {
+        let d = CompositeDistance::weighted(
+            EditDistance,
+            vec![FieldWeight::new(0, 2.0), FieldWeight::new(1, 1.0)],
+        );
+        let ab = d.distance(&["lisa simpson", "seattle"], &["simson lisa", "seattle"]);
+        let ba = d.distance(&["simson lisa", "seattle"], &["lisa simpson", "seattle"]);
+        assert_eq!(ab, ba);
+    }
+}

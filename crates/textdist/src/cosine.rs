@@ -1,0 +1,149 @@
+//! TF-IDF weighted cosine distance over tokens.
+//!
+//! The classic IR similarity the paper contrasts with fms: each record is a
+//! TF-IDF vector over its tokens, similarity is the cosine of the angle
+//! between vectors, distance is `1 - similarity`. As the paper observes,
+//! cosine with IDF weighting places `"microsft corporation"` and
+//! `"boeing corporation"` closer than `"microsoft corp"` and
+//! `"microsft corporation"`, because it cannot see that `microsoft` and
+//! `microsft` are nearly the same token — motivating fms.
+
+use std::collections::HashMap;
+
+use crate::idf::IdfModel;
+use crate::tokenize::tokenize_record;
+use crate::Distance;
+
+/// TF-IDF cosine distance.
+#[derive(Debug, Clone)]
+pub struct CosineDistance {
+    idf: IdfModel,
+}
+
+impl CosineDistance {
+    /// Create with a fitted IDF model.
+    pub fn new(idf: IdfModel) -> Self {
+        Self { idf }
+    }
+
+    /// Access the IDF model.
+    pub fn idf_model(&self) -> &IdfModel {
+        &self.idf
+    }
+
+    fn vector(&self, fields: &[&str]) -> HashMap<String, f64> {
+        let mut tf: HashMap<String, f64> = HashMap::new();
+        for tok in tokenize_record(fields) {
+            *tf.entry(tok.text).or_insert(0.0) += 1.0;
+        }
+        for (t, w) in tf.iter_mut() {
+            *w *= self.idf.idf(t);
+        }
+        tf
+    }
+
+    /// Cosine similarity in `[0, 1]` between two records.
+    pub fn similarity(&self, a: &[&str], b: &[&str]) -> f64 {
+        let va = self.vector(a);
+        let vb = self.vector(b);
+        let (small, large) = if va.len() <= vb.len() { (&va, &vb) } else { (&vb, &va) };
+        let dot: f64 = small
+            .iter()
+            .filter_map(|(t, w)| large.get(t).map(|w2| w * w2))
+            .sum();
+        let na: f64 = va.values().map(|w| w * w).sum::<f64>().sqrt();
+        let nb: f64 = vb.values().map(|w| w * w).sum::<f64>().sqrt();
+        if na == 0.0 && nb == 0.0 {
+            return 1.0; // both empty: identical
+        }
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+}
+
+impl Distance for CosineDistance {
+    fn distance(&self, a: &[&str], b: &[&str]) -> f64 {
+        1.0 - self.similarity(a, b)
+    }
+
+    fn name(&self) -> &str {
+        "cosine"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist() -> CosineDistance {
+        let idf = IdfModel::fit_strings(&[
+            "microsoft corp",
+            "boeing corporation",
+            "microsft corporation",
+            "intel corp",
+            "mic corporation",
+        ]);
+        CosineDistance::new(idf)
+    }
+
+    #[test]
+    fn identical_records_at_zero() {
+        let d = dist();
+        assert!(d.distance_str("microsoft corp", "microsoft corp") < 1e-12);
+        assert!(d.distance_str("Microsoft Corp", "microsoft corp!") < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_records_at_one() {
+        let d = dist();
+        assert_eq!(d.distance_str("alpha beta", "gamma delta"), 1.0);
+    }
+
+    #[test]
+    fn paper_misranking_example() {
+        // Cosine (token-level) sees no similarity between "microsoft" and
+        // "microsft", so the shared-token pair wins. The paper uses this to
+        // motivate fms.
+        let d = dist();
+        let shared_corporation = d.distance_str("microsft corporation", "boeing corporation");
+        let typo_pair = d.distance_str("microsoft corp", "microsft corporation");
+        assert!(
+            shared_corporation < typo_pair,
+            "cosine should misrank: {shared_corporation} vs {typo_pair}"
+        );
+    }
+
+    #[test]
+    fn symmetry() {
+        let d = dist();
+        let ab = d.distance_str("microsoft corp", "boeing corporation");
+        let ba = d.distance_str("boeing corporation", "microsoft corp");
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        let d = dist();
+        assert_eq!(d.distance_str("", ""), 0.0);
+        assert_eq!(d.distance_str("", "abc"), 1.0);
+    }
+
+    #[test]
+    fn idf_downweights_common_tokens() {
+        let d = dist();
+        // Sharing only the very common token "corp"/"corporation" is worth
+        // less than sharing the rare token "microsoft".
+        let rare_shared = d.distance_str("microsoft corp", "microsoft inc");
+        let common_shared = d.distance_str("boeing corporation", "mic corporation");
+        assert!(rare_shared < common_shared);
+    }
+
+    #[test]
+    fn multi_field_records() {
+        let d = dist();
+        let x = d.distance(&["microsoft", "corp"], &["microsoft corp"]);
+        assert!(x < 1e-12, "field split should not matter for cosine: {x}");
+    }
+}

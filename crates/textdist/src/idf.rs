@@ -1,0 +1,157 @@
+//! Inverse-document-frequency model over tokens.
+//!
+//! Both the cosine metric and the fuzzy match similarity weight tokens by
+//! IDF so that frequent, uninformative tokens ("corp", "inc", "the") carry
+//! little weight while rare, discriminating tokens ("microsoft") dominate.
+//! The model is fit once over the relation being deduplicated — the paper
+//! treats the relation itself as the corpus.
+
+use std::collections::HashMap;
+
+use crate::tokenize::tokenize;
+
+/// IDF statistics for a token corpus.
+///
+/// `idf(t) = ln(1 + N / df(t))` where `N` is the number of documents
+/// (records) and `df(t)` the number of documents containing `t`. Unknown
+/// tokens receive the maximum observed specificity, `ln(1 + N)`, so that a
+/// rare typo'd token still carries high weight (important: a misspelled rare
+/// token must not become cheap to drop in fms).
+#[derive(Debug, Clone, Default)]
+pub struct IdfModel {
+    doc_freq: HashMap<String, u32>,
+    n_docs: u32,
+}
+
+impl IdfModel {
+    /// Fit over a corpus of documents, each already tokenized into strings.
+    pub fn fit_token_docs<S: AsRef<str>>(docs: &[Vec<S>]) -> Self {
+        let mut doc_freq: HashMap<String, u32> = HashMap::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for doc in docs {
+            seen.clear();
+            for tok in doc {
+                let t = tok.as_ref();
+                if !seen.contains(&t) {
+                    seen.push(t);
+                }
+            }
+            for t in &seen {
+                *doc_freq.entry((*t).to_string()).or_insert(0) += 1;
+            }
+        }
+        Self { doc_freq, n_docs: docs.len() as u32 }
+    }
+
+    /// Fit over raw strings, tokenizing each with [`tokenize`].
+    pub fn fit_strings<S: AsRef<str>>(docs: &[S]) -> Self {
+        let token_docs: Vec<Vec<String>> = docs
+            .iter()
+            .map(|d| tokenize(d.as_ref()).into_iter().map(|t| t.text).collect())
+            .collect();
+        Self::fit_token_docs(&token_docs)
+    }
+
+    /// Fit over multi-attribute records; every record is one document whose
+    /// tokens are the union of its fields' tokens.
+    pub fn fit_records(records: &[Vec<String>]) -> Self {
+        let token_docs: Vec<Vec<String>> = records
+            .iter()
+            .map(|r| {
+                r.iter().flat_map(|f| tokenize(f).into_iter().map(|t| t.text)).collect()
+            })
+            .collect();
+        Self::fit_token_docs(&token_docs)
+    }
+
+    /// Number of documents the model was fit on.
+    pub fn n_docs(&self) -> u32 {
+        self.n_docs
+    }
+
+    /// Number of distinct tokens observed.
+    pub fn vocabulary_size(&self) -> usize {
+        self.doc_freq.len()
+    }
+
+    /// Document frequency of a token (0 if unseen).
+    pub fn doc_freq(&self, token: &str) -> u32 {
+        self.doc_freq.get(token).copied().unwrap_or(0)
+    }
+
+    /// IDF weight of a token. Unknown tokens get the maximum weight
+    /// `ln(1 + N)`; with an empty model every token weighs `ln(2)`.
+    pub fn idf(&self, token: &str) -> f64 {
+        let n = self.n_docs.max(1) as f64;
+        match self.doc_freq.get(token) {
+            Some(&df) if df > 0 => (1.0 + n / df as f64).ln(),
+            _ => (1.0 + n).ln(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> IdfModel {
+        IdfModel::fit_strings(&[
+            "microsoft corp",
+            "boeing corp",
+            "intel corp",
+            "microsft corporation",
+        ])
+    }
+
+    #[test]
+    fn frequent_tokens_weigh_less() {
+        let m = corpus();
+        assert!(m.idf("corp") < m.idf("microsoft"));
+        assert!(m.idf("corp") < m.idf("boeing"));
+    }
+
+    #[test]
+    fn unknown_tokens_get_max_weight() {
+        let m = corpus();
+        let unknown = m.idf("zzzz");
+        assert!(unknown >= m.idf("microsoft"));
+        assert_eq!(unknown, (1.0 + 4.0f64).ln());
+    }
+
+    #[test]
+    fn doc_freq_counts_documents_not_occurrences() {
+        let m = IdfModel::fit_strings(&["a a a", "a b"]);
+        assert_eq!(m.doc_freq("a"), 2);
+        assert_eq!(m.doc_freq("b"), 1);
+        assert_eq!(m.n_docs(), 2);
+        assert_eq!(m.vocabulary_size(), 2);
+    }
+
+    #[test]
+    fn empty_model_is_usable() {
+        let m = IdfModel::default();
+        assert!(m.idf("anything") > 0.0);
+        assert_eq!(m.n_docs(), 0);
+    }
+
+    #[test]
+    fn idf_is_positive_and_monotone_in_rarity() {
+        let m = corpus();
+        for t in ["corp", "microsoft", "corporation", "boeing"] {
+            assert!(m.idf(t) > 0.0);
+        }
+        // df(corp)=3 > df(corporation)=1 so idf(corp) < idf(corporation)
+        assert!(m.idf("corp") < m.idf("corporation"));
+    }
+
+    #[test]
+    fn fit_records_unions_fields() {
+        let m = IdfModel::fit_records(&[
+            vec!["The Doors".into(), "LA Woman".into()],
+            vec!["Doors".into(), "LA Woman".into()],
+        ]);
+        assert_eq!(m.doc_freq("doors"), 2);
+        assert_eq!(m.doc_freq("la"), 2);
+        assert_eq!(m.doc_freq("the"), 1);
+    }
+}

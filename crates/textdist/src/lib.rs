@@ -1,0 +1,205 @@
+#![warn(missing_docs)]
+
+//! String and record distance functions for fuzzy duplicate detection.
+//!
+//! This crate provides the distance-function substrate used by the ICDE 2005
+//! paper *Robust Identification of Fuzzy Duplicates* (Chaudhuri, Ganti,
+//! Motwani). The paper's duplicate-elimination framework is deliberately
+//! orthogonal to the choice of distance function; its experiments use two:
+//!
+//! * **edit distance** (`ed`) — classic Levenshtein distance, normalized to
+//!   `[0, 1]`, see [`edit`];
+//! * **fuzzy match similarity** (`fms`) — a token-level function combining
+//!   edit distance with IDF weights, following Chaudhuri et al.'s "Robust and
+//!   efficient fuzzy match for online data cleaning" (SIGMOD 2003). We
+//!   implement the *symmetric* variant the paper evaluates, see [`fms`].
+//!
+//! In addition we provide TF-IDF [`cosine`] similarity, token/q-gram
+//! [`jaccard`], [`mod@jaro`]-Winkler, and [`mod@soundex`] as building blocks and
+//! extensions, plus [`composite`] record-level distances that combine
+//! per-attribute distances with weights.
+//!
+//! All distances implement the [`Distance`] trait and are **symmetric** and
+//! bounded in `[0, 1]`, as required by the duplicate-elimination framework
+//! (the paper assumes `d : R × R → [0, 1]` symmetric). Property tests in
+//! each module check symmetry, range, and identity-of-indiscernibles on the
+//! string representation.
+
+pub mod composite;
+pub mod cosine;
+pub mod edit;
+pub mod fms;
+pub mod idf;
+pub mod jaccard;
+pub mod jaro;
+pub mod monge_elkan;
+pub mod qgram;
+pub mod soundex;
+pub mod tokenize;
+
+pub use composite::{CompositeDistance, FieldWeight};
+pub use cosine::CosineDistance;
+pub use edit::{levenshtein, levenshtein_bounded, levenshtein_chars_with, normalized_levenshtein, EditDistance};
+pub use fms::FuzzyMatchDistance;
+pub use idf::IdfModel;
+pub use jaccard::{qgram_jaccard, token_jaccard, JaccardDistance};
+pub use jaro::{jaro, jaro_winkler, JaroWinklerDistance};
+pub use monge_elkan::MongeElkanDistance;
+pub use qgram::{qgrams, QgramProfile};
+pub use soundex::soundex;
+pub use tokenize::{normalize, tokenize, Token};
+
+/// A symmetric distance function over string records, bounded in `[0, 1]`.
+///
+/// `0.0` means "identical for the purposes of matching"; `1.0` means
+/// "completely dissimilar". Implementations must guarantee:
+///
+/// * **symmetry**: `d(a, b) == d(b, a)`;
+/// * **range**: `0.0 <= d(a, b) <= 1.0`;
+/// * **reflexivity**: `d(a, a) == 0.0`.
+///
+/// The triangle inequality is *not* required — neither edit distance after
+/// normalization nor fuzzy match similarity satisfies it, and the
+/// duplicate-elimination framework does not rely on it.
+pub trait Distance: Send + Sync {
+    /// Distance between two records, each given as a slice of attribute
+    /// strings. Single-attribute records pass a one-element slice.
+    fn distance(&self, a: &[&str], b: &[&str]) -> f64;
+
+    /// Convenience wrapper for single-attribute records.
+    fn distance_str(&self, a: &str, b: &str) -> f64 {
+        self.distance(&[a], &[b])
+    }
+
+    /// A short human-readable name ("ed", "fms", "cosine", ...).
+    fn name(&self) -> &str;
+}
+
+impl<D: Distance + ?Sized> Distance for &D {
+    fn distance(&self, a: &[&str], b: &[&str]) -> f64 {
+        (**self).distance(a, b)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl Distance for Box<dyn Distance> {
+    fn distance(&self, a: &[&str], b: &[&str]) -> f64 {
+        (**self).distance(a, b)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Enumeration of the built-in distance functions, convenient for
+/// command-line experiment drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistanceKind {
+    /// Normalized Levenshtein edit distance over the concatenated record.
+    EditDistance,
+    /// Symmetric fuzzy match similarity (token-level edit distance + IDF).
+    FuzzyMatch,
+    /// TF-IDF weighted cosine distance over tokens.
+    Cosine,
+    /// Token-set Jaccard distance.
+    Jaccard,
+    /// Jaro-Winkler distance.
+    JaroWinkler,
+    /// Symmetrized Monge-Elkan (average best-match token similarity).
+    MongeElkan,
+}
+
+impl DistanceKind {
+    /// Parse from the names used by the experiment drivers.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "ed" | "edit" | "levenshtein" => Some(Self::EditDistance),
+            "fms" | "fuzzy" | "fuzzymatch" => Some(Self::FuzzyMatch),
+            "cos" | "cosine" => Some(Self::Cosine),
+            "jaccard" => Some(Self::Jaccard),
+            "jw" | "jaro" | "jarowinkler" => Some(Self::JaroWinkler),
+            "me" | "monge-elkan" | "mongeelkan" => Some(Self::MongeElkan),
+            _ => None,
+        }
+    }
+
+    /// Short name as used in `EXPERIMENTS.md` and driver output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::EditDistance => "ed",
+            Self::FuzzyMatch => "fms",
+            Self::Cosine => "cosine",
+            Self::Jaccard => "jaccard",
+            Self::JaroWinkler => "jw",
+            Self::MongeElkan => "monge-elkan",
+        }
+    }
+
+    /// Build a boxed distance for a corpus of records. Corpus statistics
+    /// (IDF weights) are only consumed by the kinds that need them.
+    pub fn build(&self, corpus: &[Vec<String>]) -> Box<dyn Distance> {
+        match self {
+            Self::EditDistance => Box::new(EditDistance),
+            Self::FuzzyMatch => {
+                let idf = IdfModel::fit_records(corpus);
+                Box::new(FuzzyMatchDistance::new(idf))
+            }
+            Self::Cosine => {
+                let idf = IdfModel::fit_records(corpus);
+                Box::new(CosineDistance::new(idf))
+            }
+            Self::Jaccard => Box::new(JaccardDistance::default()),
+            Self::JaroWinkler => Box::new(JaroWinklerDistance),
+            Self::MongeElkan => Box::new(MongeElkanDistance),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parsing_round_trips() {
+        for kind in [
+            DistanceKind::EditDistance,
+            DistanceKind::FuzzyMatch,
+            DistanceKind::Cosine,
+            DistanceKind::Jaccard,
+            DistanceKind::JaroWinkler,
+            DistanceKind::MongeElkan,
+        ] {
+            assert_eq!(DistanceKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(DistanceKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn build_produces_named_distances() {
+        let corpus = vec![
+            vec!["microsoft corp".to_string()],
+            vec!["boeing corporation".to_string()],
+        ];
+        for kind in [
+            DistanceKind::EditDistance,
+            DistanceKind::FuzzyMatch,
+            DistanceKind::Cosine,
+            DistanceKind::Jaccard,
+            DistanceKind::JaroWinkler,
+            DistanceKind::MongeElkan,
+        ] {
+            let d = kind.build(&corpus);
+            assert_eq!(d.name(), kind.name());
+            assert_eq!(d.distance_str("abc", "abc"), 0.0);
+        }
+    }
+
+    #[test]
+    fn boxed_distance_delegates() {
+        let d: Box<dyn Distance> = Box::new(EditDistance);
+        assert_eq!(d.name(), "ed");
+        assert!(d.distance_str("kitten", "sitting") > 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! q-gram extraction and profiles.
+//!
+//! q-grams (overlapping substrings of length `q`) are the unit of indexing
+//! for the edit-distance nearest-neighbor index: strings within small edit
+//! distance share many q-grams, so an inverted index over q-grams yields a
+//! small candidate set for exact verification. Following the standard
+//! construction, strings are padded with `q - 1` copies of a sentinel on each
+//! side so that prefixes/suffixes are represented.
+
+use std::collections::HashMap;
+
+/// Sentinel used for left/right padding. `'\u{1}'` cannot appear in
+/// normalized text (normalization maps non-alphanumerics to spaces), so
+/// padded q-grams never collide with interior ones.
+pub const PAD: char = '\u{1}';
+
+/// Extract padded q-grams from a string. For `q == 0` returns an empty list;
+/// for an empty string returns an empty list.
+///
+/// ```
+/// use fuzzydedup_textdist::qgrams;
+/// let grams = qgrams("abc", 2);
+/// // \u{1}a, ab, bc, c\u{1}
+/// assert_eq!(grams.len(), 4);
+/// ```
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    if q == 0 || s.is_empty() {
+        return Vec::new();
+    }
+    let mut padded: Vec<char> = Vec::with_capacity(s.chars().count() + 2 * (q - 1));
+    padded.extend(std::iter::repeat_n(PAD, q - 1));
+    padded.extend(s.chars());
+    padded.extend(std::iter::repeat_n(PAD, q - 1));
+    padded.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+/// A multiset of q-grams with counts: the "profile" of a string.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QgramProfile {
+    counts: HashMap<String, u32>,
+    total: u32,
+}
+
+impl QgramProfile {
+    /// Build the profile of a string for a given `q`.
+    pub fn build(s: &str, q: usize) -> Self {
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for g in qgrams(s, q) {
+            *counts.entry(g).or_insert(0) += 1;
+        }
+        let total = counts.values().sum();
+        Self { counts, total }
+    }
+
+    /// Number of distinct q-grams.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total q-gram occurrences (multiset cardinality).
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Count of one q-gram.
+    pub fn count(&self, gram: &str) -> u32 {
+        self.counts.get(gram).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(gram, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.counts.iter().map(|(g, &c)| (g.as_str(), c))
+    }
+
+    /// Multiset-intersection size with another profile:
+    /// `Σ_g min(count_a(g), count_b(g))`.
+    pub fn overlap(&self, other: &Self) -> u32 {
+        // Iterate the smaller profile.
+        let (small, large) =
+            if self.counts.len() <= other.counts.len() { (self, other) } else { (other, self) };
+        small.counts.iter().map(|(g, &c)| c.min(large.count(g))).sum()
+    }
+
+    /// q-gram count filter lower bound: if `levenshtein(a, b) <= k` then the
+    /// profiles overlap in at least `max(total_a, total_b) - k*q` grams
+    /// (each edit destroys at most `q` grams). Returns the minimum overlap
+    /// required to keep a candidate for bound `k`.
+    pub fn required_overlap(&self, other: &Self, q: usize, k: usize) -> i64 {
+        let m = self.total.max(other.total) as i64;
+        m - (k * q) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::levenshtein;
+    use proptest::prelude::*;
+
+    #[test]
+    fn qgram_counts() {
+        assert_eq!(qgrams("abc", 1), vec!["a", "b", "c"]);
+        assert_eq!(qgrams("abc", 2).len(), 4);
+        assert_eq!(qgrams("abc", 3).len(), 5);
+        assert!(qgrams("", 3).is_empty());
+        assert!(qgrams("abc", 0).is_empty());
+    }
+
+    #[test]
+    fn single_char_padded() {
+        let g = qgrams("a", 3);
+        // \u{1}\u{1}a, \u{1}a\u{1}, a\u{1}\u{1}
+        assert_eq!(g.len(), 3);
+        assert!(g.iter().all(|x| x.contains('a')));
+    }
+
+    #[test]
+    fn profile_overlap_symmetric() {
+        let a = QgramProfile::build("the doors", 3);
+        let b = QgramProfile::build("doors", 3);
+        assert_eq!(a.overlap(&b), b.overlap(&a));
+        assert!(a.overlap(&b) > 0);
+        assert_eq!(a.overlap(&a), a.total());
+    }
+
+    #[test]
+    fn profile_counts_multiset() {
+        let p = QgramProfile::build("aaaa", 2);
+        // \u{1}a, aa, aa, aa, a\u{1}
+        assert_eq!(p.total(), 5);
+        assert_eq!(p.count("aa"), 3);
+        assert_eq!(p.distinct(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn count_filter_is_sound(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
+            // If ed(a,b) = k, the q-gram overlap is at least
+            // max(|A|,|B|) - k*q. This is the filter the NN index relies on.
+            let q = 2usize;
+            let k = levenshtein(&a, &b);
+            let pa = QgramProfile::build(&a, q);
+            let pb = QgramProfile::build(&b, q);
+            let overlap = pa.overlap(&pb) as i64;
+            let required = pa.required_overlap(&pb, q, k);
+            prop_assert!(overlap >= required,
+                "a={a:?} b={b:?} k={k} overlap={overlap} required={required}");
+        }
+
+        #[test]
+        fn total_grams_formula(s in "[a-z]{1,20}", q in 1usize..5) {
+            let n = s.chars().count();
+            let p = QgramProfile::build(&s, q);
+            prop_assert_eq!(p.total() as usize, n + q - 1);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Soundex phonetic codes.
+//!
+//! Classic American Soundex, used by census-style record linkage (and by the
+//! census dataset generator to produce phonetically plausible name
+//! variants). A code is one letter followed by three digits.
+
+/// Compute the Soundex code of a word. Non-ASCII-alphabetic characters are
+/// ignored; an input with no alphabetic characters yields `"0000"`.
+///
+/// ```
+/// use fuzzydedup_textdist::soundex;
+/// assert_eq!(soundex("Robert"), "R163");
+/// assert_eq!(soundex("Rupert"), "R163");
+/// assert_eq!(soundex("Tymczak"), "T522");
+/// assert_eq!(soundex("Honeyman"), "H555");
+/// ```
+pub fn soundex(word: &str) -> String {
+    fn digit(c: char) -> u8 {
+        match c.to_ascii_lowercase() {
+            'b' | 'f' | 'p' | 'v' => b'1',
+            'c' | 'g' | 'j' | 'k' | 'q' | 's' | 'x' | 'z' => b'2',
+            'd' | 't' => b'3',
+            'l' => b'4',
+            'm' | 'n' => b'5',
+            'r' => b'6',
+            // vowels and h/w/y act as separators of different kinds
+            _ => b'0',
+        }
+    }
+
+    let letters: Vec<char> = word.chars().filter(|c| c.is_ascii_alphabetic()).collect();
+    let Some(&first) = letters.first() else {
+        return "0000".to_string();
+    };
+    let mut code = String::with_capacity(4);
+    code.push(first.to_ascii_uppercase());
+    let mut last_digit = digit(first);
+    for &c in &letters[1..] {
+        let d = digit(c);
+        let cl = c.to_ascii_lowercase();
+        if d != b'0' {
+            // 'h' and 'w' are transparent: consonants separated only by h/w
+            // coded the same are collapsed; vowels break the run.
+            if d != last_digit {
+                code.push(d as char);
+                if code.len() == 4 {
+                    break;
+                }
+            }
+            last_digit = d;
+        } else if cl != 'h' && cl != 'w' {
+            // Vowel (or y): resets the repeat suppression.
+            last_digit = 0;
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    code
+}
+
+/// Whether two words share a Soundex code (a cheap phonetic blocking key).
+pub fn soundex_eq(a: &str, b: &str) -> bool {
+    soundex(a) == soundex(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reference_codes() {
+        // Canonical examples from the National Archives specification.
+        assert_eq!(soundex("Washington"), "W252");
+        assert_eq!(soundex("Lee"), "L000");
+        assert_eq!(soundex("Gutierrez"), "G362");
+        assert_eq!(soundex("Pfister"), "P236");
+        assert_eq!(soundex("Jackson"), "J250");
+        assert_eq!(soundex("Ashcraft"), "A261");
+        assert_eq!(soundex("Ashcroft"), "A261");
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(soundex("SMITH"), soundex("smith"));
+        assert_eq!(soundex("Smith"), soundex("Smyth"));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(soundex(""), "0000");
+        assert_eq!(soundex("123"), "0000");
+        assert_eq!(soundex("a"), "A000");
+    }
+
+    #[test]
+    fn phonetic_pairs_match() {
+        assert!(soundex_eq("Robert", "Rupert"));
+        // Catherine/Kathryn do NOT match: Soundex keeps the first letter.
+        assert!(!soundex_eq("Catherine", "Kathryn"));
+        assert!(!soundex_eq("Smith", "Jones"));
+    }
+
+    proptest! {
+        #[test]
+        fn code_shape(s in "[a-zA-Z]{0,16}") {
+            let c = soundex(&s);
+            prop_assert_eq!(c.len(), 4);
+            let bytes = c.as_bytes();
+            prop_assert!(bytes[0].is_ascii_uppercase() || bytes[0] == b'0');
+            for &b in &bytes[1..] {
+                prop_assert!(b.is_ascii_digit());
+            }
+        }
+
+        #[test]
+        fn deterministic(s in "[a-zA-Z]{0,16}") {
+            prop_assert_eq!(soundex(&s), soundex(&s));
+        }
+    }
+}

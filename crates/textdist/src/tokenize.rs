@@ -1,0 +1,177 @@
+//! Tokenization and string normalization.
+//!
+//! All distance functions in this crate operate on a shared normalized view
+//! of the input: lowercase, punctuation mapped to spaces, whitespace
+//! collapsed. This mirrors the preprocessing commonly applied before edit
+//! distance / cosine similarity in data cleaning pipelines, and makes e.g.
+//! `"AC DC"` and `"ac-dc"` tokenize identically.
+
+/// A token: a maximal run of alphanumeric characters in the normalized
+/// string, with its position (order matters for fms token alignment).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// Normalized token text (lowercase).
+    pub text: String,
+    /// 0-based position of the token within its field.
+    pub position: usize,
+}
+
+impl Token {
+    /// Construct a token at a position.
+    pub fn new(text: impl Into<String>, position: usize) -> Self {
+        Self { text: text.into(), position }
+    }
+}
+
+/// Normalize a string: lowercase, replace any non-alphanumeric character with
+/// a space, and collapse runs of whitespace into a single space. Leading and
+/// trailing whitespace is removed.
+///
+/// ```
+/// use fuzzydedup_textdist::normalize;
+/// assert_eq!(normalize("  The  Doors! "), "the doors");
+/// assert_eq!(normalize("I'm Holdin' On"), "i m holdin on");
+/// assert_eq!(normalize("AC/DC"), "ac dc");
+/// ```
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut pending_space = false;
+    for ch in s.chars() {
+        if ch.is_alphanumeric() {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            for lower in ch.to_lowercase() {
+                out.push(lower);
+            }
+        } else {
+            pending_space = true;
+        }
+    }
+    out
+}
+
+/// Tokenize a string into normalized word tokens.
+///
+/// ```
+/// use fuzzydedup_textdist::tokenize;
+/// let toks = tokenize("Twian, Shania");
+/// assert_eq!(toks.len(), 2);
+/// assert_eq!(toks[0].text, "twian");
+/// assert_eq!(toks[1].text, "shania");
+/// ```
+pub fn tokenize(s: &str) -> Vec<Token> {
+    normalize(s)
+        .split(' ')
+        .filter(|t| !t.is_empty())
+        .enumerate()
+        .map(|(i, t)| Token::new(t, i))
+        .collect()
+}
+
+/// Tokenize a multi-attribute record into a flat token list. Token positions
+/// restart per field but fields are kept in order; a `field` marker is not
+/// needed by any consumer, so tokens are simply concatenated.
+pub fn tokenize_record(fields: &[&str]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for field in fields {
+        let base = out.len();
+        for (i, t) in tokenize(field).into_iter().enumerate() {
+            out.push(Token::new(t.text, base + i));
+        }
+    }
+    out
+}
+
+/// Join a record's fields into one normalized string, separating fields with
+/// a single space. This is the string view used by whole-string distances
+/// (edit distance, Jaro-Winkler).
+pub fn record_string(fields: &[&str]) -> String {
+    let mut out = String::new();
+    for field in fields {
+        let n = normalize(field);
+        if n.is_empty() {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalize_basic() {
+        assert_eq!(normalize("Hello, World!"), "hello world");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("   "), "");
+        assert_eq!(normalize("a"), "a");
+        assert_eq!(normalize("4 th Elemynt"), "4 th elemynt");
+        assert_eq!(normalize("4th Elemynt"), "4th elemynt");
+    }
+
+    #[test]
+    fn normalize_unicode_lowercase() {
+        assert_eq!(normalize("Ärger"), "ärger");
+        assert_eq!(normalize("ÉCOLE"), "école");
+    }
+
+    #[test]
+    fn tokenize_positions_are_sequential() {
+        let toks = tokenize("With A Little Help From My Friend");
+        let positions: Vec<usize> = toks.iter().map(|t| t.position).collect();
+        assert_eq!(positions, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tokenize_empty_and_punct_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- !!! ///").is_empty());
+    }
+
+    #[test]
+    fn tokenize_record_concatenates_fields() {
+        let toks = tokenize_record(&["The Doors", "LA Woman"]);
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["the", "doors", "la", "woman"]);
+        assert_eq!(toks.last().unwrap().position, 3);
+    }
+
+    #[test]
+    fn record_string_joins_fields() {
+        assert_eq!(record_string(&["The Doors", "LA Woman"]), "the doors la woman");
+        assert_eq!(record_string(&["", "LA Woman"]), "la woman");
+        assert_eq!(record_string(&[]), "");
+    }
+
+    proptest! {
+        #[test]
+        fn normalize_is_idempotent(s in ".{0,64}") {
+            let once = normalize(&s);
+            prop_assert_eq!(normalize(&once), once);
+        }
+
+        #[test]
+        fn normalized_has_no_double_spaces(s in ".{0,64}") {
+            let n = normalize(&s);
+            prop_assert!(!n.contains("  "));
+            prop_assert!(!n.starts_with(' '));
+            prop_assert!(!n.ends_with(' '));
+        }
+
+        #[test]
+        fn tokens_are_nonempty_and_normalized(s in ".{0,64}") {
+            for t in tokenize(&s) {
+                prop_assert!(!t.text.is_empty());
+                prop_assert_eq!(normalize(&t.text), t.text.clone());
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Tuning the SN threshold from an estimated duplicate fraction (§4.4).
+//!
+//! Users find "what fraction of my data is duplicated?" far easier to
+//! answer than "what neighborhood-growth threshold should I use?". This
+//! example runs Phase 1 once, shows the NG distribution, derives `c` from
+//! a duplicate-fraction estimate, and compares the result against fixed
+//! thresholds — including what happens when the estimate is off.
+//!
+//! Run with: `cargo run --release --example threshold_tuning`
+
+use fuzzydedup::core::{
+    deduplicate, estimate_sn_threshold, evaluate, CutSpec, DedupConfig,
+};
+use fuzzydedup::datagen::{restaurants, DatasetSpec};
+use fuzzydedup::textdist::DistanceKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let dataset = restaurants::generate(&mut rng, DatasetSpec::small());
+    let f_true = dataset.duplicate_fraction();
+    println!(
+        "Restaurants: {} records; true duplicate fraction = {:.3}",
+        dataset.len(),
+        f_true
+    );
+
+    // Phase 1 once. The NN lists and NG values are reusable across
+    // candidate thresholds — "the SN threshold value is not required until
+    // the second partitioning phase".
+    let probe = DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(5)).sn_threshold(4.0);
+    let outcome = deduplicate(&dataset.records, &probe).expect("phase 1");
+    let ng = outcome.nn_reln.ng_values();
+
+    // Visualize the NG distribution.
+    let mut hist = std::collections::BTreeMap::new();
+    for &v in &ng {
+        *hist.entry(v as u64).or_insert(0usize) += 1;
+    }
+    println!("\nNeighborhood-growth distribution:");
+    for (v, count) in &hist {
+        let bar = "#".repeat((count * 60 / ng.len()).max(1));
+        println!("  ng={v:<3} {count:>5} {bar}");
+    }
+
+    // Derive c at several duplicate-fraction guesses.
+    println!("\n{:<22} {:>6} {:>8} {:>10} {:>7}", "estimate", "c", "recall", "precision", "f1");
+    for (label, f) in [
+        ("half the truth", f_true / 2.0),
+        ("the true fraction", f_true),
+        ("1.5x the truth", (1.5 * f_true).min(1.0)),
+    ] {
+        let c = estimate_sn_threshold(&ng, f).expect("non-empty relation");
+        let config =
+            DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(5)).sn_threshold(c);
+        let run = deduplicate(&dataset.records, &config).expect("DE run");
+        let pr = evaluate(&run.partition, &dataset.gold);
+        println!(
+            "{label:<22} {c:>6.1} {:>8.3} {:>10.3} {:>7.3}",
+            pr.recall,
+            pr.precision,
+            pr.f1()
+        );
+    }
+
+    // Fixed thresholds for reference (the paper's c = 4 and 6).
+    for c in [4.0, 6.0] {
+        let config =
+            DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(5)).sn_threshold(c);
+        let run = deduplicate(&dataset.records, &config).expect("DE run");
+        let pr = evaluate(&run.partition, &dataset.gold);
+        println!(
+            "{:<22} {c:>6.1} {:>8.3} {:>10.3} {:>7.3}",
+            format!("fixed c={c}"),
+            pr.recall,
+            pr.precision,
+            pr.f1()
+        );
+    }
+}

@@ -1,0 +1,319 @@
+//! `fuzzydedup` — command-line fuzzy duplicate elimination over CSV files.
+//!
+//! ```text
+//! fuzzydedup --input records.csv [options]
+//!
+//!   --input PATH          input CSV (required); use "-" for stdin
+//!   --output PATH         output CSV with a trailing group_id column
+//!                         (default: stdout)
+//!   --no-header           input has no header row
+//!   --columns 0,2,3       0-based columns to match on (default: all)
+//!   --gold-column N       0-based column holding entity labels; when
+//!                         given, precision/recall are reported and the
+//!                         column is excluded from matching
+//!   --distance NAME       ed | fms | cosine | jaccard | jw | monge-elkan (default fms)
+//!   --k N                 DE_S(K) size cut (default 5)
+//!   --theta X             DE_D(theta) diameter cut instead of --k
+//!   --c X                 SN threshold (default 4)
+//!   --dup-fraction F      derive c from an estimated duplicate fraction
+//!                         (overrides --c; the §4.4 heuristic)
+//!   --agg NAME            max | avg | max2 (default max)
+//!   --minimality          apply the §4.5.2 minimality post-pass
+//!   --report              print a review report (groups ordered least
+//!                         confident first) to stderr
+//!   --demo NAME           run on a built-in dataset instead of --input:
+//!                         table1 | restaurants | media | org
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use fuzzydedup::core::{
+    deduplicate, estimate_sn_threshold, evaluate, Aggregation, CutSpec, DedupConfig,
+};
+use fuzzydedup::datagen::csvio::{parse_csv, write_csv};
+use fuzzydedup::datagen::{media, org, restaurants, Dataset, DatasetSpec};
+use fuzzydedup::textdist::DistanceKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Options {
+    input: Option<String>,
+    output: Option<String>,
+    header: bool,
+    columns: Option<Vec<usize>>,
+    gold_column: Option<usize>,
+    distance: DistanceKind,
+    cut: CutSpec,
+    c: Option<f64>,
+    dup_fraction: Option<f64>,
+    agg: Aggregation,
+    minimality: bool,
+    report: bool,
+    demo: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: fuzzydedup --input records.csv [--output out.csv] [--no-header]\n\
+     \x20                 [--columns 0,1] [--gold-column N] [--distance fms|ed|cosine|jaccard|jw|monge-elkan]\n\
+     \x20                 [--k N | --theta X] [--c X | --dup-fraction F] [--agg max|avg|max2]\n\
+     \x20                 [--minimality] [--demo table1|restaurants|media|org]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut cut_set = false;
+    let mut opts = Options {
+        input: None,
+        output: None,
+        header: true,
+        columns: None,
+        gold_column: None,
+        distance: DistanceKind::FuzzyMatch,
+        cut: CutSpec::Size(5),
+        c: None,
+        dup_fraction: None,
+        agg: Aggregation::Max,
+        minimality: false,
+        report: false,
+        demo: None,
+    };
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<&String, String> {
+        *i += 1;
+        args.get(*i).ok_or_else(|| format!("missing value for {}", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--input" => opts.input = Some(next(&mut i)?.clone()),
+            "--output" => opts.output = Some(next(&mut i)?.clone()),
+            "--no-header" => opts.header = false,
+            "--columns" => {
+                let spec = next(&mut i)?;
+                let cols: Result<Vec<usize>, _> =
+                    spec.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                opts.columns = Some(cols.map_err(|e| format!("bad --columns: {e}"))?);
+            }
+            "--gold-column" => {
+                opts.gold_column =
+                    Some(next(&mut i)?.parse().map_err(|e| format!("bad --gold-column: {e}"))?)
+            }
+            "--distance" => {
+                let name = next(&mut i)?;
+                opts.distance = DistanceKind::parse(name)
+                    .ok_or_else(|| format!("unknown distance {name:?}"))?;
+            }
+            "--k" => {
+                if cut_set {
+                    return Err("--k and --theta are mutually exclusive".to_string());
+                }
+                cut_set = true;
+                let k = next(&mut i)?.parse().map_err(|e| format!("bad --k: {e}"))?;
+                opts.cut = CutSpec::Size(k);
+            }
+            "--theta" => {
+                if cut_set {
+                    return Err("--k and --theta are mutually exclusive".to_string());
+                }
+                cut_set = true;
+                let t = next(&mut i)?.parse().map_err(|e| format!("bad --theta: {e}"))?;
+                opts.cut = CutSpec::Diameter(t);
+            }
+            "--c" => opts.c = Some(next(&mut i)?.parse().map_err(|e| format!("bad --c: {e}"))?),
+            "--dup-fraction" => {
+                opts.dup_fraction =
+                    Some(next(&mut i)?.parse().map_err(|e| format!("bad --dup-fraction: {e}"))?)
+            }
+            "--agg" => {
+                let name = next(&mut i)?;
+                opts.agg = Aggregation::parse(name)
+                    .ok_or_else(|| format!("unknown aggregation {name:?}"))?;
+            }
+            "--minimality" => opts.minimality = true,
+            "--report" => opts.report = true,
+            "--demo" => opts.demo = Some(next(&mut i)?.clone()),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+        i += 1;
+    }
+    if opts.input.is_none() && opts.demo.is_none() {
+        return Err(format!("--input or --demo is required\n{}", usage()));
+    }
+    if opts.demo.is_some() && (opts.gold_column.is_some() || opts.columns.is_some()) {
+        return Err("--gold-column/--columns do not apply to --demo datasets                     (demos carry their own gold labels)"
+            .to_string());
+    }
+    Ok(opts)
+}
+
+fn demo_dataset(name: &str) -> Result<Dataset, String> {
+    let mut rng = StdRng::seed_from_u64(42);
+    match name {
+        "table1" => Ok(media::table1()),
+        "restaurants" => Ok(restaurants::generate(&mut rng, DatasetSpec::small())),
+        "media" => Ok(media::generate(&mut rng, DatasetSpec::small())),
+        "org" => Ok(org::generate(&mut rng, DatasetSpec::small())),
+        other => Err(format!("unknown demo dataset {other:?}")),
+    }
+}
+
+/// Loaded input: header names, data rows, optional gold labels.
+type LoadedInput = (Vec<String>, Vec<Vec<String>>, Option<Vec<usize>>);
+
+fn load_input(opts: &Options) -> Result<LoadedInput, String> {
+    if let Some(demo) = &opts.demo {
+        let d = demo_dataset(demo)?;
+        let gold = Some(d.gold.clone());
+        return Ok((d.attributes, d.records, gold));
+    }
+    let path = opts.input.as_deref().expect("validated");
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf).map_err(|e| e.to_string())?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    let mut rows = parse_csv(&text)?;
+    if rows.is_empty() {
+        return Ok((Vec::new(), Vec::new(), None));
+    }
+    let arity = rows.iter().map(Vec::len).max().unwrap_or(0);
+    for row in &mut rows {
+        row.resize(arity, String::new());
+    }
+    let header = if opts.header {
+        rows.remove(0)
+    } else {
+        (0..arity).map(|i| format!("col{i}")).collect()
+    };
+    let gold = match opts.gold_column {
+        Some(col) if col < arity => {
+            let labels: Vec<String> = rows.iter().map(|r| r[col].clone()).collect();
+            let mut ids = std::collections::HashMap::new();
+            Some(
+                labels
+                    .iter()
+                    .map(|l| {
+                        let n = ids.len();
+                        *ids.entry(l.clone()).or_insert(n)
+                    })
+                    .collect(),
+            )
+        }
+        Some(col) => return Err(format!("--gold-column {col} out of range (arity {arity})")),
+        None => None,
+    };
+    Ok((header, rows, gold))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+    let (header, rows, gold) = load_input(&opts)?;
+    if rows.is_empty() {
+        eprintln!("no records");
+        return Ok(());
+    }
+
+    // Project the matching columns (excluding the gold column).
+    let match_columns: Vec<usize> = match &opts.columns {
+        Some(cols) => cols.clone(),
+        None => (0..header.len()).filter(|i| Some(*i) != opts.gold_column).collect(),
+    };
+    for &c in &match_columns {
+        if c >= header.len() {
+            return Err(format!("--columns index {c} out of range (arity {})", header.len()));
+        }
+    }
+    let records: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| match_columns.iter().map(|&c| r[c].clone()).collect())
+        .collect();
+
+    // Resolve the SN threshold.
+    let mut config = DedupConfig::new(opts.distance)
+        .cut(opts.cut)
+        .aggregation(opts.agg)
+        .minimality(opts.minimality);
+    let c = match (opts.dup_fraction, opts.c) {
+        (Some(f), _) => {
+            // Probe run for NG values, then the heuristic.
+            if records.len() < 100 {
+                eprintln!(
+                    "warning: --dup-fraction needs a meaningful NG distribution;                      {} records is likely too few (consider --c instead)",
+                    records.len()
+                );
+            }
+            let probe = deduplicate(&records, &config.clone().sn_threshold(4.0))
+                .map_err(|e| e.to_string())?;
+            let derived = estimate_sn_threshold(&probe.nn_reln.ng_values(), f)
+                .ok_or("empty relation")?;
+            eprintln!("derived SN threshold c = {derived:.1} from duplicate fraction {f}");
+            derived
+        }
+        (None, Some(c)) => c,
+        (None, None) => 4.0,
+    };
+    config = config.sn_threshold(c);
+
+    let outcome = deduplicate(&records, &config).map_err(|e| e.to_string())?;
+    let partition = &outcome.partition;
+
+    // Report.
+    eprintln!(
+        "{} records -> {} groups ({} with duplicates, {} duplicate pairs); \
+         phase1 {:?}, phase2 {:?}",
+        rows.len(),
+        partition.num_groups(),
+        partition.duplicate_groups().count(),
+        partition.num_duplicate_pairs(),
+        outcome.phase1_duration,
+        outcome.phase2_duration,
+    );
+    if let Some(gold) = &gold {
+        let pr = evaluate(partition, gold);
+        eprintln!(
+            "vs gold labels: recall={:.3} precision={:.3} f1={:.3}",
+            pr.recall,
+            pr.precision,
+            pr.f1()
+        );
+    }
+    if opts.report {
+        let report = fuzzydedup::core::render_report(
+            partition,
+            &records,
+            Some(&outcome.nn_reln),
+            fuzzydedup::core::ReportOptions::default(),
+        );
+        eprintln!("\n{report}");
+    }
+
+    // Output: original rows + group_id.
+    let mut out_rows: Vec<Vec<String>> = Vec::with_capacity(rows.len() + 1);
+    let mut out_header = header.clone();
+    out_header.push("group_id".to_string());
+    out_rows.push(out_header);
+    for (i, row) in rows.iter().enumerate() {
+        let mut out = row.clone();
+        out.push(partition.group_index_of(i as u32).to_string());
+        out_rows.push(out);
+    }
+    let text = write_csv(&out_rows);
+    match &opts.output {
+        Some(path) => std::fs::write(path, text).map_err(|e| e.to_string())?,
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Integration tests for the `fuzzydedup` command-line binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fuzzydedup"))
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fuzzydedup-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn demo_table1_is_perfect() {
+    let out = bin().args(["--demo", "table1"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("recall=1.000 precision=1.000"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Header + 14 rows, group_id column appended.
+    assert_eq!(stdout.lines().count(), 15);
+    assert!(stdout.lines().next().unwrap().ends_with("group_id"));
+    // The two Doors rows share a group id.
+    let doors: Vec<&str> =
+        stdout.lines().filter(|l| l.contains("LA Woman")).collect();
+    assert_eq!(doors.len(), 2);
+    let gid = |line: &str| line.rsplit(',').next().unwrap().to_string();
+    assert_eq!(gid(doors[0]), gid(doors[1]));
+}
+
+#[test]
+fn csv_roundtrip_with_gold_column() {
+    let input = temp_path("input.csv");
+    std::fs::write(
+        &input,
+        "name,entity\n\
+         the doors,A\n\
+         the doorz,A\n\
+         xylophone concerto,B\n\
+         xylophone concertoo,B\n\
+         aaliyah,C\n\
+         bob dylan,D\n",
+    )
+    .unwrap();
+    let output = temp_path("output.csv");
+    let out = bin()
+        .args([
+            "--input",
+            input.to_str().unwrap(),
+            "--gold-column",
+            "1",
+            "--distance",
+            "ed",
+            "--k",
+            "4",
+            "--output",
+            output.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("vs gold labels"), "{stderr}");
+
+    let written = std::fs::read_to_string(&output).unwrap();
+    assert_eq!(written.lines().count(), 7);
+    let rows: Vec<&str> = written.lines().collect();
+    assert!(rows[0].ends_with("group_id"));
+    let gid = |line: &str| line.rsplit(',').next().unwrap().to_string();
+    assert_eq!(gid(rows[1]), gid(rows[2]), "doors pair grouped");
+    assert_eq!(gid(rows[3]), gid(rows[4]), "xylophone pair grouped");
+    assert_ne!(gid(rows[5]), gid(rows[6]));
+    std::fs::remove_file(&input).ok();
+    std::fs::remove_file(&output).ok();
+}
+
+#[test]
+fn stdin_input_works() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = bin()
+        .args(["--input", "-", "--no-header", "--distance", "ed", "--k", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"golden dragon\ngolden dragoon\nunrelated thing\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 4, "header + 3 rows: {stdout}");
+}
+
+#[test]
+fn report_flag_prints_groups() {
+    let out = bin().args(["--demo", "table1", "--report"]).output().unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("# Deduplication report"), "{stderr}");
+    assert!(stderr.contains("diameter"), "{stderr}");
+}
+
+#[test]
+fn dup_fraction_derives_threshold() {
+    let out = bin()
+        .args(["--demo", "restaurants", "--dup-fraction", "0.4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("derived SN threshold"), "{stderr}");
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    for args in [
+        vec!["--unknown-flag"],
+        vec!["--demo", "nonexistent"],
+        vec!["--input", "/definitely/not/a/file.csv"],
+        vec![], // missing --input/--demo
+        vec!["--demo", "table1", "--gold-column", "99"],
+        vec!["--demo", "table1", "--distance", "nope"],
+        vec!["--demo", "table1", "--k", "4", "--theta", "0.3"],
+    ] {
+        let out = bin().args(&args).output().unwrap();
+        assert!(!out.status.success(), "args {args:?} should fail");
+        assert!(!out.stderr.is_empty());
+    }
+}
+
+#[test]
+fn malformed_csv_is_reported() {
+    let input = temp_path("bad.csv");
+    std::fs::write(&input, "name\n\"unterminated\n").unwrap();
+    let out = bin().args(["--input", input.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unterminated"), "{stderr}");
+    std::fs::remove_file(&input).ok();
+}
