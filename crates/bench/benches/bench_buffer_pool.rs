@@ -54,11 +54,7 @@ fn bench_buffer_pool(c: &mut Criterion) {
         group.bench_function(format!("{label}_skewed"), |b| {
             b.iter(|| {
                 for round in 0..ids.len() {
-                    let id = if round % 10 == 0 {
-                        ids[round % ids.len()]
-                    } else {
-                        ids[round % 6]
-                    };
+                    let id = if round % 10 == 0 { ids[round % ids.len()] } else { ids[round % 6] };
                     pool.with_page(id, |p| black_box(p.slot_count())).unwrap();
                 }
             })

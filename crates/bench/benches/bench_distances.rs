@@ -5,8 +5,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fuzzydedup_datagen::{org, DatasetSpec};
 use fuzzydedup_textdist::{
-    levenshtein, levenshtein_bounded, CosineDistance, Distance, EditDistance,
-    FuzzyMatchDistance, IdfModel, JaroWinklerDistance,
+    levenshtein, levenshtein_bounded, CosineDistance, Distance, EditDistance, FuzzyMatchDistance,
+    IdfModel, JaroWinklerDistance,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;

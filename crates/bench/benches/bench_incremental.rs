@@ -41,9 +41,7 @@ fn bench_incremental(c: &mut Criterion) {
             criterion::BatchSize::LargeInput,
         )
     });
-    group.bench_function("full_recompute", |b| {
-        b.iter(|| black_box(state_with(&records, &idf)))
-    });
+    group.bench_function("full_recompute", |b| b.iter(|| black_box(state_with(&records, &idf))));
     group.finish();
 }
 

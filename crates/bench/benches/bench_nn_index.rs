@@ -30,10 +30,7 @@ fn bench_nn_index(c: &mut Criterion) {
             pool,
             InvertedIndexConfig::default(),
         );
-        let nested = NestedLoopIndex::new(
-            records.clone(),
-            fuzzydedup_textdist::EditDistance,
-        );
+        let nested = NestedLoopIndex::new(records.clone(), fuzzydedup_textdist::EditDistance);
 
         group.bench_with_input(BenchmarkId::new("inverted", n), &n, |b, _| {
             b.iter(|| {

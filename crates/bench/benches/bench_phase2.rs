@@ -6,8 +6,8 @@ use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fuzzydedup_core::{
-    compute_nn_reln, partition_entries, partition_via_tables, single_linkage, Aggregation,
-    CutSpec, NeighborSpec,
+    compute_nn_reln, partition_entries, partition_via_tables, single_linkage, Aggregation, CutSpec,
+    NeighborSpec,
 };
 use fuzzydedup_datagen::{org, DatasetSpec};
 use fuzzydedup_nnindex::{InvertedIndex, InvertedIndexConfig, LookupOrder};
@@ -36,9 +36,7 @@ fn bench_phase2(c: &mut Criterion) {
     let mut group = c.benchmark_group("phase2");
     group.sample_size(10);
     group.bench_function("in_memory", |b| {
-        b.iter(|| {
-            black_box(partition_entries(&reln, CutSpec::Size(5), Aggregation::Max, 4.0))
-        })
+        b.iter(|| black_box(partition_entries(&reln, CutSpec::Size(5), Aggregation::Max, 4.0)))
     });
     group.bench_function("via_tables", |b| {
         b.iter(|| {

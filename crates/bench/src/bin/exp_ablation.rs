@@ -34,11 +34,21 @@ fn main() {
     let outcome = deduplicate(&dataset.records, &config).expect("pipeline");
     let reln = &outcome.nn_reln;
 
-    println!("# Criterion ablation on Restaurants ({} records, c={c}, {}):", dataset.len(), cut.label());
-    println!("{:<14} {:>8} {:>10} {:>7} {:>12}", "variant", "recall", "precision", "f1", "pred pairs");
-    for (label, use_cs, use_sn) in
-        [("CS+SN", true, true), ("CS only", true, false), ("SN only", false, true), ("neither", false, false)]
-    {
+    println!(
+        "# Criterion ablation on Restaurants ({} records, c={c}, {}):",
+        dataset.len(),
+        cut.label()
+    );
+    println!(
+        "{:<14} {:>8} {:>10} {:>7} {:>12}",
+        "variant", "recall", "precision", "f1", "pred pairs"
+    );
+    for (label, use_cs, use_sn) in [
+        ("CS+SN", true, true),
+        ("CS only", true, false),
+        ("SN only", false, true),
+        ("neither", false, false),
+    ] {
         let p = partition_entries_ablation(reln, cut, Aggregation::Max, c, use_cs, use_sn);
         let pr = evaluate(&p, &dataset.gold);
         println!(
@@ -80,11 +90,16 @@ fn main() {
             check_split_merge_consistency(&m, CutSpec::Size(4), Aggregation::Max, 4.0, 0.5, 2.0);
         if !(ok_unique && ok_scale && ok_smc) {
             all_ok = false;
-            println!("  trial {trial}: uniqueness={ok_unique} scale={ok_scale} split/merge={ok_smc}");
+            println!(
+                "  trial {trial}: uniqueness={ok_unique} scale={ok_scale} split/merge={ok_smc}"
+            );
         }
     }
     let rich = check_richness(&[2, 2, 3, 1, 2], 3, Aggregation::Max, 10.0)
         && check_richness(&[2; 12], 4, Aggregation::Max, 10.0);
-    println!("  uniqueness/scale/split-merge over 20 random relations: {}", if all_ok { "ALL PASS" } else { "FAILURES (above)" });
+    println!(
+        "  uniqueness/scale/split-merge over 20 random relations: {}",
+        if all_ok { "ALL PASS" } else { "FAILURES (above)" }
+    );
     println!("  constrained richness realizations: {}", if rich { "PASS" } else { "FAIL" });
 }

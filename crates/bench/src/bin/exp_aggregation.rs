@@ -7,7 +7,9 @@
 //!
 //! Run with: `cargo run --release -p fuzzydedup-bench --bin exp_aggregation`
 
-use fuzzydedup_bench::{best_f1, render_quality_table, sweep_de_diameter, sweep_de_size, SweepContext};
+use fuzzydedup_bench::{
+    best_f1, render_quality_table, sweep_de_diameter, sweep_de_size, SweepContext,
+};
 use fuzzydedup_core::Aggregation;
 use fuzzydedup_datagen::{restaurants, DatasetSpec};
 use fuzzydedup_textdist::DistanceKind;

@@ -17,9 +17,16 @@
 //!
 //! Run with:
 //! `cargo run --release -p fuzzydedup-bench --bin exp_bf_ordering -- [--records N]`
+//!
+//! Besides the stdout table, the full grid (buffer budget × lookup order,
+//! with the sequential order included as a third point of comparison) is
+//! written to `BENCH_bf_ordering.json` under `$BENCH_OUT_DIR` (default
+//! `results/`) — the same convention the criterion benches use.
 
 use std::sync::Arc;
 use std::time::Instant;
+
+use fuzzydedup_metrics::json::{JsonArray, JsonObject};
 
 /// Index tuning for this experiment: aggressive stop-gram pruning
 /// (`df > max(2% · n, 50)` skipped). Without it the synthetic Org
@@ -120,11 +127,13 @@ fn main() {
         "{:<9} {:<5} {:>7} {:>7} {:>9} {:>9}",
         "buffer", "order", "BHR%", "PU%", "pt", "wall(ms)"
     );
+    let mut json_rows = JsonArray::new();
     for (frac, label) in budgets {
         let frames = ((index_pages as f64 * frac) as usize).max(2);
         let rnd = run(&records, frames, LookupOrder::Random(77));
+        let seq = run(&records, frames, LookupOrder::Sequential);
         let bf = run(&records, frames, LookupOrder::breadth_first());
-        for (name, r) in [("rnd", &rnd), ("bf", &bf)] {
+        for (name, r) in [("rnd", &rnd), ("seq", &seq), ("bf", &bf)] {
             println!(
                 "{:<9} {:<5} {:>7.1} {:>7.1} {:>9.2} {:>9}",
                 label,
@@ -134,11 +143,36 @@ fn main() {
                 r.pt,
                 r.wall_ms
             );
+            json_rows.push_object(|o| {
+                o.str("buffer", label)
+                    .u64("frames", frames as u64)
+                    .str("order", name)
+                    .f64("buffer_hit_ratio", r.bhr)
+                    .f64("processor_usage", r.pu)
+                    .f64("throughput", r.pt)
+                    .u64("wall_ms", r.wall_ms as u64);
+            });
         }
         println!(
             "{:<9} bf/rnd throughput ratio = {:.2}x (paper: ~2x)",
             label,
             bf.pt / rnd.pt.max(1e-12)
         );
+    }
+
+    let out_dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| "results".to_string());
+    let mut doc = JsonObject::new();
+    doc.str("experiment", "bf_ordering")
+        .u64("records", records.len() as u64)
+        .u64("index_pages", index_pages as u64)
+        .raw("rows", &json_rows.finish());
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("[exp_bf_ordering] cannot create {out_dir}: {e}");
+        return;
+    }
+    let path = format!("{out_dir}/BENCH_bf_ordering.json");
+    match std::fs::write(&path, doc.finish() + "\n") {
+        Ok(()) => eprintln!("[exp_bf_ordering] wrote {path}"),
+        Err(e) => eprintln!("[exp_bf_ordering] cannot write {path}: {e}"),
     }
 }

@@ -32,15 +32,10 @@ fn report(label: &str, p: &Partition, gold: &[usize]) {
 fn main() {
     let mut rng = StdRng::seed_from_u64(42);
     let dataset = restaurants::generate(&mut rng, DatasetSpec::small());
-    println!(
-        "Restaurants: {} records, {} true pairs\n",
-        dataset.len(),
-        dataset.true_pairs()
-    );
+    println!("Restaurants: {} records, {} true pairs\n", dataset.len(), dataset.true_pairs());
 
     let mut partitions = Vec::new();
-    for distance in [DistanceKind::FuzzyMatch, DistanceKind::EditDistance, DistanceKind::Cosine]
-    {
+    for distance in [DistanceKind::FuzzyMatch, DistanceKind::EditDistance, DistanceKind::Cosine] {
         let config = DedupConfig::new(distance).cut(CutSpec::Size(4)).sn_threshold(6.0);
         let outcome = deduplicate(&dataset.records, &config).expect("pipeline");
         report(distance.name(), &outcome.partition, &dataset.gold);

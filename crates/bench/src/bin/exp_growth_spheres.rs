@@ -10,9 +10,7 @@
 //! Run with: `cargo run --release -p fuzzydedup-bench --bin exp_growth_spheres`
 
 use fuzzydedup_core::axioms::de_on_matrix;
-use fuzzydedup_core::{
-    compute_nn_reln, Aggregation, CutSpec, MatrixIndex, NeighborSpec,
-};
+use fuzzydedup_core::{compute_nn_reln, Aggregation, CutSpec, MatrixIndex, NeighborSpec};
 use fuzzydedup_datagen::numeric::{paper_integers, paper_integers_gold};
 use fuzzydedup_nnindex::LookupOrder;
 
@@ -28,7 +26,11 @@ fn main() {
         let nn = e.nn_dist().unwrap_or(f64::NAN);
         println!(
             "{:>5} {:>7} {:>8.1} {:>10.1} {:>6.0}",
-            e.id, points[e.id as usize], nn, 2.0 * nn, e.ng
+            e.id,
+            points[e.id as usize],
+            nn,
+            2.0 * nn,
+            e.ng
         );
     }
 

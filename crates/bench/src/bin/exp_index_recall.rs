@@ -59,11 +59,7 @@ fn main() {
         pool,
         InvertedIndexConfig::default(),
     );
-    let minhash = MinHashIndex::build(
-        records.clone(),
-        EditDistance,
-        MinHashConfig::default(),
-    );
+    let minhash = MinHashIndex::build(records.clone(), EditDistance, MinHashConfig::default());
 
     println!("\n# Nearest-neighbor recall vs exact reference (truth within distance bound):");
     println!("{:<12} {:>12} {:>12} {:>12}", "index", "nn<0.2", "nn<0.3", "nn<0.4");
@@ -91,13 +87,7 @@ fn main() {
             .index_choice(choice);
         let outcome = deduplicate(&dataset.records, &config).expect("pipeline");
         let pr = evaluate(&outcome.partition, &dataset.gold);
-        println!(
-            "{:<12} {:>8.3} {:>10.3} {:>7.3}",
-            name,
-            pr.recall,
-            pr.precision,
-            pr.f1()
-        );
+        println!("{:<12} {:>8.3} {:>10.3} {:>7.3}", name, pr.recall, pr.precision, pr.f1());
     }
     println!("\n(paper's claim holds when the probabilistic rows track the nested row closely)");
 }

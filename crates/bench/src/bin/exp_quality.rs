@@ -52,19 +52,17 @@ fn main() {
         i += 1;
     }
 
-    #[derive(serde::Serialize)]
-    struct JsonRow<'a> {
-        dataset: &'a str,
-        distance: &'a str,
-        #[serde(flatten)]
-        point: &'a fuzzydedup_bench::QualityPoint,
-    }
     let mut json_rows: Vec<String> = Vec::new();
 
     let datasets = standard_quality_datasets(seed);
     for distance in distances {
         for dataset in &datasets {
-            eprintln!("[exp_quality] {} / {} ({} records)...", dataset.name, distance.name(), dataset.len());
+            eprintln!(
+                "[exp_quality] {} / {} ({} records)...",
+                dataset.name,
+                distance.name(),
+                dataset.len()
+            );
             let ctx = SweepContext::build(dataset, distance);
             let thr = sweep_threshold_baseline(&ctx, dataset);
             let de_s4 = sweep_de_size(&ctx, dataset, Aggregation::Max, 4.0);
@@ -89,12 +87,7 @@ fn main() {
             if json_path.is_some() {
                 for points in [&thr, &de_s4, &de_s6, &de_d4, &de_d6] {
                     for point in points.iter() {
-                        let row = JsonRow {
-                            dataset: &dataset.name,
-                            distance: distance.name(),
-                            point,
-                        };
-                        json_rows.push(serde_json::to_string(&row).expect("serializable"));
+                        json_rows.push(point.to_json_row(&dataset.name, distance.name()));
                     }
                 }
             }

@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --release -p fuzzydedup-bench --bin exp_sn_threshold`
 
-use fuzzydedup_core::{
-    deduplicate, estimate_sn_threshold, evaluate, CutSpec, DedupConfig,
-};
+use fuzzydedup_core::{deduplicate, estimate_sn_threshold, evaluate, CutSpec, DedupConfig};
 use fuzzydedup_datagen::standard_quality_datasets;
 use fuzzydedup_textdist::DistanceKind;
 
@@ -31,18 +29,21 @@ fn main() {
             *hist.entry(v as i64).or_insert(0usize) += 1;
         }
         let f_true = dataset.duplicate_fraction();
-        println!("== {} ({} records, true duplicate fraction {:.3})", dataset.name, dataset.len(), f_true);
+        println!(
+            "== {} ({} records, true duplicate fraction {:.3})",
+            dataset.name,
+            dataset.len(),
+            f_true
+        );
         print!("   NG histogram:");
         for (v, count) in hist.iter().take(12) {
             print!(" {v}:{count}");
         }
         println!();
 
-        for (label, f) in [
-            ("f/2", f_true / 2.0),
-            ("true f", f_true),
-            ("1.5f", (1.5 * f_true).min(1.0)),
-        ] {
+        for (label, f) in
+            [("f/2", f_true / 2.0), ("true f", f_true), ("1.5f", (1.5 * f_true).min(1.0))]
+        {
             let c = estimate_sn_threshold(&ng, f).unwrap_or(4.0);
             let config = DedupConfig::new(distance).cut(CutSpec::Size(5)).sn_threshold(c);
             let pr = evaluate(

@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run --release -p fuzzydedup-bench --bin exp_table1`
 
-use fuzzydedup_core::{
-    deduplicate, evaluate, single_linkage, CutSpec, DedupConfig, Partition,
-};
+use fuzzydedup_core::{deduplicate, evaluate, single_linkage, CutSpec, DedupConfig, Partition};
 use fuzzydedup_datagen::media::table1;
 use fuzzydedup_textdist::DistanceKind;
 
@@ -44,8 +42,7 @@ fn main() {
     for distance in [DistanceKind::EditDistance, DistanceKind::FuzzyMatch] {
         println!("=== distance: {} ===", distance.name());
         // Threshold baseline at several global thresholds.
-        let cfg =
-            DedupConfig::new(distance).cut(CutSpec::Diameter(0.7)).sn_threshold(1e9);
+        let cfg = DedupConfig::new(distance).cut(CutSpec::Diameter(0.7)).sn_threshold(1e9);
         let outcome = deduplicate(&dataset.records, &cfg).expect("phase 1");
         for theta in [0.15, 0.25, 0.35, 0.45, 0.55] {
             let p = single_linkage(&outcome.nn_reln, theta);

@@ -9,15 +9,15 @@
 //! precision/recall tabulation, and plain-text table rendering.
 
 use fuzzydedup_core::{
-    deduplicate, evaluate, partition_entries, single_linkage, Aggregation, CutSpec,
-    DedupConfig, NnReln, PrecisionRecall,
+    deduplicate, evaluate, partition_entries, single_linkage, Aggregation, CutSpec, DedupConfig,
+    NnReln, PrecisionRecall,
 };
 use fuzzydedup_datagen::Dataset;
+use fuzzydedup_metrics::json::JsonObject;
 use fuzzydedup_textdist::DistanceKind;
-use serde::Serialize;
 
 /// One point of a precision-recall sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QualityPoint {
     /// Algorithm label (`thr`, `DE_S:max4`, ...).
     pub algorithm: String,
@@ -34,6 +34,20 @@ pub struct QualityPoint {
 impl QualityPoint {
     fn new(algorithm: String, parameter: f64, pr: PrecisionRecall) -> Self {
         Self { algorithm, parameter, recall: pr.recall, precision: pr.precision, f1: pr.f1() }
+    }
+
+    /// Render the point as one flat JSON row, tagged with the dataset and
+    /// distance it came from (the `--json` output shape of `exp_quality`).
+    pub fn to_json_row(&self, dataset: &str, distance: &str) -> String {
+        let mut obj = JsonObject::new();
+        obj.str("dataset", dataset);
+        obj.str("distance", distance);
+        obj.str("algorithm", &self.algorithm);
+        obj.f64("parameter", self.parameter);
+        obj.f64("recall", self.recall);
+        obj.f64("precision", self.precision);
+        obj.f64("f1", self.f1);
+        obj.finish()
     }
 }
 
@@ -86,10 +100,7 @@ impl SweepContext {
 ///
 /// As in the paper, the threshold graph is induced from the output of the
 /// nearest-neighbor computation phase and reused for every threshold.
-pub fn sweep_threshold_baseline(
-    ctx: &SweepContext,
-    dataset: &Dataset,
-) -> Vec<QualityPoint> {
+pub fn sweep_threshold_baseline(ctx: &SweepContext, dataset: &Dataset) -> Vec<QualityPoint> {
     theta_grid()
         .into_iter()
         .map(|theta| {
@@ -129,8 +140,7 @@ pub fn sweep_de_diameter(
     theta_grid()
         .into_iter()
         .map(|theta| {
-            let partition =
-                partition_entries(&ctx.radius_reln, CutSpec::Diameter(theta), agg, c);
+            let partition = partition_entries(&ctx.radius_reln, CutSpec::Diameter(theta), agg, c);
             let pr = evaluate(&partition, &dataset.gold);
             QualityPoint::new(format!("DE_D:{}{}", agg.name(), c as i64), theta, pr)
         })
@@ -181,17 +191,11 @@ pub fn render_summary(dataset: &str, series: &[(&str, &[QualityPoint])]) -> Stri
         "algorithm", "best F1", "best P @ recall>=0.5", "best P @ recall>=0.7"
     ));
     for (name, points) in series {
-        let p50 = best_precision_at_recall(points, 0.5)
-            .map_or("-".to_string(), |p| format!("{p:.3}"));
-        let p70 = best_precision_at_recall(points, 0.7)
-            .map_or("-".to_string(), |p| format!("{p:.3}"));
-        out.push_str(&format!(
-            "{:<16} {:>8.3} {:>22} {:>22}\n",
-            name,
-            best_f1(points),
-            p50,
-            p70
-        ));
+        let p50 =
+            best_precision_at_recall(points, 0.5).map_or("-".to_string(), |p| format!("{p:.3}"));
+        let p70 =
+            best_precision_at_recall(points, 0.7).map_or("-".to_string(), |p| format!("{p:.3}"));
+        out.push_str(&format!("{:<16} {:>8.3} {:>22} {:>22}\n", name, best_f1(points), p50, p70));
     }
     out
 }
@@ -260,9 +264,7 @@ mod tests {
                 partition_entries(&ctx.topk_reln, CutSpec::Size(k), Aggregation::Max, 4.0);
             let scratch = deduplicate(
                 &d.records,
-                &DedupConfig::new(DistanceKind::FuzzyMatch)
-                    .cut(CutSpec::Size(k))
-                    .sn_threshold(4.0),
+                &DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(k)).sn_threshold(4.0),
             )
             .unwrap();
             assert_eq!(from_ctx, scratch.partition, "K={k}");

@@ -61,9 +61,7 @@ pub fn check_scale_invariance(
     alphas: &[f64],
 ) -> bool {
     let base = de_on_matrix(m, CutSpec::Size(k), agg, c);
-    alphas.iter().all(|&alpha| {
-        de_on_matrix(&m.scaled(alpha), CutSpec::Size(k), agg, c) == base
-    })
+    alphas.iter().all(|&alpha| de_on_matrix(&m.scaled(alpha), CutSpec::Size(k), agg, c) == base)
 }
 
 /// Build a P-conscious transformation of `m` with respect to partition `p`:
@@ -130,8 +128,7 @@ pub fn check_permutation_equivariance(
     for (old, &new) in perm.iter().enumerate() {
         inverse[new as usize] = old as u32;
     }
-    let permuted =
-        MatrixIndex::from_fn(n, |a, b| m.dist(inverse[a as usize], inverse[b as usize]));
+    let permuted = MatrixIndex::from_fn(n, |a, b| m.dist(inverse[a as usize], inverse[b as usize]));
     let p = de_on_matrix(m, cut, agg, c);
     let q = de_on_matrix(&permuted, cut, agg, c);
     // π(p) must equal q.
@@ -196,13 +193,7 @@ mod tests {
     #[test]
     fn lemma2_scale_invariance_of_de_s() {
         let m = integers();
-        assert!(check_scale_invariance(
-            &m,
-            3,
-            Aggregation::Max,
-            4.0,
-            &[0.001, 0.1, 2.0, 1000.0]
-        ));
+        assert!(check_scale_invariance(&m, 3, Aggregation::Max, 4.0, &[0.001, 0.1, 2.0, 1000.0]));
     }
 
     #[test]

@@ -136,8 +136,7 @@ mod tests {
         // The §6 caveat: a typo in the *blocking key* makes the duplicate
         // unreachable at any threshold.
         let rows = records(&["smith john", "smyth john"]);
-        let (p, _) =
-            blocked_single_linkage(&rows, &EditDistance, BlockingKey::FirstToken, 0.9);
+        let (p, _) = blocked_single_linkage(&rows, &EditDistance, BlockingKey::FirstToken, 0.9);
         assert!(!p.are_together(0, 1), "first-token blocking cannot see this pair");
         // Phonetic blocking recovers it (smith/smyth share a Soundex code).
         let (p, _) =
@@ -148,8 +147,7 @@ mod tests {
     #[test]
     fn every_token_blocking_is_most_permissive() {
         let rows = records(&["alpha smith", "beta smith"]);
-        let (first, _) =
-            blocked_single_linkage(&rows, &EditDistance, BlockingKey::FirstToken, 0.9);
+        let (first, _) = blocked_single_linkage(&rows, &EditDistance, BlockingKey::FirstToken, 0.9);
         assert!(!first.are_together(0, 1));
         let (every, comparisons) =
             blocked_single_linkage(&rows, &EditDistance, BlockingKey::EveryToken, 0.9);
@@ -175,8 +173,7 @@ mod tests {
             blocked_single_linkage(&rows, &EditDistance, BlockingKey::FirstToken, 0.1);
         assert!(strict.are_together(0, 1));
         assert!(!strict.are_together(0, 2));
-        let (loose, _) =
-            blocked_single_linkage(&rows, &EditDistance, BlockingKey::FirstToken, 0.9);
+        let (loose, _) = blocked_single_linkage(&rows, &EditDistance, BlockingKey::FirstToken, 0.9);
         assert!(loose.are_together(0, 2), "loose threshold chains the block");
     }
 }

@@ -32,10 +32,7 @@ pub struct ForbiddenPairs {
 impl ForbiddenPairs {
     /// Build from unordered pairs.
     pub fn new(pairs: impl IntoIterator<Item = (u32, u32)>) -> Self {
-        let pairs = pairs
-            .into_iter()
-            .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
-            .collect();
+        let pairs = pairs.into_iter().map(|(a, b)| if a <= b { (a, b) } else { (b, a) }).collect();
         Self { pairs }
     }
 
@@ -81,9 +78,10 @@ pub fn split_group(group: &[u32], constraint: &impl CannotLink) -> Vec<Vec<u32>>
 pub fn apply_constraints(partition: &Partition, constraint: &impl CannotLink) -> Partition {
     let mut groups: Vec<Vec<u32>> = Vec::new();
     for g in partition.groups() {
-        let violates = g.iter().enumerate().any(|(i, &a)| {
-            g[i + 1..].iter().any(|&b| constraint.cannot_link(a, b))
-        });
+        let violates = g
+            .iter()
+            .enumerate()
+            .any(|(i, &a)| g[i + 1..].iter().any(|&b| constraint.cannot_link(a, b)));
         if violates {
             groups.extend(split_group(g, constraint));
         } else {

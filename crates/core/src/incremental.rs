@@ -107,7 +107,7 @@ impl<D: Distance> IncrementalDedup<D> {
     }
 
     fn recompute_entry(&mut self, id: u32) {
-        let (neighbors, ng) = self.index.lookup(id, self.spec(), self.p);
+        let (neighbors, ng, _cost) = self.index.lookup(id, self.spec(), self.p);
         self.entries[id as usize] = NnEntry::new(id, neighbors, ng);
     }
 
@@ -198,8 +198,12 @@ mod tests {
         // Single-typo pairs: close enough that their 2·nn growth spheres
         // stay sparse even in a six-record relation.
         let records: Vec<Vec<String>> = [
-            "the doors", "the doorz", "xylophone concerto", "xylophone concertoo",
-            "aaliyah", "bob dylan",
+            "the doors",
+            "the doorz",
+            "xylophone concerto",
+            "xylophone concertoo",
+            "aaliyah",
+            "bob dylan",
         ]
         .iter()
         .map(|s| vec![s.to_string()])
@@ -214,10 +218,7 @@ mod tests {
     #[test]
     fn later_batch_merges_with_earlier_records() {
         let mut inc = fresh();
-        inc.insert_batch(vec![
-            vec!["the doors".to_string()],
-            vec!["aaliyah".to_string()],
-        ]);
+        inc.insert_batch(vec![vec!["the doors".to_string()], vec!["aaliyah".to_string()]]);
         assert_eq!(inc.partition().num_duplicate_pairs(), 0);
         let stats = inc.insert_batch(vec![vec!["the doorz".to_string()]]);
         assert_eq!(stats.inserted, 1);

@@ -60,8 +60,8 @@ pub use eval::{evaluate, evaluate_bcubed, BCubed, PrecisionRecall};
 pub use incremental::{BatchStats, IncrementalDedup};
 pub use matrix::MatrixIndex;
 pub use nnreln::{NnEntry, NnReln};
-pub use partition::Partition;
 pub use parallel::compute_nn_reln_parallel;
+pub use partition::Partition;
 pub use phase1::{compute_nn_reln, NeighborSpec, Phase1Stats};
 pub use phase2::{partition_entries, partition_entries_ablation, partition_via_tables};
 pub use pipeline::{deduplicate, run_pipeline, DedupConfig, DedupError, DedupOutcome, IndexChoice};

@@ -78,13 +78,7 @@ pub fn split_to_minimal(reln: &NnReln, group: &[u32]) -> Vec<Vec<u32>> {
     // Recursively ensure the chosen subsets are themselves minimal.
     taken
         .into_iter()
-        .flat_map(|s| {
-            if s.len() > 3 {
-                split_to_minimal(reln, &s)
-            } else {
-                vec![s]
-            }
-        })
+        .flat_map(|s| if s.len() > 3 { split_to_minimal(reln, &s) } else { vec![s] })
         .collect()
 }
 
@@ -117,9 +111,7 @@ mod tests {
     /// 6-element set is compact (members are closer to each other than to
     /// anything outside).
     fn pairs_universe() -> MatrixIndex {
-        MatrixIndex::from_points_1d(&[
-            0.0, 0.1, 10.0, 10.1, 20.0, 20.1, 1e6, 1e6 + 1.0,
-        ])
+        MatrixIndex::from_points_1d(&[0.0, 0.1, 10.0, 10.1, 20.0, 20.1, 1e6, 1e6 + 1.0])
     }
 
     fn reln() -> NnReln {

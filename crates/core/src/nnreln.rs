@@ -110,11 +110,7 @@ mod tests {
     use super::*;
 
     fn entry(id: u32, neighbors: &[(u32, f64)], ng: f64) -> NnEntry {
-        NnEntry::new(
-            id,
-            neighbors.iter().map(|&(i, d)| Neighbor::new(i, d)).collect(),
-            ng,
-        )
+        NnEntry::new(id, neighbors.iter().map(|&(i, d)| Neighbor::new(i, d)).collect(), ng)
     }
 
     #[test]
@@ -141,10 +137,7 @@ mod tests {
 
     #[test]
     fn reln_indexing() {
-        let reln = NnReln::new(vec![
-            entry(1, &[(0, 0.2)], 2.0),
-            entry(0, &[(1, 0.2)], 2.0),
-        ]);
+        let reln = NnReln::new(vec![entry(1, &[(0, 0.2)], 2.0), entry(0, &[(1, 0.2)], 2.0)]);
         assert_eq!(reln.len(), 2);
         assert_eq!(reln.entry(1).id, 1);
         assert_eq!(reln.ng_values(), vec![2.0, 2.0]);

@@ -12,36 +12,39 @@
 //! This is an engineering extension beyond the paper; the ablation bench
 //! `bench_phase1` quantifies when it pays off.
 
-use fuzzydedup_nnindex::{LookupSpec, NnIndex};
+use fuzzydedup_nnindex::{LookupCost, LookupSpec, NnIndex};
 
 use crate::nnreln::{NnEntry, NnReln};
-use crate::phase1::NeighborSpec;
+use crate::phase1::{NeighborSpec, Phase1Stats};
 
 /// Compute one tuple's `NN_Reln` entry (shared by the sequential and
-/// parallel drivers) via the index's combined lookup.
+/// parallel drivers) via the index's combined lookup, returning the
+/// probe cost the index reports alongside.
 pub(crate) fn compute_entry(
     index: &dyn NnIndex,
     spec: NeighborSpec,
     p: f64,
     id: u32,
-) -> NnEntry {
+) -> (NnEntry, LookupCost) {
     let lookup_spec = match spec {
         NeighborSpec::TopK(k) => LookupSpec::TopK(k),
         NeighborSpec::Radius(theta) => LookupSpec::Radius(theta),
     };
-    let (neighbors, ng) = index.lookup(id, lookup_spec, p);
-    NnEntry::new(id, neighbors, ng)
+    let (neighbors, ng, cost) = index.lookup(id, lookup_spec, p);
+    (NnEntry::new(id, neighbors, ng), cost)
 }
 
 /// Compute `NN_Reln` using `n_threads` worker threads (`0` = one per
 /// available CPU). Produces exactly the same relation as
-/// [`crate::phase1::compute_nn_reln`].
+/// [`crate::phase1::compute_nn_reln`], with real probe counts summed
+/// across workers (`visit_order` stays empty: interleaved parallel
+/// lookups have no meaningful single order).
 pub fn compute_nn_reln_parallel(
     index: &dyn NnIndex,
     spec: NeighborSpec,
     p: f64,
     n_threads: usize,
-) -> NnReln {
+) -> (NnReln, Phase1Stats) {
     assert!(p >= 1.0, "growth multiplier p must be >= 1, got {p}");
     let n = index.len();
     let threads = if n_threads == 0 {
@@ -54,18 +57,36 @@ pub fn compute_nn_reln_parallel(
 
     let mut entries: Vec<Option<NnEntry>> = vec![None; n];
     let chunk_size = n.div_ceil(threads).max(1);
+    let mut chunk_costs: Vec<LookupCost> = vec![LookupCost::default(); threads];
     std::thread::scope(|scope| {
-        for (t, chunk) in entries.chunks_mut(chunk_size).enumerate() {
+        for ((t, chunk), cost_slot) in
+            entries.chunks_mut(chunk_size).enumerate().zip(chunk_costs.iter_mut())
+        {
             let start = t * chunk_size;
             scope.spawn(move || {
+                let mut cost = LookupCost::default();
                 for (offset, slot) in chunk.iter_mut().enumerate() {
                     let id = (start + offset) as u32;
-                    *slot = Some(compute_entry(index, spec, p, id));
+                    let (entry, entry_cost) = compute_entry(index, spec, p, id);
+                    cost.absorb(&entry_cost);
+                    *slot = Some(entry);
                 }
+                *cost_slot = cost;
             });
         }
     });
-    NnReln::new(entries.into_iter().map(|e| e.expect("all ids computed")).collect())
+    let mut total = LookupCost::default();
+    for cost in &chunk_costs {
+        total.absorb(cost);
+    }
+    let reln = NnReln::new(entries.into_iter().map(|e| e.expect("all ids computed")).collect());
+    let stats = Phase1Stats {
+        lookups: total.probes,
+        fallback_probes: total.fallback_probes,
+        bf_queue_high_water: 0,
+        visit_order: Vec::new(),
+    };
+    (reln, stats)
 }
 
 #[cfg(test)]
@@ -86,36 +107,44 @@ mod tests {
     #[test]
     fn matches_sequential_for_topk() {
         let idx = random_matrix(200, 1);
-        let (seq, _) = compute_nn_reln(&idx, NeighborSpec::TopK(5), LookupOrder::Sequential, 2.0);
+        let (seq, seq_stats) =
+            compute_nn_reln(&idx, NeighborSpec::TopK(5), LookupOrder::Sequential, 2.0);
         for threads in [1, 2, 4, 0] {
-            let par = compute_nn_reln_parallel(&idx, NeighborSpec::TopK(5), 2.0, threads);
+            let (par, stats) = compute_nn_reln_parallel(&idx, NeighborSpec::TopK(5), 2.0, threads);
             assert_eq!(seq, par, "threads={threads}");
+            // The same lookups run, whatever the sharding — probe counts
+            // must agree with the sequential drive.
+            assert_eq!(stats.lookups, seq_stats.lookups, "threads={threads}");
+            assert_eq!(stats.fallback_probes, seq_stats.fallback_probes);
+            assert!(stats.visit_order.is_empty());
         }
     }
 
     #[test]
     fn matches_sequential_for_radius() {
         let idx = random_matrix(150, 2);
-        let (seq, _) =
+        let (seq, seq_stats) =
             compute_nn_reln(&idx, NeighborSpec::Radius(20.0), LookupOrder::Sequential, 2.0);
-        let par = compute_nn_reln_parallel(&idx, NeighborSpec::Radius(20.0), 2.0, 3);
+        let (par, stats) = compute_nn_reln_parallel(&idx, NeighborSpec::Radius(20.0), 2.0, 3);
         assert_eq!(seq, par);
+        assert_eq!(stats.lookups, seq_stats.lookups);
     }
 
     #[test]
     fn degenerate_sizes() {
         let idx = random_matrix(1, 3);
-        let par = compute_nn_reln_parallel(&idx, NeighborSpec::TopK(3), 2.0, 8);
+        let (par, _) = compute_nn_reln_parallel(&idx, NeighborSpec::TopK(3), 2.0, 8);
         assert_eq!(par.len(), 1);
         let empty = MatrixIndex::new(vec![]);
-        let par = compute_nn_reln_parallel(&empty, NeighborSpec::TopK(3), 2.0, 4);
+        let (par, stats) = compute_nn_reln_parallel(&empty, NeighborSpec::TopK(3), 2.0, 4);
         assert!(par.is_empty());
+        assert_eq!(stats.lookups, 0);
     }
 
     #[test]
     fn more_threads_than_items() {
         let idx = random_matrix(3, 4);
-        let par = compute_nn_reln_parallel(&idx, NeighborSpec::TopK(2), 2.0, 64);
+        let (par, _) = compute_nn_reln_parallel(&idx, NeighborSpec::TopK(2), 2.0, 64);
         assert_eq!(par.len(), 3);
     }
 

@@ -32,10 +32,7 @@ impl Partition {
             let gi = canonical.len() as u32;
             for &id in &g {
                 assert!((id as usize) < n, "group references id {id} >= n={n}");
-                assert!(
-                    group_of[id as usize].is_none(),
-                    "id {id} appears in more than one group"
-                );
+                assert!(group_of[id as usize].is_none(), "id {id} appears in more than one group");
                 group_of[id as usize] = Some(gi);
             }
             canonical.push(g);

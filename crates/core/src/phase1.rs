@@ -6,7 +6,7 @@
 //! feeds each lookup's results back into the traversal queue, giving the
 //! buffer-locality win of Figure 8.
 
-use fuzzydedup_nnindex::{drive_lookups, LookupOrder, NnIndex};
+use fuzzydedup_nnindex::{drive_lookups, LookupCost, LookupOrder, NnIndex};
 
 use crate::nnreln::{NnEntry, NnReln};
 use crate::problem::CutSpec;
@@ -44,8 +44,15 @@ impl NeighborSpec {
 /// Statistics from a Phase-1 run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Phase1Stats {
-    /// Number of index lookups performed (one per tuple).
+    /// Number of physical index probes performed: at least one per tuple,
+    /// plus any fallback top-1 probes (radius fetch came back empty) and
+    /// neighborhood-growth probes the index needed. Counted from the
+    /// per-lookup costs the index reports, not assumed.
     pub lookups: u64,
+    /// Fallback top-1 probes within [`Phase1Stats::lookups`].
+    pub fallback_probes: u64,
+    /// High-water mark of the breadth-first queue (0 for other orders).
+    pub bf_queue_high_water: u64,
     /// The order tuples were looked up in (useful for locality analysis;
     /// one `u32` per tuple).
     pub visit_order: Vec<u32>,
@@ -65,19 +72,25 @@ pub fn compute_nn_reln(
     assert!(p >= 1.0, "growth multiplier p must be >= 1, got {p}");
     let n = index.len();
     let mut entries: Vec<Option<NnEntry>> = vec![None; n];
-    let visit_order = drive_lookups::<std::convert::Infallible>(n, order, |id| {
+    let mut total_cost = LookupCost::default();
+    let report = drive_lookups::<std::convert::Infallible>(n, order, |id| {
         // `compute_entry` handles the nn(v) fallback probe (the radius
         // fetch may be empty even when a nearest neighbor exists beyond θ)
         // and the ng(v) growth-sphere count; see `parallel::compute_entry`.
-        let entry = crate::parallel::compute_entry(index, spec, p, id);
+        let (entry, cost) = crate::parallel::compute_entry(index, spec, p, id);
+        total_cost.absorb(&cost);
         let expansion: Vec<u32> = entry.neighbors.iter().map(|nb| nb.id).collect();
         entries[id as usize] = Some(entry);
         Ok(expansion)
     })
     .unwrap_or_else(|e| match e {});
-    let entries: Vec<NnEntry> =
-        entries.into_iter().map(|e| e.expect("every id visited")).collect();
-    let stats = Phase1Stats { lookups: n as u64, visit_order };
+    let entries: Vec<NnEntry> = entries.into_iter().map(|e| e.expect("every id visited")).collect();
+    let stats = Phase1Stats {
+        lookups: total_cost.probes,
+        fallback_probes: total_cost.fallback_probes,
+        bf_queue_high_water: report.queue_high_water as u64,
+        visit_order: report.visit_order,
+    };
     (NnReln::new(entries), stats)
 }
 
@@ -95,10 +108,7 @@ mod tests {
     fn neighbor_spec_from_cut() {
         assert_eq!(NeighborSpec::from_cut(&CutSpec::Size(5), 100), NeighborSpec::TopK(5));
         assert_eq!(NeighborSpec::from_cut(&CutSpec::Size(5), 3), NeighborSpec::TopK(2));
-        assert_eq!(
-            NeighborSpec::from_cut(&CutSpec::Diameter(0.3), 100),
-            NeighborSpec::Radius(0.3)
-        );
+        assert_eq!(NeighborSpec::from_cut(&CutSpec::Diameter(0.3), 100), NeighborSpec::Radius(0.3));
         assert_eq!(
             NeighborSpec::from_cut(&CutSpec::SizeAndDiameter(4, 0.2), 10),
             NeighborSpec::Radius(0.2)
@@ -109,9 +119,14 @@ mod tests {
     #[test]
     fn topk_entries_shape() {
         let idx = integers();
-        let (reln, stats) = compute_nn_reln(&idx, NeighborSpec::TopK(3), LookupOrder::Sequential, 2.0);
+        let (reln, stats) =
+            compute_nn_reln(&idx, NeighborSpec::TopK(3), LookupOrder::Sequential, 2.0);
         assert_eq!(reln.len(), 7);
-        assert_eq!(stats.lookups, 7);
+        // MatrixIndex uses the default combined lookup: one top-k fetch
+        // plus one growth-sphere probe per tuple (every point here has a
+        // nonzero nearest-neighbor distance) — two real probes each.
+        assert_eq!(stats.lookups, 14);
+        assert_eq!(stats.fallback_probes, 0);
         assert_eq!(stats.visit_order, (0..7).collect::<Vec<u32>>());
         for e in reln.entries() {
             assert_eq!(e.neighbors.len(), 3);
@@ -124,8 +139,7 @@ mod tests {
     #[test]
     fn ng_matches_hand_computation() {
         let idx = integers();
-        let (reln, _) =
-            compute_nn_reln(&idx, NeighborSpec::TopK(3), LookupOrder::Sequential, 2.0);
+        let (reln, _) = compute_nn_reln(&idx, NeighborSpec::TopK(3), LookupOrder::Sequential, 2.0);
         // v=1 (value 2): nn = 1 (to value 1), sphere radius 2 → {1, 2}
         // (value 4 is at distance 2, excluded by strict <), plus self → 2.
         assert_eq!(reln.entry(1).ng, 2.0);
@@ -165,13 +179,41 @@ mod tests {
     }
 
     #[test]
+    fn lookups_count_fallback_probes_in_radius_mode() {
+        // A radius below every nearest-neighbor distance forces the
+        // fallback top-1 probe on all 7 tuples: each lookup costs the
+        // empty radius fetch + the fallback + the growth probe. The old
+        // accounting hardcoded `lookups = n`; the real count must exceed n
+        // and expose the fallbacks explicitly.
+        let idx = integers();
+        let n = 7u64;
+        let (_, stats) =
+            compute_nn_reln(&idx, NeighborSpec::Radius(0.5), LookupOrder::Sequential, 2.0);
+        assert!(stats.lookups > n, "fallback probes must be counted: {}", stats.lookups);
+        assert_eq!(stats.fallback_probes, n, "one fallback per empty radius fetch");
+        assert_eq!(stats.lookups, 3 * n, "radius fetch + fallback + growth probe per tuple");
+        // Top-k mode on the same data needs no fallbacks.
+        let (_, stats) = compute_nn_reln(&idx, NeighborSpec::TopK(3), LookupOrder::Sequential, 2.0);
+        assert_eq!(stats.fallback_probes, 0);
+    }
+
+    #[test]
+    fn bf_stats_report_queue_high_water() {
+        let idx = integers();
+        let (_, bf) =
+            compute_nn_reln(&idx, NeighborSpec::TopK(3), LookupOrder::breadth_first(), 2.0);
+        assert!(bf.bf_queue_high_water > 0, "BF on connected data queues neighbors");
+        let (_, seq) = compute_nn_reln(&idx, NeighborSpec::TopK(3), LookupOrder::Sequential, 2.0);
+        assert_eq!(seq.bf_queue_high_water, 0);
+    }
+
+    #[test]
     fn bf_order_produces_same_reln() {
         let idx = integers();
         let (seq, _) = compute_nn_reln(&idx, NeighborSpec::TopK(3), LookupOrder::Sequential, 2.0);
         let (bf, stats) =
             compute_nn_reln(&idx, NeighborSpec::TopK(3), LookupOrder::breadth_first(), 2.0);
-        let (rnd, _) =
-            compute_nn_reln(&idx, NeighborSpec::TopK(3), LookupOrder::Random(9), 2.0);
+        let (rnd, _) = compute_nn_reln(&idx, NeighborSpec::TopK(3), LookupOrder::Random(9), 2.0);
         assert_eq!(seq, bf, "lookup order must not change the result");
         assert_eq!(seq, rnd);
         assert_eq!(stats.visit_order.len(), 7);

@@ -21,9 +21,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use fuzzydedup_metrics::{incr, Counter};
 use fuzzydedup_relation::{
-    external_sort, group_sorted, hash_join, Column, ColumnType, Neighbor, RelationResult,
-    Schema, SortConfig, Table, Tuple, Value,
+    external_sort, group_sorted, hash_join, Column, ColumnType, Neighbor, RelationResult, Schema,
+    SortConfig, Table, Tuple, Value,
 };
 use fuzzydedup_storage::BufferPool;
 
@@ -33,12 +34,7 @@ use crate::partition::Partition;
 use crate::problem::CutSpec;
 
 /// Partition a relation given its materialized `NN_Reln` (in-memory path).
-pub fn partition_entries(
-    reln: &NnReln,
-    cut: CutSpec,
-    agg: Aggregation,
-    c: f64,
-) -> Partition {
+pub fn partition_entries(reln: &NnReln, cut: CutSpec, agg: Aggregation, c: f64) -> Partition {
     partition_entries_ablation(reln, cut, agg, c, true, true)
 }
 
@@ -163,14 +159,17 @@ pub fn partition_via_tables(
         Column::new("nb", ColumnType::I64),
     ]));
     let edges = Table::create(pool.clone(), edges_schema);
+    let mut unnested_rows: u64 = 0;
     nn_table.scan(|_, t| {
         let id = t.get(0).as_i64().expect("id column");
         for nb in t.get(1).as_neighbors().expect("nn_list column") {
             edges
                 .insert(&Tuple::new(vec![Value::I64(id), Value::I64(nb.id as i64)]))
                 .expect("edges schema");
+            unnested_rows += 1;
         }
     })?;
+    incr(Counter::Phase2UnnestedRows, unnested_rows);
 
     // A hash "index" on NN_Reln for the flag computation (the paper uses
     // user-defined functions / expanded columns server-side; we read the
@@ -197,6 +196,8 @@ pub fn partition_via_tables(
 
     // Steps 3–4: mutual pairs + CS flags into CSPairs.
     let cs_pairs = Table::create(pool.clone(), Arc::new(cs_pairs_schema()));
+    let mut cs_pair_rows: u64 = 0;
+    incr(Counter::Phase2JoinPasses, 1);
     hash_join(&edges, &edges, &[0, 1], &[1, 0], |l, _r| {
         let id1 = l.get(0).as_i64().expect("id");
         let id2 = l.get(1).as_i64().expect("nb");
@@ -223,14 +224,14 @@ pub fn partition_via_tables(
                 Value::BoolList(flags),
             ]))
             .expect("cs_pairs schema");
+        cs_pair_rows += 1;
     })?;
+    incr(Counter::Phase2CsPairs, cs_pair_rows);
 
     // Step 5: ORDER BY id1 (the CS-group query), then group and partition.
+    incr(Counter::Phase2SortPasses, 1);
     let sorted = external_sort(&cs_pairs, &SortConfig::by_columns(vec![0, 1]))?;
-    let groups_by_id = group_sorted(
-        sorted.iter().collect::<RelationResult<Vec<_>>>()?,
-        &[0],
-    );
+    let groups_by_id = group_sorted(sorted.iter().collect::<RelationResult<Vec<_>>>()?, &[0]);
 
     let ngs_of = |s: &[u32]| -> Vec<f64> { s.iter().map(|&u| by_id[&(u as i64)].1).collect() };
     let mut assigned = vec![false; n];
@@ -264,11 +265,7 @@ pub fn partition_via_tables(
             // equality is transitive, so pairwise checks against v
             // suffice.)
             let all_partnered = s.iter().filter(|&&u| u != v).all(|&u| {
-                partners
-                    .get(&u)
-                    .and_then(|flags| flags.get(m - 2))
-                    .copied()
-                    .unwrap_or(false)
+                partners.get(&u).and_then(|flags| flags.get(m - 2)).copied().unwrap_or(false)
             });
             if !all_partnered {
                 continue;
@@ -327,7 +324,10 @@ mod tests {
     }
 
     fn pool() -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(BufferPoolConfig::with_capacity(32), Arc::new(InMemoryDisk::new())))
+        Arc::new(BufferPool::new(
+            BufferPoolConfig::with_capacity(32),
+            Arc::new(InMemoryDisk::new()),
+        ))
     }
 
     #[test]

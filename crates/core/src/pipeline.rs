@@ -10,9 +10,10 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use fuzzydedup_metrics::{Phase1Metrics, RunMetrics, StageTimings, StorageMetrics};
 use fuzzydedup_nnindex::{
-    InvertedIndex, InvertedIndexConfig, LookupOrder, MinHashConfig, MinHashIndex,
-    NestedLoopIndex, NnIndex,
+    InvertedIndex, InvertedIndexConfig, LookupOrder, MinHashConfig, MinHashIndex, NestedLoopIndex,
+    NnIndex,
 };
 use fuzzydedup_relation::RelationError;
 use fuzzydedup_storage::{BufferPool, BufferPoolConfig, BufferStats, InMemoryDisk};
@@ -204,6 +205,16 @@ pub struct DedupOutcome {
     /// Buffer-pool statistics accumulated during Phase 1 (index lookups);
     /// zeroed when the index does not use the pool.
     pub buffer_stats: BufferStats,
+    /// The unified run-metrics surface: per-layer counters (distance
+    /// evaluations, index traffic, Phase-2 relational work), buffer-pool
+    /// accounting over the whole run, Phase-1 probe telemetry, and
+    /// per-stage wall times. JSON-serializable via
+    /// [`RunMetrics::to_json`]; the CLI prints it under `--metrics`.
+    ///
+    /// Counter-backed sections are per-run deltas of process-global
+    /// counters, so concurrent runs in one process bleed into each other;
+    /// `phase1_stats` carries the exact per-run probe counts regardless.
+    pub metrics: RunMetrics,
 }
 
 // `!(c > 0.0)` deliberately rejects NaN as well as non-positives.
@@ -234,14 +245,11 @@ fn run_phases(
 ) -> Result<DedupOutcome, DedupError> {
     validate(config)?;
     let spec = NeighborSpec::from_cut(&config.cut, index.len());
+    let counters_before = fuzzydedup_metrics::snapshot();
 
     let t1 = Instant::now();
     let (nn_reln, phase1_stats) = match config.parallel_threads {
-        Some(threads) => {
-            let reln = crate::parallel::compute_nn_reln_parallel(index, spec, config.p, threads);
-            let lookups = reln.len() as u64;
-            (reln, Phase1Stats { lookups, visit_order: Vec::new() })
-        }
+        Some(threads) => crate::parallel::compute_nn_reln_parallel(index, spec, config.p, threads),
         None => compute_nn_reln(index, spec, config.order, config.p),
     };
     let phase1_duration = t1.elapsed();
@@ -249,14 +257,44 @@ fn run_phases(
 
     let t2 = Instant::now();
     let mut partition = if config.via_tables {
-        partition_via_tables(&nn_reln, config.cut, config.agg, config.c, pool)?
+        partition_via_tables(&nn_reln, config.cut, config.agg, config.c, pool.clone())?
     } else {
         partition_entries(&nn_reln, config.cut, config.agg, config.c)
     };
+    let phase2_duration = t2.elapsed();
+    let t3 = Instant::now();
     if config.minimality {
         partition = enforce_minimality(&nn_reln, &partition);
     }
-    let phase2_duration = t2.elapsed();
+    let minimality_duration = t3.elapsed();
+
+    let mut run_metrics = RunMetrics::default();
+    run_metrics.apply_counter_delta(&fuzzydedup_metrics::snapshot().delta(&counters_before));
+    // Storage section covers the whole run on this pool: Phase-1 index
+    // lookups plus Phase-2 relational tables (when routed via tables).
+    let pool_stats = pool.stats();
+    run_metrics.storage = StorageMetrics {
+        hits: pool_stats.hits,
+        misses: pool_stats.misses,
+        evictions: pool_stats.evictions,
+        writebacks: pool_stats.writebacks,
+        hit_ratio: pool_stats.hit_ratio(),
+    };
+    run_metrics.phase1 = Phase1Metrics {
+        tuples: nn_reln.len() as u64,
+        index_probes: phase1_stats.lookups,
+        fallback_probes: phase1_stats.fallback_probes,
+        bf_queue_high_water: phase1_stats.bf_queue_high_water,
+        visit_stride_mean: fuzzydedup_metrics::visit_stride_mean(&phase1_stats.visit_order),
+    };
+    run_metrics.timings = StageTimings {
+        build_distance_ns: 0, // filled by `deduplicate`, which owns the builds
+        build_index_ns: 0,
+        phase1_ns: phase1_duration.as_nanos() as u64,
+        phase2_ns: phase2_duration.as_nanos() as u64,
+        minimality_ns: minimality_duration.as_nanos() as u64,
+        total_ns: (phase1_duration + phase2_duration + minimality_duration).as_nanos() as u64,
+    };
 
     Ok(DedupOutcome {
         partition,
@@ -265,6 +303,7 @@ fn run_phases(
         phase1_duration,
         phase2_duration,
         buffer_stats,
+        metrics: run_metrics,
     })
 }
 
@@ -280,8 +319,11 @@ pub fn deduplicate(
         BufferPoolConfig::with_capacity(config.buffer_frames),
         Arc::new(InMemoryDisk::new()),
     ));
+    let t_dist = Instant::now();
     let distance = config.distance.build(records);
-    match &config.index {
+    let build_distance = t_dist.elapsed();
+    let t_index = Instant::now();
+    let (mut outcome, build_index) = match &config.index {
         IndexChoice::Inverted(index_config) => {
             let index = InvertedIndex::build(
                 records.to_vec(),
@@ -289,28 +331,32 @@ pub fn deduplicate(
                 pool.clone(),
                 index_config.clone(),
             );
+            let build_index = t_index.elapsed();
             pool.reset_stats(); // measure lookups, not the build
-            run_phases(&index, config, pool)
+            (run_phases(&index, config, pool)?, build_index)
         }
         IndexChoice::NestedLoop => {
             let index = NestedLoopIndex::new(records.to_vec(), distance);
-            run_phases(&index, config, pool)
+            let build_index = t_index.elapsed();
+            (run_phases(&index, config, pool)?, build_index)
         }
         IndexChoice::MinHash(minhash_config) => {
-            let index =
-                MinHashIndex::build(records.to_vec(), distance, minhash_config.clone());
-            run_phases(&index, config, pool)
+            let index = MinHashIndex::build(records.to_vec(), distance, minhash_config.clone());
+            let build_index = t_index.elapsed();
+            (run_phases(&index, config, pool)?, build_index)
         }
-    }
+    };
+    let timings = &mut outcome.metrics.timings;
+    timings.build_distance_ns = build_distance.as_nanos() as u64;
+    timings.build_index_ns = build_index.as_nanos() as u64;
+    timings.total_ns += timings.build_distance_ns + timings.build_index_ns;
+    Ok(outcome)
 }
 
 /// Run the pipeline over an arbitrary pre-built index (used for matrix
 /// relations and custom indexes). A private pool is created for Phase-2
 /// tables.
-pub fn run_pipeline(
-    index: &dyn NnIndex,
-    config: &DedupConfig,
-) -> Result<DedupOutcome, DedupError> {
+pub fn run_pipeline(index: &dyn NnIndex, config: &DedupConfig) -> Result<DedupOutcome, DedupError> {
     let pool = Arc::new(BufferPool::new(
         BufferPoolConfig::with_capacity(config.buffer_frames),
         Arc::new(InMemoryDisk::new()),
@@ -343,9 +389,8 @@ mod tests {
 
     #[test]
     fn end_to_end_fms_finds_duplicates() {
-        let config = DedupConfig::new(DistanceKind::FuzzyMatch)
-            .cut(CutSpec::Size(4))
-            .sn_threshold(4.0);
+        let config =
+            DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(4)).sn_threshold(4.0);
         let outcome = deduplicate(&music_records(), &config).unwrap();
         let p = &outcome.partition;
         assert!(p.are_together(0, 1), "Doors pair: {:?}", p.groups());
@@ -362,23 +407,18 @@ mod tests {
 
     #[test]
     fn nested_loop_and_inverted_agree_here() {
-        let base = DedupConfig::new(DistanceKind::EditDistance)
-            .cut(CutSpec::Size(3))
-            .sn_threshold(4.0);
+        let base =
+            DedupConfig::new(DistanceKind::EditDistance).cut(CutSpec::Size(3)).sn_threshold(4.0);
         let inv = deduplicate(&music_records(), &base).unwrap();
-        let nl = deduplicate(
-            &music_records(),
-            &base.clone().index_choice(IndexChoice::NestedLoop),
-        )
-        .unwrap();
+        let nl = deduplicate(&music_records(), &base.clone().index_choice(IndexChoice::NestedLoop))
+            .unwrap();
         assert_eq!(inv.partition, nl.partition);
     }
 
     #[test]
     fn via_tables_matches_in_memory() {
-        let base = DedupConfig::new(DistanceKind::FuzzyMatch)
-            .cut(CutSpec::Size(4))
-            .sn_threshold(4.0);
+        let base =
+            DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(4)).sn_threshold(4.0);
         let mem = deduplicate(&music_records(), &base).unwrap();
         let tab = deduplicate(&music_records(), &base.clone().via_tables(true)).unwrap();
         assert_eq!(mem.partition, tab.partition);
@@ -400,15 +440,13 @@ mod tests {
     fn invalid_configs_are_rejected() {
         let records = music_records();
         let bad_cut = DedupConfig::new(DistanceKind::EditDistance).cut(CutSpec::Size(1));
-        assert!(matches!(
-            deduplicate(&records, &bad_cut),
-            Err(DedupError::InvalidConfig(_))
-        ));
+        assert!(matches!(deduplicate(&records, &bad_cut), Err(DedupError::InvalidConfig(_))));
         let bad_p = DedupConfig::new(DistanceKind::EditDistance).growth_multiplier(0.5);
         assert!(deduplicate(&records, &bad_p).is_err());
         let bad_c = DedupConfig::new(DistanceKind::EditDistance).sn_threshold(0.0);
         assert!(deduplicate(&records, &bad_c).is_err());
-        let nan_theta = DedupConfig::new(DistanceKind::EditDistance).cut(CutSpec::Diameter(f64::NAN));
+        let nan_theta =
+            DedupConfig::new(DistanceKind::EditDistance).cut(CutSpec::Diameter(f64::NAN));
         assert!(deduplicate(&records, &nan_theta).is_err());
     }
 
@@ -447,10 +485,49 @@ mod tests {
     }
 
     #[test]
-    fn parallel_phase1_matches_sequential() {
-        let base = DedupConfig::new(DistanceKind::FuzzyMatch)
+    fn run_metrics_populated_end_to_end() {
+        // Counter-backed sections are process-global; serialize against
+        // other tests that increment or reset the same counters.
+        let _serial = fuzzydedup_metrics::serial_guard();
+        let config = DedupConfig::new(DistanceKind::FuzzyMatch)
             .cut(CutSpec::Size(4))
-            .sn_threshold(4.0);
+            .sn_threshold(4.0)
+            .via_tables(true);
+        let outcome = deduplicate(&music_records(), &config).unwrap();
+        let m = &outcome.metrics;
+        // nnindex: one combined lookup per tuple, candidates verified with
+        // exact distance calls, postings scanned through the pool.
+        assert_eq!(m.nnindex.lookups, 10);
+        assert!(m.nnindex.candidates_generated > 0);
+        assert_eq!(m.nnindex.exact_distance_calls, m.nnindex.candidates_generated);
+        assert!(m.nnindex.postings_scanned > 0);
+        // textdist: the verification distance calls are attributed per kind.
+        assert!(m.textdist.total() >= m.nnindex.exact_distance_calls);
+        // storage: index lookups and Phase-2 tables hit the buffer pool.
+        assert!(m.storage.hits + m.storage.misses > 0);
+        assert!((0.0..=1.0).contains(&m.storage.hit_ratio));
+        // phase1: probe telemetry mirrors the exact Phase1Stats.
+        assert_eq!(m.phase1.tuples, 10);
+        assert_eq!(m.phase1.index_probes, outcome.phase1_stats.lookups);
+        // phase2 (via tables): rows were unnested, pairs materialized,
+        // sort and join passes ran.
+        assert!(m.phase2.unnested_rows > 0);
+        assert!(m.phase2.cs_pairs > 0);
+        assert!(m.phase2.sort_passes > 0);
+        assert!(m.phase2.join_passes > 0);
+        // timings: stages measured and rolled into the total.
+        assert!(m.timings.phase1_ns > 0);
+        assert!(m.timings.total_ns >= m.timings.phase1_ns + m.timings.phase2_ns);
+        // JSON rendering carries the numbers.
+        let json = m.to_json();
+        assert!(json.contains("\"lookups\": 10"), "{json}");
+        assert!(json.contains("\"tuples\": 10"), "{json}");
+    }
+
+    #[test]
+    fn parallel_phase1_matches_sequential() {
+        let base =
+            DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(4)).sn_threshold(4.0);
         let seq = deduplicate(&music_records(), &base).unwrap();
         for threads in [1, 3, 0] {
             let par =

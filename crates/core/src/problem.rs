@@ -46,9 +46,7 @@ impl CutSpec {
     #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), String> {
         match *self {
-            CutSpec::Size(k) if k < 2 => {
-                Err(format!("DE_S(K) requires K >= 2, got {k}"))
-            }
+            CutSpec::Size(k) if k < 2 => Err(format!("DE_S(K) requires K >= 2, got {k}")),
             CutSpec::Diameter(t) if !(t > 0.0) => {
                 Err(format!("DE_D(theta) requires theta > 0, got {t}"))
             }

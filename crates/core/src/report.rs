@@ -56,11 +56,8 @@ pub fn render_report(
     );
 
     // Size histogram, ascending.
-    let mut histogram: Vec<(usize, usize)> = partition
-        .size_histogram()
-        .into_iter()
-        .filter(|&(size, _)| size > 1)
-        .collect();
+    let mut histogram: Vec<(usize, usize)> =
+        partition.size_histogram().into_iter().filter(|&(size, _)| size > 1).collect();
     histogram.sort_unstable();
     let _ = write!(out, "group sizes:");
     for (size, count) in &histogram {
@@ -70,9 +67,8 @@ pub fn render_report(
 
     // Order groups by descending diameter (least confident first) when NN
     // lists are available.
-    let diameter_of = |group: &[u32]| -> Option<f64> {
-        reln.and_then(|r| crate::criteria::diameter(r, group))
-    };
+    let diameter_of =
+        |group: &[u32]| -> Option<f64> { reln.and_then(|r| crate::criteria::diameter(r, group)) };
     let mut ordered: Vec<(&Vec<u32>, Option<f64>)> =
         dup_groups.iter().map(|g| (*g, diameter_of(g))).collect();
     ordered.sort_by(|a, b| {
@@ -85,7 +81,8 @@ pub fn render_report(
     for (i, (group, diameter)) in ordered.iter().take(limit).enumerate() {
         match diameter {
             Some(d) => {
-                let _ = writeln!(out, "\ngroup {} (size {}, diameter {:.3}):", i + 1, group.len(), d);
+                let _ =
+                    writeln!(out, "\ngroup {} (size {}, diameter {:.3}):", i + 1, group.len(), d);
             }
             None => {
                 let _ = writeln!(out, "\ngroup {} (size {}):", i + 1, group.len());
@@ -147,8 +144,7 @@ mod tests {
             NnEntry::new(3, vec![Neighbor::new(4, 0.4)], 2.0),
             NnEntry::new(4, vec![Neighbor::new(3, 0.4)], 2.0),
         ]);
-        let report =
-            render_report(&partition(), &records(), Some(&reln), ReportOptions::default());
+        let report = render_report(&partition(), &records(), Some(&reln), ReportOptions::default());
         let twain_at = report.find("shania twain").unwrap();
         let doors_at = report.find("the doors").unwrap();
         assert!(twain_at < doors_at, "looser group (0.4) reviewed before tighter (0.1)");

@@ -13,11 +13,7 @@ use crate::seeds::{FIRST_NAMES, LAST_NAMES, STREETS, STREET_TYPES};
 
 fn middle_initial(rng: &mut impl Rng) -> String {
     let letters = "abcdefghijklmnopqrstuvwxyz";
-    letters
-        .chars()
-        .nth(rng.gen_range(0..letters.len()))
-        .unwrap()
-        .to_string()
+    letters.chars().nth(rng.gen_range(0..letters.len())).unwrap().to_string()
 }
 
 /// Generate a Census dataset of the given spec.
@@ -47,7 +43,8 @@ pub fn generate(rng: &mut impl Rng, spec: DatasetSpec) -> Dataset {
         }
     }
     let name_model = ErrorModel { typo: 6, token_swap: 0, token_drop: 0, abbreviate: 0, squash: 1 };
-    let street_model = ErrorModel { typo: 2, token_swap: 0, token_drop: 1, abbreviate: 5, squash: 0 };
+    let street_model =
+        ErrorModel { typo: 2, token_swap: 0, token_drop: 1, abbreviate: 5, squash: 0 };
     let intensity = spec.intensity;
     assemble_dataset(
         "Census",

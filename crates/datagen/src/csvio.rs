@@ -100,8 +100,7 @@ pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, String> {
 
 /// Quote a field if it contains a separator, quote, or newline.
 fn quote_field(field: &str, out: &mut String) {
-    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r')
-    {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
         out.push('"');
         for ch in field.chars() {
             if ch == '"' {

@@ -62,8 +62,7 @@ impl Dataset {
         for &g in &self.gold {
             *counts.entry(g).or_insert(0u64) += 1;
         }
-        let dup_records: u64 =
-            self.gold.iter().filter(|g| counts[g] > 1).count() as u64;
+        let dup_records: u64 = self.gold.iter().filter(|g| counts[g] > 1).count() as u64;
         dup_records as f64 / self.records.len() as f64
     }
 }
@@ -170,11 +169,8 @@ pub fn assemble_dataset(
 ) -> Dataset {
     let mut records: Vec<(usize, Vec<String>)> = Vec::new();
     for (entity, base) in base_records.into_iter().enumerate() {
-        let group_size = if rng.gen_bool(spec.dup_entity_fraction) {
-            spec.sample_group_size(rng)
-        } else {
-            1
-        };
+        let group_size =
+            if rng.gen_bool(spec.dup_entity_fraction) { spec.sample_group_size(rng) } else { 1 };
         for _ in 1..group_size {
             records.push((entity, perturb(rng, &base)));
         }

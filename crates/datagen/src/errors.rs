@@ -151,9 +151,9 @@ pub fn token_drop<R: Rng + ?Sized>(rng: &mut R, s: &str) -> String {
     if tokens.len() < 2 {
         return typo(rng, s);
     }
-    let article = tokens
-        .iter()
-        .position(|t| matches!(t.to_ascii_lowercase().trim_matches(','), "the" | "a" | "an" | "of"));
+    let article = tokens.iter().position(|t| {
+        matches!(t.to_ascii_lowercase().trim_matches(','), "the" | "a" | "an" | "of")
+    });
     let at = article.unwrap_or_else(|| rng.gen_range(0..tokens.len()));
     let kept: Vec<&str> =
         tokens.iter().enumerate().filter(|&(i, _)| i != at).map(|(_, t)| *t).collect();
@@ -189,8 +189,7 @@ fn find_word(haystack: &str, word: &str) -> Option<usize> {
     let mut from = 0;
     while let Some(rel) = haystack[from..].find(word) {
         let at = from + rel;
-        let before_ok =
-            at == 0 || !haystack[..at].chars().next_back().unwrap().is_alphanumeric();
+        let before_ok = at == 0 || !haystack[..at].chars().next_back().unwrap().is_alphanumeric();
         let end = at + word.len();
         let after_ok =
             end == haystack.len() || !haystack[end..].chars().next().unwrap().is_alphanumeric();
@@ -286,8 +285,12 @@ mod tests {
         for _ in 0..200 {
             saw.insert(abbreviate(&mut r, "Acme Corporation"));
         }
-        assert!(saw.contains("Acme corp") || saw.contains("Acme Corp") || saw.iter().any(|s| s.to_lowercase() == "acme corp"),
-            "expected an abbreviation, got {saw:?}");
+        assert!(
+            saw.contains("Acme corp")
+                || saw.contains("Acme Corp")
+                || saw.iter().any(|s| s.to_lowercase() == "acme corp"),
+            "expected an abbreviation, got {saw:?}"
+        );
         // Expansion direction.
         let mut saw2 = std::collections::HashSet::new();
         for _ in 0..200 {
@@ -302,7 +305,10 @@ mod tests {
         let mut r = rng();
         for _ in 0..50 {
             let out = abbreviate(&mut r, "first prize");
-            assert!(!out.contains("firstreet") && !out.to_lowercase().contains("firsaint"), "{out}");
+            assert!(
+                !out.contains("firstreet") && !out.to_lowercase().contains("firsaint"),
+                "{out}"
+            );
         }
     }
 

@@ -71,9 +71,9 @@ pub fn generate(rng: &mut impl Rng, spec: DatasetSpec) -> Dataset {
     let mut base: Vec<Vec<String>> = Vec::with_capacity(spec.n_entities);
     let mut seen: HashSet<(String, String)> = HashSet::new();
     let push_unique = |base: &mut Vec<Vec<String>>,
-                           seen: &mut HashSet<(String, String)>,
-                           a: String,
-                           t: String| {
+                       seen: &mut HashSet<(String, String)>,
+                       a: String,
+                       t: String| {
         if seen.insert((a.clone(), t.clone())) {
             base.push(vec![a, t]);
         }
@@ -93,12 +93,7 @@ pub fn generate(rng: &mut impl Rng, spec: DatasetSpec) -> Dataset {
             let a = artist(rng);
             let t = track(rng);
             for part in 0..4 {
-                push_unique(
-                    &mut base,
-                    &mut seen,
-                    a.clone(),
-                    format!("{t} - part {}", roman(part)),
-                );
+                push_unique(&mut base, &mut seen, a.clone(), format!("{t} - part {}", roman(part)));
             }
         } else if roll == 1 && base.len() + 3 <= spec.n_entities {
             // Shared title across distinct artists.
@@ -140,11 +135,7 @@ mod tests {
         let d = generate(&mut rng, DatasetSpec::with_entities(300));
         assert!(d.len() >= 300);
         // Confusable series present.
-        let parts = d
-            .records
-            .iter()
-            .filter(|r| r[1].contains(" - part "))
-            .count();
+        let parts = d.records.iter().filter(|r| r[1].contains(" - part ")).count();
         assert!(parts >= 4, "expected planted series, found {parts}");
         // Shared titles present: some track appears under ≥ 3 artists with
         // different gold labels.

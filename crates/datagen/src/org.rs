@@ -44,13 +44,7 @@ pub fn generate(rng: &mut impl Rng, spec: DatasetSpec) -> Dataset {
         let zip = format!("{zip_prefix}{:02}", rng.gen_range(0..100));
         let key = format!("{name}|{addr}");
         if seen.insert(key) {
-            base.push(vec![
-                name,
-                addr,
-                city.to_string(),
-                state.to_string(),
-                zip,
-            ]);
+            base.push(vec![name, addr, city.to_string(), state.to_string(), zip]);
         }
     }
     // Org noise leans on abbreviations more than music data does.
@@ -112,13 +106,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(31);
         let d = generate(&mut rng, DatasetSpec::with_entities(500));
         // At least one duplicate should contain a short form.
-        let has_abbrev = d
-            .records
-            .iter()
-            .any(|r| {
-                let joined = r.join(" ");
-                joined.split_whitespace().any(|w| matches!(w, "corp" | "inc" | "co" | "st" | "ave" | "rd" | "&"))
-            });
+        let has_abbrev = d.records.iter().any(|r| {
+            let joined = r.join(" ");
+            joined
+                .split_whitespace()
+                .any(|w| matches!(w, "corp" | "inc" | "co" | "st" | "ave" | "rd" | "&"))
+        });
         assert!(has_abbrev);
     }
 }

@@ -73,10 +73,8 @@ pub fn parse_gold_pairs(text: &str) -> Result<Vec<(u32, u32)>, String> {
         if fields.len() != 2 {
             return Err(format!("line {}: expected two indexes, got {raw:?}", lineno + 1));
         }
-        let a: u32 =
-            fields[0].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        let b: u32 =
-            fields[1].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let a: u32 = fields[0].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let b: u32 = fields[1].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
         pairs.push((a, b));
     }
     Ok(pairs)
@@ -137,7 +135,8 @@ pub fn load_dataset(
 mod tests {
     use super::*;
 
-    const RECORDS: &str = "golden dragon\ngolden dragon restaurant\nblue moon cafe\nblue mon cafe\nsolo diner\n";
+    const RECORDS: &str =
+        "golden dragon\ngolden dragon restaurant\nblue moon cafe\nblue mon cafe\nsolo diner\n";
     const PAIRS: &str = "# duplicate pairs\n0 1\n2,3\n";
 
     #[test]

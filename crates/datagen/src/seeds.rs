@@ -34,35 +34,155 @@ pub const ABBREVIATIONS: &[(&str, &str)] = &[
 
 /// Common American first names (census-style).
 pub const FIRST_NAMES: &[&str] = &[
-    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "william",
-    "elizabeth", "david", "barbara", "richard", "susan", "joseph", "jessica", "thomas", "sarah",
-    "charles", "karen", "christopher", "nancy", "daniel", "lisa", "matthew", "margaret",
-    "anthony", "betty", "donald", "sandra", "mark", "ashley", "paul", "dorothy", "steven",
-    "kimberly", "andrew", "emily", "kenneth", "donna", "george", "michelle", "joshua", "carol",
-    "kevin", "amanda", "brian", "melissa", "edward", "deborah",
+    "james",
+    "mary",
+    "john",
+    "patricia",
+    "robert",
+    "jennifer",
+    "michael",
+    "linda",
+    "william",
+    "elizabeth",
+    "david",
+    "barbara",
+    "richard",
+    "susan",
+    "joseph",
+    "jessica",
+    "thomas",
+    "sarah",
+    "charles",
+    "karen",
+    "christopher",
+    "nancy",
+    "daniel",
+    "lisa",
+    "matthew",
+    "margaret",
+    "anthony",
+    "betty",
+    "donald",
+    "sandra",
+    "mark",
+    "ashley",
+    "paul",
+    "dorothy",
+    "steven",
+    "kimberly",
+    "andrew",
+    "emily",
+    "kenneth",
+    "donna",
+    "george",
+    "michelle",
+    "joshua",
+    "carol",
+    "kevin",
+    "amanda",
+    "brian",
+    "melissa",
+    "edward",
+    "deborah",
 ];
 
 /// Common American surnames.
 pub const LAST_NAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
-    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
-    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
-    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
-    "scott", "torres", "nguyen", "hill", "flores", "green", "adams", "nelson", "baker", "hall",
-    "rivera", "campbell", "mitchell", "carter", "roberts",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "perez",
+    "thompson",
+    "white",
+    "harris",
+    "sanchez",
+    "clark",
+    "ramirez",
+    "lewis",
+    "robinson",
+    "walker",
+    "young",
+    "allen",
+    "king",
+    "wright",
+    "scott",
+    "torres",
+    "nguyen",
+    "hill",
+    "flores",
+    "green",
+    "adams",
+    "nelson",
+    "baker",
+    "hall",
+    "rivera",
+    "campbell",
+    "mitchell",
+    "carter",
+    "roberts",
 ];
 
 /// Street base names.
 pub const STREETS: &[&str] = &[
-    "main", "oak", "pine", "maple", "cedar", "elm", "washington", "lake", "hill", "park",
-    "walnut", "spring", "north", "ridge", "church", "willow", "mill", "sunset", "railroad",
-    "jackson", "franklin", "river", "meadow", "forest", "highland", "dogwood", "hickory",
-    "laurel", "poplar", "chestnut", "spruce", "birch", "magnolia", "sycamore", "juniper",
+    "main",
+    "oak",
+    "pine",
+    "maple",
+    "cedar",
+    "elm",
+    "washington",
+    "lake",
+    "hill",
+    "park",
+    "walnut",
+    "spring",
+    "north",
+    "ridge",
+    "church",
+    "willow",
+    "mill",
+    "sunset",
+    "railroad",
+    "jackson",
+    "franklin",
+    "river",
+    "meadow",
+    "forest",
+    "highland",
+    "dogwood",
+    "hickory",
+    "laurel",
+    "poplar",
+    "chestnut",
+    "spruce",
+    "birch",
+    "magnolia",
+    "sycamore",
+    "juniper",
 ];
 
 /// Street type suffixes (long forms; abbreviation pairs above shorten
 /// them).
-pub const STREET_TYPES: &[&str] = &["street", "avenue", "road", "drive", "boulevard", "lane", "court", "place"];
+pub const STREET_TYPES: &[&str] =
+    &["street", "avenue", "road", "drive", "boulevard", "lane", "court", "place"];
 
 /// US cities with state and zip prefix.
 pub const CITIES: &[(&str, &str, &str)] = &[
@@ -95,19 +215,70 @@ pub const CITIES: &[(&str, &str, &str)] = &[
 
 /// Organization name heads.
 pub const ORG_HEADS: &[&str] = &[
-    "acme", "global", "pioneer", "summit", "cascade", "evergreen", "liberty", "union",
-    "pacific", "atlantic", "midwest", "northern", "southern", "golden", "silver", "granite",
-    "keystone", "beacon", "harbor", "frontier", "vanguard", "heritage", "premier", "allied",
-    "integrated", "consolidated", "advanced", "dynamic", "superior", "reliable",
+    "acme",
+    "global",
+    "pioneer",
+    "summit",
+    "cascade",
+    "evergreen",
+    "liberty",
+    "union",
+    "pacific",
+    "atlantic",
+    "midwest",
+    "northern",
+    "southern",
+    "golden",
+    "silver",
+    "granite",
+    "keystone",
+    "beacon",
+    "harbor",
+    "frontier",
+    "vanguard",
+    "heritage",
+    "premier",
+    "allied",
+    "integrated",
+    "consolidated",
+    "advanced",
+    "dynamic",
+    "superior",
+    "reliable",
 ];
 
 /// Organization name cores.
 pub const ORG_CORES: &[&str] = &[
-    "software", "systems", "technologies", "industries", "manufacturing", "logistics",
-    "foods", "beverages", "textiles", "plastics", "electronics", "instruments", "materials",
-    "pharmaceuticals", "biosciences", "energy", "utilities", "communications", "media",
-    "publishing", "financial", "insurance", "holdings", "partners", "consulting", "services",
-    "solutions", "networks", "laboratories", "aerospace",
+    "software",
+    "systems",
+    "technologies",
+    "industries",
+    "manufacturing",
+    "logistics",
+    "foods",
+    "beverages",
+    "textiles",
+    "plastics",
+    "electronics",
+    "instruments",
+    "materials",
+    "pharmaceuticals",
+    "biosciences",
+    "energy",
+    "utilities",
+    "communications",
+    "media",
+    "publishing",
+    "financial",
+    "insurance",
+    "holdings",
+    "partners",
+    "consulting",
+    "services",
+    "solutions",
+    "networks",
+    "laboratories",
+    "aerospace",
 ];
 
 /// Organization suffixes (long forms).
@@ -115,62 +286,189 @@ pub const ORG_SUFFIXES: &[&str] = &["corporation", "incorporated", "company", "l
 
 /// Restaurant name heads.
 pub const RESTAURANT_HEADS: &[&str] = &[
-    "golden", "jade", "blue", "red", "silver", "royal", "grand", "little", "old", "new",
-    "happy", "lucky", "sunny", "corner", "village", "garden", "ocean", "mountain", "river",
-    "star", "moon", "crystal", "ivory", "copper", "rustic", "urban", "cozy", "hidden", "twin",
-    "wild",
+    "golden", "jade", "blue", "red", "silver", "royal", "grand", "little", "old", "new", "happy",
+    "lucky", "sunny", "corner", "village", "garden", "ocean", "mountain", "river", "star", "moon",
+    "crystal", "ivory", "copper", "rustic", "urban", "cozy", "hidden", "twin", "wild",
 ];
 
 /// Restaurant name cores.
 pub const RESTAURANT_CORES: &[&str] = &[
-    "dragon", "palace", "bistro", "kitchen", "grill", "diner", "tavern", "cafe", "trattoria",
-    "cantina", "brasserie", "chophouse", "smokehouse", "noodle house", "curry house",
-    "pizzeria", "steakhouse", "oyster bar", "taqueria", "bakery", "creperie", "gastropub",
-    "tea room", "sushi bar", "ramen shop", "deli", "barbecue", "rotisserie", "wok", "osteria",
+    "dragon",
+    "palace",
+    "bistro",
+    "kitchen",
+    "grill",
+    "diner",
+    "tavern",
+    "cafe",
+    "trattoria",
+    "cantina",
+    "brasserie",
+    "chophouse",
+    "smokehouse",
+    "noodle house",
+    "curry house",
+    "pizzeria",
+    "steakhouse",
+    "oyster bar",
+    "taqueria",
+    "bakery",
+    "creperie",
+    "gastropub",
+    "tea room",
+    "sushi bar",
+    "ramen shop",
+    "deli",
+    "barbecue",
+    "rotisserie",
+    "wok",
+    "osteria",
 ];
 
 /// Cuisine qualifiers for restaurants.
 pub const CUISINES: &[&str] = &[
-    "italian", "french", "thai", "mexican", "chinese", "japanese", "indian", "greek",
-    "vietnamese", "korean", "spanish", "lebanese", "ethiopian", "moroccan", "peruvian",
-    "cajun", "southern", "tuscan", "sichuan", "cantonese",
+    "italian",
+    "french",
+    "thai",
+    "mexican",
+    "chinese",
+    "japanese",
+    "indian",
+    "greek",
+    "vietnamese",
+    "korean",
+    "spanish",
+    "lebanese",
+    "ethiopian",
+    "moroccan",
+    "peruvian",
+    "cajun",
+    "southern",
+    "tuscan",
+    "sichuan",
+    "cantonese",
 ];
 
 /// Bird species adjectives (BirdScott-style common names).
 pub const BIRD_ADJECTIVES: &[&str] = &[
-    "american", "northern", "southern", "eastern", "western", "common", "great", "lesser",
-    "little", "greater", "red-tailed", "red-winged", "white-crowned", "black-capped",
-    "yellow-bellied", "blue-winged", "golden-crowned", "ruby-throated", "rose-breasted",
-    "dark-eyed", "sharp-shinned", "broad-winged", "long-billed", "short-eared", "tufted",
-    "crested", "spotted", "streaked", "painted", "marbled",
+    "american",
+    "northern",
+    "southern",
+    "eastern",
+    "western",
+    "common",
+    "great",
+    "lesser",
+    "little",
+    "greater",
+    "red-tailed",
+    "red-winged",
+    "white-crowned",
+    "black-capped",
+    "yellow-bellied",
+    "blue-winged",
+    "golden-crowned",
+    "ruby-throated",
+    "rose-breasted",
+    "dark-eyed",
+    "sharp-shinned",
+    "broad-winged",
+    "long-billed",
+    "short-eared",
+    "tufted",
+    "crested",
+    "spotted",
+    "streaked",
+    "painted",
+    "marbled",
 ];
 
 /// Bird species nouns.
 pub const BIRD_SPECIES: &[&str] = &[
-    "warbler", "sparrow", "hawk", "owl", "woodpecker", "flycatcher", "thrush", "vireo",
-    "grosbeak", "bunting", "finch", "tanager", "oriole", "blackbird", "swallow", "swift",
-    "hummingbird", "kingfisher", "sandpiper", "plover", "tern", "gull", "heron", "egret",
-    "ibis", "grebe", "loon", "merganser", "teal", "wigeon",
+    "warbler",
+    "sparrow",
+    "hawk",
+    "owl",
+    "woodpecker",
+    "flycatcher",
+    "thrush",
+    "vireo",
+    "grosbeak",
+    "bunting",
+    "finch",
+    "tanager",
+    "oriole",
+    "blackbird",
+    "swallow",
+    "swift",
+    "hummingbird",
+    "kingfisher",
+    "sandpiper",
+    "plover",
+    "tern",
+    "gull",
+    "heron",
+    "egret",
+    "ibis",
+    "grebe",
+    "loon",
+    "merganser",
+    "teal",
+    "wigeon",
 ];
 
 /// Park name heads.
 pub const PARK_HEADS: &[&str] = &[
-    "yellowstone", "yosemite", "glacier", "sequoia", "redwood", "badlands", "arches",
-    "canyonlands", "shenandoah", "olympic", "cascade", "sierra", "granite", "eagle", "bear",
-    "deer", "elk", "bison", "falcon", "heron", "maple", "willow", "cypress", "juniper",
-    "lakeside", "riverside", "hillcrest", "meadowbrook", "stonewall", "fox hollow",
+    "yellowstone",
+    "yosemite",
+    "glacier",
+    "sequoia",
+    "redwood",
+    "badlands",
+    "arches",
+    "canyonlands",
+    "shenandoah",
+    "olympic",
+    "cascade",
+    "sierra",
+    "granite",
+    "eagle",
+    "bear",
+    "deer",
+    "elk",
+    "bison",
+    "falcon",
+    "heron",
+    "maple",
+    "willow",
+    "cypress",
+    "juniper",
+    "lakeside",
+    "riverside",
+    "hillcrest",
+    "meadowbrook",
+    "stonewall",
+    "fox hollow",
 ];
 
 /// Park landscape features (optional middle word).
 pub const PARK_FEATURES: &[&str] = &[
-    "creek", "lake", "valley", "ridge", "canyon", "meadow", "grove", "springs", "hollow",
-    "point", "bluff", "bend",
+    "creek", "lake", "valley", "ridge", "canyon", "meadow", "grove", "springs", "hollow", "point",
+    "bluff", "bend",
 ];
 
 /// Park type suffixes.
 pub const PARK_TYPES: &[&str] = &[
-    "national park", "state park", "county park", "memorial park", "regional park",
-    "nature preserve", "wildlife refuge", "recreation area", "botanical garden", "city park",
+    "national park",
+    "state park",
+    "county park",
+    "memorial park",
+    "regional park",
+    "nature preserve",
+    "wildlife refuge",
+    "recreation area",
+    "botanical garden",
+    "city park",
 ];
 
 /// Artist name heads for the media generator.
@@ -180,26 +478,85 @@ pub const ARTIST_HEADS: &[&str] = &[
 
 /// Artist name words.
 pub const ARTIST_WORDS: &[&str] = &[
-    "doors", "beatles", "stones", "eagles", "byrds", "kinks", "who", "animals", "zombies",
-    "turtles", "ramblers", "drifters", "wanderers", "travelers", "strangers", "outlaws",
-    "rebels", "pilots", "spiders", "scorpions", "falcons", "ravens", "coyotes", "wolves",
-    "panthers", "tigers", "vipers", "cobras", "phantoms", "shadows",
+    "doors",
+    "beatles",
+    "stones",
+    "eagles",
+    "byrds",
+    "kinks",
+    "who",
+    "animals",
+    "zombies",
+    "turtles",
+    "ramblers",
+    "drifters",
+    "wanderers",
+    "travelers",
+    "strangers",
+    "outlaws",
+    "rebels",
+    "pilots",
+    "spiders",
+    "scorpions",
+    "falcons",
+    "ravens",
+    "coyotes",
+    "wolves",
+    "panthers",
+    "tigers",
+    "vipers",
+    "cobras",
+    "phantoms",
+    "shadows",
 ];
 
 /// Solo artist first/last names reuse [`FIRST_NAMES`]/[`LAST_NAMES`].
 /// Track title openers.
 pub const TRACK_OPENERS: &[&str] = &[
-    "are you ready", "hold on", "let it go", "come with me", "take me home", "dancing in",
-    "walking on", "running from", "waiting for", "dreaming of", "falling into", "singing to",
-    "crying over", "living without", "breaking through", "burning down", "drifting past",
-    "shining like", "fading into", "rising above",
+    "are you ready",
+    "hold on",
+    "let it go",
+    "come with me",
+    "take me home",
+    "dancing in",
+    "walking on",
+    "running from",
+    "waiting for",
+    "dreaming of",
+    "falling into",
+    "singing to",
+    "crying over",
+    "living without",
+    "breaking through",
+    "burning down",
+    "drifting past",
+    "shining like",
+    "fading into",
+    "rising above",
 ];
 
 /// Track title closers.
 pub const TRACK_CLOSERS: &[&str] = &[
-    "the night", "the rain", "the fire", "the storm", "the river", "the city", "the road",
-    "my heart", "your love", "the moon", "the sun", "the dark", "the light", "the wind",
-    "the ocean", "the mountain", "tomorrow", "yesterday", "forever", "goodbye",
+    "the night",
+    "the rain",
+    "the fire",
+    "the storm",
+    "the river",
+    "the city",
+    "the road",
+    "my heart",
+    "your love",
+    "the moon",
+    "the sun",
+    "the dark",
+    "the light",
+    "the wind",
+    "the ocean",
+    "the mountain",
+    "tomorrow",
+    "yesterday",
+    "forever",
+    "goodbye",
 ];
 
 #[cfg(test)]

@@ -1,0 +1,437 @@
+#![warn(missing_docs)]
+
+//! Pipeline-wide run metrics.
+//!
+//! Every layer of the deduplication pipeline reports into this crate's
+//! process-global counter table — `textdist` counts exact distance
+//! evaluations per kind, `nnindex` counts lookups / candidates / postings
+//! traffic / fallback probes / verification distance calls, `phase2`
+//! counts unnested rows, `CSPairs` cardinality and sort/join passes. The
+//! pipeline snapshots the table around a run ([`snapshot`] /
+//! [`CounterSnapshot::delta`]) and combines the delta with directly
+//! measured per-run state (buffer-pool stats, Phase-1 probe counts, stage
+//! wall times) into a [`RunMetrics`], exposed on `DedupOutcome` and
+//! printed by the `fuzzydedup` CLI under `--metrics`.
+//!
+//! Design constraints:
+//!
+//! * **cheap**: one relaxed atomic add per event, behind a single relaxed
+//!   load of the enabled flag — effectively free when disabled
+//!   ([`disable`]) and near-free when enabled;
+//! * **no dependencies**: this is the bottom crate of the workspace, so
+//!   every layer (including `textdist`) can link it;
+//! * **process-global**: counters are shared by all concurrent runs in a
+//!   process (the idiom of production metric registries). Per-run deltas
+//!   are therefore exact only when one pipeline runs at a time — tests
+//!   that assert exact counter values serialize through
+//!   [`serial_guard`].
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+pub mod json;
+
+/// Every counter the pipeline layers report. The discriminant is the
+/// index into the global table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Exact edit-distance evaluations (`textdist`).
+    DistEdit,
+    /// Exact fuzzy-match-similarity evaluations (`textdist`).
+    DistFms,
+    /// Exact TF-IDF cosine evaluations (`textdist`).
+    DistCosine,
+    /// Exact Jaccard evaluations (`textdist`).
+    DistJaccard,
+    /// Exact Jaro-Winkler evaluations (`textdist`).
+    DistJaroWinkler,
+    /// Exact Monge-Elkan evaluations (`textdist`).
+    DistMongeElkan,
+    /// Exact composite record-distance evaluations (`textdist`).
+    DistComposite,
+    /// Combined index lookups answered (`nnindex`).
+    NnLookups,
+    /// Fallback top-1 probes: radius fetch came back empty and the
+    /// nearest-neighbor distance had to be probed separately (`nnindex`).
+    NnFallbackProbes,
+    /// Candidates generated before verification (`nnindex`).
+    NnCandidates,
+    /// Posting ids scanned during candidate generation (`nnindex`).
+    NnPostingsScanned,
+    /// Exact distance calls spent verifying candidates (`nnindex`).
+    NnExactDistCalls,
+    /// NN-list rows unnested into the Edges relation (`phase2`).
+    Phase2UnnestedRows,
+    /// Rows materialized into the `CSPairs` relation (`phase2`).
+    Phase2CsPairs,
+    /// External-sort passes over relations (`phase2`).
+    Phase2SortPasses,
+    /// Join passes over relations (`phase2`).
+    Phase2JoinPasses,
+}
+
+/// Number of counters in [`Counter`].
+pub const NUM_COUNTERS: usize = Counter::Phase2JoinPasses as usize + 1;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+static COUNTERS: [AtomicU64; NUM_COUNTERS] = [const { AtomicU64::new(0) }; NUM_COUNTERS];
+
+/// Enable metric collection (the default).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disable metric collection; [`incr`] becomes a load-and-branch no-op.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether collection is currently enabled.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Add `n` to a counter. One relaxed atomic add when enabled; a relaxed
+/// load and branch when disabled.
+#[inline]
+pub fn incr(counter: Counter, n: u64) {
+    if ENABLED.load(Ordering::Relaxed) {
+        COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Immutable view of all counters at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    values: [u64; NUM_COUNTERS],
+}
+
+/// Capture the current counter values.
+pub fn snapshot() -> CounterSnapshot {
+    let mut values = [0u64; NUM_COUNTERS];
+    for (slot, counter) in values.iter_mut().zip(COUNTERS.iter()) {
+        *slot = counter.load(Ordering::Relaxed);
+    }
+    CounterSnapshot { values }
+}
+
+/// Reset every counter to zero (test/bench setup helper).
+pub fn reset() {
+    for counter in COUNTERS.iter() {
+        counter.store(0, Ordering::Relaxed);
+    }
+}
+
+impl CounterSnapshot {
+    /// Value of one counter at snapshot time.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.values[counter as usize]
+    }
+
+    /// Per-counter difference `self - earlier` (saturating, so a
+    /// concurrent [`reset`] cannot underflow).
+    pub fn delta(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut values = [0u64; NUM_COUNTERS];
+        for (i, slot) in values.iter_mut().enumerate() {
+            *slot = self.values[i].saturating_sub(earlier.values[i]);
+        }
+        CounterSnapshot { values }
+    }
+}
+
+/// Serialize tests that assert exact global-counter values: the returned
+/// guard holds a process-wide mutex for the test's duration.
+pub fn serial_guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let lock = LOCK.get_or_init(|| Mutex::new(()));
+    lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Exact distance evaluations per kind (`textdist` layer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TextdistMetrics {
+    /// Edit-distance evaluations.
+    pub edit: u64,
+    /// Fuzzy-match-similarity evaluations.
+    pub fms: u64,
+    /// Cosine evaluations.
+    pub cosine: u64,
+    /// Jaccard evaluations.
+    pub jaccard: u64,
+    /// Jaro-Winkler evaluations.
+    pub jaro_winkler: u64,
+    /// Monge-Elkan evaluations.
+    pub monge_elkan: u64,
+    /// Composite record-distance evaluations.
+    pub composite: u64,
+}
+
+impl TextdistMetrics {
+    /// Total exact evaluations across kinds.
+    pub fn total(&self) -> u64 {
+        self.edit
+            + self.fms
+            + self.cosine
+            + self.jaccard
+            + self.jaro_winkler
+            + self.monge_elkan
+            + self.composite
+    }
+}
+
+/// Index traffic (`nnindex` layer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NnIndexMetrics {
+    /// Combined lookups answered.
+    pub lookups: u64,
+    /// Fallback top-1 nn-probes issued.
+    pub fallback_probes: u64,
+    /// Candidates generated before verification.
+    pub candidates_generated: u64,
+    /// Posting ids scanned during candidate generation.
+    pub postings_scanned: u64,
+    /// Exact distance calls spent verifying candidates.
+    pub exact_distance_calls: u64,
+}
+
+/// Buffer-pool accounting (`storage` layer) — the unified surface over
+/// the pool's `BufferStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StorageMetrics {
+    /// Page requests served from a resident frame.
+    pub hits: u64,
+    /// Page requests that required a disk read.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty frames written back on eviction or flush.
+    pub writebacks: u64,
+    /// `hits / (hits + misses)`, `0` when idle.
+    pub hit_ratio: f64,
+}
+
+/// Phase-1 probe accounting and lookup-order telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Phase1Metrics {
+    /// Tuples processed (one combined lookup each).
+    pub tuples: u64,
+    /// Physical index probes issued (≥ `tuples`; includes fallback and
+    /// growth-sphere probes on indexes that need them).
+    pub index_probes: u64,
+    /// Fallback top-1 probes within those.
+    pub fallback_probes: u64,
+    /// Breadth-first queue high-water mark (0 for other orders).
+    pub bf_queue_high_water: u64,
+    /// Mean |id distance| between consecutive lookups — the visit-order
+    /// locality the BF order optimizes (lower = more local).
+    pub visit_stride_mean: f64,
+}
+
+/// Phase-2 relational accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Phase2Metrics {
+    /// Rows unnested from NN lists into the Edges relation.
+    pub unnested_rows: u64,
+    /// `CSPairs` cardinality.
+    pub cs_pairs: u64,
+    /// External-sort passes.
+    pub sort_passes: u64,
+    /// Join passes.
+    pub join_passes: u64,
+}
+
+/// Per-stage wall times in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Distance-function construction (IDF fitting etc.).
+    pub build_distance_ns: u64,
+    /// Index construction.
+    pub build_index_ns: u64,
+    /// Phase 1 (NN-list materialization).
+    pub phase1_ns: u64,
+    /// Phase 2 (partitioning).
+    pub phase2_ns: u64,
+    /// Minimality post-pass (0 when disabled).
+    pub minimality_ns: u64,
+    /// Whole run.
+    pub total_ns: u64,
+}
+
+/// The structured, JSON-serializable metrics of one pipeline run —
+/// every layer's section in one object.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Exact distance evaluations per kind.
+    pub textdist: TextdistMetrics,
+    /// Index traffic.
+    pub nnindex: NnIndexMetrics,
+    /// Buffer-pool accounting.
+    pub storage: StorageMetrics,
+    /// Phase-1 probes and lookup-order telemetry.
+    pub phase1: Phase1Metrics,
+    /// Phase-2 relational accounting.
+    pub phase2: Phase2Metrics,
+    /// Per-stage wall times.
+    pub timings: StageTimings,
+}
+
+impl RunMetrics {
+    /// Fill the counter-backed sections from a per-run counter delta.
+    pub fn apply_counter_delta(&mut self, d: &CounterSnapshot) {
+        self.textdist = TextdistMetrics {
+            edit: d.get(Counter::DistEdit),
+            fms: d.get(Counter::DistFms),
+            cosine: d.get(Counter::DistCosine),
+            jaccard: d.get(Counter::DistJaccard),
+            jaro_winkler: d.get(Counter::DistJaroWinkler),
+            monge_elkan: d.get(Counter::DistMongeElkan),
+            composite: d.get(Counter::DistComposite),
+        };
+        self.nnindex = NnIndexMetrics {
+            lookups: d.get(Counter::NnLookups),
+            fallback_probes: d.get(Counter::NnFallbackProbes),
+            candidates_generated: d.get(Counter::NnCandidates),
+            postings_scanned: d.get(Counter::NnPostingsScanned),
+            exact_distance_calls: d.get(Counter::NnExactDistCalls),
+        };
+        self.phase2 = Phase2Metrics {
+            unnested_rows: d.get(Counter::Phase2UnnestedRows),
+            cs_pairs: d.get(Counter::Phase2CsPairs),
+            sort_passes: d.get(Counter::Phase2SortPasses),
+            join_passes: d.get(Counter::Phase2JoinPasses),
+        };
+    }
+
+    /// Render as a JSON object (schema documented in `README.md` under
+    /// "Run metrics").
+    pub fn to_json(&self) -> String {
+        let mut w = json::JsonObject::new();
+        w.object("textdist", |o| {
+            o.u64("edit", self.textdist.edit)
+                .u64("fms", self.textdist.fms)
+                .u64("cosine", self.textdist.cosine)
+                .u64("jaccard", self.textdist.jaccard)
+                .u64("jaro_winkler", self.textdist.jaro_winkler)
+                .u64("monge_elkan", self.textdist.monge_elkan)
+                .u64("composite", self.textdist.composite)
+                .u64("total", self.textdist.total());
+        });
+        w.object("nnindex", |o| {
+            o.u64("lookups", self.nnindex.lookups)
+                .u64("fallback_probes", self.nnindex.fallback_probes)
+                .u64("candidates_generated", self.nnindex.candidates_generated)
+                .u64("postings_scanned", self.nnindex.postings_scanned)
+                .u64("exact_distance_calls", self.nnindex.exact_distance_calls);
+        });
+        w.object("storage", |o| {
+            o.u64("hits", self.storage.hits)
+                .u64("misses", self.storage.misses)
+                .u64("evictions", self.storage.evictions)
+                .u64("writebacks", self.storage.writebacks)
+                .f64("hit_ratio", self.storage.hit_ratio);
+        });
+        w.object("phase1", |o| {
+            o.u64("tuples", self.phase1.tuples)
+                .u64("index_probes", self.phase1.index_probes)
+                .u64("fallback_probes", self.phase1.fallback_probes)
+                .u64("bf_queue_high_water", self.phase1.bf_queue_high_water)
+                .f64("visit_stride_mean", self.phase1.visit_stride_mean);
+        });
+        w.object("phase2", |o| {
+            o.u64("unnested_rows", self.phase2.unnested_rows)
+                .u64("cs_pairs", self.phase2.cs_pairs)
+                .u64("sort_passes", self.phase2.sort_passes)
+                .u64("join_passes", self.phase2.join_passes);
+        });
+        w.object("timings_ns", |o| {
+            o.u64("build_distance", self.timings.build_distance_ns)
+                .u64("build_index", self.timings.build_index_ns)
+                .u64("phase1", self.timings.phase1_ns)
+                .u64("phase2", self.timings.phase2_ns)
+                .u64("minimality", self.timings.minimality_ns)
+                .u64("total", self.timings.total_ns);
+        });
+        w.finish()
+    }
+}
+
+/// Mean |id distance| between consecutive entries of a visit order —
+/// the locality figure for [`Phase1Metrics::visit_stride_mean`].
+pub fn visit_stride_mean(visit_order: &[u32]) -> f64 {
+    if visit_order.len() < 2 {
+        return 0.0;
+    }
+    let total: u64 =
+        visit_order.windows(2).map(|w| (i64::from(w[1]) - i64::from(w[0])).unsigned_abs()).sum();
+    total as f64 / (visit_order.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incr_snapshot_delta_roundtrip() {
+        let _serial = serial_guard();
+        enable();
+        let before = snapshot();
+        incr(Counter::DistEdit, 3);
+        incr(Counter::NnLookups, 2);
+        incr(Counter::Phase2CsPairs, 7);
+        let delta = snapshot().delta(&before);
+        assert_eq!(delta.get(Counter::DistEdit), 3);
+        assert_eq!(delta.get(Counter::NnLookups), 2);
+        assert_eq!(delta.get(Counter::Phase2CsPairs), 7);
+        assert_eq!(delta.get(Counter::DistFms), 0);
+    }
+
+    #[test]
+    fn disabled_incr_is_dropped() {
+        let _serial = serial_guard();
+        disable();
+        let before = snapshot();
+        incr(Counter::DistCosine, 10);
+        let delta = snapshot().delta(&before);
+        assert_eq!(delta.get(Counter::DistCosine), 0);
+        enable();
+    }
+
+    #[test]
+    fn run_metrics_json_has_all_sections() {
+        let mut m = RunMetrics::default();
+        m.phase1.index_probes = 42;
+        m.storage.hit_ratio = 0.75;
+        let json = m.to_json();
+        for section in ["textdist", "nnindex", "storage", "phase1", "phase2", "timings_ns"] {
+            assert!(json.contains(&format!("\"{section}\"")), "missing {section}: {json}");
+        }
+        assert!(json.contains("\"index_probes\": 42"));
+        assert!(json.contains("\"hit_ratio\": 0.75"));
+    }
+
+    #[test]
+    fn apply_counter_delta_maps_counters() {
+        let _serial = serial_guard();
+        enable();
+        let before = snapshot();
+        incr(Counter::DistFms, 5);
+        incr(Counter::NnPostingsScanned, 11);
+        incr(Counter::Phase2SortPasses, 1);
+        let delta = snapshot().delta(&before);
+        let mut m = RunMetrics::default();
+        m.apply_counter_delta(&delta);
+        assert_eq!(m.textdist.fms, 5);
+        assert_eq!(m.nnindex.postings_scanned, 11);
+        assert_eq!(m.phase2.sort_passes, 1);
+    }
+
+    #[test]
+    fn stride_mean_measures_locality() {
+        assert_eq!(visit_stride_mean(&[]), 0.0);
+        assert_eq!(visit_stride_mean(&[3]), 0.0);
+        assert_eq!(visit_stride_mean(&[0, 1, 2, 3]), 1.0);
+        assert_eq!(visit_stride_mean(&[0, 10]), 10.0);
+    }
+}

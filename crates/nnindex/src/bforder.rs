@@ -43,17 +43,28 @@ impl LookupOrder {
     }
 }
 
+/// What [`drive_lookups`] observed while visiting the relation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DriveReport {
+    /// The ids in visit order (always a permutation of `0..n`).
+    pub visit_order: Vec<u32>,
+    /// High-water mark of the BF queue (0 for non-BF orders).
+    pub queue_high_water: usize,
+}
+
 /// Visit every id in `0..n` exactly once, calling `lookup` per id. The
 /// lookup returns the neighbor ids it fetched, which the BF order uses for
-/// queue expansion (other orders ignore them). Returns the visit order.
+/// queue expansion (other orders ignore them). Returns the visit order and
+/// queue telemetry.
 ///
 /// Errors from `lookup` abort the drive and are returned.
 pub fn drive_lookups<E>(
     n: usize,
     order: LookupOrder,
     mut lookup: impl FnMut(u32) -> Result<Vec<u32>, E>,
-) -> Result<Vec<u32>, E> {
+) -> Result<DriveReport, E> {
     let mut visit_order = Vec::with_capacity(n);
+    let mut queue_high_water = 0usize;
     match order {
         LookupOrder::Sequential => {
             for id in 0..n as u32 {
@@ -73,13 +84,24 @@ pub fn drive_lookups<E>(
             // Figure 5. `visited` is the bit vector H; `queue` is Q.
             let mut visited = vec![false; n];
             let mut queue: VecDeque<u32> = VecDeque::new();
+            // Admission hysteresis: "when the queue outgrows a certain
+            // size, we stop inserting new tuples into it until it empties
+            // out". Once `draining`, nothing is admitted until the queue
+            // has fully emptied — not merely dipped below capacity.
+            let mut draining = false;
             // `scan_pos` implements step 3's "insert another tuple not set
             // in H from R" as a resumable relation scan.
             let mut scan_pos: usize = 0;
             loop {
                 let id = match queue.pop_front() {
-                    Some(id) => id,
+                    Some(id) => {
+                        if queue.is_empty() {
+                            draining = false;
+                        }
+                        id
+                    }
                     None => {
+                        draining = false;
                         while scan_pos < n && visited[scan_pos] {
                             scan_pos += 1;
                         }
@@ -96,15 +118,18 @@ pub fn drive_lookups<E>(
                 let neighbors = lookup(id)?;
                 visit_order.push(id);
                 for nb in neighbors {
-                    if (nb as usize) < n && !visited[nb as usize] && queue.len() < queue_capacity
-                    {
+                    if (nb as usize) < n && !visited[nb as usize] && !draining {
                         queue.push_back(nb);
+                        queue_high_water = queue_high_water.max(queue.len());
+                        if queue.len() >= queue_capacity {
+                            draining = true;
+                        }
                     }
                 }
             }
         }
     }
-    Ok(visit_order)
+    Ok(DriveReport { visit_order, queue_high_water })
 }
 
 /// Fisher-Yates shuffle with a splitmix64 stream; deterministic for a seed
@@ -129,9 +154,14 @@ mod tests {
     use super::*;
     use std::convert::Infallible;
 
-    fn collect_order(n: usize, order: LookupOrder, neighbors: impl Fn(u32) -> Vec<u32>) -> Vec<u32> {
-        let result: Result<Vec<u32>, Infallible> = drive_lookups(n, order, |id| Ok(neighbors(id)));
-        result.unwrap()
+    fn collect_order(
+        n: usize,
+        order: LookupOrder,
+        neighbors: impl Fn(u32) -> Vec<u32>,
+    ) -> Vec<u32> {
+        let result: Result<DriveReport, Infallible> =
+            drive_lookups(n, order, |id| Ok(neighbors(id)));
+        result.unwrap().visit_order
     }
 
     fn assert_is_permutation(order: &[u32], n: usize) {
@@ -203,20 +233,62 @@ mod tests {
     fn bf_queue_capacity_is_respected() {
         // Capacity 1: after 0's lookup only its first unvisited neighbor is
         // queued; the rest come from the scan.
-        let order = collect_order(5, LookupOrder::BreadthFirst { queue_capacity: 1 }, |id| {
-            match id {
+        let order =
+            collect_order(5, LookupOrder::BreadthFirst { queue_capacity: 1 }, |id| match id {
                 0 => vec![4, 3],
                 _ => vec![],
-            }
-        });
+            });
         assert_eq!(&order[..2], &[0, 4], "only the first neighbor fits the queue");
         assert_is_permutation(&order, 5);
     }
 
     #[test]
+    fn bf_admission_drains_fully_before_readmitting() {
+        // Capacity 2; topology: 0 → [3, 4, 5], 3 → [1], 4 → [5].
+        //
+        // Visiting 0 fills the queue to capacity with [3, 4] (5 is
+        // rejected), which trips the draining flag. The buggy policy
+        // (re-admit as soon as len < capacity) would admit 3's neighbor 1
+        // and 4's neighbor 5 while the queue still holds entries, giving
+        // the order [0, 3, 4, 1, 5, 2]. The paper's hysteresis ("stop
+        // inserting ... until it empties out") keeps rejecting until the
+        // pop of 4 empties the queue, so only 4's neighbor 5 is admitted:
+        // [0, 3, 4, 5, 1, 2].
+        let neighbors = |id: u32| -> Vec<u32> {
+            match id {
+                0 => vec![3, 4, 5],
+                3 => vec![1],
+                4 => vec![5],
+                _ => vec![],
+            }
+        };
+        let order = collect_order(6, LookupOrder::BreadthFirst { queue_capacity: 2 }, neighbors);
+        assert_eq!(order, vec![0, 3, 4, 5, 1, 2]);
+        assert_ne!(order, vec![0, 3, 4, 1, 5, 2], "old below-capacity re-admission policy");
+        assert_is_permutation(&order, 6);
+    }
+
+    #[test]
+    fn bf_reports_queue_high_water() {
+        // Chain topology fills the queue two-at-a-time but drains one per
+        // visit; high water is small and bounded by capacity.
+        let report: Result<DriveReport, Infallible> =
+            drive_lookups(50, LookupOrder::BreadthFirst { queue_capacity: 8 }, |id| {
+                Ok(vec![id + 1, id + 2].into_iter().filter(|&x| x < 50).collect())
+            });
+        let report = report.unwrap();
+        assert!(report.queue_high_water >= 2, "chain enqueues two neighbors");
+        assert!(report.queue_high_water <= 8, "bounded by capacity");
+        // Non-BF orders keep no queue.
+        let seq: Result<DriveReport, Infallible> =
+            drive_lookups(10, LookupOrder::Sequential, |_| Ok(vec![]));
+        assert_eq!(seq.unwrap().queue_high_water, 0);
+    }
+
+    #[test]
     fn errors_abort_the_drive() {
         let mut calls = 0;
-        let result: Result<Vec<u32>, &str> = drive_lookups(5, LookupOrder::Sequential, |id| {
+        let result: Result<DriveReport, &str> = drive_lookups(5, LookupOrder::Sequential, |id| {
             calls += 1;
             if id == 2 {
                 Err("boom")
@@ -230,8 +302,7 @@ mod tests {
 
     #[test]
     fn zero_sized_corpus() {
-        for order in
-            [LookupOrder::Sequential, LookupOrder::Random(1), LookupOrder::breadth_first()]
+        for order in [LookupOrder::Sequential, LookupOrder::Random(1), LookupOrder::breadth_first()]
         {
             assert!(collect_order(0, order, |_| vec![]).is_empty());
         }

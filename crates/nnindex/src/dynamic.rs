@@ -17,7 +17,7 @@ use fuzzydedup_relation::Neighbor;
 use fuzzydedup_textdist::tokenize::{record_string, tokenize_record};
 use fuzzydedup_textdist::{qgrams, Distance};
 
-use crate::{lookup_from_verified, sort_neighbors, LookupSpec, NnIndex};
+use crate::{lookup_from_verified, sort_neighbors, LookupCost, LookupSpec, NnIndex};
 
 /// Configuration of the dynamic index (mirrors
 /// [`crate::InvertedIndexConfig`]'s candidate-generation knobs).
@@ -110,8 +110,7 @@ impl<D: Distance> DynamicInvertedIndex<D> {
     /// top-k while falling outside the new record's.
     pub fn candidates_with_limit(&self, id: u32, limit: usize) -> Vec<u32> {
         let n = self.records.len().max(1) as f64;
-        let max_df = (self.config.max_df_fraction * n)
-            .max(f64::from(self.config.stop_df_floor));
+        let max_df = (self.config.max_df_fraction * n).max(f64::from(self.config.stop_df_floor));
         let mut scores: HashMap<u32, f64> = HashMap::new();
         for term in self.terms_of(&self.records[id as usize]) {
             let Some(ids) = self.postings.get(&term) else { continue };
@@ -166,7 +165,7 @@ impl<D: Distance> NnIndex for DynamicInvertedIndex<D> {
         verified
     }
 
-    fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64) {
+    fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
         let verified = self.verified(id, &self.candidates(id));
         lookup_from_verified(verified, spec, p)
     }
@@ -204,15 +203,20 @@ mod tests {
         use std::sync::Arc;
 
         let records: Vec<Vec<String>> = [
-            "the doors", "doors", "the beatles", "beatles the", "shania twain",
-            "twian shania", "aaliyah", "bob dylan",
+            "the doors",
+            "doors",
+            "the beatles",
+            "beatles the",
+            "shania twain",
+            "twian shania",
+            "aaliyah",
+            "bob dylan",
         ]
         .iter()
         .map(|s| vec![s.to_string()])
         .collect();
 
-        let mut dynamic =
-            DynamicInvertedIndex::new(EditDistance, DynamicIndexConfig::default());
+        let mut dynamic = DynamicInvertedIndex::new(EditDistance, DynamicIndexConfig::default());
         for r in &records {
             dynamic.push(r.clone());
         }
@@ -254,8 +258,10 @@ mod tests {
     fn combined_lookup_consistent() {
         let mut idx = DynamicInvertedIndex::new(EditDistance, DynamicIndexConfig::default());
         push_all(&mut idx, &["alpha beta", "alpha betb", "gamma delta"]);
-        let (neighbors, ng) = idx.lookup(0, LookupSpec::TopK(2), 2.0);
+        let (neighbors, ng, cost) = idx.lookup(0, LookupSpec::TopK(2), 2.0);
         assert_eq!(neighbors, idx.top_k(0, 2));
         assert!(ng >= 2.0);
+        assert_eq!(cost.probes, 1);
+        assert_eq!(cost.candidates, cost.distance_calls);
     }
 }

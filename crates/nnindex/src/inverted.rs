@@ -31,7 +31,8 @@ use fuzzydedup_storage::{BufferPool, HeapFile, RecordId};
 use fuzzydedup_textdist::tokenize::{record_string, tokenize_record};
 use fuzzydedup_textdist::{qgrams, Distance};
 
-use crate::{lookup_from_verified, sort_neighbors, LookupSpec, NnIndex};
+use crate::{lookup_from_verified, sort_neighbors, LookupCost, LookupSpec, NnIndex};
+use fuzzydedup_metrics::{incr, Counter};
 
 /// Configuration of the inverted index.
 #[derive(Debug, Clone)]
@@ -170,6 +171,7 @@ impl<D: Distance> InvertedIndex<D> {
         let max_df = (self.config.max_df_fraction * self.records.len() as f64)
             .max(f64::from(self.config.stop_df_floor));
         let mut scores: HashMap<u32, f64> = HashMap::new();
+        let mut scanned: u64 = 0;
         for term in Self::terms_of(record, &self.config) {
             let Some(info) = self.dictionary.get(&term) else { continue };
             if f64::from(info.df) > max_df {
@@ -177,6 +179,7 @@ impl<D: Distance> InvertedIndex<D> {
             }
             for &chunk in &info.chunks {
                 let bytes = self.postings.get(chunk).expect("postings chunk exists");
+                scanned += (bytes.len() / 4) as u64;
                 for raw in bytes.chunks_exact(4) {
                     let other = u32::from_le_bytes(raw.try_into().unwrap());
                     if other != id {
@@ -185,6 +188,7 @@ impl<D: Distance> InvertedIndex<D> {
                 }
             }
         }
+        incr(Counter::NnPostingsScanned, scanned);
         let mut scored: Vec<(u32, f64)> = scores.into_iter().collect();
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         if self.config.candidate_limit > 0 {
@@ -228,7 +232,7 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
     /// One candidate gather + one verification pass serves both the
     /// neighbor list and the neighborhood growth — the access pattern the
     /// paper's Phase 1 assumes, and half the I/O of two separate calls.
-    fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64) {
+    fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
         let verified = self.verified(id, &self.candidates(id));
         lookup_from_verified(verified, spec, p)
     }
@@ -372,7 +376,7 @@ mod tests {
         let idx = build(InvertedIndexConfig::default());
         for id in 0..idx.len() as u32 {
             // Top-K flavor.
-            let (neighbors, ng) = idx.lookup(id, LookupSpec::TopK(3), 2.0);
+            let (neighbors, ng, cost) = idx.lookup(id, LookupSpec::TopK(3), 2.0);
             assert_eq!(neighbors, idx.top_k(id, 3), "id {id}");
             let nn = idx.top_k(id, 1).first().map(|n| n.dist);
             let expected_ng = match nn {
@@ -380,8 +384,13 @@ mod tests {
                 _ => 1.0,
             };
             assert_eq!(ng, expected_ng, "id {id}");
+            // The combined lookup gathers once: one probe, every candidate
+            // verified with exactly one distance call.
+            assert_eq!(cost.probes, 1, "id {id}");
+            assert_eq!(cost.fallback_probes, 0, "id {id}");
+            assert_eq!(cost.candidates, cost.distance_calls, "id {id}");
             // Radius flavor.
-            let (neighbors, _) = idx.lookup(id, LookupSpec::Radius(0.4), 2.0);
+            let (neighbors, _, _) = idx.lookup(id, LookupSpec::Radius(0.4), 2.0);
             assert_eq!(neighbors, idx.within(id, 0.4), "id {id}");
         }
     }
@@ -397,7 +406,12 @@ mod tests {
             records,
             EditDistance,
             pool,
-            InvertedIndexConfig { chunk_size: 64, max_df_fraction: 1.1, stop_df_floor: 1000, ..Default::default() },
+            InvertedIndexConfig {
+                chunk_size: 64,
+                max_df_fraction: 1.1,
+                stop_df_floor: 1000,
+                ..Default::default()
+            },
         );
         let info = idx.dictionary.get("shared").expect("token indexed");
         assert!(info.chunks.len() >= 5);

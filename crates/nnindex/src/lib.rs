@@ -34,13 +34,50 @@ pub mod inverted;
 pub mod nested_loop;
 pub mod signature;
 
-pub use bforder::{drive_lookups, LookupOrder};
+pub use bforder::{drive_lookups, DriveReport, LookupOrder};
 pub use dynamic::{DynamicIndexConfig, DynamicInvertedIndex};
 pub use inverted::{InvertedIndex, InvertedIndexConfig};
 pub use nested_loop::NestedLoopIndex;
 pub use signature::{MinHashConfig, MinHashIndex};
 
+use fuzzydedup_metrics::{incr, Counter};
 use fuzzydedup_relation::Neighbor;
+
+/// Cost accounting for one combined [`NnIndex::lookup`], reported by every
+/// implementation and aggregated by Phase 1 into `Phase1Stats` /
+/// `RunMetrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LookupCost {
+    /// Physical index probes issued: the primary fetch plus any fallback
+    /// or neighborhood-growth probes (always ≥ 1 for a served lookup).
+    pub probes: u64,
+    /// Fallback top-1 probes within `probes`: the radius fetch came back
+    /// empty, but `nn(v)` was still needed for the growth estimate.
+    pub fallback_probes: u64,
+    /// Candidates generated before verification (0 when the
+    /// implementation does not expose candidate generation).
+    pub candidates: u64,
+    /// Exact distance evaluations spent verifying candidates.
+    pub distance_calls: u64,
+}
+
+impl LookupCost {
+    /// Accumulate another lookup's cost into this one.
+    pub fn absorb(&mut self, other: &LookupCost) {
+        self.probes += other.probes;
+        self.fallback_probes += other.fallback_probes;
+        self.candidates += other.candidates;
+        self.distance_calls += other.distance_calls;
+    }
+
+    /// Mirror this lookup's cost into the process-global metrics counters.
+    fn record(&self) {
+        incr(Counter::NnLookups, 1);
+        incr(Counter::NnFallbackProbes, self.fallback_probes);
+        incr(Counter::NnCandidates, self.candidates);
+        incr(Counter::NnExactDistCalls, self.distance_calls);
+    }
+}
 
 /// A nearest-neighbor index over a fixed corpus of records with dense ids
 /// `0..len`.
@@ -74,26 +111,39 @@ pub trait NnIndex: Send + Sync {
     /// One combined lookup, as the paper's Phase 1 performs it ("get
     /// NN-List(v) and the number of neighbors within radius 2·NN(v) using
     /// index I"): the neighbor list per `spec`, plus the neighborhood
-    /// growth `ng(v) = |{u : d(u, v) < p · nn(v)}|` (counting `v` itself).
+    /// growth `ng(v) = |{u : d(u, v) < p · nn(v)}|` (counting `v` itself),
+    /// plus the [`LookupCost`] actually paid to answer.
     ///
-    /// The default implementation issues separate `top_k`/`within` calls;
-    /// candidate-generation indexes override it to gather and verify
-    /// candidates once.
-    fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64) {
+    /// The default implementation issues separate `top_k`/`within` probes
+    /// (each counted in `LookupCost::probes`); candidate-generation
+    /// indexes override it to gather and verify candidates once.
+    fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
+        let mut cost = LookupCost { probes: 1, ..LookupCost::default() };
         let neighbors = match spec {
             LookupSpec::TopK(k) => self.top_k(id, k),
             LookupSpec::Radius(theta) => self.within(id, theta),
         };
         let nn = match neighbors.first() {
             Some(first) => Some(first.dist),
-            None => self.top_k(id, 1).first().map(|f| f.dist),
+            None => {
+                // The radius fetch (or a degenerate top-k) came back
+                // empty; nn(v) still drives the growth estimate, so probe
+                // for it separately — the fallback probe Phase 1 counts.
+                cost.probes += 1;
+                cost.fallback_probes += 1;
+                self.top_k(id, 1).first().map(|f| f.dist)
+            }
         };
         let ng = match nn {
-            Some(nn) if nn > 0.0 => self.within(id, p * nn).len() as f64 + 1.0,
+            Some(nn) if nn > 0.0 => {
+                cost.probes += 1;
+                self.within(id, p * nn).len() as f64 + 1.0
+            }
             Some(_) => 1.0,
             None => 1.0,
         };
-        (neighbors, ng)
+        cost.record();
+        (neighbors, ng, cost)
     }
 }
 
@@ -108,18 +158,25 @@ pub enum LookupSpec {
 
 /// Shared implementation of the combined lookup over a fully *verified*
 /// candidate list (every candidate carries its exact distance, self
-/// excluded, unsorted). Used by the candidate-generation indexes.
+/// excluded, unsorted). Used by the candidate-generation indexes: one
+/// gather answers both the neighbor list and the growth estimate, so the
+/// cost is a single probe with `verified.len()` candidates, each verified
+/// by one exact distance call.
 pub(crate) fn lookup_from_verified(
     mut verified: Vec<Neighbor>,
     spec: LookupSpec,
     p: f64,
-) -> (Vec<Neighbor>, f64) {
+) -> (Vec<Neighbor>, f64, LookupCost) {
+    let cost = LookupCost {
+        probes: 1,
+        fallback_probes: 0,
+        candidates: verified.len() as u64,
+        distance_calls: verified.len() as u64,
+    };
     sort_neighbors(&mut verified);
     let nn = verified.first().map(|n| n.dist);
     let ng = match nn {
-        Some(nn) if nn > 0.0 => {
-            verified.iter().filter(|n| n.dist < p * nn).count() as f64 + 1.0
-        }
+        Some(nn) if nn > 0.0 => verified.iter().filter(|n| n.dist < p * nn).count() as f64 + 1.0,
         Some(_) => 1.0,
         None => 1.0,
     };
@@ -133,7 +190,8 @@ pub(crate) fn lookup_from_verified(
             verified
         }
     };
-    (neighbors, ng)
+    cost.record();
+    (neighbors, ng, cost)
 }
 
 impl<I: NnIndex + ?Sized> NnIndex for &I {
@@ -146,7 +204,7 @@ impl<I: NnIndex + ?Sized> NnIndex for &I {
     fn within(&self, id: u32, radius: f64) -> Vec<Neighbor> {
         (**self).within(id, radius)
     }
-    fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64) {
+    fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
         (**self).lookup(id, spec, p)
     }
 }
@@ -163,8 +221,7 @@ mod tests {
 
     #[test]
     fn sort_neighbors_orders_by_distance_then_id() {
-        let mut ns =
-            vec![Neighbor::new(5, 0.5), Neighbor::new(1, 0.5), Neighbor::new(9, 0.1)];
+        let mut ns = vec![Neighbor::new(5, 0.5), Neighbor::new(1, 0.5), Neighbor::new(9, 0.1)];
         sort_neighbors(&mut ns);
         assert_eq!(ns.iter().map(|n| n.id).collect::<Vec<_>>(), vec![9, 1, 5]);
     }

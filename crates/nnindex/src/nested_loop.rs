@@ -7,7 +7,7 @@
 use fuzzydedup_relation::Neighbor;
 use fuzzydedup_textdist::Distance;
 
-use crate::{sort_neighbors, NnIndex};
+use crate::{lookup_from_verified, sort_neighbors, LookupCost, LookupSpec, NnIndex};
 
 /// Exact nearest-neighbor search by full scan.
 pub struct NestedLoopIndex<D> {
@@ -69,6 +69,12 @@ impl<D: Distance> NnIndex for NestedLoopIndex<D> {
         all.retain(|n| n.dist < radius);
         sort_neighbors(&mut all);
         all
+    }
+
+    /// One corpus scan answers both the neighbor list and the growth
+    /// estimate (the default implementation would scan up to three times).
+    fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
+        lookup_from_verified(self.all_neighbors(id), spec, p)
     }
 }
 

@@ -28,7 +28,7 @@ use fuzzydedup_relation::Neighbor;
 use fuzzydedup_textdist::tokenize::{record_string, tokenize_record};
 use fuzzydedup_textdist::{qgrams, Distance};
 
-use crate::{lookup_from_verified, sort_neighbors, LookupSpec, NnIndex};
+use crate::{lookup_from_verified, sort_neighbors, LookupCost, LookupSpec, NnIndex};
 
 /// Configuration of the MinHash index.
 #[derive(Debug, Clone)]
@@ -195,7 +195,7 @@ impl<D: Distance> NnIndex for MinHashIndex<D> {
     }
 
     /// One band probe + one verification pass serves both results.
-    fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64) {
+    fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
         let verified = self.verified(id, &self.candidates(id));
         lookup_from_verified(verified, spec, p)
     }
@@ -320,7 +320,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "bands and rows")]
     fn zero_bands_panics() {
-        MinHashIndex::build(corpus(), EditDistance, MinHashConfig { bands: 0, ..Default::default() });
+        MinHashIndex::build(
+            corpus(),
+            EditDistance,
+            MinHashConfig { bands: 0, ..Default::default() },
+        );
     }
 
     #[test]

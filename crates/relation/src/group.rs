@@ -54,8 +54,7 @@ mod tests {
     fn preserves_order_within_group() {
         let tuples = vec![row(1, "first"), row(1, "second"), row(1, "third")];
         let groups = group_sorted(tuples, &[0]);
-        let texts: Vec<&str> =
-            groups[0].1.iter().map(|t| t.get(1).as_str().unwrap()).collect();
+        let texts: Vec<&str> = groups[0].1.iter().map(|t| t.get(1).as_str().unwrap()).collect();
         assert_eq!(texts, ["first", "second", "third"]);
     }
 

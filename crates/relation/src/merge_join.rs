@@ -92,9 +92,7 @@ mod tests {
         t
     }
 
-    fn collect_pairs(
-        join: impl FnOnce(&mut dyn FnMut(&Tuple, &Tuple)),
-    ) -> Vec<(String, String)> {
+    fn collect_pairs(join: impl FnOnce(&mut dyn FnMut(&Tuple, &Tuple))) -> Vec<(String, String)> {
         let mut pairs = Vec::new();
         join(&mut |a: &Tuple, b: &Tuple| {
             pairs.push((
@@ -113,10 +111,8 @@ mod tests {
             (0..120).map(|i| (rng.gen_range(0..20), format!("l{i}"))).collect();
         let r_rows: Vec<(i64, String)> =
             (0..80).map(|i| (rng.gen_range(0..20), format!("r{i}"))).collect();
-        let l_refs: Vec<(i64, &str)> =
-            l_rows.iter().map(|(k, v)| (*k, v.as_str())).collect();
-        let r_refs: Vec<(i64, &str)> =
-            r_rows.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        let l_refs: Vec<(i64, &str)> = l_rows.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        let r_refs: Vec<(i64, &str)> = r_rows.iter().map(|(k, v)| (*k, v.as_str())).collect();
         let l = table_with(&l_refs);
         let r = table_with(&r_refs);
 

@@ -81,8 +81,7 @@ impl ColumnStats {
 /// Aggregate a column, accepting `I64` and `F64` values (NULL and other
 /// types are skipped but counted in `count`).
 pub fn aggregate_column(input: &Table, column: usize) -> RelationResult<ColumnStats> {
-    let mut stats =
-        ColumnStats { count: 0, non_null: 0, min: None, max: None, sum: 0.0 };
+    let mut stats = ColumnStats { count: 0, non_null: 0, min: None, max: None, sum: 0.0 };
     input.scan(|_, t| {
         stats.count += 1;
         let v = match t.get(column) {
@@ -168,9 +167,8 @@ mod tests {
         // Projecting the same column twice duplicates the name — the
         // schema constructor treats that as a programming error.
         let t = table();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            project(&t, &[0, 0])
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| project(&t, &[0, 0])));
         assert!(result.is_err());
     }
 

@@ -134,10 +134,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate column name")]
     fn duplicate_names_panic() {
-        Schema::new(vec![
-            Column::new("id", ColumnType::I64),
-            Column::new("id", ColumnType::Str),
-        ]);
+        Schema::new(vec![Column::new("id", ColumnType::I64), Column::new("id", ColumnType::Str)]);
     }
 
     #[test]
@@ -153,8 +150,7 @@ mod tests {
         let s = schema();
         assert!(s.check(&[Value::I64(1)]).is_err(), "wrong arity");
         assert!(
-            s.check(&[Value::Str("x".into()), Value::Neighbors(vec![]), Value::F64(0.0)])
-                .is_err(),
+            s.check(&[Value::Str("x".into()), Value::Neighbors(vec![]), Value::F64(0.0)]).is_err(),
             "wrong type"
         );
     }

@@ -78,7 +78,13 @@ impl Table {
     /// Pull-based tuple iterator over a snapshot of the table (materialized
     /// on the first `next()` call; each page is touched exactly once).
     pub fn iter(&self) -> TupleIter<'_> {
-        TupleIter { table: self, buffered: Vec::new(), buffered_pos: 0, done: false, fetched: false }
+        TupleIter {
+            table: self,
+            buffered: Vec::new(),
+            buffered_pos: 0,
+            done: false,
+            fetched: false,
+        }
     }
 
     /// Collect all tuples into memory.
@@ -187,8 +193,7 @@ mod tests {
         for i in 0..25 {
             t.insert(&row(i, "x")).unwrap();
         }
-        let ids: Vec<i64> =
-            t.iter().map(|r| r.unwrap().get(0).as_i64().unwrap()).collect();
+        let ids: Vec<i64> = t.iter().map(|r| r.unwrap().get(0).as_i64().unwrap()).collect();
         assert_eq!(ids, (0..25).collect::<Vec<_>>());
     }
 

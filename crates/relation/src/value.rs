@@ -201,8 +201,7 @@ impl Value {
                 let mut ns = Vec::with_capacity(len);
                 for _ in 0..len {
                     let id = take_u32(bytes, pos)?;
-                    let dist =
-                        f64::from_le_bytes(take(bytes, pos, 8)?.try_into().unwrap());
+                    let dist = f64::from_le_bytes(take(bytes, pos, 8)?.try_into().unwrap());
                     ns.push(Neighbor::new(id, dist));
                 }
                 Ok(Value::Neighbors(ns))

@@ -207,11 +207,7 @@ impl BufferPool {
     }
 
     /// Run `f` with exclusive access to a page, marking it dirty.
-    pub fn with_page_mut<R>(
-        &self,
-        id: PageId,
-        f: impl FnOnce(&mut Page) -> R,
-    ) -> StorageResult<R> {
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> StorageResult<R> {
         let mut inner = self.inner.lock();
         let idx = self.fetch(&mut inner, id)?;
         inner.frames[idx].pins += 1;

@@ -89,9 +89,8 @@ impl HeapFile {
         // Allocate a fresh page.
         let page_id = self.pool.allocate_page();
         pages.push(page_id);
-        let slot = self
-            .pool
-            .with_page_mut(page_id, |p| p.insert(record).expect("empty page must fit"))?;
+        let slot =
+            self.pool.with_page_mut(page_id, |p| p.insert(record).expect("empty page must fit"))?;
         *self.records.lock() += 1;
         Ok(RecordId::new(page_id, slot))
     }

@@ -198,8 +198,7 @@ impl Page {
         if reclaimed == 0 {
             return 0;
         }
-        let live: Vec<(u16, Vec<u8>)> =
-            self.records().map(|(s, r)| (s, r.to_vec())).collect();
+        let live: Vec<(u16, Vec<u8>)> = self.records().map(|(s, r)| (s, r.to_vec())).collect();
         let slot_count = self.slot_count();
         // Tombstoned slots no longer occupy payload: zero their lengths so
         // `dead_bytes` reflects reality (and compaction is idempotent).

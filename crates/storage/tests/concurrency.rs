@@ -4,9 +4,7 @@
 
 use std::sync::Arc;
 
-use fuzzydedup_storage::{
-    BufferPool, BufferPoolConfig, HeapFile, InMemoryDisk, ReplacementPolicy,
-};
+use fuzzydedup_storage::{BufferPool, BufferPoolConfig, HeapFile, InMemoryDisk, ReplacementPolicy};
 
 #[test]
 fn concurrent_readers_see_consistent_pages() {
@@ -93,9 +91,7 @@ fn mixed_read_write_workload() {
     ));
     let heap = Arc::new(HeapFile::create(pool.clone()));
     // Seed records.
-    let seeded: Vec<_> = (0..100u32)
-        .map(|i| heap.insert(&i.to_le_bytes()).unwrap())
-        .collect();
+    let seeded: Vec<_> = (0..100u32).map(|i| heap.insert(&i.to_le_bytes()).unwrap()).collect();
     std::thread::scope(|scope| {
         // Writers append.
         for _ in 0..2 {

@@ -54,6 +54,9 @@ impl<D: Distance> CompositeDistance<D> {
 
 impl<D: Distance> Distance for CompositeDistance<D> {
     fn distance(&self, a: &[&str], b: &[&str]) -> f64 {
+        // Per-field inner evaluations additionally count under their own
+        // kind; this counter tracks record-level composite evaluations.
+        fuzzydedup_metrics::incr(fuzzydedup_metrics::Counter::DistComposite, 1);
         let n_fields = a.len().max(b.len());
         if n_fields == 0 {
             return 0.0;
@@ -73,8 +76,7 @@ impl<D: Distance> Distance for CompositeDistance<D> {
             if wsum == 0.0 {
                 return 0.0;
             }
-            let total: f64 =
-                self.weights.iter().map(|w| w.weight * field_dist(w.field)).sum();
+            let total: f64 = self.weights.iter().map(|w| w.weight * field_dist(w.field)).sum();
             (total / wsum).clamp(0.0, 1.0)
         }
     }

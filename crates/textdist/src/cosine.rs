@@ -47,10 +47,7 @@ impl CosineDistance {
         let va = self.vector(a);
         let vb = self.vector(b);
         let (small, large) = if va.len() <= vb.len() { (&va, &vb) } else { (&vb, &va) };
-        let dot: f64 = small
-            .iter()
-            .filter_map(|(t, w)| large.get(t).map(|w2| w * w2))
-            .sum();
+        let dot: f64 = small.iter().filter_map(|(t, w)| large.get(t).map(|w2| w * w2)).sum();
         let na: f64 = va.values().map(|w| w * w).sum::<f64>().sqrt();
         let nb: f64 = vb.values().map(|w| w * w).sum::<f64>().sqrt();
         if na == 0.0 && nb == 0.0 {
@@ -65,6 +62,7 @@ impl CosineDistance {
 
 impl Distance for CosineDistance {
     fn distance(&self, a: &[&str], b: &[&str]) -> f64 {
+        fuzzydedup_metrics::incr(fuzzydedup_metrics::Counter::DistCosine, 1);
         1.0 - self.similarity(a, b)
     }
 

@@ -153,6 +153,7 @@ pub struct EditDistance;
 
 impl Distance for EditDistance {
     fn distance(&self, a: &[&str], b: &[&str]) -> f64 {
+        fuzzydedup_metrics::incr(fuzzydedup_metrics::Counter::DistEdit, 1);
         let sa = record_string(a);
         let sb = record_string(b);
         normalized_levenshtein(&sa, &sb)

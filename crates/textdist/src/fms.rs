@@ -141,8 +141,7 @@ impl FuzzyMatchDistance {
                 if max_len == 0 {
                     continue;
                 }
-                let ned =
-                    levenshtein_chars_with(&mut dp_bufs, ca, cb) as f64 / max_len as f64;
+                let ned = levenshtein_chars_with(&mut dp_bufs, ca, cb) as f64 / max_len as f64;
                 if ned > self.max_token_ned {
                     continue;
                 }
@@ -173,6 +172,7 @@ impl FuzzyMatchDistance {
 
 impl Distance for FuzzyMatchDistance {
     fn distance(&self, a: &[&str], b: &[&str]) -> f64 {
+        fuzzydedup_metrics::incr(fuzzydedup_metrics::Counter::DistFms, 1);
         1.0 - self.similarity(a, b)
     }
 
@@ -184,8 +184,8 @@ impl Distance for FuzzyMatchDistance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::edit::EditDistance;
     use crate::cosine::CosineDistance;
+    use crate::edit::EditDistance;
     use proptest::prelude::*;
 
     fn org_corpus() -> Vec<String> {

@@ -57,9 +57,7 @@ impl IdfModel {
     pub fn fit_records(records: &[Vec<String>]) -> Self {
         let token_docs: Vec<Vec<String>> = records
             .iter()
-            .map(|r| {
-                r.iter().flat_map(|f| tokenize(f).into_iter().map(|t| t.text)).collect()
-            })
+            .map(|r| r.iter().flat_map(|f| tokenize(f).into_iter().map(|t| t.text)).collect())
             .collect();
         Self::fit_token_docs(&token_docs)
     }

@@ -66,6 +66,7 @@ impl JaccardDistance {
 
 impl Distance for JaccardDistance {
     fn distance(&self, a: &[&str], b: &[&str]) -> f64 {
+        fuzzydedup_metrics::incr(fuzzydedup_metrics::Counter::DistJaccard, 1);
         match self.qgram {
             None => 1.0 - token_jaccard(a, b),
             Some(q) => {

@@ -61,12 +61,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     const P: f64 = 0.1;
     let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count() as f64;
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count() as f64;
     (j + prefix * P * (1.0 - j)).clamp(0.0, 1.0)
 }
 
@@ -76,6 +71,7 @@ pub struct JaroWinklerDistance;
 
 impl Distance for JaroWinklerDistance {
     fn distance(&self, a: &[&str], b: &[&str]) -> f64 {
+        fuzzydedup_metrics::incr(fuzzydedup_metrics::Counter::DistJaroWinkler, 1);
         1.0 - jaro_winkler(&record_string(a), &record_string(b))
     }
 

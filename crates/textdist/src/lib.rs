@@ -39,7 +39,9 @@ pub mod tokenize;
 
 pub use composite::{CompositeDistance, FieldWeight};
 pub use cosine::CosineDistance;
-pub use edit::{levenshtein, levenshtein_bounded, levenshtein_chars_with, normalized_levenshtein, EditDistance};
+pub use edit::{
+    levenshtein, levenshtein_bounded, levenshtein_chars_with, normalized_levenshtein, EditDistance,
+};
 pub use fms::FuzzyMatchDistance;
 pub use idf::IdfModel;
 pub use jaccard::{qgram_jaccard, token_jaccard, JaccardDistance};
@@ -178,10 +180,8 @@ mod tests {
 
     #[test]
     fn build_produces_named_distances() {
-        let corpus = vec![
-            vec!["microsoft corp".to_string()],
-            vec!["boeing corporation".to_string()],
-        ];
+        let corpus =
+            vec![vec!["microsoft corp".to_string()], vec!["boeing corporation".to_string()]];
         for kind in [
             DistanceKind::EditDistance,
             DistanceKind::FuzzyMatch,

@@ -61,6 +61,7 @@ impl MongeElkanDistance {
 
 impl Distance for MongeElkanDistance {
     fn distance(&self, a: &[&str], b: &[&str]) -> f64 {
+        fuzzydedup_metrics::incr(fuzzydedup_metrics::Counter::DistMongeElkan, 1);
         (1.0 - self.similarity(a, b)).clamp(0.0, 1.0)
     }
 

@@ -19,9 +19,27 @@ use rand::SeedableRng;
 fn main() {
     // The intro's exact example: same customer, two representations.
     let lisa: Vec<Vec<String>> = vec![
-        vec!["Lisa Simpson".into(), "12 Evergreen Terrace".into(), "Seattle".into(), "WA".into(), "98125".into()],
-        vec!["Simson Lisa".into(), "12 Evergreen Terrace".into(), "Seattle".into(), "WA".into(), "98125".into()],
-        vec!["Bart Simpson".into(), "12 Evergreen Terrace".into(), "Seattle".into(), "WA".into(), "98125".into()],
+        vec![
+            "Lisa Simpson".into(),
+            "12 Evergreen Terrace".into(),
+            "Seattle".into(),
+            "WA".into(),
+            "98125".into(),
+        ],
+        vec![
+            "Simson Lisa".into(),
+            "12 Evergreen Terrace".into(),
+            "Seattle".into(),
+            "WA".into(),
+            "98125".into(),
+        ],
+        vec![
+            "Bart Simpson".into(),
+            "12 Evergreen Terrace".into(),
+            "Seattle".into(),
+            "WA".into(),
+            "98125".into(),
+        ],
     ];
     let cfg = DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(3)).sn_threshold(4.0);
     let outcome = deduplicate(&lisa, &cfg).expect("tiny relation");
@@ -38,9 +56,7 @@ fn main() {
         dataset.true_pairs()
     );
 
-    let config = DedupConfig::new(DistanceKind::FuzzyMatch)
-        .cut(CutSpec::Size(4))
-        .sn_threshold(4.0);
+    let config = DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(4)).sn_threshold(4.0);
     let outcome = deduplicate(&dataset.records, &config).expect("pipeline");
     let pr = evaluate(&outcome.partition, &dataset.gold);
     println!(
@@ -75,9 +91,5 @@ fn main() {
     println!("  ground truth:    {true_count}");
     let raw_err = (raw_count as f64 - true_count as f64).abs() / true_count as f64;
     let clean_err = (deduped_count as f64 - true_count as f64).abs() / true_count as f64;
-    println!(
-        "  error: {:.1}% raw -> {:.1}% after dedup",
-        100.0 * raw_err,
-        100.0 * clean_err
-    );
+    println!("  error: {:.1}% raw -> {:.1}% after dedup", 100.0 * raw_err, 100.0 * clean_err);
 }

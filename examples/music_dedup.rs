@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --release --example music_dedup`
 
-use fuzzydedup::core::{
-    deduplicate, evaluate, single_linkage, CutSpec, DedupConfig,
-};
+use fuzzydedup::core::{deduplicate, evaluate, single_linkage, CutSpec, DedupConfig};
 use fuzzydedup::datagen::{media, DatasetSpec};
 use fuzzydedup::textdist::DistanceKind;
 use rand::rngs::StdRng;
@@ -26,9 +24,7 @@ fn main() {
     );
 
     // The DE pipeline.
-    let config = DedupConfig::new(DistanceKind::FuzzyMatch)
-        .cut(CutSpec::Size(4))
-        .sn_threshold(4.0);
+    let config = DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(4)).sn_threshold(4.0);
     let outcome = deduplicate(&dataset.records, &config).expect("pipeline");
     let de_pr = evaluate(&outcome.partition, &dataset.gold);
     println!(

@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --release --example threshold_tuning`
 
-use fuzzydedup::core::{
-    deduplicate, estimate_sn_threshold, evaluate, CutSpec, DedupConfig,
-};
+use fuzzydedup::core::{deduplicate, estimate_sn_threshold, evaluate, CutSpec, DedupConfig};
 use fuzzydedup::datagen::{restaurants, DatasetSpec};
 use fuzzydedup::textdist::DistanceKind;
 use rand::rngs::StdRng;
@@ -20,11 +18,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(4);
     let dataset = restaurants::generate(&mut rng, DatasetSpec::small());
     let f_true = dataset.duplicate_fraction();
-    println!(
-        "Restaurants: {} records; true duplicate fraction = {:.3}",
-        dataset.len(),
-        f_true
-    );
+    println!("Restaurants: {} records; true duplicate fraction = {:.3}", dataset.len(), f_true);
 
     // Phase 1 once. The NN lists and NG values are reusable across
     // candidate thresholds — "the SN threshold value is not required until
@@ -56,12 +50,7 @@ fn main() {
             DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(5)).sn_threshold(c);
         let run = deduplicate(&dataset.records, &config).expect("DE run");
         let pr = evaluate(&run.partition, &dataset.gold);
-        println!(
-            "{label:<22} {c:>6.1} {:>8.3} {:>10.3} {:>7.3}",
-            pr.recall,
-            pr.precision,
-            pr.f1()
-        );
+        println!("{label:<22} {c:>6.1} {:>8.3} {:>10.3} {:>7.3}", pr.recall, pr.precision, pr.f1());
     }
 
     // Fixed thresholds for reference (the paper's c = 4 and 6).

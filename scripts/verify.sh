@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full verification gate: formatting, lints, and the test suite.
+#
+#   scripts/verify.sh          # everything
+#   scripts/verify.sh --fast   # tier-1 only (build + root tests)
+#
+# Tier-1 (ROADMAP.md) is `cargo build --release && cargo test -q`; the
+# full gate adds rustfmt, clippy with warnings denied, and the complete
+# workspace test suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo build --release"
+cargo build --release
+
+if [[ $fast -eq 0 ]]; then
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+
+    echo "==> cargo clippy --workspace -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+if [[ $fast -eq 0 ]]; then
+    echo "==> cargo test -q --workspace"
+    cargo test -q --workspace
+fi
+
+echo "verify: OK"

@@ -21,6 +21,9 @@
 //!   --minimality          apply the §4.5.2 minimality post-pass
 //!   --report              print a review report (groups ordered least
 //!                         confident first) to stderr
+//!   --metrics             print the run-metrics JSON (distance evals,
+//!                         index probes, buffer traffic, stage timings)
+//!                         to stderr
 //!   --demo NAME           run on a built-in dataset instead of --input:
 //!                         table1 | restaurants | media | org
 //! ```
@@ -50,6 +53,7 @@ struct Options {
     agg: Aggregation,
     minimality: bool,
     report: bool,
+    metrics: bool,
     demo: Option<String>,
 }
 
@@ -57,7 +61,7 @@ fn usage() -> &'static str {
     "usage: fuzzydedup --input records.csv [--output out.csv] [--no-header]\n\
      \x20                 [--columns 0,1] [--gold-column N] [--distance fms|ed|cosine|jaccard|jw|monge-elkan]\n\
      \x20                 [--k N | --theta X] [--c X | --dup-fraction F] [--agg max|avg|max2]\n\
-     \x20                 [--minimality] [--demo table1|restaurants|media|org]"
+     \x20                 [--minimality] [--report] [--metrics] [--demo table1|restaurants|media|org]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -75,6 +79,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         agg: Aggregation::Max,
         minimality: false,
         report: false,
+        metrics: false,
         demo: None,
     };
     let mut i = 0;
@@ -130,6 +135,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--minimality" => opts.minimality = true,
             "--report" => opts.report = true,
+            "--metrics" => opts.metrics = true,
             "--demo" => opts.demo = Some(next(&mut i)?.clone()),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
@@ -182,11 +188,8 @@ fn load_input(opts: &Options) -> Result<LoadedInput, String> {
     for row in &mut rows {
         row.resize(arity, String::new());
     }
-    let header = if opts.header {
-        rows.remove(0)
-    } else {
-        (0..arity).map(|i| format!("col{i}")).collect()
-    };
+    let header =
+        if opts.header { rows.remove(0) } else { (0..arity).map(|i| format!("col{i}")).collect() };
     let gold = match opts.gold_column {
         Some(col) if col < arity => {
             let labels: Vec<String> = rows.iter().map(|r| r[col].clone()).collect();
@@ -226,10 +229,8 @@ fn run() -> Result<(), String> {
             return Err(format!("--columns index {c} out of range (arity {})", header.len()));
         }
     }
-    let records: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| match_columns.iter().map(|&c| r[c].clone()).collect())
-        .collect();
+    let records: Vec<Vec<String>> =
+        rows.iter().map(|r| match_columns.iter().map(|&c| r[c].clone()).collect()).collect();
 
     // Resolve the SN threshold.
     let mut config = DedupConfig::new(opts.distance)
@@ -247,8 +248,8 @@ fn run() -> Result<(), String> {
             }
             let probe = deduplicate(&records, &config.clone().sn_threshold(4.0))
                 .map_err(|e| e.to_string())?;
-            let derived = estimate_sn_threshold(&probe.nn_reln.ng_values(), f)
-                .ok_or("empty relation")?;
+            let derived =
+                estimate_sn_threshold(&probe.nn_reln.ng_values(), f).ok_or("empty relation")?;
             eprintln!("derived SN threshold c = {derived:.1} from duplicate fraction {f}");
             derived
         }
@@ -279,6 +280,10 @@ fn run() -> Result<(), String> {
             pr.precision,
             pr.f1()
         );
+    }
+    if opts.metrics {
+        // Stdout carries the CSV; observability goes to stderr.
+        eprintln!("{}", outcome.metrics.to_json());
     }
     if opts.report {
         let report = fuzzydedup::core::render_report(

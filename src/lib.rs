@@ -23,7 +23,10 @@
 //!   property checkers of §3.1;
 //! * [`datagen`] — gold-labelled synthetic dataset generators standing in
 //!   for the paper's Media/Org warehouses and the Riddle repository
-//!   datasets.
+//!   datasets;
+//! * [`metrics`] — the run-metrics observability layer: process-global
+//!   counters every layer reports into, and the [`metrics::RunMetrics`]
+//!   summary attached to each [`core::DedupOutcome`].
 //!
 //! ## Quickstart
 //!
@@ -62,6 +65,7 @@
 
 pub use fuzzydedup_core as core;
 pub use fuzzydedup_datagen as datagen;
+pub use fuzzydedup_metrics as metrics;
 pub use fuzzydedup_nnindex as nnindex;
 pub use fuzzydedup_relation as relation;
 pub use fuzzydedup_storage as storage;

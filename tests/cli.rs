@@ -23,8 +23,7 @@ fn demo_table1_is_perfect() {
     assert_eq!(stdout.lines().count(), 15);
     assert!(stdout.lines().next().unwrap().ends_with("group_id"));
     // The two Doors rows share a group id.
-    let doors: Vec<&str> =
-        stdout.lines().filter(|l| l.contains("LA Woman")).collect();
+    let doors: Vec<&str> = stdout.lines().filter(|l| l.contains("LA Woman")).collect();
     assert_eq!(doors.len(), 2);
     let gid = |line: &str| line.rsplit(',').next().unwrap().to_string();
     assert_eq!(gid(doors[0]), gid(doors[1]));
@@ -109,11 +108,29 @@ fn report_flag_prints_groups() {
 }
 
 #[test]
+fn metrics_flag_emits_run_metrics_json() {
+    let out = bin().args(["--demo", "table1", "--metrics"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // One line of stderr is the RunMetrics JSON document; stdout stays
+    // pure CSV.
+    let json = stderr
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .unwrap_or_else(|| panic!("no JSON line in stderr: {stderr}"));
+    for section in
+        ["\"textdist\"", "\"nnindex\"", "\"storage\"", "\"phase1\"", "\"phase2\"", "\"timings_ns\""]
+    {
+        assert!(json.contains(section), "missing {section} in {json}");
+    }
+    assert!(json.contains("\"tuples\": 14"), "table1 has 14 records: {json}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains('{'), "stdout must stay CSV-only");
+}
+
+#[test]
 fn dup_fraction_derives_threshold() {
-    let out = bin()
-        .args(["--demo", "restaurants", "--dup-fraction", "0.4"])
-        .output()
-        .unwrap();
+    let out = bin().args(["--demo", "restaurants", "--dup-fraction", "0.4"]).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("derived SN threshold"), "{stderr}");

@@ -23,9 +23,8 @@ fn table1_de_beats_any_single_threshold() {
     assert_eq!(de.precision, 1.0, "groups: {:?}", outcome.partition.groups());
 
     // No global threshold on the same distance matches that F1.
-    let radius = DedupConfig::new(DistanceKind::FuzzyMatch)
-        .cut(CutSpec::Diameter(0.9))
-        .sn_threshold(1e9);
+    let radius =
+        DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Diameter(0.9)).sn_threshold(1e9);
     let phase1 = deduplicate(&dataset.records, &radius).unwrap();
     let mut best_thr_f1: f64 = 0.0;
     for i in 1..90 {
@@ -43,9 +42,7 @@ fn table1_de_beats_any_single_threshold() {
 fn restaurants_quality_is_reasonable() {
     let mut rng = StdRng::seed_from_u64(1);
     let dataset = restaurants::generate(&mut rng, DatasetSpec::with_entities(250));
-    let config = DedupConfig::new(DistanceKind::FuzzyMatch)
-        .cut(CutSpec::Size(4))
-        .sn_threshold(6.0);
+    let config = DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(4)).sn_threshold(6.0);
     let outcome = deduplicate(&dataset.records, &config).unwrap();
     let pr = evaluate(&outcome.partition, &dataset.gold);
     assert!(pr.recall > 0.6, "recall {:.3}", pr.recall);
@@ -66,10 +63,7 @@ fn inverted_and_nested_loop_agree_on_quality() {
     let f_nl = evaluate(&nl.partition, &dataset.gold).f1();
     // The probabilistic index is treated as exact (§4); quality must be
     // essentially identical to the exact scan.
-    assert!(
-        (f_inv - f_nl).abs() < 0.05,
-        "inverted f1 {f_inv:.3} vs nested-loop f1 {f_nl:.3}"
-    );
+    assert!((f_inv - f_nl).abs() < 0.05, "inverted f1 {f_inv:.3} vs nested-loop f1 {f_nl:.3}");
 }
 
 #[test]
@@ -77,11 +71,8 @@ fn via_tables_path_is_identical_on_real_data() {
     let mut rng = StdRng::seed_from_u64(3);
     let dataset = restaurants::generate(&mut rng, DatasetSpec::with_entities(100));
     let mem = deduplicate(&dataset.records, &de_config(DistanceKind::FuzzyMatch)).unwrap();
-    let tab = deduplicate(
-        &dataset.records,
-        &de_config(DistanceKind::FuzzyMatch).via_tables(true),
-    )
-    .unwrap();
+    let tab = deduplicate(&dataset.records, &de_config(DistanceKind::FuzzyMatch).via_tables(true))
+        .unwrap();
     assert_eq!(mem.partition, tab.partition);
 }
 
@@ -92,16 +83,10 @@ fn lookup_order_does_not_change_results() {
     let dataset = restaurants::generate(&mut rng, DatasetSpec::with_entities(80));
     let base = de_config(DistanceKind::FuzzyMatch);
     let bf = deduplicate(&dataset.records, &base).unwrap();
-    let seq = deduplicate(
-        &dataset.records,
-        &base.clone().lookup_order(LookupOrder::Sequential),
-    )
-    .unwrap();
-    let rnd = deduplicate(
-        &dataset.records,
-        &base.clone().lookup_order(LookupOrder::Random(99)),
-    )
-    .unwrap();
+    let seq =
+        deduplicate(&dataset.records, &base.clone().lookup_order(LookupOrder::Sequential)).unwrap();
+    let rnd =
+        deduplicate(&dataset.records, &base.clone().lookup_order(LookupOrder::Random(99))).unwrap();
     assert_eq!(bf.partition, seq.partition);
     assert_eq!(bf.partition, rnd.partition);
 }
@@ -119,9 +104,8 @@ fn de_dominates_threshold_on_most_standard_datasets() {
             continue; // keep the integration suite fast
         }
         total += 1;
-        let de_cfg = DedupConfig::new(DistanceKind::FuzzyMatch)
-            .cut(CutSpec::Size(4))
-            .sn_threshold(6.0);
+        let de_cfg =
+            DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(4)).sn_threshold(6.0);
         let de = deduplicate(&dataset.records, &de_cfg).unwrap();
         let de_f1 = evaluate(&de.partition, &dataset.gold).f1();
 
@@ -192,9 +176,7 @@ fn constraining_predicates_split_product_versions() {
         let strip = |s: &str| -> Option<String> {
             let mut tokens: Vec<&str> = s.split_whitespace().collect();
             let last = tokens.pop()?;
-            if last.chars().all(|c| c.is_ascii_digit())
-                && tokens.last() == Some(&"version")
-            {
+            if last.chars().all(|c| c.is_ascii_digit()) && tokens.last() == Some(&"version") {
                 tokens.pop();
                 Some(tokens.join(" "))
             } else {
@@ -224,8 +206,5 @@ fn most_found_groups_are_small() {
     let dup_groups: usize = hist.iter().filter(|(&s, _)| s > 1).map(|(_, &c)| c).sum();
     let small: usize = hist.iter().filter(|(&s, _)| s == 2 || s == 3).map(|(_, &c)| c).sum();
     assert!(dup_groups > 0);
-    assert!(
-        small * 10 >= dup_groups * 7,
-        "pairs+triples should dominate: {hist:?}"
-    );
+    assert!(small * 10 >= dup_groups * 7, "pairs+triples should dominate: {hist:?}");
 }

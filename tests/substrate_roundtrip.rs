@@ -4,10 +4,10 @@
 use std::sync::Arc;
 
 use fuzzydedup::nnindex::{InvertedIndex, InvertedIndexConfig, NestedLoopIndex, NnIndex};
-use fuzzydedup::storage::DiskManager;
 use fuzzydedup::relation::{
     external_sort, group_sorted, Column, ColumnType, Schema, SortConfig, Table, Tuple, Value,
 };
+use fuzzydedup::storage::DiskManager;
 use fuzzydedup::storage::{BufferPool, BufferPoolConfig, FileDisk, InMemoryDisk};
 use fuzzydedup::textdist::{DistanceKind, EditDistance};
 use rand::rngs::StdRng;
@@ -72,9 +72,7 @@ fn sort_and_group_pipeline_over_buffer_pressure() {
     let payload = "x".repeat(200);
     for _ in 0..500 {
         let k: i64 = rng.gen_range(0..20);
-        table
-            .insert(&Tuple::new(vec![Value::I64(k), Value::from(payload.as_str())]))
-            .unwrap();
+        table.insert(&Tuple::new(vec![Value::I64(k), Value::from(payload.as_str())])).unwrap();
     }
     let sorted = external_sort(&table, &SortConfig::by_columns(vec![0]).run_size(64)).unwrap();
     assert_eq!(sorted.len(), 500);
@@ -135,8 +133,7 @@ fn buffer_stats_flow_through_the_whole_stack() {
         BufferPoolConfig::with_capacity(8),
         Arc::new(InMemoryDisk::new()),
     ));
-    let records: Vec<Vec<String>> =
-        (0..300).map(|i| vec![format!("record number {i}")]).collect();
+    let records: Vec<Vec<String>> = (0..300).map(|i| vec![format!("record number {i}")]).collect();
     let index = InvertedIndex::build(
         records.clone(),
         DistanceKind::EditDistance.build(&records),

@@ -1,0 +1,379 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `black_box`, the `criterion_group!` /
+//! `criterion_main!` macros) with a deliberately small measurement loop:
+//! a short warmup, then `sample_size` timed samples. Every group writes a
+//! `BENCH_<group>.json` artifact (see `README.md` — "Run metrics &
+//! observability") into `$BENCH_OUT_DIR` (default the workspace-root
+//! `results/`), so perf numbers accumulate as machine-readable files
+//! instead of scrolling away.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (defers to `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (API-compatibility enum; the shim
+/// times per-batch regardless).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Throughput annotation (accepted and recorded, not rate-normalized).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+struct Measurement {
+    name: String,
+    samples: usize,
+    iters_per_sample: u64,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher<'a> {
+    samples: usize,
+    result: &'a mut Option<(usize, u64, f64, f64, f64)>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup + calibration: target a per-sample batch of >= ~1ms or 10
+        // iterations, whichever is smaller in wall cost.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10) as u64;
+        let mut sample_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        let mean = sample_ns.iter().sum::<f64>() / sample_ns.len() as f64;
+        let min = sample_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sample_ns.iter().cloned().fold(0.0f64, f64::max);
+        *self.result = Some((self.samples, iters_per_sample, mean, min, max));
+    }
+
+    /// Time `routine` over fresh inputs from `setup` (setup excluded from
+    /// the sample timing).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut sample_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            sample_ns.push(start.elapsed().as_nanos() as f64);
+        }
+        let mean = sample_ns.iter().sum::<f64>() / sample_ns.len() as f64;
+        let min = sample_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sample_ns.iter().cloned().fold(0.0f64, f64::max);
+        *self.result = Some((self.samples, 1, mean, min, max));
+    }
+}
+
+/// A named group of benchmarks, flushed to `BENCH_<group>.json` on
+/// [`BenchmarkGroup::finish`] (or drop).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurements: Vec<Measurement>,
+    finished: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Record throughput metadata (accepted for API compatibility).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Set measurement time (accepted for API compatibility; the shim's
+    /// loop is bounded by `sample_size`, not wall time).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut result = None;
+        f(&mut Bencher { samples: self.sample_size, result: &mut result });
+        if let Some((samples, iters, mean, min, max)) = result {
+            let m = Measurement {
+                name: id.id.clone(),
+                samples,
+                iters_per_sample: iters,
+                mean_ns: mean,
+                min_ns: min,
+                max_ns: max,
+            };
+            eprintln!(
+                "bench {}/{}: mean {:.1} us (min {:.1}, max {:.1}, {} samples x {} iters)",
+                self.name,
+                m.name,
+                m.mean_ns / 1e3,
+                m.min_ns / 1e3,
+                m.max_ns / 1e3,
+                m.samples,
+                m.iters_per_sample
+            );
+            self.measurements.push(m);
+        }
+        self
+    }
+
+    /// Benchmark `f` over a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Flush the group's `BENCH_<group>.json`.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let path = bench_json_path(&self.name);
+        let json = render_json(&self.name, &self.measurements);
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("bench group {:?} -> {}", self.name, path.display()),
+            Err(e) => {
+                eprintln!("bench group {:?}: cannot write {}: {e}", self.name, path.display())
+            }
+        }
+        self.criterion.groups_flushed += 1;
+    }
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Where `BENCH_<group>.json` files land: `$BENCH_OUT_DIR`, or `results/`
+/// under the workspace root. `cargo bench` runs with the *package*
+/// directory as CWD, so a bare relative `results/` would scatter
+/// artifacts across `crates/*/results/`; walk up to the `[workspace]`
+/// manifest instead.
+fn bench_out_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("BENCH_OUT_DIR") {
+        return std::path::PathBuf::from(dir);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        let is_workspace_root =
+            std::fs::read_to_string(&manifest).map(|s| s.contains("[workspace]")).unwrap_or(false);
+        if is_workspace_root {
+            return dir.join("results");
+        }
+        if !dir.pop() {
+            return std::path::PathBuf::from("results");
+        }
+    }
+}
+
+fn bench_json_path(group: &str) -> std::path::PathBuf {
+    let safe: String = group
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .collect();
+    bench_out_dir().join(format!("BENCH_{safe}.json"))
+}
+
+fn render_json(group: &str, measurements: &[Measurement]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"group\": \"{group}\",\n"));
+    out.push_str("  \"unit\": \"ns\",\n  \"benchmarks\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            m.name.replace('"', "'"),
+            m.mean_ns,
+            m.min_ns,
+            m.max_ns,
+            m.samples,
+            m.iters_per_sample,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+    groups_flushed: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { default_sample_size: 10, groups_flushed: 0 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+            measurements: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Benchmark a single function in an eponymous single-entry group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group(name);
+        group.bench_function(name, f);
+        group.finish();
+        drop(group);
+        self
+    }
+
+    /// Set the default sample size for subsequent groups.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.default_sample_size = n.max(2);
+        self
+    }
+}
+
+/// Declare a benchmark group function (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench `main` (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_writes_json() {
+        let dir = std::env::temp_dir().join("criterion_shim_test");
+        std::env::set_var("BENCH_OUT_DIR", &dir);
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("shim_smoke");
+            g.sample_size(3);
+            g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+            g.bench_function(BenchmarkId::new("add", 7), |b| {
+                b.iter_batched(|| 7u64, |x| x * 2, BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        let path = dir.join("BENCH_shim_smoke.json");
+        let text = std::fs::read_to_string(&path).expect("json written");
+        assert!(text.contains("\"group\": \"shim_smoke\""));
+        assert!(text.contains("\"name\": \"add\""));
+        assert!(text.contains("\"name\": \"add/7\""));
+        std::env::remove_var("BENCH_OUT_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
