@@ -147,9 +147,9 @@ fn main() {
                 o.str("buffer", label)
                     .u64("frames", frames as u64)
                     .str("order", name)
-                    .f64("buffer_hit_ratio", r.bhr)
-                    .f64("processor_usage", r.pu)
-                    .f64("throughput", r.pt)
+                    .f64_fixed("buffer_hit_ratio", r.bhr, 6)
+                    .f64_fixed("processor_usage", r.pu, 6)
+                    .f64_fixed("throughput", r.pt, 6)
                     .u64("wall_ms", r.wall_ms as u64);
             });
         }

@@ -1,0 +1,262 @@
+//! Bench-regression gate: compare fresh `BENCH_*.json` artifacts against
+//! the committed baselines in `results/`.
+//!
+//! The comparison key is `min_ns` — the fastest observed sample, which is
+//! far more stable under scheduler noise than the mean (noise only ever
+//! *adds* time). The gate is one-sided: it fails when a fresh measurement
+//! is slower than `baseline · (1 + tolerance)`, and merely reports large
+//! improvements so the baseline can be refreshed intentionally (see
+//! `README.md` — "Refreshing bench baselines"). A benchmark present in
+//! the baseline but missing from the fresh run also fails: renames must
+//! be accompanied by a baseline refresh, not slip through silently.
+
+use fuzzydedup_metrics::json::{parse, JsonValue};
+
+/// One benchmark's measurements from a `BENCH_*.json` artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCase {
+    /// Benchmark name within the group (e.g. `myers/16`).
+    pub name: String,
+    /// Fastest observed sample in nanoseconds.
+    pub min_ns: f64,
+    /// Mean sample in nanoseconds.
+    pub mean_ns: f64,
+}
+
+/// Parse the benchmark cases out of a `BENCH_<group>.json` document (the
+/// shape the vendored criterion shim emits).
+pub fn parse_bench_file(text: &str) -> Result<Vec<BenchCase>, String> {
+    let doc = parse(text)?;
+    let benches = doc
+        .get("benchmarks")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing \"benchmarks\" array".to_string())?;
+    let mut out = Vec::with_capacity(benches.len());
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "benchmark entry without \"name\"".to_string())?
+            .to_string();
+        let min_ns = b
+            .get("min_ns")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("benchmark {name:?} without numeric \"min_ns\""))?;
+        let mean_ns = b.get("mean_ns").and_then(JsonValue::as_f64).unwrap_or(min_ns);
+        out.push(BenchCase { name, min_ns, mean_ns });
+    }
+    Ok(out)
+}
+
+/// Outcome of one baseline-vs-fresh benchmark comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance of the baseline.
+    Ok,
+    /// Faster than `baseline · (1 − tolerance)` — consider refreshing the
+    /// baseline (reported, never fails the gate).
+    Improved,
+    /// Slower than `baseline · (1 + tolerance)` — fails the gate.
+    Regressed,
+    /// In the baseline but absent from the fresh run — fails the gate.
+    Missing,
+    /// In the fresh run but absent from the baseline (reported only).
+    New,
+}
+
+impl Verdict {
+    /// Whether this verdict fails the gate.
+    pub fn fails(self) -> bool {
+        matches!(self, Verdict::Regressed | Verdict::Missing)
+    }
+
+    /// Fixed-width label for the report table.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Missing => "MISSING",
+            Verdict::New => "new",
+        }
+    }
+}
+
+/// One row of the gate report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline `min_ns` (`None` for [`Verdict::New`]).
+    pub baseline_ns: Option<f64>,
+    /// Fresh `min_ns` (`None` for [`Verdict::Missing`]).
+    pub fresh_ns: Option<f64>,
+    /// `fresh / baseline` when both sides exist.
+    pub ratio: Option<f64>,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Compare a fresh run against a baseline with a symmetric reporting
+/// tolerance (e.g. `0.15` = ±15%). Rows come back in baseline order with
+/// fresh-only rows appended, so the report is stable.
+pub fn compare(baseline: &[BenchCase], fresh: &[BenchCase], tolerance: f64) -> Vec<Comparison> {
+    let mut rows = Vec::with_capacity(baseline.len());
+    for base in baseline {
+        match fresh.iter().find(|f| f.name == base.name) {
+            Some(f) => {
+                let ratio = if base.min_ns > 0.0 { f.min_ns / base.min_ns } else { 1.0 };
+                let verdict = if ratio > 1.0 + tolerance {
+                    Verdict::Regressed
+                } else if ratio < 1.0 - tolerance {
+                    Verdict::Improved
+                } else {
+                    Verdict::Ok
+                };
+                rows.push(Comparison {
+                    name: base.name.clone(),
+                    baseline_ns: Some(base.min_ns),
+                    fresh_ns: Some(f.min_ns),
+                    ratio: Some(ratio),
+                    verdict,
+                });
+            }
+            None => rows.push(Comparison {
+                name: base.name.clone(),
+                baseline_ns: Some(base.min_ns),
+                fresh_ns: None,
+                ratio: None,
+                verdict: Verdict::Missing,
+            }),
+        }
+    }
+    for f in fresh {
+        if !baseline.iter().any(|b| b.name == f.name) {
+            rows.push(Comparison {
+                name: f.name.clone(),
+                baseline_ns: None,
+                fresh_ns: Some(f.min_ns),
+                ratio: None,
+                verdict: Verdict::New,
+            });
+        }
+    }
+    rows
+}
+
+/// Whether any row fails the gate.
+pub fn has_regression(rows: &[Comparison]) -> bool {
+    rows.iter().any(|r| r.verdict.fails())
+}
+
+/// Render the report rows as an aligned plain-text table.
+pub fn render_table(group: &str, rows: &[Comparison]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{group}\n  {:<28} {:>12} {:>12} {:>8}  verdict\n",
+        "benchmark", "base min_ns", "fresh min_ns", "ratio"
+    ));
+    for r in rows {
+        let base = r.baseline_ns.map_or("-".to_string(), |v| format!("{v:.1}"));
+        let fresh = r.fresh_ns.map_or("-".to_string(), |v| format!("{v:.1}"));
+        let ratio = r.ratio.map_or("-".to_string(), |v| format!("{v:.2}x"));
+        out.push_str(&format!(
+            "  {:<28} {base:>12} {fresh:>12} {ratio:>8}  {}\n",
+            r.name,
+            r.verdict.label()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(name: &str, min_ns: f64) -> BenchCase {
+        BenchCase { name: name.to_string(), min_ns, mean_ns: min_ns * 1.1 }
+    }
+
+    #[test]
+    fn parses_criterion_shim_artifact() {
+        let text = r#"{
+  "group": "edit_kernel",
+  "unit": "ns",
+  "benchmarks": [
+    {"name": "dp/16", "mean_ns": 14875.6, "min_ns": 12778.4, "max_ns": 30149.0, "samples": 20, "iters_per_sample": 10},
+    {"name": "myers/16", "mean_ns": 3831.0, "min_ns": 3722.9, "max_ns": 4134.4, "samples": 20, "iters_per_sample": 10}
+  ]
+}"#;
+        let cases = parse_bench_file(text).unwrap();
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].name, "dp/16");
+        assert_eq!(cases[0].min_ns, 12778.4);
+        assert_eq!(cases[1].name, "myers/16");
+    }
+
+    #[test]
+    fn rejects_malformed_artifacts() {
+        assert!(parse_bench_file("not json").is_err());
+        assert!(parse_bench_file("{\"group\": \"g\"}").is_err());
+        assert!(parse_bench_file("{\"benchmarks\": [{\"min_ns\": 1.0}]}").is_err());
+    }
+
+    #[test]
+    fn injected_fifty_percent_slowdown_fails_the_gate() {
+        // The scratch test of the acceptance criteria: a deliberate 50%
+        // slowdown on one benchmark must trip the default ±15% gate.
+        let baseline = vec![case("kernel/word", 1000.0), case("kernel/blocked", 5000.0)];
+        let fresh = vec![case("kernel/word", 1500.0), case("kernel/blocked", 5000.0)];
+        let rows = compare(&baseline, &fresh, 0.15);
+        assert!(has_regression(&rows));
+        let bad = rows.iter().find(|r| r.name == "kernel/word").unwrap();
+        assert_eq!(bad.verdict, Verdict::Regressed);
+        assert!((bad.ratio.unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let baseline = vec![case("a", 1000.0), case("b", 2000.0)];
+        let fresh = vec![case("a", 1100.0), case("b", 1900.0)];
+        let rows = compare(&baseline, &fresh, 0.15);
+        assert!(!has_regression(&rows));
+        assert!(rows.iter().all(|r| r.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn improvement_is_reported_not_failed() {
+        let baseline = vec![case("a", 1000.0)];
+        let fresh = vec![case("a", 500.0)];
+        let rows = compare(&baseline, &fresh, 0.15);
+        assert!(!has_regression(&rows));
+        assert_eq!(rows[0].verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn missing_fails_and_new_is_reported() {
+        let baseline = vec![case("renamed_away", 1000.0)];
+        let fresh = vec![case("renamed_to", 1000.0)];
+        let rows = compare(&baseline, &fresh, 0.15);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].verdict, Verdict::Missing);
+        assert_eq!(rows[1].verdict, Verdict::New);
+        assert!(has_regression(&rows));
+    }
+
+    #[test]
+    fn boundary_exactly_at_tolerance_passes() {
+        let baseline = vec![case("a", 1000.0)];
+        let fresh = vec![case("a", 1150.0)];
+        let rows = compare(&baseline, &fresh, 0.15);
+        assert!(!has_regression(&rows), "ratio exactly 1+tol is not a regression");
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let rows = compare(&[case("a", 1000.0)], &[case("a", 1600.0), case("b", 10.0)], 0.15);
+        let table = render_table("edit_kernel", &rows);
+        assert!(table.contains("REGRESSED"));
+        assert!(table.contains("new"));
+        assert!(table.contains("1.60x"));
+    }
+}

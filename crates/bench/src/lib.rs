@@ -6,7 +6,11 @@
 //!
 //! Each driver in `src/bin/` prints the same rows/series the paper
 //! reports; this library holds the common pieces — algorithm sweeps,
-//! precision/recall tabulation, and plain-text table rendering.
+//! precision/recall tabulation, and plain-text table rendering. The
+//! [`gate`] module holds the bench-regression comparison logic behind
+//! `ci_bench_gate` (the `bench-smoke` stage of `scripts/ci.sh`).
+
+pub mod gate;
 
 use fuzzydedup_core::{
     deduplicate, evaluate, partition_entries, single_linkage, Aggregation, CutSpec, DedupConfig,

@@ -69,10 +69,22 @@ pub enum Counter {
     Phase2SortPasses,
     /// Join passes over relations (`phase2`).
     Phase2JoinPasses,
+    /// Myers single-word (≤ 64-char pattern) edit-kernel invocations
+    /// (`textdist`).
+    EdKernelWord,
+    /// Myers blocked multi-word (> 64-char pattern) edit-kernel
+    /// invocations (`textdist`).
+    EdKernelBlocked,
+    /// k-bounded Myers edit-kernel invocations — candidate verification
+    /// with a best-so-far cutoff (`textdist`).
+    EdKernelBounded,
+    /// Bounded invocations that abandoned the computation early (length
+    /// gap or the running score provably exceeded the cutoff).
+    EdKernelEarlyExit,
 }
 
 /// Number of counters in [`Counter`].
-pub const NUM_COUNTERS: usize = Counter::Phase2JoinPasses as usize + 1;
+pub const NUM_COUNTERS: usize = Counter::EdKernelEarlyExit as usize + 1;
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 
@@ -181,6 +193,20 @@ impl TextdistMetrics {
     }
 }
 
+/// Edit-distance kernel-path counts (`textdist` layer): which rung of the
+/// kernel-selection ladder (see `DESIGN.md`) served each evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EditKernelMetrics {
+    /// Myers single-word invocations (pattern ≤ 64 chars).
+    pub word: u64,
+    /// Myers blocked multi-word invocations (pattern > 64 chars).
+    pub blocked: u64,
+    /// k-bounded Myers invocations (verification with a cutoff).
+    pub bounded: u64,
+    /// Bounded invocations that exited before scanning the whole text.
+    pub early_exit: u64,
+}
+
 /// Index traffic (`nnindex` layer).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NnIndexMetrics {
@@ -265,6 +291,8 @@ pub struct StageTimings {
 pub struct RunMetrics {
     /// Exact distance evaluations per kind.
     pub textdist: TextdistMetrics,
+    /// Edit-kernel path counts (which ladder rung fired).
+    pub edit_kernel: EditKernelMetrics,
     /// Index traffic.
     pub nnindex: NnIndexMetrics,
     /// Buffer-pool accounting.
@@ -288,6 +316,12 @@ impl RunMetrics {
             jaro_winkler: d.get(Counter::DistJaroWinkler),
             monge_elkan: d.get(Counter::DistMongeElkan),
             composite: d.get(Counter::DistComposite),
+        };
+        self.edit_kernel = EditKernelMetrics {
+            word: d.get(Counter::EdKernelWord),
+            blocked: d.get(Counter::EdKernelBlocked),
+            bounded: d.get(Counter::EdKernelBounded),
+            early_exit: d.get(Counter::EdKernelEarlyExit),
         };
         self.nnindex = NnIndexMetrics {
             lookups: d.get(Counter::NnLookups),
@@ -317,6 +351,12 @@ impl RunMetrics {
                 .u64("monge_elkan", self.textdist.monge_elkan)
                 .u64("composite", self.textdist.composite)
                 .u64("total", self.textdist.total());
+        });
+        w.object("edit_kernel", |o| {
+            o.u64("word", self.edit_kernel.word)
+                .u64("blocked", self.edit_kernel.blocked)
+                .u64("bounded", self.edit_kernel.bounded)
+                .u64("early_exit", self.edit_kernel.early_exit);
         });
         w.object("nnindex", |o| {
             o.u64("lookups", self.nnindex.lookups)
@@ -404,7 +444,9 @@ mod tests {
         m.phase1.index_probes = 42;
         m.storage.hit_ratio = 0.75;
         let json = m.to_json();
-        for section in ["textdist", "nnindex", "storage", "phase1", "phase2", "timings_ns"] {
+        for section in
+            ["textdist", "edit_kernel", "nnindex", "storage", "phase1", "phase2", "timings_ns"]
+        {
             assert!(json.contains(&format!("\"{section}\"")), "missing {section}: {json}");
         }
         assert!(json.contains("\"index_probes\": 42"));
@@ -419,12 +461,19 @@ mod tests {
         incr(Counter::DistFms, 5);
         incr(Counter::NnPostingsScanned, 11);
         incr(Counter::Phase2SortPasses, 1);
+        incr(Counter::EdKernelWord, 9);
+        incr(Counter::EdKernelBounded, 4);
+        incr(Counter::EdKernelEarlyExit, 2);
         let delta = snapshot().delta(&before);
         let mut m = RunMetrics::default();
         m.apply_counter_delta(&delta);
         assert_eq!(m.textdist.fms, 5);
         assert_eq!(m.nnindex.postings_scanned, 11);
         assert_eq!(m.phase2.sort_passes, 1);
+        assert_eq!(m.edit_kernel.word, 9);
+        assert_eq!(m.edit_kernel.blocked, 0);
+        assert_eq!(m.edit_kernel.bounded, 4);
+        assert_eq!(m.edit_kernel.early_exit, 2);
     }
 
     #[test]

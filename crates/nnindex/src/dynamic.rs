@@ -17,7 +17,10 @@ use fuzzydedup_relation::Neighbor;
 use fuzzydedup_textdist::tokenize::{record_string, tokenize_record};
 use fuzzydedup_textdist::{qgrams, Distance};
 
-use crate::{lookup_from_verified, sort_neighbors, LookupCost, LookupSpec, NnIndex};
+use crate::{
+    lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
+    NnIndex,
+};
 
 /// Configuration of the dynamic index (mirrors
 /// [`crate::InvertedIndexConfig`]'s candidate-generation knobs).
@@ -165,9 +168,13 @@ impl<D: Distance> NnIndex for DynamicInvertedIndex<D> {
         verified
     }
 
+    /// Combined lookup with *bounded* verification: each candidate is
+    /// scored against the current best-so-far cutoff.
     fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
-        let verified = self.verified(id, &self.candidates(id));
-        lookup_from_verified(verified, spec, p)
+        let candidates = self.candidates(id);
+        let (verified, attempted) =
+            verify_candidates_bounded(&self.distance, &self.records, id, &candidates, spec, p);
+        lookup_from_verified(verified, attempted, spec, p)
     }
 }
 

@@ -31,7 +31,10 @@ use fuzzydedup_storage::{BufferPool, HeapFile, RecordId};
 use fuzzydedup_textdist::tokenize::{record_string, tokenize_record};
 use fuzzydedup_textdist::{qgrams, Distance};
 
-use crate::{lookup_from_verified, sort_neighbors, LookupCost, LookupSpec, NnIndex};
+use crate::{
+    lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
+    NnIndex,
+};
 use fuzzydedup_metrics::{incr, Counter};
 
 /// Configuration of the inverted index.
@@ -232,9 +235,14 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
     /// One candidate gather + one verification pass serves both the
     /// neighbor list and the neighborhood growth — the access pattern the
     /// paper's Phase 1 assumes, and half the I/O of two separate calls.
+    /// Verification is *bounded*: each candidate is scored against the
+    /// current best-so-far cutoff so the k-bounded edit kernel can bail
+    /// out of hopeless pairs early.
     fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
-        let verified = self.verified(id, &self.candidates(id));
-        lookup_from_verified(verified, spec, p)
+        let candidates = self.candidates(id);
+        let (verified, attempted) =
+            verify_candidates_bounded(&self.distance, &self.records, id, &candidates, spec, p);
+        lookup_from_verified(verified, attempted, spec, p)
     }
 }
 

@@ -42,6 +42,7 @@ pub use signature::{MinHashConfig, MinHashIndex};
 
 use fuzzydedup_metrics::{incr, Counter};
 use fuzzydedup_relation::Neighbor;
+use fuzzydedup_textdist::Distance;
 
 /// Cost accounting for one combined [`NnIndex::lookup`], reported by every
 /// implementation and aggregated by Phase 1 into `Phase1Stats` /
@@ -156,22 +157,91 @@ pub enum LookupSpec {
     Radius(f64),
 }
 
-/// Shared implementation of the combined lookup over a fully *verified*
-/// candidate list (every candidate carries its exact distance, self
-/// excluded, unsorted). Used by the candidate-generation indexes: one
+/// Bounded verification of a candidate list: score every candidate with
+/// [`Distance::distance_bounded`], passing the current best-so-far as the
+/// cutoff so the k-bounded edit kernel can abandon hopeless pairs early.
+///
+/// The running cutoff is the larger of what the `spec` still needs and
+/// what the growth estimate still needs:
+///
+/// * **TopK(k)** — the running k-th best distance (`∞` until `k`
+///   candidates survive);
+/// * **Radius(θ)** — θ itself;
+/// * **growth** — `p · nn_running` where `nn_running` is the best distance
+///   seen so far (`∞` before the first survivor), because
+///   `ng(v)` counts neighbors within `p · nn(v)`.
+///
+/// Both running cutoffs only shrink toward their final values, and
+/// `distance_bounded` is inclusive (`Some(d)` iff `d <= cutoff`), so every
+/// candidate the final answer needs survives with its exact distance — the
+/// result after [`lookup_from_verified`]'s sort/filter is identical to full
+/// verification. Returns the surviving neighbors (unsorted) and the number
+/// of verification attempts (for [`LookupCost`] accounting: every attempt
+/// is one distance call, bounded or not).
+pub(crate) fn verify_candidates_bounded<D: Distance>(
+    distance: &D,
+    records: &[Vec<String>],
+    id: u32,
+    candidates: &[u32],
+    spec: LookupSpec,
+    p: f64,
+) -> (Vec<Neighbor>, u64) {
+    let query: Vec<&str> = records[id as usize].iter().map(String::as_str).collect();
+    let mut survivors: Vec<Neighbor> = Vec::with_capacity(candidates.len());
+    // Ascending running top-k distances (TopK spec only), capped at k.
+    let mut kth: Vec<f64> = Vec::new();
+    let mut nn_running = f64::INFINITY;
+    let mut attempted = 0u64;
+    for &c in candidates {
+        let spec_cut = match spec {
+            LookupSpec::TopK(0) => f64::NEG_INFINITY,
+            LookupSpec::TopK(k) => {
+                if kth.len() < k {
+                    f64::INFINITY
+                } else {
+                    kth[k - 1]
+                }
+            }
+            LookupSpec::Radius(theta) => theta,
+        };
+        let growth_cut = p * nn_running; // ∞ until the first survivor
+        let cutoff = spec_cut.max(growth_cut);
+        attempted += 1;
+        let fields: Vec<&str> = records[c as usize].iter().map(String::as_str).collect();
+        if let Some(d) = distance.distance_bounded(&query, &fields, cutoff) {
+            survivors.push(Neighbor::new(c, d));
+            nn_running = nn_running.min(d);
+            if let LookupSpec::TopK(k) = spec {
+                if k > 0 {
+                    let pos = kth.partition_point(|&x| x <= d);
+                    if pos < k {
+                        kth.insert(pos, d);
+                        kth.truncate(k);
+                    }
+                }
+            }
+        }
+    }
+    (survivors, attempted)
+}
+
+/// Shared implementation of the combined lookup over a *verified*
+/// candidate list (every surviving candidate carries its exact distance,
+/// self excluded, unsorted). Used by the candidate-generation indexes: one
 /// gather answers both the neighbor list and the growth estimate, so the
-/// cost is a single probe with `verified.len()` candidates, each verified
-/// by one exact distance call.
+/// cost is a single probe with `attempted` candidates, each verified by
+/// one (possibly bounded) distance call.
 pub(crate) fn lookup_from_verified(
     mut verified: Vec<Neighbor>,
+    attempted: u64,
     spec: LookupSpec,
     p: f64,
 ) -> (Vec<Neighbor>, f64, LookupCost) {
     let cost = LookupCost {
         probes: 1,
         fallback_probes: 0,
-        candidates: verified.len() as u64,
-        distance_calls: verified.len() as u64,
+        candidates: attempted,
+        distance_calls: attempted,
     };
     sort_neighbors(&mut verified);
     let nn = verified.first().map(|n| n.dist);
@@ -218,11 +288,94 @@ pub(crate) fn sort_neighbors(neighbors: &mut [Neighbor]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fuzzydedup_textdist::{Distance, EditDistance};
 
     #[test]
     fn sort_neighbors_orders_by_distance_then_id() {
         let mut ns = vec![Neighbor::new(5, 0.5), Neighbor::new(1, 0.5), Neighbor::new(9, 0.1)];
         sort_neighbors(&mut ns);
         assert_eq!(ns.iter().map(|n| n.id).collect::<Vec<_>>(), vec![9, 1, 5]);
+    }
+
+    /// Full-verification reference for [`verify_candidates_bounded`].
+    fn verify_full(records: &[Vec<String>], id: u32, candidates: &[u32]) -> Vec<Neighbor> {
+        let query: Vec<&str> = records[id as usize].iter().map(String::as_str).collect();
+        candidates
+            .iter()
+            .map(|&c| {
+                let fields: Vec<&str> = records[c as usize].iter().map(String::as_str).collect();
+                Neighbor::new(c, EditDistance.distance(&query, &fields))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bounded_verification_matches_full_verification() {
+        let records: Vec<Vec<String>> = [
+            "the doors",
+            "doors",
+            "the beatles",
+            "beatles the",
+            "shania twain",
+            "twian shania",
+            "completely unrelated string of text",
+            "aaliyah",
+        ]
+        .iter()
+        .map(|s| vec![s.to_string()])
+        .collect();
+        let candidates: Vec<u32> = (1..records.len() as u32).collect();
+        let specs = [
+            LookupSpec::TopK(0),
+            LookupSpec::TopK(1),
+            LookupSpec::TopK(3),
+            LookupSpec::TopK(100),
+            LookupSpec::Radius(0.0),
+            LookupSpec::Radius(0.3),
+            LookupSpec::Radius(1.0),
+        ];
+        for spec in specs {
+            for p in [1.0, 2.0, 4.0] {
+                let (survivors, attempted) =
+                    verify_candidates_bounded(&EditDistance, &records, 0, &candidates, spec, p);
+                assert_eq!(attempted, candidates.len() as u64);
+                let full = verify_full(&records, 0, &candidates);
+                let (got_n, got_ng, _) = lookup_from_verified(survivors, attempted, spec, p);
+                let (want_n, want_ng, _) = lookup_from_verified(full, attempted, spec, p);
+                assert_eq!(got_n, want_n, "{spec:?} p={p}");
+                assert_eq!(got_ng, want_ng, "{spec:?} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_verification_takes_bounded_kernel_path() {
+        let _serial = fuzzydedup_metrics::serial_guard();
+        fuzzydedup_metrics::enable();
+        let records: Vec<Vec<String>> = [
+            "golden dragon palace",
+            "golden dragon palce",
+            "zzz qqq xxx unrelated",
+            "another far away record",
+        ]
+        .iter()
+        .map(|s| vec![s.to_string()])
+        .collect();
+        let candidates: Vec<u32> = vec![1, 2, 3];
+        let before = fuzzydedup_metrics::snapshot();
+        let (survivors, _) = verify_candidates_bounded(
+            &EditDistance,
+            &records,
+            0,
+            &candidates,
+            LookupSpec::TopK(1),
+            2.0,
+        );
+        let delta = fuzzydedup_metrics::snapshot().delta(&before);
+        // The first candidate is verified with an infinite cutoff (full
+        // compute); later ones go through the k-bounded kernel.
+        assert!(delta.get(Counter::EdKernelBounded) >= 2, "delta {delta:?}");
+        // The close pair survives with its exact distance.
+        assert!(survivors.iter().any(|n| n.id == 1));
     }
 }

@@ -7,7 +7,10 @@
 use fuzzydedup_relation::Neighbor;
 use fuzzydedup_textdist::Distance;
 
-use crate::{lookup_from_verified, sort_neighbors, LookupCost, LookupSpec, NnIndex};
+use crate::{
+    lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
+    NnIndex,
+};
 
 /// Exact nearest-neighbor search by full scan.
 pub struct NestedLoopIndex<D> {
@@ -73,8 +76,14 @@ impl<D: Distance> NnIndex for NestedLoopIndex<D> {
 
     /// One corpus scan answers both the neighbor list and the growth
     /// estimate (the default implementation would scan up to three times).
+    /// The scan verifies with the current best-so-far as cutoff, so even
+    /// the exact reference index benefits from the k-bounded edit kernel.
     fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
-        lookup_from_verified(self.all_neighbors(id), spec, p)
+        let candidates: Vec<u32> =
+            (0..self.records.len() as u32).filter(|&other| other != id).collect();
+        let (verified, attempted) =
+            verify_candidates_bounded(&self.distance, &self.records, id, &candidates, spec, p);
+        lookup_from_verified(verified, attempted, spec, p)
     }
 }
 

@@ -1,4 +1,4 @@
-//! Levenshtein edit distance: full, bounded (banded), and normalized.
+//! Levenshtein edit distance: full, bounded, banded, and normalized.
 //!
 //! The paper evaluates its framework with "the edit distance (ed) \[27\]".
 //! Because the duplicate-elimination framework expects distances in
@@ -6,14 +6,22 @@
 //! length of the longer string. The raw distance is also exposed because the
 //! nearest-neighbor index uses length-bounded early termination during
 //! candidate verification.
+//!
+//! The public [`levenshtein`] / [`levenshtein_bounded`] entry points route
+//! to the bit-parallel Myers kernel in [`crate::myers`]; the classic two-row
+//! DP survives as [`levenshtein_dp`] (the reference implementation the
+//! equivalence property tests and `bench_edit_kernel` compare against), and
+//! the banded DP as [`levenshtein_banded`].
 
+use crate::myers::{myers_bounded_chars, myers_chars};
 use crate::tokenize::record_string;
 use crate::Distance;
 
 /// Classic Levenshtein distance (unit costs for insert / delete / substitute)
 /// between two strings, computed over Unicode scalar values.
 ///
-/// Runs in `O(|a|·|b|)` time and `O(min(|a|, |b|))` space (two-row DP).
+/// Routes to the bit-parallel Myers kernel: `O(⌈m/64⌉·n)` time where `m` is
+/// the shorter string's char count.
 ///
 /// ```
 /// use fuzzydedup_textdist::levenshtein;
@@ -31,14 +39,22 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
 /// caller caches the char decomposition (e.g. the nearest-neighbor index
 /// verifying many candidates against one query).
 pub fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
-    levenshtein_chars_with(&mut (Vec::new(), Vec::new()), a, b)
+    myers_chars(a, b)
 }
 
-/// [`levenshtein_chars`] with caller-provided DP row buffers, letting hot
-/// loops (fms token matching, index verification) avoid two allocations
-/// per comparison. Buffers are resized as needed and may be reused across
-/// calls with different inputs.
-pub fn levenshtein_chars_with(
+/// Reference two-row DP Levenshtein, `O(|a|·|b|)` time. Kept as the
+/// independently-derived oracle for the Myers kernel (property tests) and
+/// as the baseline side of `bench_edit_kernel`.
+pub fn levenshtein_dp(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    levenshtein_dp_chars_with(&mut (Vec::new(), Vec::new()), &a, &b)
+}
+
+/// [`levenshtein_dp`] over char slices with caller-provided DP row buffers,
+/// letting benchmark loops avoid two allocations per comparison. Buffers
+/// are resized as needed and may be reused across calls.
+pub fn levenshtein_dp_chars_with(
     bufs: &mut (Vec<usize>, Vec<usize>),
     a: &[char],
     b: &[char],
@@ -68,8 +84,9 @@ pub fn levenshtein_chars_with(
 /// distance provably exceeds `bound`, which lets candidate verification in
 /// the nearest-neighbor index abandon hopeless candidates early.
 ///
-/// Uses the standard band argument: cells farther than `bound` off the
-/// diagonal can never participate in a path of cost `<= bound`.
+/// Routes to the k-bounded Myers kernel ([`crate::myers::myers_bounded`]);
+/// the banded-DP predecessor survives as [`levenshtein_banded`] and the two
+/// are regression-tested against each other on both sides of the cutoff.
 ///
 /// ```
 /// use fuzzydedup_textdist::levenshtein_bounded;
@@ -86,6 +103,21 @@ pub fn levenshtein_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
 /// Bounded Levenshtein over pre-collected char slices; see
 /// [`levenshtein_bounded`].
 pub fn levenshtein_bounded_chars(a: &[char], b: &[char], bound: usize) -> Option<usize> {
+    myers_bounded_chars(a, b, bound)
+}
+
+/// Banded-DP bounded Levenshtein: cells farther than `bound` off the
+/// diagonal can never participate in a path of cost `<= bound`, so only a
+/// `2·bound + 1` wide band is evaluated per row. Superseded on hot paths by
+/// the k-bounded Myers kernel but kept as its regression oracle.
+pub fn levenshtein_banded(a: &str, b: &str, bound: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    levenshtein_banded_chars(&a, &b, bound)
+}
+
+/// [`levenshtein_banded`] over pre-collected char slices.
+pub fn levenshtein_banded_chars(a: &[char], b: &[char], bound: usize) -> Option<usize> {
     let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
     // Length difference is a lower bound on the distance.
     if a.len() - b.len() > bound {
@@ -157,6 +189,33 @@ impl Distance for EditDistance {
         let sa = record_string(a);
         let sb = record_string(b);
         normalized_levenshtein(&sa, &sb)
+    }
+
+    fn distance_bounded(&self, a: &[&str], b: &[&str], cutoff: f64) -> Option<f64> {
+        fuzzydedup_metrics::incr(fuzzydedup_metrics::Counter::DistEdit, 1);
+        let sa = record_string(a);
+        let sb = record_string(b);
+        let ca: Vec<char> = sa.chars().collect();
+        let cb: Vec<char> = sb.chars().collect();
+        let max = ca.len().max(cb.len());
+        if max == 0 {
+            return (cutoff >= 0.0).then_some(0.0);
+        }
+        if cutoff < 0.0 {
+            return None;
+        }
+        if cutoff >= 1.0 {
+            // Every normalized distance qualifies; no point bounding.
+            return Some(myers_chars(&ca, &cb) as f64 / max as f64);
+        }
+        // Over-inclusive raw bound: ceil guarantees every raw distance whose
+        // normalized value is <= cutoff stays inside the bound, so the
+        // bounded kernel never rejects a qualifying pair (extra survivors
+        // are filtered by the exact comparison below).
+        let raw_bound = (cutoff * max as f64).ceil() as usize;
+        let raw = myers_bounded_chars(&ca, &cb, raw_bound)?;
+        let d = raw as f64 / max as f64;
+        (d <= cutoff).then_some(d)
     }
 
     fn name(&self) -> &str {
@@ -241,6 +300,28 @@ mod tests {
         // Case and punctuation differences vanish under normalization.
         assert_eq!(ed.distance(&["The Doors", "LA Woman"], &["the doors", "la woman!"]), 0.0);
         assert!(ed.distance(&["Doors", "LA Woman"], &["The Doors", "LA Woman"]) > 0.0);
+    }
+
+    #[test]
+    fn distance_bounded_agrees_with_exact() {
+        let ed = EditDistance;
+        let pairs = [
+            (vec!["microsoft corp"], vec!["microsft corporation"]),
+            (vec!["the doors", "la woman"], vec!["doors", "la woman"]),
+            (vec![""], vec![""]),
+            (vec!["abc"], vec!["xyz"]),
+        ];
+        for (a, b) in &pairs {
+            let exact = ed.distance(a, b);
+            for cutoff in [0.0, 0.1, 0.25, 0.5, 0.9, 1.0] {
+                let got = ed.distance_bounded(a, b, cutoff);
+                if exact <= cutoff {
+                    assert_eq!(got, Some(exact), "{a:?} vs {b:?} cutoff {cutoff}");
+                } else {
+                    assert_eq!(got, None, "{a:?} vs {b:?} cutoff {cutoff}");
+                }
+            }
+        }
     }
 
     proptest! {

@@ -38,8 +38,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::edit::levenshtein_chars_with;
 use crate::idf::IdfModel;
+use crate::myers::myers_chars;
 use crate::tokenize::tokenize_record;
 use crate::Distance;
 
@@ -131,9 +131,9 @@ impl FuzzyMatchDistance {
             return 0.0;
         }
 
-        // All candidate pairs with their gains. The Levenshtein DP rows are
-        // reused across all token pairs of this call.
-        let mut dp_bufs = (Vec::new(), Vec::new());
+        // All candidate token pairs with their gains, scored by the
+        // bit-parallel kernel (tokens are short, so this is always the
+        // single-word path).
         let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(ta.len() * tb.len());
         for (i, (ca, wia)) in ta.iter().enumerate() {
             for (j, (cb, wjb)) in tb.iter().enumerate() {
@@ -141,7 +141,7 @@ impl FuzzyMatchDistance {
                 if max_len == 0 {
                     continue;
                 }
-                let ned = levenshtein_chars_with(&mut dp_bufs, ca, cb) as f64 / max_len as f64;
+                let ned = myers_chars(ca, cb) as f64 / max_len as f64;
                 if ned > self.max_token_ned {
                     continue;
                 }

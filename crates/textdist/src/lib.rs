@@ -33,6 +33,7 @@ pub mod idf;
 pub mod jaccard;
 pub mod jaro;
 pub mod monge_elkan;
+pub mod myers;
 pub mod qgram;
 pub mod soundex;
 pub mod tokenize;
@@ -40,13 +41,15 @@ pub mod tokenize;
 pub use composite::{CompositeDistance, FieldWeight};
 pub use cosine::CosineDistance;
 pub use edit::{
-    levenshtein, levenshtein_bounded, levenshtein_chars_with, normalized_levenshtein, EditDistance,
+    levenshtein, levenshtein_banded, levenshtein_bounded, levenshtein_dp, normalized_levenshtein,
+    EditDistance,
 };
 pub use fms::FuzzyMatchDistance;
 pub use idf::IdfModel;
 pub use jaccard::{qgram_jaccard, token_jaccard, JaccardDistance};
 pub use jaro::{jaro, jaro_winkler, JaroWinklerDistance};
 pub use monge_elkan::MongeElkanDistance;
+pub use myers::{myers, myers_bounded, myers_bounded_chars, myers_chars};
 pub use qgram::{qgrams, QgramProfile};
 pub use soundex::soundex;
 pub use tokenize::{normalize, tokenize, Token};
@@ -73,6 +76,20 @@ pub trait Distance: Send + Sync {
         self.distance(&[a], &[b])
     }
 
+    /// Distance with a cutoff: `Some(d)` iff `d <= cutoff`, else `None`.
+    ///
+    /// Candidate-verification loops (the nearest-neighbor indexes in
+    /// `fuzzydedup-nnindex`) call this with their current best-so-far as the
+    /// cutoff, letting implementations abandon hopeless pairs early.
+    /// Implementations must agree exactly with [`Distance::distance`] on
+    /// pairs within the cutoff — the default simply computes the full
+    /// distance and filters. [`EditDistance`] overrides this with the
+    /// k-bounded Myers kernel.
+    fn distance_bounded(&self, a: &[&str], b: &[&str], cutoff: f64) -> Option<f64> {
+        let d = self.distance(a, b);
+        (d <= cutoff).then_some(d)
+    }
+
     /// A short human-readable name ("ed", "fms", "cosine", ...).
     fn name(&self) -> &str;
 }
@@ -80,6 +97,11 @@ pub trait Distance: Send + Sync {
 impl<D: Distance + ?Sized> Distance for &D {
     fn distance(&self, a: &[&str], b: &[&str]) -> f64 {
         (**self).distance(a, b)
+    }
+    fn distance_bounded(&self, a: &[&str], b: &[&str], cutoff: f64) -> Option<f64> {
+        // Forward explicitly: the default body would bypass the inner
+        // type's override.
+        (**self).distance_bounded(a, b, cutoff)
     }
     fn name(&self) -> &str {
         (**self).name()
@@ -89,6 +111,9 @@ impl<D: Distance + ?Sized> Distance for &D {
 impl Distance for Box<dyn Distance> {
     fn distance(&self, a: &[&str], b: &[&str]) -> f64 {
         (**self).distance(a, b)
+    }
+    fn distance_bounded(&self, a: &[&str], b: &[&str], cutoff: f64) -> Option<f64> {
+        (**self).distance_bounded(a, b, cutoff)
     }
     fn name(&self) -> &str {
         (**self).name()
@@ -201,5 +226,32 @@ mod tests {
         let d: Box<dyn Distance> = Box::new(EditDistance);
         assert_eq!(d.name(), "ed");
         assert!(d.distance_str("kitten", "sitting") > 0.0);
+    }
+
+    #[test]
+    fn boxed_distance_forwards_bounded_override() {
+        // The Box impl must forward distance_bounded to the inner type's
+        // override, not fall back to the full-compute default.
+        let _serial = fuzzydedup_metrics::serial_guard();
+        fuzzydedup_metrics::enable();
+        let d: Box<dyn Distance> = Box::new(EditDistance);
+        let exact = d.distance(&["microsoft corp"], &["microsft corporation"]);
+        assert_eq!(
+            d.distance_bounded(&["microsoft corp"], &["microsft corporation"], 1.0),
+            Some(exact)
+        );
+        let before = fuzzydedup_metrics::snapshot();
+        assert_eq!(d.distance_bounded(&["completely unrelated text"], &["zzzz"], 0.05), None);
+        let delta = fuzzydedup_metrics::snapshot().delta(&before);
+        // Reaching the bounded kernel proves the override was dispatched.
+        assert_eq!(delta.get(fuzzydedup_metrics::Counter::EdKernelBounded), 1);
+    }
+
+    #[test]
+    fn default_distance_bounded_filters_by_cutoff() {
+        let d = JaccardDistance::default();
+        let exact = d.distance_str("alpha beta", "alpha gamma");
+        assert_eq!(d.distance_bounded(&["alpha beta"], &["alpha gamma"], 1.0), Some(exact));
+        assert_eq!(d.distance_bounded(&["alpha beta"], &["alpha gamma"], exact / 2.0), None);
     }
 }

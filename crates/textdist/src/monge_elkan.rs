@@ -12,7 +12,7 @@
 //! implementation symmetrizes by averaging both directions, preserving the
 //! framework's symmetry requirement.
 
-use crate::edit::levenshtein_chars_with;
+use crate::myers::myers_chars;
 use crate::tokenize::tokenize_record;
 use crate::Distance;
 
@@ -26,17 +26,13 @@ fn directed(a: &[Vec<char>], b: &[Vec<char>]) -> f64 {
     if b.is_empty() {
         return 0.0;
     }
-    let mut bufs = (Vec::new(), Vec::new());
     let mut total = 0.0;
     for ta in a {
         let mut best = 0.0f64;
         for tb in b {
             let max_len = ta.len().max(tb.len());
-            let sim = if max_len == 0 {
-                1.0
-            } else {
-                1.0 - levenshtein_chars_with(&mut bufs, ta, tb) as f64 / max_len as f64
-            };
+            let sim =
+                if max_len == 0 { 1.0 } else { 1.0 - myers_chars(ta, tb) as f64 / max_len as f64 };
             best = best.max(sim);
         }
         total += best;

@@ -1,0 +1,429 @@
+//! Myers' 1999 bit-parallel Levenshtein kernel.
+//!
+//! Computes the unit-cost edit distance by encoding a whole column of the
+//! DP matrix in the bits of machine words: the vertical deltas
+//! `D[i][j] − D[i−1][j] ∈ {−1, 0, +1}` are held as a positive mask `Pv`
+//! and a negative mask `Mv`, and one column transition is ~15 word
+//! operations regardless of the pattern length — `O(⌈m/64⌉·n)` total
+//! versus the classic DP's `O(m·n)` cell updates (G. Myers, *A fast
+//! bit-vector algorithm for approximate string matching based on dynamic
+//! programming*, JACM 1999; block formulation after Hyyrö 2003).
+//!
+//! All entry points first strip the common prefix and suffix (equal
+//! flanks cannot change the distance, and near-duplicate pairs — the
+//! dominant verification workload — share most of both), then dispatch on
+//! the *stripped* pattern length.
+//!
+//! Three entry points form the kernel-selection ladder (`DESIGN.md`):
+//!
+//! * [`myers_chars`] — dispatches to the **single-word** path when the
+//!   shorter string fits 64 chars, else the **blocked** multi-word path;
+//! * [`myers_bounded_chars`] — the **k-bounded** variant used by
+//!   nearest-neighbor candidate verification: abandons the computation as
+//!   soon as the distance provably exceeds the cutoff (length gap, or the
+//!   running bottom-row score can no longer descend below `k`);
+//! * [`crate::edit::levenshtein`] / [`crate::edit::levenshtein_bounded`]
+//!   — the public edit-distance API, which routes here.
+//!
+//! Every invocation records which rung fired into the process-global
+//! metrics counters (`edit_kernel` section of `RunMetrics`), so pipeline
+//! runs show which path verification actually took.
+
+use fuzzydedup_metrics::{incr, Counter};
+
+/// Pattern-equality bitmasks for a ≤ 64-char pattern: `get(c)` has bit
+/// `i` set iff `pattern[i] == c`. ASCII is direct-indexed; other scalars
+/// go to a (tiny, usually empty) spill list.
+struct PeqWord {
+    ascii: [u64; 128],
+    spill: Vec<(char, u64)>,
+}
+
+impl PeqWord {
+    fn build(pattern: &[char]) -> Self {
+        debug_assert!(pattern.len() <= 64);
+        let mut ascii = [0u64; 128];
+        let mut spill: Vec<(char, u64)> = Vec::new();
+        for (i, &c) in pattern.iter().enumerate() {
+            let bit = 1u64 << i;
+            if (c as u32) < 128 {
+                ascii[c as usize] |= bit;
+            } else if let Some(entry) = spill.iter_mut().find(|(s, _)| *s == c) {
+                entry.1 |= bit;
+            } else {
+                spill.push((c, bit));
+            }
+        }
+        Self { ascii, spill }
+    }
+
+    #[inline]
+    fn get(&self, c: char) -> u64 {
+        if (c as u32) < 128 {
+            self.ascii[c as usize]
+        } else {
+            self.spill.iter().find(|(s, _)| *s == c).map_or(0, |(_, bits)| *bits)
+        }
+    }
+}
+
+/// Pattern-equality bitmasks for a blocked (> 64-char) pattern: one word
+/// per 64-row block, `w` words per character.
+struct PeqBlocks {
+    w: usize,
+    /// `128 × w` words, ASCII direct-indexed: `ascii[c*w + k]`.
+    ascii: Vec<u64>,
+    spill: Vec<(char, Vec<u64>)>,
+    zero: Vec<u64>,
+}
+
+impl PeqBlocks {
+    fn build(pattern: &[char]) -> Self {
+        let w = pattern.len().div_ceil(64);
+        let mut ascii = vec![0u64; 128 * w];
+        let mut spill: Vec<(char, Vec<u64>)> = Vec::new();
+        for (i, &c) in pattern.iter().enumerate() {
+            let (block, bit) = (i / 64, 1u64 << (i % 64));
+            if (c as u32) < 128 {
+                ascii[c as usize * w + block] |= bit;
+            } else if let Some(entry) = spill.iter_mut().find(|(s, _)| *s == c) {
+                entry.1[block] |= bit;
+            } else {
+                let mut masks = vec![0u64; w];
+                masks[block] |= bit;
+                spill.push((c, masks));
+            }
+        }
+        Self { w, ascii, spill, zero: vec![0u64; w] }
+    }
+
+    /// The `w` equality words of `c` (all-zero slice for absent chars).
+    #[inline]
+    fn get(&self, c: char) -> &[u64] {
+        if (c as u32) < 128 {
+            &self.ascii[c as usize * self.w..(c as usize + 1) * self.w]
+        } else {
+            self.spill.iter().find(|(s, _)| *s == c).map_or(&self.zero[..], |(_, m)| m)
+        }
+    }
+}
+
+/// One column transition of one 64-row block (Hyyrö's formulation of the
+/// Myers recurrence, with explicit horizontal carries between blocks).
+///
+/// `hin`/`hout` are the horizontal deltas entering the block's top row
+/// and leaving its bottom row (`high` selects the bottom row's bit; for a
+/// partial last block that is bit `m%64 − 1`, and garbage above it never
+/// propagates downward — carries in the embedded addition only travel
+/// toward higher bits).
+#[inline]
+fn advance_block(pv: &mut u64, mv: &mut u64, mut eq: u64, hin: i32, high: u64) -> i32 {
+    let xv = eq | *mv;
+    if hin < 0 {
+        eq |= 1;
+    }
+    let xh = (((eq & *pv).wrapping_add(*pv)) ^ *pv) | eq;
+    let mut ph = *mv | !(xh | *pv);
+    let mut mh = *pv & xh;
+    let mut hout = 0i32;
+    if ph & high != 0 {
+        hout += 1;
+    }
+    if mh & high != 0 {
+        hout -= 1;
+    }
+    ph <<= 1;
+    mh <<= 1;
+    match hin.cmp(&0) {
+        std::cmp::Ordering::Less => mh |= 1,
+        std::cmp::Ordering::Greater => ph |= 1,
+        std::cmp::Ordering::Equal => {}
+    }
+    *pv = mh | !(xv | ph);
+    *mv = ph & xv;
+    hout
+}
+
+/// Strip the common prefix and suffix of two strings: equal flanks never
+/// change the Levenshtein distance, and near-duplicates (the dominant
+/// verification workload) share most of both.
+fn strip_common<'s>(mut a: &'s [char], mut b: &'s [char]) -> (&'s [char], &'s [char]) {
+    let pre = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+    a = &a[pre..];
+    b = &b[pre..];
+    let suf = a.iter().rev().zip(b.iter().rev()).take_while(|(x, y)| x == y).count();
+    (&a[..a.len() - suf], &b[..b.len() - suf])
+}
+
+/// Single-word Myers: pattern ≤ 64 chars, any text length. Returns the
+/// exact Levenshtein distance. The column transition is [`advance_block`]
+/// specialized to `hin = +1` (the top boundary row `D[0][j] = j`), which
+/// keeps the state in registers with no carry branches.
+fn word_distance(pattern: &[char], text: &[char]) -> usize {
+    debug_assert!(!pattern.is_empty() && pattern.len() <= 64);
+    let m = pattern.len();
+    let peq = PeqWord::build(pattern);
+    let high = 1u64 << (m - 1);
+    let mut pv = !0u64;
+    let mut mv = 0u64;
+    let mut score = m as isize;
+    for &c in text {
+        let eq = peq.get(c);
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let mut ph = mv | !(xh | pv);
+        let mut mh = pv & xh;
+        score += isize::from(ph & high != 0);
+        score -= isize::from(mh & high != 0);
+        ph = (ph << 1) | 1;
+        mh <<= 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+    }
+    score as usize
+}
+
+/// Blocked Myers: pattern of any length, `⌈m/64⌉` words per column.
+fn blocked_distance(pattern: &[char], text: &[char]) -> usize {
+    let m = pattern.len();
+    let w = m.div_ceil(64);
+    debug_assert!(w >= 2);
+    let peq = PeqBlocks::build(pattern);
+    // Bottom row of the last (possibly partial) block.
+    let last_high = 1u64 << ((m - 1) % 64);
+    let mut pv = vec![!0u64; w];
+    let mut mv = vec![0u64; w];
+    let mut score = m as isize;
+    for &c in text {
+        let eqs = peq.get(c);
+        let mut hin = 1i32;
+        for k in 0..w {
+            let high = if k + 1 == w { last_high } else { 1u64 << 63 };
+            hin = advance_block(&mut pv[k], &mut mv[k], eqs[k], hin, high);
+        }
+        score += hin as isize;
+    }
+    score as usize
+}
+
+/// Bit-parallel Levenshtein distance over pre-collected char slices.
+/// Dispatches to the single-word path when the shorter string fits one
+/// machine word, else the blocked multi-word path. Exact for all inputs
+/// (equivalence with the reference DP is property-tested).
+pub fn myers_chars(a: &[char], b: &[char]) -> usize {
+    let (a, b) = strip_common(a, b);
+    // Shorter side as the pattern: fewer blocks, and the single-word path
+    // applies whenever min(|a|, |b|) ≤ 64 after affix stripping.
+    let (pattern, text) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if pattern.is_empty() {
+        return text.len();
+    }
+    if pattern.len() <= 64 {
+        incr(Counter::EdKernelWord, 1);
+        word_distance(pattern, text)
+    } else {
+        incr(Counter::EdKernelBlocked, 1);
+        blocked_distance(pattern, text)
+    }
+}
+
+/// [`myers_chars`] over `&str` inputs (chars collected internally).
+///
+/// ```
+/// use fuzzydedup_textdist::myers;
+/// assert_eq!(myers("kitten", "sitting"), 3);
+/// assert_eq!(myers("", "abc"), 3);
+/// ```
+pub fn myers(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    myers_chars(&a, &b)
+}
+
+/// k-bounded Myers over pre-collected char slices: `Some(d)` iff the
+/// distance `d` is `≤ bound`, `None` as soon as it provably exceeds it.
+///
+/// The early exit watches the bottom-row score: column `j`'s score can
+/// decrease by at most 1 per remaining column, so once
+/// `score − (n − j) > bound` no suffix can recover. Verification loops in
+/// the nearest-neighbor indexes call this with their current best-so-far
+/// distance as the cutoff, which abandons most losing candidates after a
+/// prefix of the text.
+pub fn myers_bounded_chars(a: &[char], b: &[char], bound: usize) -> Option<usize> {
+    incr(Counter::EdKernelBounded, 1);
+    let (a, b) = strip_common(a, b);
+    let (pattern, text) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    // The length gap is a lower bound on the distance.
+    if text.len() - pattern.len() > bound {
+        incr(Counter::EdKernelEarlyExit, 1);
+        return None;
+    }
+    if pattern.is_empty() {
+        return (text.len() <= bound).then_some(text.len());
+    }
+    let n = text.len();
+    let m = pattern.len();
+    if m <= 64 {
+        let peq = PeqWord::build(pattern);
+        let high = 1u64 << (m - 1);
+        let mut pv = !0u64;
+        let mut mv = 0u64;
+        let mut score = m as isize;
+        for (j, &c) in text.iter().enumerate() {
+            let eq = peq.get(c);
+            let xv = eq | mv;
+            let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+            let mut ph = mv | !(xh | pv);
+            let mut mh = pv & xh;
+            score += isize::from(ph & high != 0);
+            score -= isize::from(mh & high != 0);
+            ph = (ph << 1) | 1;
+            mh <<= 1;
+            pv = mh | !(xv | ph);
+            mv = ph & xv;
+            // Each remaining column can lower the score by at most 1.
+            if score - (n - j - 1) as isize > bound as isize {
+                incr(Counter::EdKernelEarlyExit, 1);
+                return None;
+            }
+        }
+        (score as usize <= bound).then_some(score as usize)
+    } else {
+        let w = m.div_ceil(64);
+        let peq = PeqBlocks::build(pattern);
+        let last_high = 1u64 << ((m - 1) % 64);
+        let mut pv = vec![!0u64; w];
+        let mut mv = vec![0u64; w];
+        let mut score = m as isize;
+        for (j, &c) in text.iter().enumerate() {
+            let eqs = peq.get(c);
+            let mut hin = 1i32;
+            for k in 0..w {
+                let high = if k + 1 == w { last_high } else { 1u64 << 63 };
+                hin = advance_block(&mut pv[k], &mut mv[k], eqs[k], hin, high);
+            }
+            score += hin as isize;
+            if score - (n - j - 1) as isize > bound as isize {
+                incr(Counter::EdKernelEarlyExit, 1);
+                return None;
+            }
+        }
+        (score as usize <= bound).then_some(score as usize)
+    }
+}
+
+/// [`myers_bounded_chars`] over `&str` inputs.
+///
+/// ```
+/// use fuzzydedup_textdist::myers_bounded;
+/// assert_eq!(myers_bounded("kitten", "sitting", 3), Some(3));
+/// assert_eq!(myers_bounded("kitten", "sitting", 2), None);
+/// ```
+pub fn myers_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    myers_bounded_chars(&a, &b, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::{levenshtein_banded, levenshtein_dp};
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(myers("kitten", "sitting"), 3);
+        assert_eq!(myers("flaw", "lawn"), 2);
+        assert_eq!(myers("gumbo", "gambol"), 2);
+        assert_eq!(myers("", ""), 0);
+        assert_eq!(myers("a", ""), 1);
+        assert_eq!(myers("", "a"), 1);
+        assert_eq!(myers("same", "same"), 0);
+    }
+
+    #[test]
+    fn unicode_chars_count_once() {
+        assert_eq!(myers("café", "cafe"), 1);
+        assert_eq!(myers("日本語", "日本"), 1);
+        assert_eq!(myers("αβγδ", "αβxδ"), 1);
+    }
+
+    #[test]
+    fn exact_word_boundary_lengths() {
+        // Pattern lengths 63, 64, 65 straddle the word/blocked dispatch.
+        for m in [1usize, 2, 63, 64, 65, 128, 129, 200] {
+            let a: String = (0..m).map(|i| (b'a' + (i % 23) as u8) as char).collect();
+            let mut b = a.clone();
+            b.push('!');
+            let b = b.replace('c', "k");
+            assert_eq!(myers(&a, &b), levenshtein_dp(&a, &b), "m={m}");
+            assert_eq!(myers(&a, &a), 0, "m={m}");
+        }
+    }
+
+    #[test]
+    fn blocked_path_matches_dp_on_long_strings() {
+        let a = "the quick brown fox jumps over the lazy dog, then naps in the warm afternoon sun";
+        let b = "the quick brown cat jumps over the lazy dog, then naps in a warm afternoon sun!";
+        assert!(a.chars().count() > 64);
+        assert_eq!(myers(a, b), levenshtein_dp(a, b));
+    }
+
+    #[test]
+    fn bounded_agrees_with_banded_dp_both_sides() {
+        let pairs = [
+            ("kitten", "sitting"),
+            ("the doors la woman", "doors la woman"),
+            ("abc", "xyz"),
+            ("", "abc"),
+            ("same", "same"),
+            ("microsoft corp", "microsft corporation"),
+        ];
+        for (a, b) in pairs {
+            let exact = levenshtein_dp(a, b);
+            for bound in 0..=exact + 2 {
+                assert_eq!(
+                    myers_bounded(a, b, bound),
+                    levenshtein_banded(a, b, bound),
+                    "{a:?} vs {b:?} bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_rejects_on_length_gap() {
+        assert_eq!(myers_bounded("ab", "abcdefgh", 3), None);
+        assert_eq!(myers_bounded("abcdefgh", "ab", 3), None);
+    }
+
+    #[test]
+    fn bounded_long_strings() {
+        let a: String = (0..150).map(|i| (b'a' + (i % 17) as u8) as char).collect();
+        let mut b: Vec<char> = a.chars().collect();
+        b[10] = 'z';
+        b[90] = 'z';
+        let b: String = b.into_iter().collect();
+        assert_eq!(myers_bounded(&a, &b, 2), Some(2));
+        assert_eq!(myers_bounded(&a, &b, 1), None);
+    }
+
+    #[test]
+    fn records_kernel_path_counters() {
+        let _serial = fuzzydedup_metrics::serial_guard();
+        fuzzydedup_metrics::enable();
+        let before = fuzzydedup_metrics::snapshot();
+        myers("short", "strings");
+        // Differences at both ends keep the pattern > 64 chars after
+        // affix stripping, forcing the blocked path.
+        let long_a: String = format!("a{}b", "x".repeat(78));
+        let long_b: String = format!("c{}d", "x".repeat(78));
+        myers(&long_a, &long_b);
+        myers_bounded("completely", "different!", 1);
+        let delta = fuzzydedup_metrics::snapshot().delta(&before);
+        assert_eq!(delta.get(Counter::EdKernelWord), 1);
+        assert_eq!(delta.get(Counter::EdKernelBlocked), 1);
+        assert_eq!(delta.get(Counter::EdKernelBounded), 1);
+        assert!(delta.get(Counter::EdKernelEarlyExit) >= 1);
+    }
+}

@@ -1,35 +1,16 @@
 #!/usr/bin/env bash
-# Full verification gate: formatting, lints, and the test suite.
+# Verification gate — a thin alias for the tiered CI driver so the two
+# can never drift. See scripts/ci.sh for the stage list.
 #
-#   scripts/verify.sh          # everything
+#   scripts/verify.sh          # all stages except bench-smoke
 #   scripts/verify.sh --fast   # tier-1 only (build + root tests)
 #
-# Tier-1 (ROADMAP.md) is `cargo build --release && cargo test -q`; the
-# full gate adds rustfmt, clippy with warnings denied, and the complete
-# workspace test suite.
+# Benches are excluded here because verify is the inner-loop gate;
+# run scripts/ci.sh (no flags) to include the bench-regression smoke.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-fast=0
-[[ "${1:-}" == "--fast" ]] && fast=1
-
-echo "==> cargo build --release"
-cargo build --release
-
-if [[ $fast -eq 0 ]]; then
-    echo "==> cargo fmt --check"
-    cargo fmt --check
-
-    echo "==> cargo clippy --workspace -- -D warnings"
-    cargo clippy --workspace --all-targets -- -D warnings
+if [[ "${1:-}" == "--fast" ]]; then
+    exec scripts/ci.sh --fast
 fi
-
-echo "==> cargo test -q (tier-1)"
-cargo test -q
-
-if [[ $fast -eq 0 ]]; then
-    echo "==> cargo test -q --workspace"
-    cargo test -q --workspace
-fi
-
-echo "verify: OK"
+exec scripts/ci.sh --skip-bench

@@ -90,13 +90,16 @@ pub struct Bencher<'a> {
 impl Bencher<'_> {
     /// Time `routine`, called repeatedly.
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
-        // Warmup + calibration: target a per-sample batch of >= ~1ms or 10
-        // iterations, whichever is smaller in wall cost.
+        // Warmup + calibration: target a per-sample batch of >= ~2ms or 25
+        // iterations, whichever is smaller in wall cost. Longer batches
+        // average over scheduler preemption, which keeps the per-sample
+        // minimum (the statistic the bench-regression gate compares)
+        // stable on shared machines.
         let t0 = Instant::now();
         black_box(routine());
         let once = t0.elapsed().max(Duration::from_nanos(1));
         let iters_per_sample =
-            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10) as u64;
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 25) as u64;
         let mut sample_ns = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
             let start = Instant::now();
