@@ -1,0 +1,80 @@
+//! Criterion bench: candidate generation, CSR mirror vs page-backed
+//! postings (the tentpole claim of the filtered-candidate-generation PR).
+//!
+//! Emits `results/BENCH_candidates.json`. The committed baseline backs
+//! the acceptance claim that CSR candidate generation is ≥ 3× faster
+//! than the page-backed path on a 10k-record datagen corpus, and the
+//! bench-regression gate (`ci_bench_gate`) watches both paths for
+//! slowdowns.
+//!
+//! Both benches drive [`InvertedIndex::generate_candidates`] — the full
+//! merge + score + truncate pipeline — over the same fixed query sample,
+//! so the only variable is where postings come from: contiguous CSR
+//! slices with build-time term ids, or heap-file chunks fetched through
+//! the buffer pool with query-time re-tokenization.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fuzzydedup_datagen::{org, DatasetSpec};
+use fuzzydedup_nnindex::{InvertedIndex, InvertedIndexConfig, PostingsSource};
+use fuzzydedup_storage::{BufferPool, BufferPoolConfig, InMemoryDisk};
+use fuzzydedup_textdist::EditDistance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Corpus size: large enough that postings span many pages and the
+/// dictionary is realistic; small enough to build twice in a bench run.
+const CORPUS: usize = 10_000;
+
+/// Queries per measurement batch.
+const QUERIES: usize = 64;
+
+fn corpus() -> Vec<Vec<String>> {
+    let mut rng = StdRng::seed_from_u64(42);
+    // ~1.28 records per entity; trim the tail to exactly CORPUS records.
+    let dataset = org::generate(&mut rng, DatasetSpec::with_entities(8200));
+    let mut records = dataset.records;
+    assert!(records.len() >= CORPUS, "need {CORPUS} records, got {}", records.len());
+    records.truncate(CORPUS);
+    records
+}
+
+fn build(records: &[Vec<String>], source: PostingsSource) -> InvertedIndex<EditDistance> {
+    let pool = Arc::new(BufferPool::new(
+        BufferPoolConfig::with_capacity(1024),
+        Arc::new(InMemoryDisk::new()),
+    ));
+    InvertedIndex::build(
+        records.to_vec(),
+        EditDistance,
+        pool,
+        InvertedIndexConfig { postings_source: source, ..Default::default() },
+    )
+}
+
+fn bench_candidates(c: &mut Criterion) {
+    let records = corpus();
+    let mut rng = StdRng::seed_from_u64(7);
+    let queries: Vec<u32> = (0..QUERIES).map(|_| rng.gen_range(0..CORPUS) as u32).collect();
+
+    let mut group = c.benchmark_group("candidates");
+    group.sample_size(10);
+
+    for (label, source) in [("pages", PostingsSource::Pages), ("csr", PostingsSource::Csr)] {
+        let index = build(&records, source);
+        // Sanity: both paths must produce real candidate sets.
+        assert!(!index.generate_candidates(queries[0]).is_empty());
+        group.bench_function(format!("{label}/gen"), |b| {
+            b.iter(|| {
+                for &id in &queries {
+                    black_box(index.generate_candidates(id));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidates);
+criterion_main!(benches);

@@ -20,13 +20,18 @@ use std::process::Command;
 use fuzzydedup_bench::gate::{compare, has_regression, parse_bench_file, render_table};
 
 /// The cheap benches the gate re-runs: seconds each, covering the edit
-/// kernel (this PR's hot path), the distance-function ladder above it,
-/// and the storage layer below the index.
-const CHEAP_BENCHES: &[&str] = &["bench_edit_kernel", "bench_distances", "bench_buffer_pool"];
+/// kernel, the distance-function ladder above it, the storage layer below
+/// the index, and candidate generation (CSR vs page-backed postings).
+const CHEAP_BENCHES: &[&str] =
+    &["bench_edit_kernel", "bench_distances", "bench_buffer_pool", "bench_candidates"];
 
 /// `BENCH_*.json` artifacts those benches emit.
-const GATED_ARTIFACTS: &[&str] =
-    &["BENCH_edit_kernel.json", "BENCH_distances.json", "BENCH_buffer_pool.json"];
+const GATED_ARTIFACTS: &[&str] = &[
+    "BENCH_edit_kernel.json",
+    "BENCH_distances.json",
+    "BENCH_buffer_pool.json",
+    "BENCH_candidates.json",
+];
 
 struct Args {
     tolerance: f64,

@@ -36,12 +36,20 @@ use fuzzydedup_metrics::json::{JsonArray, JsonObject};
 /// paper's fuzzy-match index \[9\] keeps min-hash signatures rather than
 /// full postings of frequent tokens, which has the same effect.
 fn index_config() -> InvertedIndexConfig {
-    InvertedIndexConfig { max_df_fraction: 0.02, stop_df_floor: 50, ..Default::default() }
+    InvertedIndexConfig {
+        max_df_fraction: 0.02,
+        stop_df_floor: 50,
+        // This experiment is *about* postings page traffic: the default
+        // CSR mirror never touches the pool after build, which would
+        // make every order hit 100% BHR vacuously.
+        postings_source: PostingsSource::Pages,
+        ..Default::default()
+    }
 }
 
 use fuzzydedup_core::{compute_nn_reln, NeighborSpec};
 use fuzzydedup_datagen::{org, DatasetSpec};
-use fuzzydedup_nnindex::{InvertedIndex, InvertedIndexConfig, LookupOrder};
+use fuzzydedup_nnindex::{InvertedIndex, InvertedIndexConfig, LookupOrder, PostingsSource};
 use fuzzydedup_storage::{BufferPool, BufferPoolConfig, InMemoryDisk, PAGE_SIZE};
 use fuzzydedup_textdist::DistanceKind;
 use rand::rngs::StdRng;

@@ -22,7 +22,7 @@ use fuzzydedup_nnindex::{
     InvertedIndex, InvertedIndexConfig, MinHashConfig, MinHashIndex, NestedLoopIndex, NnIndex,
 };
 use fuzzydedup_storage::{BufferPool, BufferPoolConfig, InMemoryDisk};
-use fuzzydedup_textdist::{DistanceKind, EditDistance};
+use fuzzydedup_textdist::{DistanceKind, EditDistance, UnfilteredDistance};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -60,19 +60,44 @@ fn main() {
         InvertedIndexConfig::default(),
     );
     let minhash = MinHashIndex::build(records.clone(), EditDistance, MinHashConfig::default());
+    // The same inverted index with the candidate ladder disarmed
+    // (`UnfilteredDistance` reports `admits_qgram_filter() == false`):
+    // side-by-side recall shows the length/count/MergeSkip filters are
+    // recall-lossless, not just fast.
+    let unfiltered_pool = Arc::new(BufferPool::new(
+        BufferPoolConfig::with_capacity(4096),
+        Arc::new(InMemoryDisk::new()),
+    ));
+    let inverted_nofilter = InvertedIndex::build(
+        records.clone(),
+        UnfilteredDistance(EditDistance),
+        unfiltered_pool,
+        InvertedIndexConfig::default(),
+    );
 
     println!("\n# Nearest-neighbor recall vs exact reference (truth within distance bound):");
-    println!("{:<12} {:>12} {:>12} {:>12}", "index", "nn<0.2", "nn<0.3", "nn<0.4");
-    for (name, idx) in
-        [("inverted", &inverted as &dyn NnIndex), ("minhash", &minhash as &dyn NnIndex)]
-    {
-        let mut row = format!("{name:<12}");
+    println!("{:<18} {:>12} {:>12} {:>12}", "index", "nn<0.2", "nn<0.3", "nn<0.4");
+    for (name, idx) in [
+        ("inverted", &inverted as &dyn NnIndex),
+        ("inverted-nofilter", &inverted_nofilter as &dyn NnIndex),
+        ("minhash", &minhash as &dyn NnIndex),
+    ] {
+        let mut row = format!("{name:<18}");
         for bound in [0.2, 0.3, 0.4] {
             let (recall, n) = nn_recall(idx, &exact, bound);
             row.push_str(&format!(" {:>7.3}({n:>3})", recall));
         }
         println!("{row}");
     }
+    for bound in [0.2, 0.3, 0.4] {
+        let (filtered, _) = nn_recall(&inverted, &exact, bound);
+        let (unfiltered, _) = nn_recall(&inverted_nofilter, &exact, bound);
+        assert_eq!(
+            filtered, unfiltered,
+            "candidate filters changed nn<{bound} recall — they must be lossless"
+        );
+    }
+    println!("(filters on/off rows are asserted identical: the candidate ladder is lossless)");
 
     println!("\n# End-to-end quality per index (DE_S(4), c=6, fms):");
     println!("{:<12} {:>8} {:>10} {:>7}", "index", "recall", "precision", "f1");

@@ -154,4 +154,38 @@ mod tests {
         let idx = random_matrix(4, 5);
         compute_nn_reln_parallel(&idx, NeighborSpec::TopK(2), 0.0, 2);
     }
+
+    #[test]
+    fn csr_index_is_parallel_safe() {
+        // The CSR candidate generator accumulates on a thread-local
+        // epoch-stamped scoreboard; parallel workers must produce the
+        // byte-identical relation the sequential drive produces.
+        use fuzzydedup_nnindex::{InvertedIndex, InvertedIndexConfig};
+        use fuzzydedup_storage::{BufferPool, BufferPoolConfig, InMemoryDisk};
+        use fuzzydedup_textdist::EditDistance;
+        use std::sync::Arc;
+
+        let records: Vec<Vec<String>> = (0..120)
+            .map(|i| {
+                let s = match i % 3 {
+                    0 => format!("customer record number {i:03}"),
+                    1 => format!("customer record numbr {i:03}"),
+                    _ => format!("unrelated payload {i:03}"),
+                };
+                vec![s]
+            })
+            .collect();
+        let pool = Arc::new(BufferPool::new(
+            BufferPoolConfig::with_capacity(64),
+            Arc::new(InMemoryDisk::new()),
+        ));
+        let idx = InvertedIndex::build(records, EditDistance, pool, InvertedIndexConfig::default());
+        for spec in [NeighborSpec::TopK(4), NeighborSpec::Radius(0.2)] {
+            let (seq, _) = compute_nn_reln(&idx, spec, LookupOrder::Sequential, 2.0);
+            for threads in [2, 4, 0] {
+                let (par, _) = compute_nn_reln_parallel(&idx, spec, 2.0, threads);
+                assert_eq!(seq, par, "spec={spec:?} threads={threads}");
+            }
+        }
+    }
 }

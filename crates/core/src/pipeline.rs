@@ -389,8 +389,16 @@ mod tests {
 
     #[test]
     fn end_to_end_fms_finds_duplicates() {
-        let config =
-            DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(4)).sn_threshold(4.0);
+        // Pin the page-backed postings source: this test also checks that
+        // index lookups flow through the buffer pool, which the default
+        // CSR mirror deliberately avoids.
+        let config = DedupConfig::new(DistanceKind::FuzzyMatch)
+            .cut(CutSpec::Size(4))
+            .sn_threshold(4.0)
+            .index_choice(IndexChoice::Inverted(InvertedIndexConfig {
+                postings_source: fuzzydedup_nnindex::PostingsSource::Pages,
+                ..Default::default()
+            }));
         let outcome = deduplicate(&music_records(), &config).unwrap();
         let p = &outcome.partition;
         assert!(p.are_together(0, 1), "Doors pair: {:?}", p.groups());
@@ -501,6 +509,11 @@ mod tests {
         assert!(m.nnindex.candidates_generated > 0);
         assert_eq!(m.nnindex.exact_distance_calls, m.nnindex.candidates_generated);
         assert!(m.nnindex.postings_scanned > 0);
+        // cand_gen: generation is counted; fms admits no q-gram bound, so
+        // the pruning filters must not have fired.
+        assert!(m.cand_gen.generated > 0);
+        assert_eq!(m.cand_gen.pruned_by_length, 0);
+        assert_eq!(m.cand_gen.pruned_by_count, 0);
         // textdist: the verification distance calls are attributed per kind.
         assert!(m.textdist.total() >= m.nnindex.exact_distance_calls);
         // storage: index lookups and Phase-2 tables hit the buffer pool.

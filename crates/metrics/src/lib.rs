@@ -81,10 +81,28 @@ pub enum Counter {
     /// Bounded invocations that abandoned the computation early (length
     /// gap or the running score provably exceeded the cutoff).
     EdKernelEarlyExit,
+    /// Candidates produced by candidate generation, after truncation
+    /// (`nnindex` cand-gen kernel).
+    CandidatesGenerated,
+    /// Candidates discarded before any distance call because the length
+    /// filter proved them outside the running cutoff (`nnindex`).
+    PrunedByLength,
+    /// Candidates discarded before any distance call because the q-gram
+    /// count filter proved them outside the running cutoff (`nnindex`).
+    PrunedByCount,
+    /// Posting ids the MergeSkip merge avoided scanning linearly once no
+    /// new candidate could reach the count threshold (`nnindex`).
+    PostingsSkipped,
+    /// Query terms dropped as stop grams during candidate generation —
+    /// previously a silent recall loss (`nnindex`).
+    StopGramsDropped,
+    /// Scored candidates cut away by the `candidate_limit` partial
+    /// selection — capped recall made visible (`nnindex`).
+    CandidatesTruncated,
 }
 
 /// Number of counters in [`Counter`].
-pub const NUM_COUNTERS: usize = Counter::EdKernelEarlyExit as usize + 1;
+pub const NUM_COUNTERS: usize = Counter::CandidatesTruncated as usize + 1;
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 
@@ -222,6 +240,26 @@ pub struct NnIndexMetrics {
     pub exact_distance_calls: u64,
 }
 
+/// Candidate-generation accounting (`nnindex` layer): the filtered-merge
+/// kernel's funnel, from postings scanned through the pruning filters to
+/// the verified survivors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CandGenMetrics {
+    /// Candidates scored by the merge, before the `candidate_limit` cap.
+    pub generated: u64,
+    /// Candidates pruned by the length filter before any distance call.
+    pub pruned_by_length: u64,
+    /// Candidates pruned by the q-gram count filter before any distance
+    /// call.
+    pub pruned_by_count: u64,
+    /// Posting ids skipped (not linearly scanned) by the MergeSkip merge.
+    pub postings_skipped: u64,
+    /// Query terms dropped as stop grams.
+    pub stop_grams_dropped: u64,
+    /// Scored candidates cut away by the `candidate_limit` cap.
+    pub truncated: u64,
+}
+
 /// Buffer-pool accounting (`storage` layer) — the unified surface over
 /// the pool's `BufferStats`.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -295,6 +333,8 @@ pub struct RunMetrics {
     pub edit_kernel: EditKernelMetrics,
     /// Index traffic.
     pub nnindex: NnIndexMetrics,
+    /// Candidate-generation funnel (filters, MergeSkip, truncation).
+    pub cand_gen: CandGenMetrics,
     /// Buffer-pool accounting.
     pub storage: StorageMetrics,
     /// Phase-1 probes and lookup-order telemetry.
@@ -330,6 +370,14 @@ impl RunMetrics {
             postings_scanned: d.get(Counter::NnPostingsScanned),
             exact_distance_calls: d.get(Counter::NnExactDistCalls),
         };
+        self.cand_gen = CandGenMetrics {
+            generated: d.get(Counter::CandidatesGenerated),
+            pruned_by_length: d.get(Counter::PrunedByLength),
+            pruned_by_count: d.get(Counter::PrunedByCount),
+            postings_skipped: d.get(Counter::PostingsSkipped),
+            stop_grams_dropped: d.get(Counter::StopGramsDropped),
+            truncated: d.get(Counter::CandidatesTruncated),
+        };
         self.phase2 = Phase2Metrics {
             unnested_rows: d.get(Counter::Phase2UnnestedRows),
             cs_pairs: d.get(Counter::Phase2CsPairs),
@@ -364,6 +412,14 @@ impl RunMetrics {
                 .u64("candidates_generated", self.nnindex.candidates_generated)
                 .u64("postings_scanned", self.nnindex.postings_scanned)
                 .u64("exact_distance_calls", self.nnindex.exact_distance_calls);
+        });
+        w.object("cand_gen", |o| {
+            o.u64("generated", self.cand_gen.generated)
+                .u64("pruned_by_length", self.cand_gen.pruned_by_length)
+                .u64("pruned_by_count", self.cand_gen.pruned_by_count)
+                .u64("postings_skipped", self.cand_gen.postings_skipped)
+                .u64("stop_grams_dropped", self.cand_gen.stop_grams_dropped)
+                .u64("truncated", self.cand_gen.truncated);
         });
         w.object("storage", |o| {
             o.u64("hits", self.storage.hits)
@@ -444,9 +500,16 @@ mod tests {
         m.phase1.index_probes = 42;
         m.storage.hit_ratio = 0.75;
         let json = m.to_json();
-        for section in
-            ["textdist", "edit_kernel", "nnindex", "storage", "phase1", "phase2", "timings_ns"]
-        {
+        for section in [
+            "textdist",
+            "edit_kernel",
+            "nnindex",
+            "cand_gen",
+            "storage",
+            "phase1",
+            "phase2",
+            "timings_ns",
+        ] {
             assert!(json.contains(&format!("\"{section}\"")), "missing {section}: {json}");
         }
         assert!(json.contains("\"index_probes\": 42"));
@@ -464,6 +527,12 @@ mod tests {
         incr(Counter::EdKernelWord, 9);
         incr(Counter::EdKernelBounded, 4);
         incr(Counter::EdKernelEarlyExit, 2);
+        incr(Counter::CandidatesGenerated, 13);
+        incr(Counter::PrunedByLength, 6);
+        incr(Counter::PrunedByCount, 3);
+        incr(Counter::PostingsSkipped, 21);
+        incr(Counter::StopGramsDropped, 2);
+        incr(Counter::CandidatesTruncated, 8);
         let delta = snapshot().delta(&before);
         let mut m = RunMetrics::default();
         m.apply_counter_delta(&delta);
@@ -474,6 +543,17 @@ mod tests {
         assert_eq!(m.edit_kernel.blocked, 0);
         assert_eq!(m.edit_kernel.bounded, 4);
         assert_eq!(m.edit_kernel.early_exit, 2);
+        assert_eq!(
+            m.cand_gen,
+            CandGenMetrics {
+                generated: 13,
+                pruned_by_length: 6,
+                pruned_by_count: 3,
+                postings_skipped: 21,
+                stop_grams_dropped: 2,
+                truncated: 8,
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Filtered candidate generation: CSR postings arena, q-gram length/count
+//! pruning, and top-candidate selection.
+//!
+//! The candidate-generation indexes share three building blocks:
+//!
+//! * [`CsrPostings`] — an in-memory CSR (compressed sparse row) mirror of
+//!   the page-backed postings: one flat `Vec<u32>` of record ids plus an
+//!   offsets array, one slice per term, postings sorted by id. Lookups
+//!   walk contiguous memory instead of fetching buffer-pool chunks.
+//! * [`CandFilter`] — the verification-time pruning filters. For
+//!   distances that admit them
+//!   ([`Distance::admits_qgram_filter`](fuzzydedup_textdist::Distance::admits_qgram_filter)),
+//!   a normalized cutoff `t < 1` over records with char counts
+//!   `(cq, cc)` implies `lev <= K = floor(t * max(cq, cc))`, which bounds
+//!   both the length gap (`|cq - cc| <= lev`) and, since one edit destroys
+//!   at most `q` padded q-grams, the q-gram multiset overlap
+//!   (`overlap >= max(gq, gc) - K*q`, see
+//!   [`QgramProfile::required_overlap`](fuzzydedup_textdist::QgramProfile::required_overlap)).
+//!   Candidates violating either bound are pruned *before* the exact
+//!   distance call. Where no sound bound exists the filters are no-ops.
+//! * [`select_top_candidates`] — selection of the `limit` highest-weight
+//!   candidates via `select_nth_unstable_by` (average `O(n)`) instead of a
+//!   full sort of every scored candidate.
+
+use std::cmp::Ordering;
+
+use fuzzydedup_metrics::{incr, Counter};
+
+/// Per-record statistics consumed by the pruning filters: the char count
+/// of the normalized record string and its total padded q-gram mass
+/// (`chars + q - 1`, or `0` for an empty record).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecordMeta {
+    /// Char count of the normalized record string.
+    pub chars: u32,
+    /// Total padded q-gram occurrences of the record string.
+    pub grams: u32,
+}
+
+/// In-memory CSR postings arena; see module docs. Built once at index
+/// construction by appending each term's posting list in term-id order.
+#[derive(Debug, Clone, Default)]
+pub struct CsrPostings {
+    /// `offsets[t]..offsets[t + 1]` bounds term `t`'s slice of `ids`.
+    offsets: Vec<usize>,
+    /// Flat posting ids, ascending within each term's slice.
+    ids: Vec<u32>,
+}
+
+impl CsrPostings {
+    /// An empty arena, primed with the leading offset.
+    pub fn new() -> Self {
+        Self { offsets: vec![0], ids: Vec::new() }
+    }
+
+    /// Append the next term's posting list (ids ascending). Terms must be
+    /// pushed in term-id order.
+    pub fn push_list(&mut self, postings: &[u32]) {
+        debug_assert!(postings.windows(2).all(|w| w[0] < w[1]), "postings sorted by id");
+        self.ids.extend_from_slice(postings);
+        self.offsets.push(self.ids.len());
+    }
+
+    /// The posting list of a term, sorted ascending by record id.
+    #[inline]
+    pub fn postings(&self, term: u32) -> &[u32] {
+        let t = term as usize;
+        &self.ids[self.offsets[t]..self.offsets[t + 1]]
+    }
+
+    /// Number of terms in the arena.
+    pub fn num_terms(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total posting entries across all terms.
+    pub fn num_postings(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// Verification-time pruning filter; see module docs. Constructed per
+/// query by the index (only when its distance admits the q-gram bounds)
+/// and applied by `verify_candidates_bounded` with the *same* running
+/// cutoff it passes to `distance_bounded` — so a pruned candidate is one
+/// the bounded distance call would provably have rejected, and the
+/// surviving set is identical to the unfiltered one.
+pub(crate) struct CandFilter<'a> {
+    /// q-gram length the index was built with.
+    pub q: u32,
+    /// Query-record statistics.
+    pub query: RecordMeta,
+    /// Per-record statistics, indexed by record id.
+    pub meta: &'a [RecordMeta],
+    /// Query-side shared gram mass per candidate, parallel to the
+    /// candidate list (an over-estimate of the true multiset overlap over
+    /// the merged terms). `None` disables the count filter (length-only).
+    pub overlaps: Option<&'a [u32]>,
+    /// Query gram mass *not* merged (stop grams dropped during candidate
+    /// generation): a candidate may share up to this much overlap beyond
+    /// its recorded proxy, so it is credited before comparing to the
+    /// required bound.
+    pub slack: u32,
+}
+
+impl CandFilter<'_> {
+    /// Whether the candidate at position `i` of the list (record id
+    /// `cand`) is provably outside the normalized cutoff. Increments the
+    /// pruning counters on the first bound that fires.
+    pub fn prunes(&self, i: usize, cand: u32, cutoff: f64) -> bool {
+        // A cutoff >= 1 admits any pair (lev <= max_chars always holds);
+        // this branch also rejects the infinite cutoff of the first
+        // verification attempts and NaN.
+        if cutoff.is_nan() || cutoff >= 1.0 {
+            return false;
+        }
+        let cm = self.meta[cand as usize];
+        let max_chars = f64::from(self.query.chars.max(cm.chars));
+        // d = lev / max_chars <= cutoff  ⇔  lev <= floor(cutoff * max_chars).
+        let k = (cutoff * max_chars).floor() as i64;
+        let gap = i64::from(self.query.chars) - i64::from(cm.chars);
+        if gap.abs() > k {
+            incr(Counter::PrunedByLength, 1);
+            return true;
+        }
+        if let Some(overlaps) = self.overlaps {
+            let required = i64::from(self.query.grams.max(cm.grams)) - k * i64::from(self.q);
+            let available = i64::from(overlaps[i]) + i64::from(self.slack);
+            if available < required {
+                incr(Counter::PrunedByCount, 1);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Candidate ordering for verification: highest shared IDF weight first,
+/// ties by ascending id (the historical full-sort order, so truncation
+/// keeps the same set).
+#[inline]
+fn cand_cmp(a: &(u32, f64, u32), b: &(u32, f64, u32)) -> Ordering {
+    b.1.total_cmp(&a.1).then(a.0.cmp(&b.0))
+}
+
+/// Reduce scored candidates `(id, weight, overlap)` to the `limit` best
+/// (all of them for `limit == 0`), returned as parallel `(ids, overlaps)`
+/// lists in weight-descending order. Uses `select_nth_unstable_by` to
+/// avoid sorting the dropped tail; counts the dropped candidates in
+/// [`Counter::CandidatesTruncated`].
+pub(crate) fn select_top_candidates(
+    mut scored: Vec<(u32, f64, u32)>,
+    limit: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    if limit > 0 && scored.len() > limit {
+        incr(Counter::CandidatesTruncated, (scored.len() - limit) as u64);
+        scored.select_nth_unstable_by(limit - 1, cand_cmp);
+        scored.truncate(limit);
+    }
+    scored.sort_unstable_by(cand_cmp);
+    (scored.iter().map(|s| s.0).collect(), scored.iter().map(|s| s.2).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_round_trips_lists() {
+        let mut csr = CsrPostings::new();
+        csr.push_list(&[1, 4, 9]);
+        csr.push_list(&[]);
+        csr.push_list(&[2]);
+        assert_eq!(csr.num_terms(), 3);
+        assert_eq!(csr.num_postings(), 4);
+        assert_eq!(csr.postings(0), &[1, 4, 9]);
+        assert_eq!(csr.postings(1), &[] as &[u32]);
+        assert_eq!(csr.postings(2), &[2]);
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn selection_matches_full_sort() {
+        // select_nth + truncate + sort must keep exactly the prefix a
+        // full sort would have kept, including weight ties broken by id.
+        let mut rng = 42u64;
+        for n in [0usize, 1, 5, 64, 257] {
+            for limit in [0usize, 1, 3, 64, 300] {
+                let scored: Vec<(u32, f64, u32)> = (0..n)
+                    .map(|i| {
+                        let w = (splitmix(&mut rng) % 7) as f64 / 3.0;
+                        (i as u32, w, (i % 5) as u32)
+                    })
+                    .collect();
+                let mut reference = scored.clone();
+                reference.sort_by(cand_cmp);
+                if limit > 0 {
+                    reference.truncate(limit);
+                }
+                let (ids, overlaps) = select_top_candidates(scored, limit);
+                assert_eq!(ids, reference.iter().map(|s| s.0).collect::<Vec<_>>());
+                assert_eq!(overlaps, reference.iter().map(|s| s.2).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn filter_is_noop_at_or_above_unit_cutoff() {
+        let meta = [RecordMeta { chars: 3, grams: 5 }, RecordMeta { chars: 100, grams: 102 }];
+        let overlaps = [0u32, 0];
+        let filter =
+            CandFilter { q: 3, query: meta[0], meta: &meta, overlaps: Some(&overlaps), slack: 0 };
+        for cutoff in [1.0, 2.0, f64::INFINITY, f64::NAN] {
+            assert!(!filter.prunes(1, 1, cutoff));
+        }
+        // Below 1.0 the mismatched pair is prunable by length alone.
+        assert!(filter.prunes(1, 1, 0.5));
+    }
+
+    #[test]
+    fn filter_keeps_identical_records() {
+        let meta = [RecordMeta { chars: 10, grams: 12 }, RecordMeta { chars: 10, grams: 12 }];
+        let overlaps = [12u32, 12];
+        let filter =
+            CandFilter { q: 3, query: meta[0], meta: &meta, overlaps: Some(&overlaps), slack: 0 };
+        // Full overlap, equal lengths: never pruned, at any cutoff >= 0.
+        for cutoff in [0.0, 0.1, 0.5, 0.99] {
+            assert!(!filter.prunes(1, 1, cutoff));
+        }
+    }
+
+    #[test]
+    fn count_filter_uses_slack_credit() {
+        // Same lengths, zero recorded overlap: prunable at a tight cutoff
+        // unless the unmerged slack could account for the required mass.
+        let meta = [RecordMeta { chars: 20, grams: 22 }, RecordMeta { chars: 20, grams: 22 }];
+        let overlaps = [0u32];
+        let tight =
+            CandFilter { q: 3, query: meta[0], meta: &meta, overlaps: Some(&overlaps), slack: 0 };
+        assert!(tight.prunes(0, 1, 0.1));
+        let slackful = CandFilter { slack: 22, ..tight };
+        assert!(!slackful.prunes(0, 1, 0.1));
+        // Length-only mode (no overlap data) cannot use the count bound.
+        let length_only = CandFilter { overlaps: None, ..tight };
+        assert!(!length_only.prunes(0, 1, 0.1));
+    }
+}

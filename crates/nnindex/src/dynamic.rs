@@ -13,10 +13,11 @@
 
 use std::collections::HashMap;
 
+use fuzzydedup_metrics::{incr, Counter};
 use fuzzydedup_relation::Neighbor;
-use fuzzydedup_textdist::tokenize::{record_string, tokenize_record};
-use fuzzydedup_textdist::{qgrams, Distance};
+use fuzzydedup_textdist::{record_term_set, Distance};
 
+use crate::candgen::{select_top_candidates, CandFilter, RecordMeta};
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
     NnIndex,
@@ -57,33 +58,35 @@ pub struct DynamicInvertedIndex<D> {
     distance: D,
     config: DynamicIndexConfig,
     postings: HashMap<String, Vec<u32>>,
+    /// Per-record length/gram statistics for the pruning filters.
+    meta: Vec<RecordMeta>,
+    /// Whether the distance admits the q-gram pruning filters.
+    filter_ok: bool,
 }
 
 impl<D: Distance> DynamicInvertedIndex<D> {
     /// Create an empty index.
     pub fn new(distance: D, config: DynamicIndexConfig) -> Self {
-        Self { records: Vec::new(), distance, config, postings: HashMap::new() }
-    }
-
-    /// Terms of a record under this config (deduplicated).
-    fn terms_of(&self, record: &[String]) -> Vec<String> {
-        let fields: Vec<&str> = record.iter().map(String::as_str).collect();
-        let joined = record_string(&fields);
-        let mut terms = qgrams(&joined, self.config.q);
-        if self.config.index_tokens {
-            terms.extend(tokenize_record(&fields).into_iter().map(|t| t.text));
+        let filter_ok = distance.admits_qgram_filter();
+        Self {
+            records: Vec::new(),
+            distance,
+            config,
+            postings: HashMap::new(),
+            meta: Vec::new(),
+            filter_ok,
         }
-        terms.sort();
-        terms.dedup();
-        terms
     }
 
     /// Append a record, returning its id.
     pub fn push(&mut self, record: Vec<String>) -> u32 {
         let id = self.records.len() as u32;
-        for term in self.terms_of(&record) {
+        let fields: Vec<&str> = record.iter().map(String::as_str).collect();
+        let ts = record_term_set(&fields, self.config.q, self.config.index_tokens);
+        for (term, _) in ts.terms {
             self.postings.entry(term).or_default().push(id);
         }
+        self.meta.push(RecordMeta { chars: ts.chars, grams: ts.gram_total });
         self.records.push(record);
         id
     }
@@ -112,41 +115,90 @@ impl<D: Distance> DynamicInvertedIndex<D> {
     /// cap is not — an existing record can rank a new record inside its own
     /// top-k while falling outside the new record's.
     pub fn candidates_with_limit(&self, id: u32, limit: usize) -> Vec<u32> {
+        self.gather(id, limit).ids
+    }
+
+    /// Generate, score, truncate; mirrors the static index's gather,
+    /// including the stop-gram fallback for fully-stopped queries.
+    fn gather(&self, id: u32, limit: usize) -> Gathered {
+        let (mut scored, mut slack, dropped) = self.generate(id, false);
+        incr(Counter::StopGramsDropped, dropped);
+        if scored.is_empty() && dropped > 0 {
+            let (rescored, reslack, _) = self.generate(id, true);
+            scored = rescored;
+            slack = reslack;
+        }
+        let generated = scored.len() as u64;
+        incr(Counter::CandidatesGenerated, generated);
+        let (ids, overlaps) = select_top_candidates(scored, limit);
+        Gathered { ids, overlaps, slack, generated }
+    }
+
+    /// One merge pass: scored candidates `(id, weight, shared gram mass)`,
+    /// plus the stop-gram slack and the number of dropped stop terms.
+    fn generate(&self, id: u32, include_stops: bool) -> (Vec<(u32, f64, u32)>, u32, u64) {
         let n = self.records.len().max(1) as f64;
         let max_df = (self.config.max_df_fraction * n).max(f64::from(self.config.stop_df_floor));
-        let mut scores: HashMap<u32, f64> = HashMap::new();
-        for term in self.terms_of(&self.records[id as usize]) {
-            let Some(ids) = self.postings.get(&term) else { continue };
+        let fields: Vec<&str> = self.records[id as usize].iter().map(String::as_str).collect();
+        let ts = record_term_set(&fields, self.config.q, self.config.index_tokens);
+        let mut scores: HashMap<u32, (f64, u32)> = HashMap::new();
+        let mut slack = 0u32;
+        let mut dropped = 0u64;
+        for (term, gram_count) in &ts.terms {
+            let Some(ids) = self.postings.get(term) else { continue };
             let df = ids.len() as f64;
-            if df > max_df {
+            if !include_stops && df > max_df {
+                slack += gram_count;
+                dropped += 1;
                 continue;
             }
             let weight = (1.0 + n / df).ln();
             for &other in ids {
                 if other != id {
-                    *scores.entry(other).or_insert(0.0) += weight;
+                    let slot = scores.entry(other).or_insert((0.0, 0));
+                    slot.0 += weight;
+                    slot.1 += gram_count;
                 }
             }
         }
-        let mut scored: Vec<(u32, f64)> = scores.into_iter().collect();
-        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        if limit > 0 {
-            scored.truncate(limit);
-        }
-        scored.into_iter().map(|(id, _)| id).collect()
+        let scored = scores.into_iter().map(|(c, (w, o))| (c, w, o)).collect();
+        (scored, slack, dropped)
     }
 
-    fn verified(&self, id: u32, candidates: &[u32]) -> Vec<Neighbor> {
-        let query: Vec<&str> = self.records[id as usize].iter().map(String::as_str).collect();
-        candidates
-            .iter()
-            .map(|&c| {
-                let fields: Vec<&str> =
-                    self.records[c as usize].iter().map(String::as_str).collect();
-                Neighbor::new(c, self.distance.distance(&query, &fields))
-            })
-            .collect()
+    /// The pruning filter for a gathered candidate list, or `None` when
+    /// the distance admits no sound q-gram bound.
+    fn make_filter<'a>(&'a self, id: u32, gathered: &'a Gathered) -> Option<CandFilter<'a>> {
+        self.filter_ok.then(|| CandFilter {
+            q: self.config.q as u32,
+            query: self.meta[id as usize],
+            meta: &self.meta,
+            overlaps: Some(&gathered.overlaps),
+            slack: gathered.slack,
+        })
     }
+
+    fn answer(&self, id: u32, spec: LookupSpec) -> Vec<Neighbor> {
+        let gathered = self.gather(id, self.config.candidate_limit);
+        let filter = self.make_filter(id, &gathered);
+        let (verified, _) = verify_candidates_bounded(
+            &self.distance,
+            &self.records,
+            id,
+            &gathered.ids,
+            spec,
+            1.0,
+            filter.as_ref(),
+        );
+        verified
+    }
+}
+
+/// Result of one candidate gather, ready for verification.
+struct Gathered {
+    ids: Vec<u32>,
+    overlaps: Vec<u32>,
+    slack: u32,
+    generated: u64,
 }
 
 impl<D: Distance> NnIndex for DynamicInvertedIndex<D> {
@@ -155,26 +207,35 @@ impl<D: Distance> NnIndex for DynamicInvertedIndex<D> {
     }
 
     fn top_k(&self, id: u32, k: usize) -> Vec<Neighbor> {
-        let mut verified = self.verified(id, &self.candidates(id));
+        let mut verified = self.answer(id, LookupSpec::TopK(k));
         sort_neighbors(&mut verified);
         verified.truncate(k);
         verified
     }
 
     fn within(&self, id: u32, radius: f64) -> Vec<Neighbor> {
-        let mut verified = self.verified(id, &self.candidates(id));
+        let mut verified = self.answer(id, LookupSpec::Radius(radius));
         verified.retain(|n| n.dist < radius);
         sort_neighbors(&mut verified);
         verified
     }
 
-    /// Combined lookup with *bounded* verification: each candidate is
+    /// Combined lookup with *bounded, filtered* verification: each
+    /// candidate is tested against the q-gram pruning bounds and then
     /// scored against the current best-so-far cutoff.
     fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
-        let candidates = self.candidates(id);
-        let (verified, attempted) =
-            verify_candidates_bounded(&self.distance, &self.records, id, &candidates, spec, p);
-        lookup_from_verified(verified, attempted, spec, p)
+        let gathered = self.gather(id, self.config.candidate_limit);
+        let filter = self.make_filter(id, &gathered);
+        let (verified, attempted) = verify_candidates_bounded(
+            &self.distance,
+            &self.records,
+            id,
+            &gathered.ids,
+            spec,
+            p,
+            filter.as_ref(),
+        );
+        lookup_from_verified(verified, gathered.generated, attempted, spec, p)
     }
 }
 
@@ -269,6 +330,27 @@ mod tests {
         assert_eq!(neighbors, idx.top_k(0, 2));
         assert!(ng >= 2.0);
         assert_eq!(cost.probes, 1);
-        assert_eq!(cost.candidates, cost.distance_calls);
+        assert!(cost.distance_calls <= cost.candidates);
+    }
+
+    #[test]
+    fn filters_do_not_change_results() {
+        use fuzzydedup_textdist::UnfilteredDistance;
+        let records =
+            ["the doors", "doors", "shania twain", "twian shania", "a very long unrelated record"];
+        let config = DynamicIndexConfig { candidate_limit: 0, ..Default::default() };
+        let mut filtered = DynamicInvertedIndex::new(EditDistance, config.clone());
+        let mut control = DynamicInvertedIndex::new(UnfilteredDistance(EditDistance), config);
+        for r in records {
+            filtered.push(vec![r.to_string()]);
+            control.push(vec![r.to_string()]);
+        }
+        for id in 0..filtered.len() as u32 {
+            assert_eq!(filtered.top_k(id, 3), control.top_k(id, 3), "id {id}");
+            assert_eq!(filtered.within(id, 0.35), control.within(id, 0.35), "id {id}");
+            let (n_f, ng_f, _) = filtered.lookup(id, LookupSpec::TopK(2), 2.0);
+            let (n_u, ng_u, _) = control.lookup(id, LookupSpec::TopK(2), 2.0);
+            assert_eq!((n_f, ng_f), (n_u, ng_u), "id {id}");
+        }
     }
 }

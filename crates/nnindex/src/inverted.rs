@@ -1,22 +1,37 @@
-//! IDF-weighted inverted index over q-grams and tokens, with postings on
-//! buffer-pool pages.
+//! IDF-weighted inverted index over q-grams and tokens, with filtered
+//! candidate generation.
 //!
 //! This is our stand-in for the probabilistic nearest-neighbor indexes the
 //! paper cites for edit distance and fuzzy match similarity ([24, 23, 9]):
 //! an inverted index in the IR style, queried in two steps —
 //!
-//! 1. **candidate generation**: fetch the postings of the query record's
+//! 1. **candidate generation**: merge the postings of the query record's
 //!    terms (padded q-grams of the normalized record string, plus whole
-//!    tokens) and accumulate per-candidate shared IDF weight;
+//!    tokens) and accumulate per-candidate shared IDF weight and q-gram
+//!    overlap mass;
 //! 2. **verification**: compute the exact distance to the
 //!    highest-weight candidates and keep the qualifying ones.
 //!
-//! Postings are chunked into records of a [`HeapFile`], so every term fetch
-//! is a buffer-pool access: querying similar records touches the same
-//! postings chunks, hence the same pages — the locality the breadth-first
-//! lookup order of §4.1.1 exploits. Terms are written in sorted order at
-//! build time, clustering lexicographically-similar grams on the same
-//! pages.
+//! Postings are written to chunked records of a [`HeapFile`] at build time
+//! in sorted term order (the paper's picture: "nearest neighbor indexes
+//! ... have a structure similar to inverted indexes in IR, and are usually
+//! large", so lookups hit the database buffer — the locality the
+//! breadth-first lookup order of §4.1.1 exploits). The page copy remains
+//! the durable source of truth; by default candidate generation reads an
+//! in-memory **CSR mirror** of the same postings ([`CsrPostings`]) with
+//! per-record term ids cached at build, so lookups never re-tokenize and
+//! never fetch pages. [`PostingsSource::Pages`] keeps the historical
+//! page-backed path selectable (and its buffer-locality experiments
+//! meaningful).
+//!
+//! On top of the merge sits the **candidate ladder** (DESIGN.md §7.3):
+//! q-gram length/count pruning during verification, and a MergeSkip-style
+//! rare-terms-first merge for radius queries that stops admitting new
+//! candidates once the remaining gram mass cannot reach the radius's
+//! overlap bound. All pruning reuses the exact running cutoff of bounded
+//! verification, so results are identical to the unfiltered path; where no
+//! sound bound exists (distances without
+//! [`Distance::admits_qgram_filter`]) the filters degrade to no-ops.
 //!
 //! Like the paper, we *treat this index as exact* (§4: "For the purpose of
 //! this paper, we treat these probabilistic indexes as exact nearest
@@ -28,14 +43,40 @@ use std::sync::Arc;
 
 use fuzzydedup_relation::Neighbor;
 use fuzzydedup_storage::{BufferPool, HeapFile, RecordId};
-use fuzzydedup_textdist::tokenize::{record_string, tokenize_record};
-use fuzzydedup_textdist::{qgrams, Distance};
+use fuzzydedup_textdist::{record_term_set, Distance};
 
+use crate::candgen::{select_top_candidates, CandFilter, CsrPostings, RecordMeta};
+use crate::scratch::with_scoreboard;
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
     NnIndex,
 };
 use fuzzydedup_metrics::{incr, Counter};
+
+/// Where candidate generation reads postings from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PostingsSource {
+    /// The in-memory CSR mirror (default): contiguous posting slices,
+    /// build-time term ids per record, no page fetches or re-tokenization
+    /// on the lookup path.
+    #[default]
+    Csr,
+    /// The page-backed postings through the buffer pool: the historical
+    /// path, kept selectable for the buffer-locality experiments and as
+    /// the behavioral reference for the CSR mirror.
+    Pages,
+}
+
+impl PostingsSource {
+    /// Parse from driver flags ("csr" | "pages").
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "csr" => Some(Self::Csr),
+            "pages" => Some(Self::Pages),
+            _ => None,
+        }
+    }
+}
 
 /// Configuration of the inverted index.
 #[derive(Debug, Clone)]
@@ -58,6 +99,9 @@ pub struct InvertedIndexConfig {
     /// Posting ids per storage chunk. Smaller chunks pack more distinct
     /// terms per page, increasing cross-term locality.
     pub chunk_size: usize,
+    /// Which postings representation lookups read (the heap-file copy is
+    /// always written).
+    pub postings_source: PostingsSource,
 }
 
 impl Default for InvertedIndexConfig {
@@ -69,26 +113,60 @@ impl Default for InvertedIndexConfig {
             max_df_fraction: 0.2,
             stop_df_floor: 100,
             chunk_size: 256,
+            postings_source: PostingsSource::Csr,
         }
     }
 }
 
-struct TermInfo {
+/// Build-time per-term state, indexed by term id (term ids follow sorted
+/// term order, so neighboring ids are lexicographically-similar grams).
+struct TermEntry {
     /// IDF weight `ln(1 + N/df)`.
     weight: f64,
     /// Document frequency.
     df: u32,
+    /// Stop gram: df exceeded the configured cutoff at build time.
+    stop: bool,
     /// Postings chunks in the heap file, in id order.
     chunks: Vec<RecordId>,
 }
+
+/// One term of a record's cached query: term id plus the record-side
+/// q-gram multiset count (`0` for a token-only term, which carries IDF
+/// weight but no overlap mass).
+type QueryTerm = (u32, u32);
 
 /// Inverted-index nearest-neighbor search; see module docs.
 pub struct InvertedIndex<D> {
     records: Vec<Vec<String>>,
     distance: D,
     config: InvertedIndexConfig,
-    dictionary: HashMap<String, TermInfo>,
+    /// Term string → term id; only the page-backed path resolves strings
+    /// at query time.
+    term_ids: HashMap<String, u32>,
+    terms: Vec<TermEntry>,
+    /// CSR mirror of the postings, one slice per term id.
+    csr: CsrPostings,
+    /// Per-record query terms cached at build, document-frequency
+    /// ascending (rarest first, the MergeSkip merge order).
+    queries: Vec<Vec<QueryTerm>>,
+    /// Per-record length/gram statistics for the pruning filters.
+    meta: Vec<RecordMeta>,
     postings: HeapFile,
+    /// Whether the distance admits the q-gram pruning filters.
+    filter_ok: bool,
+}
+
+/// Result of one candidate gather, ready for verification.
+struct Gathered {
+    /// Candidate ids, highest shared weight first.
+    ids: Vec<u32>,
+    /// Query-side shared gram mass per candidate, parallel to `ids`.
+    overlaps: Vec<u32>,
+    /// Query gram mass dropped from the merge (stop grams).
+    slack: u32,
+    /// Candidates generated before truncation.
+    generated: u64,
 }
 
 impl<D: Distance> InvertedIndex<D> {
@@ -100,23 +178,34 @@ impl<D: Distance> InvertedIndex<D> {
         config: InvertedIndexConfig,
     ) -> Self {
         let postings = HeapFile::create(pool);
-        let mut term_postings: HashMap<String, Vec<u32>> = HashMap::new();
-        for (id, record) in records.iter().enumerate() {
-            for term in Self::terms_of(record, &config) {
-                let list = term_postings.entry(term).or_default();
+        // Extract every record's term set once; it feeds the postings,
+        // the cached queries, and the filter statistics.
+        let term_sets: Vec<_> = records
+            .iter()
+            .map(|record| {
+                let fields: Vec<&str> = record.iter().map(String::as_str).collect();
+                record_term_set(&fields, config.q, config.index_tokens)
+            })
+            .collect();
+        let mut term_postings: HashMap<&str, Vec<u32>> = HashMap::new();
+        for (id, ts) in term_sets.iter().enumerate() {
+            for (term, _) in &ts.terms {
                 // Term sets are deduplicated per record, so ids arrive in
                 // strictly increasing order.
-                if list.last() != Some(&(id as u32)) {
-                    list.push(id as u32);
-                }
+                term_postings.entry(term.as_str()).or_default().push(id as u32);
             }
         }
-        // Write postings in sorted term order for page locality.
-        let mut terms: Vec<(String, Vec<u32>)> = term_postings.into_iter().collect();
-        terms.sort_by(|a, b| a.0.cmp(&b.0));
+        // Assign term ids and write postings in sorted term order, for
+        // page locality and lexicographic adjacency of similar grams.
+        let mut sorted: Vec<(&str, Vec<u32>)> = term_postings.into_iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(b.0));
         let n = records.len().max(1) as f64;
-        let mut dictionary = HashMap::with_capacity(terms.len());
-        for (term, ids) in terms {
+        let max_df =
+            (config.max_df_fraction * records.len() as f64).max(f64::from(config.stop_df_floor));
+        let mut term_ids = HashMap::with_capacity(sorted.len());
+        let mut terms = Vec::with_capacity(sorted.len());
+        let mut csr = CsrPostings::new();
+        for (term, ids) in sorted {
             let df = ids.len() as u32;
             let mut chunks = Vec::with_capacity(ids.len() / config.chunk_size + 1);
             for chunk in ids.chunks(config.chunk_size.max(1)) {
@@ -126,23 +215,24 @@ impl<D: Distance> InvertedIndex<D> {
                 }
                 chunks.push(postings.insert(&bytes).expect("postings chunk fits a page"));
             }
-            let weight = (1.0 + n / df as f64).ln();
-            dictionary.insert(term, TermInfo { weight, df, chunks });
+            term_ids.insert(term.to_string(), terms.len() as u32);
+            csr.push_list(&ids);
+            let weight = (1.0 + n / f64::from(df)).ln();
+            terms.push(TermEntry { weight, df, stop: f64::from(df) > max_df, chunks });
         }
-        Self { records, distance, config, dictionary, postings }
-    }
-
-    /// Terms (deduplicated, sorted) of a record under a config.
-    fn terms_of(record: &[String], config: &InvertedIndexConfig) -> Vec<String> {
-        let fields: Vec<&str> = record.iter().map(String::as_str).collect();
-        let joined = record_string(&fields);
-        let mut terms = qgrams(&joined, config.q);
-        if config.index_tokens {
-            terms.extend(tokenize_record(&fields).into_iter().map(|t| t.text));
+        // Cache each record's query: term ids + gram counts, rarest term
+        // first (ties by id for determinism).
+        let mut queries = Vec::with_capacity(records.len());
+        let mut meta = Vec::with_capacity(records.len());
+        for ts in &term_sets {
+            let mut query: Vec<QueryTerm> =
+                ts.terms.iter().map(|(term, count)| (term_ids[term.as_str()], *count)).collect();
+            query.sort_by_key(|&(tid, _)| (terms[tid as usize].df, tid));
+            queries.push(query);
+            meta.push(RecordMeta { chars: ts.chars, grams: ts.gram_total });
         }
-        terms.sort();
-        terms.dedup();
-        terms
+        let filter_ok = distance.admits_qgram_filter();
+        Self { records, distance, config, term_ids, terms, csr, queries, meta, postings, filter_ok }
     }
 
     /// The indexed records.
@@ -152,7 +242,7 @@ impl<D: Distance> InvertedIndex<D> {
 
     /// Number of distinct terms in the dictionary.
     pub fn dictionary_size(&self) -> usize {
-        self.dictionary.len()
+        self.terms.len()
     }
 
     /// Number of heap pages occupied by postings.
@@ -167,49 +257,182 @@ impl<D: Distance> InvertedIndex<D> {
         self.distance.distance(&ra, &rb)
     }
 
-    /// Candidate ids for a query record, sorted descending by shared IDF
-    /// weight. Every postings fetch goes through the buffer pool.
-    fn candidates(&self, id: u32) -> Vec<u32> {
-        let record = &self.records[id as usize];
-        let max_df = (self.config.max_df_fraction * self.records.len() as f64)
-            .max(f64::from(self.config.stop_df_floor));
-        let mut scores: HashMap<u32, f64> = HashMap::new();
-        let mut scanned: u64 = 0;
-        for term in Self::terms_of(record, &self.config) {
-            let Some(info) = self.dictionary.get(&term) else { continue };
-            if f64::from(info.df) > max_df {
-                continue; // stop gram
+    /// Candidate ids for a query record in verification order (highest
+    /// shared IDF weight first). Public for benchmarks and experiments.
+    pub fn generate_candidates(&self, id: u32) -> Vec<u32> {
+        self.gather(id, None).ids
+    }
+
+    /// Generate, score, truncate. `radius_bound` (set only by [`Self::within`])
+    /// enables the MergeSkip bound for that radius; the combined lookup
+    /// must not pass it, because its growth estimate needs neighbors out
+    /// to `p · nn(v)`, which the radius does not bound.
+    fn gather(&self, id: u32, radius_bound: Option<f64>) -> Gathered {
+        let (mut scored, mut slack, dropped) = match self.config.postings_source {
+            PostingsSource::Csr => self.generate_csr(id, false, radius_bound),
+            PostingsSource::Pages => self.generate_pages(id, false),
+        };
+        incr(Counter::StopGramsDropped, dropped);
+        if scored.is_empty() && dropped > 0 {
+            // Every candidate-bearing term was a stop gram (common for
+            // short records in skewed corpora). Dropping the query on the
+            // floor would silently cost recall — and the SN criterion its
+            // growth estimate — so retry with stop grams included.
+            let (rescored, reslack, _) = match self.config.postings_source {
+                PostingsSource::Csr => self.generate_csr(id, true, None),
+                PostingsSource::Pages => self.generate_pages(id, true),
+            };
+            scored = rescored;
+            slack = reslack;
+        }
+        let generated = scored.len() as u64;
+        incr(Counter::CandidatesGenerated, generated);
+        let (ids, overlaps) = select_top_candidates(scored, self.config.candidate_limit);
+        Gathered { ids, overlaps, slack, generated }
+    }
+
+    /// CSR merge: walk the cached query terms rarest-first over contiguous
+    /// posting slices, accumulating on the thread-local scoreboard.
+    ///
+    /// For radius queries the rare-first order buys the MergeSkip bound:
+    /// a candidate within normalized radius θ of the query (char count
+    /// `cq`, q-gram mass `cq + q - 1`) must share at least
+    /// `B_min = cq·(1 - θ·q) + (q - 1)` gram mass with it (see DESIGN.md
+    /// §7.3; requires `θ·q < 1`). Once the gram mass remaining in the
+    /// unmerged (most frequent, longest) lists plus the stop-gram slack
+    /// drops below `B_min`, a candidate not yet on the scoreboard can
+    /// never qualify — so the merge stops admitting new candidates and
+    /// only tops up the ones already seen, by binary search when that is
+    /// cheaper than scanning.
+    fn generate_csr(
+        &self,
+        id: u32,
+        include_stops: bool,
+        radius_bound: Option<f64>,
+    ) -> (Vec<(u32, f64, u32)>, u32, u64) {
+        let query = &self.queries[id as usize];
+        let q = self.config.q;
+        let mut slack = 0u32;
+        let mut dropped = 0u64;
+        let mut remaining = 0u32; // mergeable gram mass not yet consumed
+        for &(tid, gram_count) in query {
+            if !include_stops && self.terms[tid as usize].stop {
+                slack += gram_count;
+                dropped += 1;
+            } else {
+                remaining += gram_count;
             }
-            for &chunk in &info.chunks {
+        }
+        let b_min = radius_bound.and_then(|theta| {
+            let qf = q as f64;
+            if !self.filter_ok || theta * qf >= 1.0 {
+                return None;
+            }
+            Some(f64::from(self.meta[id as usize].chars) * (1.0 - theta * qf) + (qf - 1.0))
+        });
+        let mut scanned = 0u64;
+        let mut skipping = false;
+        let mut frozen: Vec<u32> = Vec::new();
+        let scored = with_scoreboard(|board| {
+            board.begin(self.records.len());
+            for &(tid, gram_count) in query {
+                let entry = &self.terms[tid as usize];
+                if !include_stops && entry.stop {
+                    continue; // counted in slack above
+                }
+                if !skipping {
+                    if let Some(b_min) = b_min {
+                        // Conservative margin: on a tie, keep admitting.
+                        if f64::from(remaining) + f64::from(slack) + 1e-9 < b_min {
+                            skipping = true;
+                            frozen = board.touched().to_vec();
+                        }
+                    }
+                }
+                let list = self.csr.postings(tid);
+                if skipping {
+                    // Gallop when the board is small relative to the
+                    // list; otherwise scan with a membership check.
+                    let gallop_cost =
+                        frozen.len() * (usize::BITS - list.len().leading_zeros()) as usize;
+                    if gallop_cost < list.len() {
+                        incr(Counter::PostingsSkipped, list.len() as u64);
+                        for &fid in &frozen {
+                            if list.binary_search(&fid).is_ok() {
+                                board.add(fid, entry.weight, gram_count);
+                            }
+                        }
+                    } else {
+                        scanned += list.len() as u64;
+                        for &other in list {
+                            if other != id && board.contains(other) {
+                                board.add(other, entry.weight, gram_count);
+                            }
+                        }
+                    }
+                } else {
+                    scanned += list.len() as u64;
+                    for &other in list {
+                        if other != id {
+                            board.add(other, entry.weight, gram_count);
+                        }
+                    }
+                }
+                remaining -= gram_count;
+            }
+            board.drain()
+        });
+        incr(Counter::NnPostingsScanned, scanned);
+        (scored, slack, dropped)
+    }
+
+    /// Page-backed merge: the historical path. Re-extracts the query's
+    /// term set, resolves term strings through the dictionary, and fetches
+    /// every postings chunk through the buffer pool.
+    fn generate_pages(&self, id: u32, include_stops: bool) -> (Vec<(u32, f64, u32)>, u32, u64) {
+        let record = &self.records[id as usize];
+        let fields: Vec<&str> = record.iter().map(String::as_str).collect();
+        let ts = record_term_set(&fields, self.config.q, self.config.index_tokens);
+        let mut scores: HashMap<u32, (f64, u32)> = HashMap::new();
+        let mut scanned = 0u64;
+        let mut slack = 0u32;
+        let mut dropped = 0u64;
+        for (term, gram_count) in &ts.terms {
+            let Some(&tid) = self.term_ids.get(term) else { continue };
+            let entry = &self.terms[tid as usize];
+            if !include_stops && entry.stop {
+                slack += gram_count;
+                dropped += 1;
+                continue;
+            }
+            for &chunk in &entry.chunks {
                 let bytes = self.postings.get(chunk).expect("postings chunk exists");
                 scanned += (bytes.len() / 4) as u64;
                 for raw in bytes.chunks_exact(4) {
                     let other = u32::from_le_bytes(raw.try_into().unwrap());
                     if other != id {
-                        *scores.entry(other).or_insert(0.0) += info.weight;
+                        let slot = scores.entry(other).or_insert((0.0, 0));
+                        slot.0 += entry.weight;
+                        slot.1 += gram_count;
                     }
                 }
             }
         }
         incr(Counter::NnPostingsScanned, scanned);
-        let mut scored: Vec<(u32, f64)> = scores.into_iter().collect();
-        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        if self.config.candidate_limit > 0 {
-            scored.truncate(self.config.candidate_limit);
-        }
-        scored.into_iter().map(|(id, _)| id).collect()
+        let scored = scores.into_iter().map(|(c, (w, o))| (c, w, o)).collect();
+        (scored, slack, dropped)
     }
 
-    fn verified(&self, id: u32, candidates: &[u32]) -> Vec<Neighbor> {
-        let query: Vec<&str> = self.records[id as usize].iter().map(String::as_str).collect();
-        candidates
-            .iter()
-            .map(|&c| {
-                let fields: Vec<&str> =
-                    self.records[c as usize].iter().map(String::as_str).collect();
-                Neighbor::new(c, self.distance.distance(&query, &fields))
-            })
-            .collect()
+    /// The pruning filter for a gathered candidate list, or `None` when
+    /// the distance admits no sound q-gram bound.
+    fn make_filter<'a>(&'a self, id: u32, gathered: &'a Gathered) -> Option<CandFilter<'a>> {
+        self.filter_ok.then(|| CandFilter {
+            q: self.config.q as u32,
+            query: self.meta[id as usize],
+            meta: &self.meta,
+            overlaps: Some(&gathered.overlaps),
+            slack: gathered.slack,
+        })
     }
 }
 
@@ -219,14 +442,34 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
     }
 
     fn top_k(&self, id: u32, k: usize) -> Vec<Neighbor> {
-        let mut verified = self.verified(id, &self.candidates(id));
+        let gathered = self.gather(id, None);
+        let filter = self.make_filter(id, &gathered);
+        let (mut verified, _) = verify_candidates_bounded(
+            &self.distance,
+            &self.records,
+            id,
+            &gathered.ids,
+            LookupSpec::TopK(k),
+            1.0,
+            filter.as_ref(),
+        );
         sort_neighbors(&mut verified);
         verified.truncate(k);
         verified
     }
 
     fn within(&self, id: u32, radius: f64) -> Vec<Neighbor> {
-        let mut verified = self.verified(id, &self.candidates(id));
+        let gathered = self.gather(id, Some(radius));
+        let filter = self.make_filter(id, &gathered);
+        let (mut verified, _) = verify_candidates_bounded(
+            &self.distance,
+            &self.records,
+            id,
+            &gathered.ids,
+            LookupSpec::Radius(radius),
+            1.0,
+            filter.as_ref(),
+        );
         verified.retain(|n| n.dist < radius);
         sort_neighbors(&mut verified);
         verified
@@ -235,14 +478,23 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
     /// One candidate gather + one verification pass serves both the
     /// neighbor list and the neighborhood growth — the access pattern the
     /// paper's Phase 1 assumes, and half the I/O of two separate calls.
-    /// Verification is *bounded*: each candidate is scored against the
-    /// current best-so-far cutoff so the k-bounded edit kernel can bail
-    /// out of hopeless pairs early.
+    /// Verification is *bounded and filtered*: each candidate is tested
+    /// against the q-gram length/count bounds for the current best-so-far
+    /// cutoff (skipping its distance call when provably outside), and the
+    /// survivors' distance calls take the k-bounded kernel.
     fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
-        let candidates = self.candidates(id);
-        let (verified, attempted) =
-            verify_candidates_bounded(&self.distance, &self.records, id, &candidates, spec, p);
-        lookup_from_verified(verified, attempted, spec, p)
+        let gathered = self.gather(id, None);
+        let filter = self.make_filter(id, &gathered);
+        let (verified, attempted) = verify_candidates_bounded(
+            &self.distance,
+            &self.records,
+            id,
+            &gathered.ids,
+            spec,
+            p,
+            filter.as_ref(),
+        );
+        lookup_from_verified(verified, gathered.generated, attempted, spec, p)
     }
 }
 
@@ -251,7 +503,7 @@ mod tests {
     use super::*;
     use crate::NestedLoopIndex;
     use fuzzydedup_storage::{BufferPoolConfig, InMemoryDisk};
-    use fuzzydedup_textdist::EditDistance;
+    use fuzzydedup_textdist::{EditDistance, UnfilteredDistance};
 
     fn corpus() -> Vec<Vec<String>> {
         [
@@ -272,9 +524,16 @@ mod tests {
     }
 
     fn build(config: InvertedIndexConfig) -> InvertedIndex<EditDistance> {
+        build_records(corpus(), config)
+    }
+
+    fn build_records(
+        records: Vec<Vec<String>>,
+        config: InvertedIndexConfig,
+    ) -> InvertedIndex<EditDistance> {
         let disk = Arc::new(InMemoryDisk::new());
         let pool = Arc::new(BufferPool::new(BufferPoolConfig::with_capacity(16), disk));
-        InvertedIndex::build(corpus(), EditDistance, pool, config)
+        InvertedIndex::build(records, EditDistance, pool, config)
     }
 
     #[test]
@@ -333,22 +592,51 @@ mod tests {
     }
 
     #[test]
-    fn postings_live_on_pages() {
-        let idx = build(InvertedIndexConfig::default());
+    fn page_backed_lookups_touch_the_pool() {
+        let disk = Arc::new(InMemoryDisk::new());
+        let pool = Arc::new(BufferPool::new(BufferPoolConfig::with_capacity(2), disk));
+        let config =
+            InvertedIndexConfig { postings_source: PostingsSource::Pages, ..Default::default() };
+        let idx = InvertedIndex::build(corpus(), EditDistance, pool.clone(), config);
         assert!(idx.dictionary_size() > 10);
         assert!(idx.postings_pages() >= 1);
-        // Lookups hit the buffer pool.
-        let pool_stats_before = {
-            // Rebuild with a tiny pool and measure accesses.
-            let disk = Arc::new(InMemoryDisk::new());
-            let pool = Arc::new(BufferPool::new(BufferPoolConfig::with_capacity(2), disk));
-            let idx =
-                InvertedIndex::build(corpus(), EditDistance, pool.clone(), Default::default());
-            pool.reset_stats();
-            idx.top_k(0, 3);
-            pool.stats().accesses()
-        };
-        assert!(pool_stats_before > 0, "queries must touch the buffer pool");
+        pool.reset_stats();
+        idx.top_k(0, 3);
+        assert!(pool.stats().accesses() > 0, "page-backed queries must touch the buffer pool");
+    }
+
+    #[test]
+    fn csr_lookups_stay_off_the_pool() {
+        let disk = Arc::new(InMemoryDisk::new());
+        let pool = Arc::new(BufferPool::new(BufferPoolConfig::with_capacity(2), disk));
+        let idx = InvertedIndex::build(corpus(), EditDistance, pool.clone(), Default::default());
+        // The page copy is still written at build time...
+        assert!(idx.postings_pages() >= 1);
+        pool.reset_stats();
+        let nn = idx.top_k(0, 1);
+        assert_eq!(nn[0].id, 1);
+        // ...but the CSR lookup path never reads it back.
+        assert_eq!(pool.stats().accesses(), 0, "CSR lookups must not fetch pages");
+    }
+
+    #[test]
+    fn csr_matches_page_backed_results() {
+        for candidate_limit in [0, 3, 256] {
+            let csr = build(InvertedIndexConfig { candidate_limit, ..Default::default() });
+            let pages = build(InvertedIndexConfig {
+                candidate_limit,
+                postings_source: PostingsSource::Pages,
+                ..Default::default()
+            });
+            for id in 0..csr.len() as u32 {
+                assert_eq!(csr.top_k(id, 4), pages.top_k(id, 4), "id {id}");
+                assert_eq!(csr.within(id, 0.4), pages.within(id, 0.4), "id {id}");
+                let (n_c, ng_c, _) = csr.lookup(id, LookupSpec::TopK(3), 2.0);
+                let (n_p, ng_p, _) = pages.lookup(id, LookupSpec::TopK(3), 2.0);
+                assert_eq!(n_c, n_p, "id {id}");
+                assert_eq!(ng_c, ng_p, "id {id}");
+            }
+        }
     }
 
     #[test]
@@ -363,6 +651,39 @@ mod tests {
         // Index still functions.
         let nn = strict.top_k(0, 1);
         assert_eq!(nn[0].id, 1);
+    }
+
+    #[test]
+    fn fully_stopped_query_falls_back_to_stop_grams() {
+        // Near-duplicate records: every term has df >= 2 > the stop
+        // cutoff, so the first merge pass drops everything. The fallback
+        // pass must still surface the duplicate instead of silently
+        // returning nothing (the historical behavior).
+        let records: Vec<Vec<String>> = ["the doors", "the doors", "the doors live", "the doors"]
+            .iter()
+            .map(|s| vec![s.to_string()])
+            .collect();
+        for source in [PostingsSource::Csr, PostingsSource::Pages] {
+            let _serial = fuzzydedup_metrics::serial_guard();
+            fuzzydedup_metrics::enable();
+            let config = InvertedIndexConfig {
+                max_df_fraction: 0.01,
+                stop_df_floor: 1,
+                postings_source: source,
+                ..Default::default()
+            };
+            let idx = build_records(records.clone(), config);
+            let before = fuzzydedup_metrics::snapshot();
+            let nn = idx.top_k(0, 2);
+            assert!(!nn.is_empty(), "{source:?}: fallback must produce candidates");
+            assert_eq!(nn[0].dist, 0.0, "{source:?}: the exact duplicate is found");
+            let delta = fuzzydedup_metrics::snapshot().delta(&before);
+            assert!(
+                delta.get(Counter::StopGramsDropped) > 0,
+                "{source:?}: dropped stop grams are counted"
+            );
+            assert!(delta.get(Counter::CandidatesGenerated) > 0, "{source:?}");
+        }
     }
 
     #[test]
@@ -392,15 +713,78 @@ mod tests {
                 _ => 1.0,
             };
             assert_eq!(ng, expected_ng, "id {id}");
-            // The combined lookup gathers once: one probe, every candidate
-            // verified with exactly one distance call.
+            // The combined lookup gathers once: one probe; the pruning
+            // filters may spare some candidates their distance call.
             assert_eq!(cost.probes, 1, "id {id}");
             assert_eq!(cost.fallback_probes, 0, "id {id}");
-            assert_eq!(cost.candidates, cost.distance_calls, "id {id}");
+            assert!(cost.distance_calls <= cost.candidates, "id {id}");
             // Radius flavor.
             let (neighbors, _, _) = idx.lookup(id, LookupSpec::Radius(0.4), 2.0);
             assert_eq!(neighbors, idx.within(id, 0.4), "id {id}");
         }
+    }
+
+    #[test]
+    fn filters_are_lossless_against_unfiltered_distance() {
+        // The UnfilteredDistance adapter computes identical distances but
+        // reports no q-gram bound, so generation and verification run
+        // unpruned: both indexes must answer identically. candidate_limit
+        // is 0 so truncation cannot make the comparison vacuous.
+        let records = corpus();
+        let config = InvertedIndexConfig { candidate_limit: 0, ..Default::default() };
+        let disk = Arc::new(InMemoryDisk::new());
+        let pool = Arc::new(BufferPool::new(BufferPoolConfig::with_capacity(16), disk));
+        let filtered =
+            InvertedIndex::build(records.clone(), EditDistance, pool.clone(), config.clone());
+        let control = InvertedIndex::build(records, UnfilteredDistance(EditDistance), pool, config);
+        for id in 0..filtered.len() as u32 {
+            assert_eq!(filtered.top_k(id, 5), control.top_k(id, 5), "id {id}");
+            for radius in [0.1, 0.3, 0.6] {
+                assert_eq!(filtered.within(id, radius), control.within(id, radius), "id {id}");
+            }
+            let (n_f, ng_f, cost_f) = filtered.lookup(id, LookupSpec::TopK(3), 2.0);
+            let (n_u, ng_u, cost_u) = control.lookup(id, LookupSpec::TopK(3), 2.0);
+            assert_eq!(n_f, n_u, "id {id}");
+            assert_eq!(ng_f, ng_u, "id {id}");
+            assert_eq!(cost_f.candidates, cost_u.candidates, "id {id}");
+            assert!(cost_f.distance_calls <= cost_u.distance_calls, "id {id}");
+        }
+    }
+
+    #[test]
+    fn merge_skip_preserves_radius_results() {
+        // Corpora with shared prefixes and varied lengths: radius merges
+        // enter skip mode partway through the gram mass, and must still
+        // return exactly what the unfiltered control returns.
+        let records: Vec<Vec<String>> = (0..40)
+            .map(|i| {
+                let base = match i % 4 {
+                    0 => format!("customer record number {i:02}"),
+                    1 => format!("customer record numbr {i:02}"),
+                    2 => format!("supplier invoice {i:02} pending review"),
+                    _ => format!("zz{i:02}"),
+                };
+                vec![base]
+            })
+            .collect();
+        let config = InvertedIndexConfig { candidate_limit: 0, ..Default::default() };
+        let _serial = fuzzydedup_metrics::serial_guard();
+        fuzzydedup_metrics::enable();
+        let idx = build_records(records.clone(), config.clone());
+        let disk = Arc::new(InMemoryDisk::new());
+        let pool = Arc::new(BufferPool::new(BufferPoolConfig::with_capacity(16), disk));
+        let control = InvertedIndex::build(records, UnfilteredDistance(EditDistance), pool, config);
+        let before = fuzzydedup_metrics::snapshot();
+        for id in 0..idx.len() as u32 {
+            for radius in [0.05, 0.15, 0.3] {
+                assert_eq!(idx.within(id, radius), control.within(id, radius), "id {id}");
+            }
+        }
+        let delta = fuzzydedup_metrics::snapshot().delta(&before);
+        assert!(
+            delta.get(Counter::PostingsSkipped) > 0,
+            "tight radii over long queries must trigger merge skipping"
+        );
     }
 
     #[test]
@@ -421,9 +805,11 @@ mod tests {
                 ..Default::default()
             },
         );
-        let info = idx.dictionary.get("shared").expect("token indexed");
-        assert!(info.chunks.len() >= 5);
-        assert_eq!(info.df, 300);
+        let tid = *idx.term_ids.get("shared").expect("token indexed");
+        let entry = &idx.terms[tid as usize];
+        assert!(entry.chunks.len() >= 5);
+        assert_eq!(entry.df, 300);
+        assert_eq!(idx.csr.postings(tid).len(), 300, "CSR mirrors the page postings");
         // And the index still answers queries.
         assert!(!idx.top_k(0, 2).is_empty());
     }

@@ -29,16 +29,21 @@
 //! reference and the experiment drivers measure its recall.
 
 pub mod bforder;
+pub mod candgen;
 pub mod dynamic;
 pub mod inverted;
 pub mod nested_loop;
+mod scratch;
 pub mod signature;
 
 pub use bforder::{drive_lookups, DriveReport, LookupOrder};
+pub use candgen::{CsrPostings, RecordMeta};
 pub use dynamic::{DynamicIndexConfig, DynamicInvertedIndex};
-pub use inverted::{InvertedIndex, InvertedIndexConfig};
+pub use inverted::{InvertedIndex, InvertedIndexConfig, PostingsSource};
 pub use nested_loop::NestedLoopIndex;
 pub use signature::{MinHashConfig, MinHashIndex};
+
+use candgen::CandFilter;
 
 use fuzzydedup_metrics::{incr, Counter};
 use fuzzydedup_relation::Neighbor;
@@ -58,7 +63,9 @@ pub struct LookupCost {
     /// Candidates generated before verification (0 when the
     /// implementation does not expose candidate generation).
     pub candidates: u64,
-    /// Exact distance evaluations spent verifying candidates.
+    /// Exact distance evaluations spent verifying candidates. At most
+    /// `candidates`: the q-gram length/count filters prune provably-far
+    /// candidates before their distance call.
     pub distance_calls: u64,
 }
 
@@ -178,6 +185,13 @@ pub enum LookupSpec {
 /// verification. Returns the surviving neighbors (unsorted) and the number
 /// of verification attempts (for [`LookupCost`] accounting: every attempt
 /// is one distance call, bounded or not).
+///
+/// When a `filter` is supplied (only sound for distances with
+/// [`Distance::admits_qgram_filter`]), each candidate is first tested
+/// against the q-gram length/count bounds **with the same running cutoff**
+/// passed to `distance_bounded`: a pruned candidate is one the bounded
+/// call would provably have rejected, so it skips the distance call
+/// entirely and the surviving set — hence the final answer — is unchanged.
 pub(crate) fn verify_candidates_bounded<D: Distance>(
     distance: &D,
     records: &[Vec<String>],
@@ -185,6 +199,7 @@ pub(crate) fn verify_candidates_bounded<D: Distance>(
     candidates: &[u32],
     spec: LookupSpec,
     p: f64,
+    filter: Option<&CandFilter<'_>>,
 ) -> (Vec<Neighbor>, u64) {
     let query: Vec<&str> = records[id as usize].iter().map(String::as_str).collect();
     let mut survivors: Vec<Neighbor> = Vec::with_capacity(candidates.len());
@@ -192,7 +207,7 @@ pub(crate) fn verify_candidates_bounded<D: Distance>(
     let mut kth: Vec<f64> = Vec::new();
     let mut nn_running = f64::INFINITY;
     let mut attempted = 0u64;
-    for &c in candidates {
+    for (i, &c) in candidates.iter().enumerate() {
         let spec_cut = match spec {
             LookupSpec::TopK(0) => f64::NEG_INFINITY,
             LookupSpec::TopK(k) => {
@@ -206,6 +221,11 @@ pub(crate) fn verify_candidates_bounded<D: Distance>(
         };
         let growth_cut = p * nn_running; // ∞ until the first survivor
         let cutoff = spec_cut.max(growth_cut);
+        if let Some(f) = filter {
+            if f.prunes(i, c, cutoff) {
+                continue;
+            }
+        }
         attempted += 1;
         let fields: Vec<&str> = records[c as usize].iter().map(String::as_str).collect();
         if let Some(d) = distance.distance_bounded(&query, &fields, cutoff) {
@@ -229,10 +249,12 @@ pub(crate) fn verify_candidates_bounded<D: Distance>(
 /// candidate list (every surviving candidate carries its exact distance,
 /// self excluded, unsorted). Used by the candidate-generation indexes: one
 /// gather answers both the neighbor list and the growth estimate, so the
-/// cost is a single probe with `attempted` candidates, each verified by
-/// one (possibly bounded) distance call.
+/// cost is a single probe over `generated` candidates, of which
+/// `attempted` reached a (possibly bounded) distance call — the rest were
+/// pruned by the q-gram filters.
 pub(crate) fn lookup_from_verified(
     mut verified: Vec<Neighbor>,
+    generated: u64,
     attempted: u64,
     spec: LookupSpec,
     p: f64,
@@ -240,7 +262,7 @@ pub(crate) fn lookup_from_verified(
     let cost = LookupCost {
         probes: 1,
         fallback_probes: 0,
-        candidates: attempted,
+        candidates: generated,
         distance_calls: attempted,
     };
     sort_neighbors(&mut verified);
@@ -336,16 +358,113 @@ mod tests {
         ];
         for spec in specs {
             for p in [1.0, 2.0, 4.0] {
-                let (survivors, attempted) =
-                    verify_candidates_bounded(&EditDistance, &records, 0, &candidates, spec, p);
+                let (survivors, attempted) = verify_candidates_bounded(
+                    &EditDistance,
+                    &records,
+                    0,
+                    &candidates,
+                    spec,
+                    p,
+                    None,
+                );
                 assert_eq!(attempted, candidates.len() as u64);
+                let n = candidates.len() as u64;
                 let full = verify_full(&records, 0, &candidates);
-                let (got_n, got_ng, _) = lookup_from_verified(survivors, attempted, spec, p);
-                let (want_n, want_ng, _) = lookup_from_verified(full, attempted, spec, p);
+                let (got_n, got_ng, _) = lookup_from_verified(survivors, n, attempted, spec, p);
+                let (want_n, want_ng, _) = lookup_from_verified(full, n, attempted, spec, p);
                 assert_eq!(got_n, want_n, "{spec:?} p={p}");
                 assert_eq!(got_ng, want_ng, "{spec:?} p={p}");
             }
         }
+    }
+
+    #[test]
+    fn filtered_verification_matches_unfiltered() {
+        use fuzzydedup_textdist::tokenize::record_string;
+        use fuzzydedup_textdist::{record_term_set, QgramProfile};
+        let records: Vec<Vec<String>> = [
+            "the doors",
+            "doors",
+            "the beatles",
+            "beatles the",
+            "shania twain",
+            "twian shania",
+            "completely unrelated string of text",
+            "aaliyah",
+            "x",
+            "an extremely long record string that shares nothing with the query at all",
+        ]
+        .iter()
+        .map(|s| vec![s.to_string()])
+        .collect();
+        let q = 3usize;
+        let joined: Vec<String> = records
+            .iter()
+            .map(|r| {
+                let fields: Vec<&str> = r.iter().map(String::as_str).collect();
+                record_string(&fields)
+            })
+            .collect();
+        let meta: Vec<RecordMeta> = records
+            .iter()
+            .map(|r| {
+                let fields: Vec<&str> = r.iter().map(String::as_str).collect();
+                let ts = record_term_set(&fields, q, true);
+                RecordMeta { chars: ts.chars, grams: ts.gram_total }
+            })
+            .collect();
+        let profiles: Vec<QgramProfile> =
+            joined.iter().map(|s| QgramProfile::build(s, q)).collect();
+        let candidates: Vec<u32> = (1..records.len() as u32).collect();
+        // The exact multiset overlap is the tightest sound value for the
+        // filter's overlap slot: pruning is maximal yet must stay lossless.
+        let overlaps: Vec<u32> =
+            candidates.iter().map(|&c| profiles[0].overlap(&profiles[c as usize])).collect();
+        let filter = CandFilter {
+            q: q as u32,
+            query: meta[0],
+            meta: &meta,
+            overlaps: Some(&overlaps),
+            slack: 0,
+        };
+        let specs = [
+            LookupSpec::TopK(1),
+            LookupSpec::TopK(3),
+            LookupSpec::Radius(0.25),
+            LookupSpec::Radius(0.6),
+        ];
+        let mut pruned_somewhere = false;
+        for spec in specs {
+            for p in [1.0, 2.0] {
+                let (filtered, f_attempted) = verify_candidates_bounded(
+                    &EditDistance,
+                    &records,
+                    0,
+                    &candidates,
+                    spec,
+                    p,
+                    Some(&filter),
+                );
+                let (unfiltered, u_attempted) = verify_candidates_bounded(
+                    &EditDistance,
+                    &records,
+                    0,
+                    &candidates,
+                    spec,
+                    p,
+                    None,
+                );
+                assert!(f_attempted <= u_attempted);
+                pruned_somewhere |= f_attempted < u_attempted;
+                let n = candidates.len() as u64;
+                let (got_n, got_ng, _) = lookup_from_verified(filtered, n, f_attempted, spec, p);
+                let (want_n, want_ng, _) =
+                    lookup_from_verified(unfiltered, n, u_attempted, spec, p);
+                assert_eq!(got_n, want_n, "{spec:?} p={p}");
+                assert_eq!(got_ng, want_ng, "{spec:?} p={p}");
+            }
+        }
+        assert!(pruned_somewhere, "filters never fired on an obviously prunable corpus");
     }
 
     #[test]
@@ -370,6 +489,7 @@ mod tests {
             &candidates,
             LookupSpec::TopK(1),
             2.0,
+            None,
         );
         let delta = fuzzydedup_metrics::snapshot().delta(&before);
         // The first candidate is verified with an infinite cutoff (full

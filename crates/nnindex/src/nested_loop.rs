@@ -81,9 +81,17 @@ impl<D: Distance> NnIndex for NestedLoopIndex<D> {
     fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
         let candidates: Vec<u32> =
             (0..self.records.len() as u32).filter(|&other| other != id).collect();
-        let (verified, attempted) =
-            verify_candidates_bounded(&self.distance, &self.records, id, &candidates, spec, p);
-        lookup_from_verified(verified, attempted, spec, p)
+        let generated = candidates.len() as u64;
+        let (verified, attempted) = verify_candidates_bounded(
+            &self.distance,
+            &self.records,
+            id,
+            &candidates,
+            spec,
+            p,
+            None,
+        );
+        lookup_from_verified(verified, generated, attempted, spec, p)
     }
 }
 

@@ -1,0 +1,155 @@
+//! Reusable per-thread lookup scratch: an epoch-stamped dense scoreboard.
+//!
+//! Candidate generation accumulates per-candidate shared IDF weight and
+//! q-gram overlap while merging postings lists. A `HashMap` per lookup
+//! (the historical implementation) pays an allocation plus hashing per
+//! posting id; the scoreboard replaces it with dense arrays indexed by
+//! record id, **epoch-stamped** so that starting a new lookup is one
+//! counter bump instead of an `O(n)` clear. The scoreboard lives in a
+//! thread-local, so repeated lookups allocate nothing and the kernel
+//! composes with `compute_nn_reln_parallel`'s scoped workers (each worker
+//! thread lazily materializes its own scoreboard).
+
+use std::cell::RefCell;
+
+/// Epoch-stamped dense accumulator over record ids; see module docs.
+///
+/// Laid out as parallel arrays (stamp / score / overlap) rather than one
+/// `Vec<(u32, f64, u32)>` so the common miss — a stale stamp — touches one
+/// cache line per slot check.
+#[derive(Default)]
+pub(crate) struct Scoreboard {
+    epoch: u32,
+    stamps: Vec<u32>,
+    scores: Vec<f64>,
+    overlaps: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl Scoreboard {
+    /// Start a new accumulation over ids `0..n`: grows the slabs if the
+    /// corpus outgrew them and advances the epoch (wrapping safely — on
+    /// wrap-around every stamp is reset so stale epochs cannot alias).
+    pub fn begin(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+            self.scores.resize(n, 0.0);
+            self.overlaps.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+        self.touched.clear();
+    }
+
+    /// Add `weight` (and `overlap` gram mass) to a candidate's slot,
+    /// touching it on first contact this epoch.
+    #[inline]
+    pub fn add(&mut self, id: u32, weight: f64, overlap: u32) {
+        let i = id as usize;
+        if self.stamps[i] == self.epoch {
+            self.scores[i] += weight;
+            self.overlaps[i] += overlap;
+        } else {
+            self.stamps[i] = self.epoch;
+            self.scores[i] = weight;
+            self.overlaps[i] = overlap;
+            self.touched.push(id);
+        }
+    }
+
+    /// Whether a candidate has been touched this epoch.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.stamps[id as usize] == self.epoch
+    }
+
+    /// Ids touched this epoch, in first-contact order.
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// Drain the touched candidates as `(id, score, overlap)` tuples.
+    pub fn drain(&mut self) -> Vec<(u32, f64, u32)> {
+        let scores = &self.scores;
+        let overlaps = &self.overlaps;
+        self.touched.iter().map(|&id| (id, scores[id as usize], overlaps[id as usize])).collect()
+    }
+}
+
+thread_local! {
+    static SCOREBOARD: RefCell<Scoreboard> = RefCell::new(Scoreboard::default());
+}
+
+/// Run `f` with this thread's scoreboard. Panics on reentrant use (a
+/// lookup does not recurse into another lookup on the same thread).
+pub(crate) fn with_scoreboard<R>(f: impl FnOnce(&mut Scoreboard) -> R) -> R {
+    SCOREBOARD.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_resets_by_epoch() {
+        let mut board = Scoreboard::default();
+        board.begin(10);
+        board.add(3, 1.5, 2);
+        board.add(3, 0.5, 1);
+        board.add(7, 1.0, 0);
+        assert_eq!(board.touched(), &[3, 7]);
+        assert!(board.contains(3) && board.contains(7) && !board.contains(0));
+        let drained = board.drain();
+        assert_eq!(drained, vec![(3, 2.0, 3), (7, 1.0, 0)]);
+        // New epoch: previous contributions vanish without any clearing.
+        board.begin(10);
+        assert!(board.touched().is_empty());
+        assert!(!board.contains(3));
+        board.add(3, 9.0, 9);
+        assert_eq!(board.drain(), vec![(3, 9.0, 9)]);
+    }
+
+    #[test]
+    fn grows_with_corpus() {
+        let mut board = Scoreboard::default();
+        board.begin(2);
+        board.add(1, 1.0, 1);
+        board.begin(100);
+        board.add(99, 1.0, 1);
+        assert_eq!(board.touched(), &[99]);
+    }
+
+    #[test]
+    fn epoch_wraparound_cannot_alias() {
+        let mut board = Scoreboard::default();
+        board.begin(4);
+        board.add(2, 1.0, 1);
+        // Force the wrap: the pre-wrap stamp on slot 2 must not read as
+        // current after the epoch counter cycles through 0.
+        board.epoch = u32::MAX;
+        board.begin(4);
+        assert!(!board.contains(2));
+        board.add(2, 5.0, 5);
+        assert_eq!(board.drain(), vec![(2, 5.0, 5)]);
+    }
+
+    #[test]
+    fn thread_local_is_per_thread() {
+        with_scoreboard(|b| {
+            b.begin(4);
+            b.add(0, 1.0, 0);
+        });
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                with_scoreboard(|b| {
+                    b.begin(4);
+                    // A sibling thread starts from its own scoreboard.
+                    assert!(b.touched().is_empty());
+                });
+            });
+        });
+    }
+}

@@ -24,10 +24,11 @@
 
 use std::collections::HashMap;
 
+use fuzzydedup_metrics::{incr, Counter};
 use fuzzydedup_relation::Neighbor;
-use fuzzydedup_textdist::tokenize::{record_string, tokenize_record};
-use fuzzydedup_textdist::{qgrams, Distance};
+use fuzzydedup_textdist::{record_term_set, Distance};
 
+use crate::candgen::{CandFilter, RecordMeta};
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
     NnIndex,
@@ -81,6 +82,12 @@ pub struct MinHashIndex<D> {
     buckets: Vec<HashMap<u64, Vec<u32>>>,
     /// Signatures kept for diagnostics (`bands × rows` values per record).
     signatures: Vec<Vec<u64>>,
+    /// Per-record length statistics for the length pruning filter.
+    meta: Vec<RecordMeta>,
+    /// Whether the distance admits the q-gram pruning filters. The LSH
+    /// index tracks no per-candidate overlap mass, so only the length
+    /// bound applies.
+    filter_ok: bool,
 }
 
 impl<D: Distance> MinHashIndex<D> {
@@ -89,10 +96,13 @@ impl<D: Distance> MinHashIndex<D> {
         assert!(config.bands > 0 && config.rows > 0, "bands and rows must be positive");
         let num_hashes = config.bands * config.rows;
         let mut signatures: Vec<Vec<u64>> = Vec::with_capacity(records.len());
+        let mut meta = Vec::with_capacity(records.len());
         for record in &records {
-            let terms = Self::terms_of(record, config.q);
+            let fields: Vec<&str> = record.iter().map(String::as_str).collect();
+            let ts = record_term_set(&fields, config.q, true);
+            meta.push(RecordMeta { chars: ts.chars, grams: ts.gram_total });
             let mut sig = vec![u64::MAX; num_hashes];
-            for term in &terms {
+            for (term, _) in &ts.terms {
                 let base = hash_term(term);
                 for (i, slot) in sig.iter_mut().enumerate() {
                     // The i-th hash function: mix the term hash with a
@@ -117,17 +127,8 @@ impl<D: Distance> MinHashIndex<D> {
                 bucket_map.entry(key).or_default().push(id as u32);
             }
         }
-        Self { records, distance, config, buckets, signatures }
-    }
-
-    fn terms_of(record: &[String], q: usize) -> Vec<String> {
-        let fields: Vec<&str> = record.iter().map(String::as_str).collect();
-        let joined = record_string(&fields);
-        let mut terms = qgrams(&joined, q);
-        terms.extend(tokenize_record(&fields).into_iter().map(|t| t.text));
-        terms.sort();
-        terms.dedup();
-        terms
+        let filter_ok = distance.admits_qgram_filter();
+        Self { records, distance, config, buckets, signatures, meta, filter_ok }
     }
 
     /// Candidate ids: all records colliding with `id` in at least one
@@ -147,7 +148,20 @@ impl<D: Distance> MinHashIndex<D> {
         }
         out.sort_unstable();
         out.dedup();
+        incr(Counter::CandidatesGenerated, out.len() as u64);
         out
+    }
+
+    /// Length-only pruning filter (no overlap data in an LSH probe), or
+    /// `None` when the distance admits no sound q-gram bound.
+    fn make_filter(&self, id: u32) -> Option<CandFilter<'_>> {
+        self.filter_ok.then(|| CandFilter {
+            q: self.config.q as u32,
+            query: self.meta[id as usize],
+            meta: &self.meta,
+            overlaps: None,
+            slack: 0,
+        })
     }
 
     /// Estimated Jaccard similarity of two records from their signatures.
@@ -164,18 +178,6 @@ impl<D: Distance> MinHashIndex<D> {
         let rb: Vec<&str> = self.records[b as usize].iter().map(String::as_str).collect();
         self.distance.distance(&ra, &rb)
     }
-
-    fn verified(&self, id: u32, candidates: &[u32]) -> Vec<Neighbor> {
-        let query: Vec<&str> = self.records[id as usize].iter().map(String::as_str).collect();
-        candidates
-            .iter()
-            .map(|&c| {
-                let fields: Vec<&str> =
-                    self.records[c as usize].iter().map(String::as_str).collect();
-                Neighbor::new(c, self.distance.distance(&query, &fields))
-            })
-            .collect()
-    }
 }
 
 impl<D: Distance> NnIndex for MinHashIndex<D> {
@@ -184,26 +186,54 @@ impl<D: Distance> NnIndex for MinHashIndex<D> {
     }
 
     fn top_k(&self, id: u32, k: usize) -> Vec<Neighbor> {
-        let mut verified = self.verified(id, &self.candidates(id));
+        let candidates = self.candidates(id);
+        let filter = self.make_filter(id);
+        let (mut verified, _) = verify_candidates_bounded(
+            &self.distance,
+            &self.records,
+            id,
+            &candidates,
+            LookupSpec::TopK(k),
+            1.0,
+            filter.as_ref(),
+        );
         sort_neighbors(&mut verified);
         verified.truncate(k);
         verified
     }
 
     fn within(&self, id: u32, radius: f64) -> Vec<Neighbor> {
-        let mut verified = self.verified(id, &self.candidates(id));
+        let candidates = self.candidates(id);
+        let filter = self.make_filter(id);
+        let (mut verified, _) = verify_candidates_bounded(
+            &self.distance,
+            &self.records,
+            id,
+            &candidates,
+            LookupSpec::Radius(radius),
+            1.0,
+            filter.as_ref(),
+        );
         verified.retain(|n| n.dist < radius);
         sort_neighbors(&mut verified);
         verified
     }
 
-    /// One band probe + one *bounded* verification pass (current
-    /// best-so-far as cutoff) serves both results.
+    /// One band probe + one *bounded, filtered* verification pass
+    /// (length bound plus current best-so-far cutoff) serves both results.
     fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
         let candidates = self.candidates(id);
-        let (verified, attempted) =
-            verify_candidates_bounded(&self.distance, &self.records, id, &candidates, spec, p);
-        lookup_from_verified(verified, attempted, spec, p)
+        let filter = self.make_filter(id);
+        let (verified, attempted) = verify_candidates_bounded(
+            &self.distance,
+            &self.records,
+            id,
+            &candidates,
+            spec,
+            p,
+            filter.as_ref(),
+        );
+        lookup_from_verified(verified, candidates.len() as u64, attempted, spec, p)
     }
 }
 

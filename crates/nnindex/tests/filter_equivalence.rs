@@ -1,0 +1,141 @@
+//! Recall-losslessness property: the candidate ladder (length filter,
+//! q-gram count filter, MergeSkip) never changes lookup results.
+//!
+//! Every filter reuses the exact running cutoff of bounded verification,
+//! so a pruned candidate is one verification would have rejected anyway.
+//! We check that end to end: for seeded random corpora of noisy
+//! near-duplicates, each index type answers TopK, Radius, and combined
+//! lookups *identically* with the filters armed (`EditDistance`, which
+//! admits the q-gram bound) and disarmed (`UnfilteredDistance`, which
+//! reports `admits_qgram_filter() == false` and degrades every filter to
+//! a no-op). `candidate_limit: 0` keeps both sides verifying the full
+//! candidate set, so any divergence is a filter unsoundness, not a
+//! ranking tie.
+
+use std::sync::Arc;
+
+use fuzzydedup_nnindex::{
+    DynamicIndexConfig, DynamicInvertedIndex, InvertedIndex, InvertedIndexConfig, LookupSpec,
+    MinHashConfig, MinHashIndex, NnIndex, PostingsSource,
+};
+use fuzzydedup_storage::{BufferPool, BufferPoolConfig, InMemoryDisk};
+use fuzzydedup_textdist::{EditDistance, UnfilteredDistance};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A corpus of `n` records: random base entities plus noisy duplicates
+/// (character substitutions, deletions, and insertions), the regime the
+/// filters must stay lossless in.
+fn noisy_corpus(seed: u64, n: usize) -> Vec<Vec<String>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let words = ["acme", "global", "logistics", "corp", "north", "trading", "supply", "works"];
+    let mut bases: Vec<String> = Vec::new();
+    for _ in 0..(n / 3).max(1) {
+        let k = rng.gen_range(1..4);
+        let mut parts: Vec<String> = Vec::new();
+        for _ in 0..k {
+            parts.push(words[rng.gen_range(0..words.len())].to_string());
+        }
+        parts.push(format!("{}", rng.gen_range(0..100)));
+        bases.push(parts.join(" "));
+    }
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let base = &bases[rng.gen_range(0..bases.len())];
+        let mut chars: Vec<char> = base.chars().collect();
+        for _ in 0..rng.gen_range(0..3) {
+            if chars.is_empty() {
+                break;
+            }
+            let pos = rng.gen_range(0..chars.len());
+            match rng.gen_range(0..3) {
+                0 => chars[pos] = (b'a' + rng.gen_range(0..26) as u8) as char,
+                1 => {
+                    chars.remove(pos);
+                }
+                _ => chars.insert(pos, (b'a' + rng.gen_range(0..26) as u8) as char),
+            }
+        }
+        out.push(vec![chars.into_iter().collect()]);
+    }
+    out
+}
+
+/// Assert two indexes (filtered vs unfiltered distance) answer every
+/// query identically, across TopK, Radius, and the combined lookup.
+fn assert_equivalent(filtered: &dyn NnIndex, unfiltered: &dyn NnIndex, label: &str) {
+    assert_eq!(filtered.len(), unfiltered.len());
+    for id in 0..filtered.len() as u32 {
+        for k in [1, 4] {
+            assert_eq!(
+                filtered.top_k(id, k),
+                unfiltered.top_k(id, k),
+                "{label}: top_k({id}, {k}) diverged"
+            );
+        }
+        for radius in [0.1, 0.3] {
+            assert_eq!(
+                filtered.within(id, radius),
+                unfiltered.within(id, radius),
+                "{label}: within({id}, {radius}) diverged"
+            );
+        }
+        for spec in [LookupSpec::TopK(3), LookupSpec::Radius(0.25)] {
+            let (nn_f, ng_f, _) = filtered.lookup(id, spec, 2.0);
+            let (nn_u, ng_u, _) = unfiltered.lookup(id, spec, 2.0);
+            assert_eq!(nn_f, nn_u, "{label}: lookup({id}, {spec:?}) neighbors diverged");
+            assert_eq!(ng_f, ng_u, "{label}: lookup({id}, {spec:?}) growth estimate diverged");
+        }
+    }
+}
+
+fn pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(BufferPoolConfig::with_capacity(64), Arc::new(InMemoryDisk::new())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn filters_never_change_results(seed in 0u64..1_000_000, n in 12usize..40) {
+        let records = noisy_corpus(seed, n);
+
+        // candidate_limit 0: both sides verify every candidate sharing a
+        // term, so results can only diverge through filter unsoundness.
+        for source in [PostingsSource::Csr, PostingsSource::Pages] {
+            let config = InvertedIndexConfig {
+                candidate_limit: 0,
+                postings_source: source,
+                ..Default::default()
+            };
+            let filtered =
+                InvertedIndex::build(records.clone(), EditDistance, pool(), config.clone());
+            let unfiltered = InvertedIndex::build(
+                records.clone(),
+                UnfilteredDistance(EditDistance),
+                pool(),
+                config,
+            );
+            assert_equivalent(&filtered, &unfiltered, &format!("inverted/{source:?}"));
+        }
+
+        let config = DynamicIndexConfig { candidate_limit: 0, ..Default::default() };
+        let mut filtered = DynamicInvertedIndex::new(EditDistance, config.clone());
+        let mut unfiltered = DynamicInvertedIndex::new(UnfilteredDistance(EditDistance), config);
+        for rec in &records {
+            filtered.push(rec.clone());
+            unfiltered.push(rec.clone());
+        }
+        assert_equivalent(&filtered, &unfiltered, "dynamic");
+
+        // MinHash generates candidates from LSH buckets (distance-agnostic),
+        // so both sides see identical candidate sets by construction and the
+        // length filter is the only ladder rung in play.
+        let config = MinHashConfig::default();
+        let filtered = MinHashIndex::build(records.clone(), EditDistance, config.clone());
+        let unfiltered =
+            MinHashIndex::build(records.clone(), UnfilteredDistance(EditDistance), config);
+        assert_equivalent(&filtered, &unfiltered, "minhash");
+    }
+}

@@ -218,6 +218,13 @@ impl Distance for EditDistance {
         (d <= cutoff).then_some(d)
     }
 
+    /// `ed` is exactly Levenshtein over `record_string` normalized by the
+    /// longer side's char count — the premise the q-gram length/count
+    /// filters need.
+    fn admits_qgram_filter(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &str {
         "ed"
     }

@@ -50,7 +50,7 @@ pub use jaccard::{qgram_jaccard, token_jaccard, JaccardDistance};
 pub use jaro::{jaro, jaro_winkler, JaroWinklerDistance};
 pub use monge_elkan::MongeElkanDistance;
 pub use myers::{myers, myers_bounded, myers_bounded_chars, myers_chars};
-pub use qgram::{qgrams, QgramProfile};
+pub use qgram::{qgrams, record_term_set, QgramProfile, TermSet};
 pub use soundex::soundex;
 pub use tokenize::{normalize, tokenize, Token};
 
@@ -90,6 +90,18 @@ pub trait Distance: Send + Sync {
         (d <= cutoff).then_some(d)
     }
 
+    /// Whether the q-gram length/count filters are *sound* for this
+    /// distance: `true` promises that the distance equals Levenshtein over
+    /// [`tokenize::record_string`] normalized by the longer side's char
+    /// count, so `d(a, b) <= t` implies `lev(a, b) <= floor(t · max_chars)`
+    /// and the q-gram count bound of [`QgramProfile::required_overlap`]
+    /// applies. Candidate generation uses this to decide whether pruning
+    /// filters may run; for every other distance the filters degrade to
+    /// no-ops (never silently dropping candidates).
+    fn admits_qgram_filter(&self) -> bool {
+        false
+    }
+
     /// A short human-readable name ("ed", "fms", "cosine", ...).
     fn name(&self) -> &str;
 }
@@ -103,6 +115,11 @@ impl<D: Distance + ?Sized> Distance for &D {
         // type's override.
         (**self).distance_bounded(a, b, cutoff)
     }
+    fn admits_qgram_filter(&self) -> bool {
+        // Same vtable gotcha as distance_bounded: forward explicitly or
+        // the default `false` silently disables pruning through `&D`.
+        (**self).admits_qgram_filter()
+    }
     fn name(&self) -> &str {
         (**self).name()
     }
@@ -115,8 +132,29 @@ impl Distance for Box<dyn Distance> {
     fn distance_bounded(&self, a: &[&str], b: &[&str], cutoff: f64) -> Option<f64> {
         (**self).distance_bounded(a, b, cutoff)
     }
+    fn admits_qgram_filter(&self) -> bool {
+        (**self).admits_qgram_filter()
+    }
     fn name(&self) -> &str {
         (**self).name()
+    }
+}
+
+/// Adapter that hides the inner distance's q-gram filter admissibility:
+/// identical distances, but [`Distance::admits_qgram_filter`] reports
+/// `false`, so candidate generation runs unfiltered. Used to A/B the
+/// pruning filters (recall-losslessness tests, `exp_index_recall`).
+pub struct UnfilteredDistance<D>(pub D);
+
+impl<D: Distance> Distance for UnfilteredDistance<D> {
+    fn distance(&self, a: &[&str], b: &[&str]) -> f64 {
+        self.0.distance(a, b)
+    }
+    fn distance_bounded(&self, a: &[&str], b: &[&str], cutoff: f64) -> Option<f64> {
+        self.0.distance_bounded(a, b, cutoff)
+    }
+    fn name(&self) -> &str {
+        self.0.name()
     }
 }
 

@@ -9,6 +9,8 @@
 
 use std::collections::HashMap;
 
+use crate::tokenize::{record_string, tokenize_record};
+
 /// Sentinel used for left/right padding. `'\u{1}'` cannot appear in
 /// normalized text (normalization maps non-alphanumerics to spaces), so
 /// padded q-grams never collide with interior ones.
@@ -91,6 +93,47 @@ impl QgramProfile {
     }
 }
 
+/// The indexable terms of a record, as every inverted/signature index in
+/// `fuzzydedup-nnindex` extracts them: padded q-grams of the normalized
+/// record string, optionally plus whole tokens, deduplicated and sorted.
+///
+/// Alongside the term strings this carries the per-term q-gram *multiset
+/// counts* and the record's normalized length statistics — the inputs of
+/// the q-gram count/length filters ([`QgramProfile::required_overlap`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TermSet {
+    /// Distinct terms with their q-gram multiset count, sorted by term.
+    /// A count of `0` marks a token-only term (whole tokens carry IDF
+    /// weight but no q-gram overlap mass); a term that is both a q-gram
+    /// and a token keeps its gram count.
+    pub terms: Vec<(String, u32)>,
+    /// Char count of the normalized record string.
+    pub chars: u32,
+    /// Total padded q-gram occurrences (`chars + q - 1`, or `0` for an
+    /// empty record string).
+    pub gram_total: u32,
+}
+
+/// Extract the [`TermSet`] of a multi-attribute record for gram length `q`.
+pub fn record_term_set(fields: &[&str], q: usize, index_tokens: bool) -> TermSet {
+    let joined = record_string(fields);
+    let chars = joined.chars().count() as u32;
+    let mut counts: HashMap<String, u32> = HashMap::new();
+    let mut gram_total = 0u32;
+    for gram in qgrams(&joined, q) {
+        *counts.entry(gram).or_insert(0) += 1;
+        gram_total += 1;
+    }
+    if index_tokens {
+        for token in tokenize_record(fields) {
+            counts.entry(token.text).or_insert(0);
+        }
+    }
+    let mut terms: Vec<(String, u32)> = counts.into_iter().collect();
+    terms.sort_by(|a, b| a.0.cmp(&b.0));
+    TermSet { terms, chars, gram_total }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +173,38 @@ mod tests {
         assert_eq!(p.total(), 5);
         assert_eq!(p.count("aa"), 3);
         assert_eq!(p.distinct(), 3);
+    }
+
+    #[test]
+    fn term_set_matches_legacy_extraction() {
+        // Same term *set* as the historical per-index extraction:
+        // qgrams(record_string) ∪ tokens, sorted, deduplicated.
+        let fields = ["The Doors", "LA Woman"];
+        let ts = record_term_set(&fields, 3, true);
+        let joined = record_string(&fields);
+        let mut legacy = qgrams(&joined, 3);
+        legacy.extend(tokenize_record(&fields).into_iter().map(|t| t.text));
+        legacy.sort();
+        legacy.dedup();
+        let got: Vec<&str> = ts.terms.iter().map(|(t, _)| t.as_str()).collect();
+        assert_eq!(got, legacy.iter().map(String::as_str).collect::<Vec<_>>());
+        assert_eq!(ts.chars, joined.chars().count() as u32);
+        assert_eq!(ts.gram_total, ts.chars + 2);
+        // Gram mass is conserved across the distinct terms.
+        let mass: u32 = ts.terms.iter().map(|(_, c)| c).sum();
+        assert_eq!(mass, ts.gram_total);
+    }
+
+    #[test]
+    fn term_set_token_only_and_empty() {
+        let ts = record_term_set(&["ab"], 3, true);
+        // "ab" padded yields 4 grams of length 3; token "ab" is distinct
+        // from every padded gram, so it appears with count 0.
+        assert!(ts.terms.iter().any(|(t, c)| t == "ab" && *c == 0));
+        let empty = record_term_set(&[""], 3, true);
+        assert_eq!(empty, TermSet::default());
+        let no_tokens = record_term_set(&["abc def"], 2, false);
+        assert!(no_tokens.terms.iter().all(|(_, c)| *c > 0));
     }
 
     proptest! {

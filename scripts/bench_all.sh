@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Regenerate every committed BENCH_*.json baseline in results/.
+#
+#   scripts/bench_all.sh
+#
+# Runs the criterion benches that have committed baselines (the four the
+# ci_bench_gate watches, plus the phase-1 ablation) and the
+# exp_bf_ordering driver (which emits BENCH_bf_ordering.json alongside
+# its stdout table). Review the diff and commit it to refresh baselines
+# intentionally.
+#
+# Gotcha this script exists to avoid: the criterion shim writes to
+# $BENCH_OUT_DIR when set, else to <workspace-root>/results/. Run the
+# benches with BENCH_OUT_DIR *unset* (or absolute) — a relative
+# BENCH_OUT_DIR resolves against the *package* directory under
+# `cargo bench`, scattering artifacts across crates/*/results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ -n "${BENCH_OUT_DIR:-}" && "${BENCH_OUT_DIR}" != /* ]]; then
+    echo "bench_all: BENCH_OUT_DIR must be unset or absolute (got '${BENCH_OUT_DIR}');" >&2
+    echo "bench_all: a relative path resolves per-package under cargo bench." >&2
+    exit 2
+fi
+
+benches=(
+    bench_distances
+    bench_edit_kernel
+    bench_buffer_pool
+    bench_candidates
+    bench_phase1
+)
+
+for bench in "${benches[@]}"; do
+    echo "==> cargo bench --bench $bench"
+    cargo bench -q -p fuzzydedup-bench --bench "$bench"
+done
+
+echo "==> exp_bf_ordering (emits BENCH_bf_ordering.json)"
+cargo run -q --release -p fuzzydedup-bench --bin exp_bf_ordering
+
+echo
+echo "bench_all: baselines refreshed under ${BENCH_OUT_DIR:-results/}"
+echo "bench_all: review 'git diff results/' and commit deliberate changes"

@@ -3,7 +3,9 @@
 
 use std::sync::Arc;
 
-use fuzzydedup::nnindex::{InvertedIndex, InvertedIndexConfig, NestedLoopIndex, NnIndex};
+use fuzzydedup::nnindex::{
+    InvertedIndex, InvertedIndexConfig, NestedLoopIndex, NnIndex, PostingsSource,
+};
 use fuzzydedup::relation::{
     external_sort, group_sorted, Column, ColumnType, Schema, SortConfig, Table, Tuple, Value,
 };
@@ -134,11 +136,13 @@ fn buffer_stats_flow_through_the_whole_stack() {
         Arc::new(InMemoryDisk::new()),
     ));
     let records: Vec<Vec<String>> = (0..300).map(|i| vec![format!("record number {i}")]).collect();
+    // This test exercises the storage path, so pin the page-backed
+    // postings source (the default CSR mirror never reads pages back).
     let index = InvertedIndex::build(
         records.clone(),
         DistanceKind::EditDistance.build(&records),
         pool.clone(),
-        InvertedIndexConfig::default(),
+        InvertedIndexConfig { postings_source: PostingsSource::Pages, ..Default::default() },
     );
     pool.reset_stats();
     for id in 0..50u32 {
