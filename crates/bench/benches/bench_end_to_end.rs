@@ -3,7 +3,7 @@
 //! absolute numbers).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use fuzzydedup_core::{deduplicate, CutSpec, DedupConfig};
+use fuzzydedup_core::{CutSpec, DedupConfig, Deduplicator};
 use fuzzydedup_datagen::{restaurants, DatasetSpec};
 use fuzzydedup_textdist::DistanceKind;
 use rand::rngs::StdRng;
@@ -39,9 +39,8 @@ fn bench_end_to_end(c: &mut Criterion) {
                 .via_tables(true),
         ),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(deduplicate(&records, &config).unwrap()))
-        });
+        let dedup = Deduplicator::new(config);
+        group.bench_function(name, |b| b.iter(|| black_box(dedup.run_records(&records).unwrap())));
     }
     group.finish();
 }

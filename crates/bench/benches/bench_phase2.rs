@@ -1,53 +1,116 @@
-//! Criterion bench: Phase 2 (CSPairs construction + partitioning) — the
-//! in-memory fast path vs the SQL-shaped relational path, plus the
-//! single-linkage baseline over the same NN lists.
+//! Criterion bench: Phase 2 partitioning — the sequential in-memory scan
+//! vs the component-parallel scan at 4 workers (the tentpole claim of the
+//! parallel-Phase-2 PR), plus the SQL-shaped relational path and the
+//! single-linkage baseline on a smaller corpus for context.
+//!
+//! Emits `results/BENCH_phase2.json`. The committed baseline backs the
+//! acceptance claim that `partition_entries_parallel` at 4 threads beats
+//! `partition_entries` on a 10k-record Org corpus, and the
+//! bench-regression gate (`ci_bench_gate`) watches both paths for
+//! slowdowns.
+//!
+//! Measurement context (recorded so the baseline is interpretable): the CI
+//! container exposes **one** CPU to the process, so none of the measured
+//! gap can come from actual thread concurrency — what the baseline shows
+//! is the *algorithmic* win of the materialized CS-pair structure
+//! (`CsPairGraph`, the in-memory `CSPairs` table of §5): back-rank /
+//! anchor-mask pruning lets the parallel path skip candidate group sizes
+//! without allocating prefix sets, roughly halving Phase 2 even on one
+//! core (~1.6× on this host). On a genuinely multi-core host the
+//! cost-balanced component sharding stacks on top of that for the greedy
+//! scan portion; the build itself is serial (see DESIGN.md §7.4 for the
+//! shard-balance numbers that bound the extra speedup).
+//!
+//! Phase 1 (index build + NN materialization) runs once as setup; the
+//! measured region is exactly the partitioning work, including the
+//! parallel path's component extraction and scheduling overhead — the
+//! speedup is end-to-end for Phase 2, not just the sharded scan.
 
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fuzzydedup_core::{
-    compute_nn_reln, partition_entries, partition_via_tables, single_linkage, Aggregation, CutSpec,
-    NeighborSpec,
+    compute_nn_reln, partition_entries, partition_entries_parallel, partition_via_tables,
+    single_linkage, Aggregation, CutSpec, NeighborSpec,
 };
 use fuzzydedup_datagen::{org, DatasetSpec};
 use fuzzydedup_nnindex::{InvertedIndex, InvertedIndexConfig, LookupOrder};
 use fuzzydedup_storage::{BufferPool, BufferPoolConfig, InMemoryDisk};
-use fuzzydedup_textdist::DistanceKind;
+use fuzzydedup_textdist::{DistanceKind, EditDistance};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Corpus for the seq-vs-parallel comparison: large enough that Phase 2
+/// dwarfs thread-spawn + component-extraction overhead.
+const CORPUS: usize = 10_000;
+
+/// Neighbors per NN list: more prefix work per tuple than the default
+/// K = 5 cut, so the greedy CS/SN checks (the parallelizable part)
+/// dominate the union-find bookkeeping.
+const K: usize = 8;
+
 fn bench_phase2(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(5);
-    let dataset = org::generate(&mut rng, DatasetSpec::with_entities(1500));
-    let records = dataset.records;
+    // --- 10k-record Org corpus, Phase 1 once as setup. ---
+    let mut rng = StdRng::seed_from_u64(42);
+    // ~1.28 records per entity; trim the tail to exactly CORPUS records.
+    let dataset = org::generate(&mut rng, DatasetSpec::with_entities(8200));
+    let mut records = dataset.records;
+    assert!(records.len() >= CORPUS, "need {CORPUS} records, got {}", records.len());
+    records.truncate(CORPUS);
     let pool = Arc::new(BufferPool::new(
         BufferPoolConfig::with_capacity(4096),
         Arc::new(InMemoryDisk::new()),
     ));
-    let index = InvertedIndex::build(
-        records.clone(),
-        DistanceKind::FuzzyMatch.build(&records),
-        pool.clone(),
-        InvertedIndexConfig::default(),
-    );
-    let (reln, _) =
-        compute_nn_reln(&index, NeighborSpec::TopK(5), LookupOrder::breadth_first(), 2.0);
+    let index = InvertedIndex::build(records, EditDistance, pool, InvertedIndexConfig::default());
+    let (reln, _) = compute_nn_reln(&index, NeighborSpec::TopK(K), LookupOrder::Sequential, 2.0);
+    let cut = CutSpec::Size(K);
+
+    // Sanity: both paths agree before we time them.
+    let seq = partition_entries(&reln, cut, Aggregation::Max, 4.0);
+    assert_eq!(seq, partition_entries_parallel(&reln, cut, Aggregation::Max, 4.0, 4));
 
     let mut group = c.benchmark_group("phase2");
     group.sample_size(10);
-    group.bench_function("in_memory", |b| {
-        b.iter(|| black_box(partition_entries(&reln, CutSpec::Size(5), Aggregation::Max, 4.0)))
+    group.bench_function("seq", |b| {
+        b.iter(|| black_box(partition_entries(&reln, cut, Aggregation::Max, 4.0)))
     });
-    group.bench_function("via_tables", |b| {
+    group.bench_function("par4", |b| {
+        b.iter(|| black_box(partition_entries_parallel(&reln, cut, Aggregation::Max, 4.0, 4)))
+    });
+
+    // --- Context rows on a smaller corpus (the relational path is table
+    // I/O bound and would swamp the bench at 10k records). ---
+    let mut rng = StdRng::seed_from_u64(5);
+    let small = org::generate(&mut rng, DatasetSpec::with_entities(1500));
+    let small_records = small.records;
+    let small_pool = Arc::new(BufferPool::new(
+        BufferPoolConfig::with_capacity(4096),
+        Arc::new(InMemoryDisk::new()),
+    ));
+    let small_index = InvertedIndex::build(
+        small_records.clone(),
+        DistanceKind::FuzzyMatch.build(&small_records),
+        small_pool.clone(),
+        InvertedIndexConfig::default(),
+    );
+    let (small_reln, _) =
+        compute_nn_reln(&small_index, NeighborSpec::TopK(5), LookupOrder::breadth_first(), 2.0);
+    group.bench_function("via_tables_1500", |b| {
         b.iter(|| {
             black_box(
-                partition_via_tables(&reln, CutSpec::Size(5), Aggregation::Max, 4.0, pool.clone())
-                    .unwrap(),
+                partition_via_tables(
+                    &small_reln,
+                    CutSpec::Size(5),
+                    Aggregation::Max,
+                    4.0,
+                    small_pool.clone(),
+                )
+                .unwrap(),
             )
         })
     });
-    group.bench_function("single_linkage_baseline", |b| {
-        b.iter(|| black_box(single_linkage(&reln, 0.3)))
+    group.bench_function("single_linkage_1500", |b| {
+        b.iter(|| black_box(single_linkage(&small_reln, 0.3)))
     });
     group.finish();
 }

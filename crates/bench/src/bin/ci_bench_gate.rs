@@ -22,8 +22,13 @@ use fuzzydedup_bench::gate::{compare, has_regression, parse_bench_file, render_t
 /// The cheap benches the gate re-runs: seconds each, covering the edit
 /// kernel, the distance-function ladder above it, the storage layer below
 /// the index, and candidate generation (CSR vs page-backed postings).
-const CHEAP_BENCHES: &[&str] =
-    &["bench_edit_kernel", "bench_distances", "bench_buffer_pool", "bench_candidates"];
+const CHEAP_BENCHES: &[&str] = &[
+    "bench_edit_kernel",
+    "bench_distances",
+    "bench_buffer_pool",
+    "bench_candidates",
+    "bench_phase2",
+];
 
 /// `BENCH_*.json` artifacts those benches emit.
 const GATED_ARTIFACTS: &[&str] = &[
@@ -31,6 +36,7 @@ const GATED_ARTIFACTS: &[&str] = &[
     "BENCH_distances.json",
     "BENCH_buffer_pool.json",
     "BENCH_candidates.json",
+    "BENCH_phase2.json",
 ];
 
 struct Args {

@@ -14,7 +14,7 @@ use fuzzydedup_core::axioms::{
 };
 use fuzzydedup_core::minimality::enforce_minimality;
 use fuzzydedup_core::{
-    deduplicate, evaluate, partition_entries_ablation, Aggregation, CutSpec, DedupConfig,
+    evaluate, partition_entries_ablation, Aggregation, CutSpec, DedupConfig, Deduplicator,
     MatrixIndex,
 };
 use fuzzydedup_datagen::{restaurants, DatasetSpec};
@@ -31,7 +31,8 @@ fn main() {
 
     eprintln!("[exp_ablation] running pipeline once for NN lists...");
     let config = DedupConfig::new(distance).cut(cut).sn_threshold(c);
-    let outcome = deduplicate(&dataset.records, &config).expect("pipeline");
+    let outcome =
+        Deduplicator::new(config.clone()).run_records(&dataset.records).expect("pipeline");
     let reln = &outcome.nn_reln;
 
     println!(

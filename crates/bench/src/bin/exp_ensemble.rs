@@ -12,7 +12,7 @@
 //!
 //! Run with: `cargo run --release -p fuzzydedup-bench --bin exp_ensemble`
 
-use fuzzydedup_core::{deduplicate, evaluate, CutSpec, DedupConfig, Partition};
+use fuzzydedup_core::{evaluate, CutSpec, DedupConfig, Deduplicator, Partition};
 use fuzzydedup_datagen::{restaurants, DatasetSpec};
 use fuzzydedup_textdist::DistanceKind;
 use rand::rngs::StdRng;
@@ -37,7 +37,8 @@ fn main() {
     let mut partitions = Vec::new();
     for distance in [DistanceKind::FuzzyMatch, DistanceKind::EditDistance, DistanceKind::Cosine] {
         let config = DedupConfig::new(distance).cut(CutSpec::Size(4)).sn_threshold(6.0);
-        let outcome = deduplicate(&dataset.records, &config).expect("pipeline");
+        let outcome =
+            Deduplicator::new(config.clone()).run_records(&dataset.records).expect("pipeline");
         report(distance.name(), &outcome.partition, &dataset.gold);
         partitions.push(outcome.partition);
     }

@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use fuzzydedup_core::{deduplicate, evaluate, CutSpec, DedupConfig, IndexChoice};
+use fuzzydedup_core::{evaluate, CutSpec, DedupConfig, Deduplicator, IndexChoice};
 use fuzzydedup_datagen::{restaurants, DatasetSpec};
 use fuzzydedup_nnindex::{
     InvertedIndex, InvertedIndexConfig, MinHashConfig, MinHashIndex, NestedLoopIndex, NnIndex,
@@ -110,7 +110,8 @@ fn main() {
             .cut(CutSpec::Size(4))
             .sn_threshold(6.0)
             .index_choice(choice);
-        let outcome = deduplicate(&dataset.records, &config).expect("pipeline");
+        let outcome =
+            Deduplicator::new(config.clone()).run_records(&dataset.records).expect("pipeline");
         let pr = evaluate(&outcome.partition, &dataset.gold);
         println!("{:<12} {:>8.3} {:>10.3} {:>7.3}", name, pr.recall, pr.precision, pr.f1());
     }

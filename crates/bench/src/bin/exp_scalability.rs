@@ -13,7 +13,7 @@
 //! Run with:
 //! `cargo run --release -p fuzzydedup-bench --bin exp_scalability -- [--sizes 2000,4000,...]`
 
-use fuzzydedup_core::{deduplicate, CutSpec, DedupConfig};
+use fuzzydedup_core::{CutSpec, DedupConfig, Deduplicator};
 use fuzzydedup_datagen::{org, DatasetSpec};
 use fuzzydedup_textdist::DistanceKind;
 use rand::rngs::StdRng;
@@ -57,7 +57,7 @@ fn main() {
             .sn_threshold(4.0)
             .via_tables(true) // the paper's Phase 2 runs on the server
             .buffer_frames(8192);
-        let outcome = deduplicate(&records, &config).expect("pipeline");
+        let outcome = Deduplicator::new(config.clone()).run_records(&records).expect("pipeline");
         let p1 = outcome.phase1_duration.as_secs_f64() * 1000.0;
         let p2 = outcome.phase2_duration.as_secs_f64() * 1000.0;
         let base = *baseline_p1.get_or_insert(p1);

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release -p fuzzydedup-bench --bin exp_sn_threshold`
 
-use fuzzydedup_core::{deduplicate, estimate_sn_threshold, evaluate, CutSpec, DedupConfig};
+use fuzzydedup_core::{estimate_sn_threshold, evaluate, CutSpec, DedupConfig, Deduplicator};
 use fuzzydedup_datagen::standard_quality_datasets;
 use fuzzydedup_textdist::DistanceKind;
 
@@ -20,7 +20,8 @@ fn main() {
         // Phase 1 once; the paper notes the threshold "is not required
         // until the second partitioning phase", so NG values are reusable.
         let probe = DedupConfig::new(distance).cut(CutSpec::Size(5)).sn_threshold(4.0);
-        let outcome = deduplicate(&dataset.records, &probe).expect("phase 1");
+        let outcome =
+            Deduplicator::new(probe.clone()).run_records(&dataset.records).expect("phase 1");
         let ng = outcome.nn_reln.ng_values();
 
         // NG histogram (coarse).
@@ -47,7 +48,10 @@ fn main() {
             let c = estimate_sn_threshold(&ng, f).unwrap_or(4.0);
             let config = DedupConfig::new(distance).cut(CutSpec::Size(5)).sn_threshold(c);
             let pr = evaluate(
-                &deduplicate(&dataset.records, &config).expect("DE run").partition,
+                &Deduplicator::new(config.clone())
+                    .run_records(&dataset.records)
+                    .expect("DE run")
+                    .partition,
                 &dataset.gold,
             );
             println!(
@@ -60,7 +64,10 @@ fn main() {
         for c in [4.0, 6.0] {
             let config = DedupConfig::new(distance).cut(CutSpec::Size(5)).sn_threshold(c);
             let pr = evaluate(
-                &deduplicate(&dataset.records, &config).expect("DE run").partition,
+                &Deduplicator::new(config.clone())
+                    .run_records(&dataset.records)
+                    .expect("DE run")
+                    .partition,
                 &dataset.gold,
             );
             println!(

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release -p fuzzydedup-bench --bin exp_table1`
 
-use fuzzydedup_core::{deduplicate, evaluate, single_linkage, CutSpec, DedupConfig, Partition};
+use fuzzydedup_core::{evaluate, single_linkage, CutSpec, DedupConfig, Deduplicator, Partition};
 use fuzzydedup_datagen::media::table1;
 use fuzzydedup_textdist::DistanceKind;
 
@@ -43,7 +43,8 @@ fn main() {
         println!("=== distance: {} ===", distance.name());
         // Threshold baseline at several global thresholds.
         let cfg = DedupConfig::new(distance).cut(CutSpec::Diameter(0.7)).sn_threshold(1e9);
-        let outcome = deduplicate(&dataset.records, &cfg).expect("phase 1");
+        let outcome =
+            Deduplicator::new(cfg.clone()).run_records(&dataset.records).expect("phase 1");
         for theta in [0.15, 0.25, 0.35, 0.45, 0.55] {
             let p = single_linkage(&outcome.nn_reln, theta);
             describe(&p, &dataset.gold, &format!("thr(θ={theta:.2})"));
@@ -51,12 +52,14 @@ fn main() {
         // DE formulations.
         for c in [4.0, 6.0] {
             let cfg = DedupConfig::new(distance).cut(CutSpec::Size(4)).sn_threshold(c);
-            let outcome = deduplicate(&dataset.records, &cfg).expect("DE_S");
+            let outcome =
+                Deduplicator::new(cfg.clone()).run_records(&dataset.records).expect("DE_S");
             describe(&outcome.partition, &dataset.gold, &format!("DE_S(4) c={c}"));
         }
         for c in [4.0, 6.0] {
             let cfg = DedupConfig::new(distance).cut(CutSpec::Diameter(0.45)).sn_threshold(c);
-            let outcome = deduplicate(&dataset.records, &cfg).expect("DE_D");
+            let outcome =
+                Deduplicator::new(cfg.clone()).run_records(&dataset.records).expect("DE_D");
             describe(&outcome.partition, &dataset.gold, &format!("DE_D(0.45) c={c}"));
         }
         println!();

@@ -13,7 +13,7 @@
 pub mod gate;
 
 use fuzzydedup_core::{
-    deduplicate, evaluate, partition_entries, single_linkage, Aggregation, CutSpec, DedupConfig,
+    evaluate, partition_entries, single_linkage, Aggregation, CutSpec, DedupConfig, Deduplicator,
     NnReln, PrecisionRecall,
 };
 use fuzzydedup_datagen::Dataset;
@@ -86,15 +86,15 @@ impl SweepContext {
     pub fn build(dataset: &Dataset, distance: DistanceKind) -> Self {
         let max_k = k_grid().into_iter().max().unwrap_or(8);
         let max_theta = theta_grid().last().copied().unwrap_or(0.7);
-        let topk = deduplicate(
-            &dataset.records,
-            &DedupConfig::new(distance).cut(CutSpec::Size(max_k)).sn_threshold(4.0),
+        let topk = Deduplicator::new(
+            DedupConfig::new(distance).cut(CutSpec::Size(max_k)).sn_threshold(4.0),
         )
+        .run_records(&dataset.records)
         .expect("top-K phase 1");
-        let radius = deduplicate(
-            &dataset.records,
-            &DedupConfig::new(distance).cut(CutSpec::Diameter(max_theta)).sn_threshold(4.0),
+        let radius = Deduplicator::new(
+            DedupConfig::new(distance).cut(CutSpec::Diameter(max_theta)).sn_threshold(4.0),
         )
+        .run_records(&dataset.records)
         .expect("radius phase 1");
         Self { topk_reln: topk.nn_reln, radius_reln: radius.nn_reln }
     }
@@ -266,10 +266,10 @@ mod tests {
         for k in [2usize, 3, 4] {
             let from_ctx =
                 partition_entries(&ctx.topk_reln, CutSpec::Size(k), Aggregation::Max, 4.0);
-            let scratch = deduplicate(
-                &d.records,
-                &DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(k)).sn_threshold(4.0),
+            let scratch = Deduplicator::new(
+                DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(k)).sn_threshold(4.0),
             )
+            .run_records(&d.records)
             .unwrap();
             assert_eq!(from_ctx, scratch.partition, "K={k}");
         }
@@ -280,12 +280,12 @@ mod tests {
                 Aggregation::Max,
                 4.0,
             );
-            let scratch = deduplicate(
-                &d.records,
-                &DedupConfig::new(DistanceKind::FuzzyMatch)
+            let scratch = Deduplicator::new(
+                DedupConfig::new(DistanceKind::FuzzyMatch)
                     .cut(CutSpec::Diameter(theta))
                     .sn_threshold(4.0),
             )
+            .run_records(&d.records)
             .unwrap();
             assert_eq!(from_ctx, scratch.partition, "theta={theta}");
         }

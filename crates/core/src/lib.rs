@@ -31,12 +31,24 @@
 //! explicit distance matrix ([`matrix::MatrixIndex`]) for numeric examples
 //! and axiom tests.
 //!
-//! The one-call entry point is [`pipeline::deduplicate`]; finer control is
-//! available through [`pipeline::run_pipeline`].
+//! The entry point is the [`pipeline::Deduplicator`] facade:
+//!
+//! ```no_run
+//! use fuzzydedup_core::{DedupConfig, Deduplicator, Parallelism};
+//! use fuzzydedup_textdist::DistanceKind;
+//!
+//! let records: Vec<Vec<String>> = vec![/* ... */];
+//! let outcome = Deduplicator::new(
+//!     DedupConfig::new(DistanceKind::FuzzyMatch).parallelism(Parallelism::threads(0)),
+//! )
+//! .run_records(&records)
+//! .unwrap();
+//! ```
 
 pub mod axioms;
 pub mod baseline;
 pub mod blocking;
+pub mod components;
 pub mod constraints;
 pub mod criteria;
 pub mod eval;
@@ -55,16 +67,22 @@ pub mod threshold;
 
 pub use baseline::{single_linkage, star_componentize};
 pub use blocking::{blocked_single_linkage, BlockingKey};
+pub use components::{balance_components, UnionFind};
 pub use criteria::{is_compact_set, sparse_neighborhood_ok, Aggregation};
 pub use eval::{evaluate, evaluate_bcubed, BCubed, PrecisionRecall};
 pub use incremental::{BatchStats, IncrementalDedup};
 pub use matrix::MatrixIndex;
 pub use nnreln::{NnEntry, NnReln};
-pub use parallel::compute_nn_reln_parallel;
+pub use parallel::{compute_nn_reln_parallel, resolve_threads};
 pub use partition::Partition;
 pub use phase1::{compute_nn_reln, NeighborSpec, Phase1Stats};
-pub use phase2::{partition_entries, partition_entries_ablation, partition_via_tables};
-pub use pipeline::{deduplicate, run_pipeline, DedupConfig, DedupError, DedupOutcome, IndexChoice};
+pub use phase2::{
+    cs_pair_components, partition_entries, partition_entries_ablation, partition_entries_parallel,
+    partition_via_tables,
+};
+#[allow(deprecated)]
+pub use pipeline::{deduplicate, run_pipeline};
+pub use pipeline::{DedupConfig, DedupError, DedupOutcome, Deduplicator, IndexChoice, Parallelism};
 pub use problem::CutSpec;
 pub use report::{render_report, ReportOptions};
-pub use threshold::estimate_sn_threshold;
+pub use threshold::{estimate_sn_threshold, estimate_sn_threshold_parallel};

@@ -17,6 +17,19 @@ use fuzzydedup_nnindex::{LookupCost, LookupSpec, NnIndex};
 use crate::nnreln::{NnEntry, NnReln};
 use crate::phase1::{NeighborSpec, Phase1Stats};
 
+/// Resolve a thread-count knob against the number of work items: `0`
+/// means one thread per available CPU, and the result is clamped to
+/// `[1, n_items.max(1)]` so degenerate inputs never over-spawn. Shared by
+/// the Phase-1 sharder and the Phase-2 component scheduler.
+pub fn resolve_threads(n_threads: usize, n_items: usize) -> usize {
+    let threads = if n_threads == 0 {
+        std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1)
+    } else {
+        n_threads
+    };
+    threads.max(1).min(n_items.max(1))
+}
+
 /// Compute one tuple's `NN_Reln` entry (shared by the sequential and
 /// parallel drivers) via the index's combined lookup, returning the
 /// probe cost the index reports alongside.
@@ -47,13 +60,7 @@ pub fn compute_nn_reln_parallel(
 ) -> (NnReln, Phase1Stats) {
     assert!(p >= 1.0, "growth multiplier p must be >= 1, got {p}");
     let n = index.len();
-    let threads = if n_threads == 0 {
-        std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1)
-    } else {
-        n_threads
-    }
-    .max(1)
-    .min(n.max(1));
+    let threads = resolve_threads(n_threads, n);
 
     let mut entries: Vec<Option<NnEntry>> = vec![None; n];
     let chunk_size = n.div_ceil(threads).max(1);
@@ -153,6 +160,96 @@ mod tests {
     fn bad_p_panics() {
         let idx = random_matrix(4, 5);
         compute_nn_reln_parallel(&idx, NeighborSpec::TopK(2), 0.0, 2);
+    }
+
+    #[test]
+    fn phase2_is_parallel_safe() {
+        // Mirror of the Phase-1 tests above for the component-parallel
+        // partitioner: thread counts {1, 2, 4, 0} must all reproduce the
+        // sequential partition bit-for-bit, across cut shapes and
+        // aggregations.
+        use crate::criteria::Aggregation;
+        use crate::phase2::{partition_entries, partition_entries_parallel};
+        use crate::problem::CutSpec;
+
+        let idx = random_matrix(300, 7);
+        for cut in [
+            CutSpec::Size(3),
+            CutSpec::Size(6),
+            CutSpec::Diameter(15.0),
+            CutSpec::SizeAndDiameter(4, 25.0),
+            CutSpec::Unbounded,
+        ] {
+            let (reln, _) = compute_nn_reln(
+                &idx,
+                NeighborSpec::from_cut(&cut, 300),
+                LookupOrder::Sequential,
+                2.0,
+            );
+            for agg in [Aggregation::Max, Aggregation::Avg, Aggregation::Max2] {
+                for c in [2.5, 6.0] {
+                    let seq = partition_entries(&reln, cut, agg, c);
+                    for threads in [1, 2, 4, 0] {
+                        let par = partition_entries_parallel(&reln, cut, agg, c, threads);
+                        assert_eq!(
+                            seq, par,
+                            "cut={cut:?} agg={agg:?} c={c} threads={threads} diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase2_parallel_more_threads_than_components() {
+        use crate::criteria::Aggregation;
+        use crate::phase2::{partition_entries, partition_entries_parallel};
+        use crate::problem::CutSpec;
+
+        // Two tight clusters -> at most a handful of CS-pair components;
+        // 64 workers must leave most shards empty without deadlocking.
+        let points = [1.0, 1.1, 1.2, 50.0, 50.1, 50.2];
+        let idx = MatrixIndex::from_points_1d(&points);
+        let cut = CutSpec::Size(3);
+        let (reln, _) = compute_nn_reln(
+            &idx,
+            NeighborSpec::from_cut(&cut, points.len()),
+            LookupOrder::Sequential,
+            2.0,
+        );
+        let seq = partition_entries(&reln, cut, Aggregation::Max, 6.0);
+        let par = partition_entries_parallel(&reln, cut, Aggregation::Max, 6.0, 64);
+        assert_eq!(seq, par);
+        assert!(par.are_together(0, 1), "{:?}", par.groups());
+    }
+
+    #[test]
+    fn phase2_parallel_single_giant_component() {
+        use crate::criteria::Aggregation;
+        use crate::phase2::{cs_pair_components, partition_entries, partition_entries_parallel};
+        use crate::problem::CutSpec;
+
+        // Degenerate case: one evenly-spaced chain is a single connected
+        // CS-pair component — no parallelism available. The scheduler must
+        // put the whole component on one worker, not deadlock, and still
+        // match the sequential partition exactly.
+        let points: Vec<f64> = (0..120).map(|i| i as f64 * 0.5).collect();
+        let idx = MatrixIndex::from_points_1d(&points);
+        let cut = CutSpec::Unbounded;
+        let (reln, _) = compute_nn_reln(
+            &idx,
+            NeighborSpec::from_cut(&cut, points.len()),
+            LookupOrder::Sequential,
+            2.0,
+        );
+        let comps = cs_pair_components(&reln, cut.max_group_size(points.len()));
+        assert_eq!(comps.len(), 1, "chain must form one giant component");
+        let seq = partition_entries(&reln, cut, Aggregation::Max, 100.0);
+        for threads in [2, 4, 0] {
+            let par = partition_entries_parallel(&reln, cut, Aggregation::Max, 100.0, threads);
+            assert_eq!(seq, par, "threads={threads}");
+        }
     }
 
     #[test]

@@ -21,39 +21,48 @@ impl Partition {
     /// Panics if a group references an id `>= n` or if two groups overlap —
     /// both indicate a bug in the partitioning algorithm, not bad data.
     pub fn from_groups(n: usize, groups: impl IntoIterator<Item = Vec<u32>>) -> Self {
-        let mut group_of: Vec<Option<u32>> = vec![None; n];
-        let mut canonical: Vec<Vec<u32>> = Vec::new();
+        // `u32::MAX` marks ids no supplied group covers (future
+        // singletons); covered ids get their final index once canonical
+        // order is known.
+        const FREE: u32 = u32::MAX;
+        let mut group_of: Vec<u32> = vec![FREE; n];
+        let mut supplied: Vec<Vec<u32>> = Vec::new();
         for mut g in groups {
             g.sort_unstable();
             g.dedup();
             if g.is_empty() {
                 continue;
             }
-            let gi = canonical.len() as u32;
             for &id in &g {
                 assert!((id as usize) < n, "group references id {id} >= n={n}");
-                assert!(group_of[id as usize].is_none(), "id {id} appears in more than one group");
-                group_of[id as usize] = Some(gi);
+                assert!(group_of[id as usize] == FREE, "id {id} appears in more than one group");
+                group_of[id as usize] = 0; // provisional; remapped below
             }
-            canonical.push(g);
+            supplied.push(g);
         }
+        // Canonical order: by minimum id. Walk ids ascending, merging the
+        // sorted supplied groups with the uncovered ids' singletons.
+        supplied.sort_unstable_by_key(|g| g[0]);
+        let singles = group_of.iter().filter(|&&gi| gi == FREE).count();
+        let mut canonical: Vec<Vec<u32>> = Vec::with_capacity(supplied.len() + singles);
+        let mut next = supplied.into_iter().peekable();
         for id in 0..n as u32 {
-            if group_of[id as usize].is_none() {
-                group_of[id as usize] = Some(canonical.len() as u32);
+            if group_of[id as usize] == FREE {
+                group_of[id as usize] = canonical.len() as u32;
                 canonical.push(vec![id]);
+            } else if next.peek().is_some_and(|g| g[0] == id) {
+                let g = next.next().expect("peeked");
+                let gi = canonical.len() as u32;
+                for &u in &g {
+                    group_of[u as usize] = gi;
+                }
+                canonical.push(g);
             }
+            // Non-minimum members of supplied groups take neither branch:
+            // their group was already emitted at its minimum id.
         }
-        // Canonical order: by minimum id.
-        let mut order: Vec<usize> = (0..canonical.len()).collect();
-        order.sort_by_key(|&gi| canonical[gi][0]);
-        let mut remap = vec![0u32; canonical.len()];
-        for (new_gi, &old_gi) in order.iter().enumerate() {
-            remap[old_gi] = new_gi as u32;
-        }
-        let groups: Vec<Vec<u32>> = order.iter().map(|&gi| canonical[gi].clone()).collect();
-        let group_of: Vec<u32> =
-            group_of.into_iter().map(|g| remap[g.expect("all ids covered") as usize]).collect();
-        Self { n, groups, group_of }
+        debug_assert!(next.peek().is_none(), "every supplied group starts at some id");
+        Self { n, groups: canonical, group_of }
     }
 
     /// The all-singletons partition.

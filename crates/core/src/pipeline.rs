@@ -3,9 +3,21 @@
 //! Mirrors the paper's architecture (Figure 3): a client driving
 //! (1) the nearest-neighbor computation phase against an NN index whose
 //! pages live in the database buffer, and (2) the partitioning phase
-//! running as relational queries. [`deduplicate`] is the one-call API over
-//! string records; [`run_pipeline`] runs the same phases over any
-//! [`NnIndex`] (e.g. a [`crate::matrix::MatrixIndex`]).
+//! running as relational queries. [`Deduplicator`] is the single entry
+//! point: construct it with a [`DedupConfig`], then
+//! [`Deduplicator::run_records`] deduplicates string records (building the
+//! distance function and the configured index) while [`Deduplicator::run`]
+//! drives the same phases over any pre-built [`NnIndex`] (e.g. a
+//! [`crate::matrix::MatrixIndex`]).
+//!
+//! Both phases scale over threads through one [`Parallelism`] knob:
+//! Phase 1 shards the id space ([`crate::parallel`]), Phase 2 processes
+//! CS-pair components concurrently
+//! ([`crate::phase2::partition_entries_parallel`]); either way results are
+//! bit-for-bit identical to the sequential drive.
+//!
+//! The pre-facade free functions [`deduplicate`] and [`run_pipeline`]
+//! remain as deprecated shims.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -16,15 +28,16 @@ use fuzzydedup_nnindex::{
     NnIndex,
 };
 use fuzzydedup_relation::RelationError;
-use fuzzydedup_storage::{BufferPool, BufferPoolConfig, BufferStats, InMemoryDisk};
+use fuzzydedup_storage::{BufferPool, BufferPoolConfig, BufferStats, InMemoryDisk, StorageError};
 use fuzzydedup_textdist::DistanceKind;
 
 use crate::criteria::Aggregation;
 use crate::minimality::enforce_minimality;
 use crate::nnreln::NnReln;
+use crate::parallel::resolve_threads;
 use crate::partition::Partition;
 use crate::phase1::{compute_nn_reln, NeighborSpec, Phase1Stats};
-use crate::phase2::{partition_entries, partition_via_tables};
+use crate::phase2::{partition_entries, partition_entries_parallel, partition_via_tables};
 use crate::problem::CutSpec;
 
 /// Which nearest-neighbor index Phase 1 uses.
@@ -43,6 +56,46 @@ pub enum IndexChoice {
 impl Default for IndexChoice {
     fn default() -> Self {
         IndexChoice::Inverted(InvertedIndexConfig::default())
+    }
+}
+
+/// Per-phase worker-thread counts — the one knob driving every parallel
+/// path of the pipeline. `None` for a phase means the sequential drive
+/// (for Phase 1 that is the ordered scan honoring
+/// [`DedupConfig::lookup_order`]); `Some(0)` means one worker per
+/// available CPU. Parallel and sequential drives produce identical
+/// results for both phases, so this is purely a performance knob.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads for Phase 1 (NN-list materialization).
+    pub phase1_threads: Option<usize>,
+    /// Worker threads for Phase 2 (component-parallel partitioning).
+    /// Ignored when Phase 2 routes through the relational substrate
+    /// ([`DedupConfig::via_tables`]), which stays sequential.
+    pub phase2_threads: Option<usize>,
+}
+
+impl Parallelism {
+    /// Both phases sequential (the default).
+    pub fn sequential() -> Self {
+        Self::default()
+    }
+
+    /// Both phases on `n` worker threads (`0` = all CPUs).
+    pub fn threads(n: usize) -> Self {
+        Self { phase1_threads: Some(n), phase2_threads: Some(n) }
+    }
+
+    /// Set the Phase-1 worker count.
+    pub fn phase1(mut self, n: usize) -> Self {
+        self.phase1_threads = Some(n);
+        self
+    }
+
+    /// Set the Phase-2 worker count.
+    pub fn phase2(mut self, n: usize) -> Self {
+        self.phase2_threads = Some(n);
+        self
     }
 }
 
@@ -73,16 +126,17 @@ pub struct DedupConfig {
     pub via_tables: bool,
     /// Buffer-pool frames for index pages and Phase-2 tables.
     pub buffer_frames: usize,
-    /// Run Phase 1 on this many threads instead of the ordered sequential
-    /// scan (`None` = sequential with `order`). Results are identical —
-    /// see [`crate::parallel`]; the sequential BF order only matters for
-    /// disk-resident indexes.
-    pub parallel_threads: Option<usize>,
+    /// Per-phase worker-thread counts. Results are identical to the
+    /// sequential drive either way — see [`crate::parallel`] and
+    /// [`crate::phase2::partition_entries_parallel`]; the sequential BF
+    /// order only matters for disk-resident indexes.
+    pub parallelism: Parallelism,
 }
 
 impl DedupConfig {
     /// Defaults: `DE_S(5)`, `Max` aggregation, `c = 4`, `p = 2`,
-    /// breadth-first lookups, inverted index, 4096 buffer frames (32 MB).
+    /// breadth-first lookups, inverted index, 4096 buffer frames (32 MB),
+    /// both phases sequential.
     pub fn new(distance: DistanceKind) -> Self {
         Self {
             distance,
@@ -95,7 +149,7 @@ impl DedupConfig {
             minimality: false,
             via_tables: false,
             buffer_frames: 4096,
-            parallel_threads: None,
+            parallelism: Parallelism::sequential(),
         }
     }
 
@@ -153,36 +207,72 @@ impl DedupConfig {
         self
     }
 
+    /// Set the per-phase worker-thread counts.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// Run Phase 1 in parallel on `threads` workers (`0` = all CPUs).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `parallelism(Parallelism::sequential().phase1(threads))` — one knob now \
+                drives both phases"
+    )]
     pub fn parallel_phase1(mut self, threads: usize) -> Self {
-        self.parallel_threads = Some(threads);
+        self.parallelism.phase1_threads = Some(threads);
         self
     }
 }
 
 /// Errors from a deduplication run.
+///
+/// Layer failures are wrapped as typed variants whose causes are reachable
+/// through [`std::error::Error::source`] — walk the chain for the full
+/// story instead of parsing strings. The enum is `#[non_exhaustive]`:
+/// future pipeline layers may add variants without a breaking change, so
+/// downstream `match`es need a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum DedupError {
     /// The configuration is invalid (bad cut parameters, `p < 1`, ...).
     InvalidConfig(String),
     /// A relational-substrate failure during Phase 2.
     Relation(RelationError),
+    /// A storage-layer failure (buffer pool or disk manager) outside the
+    /// relational substrate.
+    Storage(StorageError),
 }
 
 impl std::fmt::Display for DedupError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
-            Self::Relation(e) => write!(f, "relation error: {e}"),
+            Self::Relation(_) => write!(f, "phase 2 relational substrate failed"),
+            Self::Storage(_) => write!(f, "storage layer failed"),
         }
     }
 }
 
-impl std::error::Error for DedupError {}
+impl std::error::Error for DedupError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::InvalidConfig(_) => None,
+            Self::Relation(e) => Some(e),
+            Self::Storage(e) => Some(e),
+        }
+    }
+}
 
 impl From<RelationError> for DedupError {
     fn from(e: RelationError) -> Self {
         Self::Relation(e)
+    }
+}
+
+impl From<StorageError> for DedupError {
+    fn from(e: StorageError) -> Self {
+        Self::Storage(e)
     }
 }
 
@@ -207,9 +297,9 @@ pub struct DedupOutcome {
     pub buffer_stats: BufferStats,
     /// The unified run-metrics surface: per-layer counters (distance
     /// evaluations, index traffic, Phase-2 relational work), buffer-pool
-    /// accounting over the whole run, Phase-1 probe telemetry, and
-    /// per-stage wall times. JSON-serializable via
-    /// [`RunMetrics::to_json`]; the CLI prints it under `--metrics`.
+    /// accounting over the whole run, Phase-1 probe telemetry, per-phase
+    /// worker-thread counts, and per-stage wall times. JSON-serializable
+    /// via [`RunMetrics::to_json`]; the CLI prints it under `--metrics`.
     ///
     /// Counter-backed sections are per-run deltas of process-global
     /// counters, so concurrent runs in one process bleed into each other;
@@ -236,132 +326,206 @@ fn validate(config: &DedupConfig) -> Result<(), DedupError> {
     Ok(())
 }
 
-/// Run both phases over an already-built index. `pool` carries Phase-2
-/// tables (and, for the inverted index, already carried Phase-1 lookups).
-fn run_phases(
-    index: &dyn NnIndex,
-    config: &DedupConfig,
-    pool: Arc<BufferPool>,
-) -> Result<DedupOutcome, DedupError> {
-    validate(config)?;
-    let spec = NeighborSpec::from_cut(&config.cut, index.len());
-    let counters_before = fuzzydedup_metrics::snapshot();
-
-    let t1 = Instant::now();
-    let (nn_reln, phase1_stats) = match config.parallel_threads {
-        Some(threads) => crate::parallel::compute_nn_reln_parallel(index, spec, config.p, threads),
-        None => compute_nn_reln(index, spec, config.order, config.p),
-    };
-    let phase1_duration = t1.elapsed();
-    let buffer_stats = pool.stats();
-
-    let t2 = Instant::now();
-    let mut partition = if config.via_tables {
-        partition_via_tables(&nn_reln, config.cut, config.agg, config.c, pool.clone())?
-    } else {
-        partition_entries(&nn_reln, config.cut, config.agg, config.c)
-    };
-    let phase2_duration = t2.elapsed();
-    let t3 = Instant::now();
-    if config.minimality {
-        partition = enforce_minimality(&nn_reln, &partition);
-    }
-    let minimality_duration = t3.elapsed();
-
-    let mut run_metrics = RunMetrics::default();
-    run_metrics.apply_counter_delta(&fuzzydedup_metrics::snapshot().delta(&counters_before));
-    // Storage section covers the whole run on this pool: Phase-1 index
-    // lookups plus Phase-2 relational tables (when routed via tables).
-    let pool_stats = pool.stats();
-    run_metrics.storage = StorageMetrics {
-        hits: pool_stats.hits,
-        misses: pool_stats.misses,
-        evictions: pool_stats.evictions,
-        writebacks: pool_stats.writebacks,
-        hit_ratio: pool_stats.hit_ratio(),
-    };
-    run_metrics.phase1 = Phase1Metrics {
-        tuples: nn_reln.len() as u64,
-        index_probes: phase1_stats.lookups,
-        fallback_probes: phase1_stats.fallback_probes,
-        bf_queue_high_water: phase1_stats.bf_queue_high_water,
-        visit_stride_mean: fuzzydedup_metrics::visit_stride_mean(&phase1_stats.visit_order),
-    };
-    run_metrics.timings = StageTimings {
-        build_distance_ns: 0, // filled by `deduplicate`, which owns the builds
-        build_index_ns: 0,
-        phase1_ns: phase1_duration.as_nanos() as u64,
-        phase2_ns: phase2_duration.as_nanos() as u64,
-        minimality_ns: minimality_duration.as_nanos() as u64,
-        total_ns: (phase1_duration + phase2_duration + minimality_duration).as_nanos() as u64,
-    };
-
-    Ok(DedupOutcome {
-        partition,
-        nn_reln,
-        phase1_stats,
-        phase1_duration,
-        phase2_duration,
-        buffer_stats,
-        metrics: run_metrics,
-    })
+/// The unified entry point: one configured deduplicator driving both
+/// phases, over raw string records ([`Deduplicator::run_records`]) or any
+/// pre-built index ([`Deduplicator::run`]).
+///
+/// ```no_run
+/// use fuzzydedup_core::{CutSpec, DedupConfig, Deduplicator, Parallelism};
+/// use fuzzydedup_textdist::DistanceKind;
+///
+/// let config = DedupConfig::new(DistanceKind::FuzzyMatch)
+///     .cut(CutSpec::Size(4))
+///     .sn_threshold(4.0)
+///     .parallelism(Parallelism::threads(0)); // both phases, all CPUs
+/// let records: Vec<Vec<String>> = vec![/* ... */];
+/// let outcome = Deduplicator::new(config).run_records(&records).unwrap();
+/// println!("{} groups", outcome.partition.num_groups());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Deduplicator {
+    config: DedupConfig,
 }
 
-/// Deduplicate string records: builds the distance function (fitting IDF
-/// weights on the records when the distance needs them), the configured
-/// index, and runs both phases.
+impl Deduplicator {
+    /// Wrap a configuration. The configuration is validated on each run
+    /// (not here) so a `Deduplicator` can be constructed in const-ish
+    /// contexts and reconfigured via [`Deduplicator::config_mut`].
+    pub fn new(config: DedupConfig) -> Self {
+        Self { config }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &DedupConfig {
+        &self.config
+    }
+
+    /// Mutable access for reconfiguring between runs.
+    pub fn config_mut(&mut self) -> &mut DedupConfig {
+        &mut self.config
+    }
+
+    /// Deduplicate string records: builds the distance function (fitting
+    /// IDF weights on the records when the distance needs them), the
+    /// configured index, and runs both phases.
+    pub fn run_records(&self, records: &[Vec<String>]) -> Result<DedupOutcome, DedupError> {
+        let config = &self.config;
+        validate(config)?;
+        let pool = Arc::new(BufferPool::new(
+            BufferPoolConfig::with_capacity(config.buffer_frames),
+            Arc::new(InMemoryDisk::new()),
+        ));
+        let t_dist = Instant::now();
+        let distance = config.distance.build(records);
+        let build_distance = t_dist.elapsed();
+        let t_index = Instant::now();
+        let (mut outcome, build_index) = match &config.index {
+            IndexChoice::Inverted(index_config) => {
+                let index = InvertedIndex::build(
+                    records.to_vec(),
+                    distance,
+                    pool.clone(),
+                    index_config.clone(),
+                );
+                let build_index = t_index.elapsed();
+                pool.reset_stats(); // measure lookups, not the build
+                (self.run_phases(&index, pool)?, build_index)
+            }
+            IndexChoice::NestedLoop => {
+                let index = NestedLoopIndex::new(records.to_vec(), distance);
+                let build_index = t_index.elapsed();
+                (self.run_phases(&index, pool)?, build_index)
+            }
+            IndexChoice::MinHash(minhash_config) => {
+                let index = MinHashIndex::build(records.to_vec(), distance, minhash_config.clone());
+                let build_index = t_index.elapsed();
+                (self.run_phases(&index, pool)?, build_index)
+            }
+        };
+        let timings = &mut outcome.metrics.timings;
+        timings.build_distance_ns = build_distance.as_nanos() as u64;
+        timings.build_index_ns = build_index.as_nanos() as u64;
+        timings.total_ns += timings.build_distance_ns + timings.build_index_ns;
+        Ok(outcome)
+    }
+
+    /// Run the pipeline over an arbitrary pre-built index (used for matrix
+    /// relations and custom indexes). A private pool is created for
+    /// Phase-2 tables.
+    pub fn run(&self, index: &dyn NnIndex) -> Result<DedupOutcome, DedupError> {
+        let pool = Arc::new(BufferPool::new(
+            BufferPoolConfig::with_capacity(self.config.buffer_frames),
+            Arc::new(InMemoryDisk::new()),
+        ));
+        self.run_phases(index, pool)
+    }
+
+    /// Run both phases over an already-built index. `pool` carries Phase-2
+    /// tables (and, for the inverted index, already carried Phase-1
+    /// lookups).
+    fn run_phases(
+        &self,
+        index: &dyn NnIndex,
+        pool: Arc<BufferPool>,
+    ) -> Result<DedupOutcome, DedupError> {
+        let config = &self.config;
+        validate(config)?;
+        let n = index.len();
+        let spec = NeighborSpec::from_cut(&config.cut, n);
+        let counters_before = fuzzydedup_metrics::snapshot();
+
+        let t1 = Instant::now();
+        let (nn_reln, phase1_stats) = match config.parallelism.phase1_threads {
+            Some(threads) => {
+                crate::parallel::compute_nn_reln_parallel(index, spec, config.p, threads)
+            }
+            None => compute_nn_reln(index, spec, config.order, config.p),
+        };
+        let phase1_duration = t1.elapsed();
+        let buffer_stats = pool.stats();
+
+        let t2 = Instant::now();
+        let mut partition = if config.via_tables {
+            partition_via_tables(&nn_reln, config.cut, config.agg, config.c, pool.clone())?
+        } else {
+            match config.parallelism.phase2_threads {
+                Some(threads) => {
+                    partition_entries_parallel(&nn_reln, config.cut, config.agg, config.c, threads)
+                }
+                None => partition_entries(&nn_reln, config.cut, config.agg, config.c),
+            }
+        };
+        let phase2_duration = t2.elapsed();
+        let t3 = Instant::now();
+        if config.minimality {
+            partition = enforce_minimality(&nn_reln, &partition);
+        }
+        let minimality_duration = t3.elapsed();
+
+        let mut run_metrics = RunMetrics::default();
+        // Pipeline-filled (non-counter) thread counts go in before the
+        // delta is applied; `apply_counter_delta` preserves them.
+        run_metrics.phase2.threads = match (config.via_tables, config.parallelism.phase2_threads) {
+            (true, _) | (false, None) => 1,
+            (false, Some(t)) => resolve_threads(t, n) as u64,
+        };
+        run_metrics.apply_counter_delta(&fuzzydedup_metrics::snapshot().delta(&counters_before));
+        // Storage section covers the whole run on this pool: Phase-1 index
+        // lookups plus Phase-2 relational tables (when routed via tables).
+        let pool_stats = pool.stats();
+        run_metrics.storage = StorageMetrics {
+            hits: pool_stats.hits,
+            misses: pool_stats.misses,
+            evictions: pool_stats.evictions,
+            writebacks: pool_stats.writebacks,
+            hit_ratio: pool_stats.hit_ratio(),
+        };
+        run_metrics.phase1 = Phase1Metrics {
+            tuples: nn_reln.len() as u64,
+            index_probes: phase1_stats.lookups,
+            fallback_probes: phase1_stats.fallback_probes,
+            bf_queue_high_water: phase1_stats.bf_queue_high_water,
+            visit_stride_mean: fuzzydedup_metrics::visit_stride_mean(&phase1_stats.visit_order),
+            threads: match config.parallelism.phase1_threads {
+                Some(t) => resolve_threads(t, n) as u64,
+                None => 1,
+            },
+        };
+        run_metrics.timings = StageTimings {
+            build_distance_ns: 0, // filled by `run_records`, which owns the builds
+            build_index_ns: 0,
+            phase1_ns: phase1_duration.as_nanos() as u64,
+            phase2_ns: phase2_duration.as_nanos() as u64,
+            minimality_ns: minimality_duration.as_nanos() as u64,
+            total_ns: (phase1_duration + phase2_duration + minimality_duration).as_nanos() as u64,
+        };
+
+        Ok(DedupOutcome {
+            partition,
+            nn_reln,
+            phase1_stats,
+            phase1_duration,
+            phase2_duration,
+            buffer_stats,
+            metrics: run_metrics,
+        })
+    }
+}
+
+/// Deduplicate string records with a one-off [`Deduplicator`].
+#[deprecated(since = "0.1.0", note = "use `Deduplicator::new(config).run_records(records)`")]
 pub fn deduplicate(
     records: &[Vec<String>],
     config: &DedupConfig,
 ) -> Result<DedupOutcome, DedupError> {
-    validate(config)?;
-    let pool = Arc::new(BufferPool::new(
-        BufferPoolConfig::with_capacity(config.buffer_frames),
-        Arc::new(InMemoryDisk::new()),
-    ));
-    let t_dist = Instant::now();
-    let distance = config.distance.build(records);
-    let build_distance = t_dist.elapsed();
-    let t_index = Instant::now();
-    let (mut outcome, build_index) = match &config.index {
-        IndexChoice::Inverted(index_config) => {
-            let index = InvertedIndex::build(
-                records.to_vec(),
-                distance,
-                pool.clone(),
-                index_config.clone(),
-            );
-            let build_index = t_index.elapsed();
-            pool.reset_stats(); // measure lookups, not the build
-            (run_phases(&index, config, pool)?, build_index)
-        }
-        IndexChoice::NestedLoop => {
-            let index = NestedLoopIndex::new(records.to_vec(), distance);
-            let build_index = t_index.elapsed();
-            (run_phases(&index, config, pool)?, build_index)
-        }
-        IndexChoice::MinHash(minhash_config) => {
-            let index = MinHashIndex::build(records.to_vec(), distance, minhash_config.clone());
-            let build_index = t_index.elapsed();
-            (run_phases(&index, config, pool)?, build_index)
-        }
-    };
-    let timings = &mut outcome.metrics.timings;
-    timings.build_distance_ns = build_distance.as_nanos() as u64;
-    timings.build_index_ns = build_index.as_nanos() as u64;
-    timings.total_ns += timings.build_distance_ns + timings.build_index_ns;
-    Ok(outcome)
+    Deduplicator::new(config.clone()).run_records(records)
 }
 
-/// Run the pipeline over an arbitrary pre-built index (used for matrix
-/// relations and custom indexes). A private pool is created for Phase-2
-/// tables.
+/// Run the pipeline over an arbitrary pre-built index with a one-off
+/// [`Deduplicator`].
+#[deprecated(since = "0.1.0", note = "use `Deduplicator::new(config).run(index)`")]
 pub fn run_pipeline(index: &dyn NnIndex, config: &DedupConfig) -> Result<DedupOutcome, DedupError> {
-    let pool = Arc::new(BufferPool::new(
-        BufferPoolConfig::with_capacity(config.buffer_frames),
-        Arc::new(InMemoryDisk::new()),
-    ));
-    run_phases(index, config, pool)
+    Deduplicator::new(config.clone()).run(index)
 }
 
 #[cfg(test)]
@@ -387,6 +551,10 @@ mod tests {
         .collect()
     }
 
+    fn dedup(records: &[Vec<String>], config: &DedupConfig) -> Result<DedupOutcome, DedupError> {
+        Deduplicator::new(config.clone()).run_records(records)
+    }
+
     #[test]
     fn end_to_end_fms_finds_duplicates() {
         // Pin the page-backed postings source: this test also checks that
@@ -399,7 +567,7 @@ mod tests {
                 postings_source: fuzzydedup_nnindex::PostingsSource::Pages,
                 ..Default::default()
             }));
-        let outcome = deduplicate(&music_records(), &config).unwrap();
+        let outcome = dedup(&music_records(), &config).unwrap();
         let p = &outcome.partition;
         assert!(p.are_together(0, 1), "Doors pair: {:?}", p.groups());
         assert!(p.are_together(4, 5), "Twain pair: {:?}", p.groups());
@@ -417,9 +585,9 @@ mod tests {
     fn nested_loop_and_inverted_agree_here() {
         let base =
             DedupConfig::new(DistanceKind::EditDistance).cut(CutSpec::Size(3)).sn_threshold(4.0);
-        let inv = deduplicate(&music_records(), &base).unwrap();
-        let nl = deduplicate(&music_records(), &base.clone().index_choice(IndexChoice::NestedLoop))
-            .unwrap();
+        let inv = dedup(&music_records(), &base).unwrap();
+        let nl =
+            dedup(&music_records(), &base.clone().index_choice(IndexChoice::NestedLoop)).unwrap();
         assert_eq!(inv.partition, nl.partition);
     }
 
@@ -427,18 +595,18 @@ mod tests {
     fn via_tables_matches_in_memory() {
         let base =
             DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(4)).sn_threshold(4.0);
-        let mem = deduplicate(&music_records(), &base).unwrap();
-        let tab = deduplicate(&music_records(), &base.clone().via_tables(true)).unwrap();
+        let mem = dedup(&music_records(), &base).unwrap();
+        let tab = dedup(&music_records(), &base.clone().via_tables(true)).unwrap();
         assert_eq!(mem.partition, tab.partition);
     }
 
     #[test]
-    fn run_pipeline_over_matrix() {
+    fn run_over_matrix_index() {
         let m = MatrixIndex::from_points_1d(&[1.0, 2.0, 4.0, 20.0, 22.0, 30.0, 32.0]);
         let config = DedupConfig::new(DistanceKind::EditDistance) // distance unused
             .cut(CutSpec::Size(3))
             .sn_threshold(4.0);
-        let outcome = run_pipeline(&m, &config).unwrap();
+        let outcome = Deduplicator::new(config).run(&m).unwrap();
         assert!(outcome.partition.are_together(0, 1));
         assert!(outcome.partition.are_together(3, 4));
         assert!(outcome.partition.are_together(5, 6));
@@ -448,27 +616,27 @@ mod tests {
     fn invalid_configs_are_rejected() {
         let records = music_records();
         let bad_cut = DedupConfig::new(DistanceKind::EditDistance).cut(CutSpec::Size(1));
-        assert!(matches!(deduplicate(&records, &bad_cut), Err(DedupError::InvalidConfig(_))));
+        assert!(matches!(dedup(&records, &bad_cut), Err(DedupError::InvalidConfig(_))));
         let bad_p = DedupConfig::new(DistanceKind::EditDistance).growth_multiplier(0.5);
-        assert!(deduplicate(&records, &bad_p).is_err());
+        assert!(dedup(&records, &bad_p).is_err());
         let bad_c = DedupConfig::new(DistanceKind::EditDistance).sn_threshold(0.0);
-        assert!(deduplicate(&records, &bad_c).is_err());
+        assert!(dedup(&records, &bad_c).is_err());
         let nan_theta =
             DedupConfig::new(DistanceKind::EditDistance).cut(CutSpec::Diameter(f64::NAN));
-        assert!(deduplicate(&records, &nan_theta).is_err());
+        assert!(dedup(&records, &nan_theta).is_err());
     }
 
     #[test]
     fn empty_relation_is_fine() {
         let config = DedupConfig::new(DistanceKind::EditDistance);
-        let outcome = deduplicate(&[], &config).unwrap();
+        let outcome = dedup(&[], &config).unwrap();
         assert_eq!(outcome.partition.num_groups(), 0);
     }
 
     #[test]
     fn minimality_flag_plumbs_through() {
         let config = DedupConfig::new(DistanceKind::EditDistance).minimality(true);
-        let outcome = deduplicate(&music_records(), &config).unwrap();
+        let outcome = dedup(&music_records(), &config).unwrap();
         // Just verifies the pass runs; minimality semantics are tested in
         // `minimality`.
         assert_eq!(outcome.partition.n(), 10);
@@ -481,13 +649,35 @@ mod tests {
     }
 
     #[test]
+    fn error_source_chain_is_walkable() {
+        use std::error::Error;
+        // A storage failure surfacing through the relational substrate:
+        // DedupError -> RelationError -> StorageError, every link typed.
+        let e: DedupError = RelationError::Storage(StorageError::PageNotFound(3)).into();
+        assert!(matches!(e, DedupError::Relation(_)));
+        let relation = e.source().expect("relation cause");
+        assert!(relation.to_string().contains("storage error"));
+        let storage = relation.source().expect("storage cause");
+        assert!(storage.to_string().contains("page 3"));
+        assert!(storage.source().is_none(), "chain ends at the leaf");
+
+        // Direct storage failures wrap too.
+        let e: DedupError = StorageError::BufferPoolFull.into();
+        assert!(matches!(e, DedupError::Storage(_)));
+        assert!(e.source().expect("storage cause").to_string().contains("pinned"));
+
+        // InvalidConfig has no cause.
+        assert!(DedupError::InvalidConfig("x".into()).source().is_none());
+    }
+
+    #[test]
     fn minhash_index_choice_finds_duplicates() {
         use fuzzydedup_nnindex::MinHashConfig;
         let config = DedupConfig::new(DistanceKind::FuzzyMatch)
             .cut(CutSpec::Size(4))
             .sn_threshold(4.0)
             .index_choice(IndexChoice::MinHash(MinHashConfig::default()));
-        let outcome = deduplicate(&music_records(), &config).unwrap();
+        let outcome = dedup(&music_records(), &config).unwrap();
         assert!(outcome.partition.are_together(0, 1), "{:?}", outcome.partition.groups());
         assert!(outcome.partition.are_together(4, 5));
     }
@@ -501,7 +691,7 @@ mod tests {
             .cut(CutSpec::Size(4))
             .sn_threshold(4.0)
             .via_tables(true);
-        let outcome = deduplicate(&music_records(), &config).unwrap();
+        let outcome = dedup(&music_records(), &config).unwrap();
         let m = &outcome.metrics;
         // nnindex: one combined lookup per tuple, candidates verified with
         // exact distance calls, postings scanned through the pool.
@@ -519,15 +709,20 @@ mod tests {
         // storage: index lookups and Phase-2 tables hit the buffer pool.
         assert!(m.storage.hits + m.storage.misses > 0);
         assert!((0.0..=1.0).contains(&m.storage.hit_ratio));
-        // phase1: probe telemetry mirrors the exact Phase1Stats.
+        // phase1: probe telemetry mirrors the exact Phase1Stats; the
+        // sequential drive reports one worker.
         assert_eq!(m.phase1.tuples, 10);
         assert_eq!(m.phase1.index_probes, outcome.phase1_stats.lookups);
+        assert_eq!(m.phase1.threads, 1);
         // phase2 (via tables): rows were unnested, pairs materialized,
-        // sort and join passes ran.
+        // sort and join passes ran, and the CSPairs graph decomposed into
+        // components (singletons included, so ≥ the duplicate groups).
         assert!(m.phase2.unnested_rows > 0);
         assert!(m.phase2.cs_pairs > 0);
         assert!(m.phase2.sort_passes > 0);
         assert!(m.phase2.join_passes > 0);
+        assert!(m.phase2.components > 0);
+        assert_eq!(m.phase2.threads, 1);
         // timings: stages measured and rolled into the total.
         assert!(m.timings.phase1_ns > 0);
         assert!(m.timings.total_ns >= m.timings.phase1_ns + m.timings.phase2_ns);
@@ -535,19 +730,59 @@ mod tests {
         let json = m.to_json();
         assert!(json.contains("\"lookups\": 10"), "{json}");
         assert!(json.contains("\"tuples\": 10"), "{json}");
+        assert!(json.contains("\"components\""), "{json}");
     }
 
     #[test]
-    fn parallel_phase1_matches_sequential() {
+    fn parallel_phases_match_sequential() {
         let base =
             DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(4)).sn_threshold(4.0);
-        let seq = deduplicate(&music_records(), &base).unwrap();
+        let seq = dedup(&music_records(), &base).unwrap();
         for threads in [1, 3, 0] {
             let par =
-                deduplicate(&music_records(), &base.clone().parallel_phase1(threads)).unwrap();
+                dedup(&music_records(), &base.clone().parallelism(Parallelism::threads(threads)))
+                    .unwrap();
             assert_eq!(seq.partition, par.partition, "threads={threads}");
             assert_eq!(seq.nn_reln, par.nn_reln);
             assert!(par.phase1_stats.visit_order.is_empty(), "no order in parallel mode");
+            assert!(par.metrics.phase1.threads >= 1);
+            assert!(par.metrics.phase2.threads >= 1);
+            assert!(par.metrics.phase2.components > 0, "parallel phase 2 extracts components");
         }
+        // Phases can also be parallelized independently.
+        let p2_only =
+            dedup(&music_records(), &base.clone().parallelism(Parallelism::sequential().phase2(2)))
+                .unwrap();
+        assert_eq!(seq.partition, p2_only.partition);
+        assert!(!p2_only.phase1_stats.visit_order.is_empty(), "phase 1 stayed ordered");
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        // The pre-facade free functions and the parallel_phase1 knob must
+        // keep producing identical results until they are removed.
+        #![allow(deprecated)]
+        let base =
+            DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(4)).sn_threshold(4.0);
+        let facade = Deduplicator::new(base.clone()).run_records(&music_records()).unwrap();
+        let shim = deduplicate(&music_records(), &base).unwrap();
+        assert_eq!(facade.partition, shim.partition);
+
+        let m = MatrixIndex::from_points_1d(&[1.0, 2.0, 4.0, 20.0, 22.0]);
+        let config =
+            DedupConfig::new(DistanceKind::EditDistance).cut(CutSpec::Size(3)).sn_threshold(4.0);
+        let facade = Deduplicator::new(config.clone()).run(&m).unwrap();
+        let shim = run_pipeline(&m, &config).unwrap();
+        assert_eq!(facade.partition, shim.partition);
+
+        let old_knob = base.clone().parallel_phase1(2);
+        assert_eq!(old_knob.parallelism.phase1_threads, Some(2));
+        assert_eq!(old_knob.parallelism.phase2_threads, None);
+        let par = deduplicate(&music_records(), &old_knob).unwrap();
+        assert_eq!(facade_partition_of(&base), par.partition);
+    }
+
+    fn facade_partition_of(config: &DedupConfig) -> Partition {
+        Deduplicator::new(config.clone()).run_records(&music_records()).unwrap().partition
     }
 }

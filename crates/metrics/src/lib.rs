@@ -99,10 +99,13 @@ pub enum Counter {
     /// Scored candidates cut away by the `candidate_limit` partial
     /// selection — capped recall made visible (`nnindex`).
     CandidatesTruncated,
+    /// Connected components of the CS-pair graph extracted during Phase 2
+    /// (`phase2` — the unit of Phase-2 parallelism; singletons included).
+    Phase2Components,
 }
 
 /// Number of counters in [`Counter`].
-pub const NUM_COUNTERS: usize = Counter::CandidatesTruncated as usize + 1;
+pub const NUM_COUNTERS: usize = Counter::Phase2Components as usize + 1;
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 
@@ -291,6 +294,9 @@ pub struct Phase1Metrics {
     /// Mean |id distance| between consecutive lookups — the visit-order
     /// locality the BF order optimizes (lower = more local).
     pub visit_stride_mean: f64,
+    /// Worker threads that drove Phase 1 (1 = the sequential ordered
+    /// scan; filled by the pipeline, not counter-backed).
+    pub threads: u64,
 }
 
 /// Phase-2 relational accounting.
@@ -304,6 +310,13 @@ pub struct Phase2Metrics {
     pub sort_passes: u64,
     /// Join passes.
     pub join_passes: u64,
+    /// Connected components of the CS-pair graph (singletons included;
+    /// 0 when the sequential in-memory path ran, which never extracts
+    /// them).
+    pub components: u64,
+    /// Worker threads that drove the partitioner (1 = sequential; filled
+    /// by the pipeline, not counter-backed).
+    pub threads: u64,
 }
 
 /// Per-stage wall times in nanoseconds.
@@ -383,6 +396,8 @@ impl RunMetrics {
             cs_pairs: d.get(Counter::Phase2CsPairs),
             sort_passes: d.get(Counter::Phase2SortPasses),
             join_passes: d.get(Counter::Phase2JoinPasses),
+            components: d.get(Counter::Phase2Components),
+            threads: self.phase2.threads, // pipeline-filled, not a counter
         };
     }
 
@@ -433,13 +448,16 @@ impl RunMetrics {
                 .u64("index_probes", self.phase1.index_probes)
                 .u64("fallback_probes", self.phase1.fallback_probes)
                 .u64("bf_queue_high_water", self.phase1.bf_queue_high_water)
-                .f64("visit_stride_mean", self.phase1.visit_stride_mean);
+                .f64("visit_stride_mean", self.phase1.visit_stride_mean)
+                .u64("threads", self.phase1.threads);
         });
         w.object("phase2", |o| {
             o.u64("unnested_rows", self.phase2.unnested_rows)
                 .u64("cs_pairs", self.phase2.cs_pairs)
                 .u64("sort_passes", self.phase2.sort_passes)
-                .u64("join_passes", self.phase2.join_passes);
+                .u64("join_passes", self.phase2.join_passes)
+                .u64("components", self.phase2.components)
+                .u64("threads", self.phase2.threads);
         });
         w.object("timings_ns", |o| {
             o.u64("build_distance", self.timings.build_distance_ns)
@@ -533,12 +551,16 @@ mod tests {
         incr(Counter::PostingsSkipped, 21);
         incr(Counter::StopGramsDropped, 2);
         incr(Counter::CandidatesTruncated, 8);
+        incr(Counter::Phase2Components, 17);
         let delta = snapshot().delta(&before);
         let mut m = RunMetrics::default();
+        m.phase2.threads = 4; // pipeline-filled fields survive the delta
         m.apply_counter_delta(&delta);
         assert_eq!(m.textdist.fms, 5);
         assert_eq!(m.nnindex.postings_scanned, 11);
         assert_eq!(m.phase2.sort_passes, 1);
+        assert_eq!(m.phase2.components, 17);
+        assert_eq!(m.phase2.threads, 4);
         assert_eq!(m.edit_kernel.word, 9);
         assert_eq!(m.edit_kernel.blocked, 0);
         assert_eq!(m.edit_kernel.bounded, 4);

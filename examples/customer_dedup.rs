@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --release --example customer_dedup`
 
-use fuzzydedup::core::{deduplicate, evaluate, CutSpec, DedupConfig};
+use fuzzydedup::core::{evaluate, CutSpec, DedupConfig, Deduplicator};
 use fuzzydedup::datagen::{org, DatasetSpec};
 use fuzzydedup::textdist::DistanceKind;
 use rand::rngs::StdRng;
@@ -42,7 +42,7 @@ fn main() {
         ],
     ];
     let cfg = DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(3)).sn_threshold(4.0);
-    let outcome = deduplicate(&lisa, &cfg).expect("tiny relation");
+    let outcome = Deduplicator::new(cfg).run_records(&lisa).expect("tiny relation");
     println!("Intro example:");
     println!("  Lisa Simpson / Simson Lisa merged: {}", outcome.partition.are_together(0, 1));
     println!("  Lisa / Bart kept apart:            {}", !outcome.partition.are_together(0, 2));
@@ -57,7 +57,7 @@ fn main() {
     );
 
     let config = DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(4)).sn_threshold(4.0);
-    let outcome = deduplicate(&dataset.records, &config).expect("pipeline");
+    let outcome = Deduplicator::new(config).run_records(&dataset.records).expect("pipeline");
     let pr = evaluate(&outcome.partition, &dataset.gold);
     println!(
         "dedup quality: recall={:.3} precision={:.3} f1={:.3}",

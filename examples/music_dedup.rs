@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example music_dedup`
 
-use fuzzydedup::core::{deduplicate, evaluate, single_linkage, CutSpec, DedupConfig};
+use fuzzydedup::core::{evaluate, single_linkage, CutSpec, DedupConfig, Deduplicator};
 use fuzzydedup::datagen::{media, DatasetSpec};
 use fuzzydedup::textdist::DistanceKind;
 use rand::rngs::StdRng;
@@ -25,7 +25,7 @@ fn main() {
 
     // The DE pipeline.
     let config = DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(4)).sn_threshold(4.0);
-    let outcome = deduplicate(&dataset.records, &config).expect("pipeline");
+    let outcome = Deduplicator::new(config).run_records(&dataset.records).expect("pipeline");
     let de_pr = evaluate(&outcome.partition, &dataset.gold);
     println!(
         "\nDE_S(4), c=4:     recall={:.3} precision={:.3} f1={:.3}",
@@ -37,7 +37,8 @@ fn main() {
     // The global-threshold baseline over the same NN lists (several θ).
     let radius_cfg =
         DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Diameter(0.6)).sn_threshold(1e9);
-    let radius_outcome = deduplicate(&dataset.records, &radius_cfg).expect("phase 1");
+    let radius_outcome =
+        Deduplicator::new(radius_cfg).run_records(&dataset.records).expect("phase 1");
     for theta in [0.2, 0.3, 0.4, 0.5] {
         let p = single_linkage(&radius_outcome.nn_reln, theta);
         let pr = evaluate(&p, &dataset.gold);

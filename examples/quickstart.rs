@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use fuzzydedup::core::{deduplicate, Aggregation, CutSpec, DedupConfig};
+use fuzzydedup::core::{Aggregation, CutSpec, DedupConfig, Deduplicator};
 use fuzzydedup::textdist::DistanceKind;
 
 fn main() {
@@ -30,7 +30,7 @@ fn main() {
         .aggregation(Aggregation::Max)
         .sn_threshold(4.0);
 
-    let outcome = deduplicate(&records, &config).expect("valid configuration");
+    let outcome = Deduplicator::new(config).run_records(&records).expect("valid configuration");
 
     println!("found {} duplicate group(s):", outcome.partition.duplicate_groups().count());
     for group in outcome.partition.duplicate_groups() {

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example threshold_tuning`
 
-use fuzzydedup::core::{deduplicate, estimate_sn_threshold, evaluate, CutSpec, DedupConfig};
+use fuzzydedup::core::{estimate_sn_threshold, evaluate, CutSpec, DedupConfig, Deduplicator};
 use fuzzydedup::datagen::{restaurants, DatasetSpec};
 use fuzzydedup::textdist::DistanceKind;
 use rand::rngs::StdRng;
@@ -24,7 +24,7 @@ fn main() {
     // candidate thresholds — "the SN threshold value is not required until
     // the second partitioning phase".
     let probe = DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(5)).sn_threshold(4.0);
-    let outcome = deduplicate(&dataset.records, &probe).expect("phase 1");
+    let outcome = Deduplicator::new(probe).run_records(&dataset.records).expect("phase 1");
     let ng = outcome.nn_reln.ng_values();
 
     // Visualize the NG distribution.
@@ -48,7 +48,7 @@ fn main() {
         let c = estimate_sn_threshold(&ng, f).expect("non-empty relation");
         let config =
             DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(5)).sn_threshold(c);
-        let run = deduplicate(&dataset.records, &config).expect("DE run");
+        let run = Deduplicator::new(config).run_records(&dataset.records).expect("DE run");
         let pr = evaluate(&run.partition, &dataset.gold);
         println!("{label:<22} {c:>6.1} {:>8.3} {:>10.3} {:>7.3}", pr.recall, pr.precision, pr.f1());
     }
@@ -57,7 +57,7 @@ fn main() {
     for c in [4.0, 6.0] {
         let config =
             DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(5)).sn_threshold(c);
-        let run = deduplicate(&dataset.records, &config).expect("DE run");
+        let run = Deduplicator::new(config).run_records(&dataset.records).expect("DE run");
         let pr = evaluate(&run.partition, &dataset.gold);
         println!(
             "{:<22} {c:>6.1} {:>8.3} {:>10.3} {:>7.3}",

@@ -24,6 +24,8 @@
 //!   --metrics             print the run-metrics JSON (distance evals,
 //!                         index probes, buffer traffic, stage timings)
 //!                         to stderr
+//!   --threads N           run both phases on N worker threads (0 = all
+//!                         CPUs); results are identical to sequential
 //!   --demo NAME           run on a built-in dataset instead of --input:
 //!                         table1 | restaurants | media | org
 //! ```
@@ -32,7 +34,8 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use fuzzydedup::core::{
-    deduplicate, estimate_sn_threshold, evaluate, Aggregation, CutSpec, DedupConfig,
+    estimate_sn_threshold_parallel, evaluate, Aggregation, CutSpec, DedupConfig, DedupError,
+    Deduplicator, Parallelism,
 };
 use fuzzydedup::datagen::csvio::{parse_csv, write_csv};
 use fuzzydedup::datagen::{media, org, restaurants, Dataset, DatasetSpec};
@@ -54,6 +57,7 @@ struct Options {
     minimality: bool,
     report: bool,
     metrics: bool,
+    threads: Option<usize>,
     demo: Option<String>,
 }
 
@@ -61,7 +65,8 @@ fn usage() -> &'static str {
     "usage: fuzzydedup --input records.csv [--output out.csv] [--no-header]\n\
      \x20                 [--columns 0,1] [--gold-column N] [--distance fms|ed|cosine|jaccard|jw|monge-elkan]\n\
      \x20                 [--k N | --theta X] [--c X | --dup-fraction F] [--agg max|avg|max2]\n\
-     \x20                 [--minimality] [--report] [--metrics] [--demo table1|restaurants|media|org]"
+     \x20                 [--minimality] [--report] [--metrics] [--threads N]\n\
+     \x20                 [--demo table1|restaurants|media|org]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -80,6 +85,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         minimality: false,
         report: false,
         metrics: false,
+        threads: None,
         demo: None,
     };
     let mut i = 0;
@@ -136,6 +142,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--minimality" => opts.minimality = true,
             "--report" => opts.report = true,
             "--metrics" => opts.metrics = true,
+            "--threads" => {
+                opts.threads =
+                    Some(next(&mut i)?.parse().map_err(|e| format!("bad --threads: {e}"))?)
+            }
             "--demo" => opts.demo = Some(next(&mut i)?.clone()),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
@@ -237,28 +247,38 @@ fn run() -> Result<(), String> {
         .cut(opts.cut)
         .aggregation(opts.agg)
         .minimality(opts.minimality);
+    if let Some(threads) = opts.threads {
+        config = config.parallelism(Parallelism::threads(threads));
+    }
+    let dedup = Deduplicator::new(config.clone());
     let c = match (opts.dup_fraction, opts.c) {
         (Some(f), _) => {
-            // Probe run for NG values, then the heuristic.
+            // Probe run for NG values, then the heuristic (the NG scan
+            // parallelizes with the same --threads knob; 1 = sequential).
             if records.len() < 100 {
                 eprintln!(
                     "warning: --dup-fraction needs a meaningful NG distribution;                      {} records is likely too few (consider --c instead)",
                     records.len()
                 );
             }
-            let probe = deduplicate(&records, &config.clone().sn_threshold(4.0))
-                .map_err(|e| e.to_string())?;
-            let derived =
-                estimate_sn_threshold(&probe.nn_reln.ng_values(), f).ok_or("empty relation")?;
+            let probe = Deduplicator::new(config.clone().sn_threshold(4.0))
+                .run_records(&records)
+                .map_err(|e| render_error(&e))?;
+            let derived = estimate_sn_threshold_parallel(
+                &probe.nn_reln.ng_values(),
+                f,
+                opts.threads.unwrap_or(1),
+            )
+            .ok_or("empty relation")?;
             eprintln!("derived SN threshold c = {derived:.1} from duplicate fraction {f}");
             derived
         }
         (None, Some(c)) => c,
         (None, None) => 4.0,
     };
-    config = config.sn_threshold(c);
+    let dedup = Deduplicator::new(dedup.config().clone().sn_threshold(c));
 
-    let outcome = deduplicate(&records, &config).map_err(|e| e.to_string())?;
+    let outcome = dedup.run_records(&records).map_err(|e| render_error(&e))?;
     let partition = &outcome.partition;
 
     // Report.
@@ -311,6 +331,20 @@ fn run() -> Result<(), String> {
         None => print!("{text}"),
     }
     Ok(())
+}
+
+/// Render a [`DedupError`] with its full `source()` chain — the Display
+/// of each layer no longer embeds its cause, so the chain is the message.
+fn render_error(e: &DedupError) -> String {
+    use std::error::Error;
+    let mut msg = e.to_string();
+    let mut cause: Option<&dyn Error> = e.source();
+    while let Some(c) = cause {
+        msg.push_str(": ");
+        msg.push_str(&c.to_string());
+        cause = c.source();
+    }
+    msg
 }
 
 fn main() -> ExitCode {

@@ -31,7 +31,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use fuzzydedup::core::{DedupConfig, CutSpec, Aggregation, deduplicate};
+//! use fuzzydedup::core::{DedupConfig, CutSpec, Aggregation, Deduplicator};
 //! use fuzzydedup::textdist::DistanceKind;
 //!
 //! let records: Vec<Vec<String>> = [
@@ -52,7 +52,7 @@
 //!     .cut(CutSpec::Size(5))
 //!     .aggregation(Aggregation::Max)
 //!     .sn_threshold(4.0);
-//! let outcome = deduplicate(&records, &config).unwrap();
+//! let outcome = Deduplicator::new(config).run_records(&records).unwrap();
 //! let partition = &outcome.partition;
 //! // The two Doors tracks and the two Shania Twain tracks pair up, while
 //! // the four distinct "Are You Ready" tracks keep their dense

@@ -2,7 +2,8 @@
 //! gold-labelled datasets.
 
 use fuzzydedup::core::{
-    deduplicate, evaluate, single_linkage, Aggregation, CutSpec, DedupConfig, IndexChoice,
+    evaluate, single_linkage, Aggregation, CutSpec, DedupConfig, DedupError, DedupOutcome,
+    Deduplicator, IndexChoice, Parallelism,
 };
 use fuzzydedup::datagen::{media, restaurants, standard_quality_datasets, DatasetSpec};
 use fuzzydedup::textdist::DistanceKind;
@@ -13,11 +14,15 @@ fn de_config(distance: DistanceKind) -> DedupConfig {
     DedupConfig::new(distance).cut(CutSpec::Size(4)).sn_threshold(4.0)
 }
 
+fn dedup(records: &[Vec<String>], config: &DedupConfig) -> Result<DedupOutcome, DedupError> {
+    Deduplicator::new(config.clone()).run_records(records)
+}
+
 #[test]
 fn table1_de_beats_any_single_threshold() {
     let dataset = media::table1();
     // DE with fms finds all three pairs with no false positives.
-    let outcome = deduplicate(&dataset.records, &de_config(DistanceKind::FuzzyMatch)).unwrap();
+    let outcome = dedup(&dataset.records, &de_config(DistanceKind::FuzzyMatch)).unwrap();
     let de = evaluate(&outcome.partition, &dataset.gold);
     assert_eq!(de.recall, 1.0, "groups: {:?}", outcome.partition.groups());
     assert_eq!(de.precision, 1.0, "groups: {:?}", outcome.partition.groups());
@@ -25,7 +30,7 @@ fn table1_de_beats_any_single_threshold() {
     // No global threshold on the same distance matches that F1.
     let radius =
         DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Diameter(0.9)).sn_threshold(1e9);
-    let phase1 = deduplicate(&dataset.records, &radius).unwrap();
+    let phase1 = dedup(&dataset.records, &radius).unwrap();
     let mut best_thr_f1: f64 = 0.0;
     for i in 1..90 {
         let theta = i as f64 / 100.0;
@@ -43,7 +48,7 @@ fn restaurants_quality_is_reasonable() {
     let mut rng = StdRng::seed_from_u64(1);
     let dataset = restaurants::generate(&mut rng, DatasetSpec::with_entities(250));
     let config = DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(4)).sn_threshold(6.0);
-    let outcome = deduplicate(&dataset.records, &config).unwrap();
+    let outcome = dedup(&dataset.records, &config).unwrap();
     let pr = evaluate(&outcome.partition, &dataset.gold);
     assert!(pr.recall > 0.6, "recall {:.3}", pr.recall);
     assert!(pr.precision > 0.7, "precision {:.3}", pr.precision);
@@ -53,8 +58,8 @@ fn restaurants_quality_is_reasonable() {
 fn inverted_and_nested_loop_agree_on_quality() {
     let mut rng = StdRng::seed_from_u64(2);
     let dataset = restaurants::generate(&mut rng, DatasetSpec::with_entities(120));
-    let inv = deduplicate(&dataset.records, &de_config(DistanceKind::EditDistance)).unwrap();
-    let nl = deduplicate(
+    let inv = dedup(&dataset.records, &de_config(DistanceKind::EditDistance)).unwrap();
+    let nl = dedup(
         &dataset.records,
         &de_config(DistanceKind::EditDistance).index_choice(IndexChoice::NestedLoop),
     )
@@ -70,9 +75,9 @@ fn inverted_and_nested_loop_agree_on_quality() {
 fn via_tables_path_is_identical_on_real_data() {
     let mut rng = StdRng::seed_from_u64(3);
     let dataset = restaurants::generate(&mut rng, DatasetSpec::with_entities(100));
-    let mem = deduplicate(&dataset.records, &de_config(DistanceKind::FuzzyMatch)).unwrap();
-    let tab = deduplicate(&dataset.records, &de_config(DistanceKind::FuzzyMatch).via_tables(true))
-        .unwrap();
+    let mem = dedup(&dataset.records, &de_config(DistanceKind::FuzzyMatch)).unwrap();
+    let tab =
+        dedup(&dataset.records, &de_config(DistanceKind::FuzzyMatch).via_tables(true)).unwrap();
     assert_eq!(mem.partition, tab.partition);
 }
 
@@ -82,11 +87,9 @@ fn lookup_order_does_not_change_results() {
     let mut rng = StdRng::seed_from_u64(4);
     let dataset = restaurants::generate(&mut rng, DatasetSpec::with_entities(80));
     let base = de_config(DistanceKind::FuzzyMatch);
-    let bf = deduplicate(&dataset.records, &base).unwrap();
-    let seq =
-        deduplicate(&dataset.records, &base.clone().lookup_order(LookupOrder::Sequential)).unwrap();
-    let rnd =
-        deduplicate(&dataset.records, &base.clone().lookup_order(LookupOrder::Random(99))).unwrap();
+    let bf = dedup(&dataset.records, &base).unwrap();
+    let seq = dedup(&dataset.records, &base.clone().lookup_order(LookupOrder::Sequential)).unwrap();
+    let rnd = dedup(&dataset.records, &base.clone().lookup_order(LookupOrder::Random(99))).unwrap();
     assert_eq!(bf.partition, seq.partition);
     assert_eq!(bf.partition, rnd.partition);
 }
@@ -106,13 +109,13 @@ fn de_dominates_threshold_on_most_standard_datasets() {
         total += 1;
         let de_cfg =
             DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(4)).sn_threshold(6.0);
-        let de = deduplicate(&dataset.records, &de_cfg).unwrap();
+        let de = dedup(&dataset.records, &de_cfg).unwrap();
         let de_f1 = evaluate(&de.partition, &dataset.gold).f1();
 
         let radius = DedupConfig::new(DistanceKind::FuzzyMatch)
             .cut(CutSpec::Diameter(0.7))
             .sn_threshold(1e9);
-        let phase1 = deduplicate(&dataset.records, &radius).unwrap();
+        let phase1 = dedup(&dataset.records, &radius).unwrap();
         let mut thr_f1: f64 = 0.0;
         for i in 1..14 {
             let theta = i as f64 * 0.05;
@@ -140,7 +143,7 @@ fn aggregation_functions_agree_on_small_groups() {
     let mut f1s = Vec::new();
     for agg in [Aggregation::Max, Aggregation::Avg, Aggregation::Max2] {
         let cfg = de_config(DistanceKind::FuzzyMatch).aggregation(agg);
-        let outcome = deduplicate(&dataset.records, &cfg).unwrap();
+        let outcome = dedup(&dataset.records, &cfg).unwrap();
         f1s.push(evaluate(&outcome.partition, &dataset.gold).f1());
     }
     let spread = f1s.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
@@ -167,7 +170,7 @@ fn constraining_predicates_split_product_versions() {
     .map(|s| vec![s.to_string()])
     .collect();
 
-    let outcome = deduplicate(&records, &de_config(DistanceKind::FuzzyMatch)).unwrap();
+    let outcome = dedup(&records, &de_config(DistanceKind::FuzzyMatch)).unwrap();
     assert!(outcome.partition.are_together(0, 1), "versions merge without the predicate");
     assert!(outcome.partition.are_together(2, 3));
 
@@ -195,13 +198,29 @@ fn constraining_predicates_split_product_versions() {
 }
 
 #[test]
+fn parallel_pipeline_is_identical_on_real_data() {
+    // The Parallelism knob is a pure performance lever: both phases must
+    // reproduce the sequential partition bit-for-bit on realistic data.
+    let mut rng = StdRng::seed_from_u64(8);
+    let dataset = restaurants::generate(&mut rng, DatasetSpec::with_entities(150));
+    let base = de_config(DistanceKind::FuzzyMatch);
+    let seq = dedup(&dataset.records, &base).unwrap();
+    for threads in [2, 0] {
+        let par = dedup(&dataset.records, &base.clone().parallelism(Parallelism::threads(threads)))
+            .unwrap();
+        assert_eq!(seq.partition, par.partition, "threads={threads}");
+        assert_eq!(seq.nn_reln, par.nn_reln, "threads={threads}");
+    }
+}
+
+#[test]
 fn most_found_groups_are_small() {
     // "most (almost 80-90%) sets of duplicates just consist of tuple
     // pairs" — our generator plants geometric group sizes; check the
     // output histogram is dominated by pairs and triples.
     let mut rng = StdRng::seed_from_u64(6);
     let dataset = restaurants::generate(&mut rng, DatasetSpec::with_entities(300));
-    let outcome = deduplicate(&dataset.records, &de_config(DistanceKind::FuzzyMatch)).unwrap();
+    let outcome = dedup(&dataset.records, &de_config(DistanceKind::FuzzyMatch)).unwrap();
     let hist = outcome.partition.size_histogram();
     let dup_groups: usize = hist.iter().filter(|(&s, _)| s > 1).map(|(_, &c)| c).sum();
     let small: usize = hist.iter().filter(|(&s, _)| s == 2 || s == 3).map(|(_, &c)| c).sum();
