@@ -21,12 +21,14 @@ use fuzzydedup_bench::gate::{compare, has_regression, parse_bench_file, render_t
 
 /// The cheap benches the gate re-runs: seconds each, covering the edit
 /// kernel, the distance-function ladder above it, the storage layer below
-/// the index, and candidate generation (CSR vs page-backed postings).
+/// the index, candidate generation (CSR vs page-backed postings), and the
+/// two phase drivers (Phase 1 prepared/cached ladder, Phase 2 seq/par).
 const CHEAP_BENCHES: &[&str] = &[
     "bench_edit_kernel",
     "bench_distances",
     "bench_buffer_pool",
     "bench_candidates",
+    "bench_phase1_cache",
     "bench_phase2",
 ];
 
@@ -36,6 +38,7 @@ const GATED_ARTIFACTS: &[&str] = &[
     "BENCH_distances.json",
     "BENCH_buffer_pool.json",
     "BENCH_candidates.json",
+    "BENCH_phase1_cache.json",
     "BENCH_phase2.json",
 ];
 

@@ -56,6 +56,7 @@ pub mod incremental;
 pub mod matrix;
 pub mod minimality;
 pub mod nnreln;
+pub mod pair_cache;
 pub mod parallel;
 pub mod partition;
 pub mod phase1;
@@ -73,15 +74,15 @@ pub use eval::{evaluate, evaluate_bcubed, BCubed, PrecisionRecall};
 pub use incremental::{BatchStats, IncrementalDedup};
 pub use matrix::MatrixIndex;
 pub use nnreln::{NnEntry, NnReln};
-pub use parallel::{compute_nn_reln_parallel, resolve_threads};
+pub use pair_cache::PairCache;
+pub use parallel::{compute_nn_reln_parallel, compute_nn_reln_parallel_cached, resolve_threads};
 pub use partition::Partition;
-pub use phase1::{compute_nn_reln, NeighborSpec, Phase1Stats};
+pub use phase1::{compute_nn_reln, compute_nn_reln_cached, NeighborSpec, Phase1Stats};
 pub use phase2::{
     cs_pair_components, partition_entries, partition_entries_ablation, partition_entries_parallel,
     partition_via_tables,
 };
 #[allow(deprecated)]
-pub use pipeline::{deduplicate, run_pipeline};
 pub use pipeline::{DedupConfig, DedupError, DedupOutcome, Deduplicator, IndexChoice, Parallelism};
 pub use problem::CutSpec;
 pub use report::{render_report, ReportOptions};

@@ -15,9 +15,6 @@
 //! CS-pair components concurrently
 //! ([`crate::phase2::partition_entries_parallel`]); either way results are
 //! bit-for-bit identical to the sequential drive.
-//!
-//! The pre-facade free functions [`deduplicate`] and [`run_pipeline`]
-//! remain as deprecated shims.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -36,7 +33,7 @@ use crate::minimality::enforce_minimality;
 use crate::nnreln::NnReln;
 use crate::parallel::resolve_threads;
 use crate::partition::Partition;
-use crate::phase1::{compute_nn_reln, NeighborSpec, Phase1Stats};
+use crate::phase1::{NeighborSpec, Phase1Stats};
 use crate::phase2::{partition_entries, partition_entries_parallel, partition_via_tables};
 use crate::problem::CutSpec;
 
@@ -131,6 +128,11 @@ pub struct DedupConfig {
     /// [`crate::phase2::partition_entries_parallel`]; the sequential BF
     /// order only matters for disk-resident indexes.
     pub parallelism: Parallelism,
+    /// Capacity (in entries) of the symmetric pair-distance memo consulted
+    /// during Phase-1 verification; `0` disables it. The partition is
+    /// identical either way — the cache only skips recomputation (see
+    /// [`crate::pair_cache::PairCache`]).
+    pub pair_cache_capacity: usize,
 }
 
 impl DedupConfig {
@@ -150,6 +152,7 @@ impl DedupConfig {
             via_tables: false,
             buffer_frames: 4096,
             parallelism: Parallelism::sequential(),
+            pair_cache_capacity: 0,
         }
     }
 
@@ -213,14 +216,9 @@ impl DedupConfig {
         self
     }
 
-    /// Run Phase 1 in parallel on `threads` workers (`0` = all CPUs).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `parallelism(Parallelism::sequential().phase1(threads))` — one knob now \
-                drives both phases"
-    )]
-    pub fn parallel_phase1(mut self, threads: usize) -> Self {
-        self.parallelism.phase1_threads = Some(threads);
+    /// Set the pair-distance memo capacity in entries (`0` disables).
+    pub fn pair_cache_capacity(mut self, capacity: usize) -> Self {
+        self.pair_cache_capacity = capacity;
         self
     }
 }
@@ -435,11 +433,17 @@ impl Deduplicator {
         let counters_before = fuzzydedup_metrics::snapshot();
 
         let t1 = Instant::now();
+        let pair_cache = (config.pair_cache_capacity > 0)
+            .then(|| crate::pair_cache::PairCache::new(config.pair_cache_capacity));
+        let cache: Option<&dyn fuzzydedup_nnindex::PairDistanceCache> =
+            pair_cache.as_ref().map(|c| c as _);
         let (nn_reln, phase1_stats) = match config.parallelism.phase1_threads {
-            Some(threads) => {
-                crate::parallel::compute_nn_reln_parallel(index, spec, config.p, threads)
+            Some(threads) => crate::parallel::compute_nn_reln_parallel_cached(
+                index, spec, config.p, threads, cache,
+            ),
+            None => {
+                crate::phase1::compute_nn_reln_cached(index, spec, config.order, config.p, cache)
             }
-            None => compute_nn_reln(index, spec, config.order, config.p),
         };
         let phase1_duration = t1.elapsed();
         let buffer_stats = pool.stats();
@@ -510,22 +514,6 @@ impl Deduplicator {
             metrics: run_metrics,
         })
     }
-}
-
-/// Deduplicate string records with a one-off [`Deduplicator`].
-#[deprecated(since = "0.1.0", note = "use `Deduplicator::new(config).run_records(records)`")]
-pub fn deduplicate(
-    records: &[Vec<String>],
-    config: &DedupConfig,
-) -> Result<DedupOutcome, DedupError> {
-    Deduplicator::new(config.clone()).run_records(records)
-}
-
-/// Run the pipeline over an arbitrary pre-built index with a one-off
-/// [`Deduplicator`].
-#[deprecated(since = "0.1.0", note = "use `Deduplicator::new(config).run(index)`")]
-pub fn run_pipeline(index: &dyn NnIndex, config: &DedupConfig) -> Result<DedupOutcome, DedupError> {
-    Deduplicator::new(config.clone()).run(index)
 }
 
 #[cfg(test)]
@@ -758,31 +746,25 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_still_work() {
-        // The pre-facade free functions and the parallel_phase1 knob must
-        // keep producing identical results until they are removed.
-        #![allow(deprecated)]
+    fn pair_cache_does_not_change_the_partition() {
+        let _serial = fuzzydedup_metrics::serial_guard();
         let base =
-            DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(4)).sn_threshold(4.0);
-        let facade = Deduplicator::new(base.clone()).run_records(&music_records()).unwrap();
-        let shim = deduplicate(&music_records(), &base).unwrap();
-        assert_eq!(facade.partition, shim.partition);
-
-        let m = MatrixIndex::from_points_1d(&[1.0, 2.0, 4.0, 20.0, 22.0]);
-        let config =
-            DedupConfig::new(DistanceKind::EditDistance).cut(CutSpec::Size(3)).sn_threshold(4.0);
-        let facade = Deduplicator::new(config.clone()).run(&m).unwrap();
-        let shim = run_pipeline(&m, &config).unwrap();
-        assert_eq!(facade.partition, shim.partition);
-
-        let old_knob = base.clone().parallel_phase1(2);
-        assert_eq!(old_knob.parallelism.phase1_threads, Some(2));
-        assert_eq!(old_knob.parallelism.phase2_threads, None);
-        let par = deduplicate(&music_records(), &old_knob).unwrap();
-        assert_eq!(facade_partition_of(&base), par.partition);
-    }
-
-    fn facade_partition_of(config: &DedupConfig) -> Partition {
-        Deduplicator::new(config.clone()).run_records(&music_records()).unwrap().partition
+            DedupConfig::new(DistanceKind::EditDistance).cut(CutSpec::Size(4)).sn_threshold(4.0);
+        let plain = dedup(&music_records(), &base).unwrap();
+        let cached = dedup(&music_records(), &base.clone().pair_cache_capacity(1 << 16)).unwrap();
+        assert_eq!(plain.partition, cached.partition);
+        // Cached run reports pair-cache activity; the knob defaults off.
+        assert!(cached.metrics.pair_cache.inserts > 0, "cache saw traffic");
+        assert_eq!(plain.metrics.pair_cache.inserts, 0, "default is disabled");
+        // Parallel Phase 1 sharing the cache still agrees.
+        let par = dedup(
+            &music_records(),
+            &base
+                .clone()
+                .pair_cache_capacity(1 << 16)
+                .parallelism(Parallelism::sequential().phase1(2)),
+        )
+        .unwrap();
+        assert_eq!(plain.partition, par.partition);
     }
 }

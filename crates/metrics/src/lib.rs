@@ -102,10 +102,26 @@ pub enum Counter {
     /// Connected components of the CS-pair graph extracted during Phase 2
     /// (`phase2` — the unit of Phase-2 parallelism; singletons included).
     Phase2Components,
+    /// Query compilations by the prepared-distance layer: one per
+    /// `Distance::prepare` call (`textdist`).
+    PreparedQueries,
+    /// Per-candidate evaluations served by an already-compiled prepared
+    /// query — preprocessing amortized instead of redone (`textdist`).
+    PreparedReuses,
+    /// Pair-distance cache probes answered from the memo — verification
+    /// distance calls saved (`core` pair cache).
+    PairCacheHits,
+    /// Pair-distance cache probes that found no usable entry (`core`).
+    PairCacheMisses,
+    /// Cache shards cleared to keep memory within the configured window
+    /// (`core`).
+    PairCacheEvictions,
+    /// Distance results inserted into the pair cache (`core`).
+    PairCacheInserts,
 }
 
 /// Number of counters in [`Counter`].
-pub const NUM_COUNTERS: usize = Counter::Phase2Components as usize + 1;
+pub const NUM_COUNTERS: usize = Counter::PairCacheInserts as usize + 1;
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 
@@ -263,6 +279,31 @@ pub struct CandGenMetrics {
     pub truncated: u64,
 }
 
+/// Prepared-query accounting (`textdist` layer): how often query
+/// compilation was amortized across candidate evaluations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PreparedMetrics {
+    /// Queries compiled (`Distance::prepare` calls).
+    pub prepares: u64,
+    /// Candidate evaluations served by a compiled query.
+    pub reuses: u64,
+}
+
+/// Symmetric pair-distance memo accounting (`core` layer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairCacheMetrics {
+    /// Probes answered from the memo.
+    pub hits: u64,
+    /// Probes that found no usable entry.
+    pub misses: u64,
+    /// Shard clears performed to stay within the memory window.
+    pub evictions: u64,
+    /// Results inserted.
+    pub inserts: u64,
+    /// Verification distance calls avoided (= hits).
+    pub distance_calls_saved: u64,
+}
+
 /// Buffer-pool accounting (`storage` layer) — the unified surface over
 /// the pool's `BufferStats`.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -348,6 +389,10 @@ pub struct RunMetrics {
     pub nnindex: NnIndexMetrics,
     /// Candidate-generation funnel (filters, MergeSkip, truncation).
     pub cand_gen: CandGenMetrics,
+    /// Prepared-query amortization (compilations vs. reuses).
+    pub prepared: PreparedMetrics,
+    /// Symmetric pair-distance memo traffic.
+    pub pair_cache: PairCacheMetrics,
     /// Buffer-pool accounting.
     pub storage: StorageMetrics,
     /// Phase-1 probes and lookup-order telemetry.
@@ -390,6 +435,18 @@ impl RunMetrics {
             postings_skipped: d.get(Counter::PostingsSkipped),
             stop_grams_dropped: d.get(Counter::StopGramsDropped),
             truncated: d.get(Counter::CandidatesTruncated),
+        };
+        self.prepared = PreparedMetrics {
+            prepares: d.get(Counter::PreparedQueries),
+            reuses: d.get(Counter::PreparedReuses),
+        };
+        let hits = d.get(Counter::PairCacheHits);
+        self.pair_cache = PairCacheMetrics {
+            hits,
+            misses: d.get(Counter::PairCacheMisses),
+            evictions: d.get(Counter::PairCacheEvictions),
+            inserts: d.get(Counter::PairCacheInserts),
+            distance_calls_saved: hits,
         };
         self.phase2 = Phase2Metrics {
             unnested_rows: d.get(Counter::Phase2UnnestedRows),
@@ -435,6 +492,16 @@ impl RunMetrics {
                 .u64("postings_skipped", self.cand_gen.postings_skipped)
                 .u64("stop_grams_dropped", self.cand_gen.stop_grams_dropped)
                 .u64("truncated", self.cand_gen.truncated);
+        });
+        w.object("prepared", |o| {
+            o.u64("prepares", self.prepared.prepares).u64("reuses", self.prepared.reuses);
+        });
+        w.object("pair_cache", |o| {
+            o.u64("hits", self.pair_cache.hits)
+                .u64("misses", self.pair_cache.misses)
+                .u64("evictions", self.pair_cache.evictions)
+                .u64("inserts", self.pair_cache.inserts)
+                .u64("distance_calls_saved", self.pair_cache.distance_calls_saved);
         });
         w.object("storage", |o| {
             o.u64("hits", self.storage.hits)
@@ -523,6 +590,8 @@ mod tests {
             "edit_kernel",
             "nnindex",
             "cand_gen",
+            "prepared",
+            "pair_cache",
             "storage",
             "phase1",
             "phase2",
@@ -552,6 +621,12 @@ mod tests {
         incr(Counter::StopGramsDropped, 2);
         incr(Counter::CandidatesTruncated, 8);
         incr(Counter::Phase2Components, 17);
+        incr(Counter::PreparedQueries, 4);
+        incr(Counter::PreparedReuses, 40);
+        incr(Counter::PairCacheHits, 7);
+        incr(Counter::PairCacheMisses, 5);
+        incr(Counter::PairCacheEvictions, 1);
+        incr(Counter::PairCacheInserts, 12);
         let delta = snapshot().delta(&before);
         let mut m = RunMetrics::default();
         m.phase2.threads = 4; // pipeline-filled fields survive the delta
@@ -574,6 +649,17 @@ mod tests {
                 postings_skipped: 21,
                 stop_grams_dropped: 2,
                 truncated: 8,
+            }
+        );
+        assert_eq!(m.prepared, PreparedMetrics { prepares: 4, reuses: 40 });
+        assert_eq!(
+            m.pair_cache,
+            PairCacheMetrics {
+                hits: 7,
+                misses: 5,
+                evictions: 1,
+                inserts: 12,
+                distance_calls_saved: 7,
             }
         );
     }

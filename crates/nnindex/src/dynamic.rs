@@ -20,7 +20,7 @@ use fuzzydedup_textdist::{record_term_set, Distance};
 use crate::candgen::{select_top_candidates, CandFilter, RecordMeta};
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
-    NnIndex,
+    NnIndex, PairDistanceCache,
 };
 
 /// Configuration of the dynamic index (mirrors
@@ -188,6 +188,7 @@ impl<D: Distance> DynamicInvertedIndex<D> {
             spec,
             1.0,
             filter.as_ref(),
+            None,
         );
         verified
     }
@@ -223,7 +224,13 @@ impl<D: Distance> NnIndex for DynamicInvertedIndex<D> {
     /// Combined lookup with *bounded, filtered* verification: each
     /// candidate is tested against the q-gram pruning bounds and then
     /// scored against the current best-so-far cutoff.
-    fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
+    fn lookup_cached(
+        &self,
+        id: u32,
+        spec: LookupSpec,
+        p: f64,
+        cache: Option<&dyn PairDistanceCache>,
+    ) -> (Vec<Neighbor>, f64, LookupCost) {
         let gathered = self.gather(id, self.config.candidate_limit);
         let filter = self.make_filter(id, &gathered);
         let (verified, attempted) = verify_candidates_bounded(
@@ -234,6 +241,7 @@ impl<D: Distance> NnIndex for DynamicInvertedIndex<D> {
             spec,
             p,
             filter.as_ref(),
+            cache,
         );
         lookup_from_verified(verified, gathered.generated, attempted, spec, p)
     }

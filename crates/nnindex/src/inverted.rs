@@ -49,7 +49,7 @@ use crate::candgen::{select_top_candidates, CandFilter, CsrPostings, RecordMeta}
 use crate::scratch::with_scoreboard;
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
-    NnIndex,
+    NnIndex, PairDistanceCache,
 };
 use fuzzydedup_metrics::{incr, Counter};
 
@@ -452,6 +452,7 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
             LookupSpec::TopK(k),
             1.0,
             filter.as_ref(),
+            None,
         );
         sort_neighbors(&mut verified);
         verified.truncate(k);
@@ -469,6 +470,7 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
             LookupSpec::Radius(radius),
             1.0,
             filter.as_ref(),
+            None,
         );
         verified.retain(|n| n.dist < radius);
         sort_neighbors(&mut verified);
@@ -481,8 +483,16 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
     /// Verification is *bounded and filtered*: each candidate is tested
     /// against the q-gram length/count bounds for the current best-so-far
     /// cutoff (skipping its distance call when provably outside), and the
-    /// survivors' distance calls take the k-bounded kernel.
-    fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
+    /// survivors' distance calls take the k-bounded kernel. The query is
+    /// prepared once per lookup, and an optional shared pair-distance
+    /// memo short-circuits candidates whose distance is already known.
+    fn lookup_cached(
+        &self,
+        id: u32,
+        spec: LookupSpec,
+        p: f64,
+        cache: Option<&dyn PairDistanceCache>,
+    ) -> (Vec<Neighbor>, f64, LookupCost) {
         let gathered = self.gather(id, None);
         let filter = self.make_filter(id, &gathered);
         let (verified, attempted) = verify_candidates_bounded(
@@ -493,6 +503,7 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
             spec,
             p,
             filter.as_ref(),
+            cache,
         );
         lookup_from_verified(verified, gathered.generated, attempted, spec, p)
     }

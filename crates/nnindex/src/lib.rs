@@ -87,6 +87,46 @@ impl LookupCost {
     }
 }
 
+/// Outcome of probing a [`PairDistanceCache`] for an unordered record
+/// pair at a cutoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PairProbe {
+    /// The exact distance of the pair is memoized.
+    Exact(f64),
+    /// The pair's distance is known to be **strictly greater** than the
+    /// probed cutoff (a previous bounded verification at a cutoff at
+    /// least this large came back empty), so the candidate can be
+    /// rejected without a distance call.
+    KnownAbove,
+    /// Nothing useful is memoized for this pair.
+    Miss,
+}
+
+/// A symmetric (unordered-pair) memo of distances, consulted by candidate
+/// verification before paying for a distance call and populated with
+/// whatever each bounded call learns — the exact distance on success, a
+/// lower bound (`d > cutoff`) on rejection.
+///
+/// Soundness contract: implementations may drop entries at any time
+/// (bounded caches evict), but must never return [`PairProbe::Exact`]
+/// with a value other than the true distance, nor
+/// [`PairProbe::KnownAbove`] unless `d > cutoff` is certain. Under that
+/// contract verification results are identical with and without a cache,
+/// and independent of thread interleaving — which is what keeps parallel
+/// Phase 1 deterministic while sharing one cache across threads. The
+/// distance itself must be symmetric to the bit (`d(a,b) == d(b,a)`),
+/// since the memo is keyed on the unordered pair; every built-in distance
+/// satisfies this.
+pub trait PairDistanceCache: Sync {
+    /// What the cache knows about pair `(a, b)` relative to `cutoff`.
+    fn probe(&self, a: u32, b: u32, cutoff: f64) -> PairProbe;
+    /// Memoize the exact distance of pair `(a, b)`.
+    fn store_exact(&self, a: u32, b: u32, d: f64);
+    /// Memoize that `d(a, b) > cutoff` (the bounded call rejected at
+    /// `cutoff`). Never called with a non-finite cutoff.
+    fn store_bound(&self, a: u32, b: u32, cutoff: f64);
+}
+
 /// A nearest-neighbor index over a fixed corpus of records with dense ids
 /// `0..len`.
 ///
@@ -124,8 +164,25 @@ pub trait NnIndex: Send + Sync {
     ///
     /// The default implementation issues separate `top_k`/`within` probes
     /// (each counted in `LookupCost::probes`); candidate-generation
-    /// indexes override it to gather and verify candidates once.
+    /// indexes override [`NnIndex::lookup_cached`] to gather and verify
+    /// candidates once.
     fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
+        self.lookup_cached(id, spec, p, None)
+    }
+
+    /// [`NnIndex::lookup`] with an optional shared [`PairDistanceCache`]
+    /// consulted during candidate verification. The default probe-based
+    /// implementation has no verification loop, so it ignores the cache;
+    /// candidate-generation indexes override this method (and inherit
+    /// `lookup` as the `None` case).
+    fn lookup_cached(
+        &self,
+        id: u32,
+        spec: LookupSpec,
+        p: f64,
+        cache: Option<&dyn PairDistanceCache>,
+    ) -> (Vec<Neighbor>, f64, LookupCost) {
+        let _ = cache;
         let mut cost = LookupCost { probes: 1, ..LookupCost::default() };
         let neighbors = match spec {
             LookupSpec::TopK(k) => self.top_k(id, k),
@@ -192,6 +249,16 @@ pub enum LookupSpec {
 /// passed to `distance_bounded`: a pruned candidate is one the bounded
 /// call would provably have rejected, so it skips the distance call
 /// entirely and the surviving set — hence the final answer — is unchanged.
+///
+/// The query is compiled **once** via [`Distance::prepare`]; every
+/// surviving candidate is scored through the prepared kernel. When a
+/// [`PairDistanceCache`] is supplied, each candidate (after the filter)
+/// first probes the memo at the running cutoff: an exact hit resolves the
+/// candidate without a distance call, a known-above hit rejects it, and a
+/// miss pays the distance call and stores what it learned. Both the
+/// prepared kernel and the cache are pure performance levers — the
+/// surviving set is identical either way.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn verify_candidates_bounded<D: Distance>(
     distance: &D,
     records: &[Vec<String>],
@@ -200,48 +267,95 @@ pub(crate) fn verify_candidates_bounded<D: Distance>(
     spec: LookupSpec,
     p: f64,
     filter: Option<&CandFilter<'_>>,
+    cache: Option<&dyn PairDistanceCache>,
 ) -> (Vec<Neighbor>, u64) {
     let query: Vec<&str> = records[id as usize].iter().map(String::as_str).collect();
+    let mut prepared = distance.prepare(&query);
     let mut survivors: Vec<Neighbor> = Vec::with_capacity(candidates.len());
-    // Ascending running top-k distances (TopK spec only), capped at k.
-    let mut kth: Vec<f64> = Vec::new();
+    // Candidate field slices, reused across the whole list.
+    let mut fields: Vec<&str> = Vec::new();
     let mut nn_running = f64::INFINITY;
     let mut attempted = 0u64;
-    for (i, &c) in candidates.iter().enumerate() {
-        let spec_cut = match spec {
-            LookupSpec::TopK(0) => f64::NEG_INFINITY,
-            LookupSpec::TopK(k) => {
-                if kth.len() < k {
-                    f64::INFINITY
-                } else {
-                    kth[k - 1]
-                }
-            }
-            LookupSpec::Radius(theta) => theta,
-        };
-        let growth_cut = p * nn_running; // ∞ until the first survivor
-        let cutoff = spec_cut.max(growth_cut);
-        if let Some(f) = filter {
-            if f.prunes(i, c, cutoff) {
-                continue;
-            }
-        }
-        attempted += 1;
-        let fields: Vec<&str> = records[c as usize].iter().map(String::as_str).collect();
-        if let Some(d) = distance.distance_bounded(&query, &fields, cutoff) {
-            survivors.push(Neighbor::new(c, d));
-            nn_running = nn_running.min(d);
-            if let LookupSpec::TopK(k) = spec {
-                if k > 0 {
-                    let pos = kth.partition_point(|&x| x <= d);
-                    if pos < k {
-                        kth.insert(pos, d);
-                        kth.truncate(k);
-                    }
+    // Record a survivor and tighten the running cutoffs.
+    fn survive(
+        survivors: &mut Vec<Neighbor>,
+        kth: &mut Vec<f64>,
+        nn_running: &mut f64,
+        spec: LookupSpec,
+        c: u32,
+        d: f64,
+    ) {
+        survivors.push(Neighbor::new(c, d));
+        *nn_running = nn_running.min(d);
+        if let LookupSpec::TopK(k) = spec {
+            if k > 0 {
+                let pos = kth.partition_point(|&x| x <= d);
+                if pos < k {
+                    kth.insert(pos, d);
+                    kth.truncate(k);
                 }
             }
         }
     }
+    scratch::with_verify_scratch(|scratch| {
+        // Ascending running top-k distances (TopK spec only), capped at k.
+        let kth = &mut scratch.kth;
+        kth.clear();
+        for (i, &c) in candidates.iter().enumerate() {
+            let spec_cut = match spec {
+                LookupSpec::TopK(0) => f64::NEG_INFINITY,
+                LookupSpec::TopK(k) => {
+                    if kth.len() < k {
+                        f64::INFINITY
+                    } else {
+                        kth[k - 1]
+                    }
+                }
+                LookupSpec::Radius(theta) => theta,
+            };
+            let growth_cut = p * nn_running; // ∞ until the first survivor
+            let cutoff = spec_cut.max(growth_cut);
+            if let Some(f) = filter {
+                if f.prunes(i, c, cutoff) {
+                    continue;
+                }
+            }
+            if let Some(cache) = cache {
+                match cache.probe(id, c, cutoff) {
+                    PairProbe::Exact(d) => {
+                        incr(Counter::PairCacheHits, 1);
+                        if d <= cutoff {
+                            survive(&mut survivors, kth, &mut nn_running, spec, c, d);
+                        }
+                        continue;
+                    }
+                    PairProbe::KnownAbove => {
+                        incr(Counter::PairCacheHits, 1);
+                        continue;
+                    }
+                    PairProbe::Miss => incr(Counter::PairCacheMisses, 1),
+                }
+            }
+            attempted += 1;
+            fields.clear();
+            fields.extend(records[c as usize].iter().map(String::as_str));
+            match prepared.distance_bounded(&fields, cutoff) {
+                Some(d) => {
+                    if let Some(cache) = cache {
+                        cache.store_exact(id, c, d);
+                    }
+                    survive(&mut survivors, kth, &mut nn_running, spec, c, d);
+                }
+                None => {
+                    if let Some(cache) = cache {
+                        if cutoff.is_finite() {
+                            cache.store_bound(id, c, cutoff);
+                        }
+                    }
+                }
+            }
+        }
+    });
     (survivors, attempted)
 }
 
@@ -298,6 +412,17 @@ impl<I: NnIndex + ?Sized> NnIndex for &I {
     }
     fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
         (**self).lookup(id, spec, p)
+    }
+    fn lookup_cached(
+        &self,
+        id: u32,
+        spec: LookupSpec,
+        p: f64,
+        cache: Option<&dyn PairDistanceCache>,
+    ) -> (Vec<Neighbor>, f64, LookupCost) {
+        // Forward explicitly — the default body would bypass the inner
+        // type's override (the same vtable gotcha as `Distance::prepare`).
+        (**self).lookup_cached(id, spec, p, cache)
     }
 }
 
@@ -365,6 +490,7 @@ mod tests {
                     &candidates,
                     spec,
                     p,
+                    None,
                     None,
                 );
                 assert_eq!(attempted, candidates.len() as u64);
@@ -444,6 +570,7 @@ mod tests {
                     spec,
                     p,
                     Some(&filter),
+                    None,
                 );
                 let (unfiltered, u_attempted) = verify_candidates_bounded(
                     &EditDistance,
@@ -452,6 +579,7 @@ mod tests {
                     &candidates,
                     spec,
                     p,
+                    None,
                     None,
                 );
                 assert!(f_attempted <= u_attempted);
@@ -489,6 +617,7 @@ mod tests {
             &candidates,
             LookupSpec::TopK(1),
             2.0,
+            None,
             None,
         );
         let delta = fuzzydedup_metrics::snapshot().delta(&before);

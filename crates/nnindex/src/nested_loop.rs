@@ -9,7 +9,7 @@ use fuzzydedup_textdist::Distance;
 
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
-    NnIndex,
+    NnIndex, PairDistanceCache,
 };
 
 /// Exact nearest-neighbor search by full scan.
@@ -78,7 +78,13 @@ impl<D: Distance> NnIndex for NestedLoopIndex<D> {
     /// estimate (the default implementation would scan up to three times).
     /// The scan verifies with the current best-so-far as cutoff, so even
     /// the exact reference index benefits from the k-bounded edit kernel.
-    fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
+    fn lookup_cached(
+        &self,
+        id: u32,
+        spec: LookupSpec,
+        p: f64,
+        cache: Option<&dyn PairDistanceCache>,
+    ) -> (Vec<Neighbor>, f64, LookupCost) {
         let candidates: Vec<u32> =
             (0..self.records.len() as u32).filter(|&other| other != id).collect();
         let generated = candidates.len() as u64;
@@ -90,6 +96,7 @@ impl<D: Distance> NnIndex for NestedLoopIndex<D> {
             spec,
             p,
             None,
+            cache,
         );
         lookup_from_verified(verified, generated, attempted, spec, p)
     }

@@ -79,14 +79,33 @@ impl Scoreboard {
     }
 }
 
+/// Reusable buffers for the bounded-verification loop: the running top-k
+/// distance window survives across lookups on the same thread, so a
+/// verification allocates nothing after warm-up (the prepared query and
+/// candidate field slices are reused within a lookup by
+/// `verify_candidates_bounded` itself).
+#[derive(Default)]
+pub(crate) struct VerifyScratch {
+    /// Ascending running top-k distances; cleared at the start of each
+    /// verification, capacity retained.
+    pub kth: Vec<f64>,
+}
+
 thread_local! {
     static SCOREBOARD: RefCell<Scoreboard> = RefCell::new(Scoreboard::default());
+    static VERIFY: RefCell<VerifyScratch> = RefCell::new(VerifyScratch::default());
 }
 
 /// Run `f` with this thread's scoreboard. Panics on reentrant use (a
 /// lookup does not recurse into another lookup on the same thread).
 pub(crate) fn with_scoreboard<R>(f: impl FnOnce(&mut Scoreboard) -> R) -> R {
     SCOREBOARD.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Run `f` with this thread's verification scratch. Panics on reentrant
+/// use (verification does not recurse into verification).
+pub(crate) fn with_verify_scratch<R>(f: impl FnOnce(&mut VerifyScratch) -> R) -> R {
+    VERIFY.with(|cell| f(&mut cell.borrow_mut()))
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ use fuzzydedup_textdist::{record_term_set, Distance};
 use crate::candgen::{CandFilter, RecordMeta};
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
-    NnIndex,
+    NnIndex, PairDistanceCache,
 };
 
 /// Configuration of the MinHash index.
@@ -196,6 +196,7 @@ impl<D: Distance> NnIndex for MinHashIndex<D> {
             LookupSpec::TopK(k),
             1.0,
             filter.as_ref(),
+            None,
         );
         sort_neighbors(&mut verified);
         verified.truncate(k);
@@ -213,6 +214,7 @@ impl<D: Distance> NnIndex for MinHashIndex<D> {
             LookupSpec::Radius(radius),
             1.0,
             filter.as_ref(),
+            None,
         );
         verified.retain(|n| n.dist < radius);
         sort_neighbors(&mut verified);
@@ -221,7 +223,13 @@ impl<D: Distance> NnIndex for MinHashIndex<D> {
 
     /// One band probe + one *bounded, filtered* verification pass
     /// (length bound plus current best-so-far cutoff) serves both results.
-    fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
+    fn lookup_cached(
+        &self,
+        id: u32,
+        spec: LookupSpec,
+        p: f64,
+        cache: Option<&dyn PairDistanceCache>,
+    ) -> (Vec<Neighbor>, f64, LookupCost) {
         let candidates = self.candidates(id);
         let filter = self.make_filter(id);
         let (verified, attempted) = verify_candidates_bounded(
@@ -232,6 +240,7 @@ impl<D: Distance> NnIndex for MinHashIndex<D> {
             spec,
             p,
             filter.as_ref(),
+            cache,
         );
         lookup_from_verified(verified, candidates.len() as u64, attempted, spec, p)
     }

@@ -12,12 +12,65 @@ use std::collections::HashMap;
 
 use crate::idf::IdfModel;
 use crate::tokenize::tokenize_record;
-use crate::Distance;
+use crate::{Distance, Prepared, PreparedDistance};
 
 /// TF-IDF cosine distance.
 #[derive(Debug, Clone)]
 pub struct CosineDistance {
     idf: IdfModel,
+}
+
+/// A record's TF-IDF vector as a token-sorted list. Sorted form keeps
+/// every dot product a merge join in one canonical summation order, so
+/// results are bit-identical however the vector was produced (fresh per
+/// call or compiled once by the prepared layer).
+fn sorted_vector(idf: &IdfModel, fields: &[&str]) -> Vec<(String, f64)> {
+    let mut tf: HashMap<String, f64> = HashMap::new();
+    for tok in tokenize_record(fields) {
+        *tf.entry(tok.text).or_insert(0.0) += 1.0;
+    }
+    let mut v: Vec<(String, f64)> = tf
+        .into_iter()
+        .map(|(t, c)| {
+            let w = c * idf.idf(&t);
+            (t, w)
+        })
+        .collect();
+    v.sort_unstable_by(|x, y| x.0.cmp(&y.0));
+    v
+}
+
+/// Merge-join dot product of two token-sorted vectors.
+fn dot_sorted(a: &[(String, f64)], b: &[(String, f64)]) -> f64 {
+    let (mut i, mut j) = (0, 0);
+    let mut dot = 0.0;
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                dot += a[i].1 * b[j].1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    dot
+}
+
+fn norm(v: &[(String, f64)]) -> f64 {
+    v.iter().map(|(_, w)| w * w).sum::<f64>().sqrt()
+}
+
+/// Cosine of two token-sorted vectors with their precomputed norms.
+fn similarity_sorted(a: &[(String, f64)], na: f64, b: &[(String, f64)], nb: f64) -> f64 {
+    if na == 0.0 && nb == 0.0 {
+        return 1.0; // both empty: identical
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot_sorted(a, b) / (na * nb)).clamp(0.0, 1.0)
 }
 
 impl CosineDistance {
@@ -31,32 +84,11 @@ impl CosineDistance {
         &self.idf
     }
 
-    fn vector(&self, fields: &[&str]) -> HashMap<String, f64> {
-        let mut tf: HashMap<String, f64> = HashMap::new();
-        for tok in tokenize_record(fields) {
-            *tf.entry(tok.text).or_insert(0.0) += 1.0;
-        }
-        for (t, w) in tf.iter_mut() {
-            *w *= self.idf.idf(t);
-        }
-        tf
-    }
-
     /// Cosine similarity in `[0, 1]` between two records.
     pub fn similarity(&self, a: &[&str], b: &[&str]) -> f64 {
-        let va = self.vector(a);
-        let vb = self.vector(b);
-        let (small, large) = if va.len() <= vb.len() { (&va, &vb) } else { (&vb, &va) };
-        let dot: f64 = small.iter().filter_map(|(t, w)| large.get(t).map(|w2| w * w2)).sum();
-        let na: f64 = va.values().map(|w| w * w).sum::<f64>().sqrt();
-        let nb: f64 = vb.values().map(|w| w * w).sum::<f64>().sqrt();
-        if na == 0.0 && nb == 0.0 {
-            return 1.0; // both empty: identical
-        }
-        if na == 0.0 || nb == 0.0 {
-            return 0.0;
-        }
-        (dot / (na * nb)).clamp(0.0, 1.0)
+        let va = sorted_vector(&self.idf, a);
+        let vb = sorted_vector(&self.idf, b);
+        similarity_sorted(&va, norm(&va), &vb, norm(&vb))
     }
 }
 
@@ -66,8 +98,32 @@ impl Distance for CosineDistance {
         1.0 - self.similarity(a, b)
     }
 
+    /// Compile the query's TF-IDF vector and norm once; per candidate
+    /// only the candidate vector and one merge-join dot remain.
+    fn prepare<'a>(&'a self, query: &[&str]) -> Prepared<'a> {
+        let vector = sorted_vector(&self.idf, query);
+        let norm = norm(&vector);
+        Prepared::new(Box::new(PreparedCosine { idf: &self.idf, vector, norm }))
+    }
+
     fn name(&self) -> &str {
         "cosine"
+    }
+}
+
+/// Compiled cosine query: token-sorted TF-IDF vector plus its norm.
+struct PreparedCosine<'a> {
+    idf: &'a IdfModel,
+    vector: Vec<(String, f64)>,
+    norm: f64,
+}
+
+impl PreparedDistance for PreparedCosine<'_> {
+    fn distance_bounded_prepared(&mut self, candidate: &[&str], cutoff: f64) -> Option<f64> {
+        fuzzydedup_metrics::incr(fuzzydedup_metrics::Counter::DistCosine, 1);
+        let vb = sorted_vector(self.idf, candidate);
+        let d = 1.0 - similarity_sorted(&self.vector, self.norm, &vb, norm(&vb));
+        (d <= cutoff).then_some(d)
     }
 }
 

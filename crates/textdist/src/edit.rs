@@ -13,9 +13,9 @@
 //! equivalence property tests and `bench_edit_kernel` compare against), and
 //! the banded DP as [`levenshtein_banded`].
 
-use crate::myers::{myers_bounded_chars, myers_chars};
-use crate::tokenize::record_string;
-use crate::Distance;
+use crate::myers::{myers_bounded_chars, myers_chars, PreparedPattern};
+use crate::tokenize::{record_string, record_string_into};
+use crate::{Distance, Prepared, PreparedDistance};
 
 /// Classic Levenshtein distance (unit costs for insert / delete / substitute)
 /// between two strings, computed over Unicode scalar values.
@@ -225,8 +225,54 @@ impl Distance for EditDistance {
         true
     }
 
+    /// Compile the query's record string and Peq bitmasks once; per
+    /// candidate only the candidate-side normalization and the Myers scan
+    /// remain (common affixes are stripped by mask shifting, not by
+    /// rebuilding the table — see [`PreparedPattern`]).
+    fn prepare<'a>(&'a self, query: &[&str]) -> Prepared<'a> {
+        let sq = record_string(query);
+        Prepared::new(Box::new(PreparedEdit {
+            pattern: PreparedPattern::new(sq.chars().collect()),
+            text: String::new(),
+            chars: Vec::new(),
+        }))
+    }
+
     fn name(&self) -> &str {
         "ed"
+    }
+}
+
+/// Compiled `ed` query: the query's [`PreparedPattern`] plus reusable
+/// candidate-side buffers (zero allocation per candidate once warm).
+struct PreparedEdit {
+    pattern: PreparedPattern,
+    text: String,
+    chars: Vec<char>,
+}
+
+impl PreparedDistance for PreparedEdit {
+    fn distance_bounded_prepared(&mut self, candidate: &[&str], cutoff: f64) -> Option<f64> {
+        fuzzydedup_metrics::incr(fuzzydedup_metrics::Counter::DistEdit, 1);
+        record_string_into(candidate, &mut self.text);
+        self.chars.clear();
+        self.chars.extend(self.text.chars());
+        let max = self.pattern.query().len().max(self.chars.len());
+        if max == 0 {
+            return (cutoff >= 0.0).then_some(0.0);
+        }
+        if cutoff < 0.0 {
+            return None;
+        }
+        if cutoff >= 1.0 {
+            // Every normalized distance qualifies; no point bounding.
+            return Some(self.pattern.distance(&self.chars) as f64 / max as f64);
+        }
+        // Same over-inclusive raw bound as the unprepared path.
+        let raw_bound = (cutoff * max as f64).ceil() as usize;
+        let raw = self.pattern.bounded(&self.chars, raw_bound)?;
+        let d = raw as f64 / max as f64;
+        (d <= cutoff).then_some(d)
     }
 }
 

@@ -41,7 +41,7 @@ use parking_lot::Mutex;
 use crate::idf::IdfModel;
 use crate::myers::myers_chars;
 use crate::tokenize::tokenize_record;
-use crate::Distance;
+use crate::{Distance, Prepared, PreparedDistance};
 
 /// Cached per-record token decomposition: `(token chars, idf weight)` plus
 /// the total weight.
@@ -122,52 +122,56 @@ impl FuzzyMatchDistance {
     pub fn similarity(&self, a: &[&str], b: &[&str]) -> f64 {
         let da = self.decompose(a);
         let db = self.decompose(b);
-        let (ta, wa) = (&da.0, da.1);
-        let (tb, wb) = (&db.0, db.1);
-        if ta.is_empty() && tb.is_empty() {
-            return 1.0;
-        }
-        if ta.is_empty() || tb.is_empty() {
-            return 0.0;
-        }
-
-        // All candidate token pairs with their gains, scored by the
-        // bit-parallel kernel (tokens are short, so this is always the
-        // single-word path).
-        let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(ta.len() * tb.len());
-        for (i, (ca, wia)) in ta.iter().enumerate() {
-            for (j, (cb, wjb)) in tb.iter().enumerate() {
-                let max_len = ca.len().max(cb.len());
-                if max_len == 0 {
-                    continue;
-                }
-                let ned = myers_chars(ca, cb) as f64 / max_len as f64;
-                if ned > self.max_token_ned {
-                    continue;
-                }
-                let gain = (wia + wjb) * (1.0 - ned);
-                if gain > 0.0 {
-                    pairs.push((gain, i, j));
-                }
-            }
-        }
-        // Greedy maximum-gain matching. Ties broken by (i, j) for
-        // determinism.
-        pairs.sort_by(|x, y| {
-            y.0.partial_cmp(&x.0).unwrap().then_with(|| (x.1, x.2).cmp(&(y.1, y.2)))
-        });
-        let mut used_a = vec![false; ta.len()];
-        let mut used_b = vec![false; tb.len()];
-        let mut gain = 0.0;
-        for (g, i, j) in pairs {
-            if !used_a[i] && !used_b[j] {
-                used_a[i] = true;
-                used_b[j] = true;
-                gain += g;
-            }
-        }
-        (gain / (wa + wb)).clamp(0.0, 1.0)
+        similarity_decomposed(&da, &db, self.max_token_ned)
     }
+}
+
+/// fms similarity over two cached decompositions. Shared by the per-call
+/// path and the prepared layer so both produce bit-identical results.
+fn similarity_decomposed(da: &Decomposition, db: &Decomposition, max_token_ned: f64) -> f64 {
+    let (ta, wa) = (&da.0, da.1);
+    let (tb, wb) = (&db.0, db.1);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+
+    // All candidate token pairs with their gains, scored by the
+    // bit-parallel kernel (tokens are short, so this is always the
+    // single-word path).
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(ta.len() * tb.len());
+    for (i, (ca, wia)) in ta.iter().enumerate() {
+        for (j, (cb, wjb)) in tb.iter().enumerate() {
+            let max_len = ca.len().max(cb.len());
+            if max_len == 0 {
+                continue;
+            }
+            let ned = myers_chars(ca, cb) as f64 / max_len as f64;
+            if ned > max_token_ned {
+                continue;
+            }
+            let gain = (wia + wjb) * (1.0 - ned);
+            if gain > 0.0 {
+                pairs.push((gain, i, j));
+            }
+        }
+    }
+    // Greedy maximum-gain matching. Ties broken by (i, j) for
+    // determinism.
+    pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap().then_with(|| (x.1, x.2).cmp(&(y.1, y.2))));
+    let mut used_a = vec![false; ta.len()];
+    let mut used_b = vec![false; tb.len()];
+    let mut gain = 0.0;
+    for (g, i, j) in pairs {
+        if !used_a[i] && !used_b[j] {
+            used_a[i] = true;
+            used_b[j] = true;
+            gain += g;
+        }
+    }
+    (gain / (wa + wb)).clamp(0.0, 1.0)
 }
 
 impl Distance for FuzzyMatchDistance {
@@ -176,8 +180,29 @@ impl Distance for FuzzyMatchDistance {
         1.0 - self.similarity(a, b)
     }
 
+    /// Pin the query's decomposition once, bypassing the shared memo's
+    /// key-join + lock on every candidate comparison.
+    fn prepare<'a>(&'a self, query: &[&str]) -> Prepared<'a> {
+        Prepared::new(Box::new(PreparedFms { query: self.decompose(query), distance: self }))
+    }
+
     fn name(&self) -> &str {
         "fms"
+    }
+}
+
+/// Compiled fms query: the decomposition held directly (no memo lookup).
+struct PreparedFms<'a> {
+    distance: &'a FuzzyMatchDistance,
+    query: Decomposition,
+}
+
+impl PreparedDistance for PreparedFms<'_> {
+    fn distance_bounded_prepared(&mut self, candidate: &[&str], cutoff: f64) -> Option<f64> {
+        fuzzydedup_metrics::incr(fuzzydedup_metrics::Counter::DistFms, 1);
+        let db = self.distance.decompose(candidate);
+        let d = 1.0 - similarity_decomposed(&self.query, &db, self.distance.max_token_ned);
+        (d <= cutoff).then_some(d)
     }
 }
 

@@ -9,14 +9,16 @@ use std::collections::HashSet;
 
 use crate::qgram::QgramProfile;
 use crate::tokenize::{record_string, tokenize_record};
-use crate::Distance;
+use crate::{Distance, Prepared, PreparedDistance};
+
+fn token_set(fields: &[&str]) -> HashSet<String> {
+    tokenize_record(fields).into_iter().map(|t| t.text).collect()
+}
 
 /// Jaccard similarity between two token *sets* (duplicates ignored).
 /// Both-empty pairs are similarity `1`.
 pub fn token_jaccard(a: &[&str], b: &[&str]) -> f64 {
-    let sa: HashSet<String> = tokenize_record(a).into_iter().map(|t| t.text).collect();
-    let sb: HashSet<String> = tokenize_record(b).into_iter().map(|t| t.text).collect();
-    set_jaccard(&sa, &sb)
+    set_jaccard(&token_set(a), &token_set(b))
 }
 
 fn set_jaccard(sa: &HashSet<String>, sb: &HashSet<String>) -> f64 {
@@ -35,12 +37,14 @@ fn set_jaccard(sa: &HashSet<String>, sb: &HashSet<String>) -> f64 {
 /// Jaccard similarity between q-gram *multisets* (generalized Jaccard:
 /// `Σ min / Σ max`). Both-empty pairs are similarity `1`.
 pub fn qgram_jaccard(a: &str, b: &str, q: usize) -> f64 {
-    let pa = QgramProfile::build(a, q);
-    let pb = QgramProfile::build(b, q);
+    profile_jaccard(&QgramProfile::build(a, q), &QgramProfile::build(b, q))
+}
+
+fn profile_jaccard(pa: &QgramProfile, pb: &QgramProfile) -> f64 {
     if pa.total() == 0 && pb.total() == 0 {
         return 1.0;
     }
-    let inter = pa.overlap(&pb);
+    let inter = pa.overlap(pb);
     let union = pa.total() + pb.total() - inter;
     if union == 0 {
         1.0
@@ -77,8 +81,44 @@ impl Distance for JaccardDistance {
         }
     }
 
+    /// Build the query's token set or q-gram profile once.
+    fn prepare<'a>(&'a self, query: &[&str]) -> Prepared<'a> {
+        let kind = match self.qgram {
+            None => PreparedJaccardKind::Tokens(token_set(query)),
+            Some(q) => PreparedJaccardKind::Qgrams {
+                profile: QgramProfile::build(&record_string(query), q),
+                q,
+            },
+        };
+        Prepared::new(Box::new(PreparedJaccard { kind }))
+    }
+
     fn name(&self) -> &str {
         "jaccard"
+    }
+}
+
+/// Compiled Jaccard query, mirroring the two [`JaccardDistance`] variants.
+enum PreparedJaccardKind {
+    Tokens(HashSet<String>),
+    Qgrams { profile: QgramProfile, q: usize },
+}
+
+struct PreparedJaccard {
+    kind: PreparedJaccardKind,
+}
+
+impl PreparedDistance for PreparedJaccard {
+    fn distance_bounded_prepared(&mut self, candidate: &[&str], cutoff: f64) -> Option<f64> {
+        fuzzydedup_metrics::incr(fuzzydedup_metrics::Counter::DistJaccard, 1);
+        let d = match &self.kind {
+            PreparedJaccardKind::Tokens(sa) => 1.0 - set_jaccard(sa, &token_set(candidate)),
+            PreparedJaccardKind::Qgrams { profile, q } => {
+                let pb = QgramProfile::build(&record_string(candidate), *q);
+                1.0 - profile_jaccard(profile, &pb)
+            }
+        };
+        (d <= cutoff).then_some(d)
     }
 }
 

@@ -5,8 +5,8 @@
 //! paper cites ([3, 17, 19]) builds on them, and they serve as an extra
 //! distance function for quality comparisons.
 
-use crate::tokenize::record_string;
-use crate::Distance;
+use crate::tokenize::{record_string, record_string_into};
+use crate::{Distance, Prepared, PreparedDistance};
 
 /// Jaro similarity in `[0, 1]`. Both-empty pairs are `1`.
 ///
@@ -75,8 +75,31 @@ impl Distance for JaroWinklerDistance {
         1.0 - jaro_winkler(&record_string(a), &record_string(b))
     }
 
+    /// Normalize the query string once; candidates reuse one buffer.
+    fn prepare<'a>(&'a self, query: &[&str]) -> Prepared<'a> {
+        Prepared::new(Box::new(PreparedJaroWinkler {
+            query: record_string(query),
+            text: String::new(),
+        }))
+    }
+
     fn name(&self) -> &str {
         "jw"
+    }
+}
+
+/// Compiled Jaro-Winkler query: the normalized record string.
+struct PreparedJaroWinkler {
+    query: String,
+    text: String,
+}
+
+impl PreparedDistance for PreparedJaroWinkler {
+    fn distance_bounded_prepared(&mut self, candidate: &[&str], cutoff: f64) -> Option<f64> {
+        fuzzydedup_metrics::incr(fuzzydedup_metrics::Counter::DistJaroWinkler, 1);
+        record_string_into(candidate, &mut self.text);
+        let d = 1.0 - jaro_winkler(&self.query, &self.text);
+        (d <= cutoff).then_some(d)
     }
 }
 

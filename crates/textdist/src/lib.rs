@@ -54,6 +54,8 @@ pub use qgram::{qgrams, record_term_set, QgramProfile, TermSet};
 pub use soundex::soundex;
 pub use tokenize::{normalize, tokenize, Token};
 
+pub use tokenize::{record_string, record_string_into};
+
 /// A symmetric distance function over string records, bounded in `[0, 1]`.
 ///
 /// `0.0` means "identical for the purposes of matching"; `1.0` means
@@ -102,8 +104,78 @@ pub trait Distance: Send + Sync {
         false
     }
 
+    /// Compile a query record once for repeated bounded evaluation
+    /// against many candidates (the verification loops of
+    /// `fuzzydedup-nnindex` prepare each query once and reuse it across
+    /// the whole candidate list).
+    ///
+    /// The returned [`Prepared`] must agree *exactly* with
+    /// [`Distance::distance_bounded`] on every `(candidate, cutoff)` pair
+    /// — preparation is a pure performance lever, property-tested in
+    /// `tests/prepared_equivalence.rs`. The default recompiles per call
+    /// through the unprepared path, so every existing implementation
+    /// keeps working; distances with expensive per-query state (Peq
+    /// tables, token vectors, IDF weights) override it.
+    fn prepare<'a>(&'a self, query: &[&str]) -> Prepared<'a> {
+        Prepared::new(Box::new(FallbackPrepared {
+            distance: self,
+            query: query.iter().map(|s| s.to_string()).collect(),
+        }))
+    }
+
     /// A short human-readable name ("ed", "fms", "cosine", ...).
     fn name(&self) -> &str;
+}
+
+/// The compiled form of one query record, produced by
+/// [`Distance::prepare`]: query-side preprocessing (equality bitmasks,
+/// token vectors, IDF weights) done once, candidate-side work per call.
+///
+/// `&mut self` lets implementations keep internal scratch buffers — a
+/// prepared query is owned by one lookup on one thread (`Send`, not
+/// `Sync`).
+pub trait PreparedDistance: Send {
+    /// Bounded distance from the compiled query to a candidate record:
+    /// `Some(d)` iff `d <= cutoff`, else `None`, exactly as
+    /// [`Distance::distance_bounded`] on the original query.
+    fn distance_bounded_prepared(&mut self, candidate: &[&str], cutoff: f64) -> Option<f64>;
+}
+
+/// A query compiled by [`Distance::prepare`], borrowing the distance it
+/// came from. Records prepared-layer metrics (`prepared` section of
+/// `RunMetrics`): one `PreparedQueries` per compilation, one
+/// `PreparedReuses` per evaluation served.
+pub struct Prepared<'a>(Box<dyn PreparedDistance + 'a>);
+
+impl<'a> Prepared<'a> {
+    /// Wrap a compiled query (implementation hook for `prepare`
+    /// overrides).
+    pub fn new(inner: Box<dyn PreparedDistance + 'a>) -> Self {
+        fuzzydedup_metrics::incr(fuzzydedup_metrics::Counter::PreparedQueries, 1);
+        Prepared(inner)
+    }
+
+    /// Bounded distance to a candidate through the compiled query;
+    /// equivalent to `distance_bounded(query, candidate, cutoff)`.
+    pub fn distance_bounded(&mut self, candidate: &[&str], cutoff: f64) -> Option<f64> {
+        fuzzydedup_metrics::incr(fuzzydedup_metrics::Counter::PreparedReuses, 1);
+        self.0.distance_bounded_prepared(candidate, cutoff)
+    }
+}
+
+/// Default compiled form: owns a copy of the query and routes every call
+/// through the unprepared [`Distance::distance_bounded`] — correctness
+/// for free, speed only where `prepare` is overridden.
+struct FallbackPrepared<'a, D: ?Sized> {
+    distance: &'a D,
+    query: Vec<String>,
+}
+
+impl<D: Distance + ?Sized> PreparedDistance for FallbackPrepared<'_, D> {
+    fn distance_bounded_prepared(&mut self, candidate: &[&str], cutoff: f64) -> Option<f64> {
+        let query: Vec<&str> = self.query.iter().map(String::as_str).collect();
+        self.distance.distance_bounded(&query, candidate, cutoff)
+    }
 }
 
 impl<D: Distance + ?Sized> Distance for &D {
@@ -120,6 +192,11 @@ impl<D: Distance + ?Sized> Distance for &D {
         // the default `false` silently disables pruning through `&D`.
         (**self).admits_qgram_filter()
     }
+    fn prepare<'a>(&'a self, query: &[&str]) -> Prepared<'a> {
+        // Same vtable gotcha: without this the default fallback would
+        // recompile per call even when the inner type compiles queries.
+        (**self).prepare(query)
+    }
     fn name(&self) -> &str {
         (**self).name()
     }
@@ -134,6 +211,9 @@ impl Distance for Box<dyn Distance> {
     }
     fn admits_qgram_filter(&self) -> bool {
         (**self).admits_qgram_filter()
+    }
+    fn prepare<'a>(&'a self, query: &[&str]) -> Prepared<'a> {
+        (**self).prepare(query)
     }
     fn name(&self) -> &str {
         (**self).name()
@@ -152,6 +232,11 @@ impl<D: Distance> Distance for UnfilteredDistance<D> {
     }
     fn distance_bounded(&self, a: &[&str], b: &[&str], cutoff: f64) -> Option<f64> {
         self.0.distance_bounded(a, b, cutoff)
+    }
+    fn prepare<'a>(&'a self, query: &[&str]) -> Prepared<'a> {
+        // Filter admissibility is hidden, but prepared kernels stay live:
+        // distances are identical either way.
+        self.0.prepare(query)
     }
     fn name(&self) -> &str {
         self.0.name()

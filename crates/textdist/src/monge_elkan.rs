@@ -14,7 +14,7 @@
 
 use crate::myers::myers_chars;
 use crate::tokenize::tokenize_record;
-use crate::Distance;
+use crate::{Distance, Prepared, PreparedDistance};
 
 /// One direction of Monge-Elkan: mean over `a`'s tokens of the best
 /// similarity (1 − normalized Levenshtein) against `b`'s tokens.
@@ -40,6 +40,12 @@ fn directed(a: &[Vec<char>], b: &[Vec<char>]) -> f64 {
     total / a.len() as f64
 }
 
+/// Tokenize a record into per-token char vectors (the working form of both
+/// directed passes).
+fn token_chars(fields: &[&str]) -> Vec<Vec<char>> {
+    tokenize_record(fields).into_iter().map(|t| t.text.chars().collect()).collect()
+}
+
 /// Symmetrized Monge-Elkan distance; see module docs.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MongeElkanDistance;
@@ -47,10 +53,8 @@ pub struct MongeElkanDistance;
 impl MongeElkanDistance {
     /// Symmetric similarity in `[0, 1]` (mean of both directions).
     pub fn similarity(&self, a: &[&str], b: &[&str]) -> f64 {
-        let ta: Vec<Vec<char>> =
-            tokenize_record(a).into_iter().map(|t| t.text.chars().collect()).collect();
-        let tb: Vec<Vec<char>> =
-            tokenize_record(b).into_iter().map(|t| t.text.chars().collect()).collect();
+        let ta = token_chars(a);
+        let tb = token_chars(b);
         (directed(&ta, &tb) + directed(&tb, &ta)) / 2.0
     }
 }
@@ -61,8 +65,28 @@ impl Distance for MongeElkanDistance {
         (1.0 - self.similarity(a, b)).clamp(0.0, 1.0)
     }
 
+    /// Tokenize the query once; both directed passes reuse the vectors.
+    fn prepare<'a>(&'a self, query: &[&str]) -> Prepared<'a> {
+        Prepared::new(Box::new(PreparedMongeElkan { query: token_chars(query) }))
+    }
+
     fn name(&self) -> &str {
         "monge-elkan"
+    }
+}
+
+/// Compiled Monge-Elkan query: pre-tokenized char vectors.
+struct PreparedMongeElkan {
+    query: Vec<Vec<char>>,
+}
+
+impl PreparedDistance for PreparedMongeElkan {
+    fn distance_bounded_prepared(&mut self, candidate: &[&str], cutoff: f64) -> Option<f64> {
+        fuzzydedup_metrics::incr(fuzzydedup_metrics::Counter::DistMongeElkan, 1);
+        let tb = token_chars(candidate);
+        let sim = (directed(&self.query, &tb) + directed(&tb, &self.query)) / 2.0;
+        let d = (1.0 - sim).clamp(0.0, 1.0);
+        (d <= cutoff).then_some(d)
     }
 }
 

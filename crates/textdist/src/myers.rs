@@ -325,6 +325,255 @@ pub fn myers_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
     myers_bounded_chars(&a, &b, bound)
 }
 
+/// A query compiled once for repeated edit-distance evaluation against
+/// many candidate texts (the prepared-distance layer, DESIGN.md §7.5).
+///
+/// The pattern-equality table is built over the *unstripped* query at
+/// prepare time. Per candidate only the common-affix lengths are counted;
+/// the single-word path then reuses the table by shifting each mask right
+/// by the prefix length and truncating to the stripped width — the affix
+/// strip without any per-candidate table rebuild (the standalone bounded
+/// kernel re-strips and rebuilds `Peq` from scratch for every candidate).
+/// Blocked (> 64-char) queries reuse their table whenever no affix is
+/// shared; with shared affixes they fall back to the stock kernel, where
+/// stripping shrinks the scan enough to dwarf the rebuild.
+pub(crate) struct PreparedPattern {
+    query: Vec<char>,
+    kind: PreparedKind,
+    /// Blocked-path column state, reused across candidates.
+    pv: Vec<u64>,
+    mv: Vec<u64>,
+}
+
+// The word-path table dwarfs the blocked variant, but a pattern is
+// prepared once per lookup and held by value — boxing would buy bytes
+// at the cost of a pointer chase on every candidate.
+#[allow(clippy::large_enum_variant)]
+enum PreparedKind {
+    /// Query ≤ 64 chars (the empty query short-circuits before use).
+    Word(PeqWord),
+    /// Query > 64 chars.
+    Blocked(PeqBlocks),
+}
+
+impl PreparedPattern {
+    /// Compile a query's equality table once.
+    pub fn new(query: Vec<char>) -> Self {
+        let kind = if query.len() <= 64 {
+            PreparedKind::Word(PeqWord::build(&query))
+        } else {
+            PreparedKind::Blocked(PeqBlocks::build(&query))
+        };
+        Self { query, kind, pv: Vec::new(), mv: Vec::new() }
+    }
+
+    /// The compiled query.
+    pub fn query(&self) -> &[char] {
+        &self.query
+    }
+
+    /// Common prefix/suffix lengths of the query and a candidate text
+    /// (prefix first, then suffix over the remainders — the exact
+    /// convention of [`strip_common`], so stripped views agree).
+    fn affixes(&self, text: &[char]) -> (usize, usize) {
+        let q: &[char] = &self.query;
+        let pre = q.iter().zip(text.iter()).take_while(|(x, y)| x == y).count();
+        let (qr, tr) = (&q[pre..], &text[pre..]);
+        let suf = qr.iter().rev().zip(tr.iter().rev()).take_while(|(x, y)| x == y).count();
+        (pre, suf)
+    }
+
+    /// Exact distance to a candidate (equivalent to
+    /// [`myers_chars`]`(query, text)`).
+    pub fn distance(&mut self, text: &[char]) -> usize {
+        let (pre, suf) = self.affixes(text);
+        let sp_len = self.query.len() - pre - suf;
+        let st_len = text.len() - pre - suf;
+        if sp_len == 0 {
+            return st_len;
+        }
+        let st = &text[pre..text.len() - suf];
+        match &self.kind {
+            PreparedKind::Word(peq) => {
+                incr(Counter::EdKernelWord, 1);
+                word_distance_shifted(peq, pre, sp_len, st)
+            }
+            PreparedKind::Blocked(peq) if pre == 0 && suf == 0 => {
+                incr(Counter::EdKernelBlocked, 1);
+                blocked_distance_prepared(peq, self.query.len(), st, &mut self.pv, &mut self.mv)
+            }
+            PreparedKind::Blocked(_) => myers_chars(&self.query, text),
+        }
+    }
+
+    /// k-bounded distance to a candidate (equivalent to
+    /// [`myers_bounded_chars`]`(query, text, bound)`).
+    pub fn bounded(&mut self, text: &[char], bound: usize) -> Option<usize> {
+        let (pre, suf) = self.affixes(text);
+        if let PreparedKind::Blocked(_) = &self.kind {
+            if pre != 0 || suf != 0 {
+                return myers_bounded_chars(&self.query, text, bound);
+            }
+        }
+        incr(Counter::EdKernelBounded, 1);
+        let sp_len = self.query.len() - pre - suf;
+        let st_len = text.len() - pre - suf;
+        // The length gap bounds the distance from below; the query may sit
+        // on either side of the candidate's length.
+        if st_len.abs_diff(sp_len) > bound {
+            incr(Counter::EdKernelEarlyExit, 1);
+            return None;
+        }
+        if sp_len == 0 {
+            return (st_len <= bound).then_some(st_len);
+        }
+        let st = &text[pre..text.len() - suf];
+        match &self.kind {
+            PreparedKind::Word(peq) => word_bounded_shifted(peq, pre, sp_len, st, bound),
+            PreparedKind::Blocked(peq) => blocked_bounded_prepared(
+                peq,
+                self.query.len(),
+                st,
+                bound,
+                &mut self.pv,
+                &mut self.mv,
+            ),
+        }
+    }
+}
+
+/// Bottom-row bit and significant-width mask for a shifted stripped
+/// pattern of `sp_len` chars starting `pre` chars into the compiled query.
+#[inline]
+fn shifted_masks(pre: usize, sp_len: usize) -> (u64, u64) {
+    debug_assert!(sp_len >= 1 && pre + sp_len <= 64);
+    let mask = if sp_len == 64 { !0u64 } else { (1u64 << sp_len) - 1 };
+    (mask, 1u64 << (sp_len - 1))
+}
+
+/// [`word_distance`] driven by shifted prepared masks instead of a
+/// freshly built table. Bits above `sp_len − 1` carry garbage exactly as
+/// the stock kernel's do above `m − 1`: carries only travel upward, so
+/// they never reach the watched bottom-row bit.
+fn word_distance_shifted(peq: &PeqWord, pre: usize, sp_len: usize, text: &[char]) -> usize {
+    let (mask, high) = shifted_masks(pre, sp_len);
+    let mut pv = !0u64;
+    let mut mv = 0u64;
+    let mut score = sp_len as isize;
+    for &c in text {
+        let eq = (peq.get(c) >> pre) & mask;
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let mut ph = mv | !(xh | pv);
+        let mut mh = pv & xh;
+        score += isize::from(ph & high != 0);
+        score -= isize::from(mh & high != 0);
+        ph = (ph << 1) | 1;
+        mh <<= 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+    }
+    score as usize
+}
+
+/// k-bounded [`word_distance_shifted`] with the per-column early exit of
+/// [`myers_bounded_chars`].
+fn word_bounded_shifted(
+    peq: &PeqWord,
+    pre: usize,
+    sp_len: usize,
+    text: &[char],
+    bound: usize,
+) -> Option<usize> {
+    let (mask, high) = shifted_masks(pre, sp_len);
+    let n = text.len();
+    let mut pv = !0u64;
+    let mut mv = 0u64;
+    let mut score = sp_len as isize;
+    for (j, &c) in text.iter().enumerate() {
+        let eq = (peq.get(c) >> pre) & mask;
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let mut ph = mv | !(xh | pv);
+        let mut mh = pv & xh;
+        score += isize::from(ph & high != 0);
+        score -= isize::from(mh & high != 0);
+        ph = (ph << 1) | 1;
+        mh <<= 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+        if score - (n - j - 1) as isize > bound as isize {
+            incr(Counter::EdKernelEarlyExit, 1);
+            return None;
+        }
+    }
+    (score as usize <= bound).then_some(score as usize)
+}
+
+/// [`blocked_distance`] over a prepared table, with the column state
+/// borrowed from the prepared query so repeated candidates allocate
+/// nothing.
+fn blocked_distance_prepared(
+    peq: &PeqBlocks,
+    m: usize,
+    text: &[char],
+    pv: &mut Vec<u64>,
+    mv: &mut Vec<u64>,
+) -> usize {
+    let w = peq.w;
+    debug_assert!(w >= 2);
+    let last_high = 1u64 << ((m - 1) % 64);
+    pv.clear();
+    pv.resize(w, !0u64);
+    mv.clear();
+    mv.resize(w, 0);
+    let mut score = m as isize;
+    for &c in text {
+        let eqs = peq.get(c);
+        let mut hin = 1i32;
+        for k in 0..w {
+            let high = if k + 1 == w { last_high } else { 1u64 << 63 };
+            hin = advance_block(&mut pv[k], &mut mv[k], eqs[k], hin, high);
+        }
+        score += hin as isize;
+    }
+    score as usize
+}
+
+/// k-bounded [`blocked_distance_prepared`].
+fn blocked_bounded_prepared(
+    peq: &PeqBlocks,
+    m: usize,
+    text: &[char],
+    bound: usize,
+    pv: &mut Vec<u64>,
+    mv: &mut Vec<u64>,
+) -> Option<usize> {
+    let w = peq.w;
+    debug_assert!(w >= 2);
+    let last_high = 1u64 << ((m - 1) % 64);
+    pv.clear();
+    pv.resize(w, !0u64);
+    mv.clear();
+    mv.resize(w, 0);
+    let n = text.len();
+    let mut score = m as isize;
+    for (j, &c) in text.iter().enumerate() {
+        let eqs = peq.get(c);
+        let mut hin = 1i32;
+        for k in 0..w {
+            let high = if k + 1 == w { last_high } else { 1u64 << 63 };
+            hin = advance_block(&mut pv[k], &mut mv[k], eqs[k], hin, high);
+        }
+        score += hin as isize;
+        if score - (n - j - 1) as isize > bound as isize {
+            incr(Counter::EdKernelEarlyExit, 1);
+            return None;
+        }
+    }
+    (score as usize <= bound).then_some(score as usize)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +655,66 @@ mod tests {
         let b: String = b.into_iter().collect();
         assert_eq!(myers_bounded(&a, &b, 2), Some(2));
         assert_eq!(myers_bounded(&a, &b, 1), None);
+    }
+
+    #[test]
+    fn prepared_pattern_matches_stock_kernels() {
+        let queries = [
+            "",
+            "a",
+            "the doors",
+            "microsoft corporation",
+            // Exactly 64 chars (mask edge), then > 64 (blocked kind).
+            &"x".repeat(64),
+            &format!("a{}b", "y".repeat(78)),
+            &"prefix shared middle differs suffix shared tail tail tail tail tail!".repeat(2),
+        ];
+        let texts = [
+            "",
+            "a",
+            "doors",
+            "the doors la woman",
+            "microsft corp",
+            &"x".repeat(64),
+            &"x".repeat(90),
+            &format!("a{}b", "y".repeat(78)),
+            &format!("c{}d", "y".repeat(78)),
+            &"prefix shared middle DIFFERS suffix shared tail tail tail tail tail!".repeat(2),
+        ];
+        for q in queries {
+            let qc: Vec<char> = q.chars().collect();
+            let mut prepared = PreparedPattern::new(qc.clone());
+            for t in texts {
+                let tc: Vec<char> = t.chars().collect();
+                let exact = myers_chars(&qc, &tc);
+                assert_eq!(prepared.distance(&tc), exact, "{q:?} vs {t:?}");
+                for bound in [0, 1, exact.saturating_sub(1), exact, exact + 1, exact + 10] {
+                    assert_eq!(
+                        prepared.bounded(&tc, bound),
+                        myers_bounded_chars(&qc, &tc, bound),
+                        "{q:?} vs {t:?} bound {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_word_path_does_not_rebuild_tables() {
+        // The shifted single-word path must take the bounded rung exactly
+        // once per candidate and never the unbounded word rung.
+        let _serial = fuzzydedup_metrics::serial_guard();
+        fuzzydedup_metrics::enable();
+        let query: Vec<char> = "golden dragon palace".chars().collect();
+        let mut prepared = PreparedPattern::new(query);
+        let before = fuzzydedup_metrics::snapshot();
+        for t in ["golden dragon palce", "golden dragon", "palace dragon golden"] {
+            let tc: Vec<char> = t.chars().collect();
+            prepared.bounded(&tc, 30);
+        }
+        let delta = fuzzydedup_metrics::snapshot().delta(&before);
+        assert_eq!(delta.get(Counter::EdKernelBounded), 3);
+        assert_eq!(delta.get(Counter::EdKernelWord), 0);
     }
 
     #[test]

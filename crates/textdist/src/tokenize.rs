@@ -89,6 +89,15 @@ pub fn tokenize_record(fields: &[&str]) -> Vec<Token> {
 /// (edit distance, Jaro-Winkler).
 pub fn record_string(fields: &[&str]) -> String {
     let mut out = String::new();
+    record_string_into(fields, &mut out);
+    out
+}
+
+/// [`record_string`] written into a caller-provided buffer (cleared
+/// first), so the prepared-distance layer can reuse one allocation across
+/// a whole candidate list.
+pub fn record_string_into(fields: &[&str], out: &mut String) {
+    out.clear();
     for field in fields {
         let n = normalize(field);
         if n.is_empty() {
@@ -99,7 +108,6 @@ pub fn record_string(fields: &[&str]) -> String {
         }
         out.push_str(&n);
     }
-    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,185 @@
+//! Property tests pinning the prepared-query layer to the unprepared
+//! [`Distance`] API it accelerates (DESIGN.md §7.5).
+//!
+//! For every built-in distance, compiling the query once via
+//! [`Distance::prepare`] and evaluating candidates through
+//! `Prepared::distance_bounded` must agree *bit-exactly* with the
+//! per-call [`Distance::distance_bounded`] — and both must equal the
+//! plain [`Distance::distance`] filtered at the cutoff. Cutoffs are
+//! sampled on both sides of the true distance (including the exact
+//! boundary), candidates include Unicode/multibyte text, and the edit
+//! distance is driven across the 64-char word boundary so the blocked
+//! Myers path and the prepare-time affix stripping are both exercised.
+
+use fuzzydedup_textdist::{
+    CosineDistance, Distance, EditDistance, FuzzyMatchDistance, IdfModel, JaccardDistance,
+    JaroWinklerDistance, MongeElkanDistance, UnfilteredDistance,
+};
+use proptest::prelude::*;
+
+/// Cutoffs straddling the true distance `d`: fixed grid points plus the
+/// exact boundary and points just inside/outside it.
+fn cutoffs(d: f64) -> Vec<f64> {
+    vec![
+        0.0,
+        0.2,
+        0.5,
+        0.8,
+        1.0,
+        d,
+        (d - 1e-9).max(0.0),
+        (d + 1e-9).min(1.0),
+        (d * 0.5).max(0.0),
+        (d * 1.5).min(1.0),
+    ]
+}
+
+/// Core equivalence check: one query prepared once, every candidate
+/// evaluated at every cutoff through both paths.
+fn assert_equivalent(dist: &dyn Distance, query: &[&str], candidates: &[Vec<&str>]) {
+    let mut prepared = dist.prepare(query);
+    for cand in candidates {
+        let plain = dist.distance(query, cand);
+        for cutoff in cutoffs(plain) {
+            let bounded = dist.distance_bounded(query, cand, cutoff);
+            let via_prepared = prepared.distance_bounded(cand, cutoff);
+            assert_eq!(
+                bounded,
+                via_prepared,
+                "{}: prepared != bounded at cutoff {cutoff} for {query:?} vs {cand:?}",
+                dist.name()
+            );
+            let expect = (plain <= cutoff).then_some(plain);
+            assert_eq!(
+                bounded,
+                expect,
+                "{}: bounded != filtered distance at cutoff {cutoff} for {query:?} vs {cand:?}",
+                dist.name()
+            );
+        }
+    }
+}
+
+fn idf() -> IdfModel {
+    IdfModel::fit_strings(&[
+        "microsoft corp",
+        "boeing corporation",
+        "microsft corporation",
+        "intel corp",
+        "mic corporation",
+        "golden dragon palace",
+        "日本語 café",
+    ])
+}
+
+/// Every built-in distance, boxed so one loop covers them all (and the
+/// `Box<dyn Distance>` prepare forwarding with it).
+fn all_distances() -> Vec<Box<dyn Distance>> {
+    vec![
+        Box::new(EditDistance),
+        Box::new(CosineDistance::new(idf())),
+        Box::new(FuzzyMatchDistance::new(idf())),
+        Box::new(JaccardDistance::default()),
+        Box::new(JaccardDistance::qgrams(3)),
+        Box::new(JaroWinklerDistance),
+        Box::new(MongeElkanDistance),
+        Box::new(UnfilteredDistance(EditDistance)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tentpole property: prepared ≡ bounded ≡ filtered-plain for every
+    /// distance on arbitrary Unicode records.
+    #[test]
+    fn prepared_equals_unprepared(
+        query in "[a-f0-9éüß日語 ]{0,40}",
+        cands in prop::collection::vec("[a-f0-9éüß日語 ]{0,40}", 1..4),
+    ) {
+        let candidates: Vec<Vec<&str>> = cands.iter().map(|c| vec![c.as_str()]).collect();
+        for dist in all_distances() {
+            assert_equivalent(&dist, &[query.as_str()], &candidates);
+        }
+    }
+
+    /// Long strings push edit distance onto the blocked (>64 char) Myers
+    /// path; shared prefixes/suffixes of varying length exercise the
+    /// prepare-time affix handling against per-call stripping.
+    #[test]
+    fn blocked_myers_prepared_equivalence(
+        prefix in "[a-céü]{0,80}",
+        qmid in "[a-f日語]{0,30}",
+        cmid in "[a-f日語]{0,30}",
+        suffix in "[a-céü]{0,80}",
+    ) {
+        let query = format!("{prefix}{qmid}{suffix}");
+        let cand = format!("{prefix}{cmid}{suffix}");
+        let dist = EditDistance;
+        let candidates = vec![vec![cand.as_str()]];
+        assert_equivalent(&dist, &[query.as_str()], &candidates);
+    }
+
+    /// Multi-field records must behave identically through both paths
+    /// (field joining happens at prepare time for string distances).
+    #[test]
+    fn multi_field_prepared_equivalence(
+        f1 in "[a-d é]{0,20}",
+        f2 in "[a-d é]{0,20}",
+        g1 in "[a-d é]{0,20}",
+        g2 in "[a-d é]{0,20}",
+    ) {
+        let candidates = vec![vec![g1.as_str(), g2.as_str()]];
+        for dist in all_distances() {
+            assert_equivalent(&dist, &[f1.as_str(), f2.as_str()], &candidates);
+        }
+    }
+}
+
+/// Deterministic seams: empty records, identical records, and the exact
+/// 63/64/65-char word boundary with multibyte chars and shared affixes.
+#[test]
+fn deterministic_boundary_cases() {
+    let long_a = "é".repeat(70) + "golden dragon" + &"語".repeat(10);
+    let long_b = "é".repeat(70) + "goldn dargon" + &"語".repeat(10);
+    let b64 = "x".repeat(64);
+    let b65 = "x".repeat(63) + "yz";
+    let cases: Vec<(&str, &str)> = vec![
+        ("", ""),
+        ("", "abc"),
+        ("abc", ""),
+        ("golden dragon palace", "golden dragon palace"),
+        ("microsoft corp", "microsft corporation"),
+        (&long_a, &long_b),
+        (&b64, &b65),
+        ("日本語 café", "cafe 日本語"),
+    ];
+    for dist in all_distances() {
+        for (q, c) in &cases {
+            assert_equivalent(&dist, &[q], &[vec![*c]]);
+        }
+    }
+}
+
+/// One prepared query evaluated against many candidates in sequence —
+/// internal scratch buffers must not leak state between candidates.
+#[test]
+fn prepared_reuse_across_candidates() {
+    let cands = [
+        "golden dragon palace",
+        "",
+        "golden dragon",
+        "a much longer candidate string that exceeds sixty four characters in total length",
+        "golden dragon palace",
+        "日本語",
+    ];
+    for dist in all_distances() {
+        let query = ["golden dragon palace"];
+        let mut prepared = dist.prepare(&query);
+        for c in cands {
+            let expect = dist.distance_bounded(&query, &[c], 0.75);
+            let got = prepared.distance_bounded(&[c], 0.75);
+            assert_eq!(expect, got, "{}: reuse mismatch on {c:?}", dist.name());
+        }
+    }
+}

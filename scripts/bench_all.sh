@@ -29,6 +29,7 @@ benches=(
     bench_buffer_pool
     bench_candidates
     bench_phase1
+    bench_phase1_cache
     bench_phase2
 )
 

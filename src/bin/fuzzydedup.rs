@@ -26,6 +26,10 @@
 //!                         to stderr
 //!   --threads N           run both phases on N worker threads (0 = all
 //!                         CPUs); results are identical to sequential
+//!   --pair-cache-capacity N
+//!                         memoize up to N symmetric pair distances during
+//!                         Phase-1 verification (0 = off, the default);
+//!                         the partition is identical either way
 //!   --demo NAME           run on a built-in dataset instead of --input:
 //!                         table1 | restaurants | media | org
 //! ```
@@ -58,6 +62,7 @@ struct Options {
     report: bool,
     metrics: bool,
     threads: Option<usize>,
+    pair_cache_capacity: usize,
     demo: Option<String>,
 }
 
@@ -66,7 +71,7 @@ fn usage() -> &'static str {
      \x20                 [--columns 0,1] [--gold-column N] [--distance fms|ed|cosine|jaccard|jw|monge-elkan]\n\
      \x20                 [--k N | --theta X] [--c X | --dup-fraction F] [--agg max|avg|max2]\n\
      \x20                 [--minimality] [--report] [--metrics] [--threads N]\n\
-     \x20                 [--demo table1|restaurants|media|org]"
+     \x20                 [--pair-cache-capacity N] [--demo table1|restaurants|media|org]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -86,6 +91,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         report: false,
         metrics: false,
         threads: None,
+        pair_cache_capacity: 0,
         demo: None,
     };
     let mut i = 0;
@@ -145,6 +151,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--threads" => {
                 opts.threads =
                     Some(next(&mut i)?.parse().map_err(|e| format!("bad --threads: {e}"))?)
+            }
+            "--pair-cache-capacity" => {
+                opts.pair_cache_capacity =
+                    next(&mut i)?.parse().map_err(|e| format!("bad --pair-cache-capacity: {e}"))?
             }
             "--demo" => opts.demo = Some(next(&mut i)?.clone()),
             "--help" | "-h" => return Err(usage().to_string()),
@@ -246,7 +256,8 @@ fn run() -> Result<(), String> {
     let mut config = DedupConfig::new(opts.distance)
         .cut(opts.cut)
         .aggregation(opts.agg)
-        .minimality(opts.minimality);
+        .minimality(opts.minimality)
+        .pair_cache_capacity(opts.pair_cache_capacity);
     if let Some(threads) = opts.threads {
         config = config.parallelism(Parallelism::threads(threads));
     }

@@ -214,6 +214,36 @@ fn parallel_pipeline_is_identical_on_real_data() {
 }
 
 #[test]
+fn pair_cache_is_invisible_in_results_seq_and_par() {
+    // The Phase-1 pair-distance memo is a pure performance lever: with
+    // edit distance (bit-symmetric, as the cache contract requires) the
+    // partition AND the NN relation must be bit-identical with the cache
+    // on or off, sequential or parallel. Two capacities: one comfortably
+    // holding the working set, one small enough to evict constantly.
+    let mut rng = StdRng::seed_from_u64(9);
+    let dataset = restaurants::generate(&mut rng, DatasetSpec::with_entities(150));
+    let base = de_config(DistanceKind::EditDistance);
+    let plain = dedup(&dataset.records, &base).unwrap();
+    for capacity in [1 << 16, 128] {
+        let cached = dedup(&dataset.records, &base.clone().pair_cache_capacity(capacity)).unwrap();
+        assert_eq!(plain.partition, cached.partition, "capacity={capacity}");
+        assert_eq!(plain.nn_reln, cached.nn_reln, "capacity={capacity}");
+        for threads in [2, 0] {
+            let par = dedup(
+                &dataset.records,
+                &base
+                    .clone()
+                    .pair_cache_capacity(capacity)
+                    .parallelism(Parallelism::threads(threads)),
+            )
+            .unwrap();
+            assert_eq!(plain.partition, par.partition, "capacity={capacity} threads={threads}");
+            assert_eq!(plain.nn_reln, par.nn_reln, "capacity={capacity} threads={threads}");
+        }
+    }
+}
+
+#[test]
 fn most_found_groups_are_small() {
     // "most (almost 80-90%) sets of duplicates just consist of tuple
     // pairs" — our generator plants geometric group sizes; check the
