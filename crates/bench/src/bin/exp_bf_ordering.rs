@@ -199,10 +199,16 @@ fn main() {
          (bf/rnd = {:.2}x)",
         bf_cache_hits as f64 / (rnd_cache_hits as f64).max(1e-12)
     );
-    assert!(
-        bf_cache_hits > rnd_cache_hits,
-        "BF order must beat random on pair-cache hits ({bf_cache_hits} vs {rnd_cache_hits})"
-    );
+    // A statistical locality property of this corpus/parameter choice, not
+    // an invariant: report it, still write the measurement, and signal the
+    // regression via the exit status instead of aborting the bench run.
+    let bf_beats_rnd = bf_cache_hits > rnd_cache_hits;
+    if !bf_beats_rnd {
+        eprintln!(
+            "[exp_bf_ordering] WARNING: BF order did not beat random on pair-cache hits \
+             ({bf_cache_hits} vs {rnd_cache_hits}); exiting nonzero"
+        );
+    }
 
     let out_dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| "results".to_string());
     let mut doc = JsonObject::new();
@@ -218,5 +224,8 @@ fn main() {
     match std::fs::write(&path, doc.finish() + "\n") {
         Ok(()) => eprintln!("[exp_bf_ordering] wrote {path}"),
         Err(e) => eprintln!("[exp_bf_ordering] cannot write {path}: {e}"),
+    }
+    if !bf_beats_rnd {
+        std::process::exit(1);
     }
 }

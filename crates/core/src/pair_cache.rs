@@ -128,6 +128,13 @@ impl PairCache {
         if self.seqs[i].compare_exchange(s, s + 1, Ordering::Acquire, Ordering::Relaxed).is_err() {
             return;
         }
+        // Seqlock writer protocol: the odd sequence word must become
+        // visible before any data store, or a reader on weakly-ordered
+        // hardware can pair the new key with the stale value while both of
+        // its sequence loads still see the old even count. The CAS's
+        // success ordering only orders *prior* accesses, so an explicit
+        // release fence is required here.
+        fence(Ordering::Release);
         let prior = self.keys[i].load(Ordering::Relaxed);
         let new = if prior == key {
             merge(f64::from_bits(self.values[i].load(Ordering::Relaxed)), value)

@@ -113,8 +113,8 @@ pub enum Counter {
     PairCacheHits,
     /// Pair-distance cache probes that found no usable entry (`core`).
     PairCacheMisses,
-    /// Cache shards cleared to keep memory within the configured window
-    /// (`core`).
+    /// Occupied slots overwritten by a colliding pair — the direct-mapped
+    /// table's in-place eviction (`core`).
     PairCacheEvictions,
     /// Distance results inserted into the pair cache (`core`).
     PairCacheInserts,
@@ -296,7 +296,8 @@ pub struct PairCacheMetrics {
     pub hits: u64,
     /// Probes that found no usable entry.
     pub misses: u64,
-    /// Shard clears performed to stay within the memory window.
+    /// Occupied slots overwritten by a colliding pair (direct-mapped
+    /// in-place eviction).
     pub evictions: u64,
     /// Results inserted.
     pub inserts: u64,

@@ -166,6 +166,14 @@ pub trait NnIndex: Send + Sync {
     /// (each counted in `LookupCost::probes`); candidate-generation
     /// indexes override [`NnIndex::lookup_cached`] to gather and verify
     /// candidates once.
+    ///
+    /// **Extension-point warning:** Phase 1 calls
+    /// [`NnIndex::lookup_cached`] directly, and this method is merely its
+    /// `cache = None` shorthand. Overriding only `lookup` does **not**
+    /// change what Phase 1 runs — it silently falls back to the default
+    /// probe-based `lookup_cached`. Implementations that customize the
+    /// combined lookup must override `lookup_cached` (and may leave this
+    /// default delegation in place).
     fn lookup(&self, id: u32, spec: LookupSpec, p: f64) -> (Vec<Neighbor>, f64, LookupCost) {
         self.lookup_cached(id, spec, p, None)
     }
@@ -175,6 +183,13 @@ pub trait NnIndex: Send + Sync {
     /// implementation has no verification loop, so it ignores the cache;
     /// candidate-generation indexes override this method (and inherit
     /// `lookup` as the `None` case).
+    ///
+    /// **This is the combined-lookup extension point.** Phase 1 invokes
+    /// `lookup_cached`, never `lookup`, so an implementation that
+    /// overrides only `lookup` (the pre-pair-cache extension pattern) is
+    /// bypassed: Phase 1 would take this default probe-based path,
+    /// changing probe counts and losing the impl's combined-lookup
+    /// behavior. Override this method; `lookup` follows automatically.
     fn lookup_cached(
         &self,
         id: u32,
