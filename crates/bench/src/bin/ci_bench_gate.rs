@@ -29,6 +29,7 @@ const CHEAP_BENCHES: &[&str] = &[
     "bench_buffer_pool",
     "bench_candidates",
     "bench_phase1_cache",
+    "bench_phase1_batch",
     "bench_phase2",
 ];
 
@@ -39,6 +40,7 @@ const GATED_ARTIFACTS: &[&str] = &[
     "BENCH_buffer_pool.json",
     "BENCH_candidates.json",
     "BENCH_phase1_cache.json",
+    "BENCH_phase1_batch.json",
     "BENCH_phase2.json",
 ];
 

@@ -18,11 +18,14 @@
 //! Equivalence with full recomputation is asserted by the test suite on
 //! randomized batch splits.
 
-use fuzzydedup_nnindex::{DynamicIndexConfig, DynamicInvertedIndex, LookupSpec, NnIndex};
+use fuzzydedup_nnindex::{
+    DynamicIndexConfig, DynamicInvertedIndex, LookupSpec, NnIndex, PairDistanceCache,
+};
 use fuzzydedup_textdist::Distance;
 
 use crate::criteria::Aggregation;
 use crate::nnreln::{NnEntry, NnReln};
+use crate::pair_cache::PairCache;
 use crate::partition::Partition;
 use crate::phase1::NeighborSpec;
 use crate::phase2::partition_entries;
@@ -47,6 +50,7 @@ pub struct IncrementalDedup<D: Distance> {
     c: f64,
     p: f64,
     partition: Partition,
+    pair_cache: Option<PairCache>,
 }
 
 impl<D: Distance> IncrementalDedup<D> {
@@ -76,7 +80,21 @@ impl<D: Distance> IncrementalDedup<D> {
             c,
             p: 2.0,
             partition: Partition::singletons(0),
+            pair_cache: None,
         })
+    }
+
+    /// Attach a symmetric pair-distance memo of `capacity` entries (`0`
+    /// detaches it), the incremental mirror of
+    /// [`crate::pipeline::DedupConfig::pair_cache_capacity`]. Refreshed
+    /// entries re-verify many unchanged pairs batch after batch, so the
+    /// memo pays off exactly here; the partition and `NN_Reln` are
+    /// identical with the cache on or off (see
+    /// [`crate::pair_cache::PairCache`] for the soundness contract —
+    /// symmetric distance kernels only).
+    pub fn pair_cache_capacity(mut self, capacity: usize) -> Self {
+        self.pair_cache = (capacity > 0).then(|| PairCache::new(capacity));
+        self
     }
 
     /// Number of records.
@@ -107,7 +125,10 @@ impl<D: Distance> IncrementalDedup<D> {
     }
 
     fn recompute_entry(&mut self, id: u32) {
-        let (neighbors, ng, _cost) = self.index.lookup(id, self.spec(), self.p);
+        // Route through the caching extension point — plain `lookup` is
+        // the cache=None shorthand and would silently bypass the memo.
+        let cache = self.pair_cache.as_ref().map(|c| c as &dyn PairDistanceCache);
+        let (neighbors, ng, _cost) = self.index.lookup_cached(id, self.spec(), self.p, cache);
         self.entries[id as usize] = NnEntry::new(id, neighbors, ng);
     }
 
@@ -267,6 +288,36 @@ mod tests {
         let stats = inc.insert_batch(Vec::<Vec<String>>::new());
         assert_eq!(stats.inserted, 0);
         assert_eq!(inc.partition().num_groups(), 1);
+    }
+
+    #[test]
+    fn pair_cache_hits_without_changing_results() {
+        // Counter-backed assertion: serialize against other metric tests.
+        let _serial = fuzzydedup_metrics::serial_guard();
+        // Duplicate-heavy append stream: every batch lands near the same
+        // entities, so refreshed entries re-verify the same pairs over
+        // and over — exactly the traffic the memo exists to absorb.
+        let batches: Vec<Vec<Vec<String>>> = (0..6)
+            .map(|b| {
+                (0..10).map(|i| vec![format!("shared entity record {:02} v{b}", i % 5)]).collect()
+            })
+            .collect();
+        let mut plain = fresh();
+        let mut cached = fresh().pair_cache_capacity(1 << 14);
+        let before = fuzzydedup_metrics::snapshot();
+        for batch in &batches {
+            plain.insert_batch(batch.clone());
+            cached.insert_batch(batch.clone());
+        }
+        let d = fuzzydedup_metrics::snapshot().delta(&before);
+        // The memo only skips recomputation; the state must not move.
+        assert_eq!(plain.partition(), cached.partition());
+        assert_eq!(plain.nn_reln(), cached.nn_reln());
+        // The incremental path actually consults the cache now.
+        assert!(
+            d.get(fuzzydedup_metrics::Counter::PairCacheHits) > 0,
+            "duplicate-heavy refreshes must hit the memo"
+        );
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod phase2;
 pub mod pipeline;
 pub mod problem;
 pub mod report;
+pub mod spill;
 pub mod threshold;
 
 pub use baseline::{single_linkage, star_componentize};
@@ -86,4 +87,5 @@ pub use phase2::{
 pub use pipeline::{DedupConfig, DedupError, DedupOutcome, Deduplicator, IndexChoice, Parallelism};
 pub use problem::CutSpec;
 pub use report::{render_report, ReportOptions};
+pub use spill::{read_nn_reln, spill_nn_reln};
 pub use threshold::{estimate_sn_threshold, estimate_sn_threshold_parallel};

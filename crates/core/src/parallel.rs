@@ -12,6 +12,10 @@
 //! This is an engineering extension beyond the paper; the ablation bench
 //! `bench_phase1` quantifies when it pays off.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use fuzzydedup_metrics::{incr, Counter};
 use fuzzydedup_nnindex::{LookupCost, LookupSpec, NnIndex, PairDistanceCache};
 
 use crate::nnreln::{NnEntry, NnReln};
@@ -78,31 +82,52 @@ pub fn compute_nn_reln_parallel_cached(
     let n = index.len();
     let threads = resolve_threads(n_threads, n);
 
-    let mut entries: Vec<Option<NnEntry>> = vec![None; n];
-    let chunk_size = n.div_ceil(threads).max(1);
-    let mut chunk_costs: Vec<LookupCost> = vec![LookupCost::default(); threads];
+    // Work-stealing dispenser over fixed id blocks. Static range sharding
+    // strands workers when lookup costs are skewed (duplicate-dense
+    // neighborhoods verify far more candidates than sparse ones); a
+    // shared cursor keeps every worker busy until the id space drains.
+    // ~8 blocks per worker amortizes the cursor contention while leaving
+    // enough granules to rebalance; the cap keeps tail blocks short on
+    // huge corpora. The result is identical to the sequential drive
+    // regardless of which worker claims which block — every entry is an
+    // independent query.
+    let entries: Vec<OnceLock<NnEntry>> = (0..n).map(|_| OnceLock::new()).collect();
+    let block = n.div_ceil(threads * 8).clamp(1, 1024);
+    let n_blocks = n.div_ceil(block);
+    let next_block = AtomicUsize::new(0);
+    let mut worker_costs: Vec<LookupCost> = vec![LookupCost::default(); threads];
     std::thread::scope(|scope| {
-        for ((t, chunk), cost_slot) in
-            entries.chunks_mut(chunk_size).enumerate().zip(chunk_costs.iter_mut())
-        {
-            let start = t * chunk_size;
+        for cost_slot in worker_costs.iter_mut() {
+            let entries = &entries;
+            let next_block = &next_block;
             scope.spawn(move || {
                 let mut cost = LookupCost::default();
-                for (offset, slot) in chunk.iter_mut().enumerate() {
-                    let id = (start + offset) as u32;
-                    let (entry, entry_cost) = compute_entry(index, spec, p, id, cache);
-                    cost.absorb(&entry_cost);
-                    *slot = Some(entry);
+                loop {
+                    let b = next_block.fetch_add(1, Ordering::Relaxed);
+                    if b >= n_blocks {
+                        break;
+                    }
+                    incr(Counter::Phase1StealBlocks, 1);
+                    let start = b * block;
+                    let end = (start + block).min(n);
+                    for (id, slot) in entries.iter().enumerate().take(end).skip(start) {
+                        let (entry, entry_cost) = compute_entry(index, spec, p, id as u32, cache);
+                        cost.absorb(&entry_cost);
+                        let claimed = slot.set(entry).is_ok();
+                        debug_assert!(claimed, "id {id} computed twice");
+                    }
                 }
                 *cost_slot = cost;
             });
         }
     });
     let mut total = LookupCost::default();
-    for cost in &chunk_costs {
+    for cost in &worker_costs {
         total.absorb(cost);
     }
-    let reln = NnReln::new(entries.into_iter().map(|e| e.expect("all ids computed")).collect());
+    let reln = NnReln::new(
+        entries.into_iter().map(|e| e.into_inner().expect("all ids computed")).collect(),
+    );
     let stats = Phase1Stats {
         lookups: total.probes,
         fallback_probes: total.fallback_probes,

@@ -133,6 +133,13 @@ pub struct DedupConfig {
     /// identical either way — the cache only skips recomputation (see
     /// [`crate::pair_cache::PairCache`]).
     pub pair_cache_capacity: usize,
+    /// Spill `NN_Reln` through heap-file storage once the relation holds
+    /// at least this many tuples; `0` (the default) keeps it purely in
+    /// memory. Spilled pages flow through the run's buffer pool, so a
+    /// bounded pool backed by a real disk caps the relation's resident
+    /// footprint (see [`crate::spill`]). The round-trip is bit-exact —
+    /// results are identical either way.
+    pub spill_threshold: usize,
 }
 
 impl DedupConfig {
@@ -153,6 +160,7 @@ impl DedupConfig {
             buffer_frames: 4096,
             parallelism: Parallelism::sequential(),
             pair_cache_capacity: 0,
+            spill_threshold: 0,
         }
     }
 
@@ -219,6 +227,13 @@ impl DedupConfig {
     /// Set the pair-distance memo capacity in entries (`0` disables).
     pub fn pair_cache_capacity(mut self, capacity: usize) -> Self {
         self.pair_cache_capacity = capacity;
+        self
+    }
+
+    /// Spill `NN_Reln` to heap-file storage when the relation holds at
+    /// least `tuples` entries (`0` disables).
+    pub fn spill_threshold(mut self, tuples: usize) -> Self {
+        self.spill_threshold = tuples;
         self
     }
 }
@@ -367,12 +382,25 @@ impl Deduplicator {
     /// IDF weights on the records when the distance needs them), the
     /// configured index, and runs both phases.
     pub fn run_records(&self, records: &[Vec<String>]) -> Result<DedupOutcome, DedupError> {
-        let config = &self.config;
-        validate(config)?;
         let pool = Arc::new(BufferPool::new(
-            BufferPoolConfig::with_capacity(config.buffer_frames),
+            BufferPoolConfig::with_capacity(self.config.buffer_frames),
             Arc::new(InMemoryDisk::new()),
         ));
+        self.run_records_with_pool(records, pool)
+    }
+
+    /// [`Deduplicator::run_records`] on a caller-supplied buffer pool.
+    /// This is the scale-out entry point: a pool backed by a
+    /// [`fuzzydedup_storage::FileDisk`] puts index pages, Phase-2 tables,
+    /// and the `NN_Reln` spill ([`DedupConfig::spill_threshold`]) behind a
+    /// bounded frame budget on real disk instead of process memory.
+    pub fn run_records_with_pool(
+        &self,
+        records: &[Vec<String>],
+        pool: Arc<BufferPool>,
+    ) -> Result<DedupOutcome, DedupError> {
+        let config = &self.config;
+        validate(config)?;
         let t_dist = Instant::now();
         let distance = config.distance.build(records);
         let build_distance = t_dist.elapsed();
@@ -445,6 +473,18 @@ impl Deduplicator {
                 crate::phase1::compute_nn_reln_cached(index, spec, config.order, config.p, cache)
             }
         };
+        // Spill round-trip: write the relation to heap pages (bounded by
+        // the pool) and rehydrate it for Phase 2. Part of the Phase-1
+        // window — materializing `NN_Reln` into the database is Phase-1
+        // work in the paper's architecture.
+        let nn_reln = if config.spill_threshold > 0 && n >= config.spill_threshold {
+            let spill_file = fuzzydedup_storage::HeapFile::create(pool.clone());
+            crate::spill::spill_nn_reln(&nn_reln, &spill_file)?;
+            drop(nn_reln);
+            crate::spill::read_nn_reln(&spill_file)?
+        } else {
+            nn_reln
+        };
         let phase1_duration = t1.elapsed();
         let buffer_stats = pool.stats();
 
@@ -473,6 +513,7 @@ impl Deduplicator {
             (true, _) | (false, None) => 1,
             (false, Some(t)) => resolve_threads(t, n) as u64,
         };
+        run_metrics.spill.peak_rss_bytes = fuzzydedup_metrics::peak_rss_bytes();
         run_metrics.apply_counter_delta(&fuzzydedup_metrics::snapshot().delta(&counters_before));
         // Storage section covers the whole run on this pool: Phase-1 index
         // lookups plus Phase-2 relational tables (when routed via tables).
@@ -494,6 +535,8 @@ impl Deduplicator {
                 Some(t) => resolve_threads(t, n) as u64,
                 None => 1,
             },
+            // Counter-backed, already applied by the delta above.
+            steal_blocks: run_metrics.phase1.steal_blocks,
         };
         run_metrics.timings = StageTimings {
             build_distance_ns: 0, // filled by `run_records`, which owns the builds

@@ -1,0 +1,173 @@
+//! `NN_Reln` spill: persisting the Phase-1 relation to heap-file storage.
+//!
+//! On corpora that outgrow RAM the materialized neighbor relation is the
+//! largest Phase-1 artifact after the index itself, and the paper's
+//! architecture already assumes `NN_Reln` lives in the database ("the
+//! partitioning phase runs as relational queries" over it). This module
+//! gives the relation a storage-resident form: entries serialize into
+//! [`HeapFile`] records whose pages flow through the buffer pool, so a
+//! bounded pool backed by a [`FileDisk`](fuzzydedup_storage::FileDisk)
+//! caps the memory the spilled relation can pin regardless of corpus
+//! size.
+//!
+//! # Record format (little-endian)
+//!
+//! One logical entry per tuple, chunked when its neighbor list outgrows a
+//! page:
+//!
+//! ```text
+//! id: u32 | ng: f64 | count: u32 | count × (neighbor_id: u32 | dist: f64)
+//! ```
+//!
+//! Entries are written in id order; an entry whose neighbor list exceeds
+//! [`Page::max_record_size`] splits into consecutive records that repeat
+//! the `id`/`ng` header, and the reader re-concatenates consecutive
+//! same-id records (neighbor order — ascending `(dist, id)` — is
+//! preserved by the split). [`read_nn_reln`] therefore round-trips
+//! [`spill_nn_reln`] bit-exactly.
+
+use fuzzydedup_metrics::{incr, Counter};
+use fuzzydedup_relation::Neighbor;
+use fuzzydedup_storage::{HeapFile, Page, StorageResult};
+
+use crate::nnreln::{NnEntry, NnReln};
+
+/// Serialized size of the per-record header (`id`, `ng`, `count`).
+const HEADER_BYTES: usize = 4 + 8 + 4;
+/// Serialized size of one neighbor (`id`, `dist`).
+const NEIGHBOR_BYTES: usize = 4 + 8;
+
+/// Write the whole relation into `file` in id order, incrementing
+/// [`Counter::SpillEntries`] per tuple and [`Counter::SpillBytes`] per
+/// serialized byte. The file should be freshly created — records are
+/// appended.
+pub fn spill_nn_reln(reln: &NnReln, file: &HeapFile) -> StorageResult<()> {
+    // Leave headroom so a full chunk's record always fits a fresh page.
+    let max_neighbors = (Page::max_record_size() - HEADER_BYTES) / NEIGHBOR_BYTES;
+    let mut buf: Vec<u8> = Vec::new();
+    for entry in reln.entries() {
+        incr(Counter::SpillEntries, 1);
+        let mut chunks = entry.neighbors.chunks(max_neighbors);
+        // An empty neighbor list still needs its header record.
+        let first: &[Neighbor] = chunks.next().unwrap_or(&[]);
+        write_chunk(entry, first, &mut buf);
+        file.insert(&buf)?;
+        incr(Counter::SpillBytes, buf.len() as u64);
+        for chunk in chunks {
+            write_chunk(entry, chunk, &mut buf);
+            file.insert(&buf)?;
+            incr(Counter::SpillBytes, buf.len() as u64);
+        }
+    }
+    Ok(())
+}
+
+fn write_chunk(entry: &NnEntry, neighbors: &[Neighbor], buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.extend_from_slice(&entry.id.to_le_bytes());
+    buf.extend_from_slice(&entry.ng.to_le_bytes());
+    buf.extend_from_slice(&(neighbors.len() as u32).to_le_bytes());
+    for n in neighbors {
+        buf.extend_from_slice(&n.id.to_le_bytes());
+        buf.extend_from_slice(&n.dist.to_le_bytes());
+    }
+}
+
+/// Read a relation previously written by [`spill_nn_reln`] back into
+/// memory, merging chunked entries.
+///
+/// # Panics
+/// Panics if a record is malformed — the spill file is produced by this
+/// module in the same process, so corruption is a logic error, not an
+/// input condition.
+pub fn read_nn_reln(file: &HeapFile) -> StorageResult<NnReln> {
+    let mut entries: Vec<NnEntry> = Vec::new();
+    file.scan(|_, bytes| {
+        let (id, ng, neighbors) = read_chunk(bytes);
+        match entries.last_mut() {
+            // Continuation chunk of the previous entry.
+            Some(last) if last.id == id => last.neighbors.extend(neighbors),
+            _ => entries.push(NnEntry::new(id, neighbors, ng)),
+        }
+    })?;
+    Ok(NnReln::new(entries))
+}
+
+fn read_chunk(bytes: &[u8]) -> (u32, f64, Vec<Neighbor>) {
+    let fixed = |at: usize| -> [u8; 4] { bytes[at..at + 4].try_into().expect("spill header") };
+    let wide = |at: usize| -> [u8; 8] { bytes[at..at + 8].try_into().expect("spill header") };
+    let id = u32::from_le_bytes(fixed(0));
+    let ng = f64::from_le_bytes(wide(4));
+    let count = u32::from_le_bytes(fixed(12)) as usize;
+    assert_eq!(bytes.len(), HEADER_BYTES + count * NEIGHBOR_BYTES, "spill record length");
+    let mut neighbors = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = HEADER_BYTES + i * NEIGHBOR_BYTES;
+        neighbors
+            .push(Neighbor::new(u32::from_le_bytes(fixed(at)), f64::from_le_bytes(wide(at + 4))));
+    }
+    (id, ng, neighbors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzydedup_storage::{BufferPool, BufferPoolConfig, InMemoryDisk};
+    use std::sync::Arc;
+
+    fn heap(frames: usize) -> HeapFile {
+        HeapFile::create(Arc::new(BufferPool::new(
+            BufferPoolConfig::with_capacity(frames),
+            Arc::new(InMemoryDisk::new()),
+        )))
+    }
+
+    fn entry(id: u32, neighbors: &[(u32, f64)], ng: f64) -> NnEntry {
+        NnEntry::new(id, neighbors.iter().map(|&(i, d)| Neighbor::new(i, d)).collect(), ng)
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let reln = NnReln::new(vec![
+            entry(0, &[(1, 0.125), (2, 0.5)], 2.0),
+            entry(1, &[(0, 0.125)], 3.5),
+            entry(2, &[], 1.0),
+            entry(3, &[(0, 0.5), (1, 0.5), (2, 0.75)], 4.0),
+        ]);
+        let file = heap(16);
+        spill_nn_reln(&reln, &file).unwrap();
+        assert_eq!(read_nn_reln(&file).unwrap(), reln);
+    }
+
+    #[test]
+    fn empty_relation_round_trips() {
+        let file = heap(4);
+        spill_nn_reln(&NnReln::new(vec![]), &file).unwrap();
+        assert!(read_nn_reln(&file).unwrap().is_empty());
+    }
+
+    #[test]
+    fn oversized_neighbor_lists_chunk_across_records() {
+        // A neighbor list far beyond one page's record capacity forces the
+        // continuation path; distances keep full f64 precision.
+        let neighbors: Vec<(u32, f64)> =
+            (0..5000u32).map(|i| (i + 1, f64::from(i) * 0.001 + 0.1)).collect();
+        let reln = NnReln::new(vec![entry(0, &neighbors, 5000.0)]);
+        let file = heap(64);
+        spill_nn_reln(&reln, &file).unwrap();
+        assert!(file.len() > 1, "entry must span multiple records");
+        assert_eq!(read_nn_reln(&file).unwrap(), reln);
+    }
+
+    #[test]
+    fn spill_counters_account_entries_and_bytes() {
+        let _serial = fuzzydedup_metrics::serial_guard();
+        let before = fuzzydedup_metrics::snapshot();
+        let reln = NnReln::new(vec![entry(0, &[(1, 0.25)], 2.0), entry(1, &[(0, 0.25)], 2.0)]);
+        let file = heap(8);
+        spill_nn_reln(&reln, &file).unwrap();
+        let d = fuzzydedup_metrics::snapshot().delta(&before);
+        assert_eq!(d.get(Counter::SpillEntries), 2);
+        assert_eq!(d.get(Counter::SpillBytes), 2 * (HEADER_BYTES + NEIGHBOR_BYTES) as u64);
+    }
+}

@@ -118,10 +118,22 @@ pub enum Counter {
     PairCacheEvictions,
     /// Distance results inserted into the pair cache (`core`).
     PairCacheInserts,
+    /// Lock-step verification batches flushed by the batching driver
+    /// (`nnindex`).
+    VerifyBatches,
+    /// Candidates verified through a lock-step batch rather than one
+    /// scalar prepared call each (`nnindex`).
+    VerifyBatchedCandidates,
+    /// Work-stealing blocks claimed by Phase-1 worker threads (`core`).
+    Phase1StealBlocks,
+    /// `NN_Reln` entries spilled to heap-file storage (`core`).
+    SpillEntries,
+    /// Bytes written to the `NN_Reln` spill heap (`core`).
+    SpillBytes,
 }
 
 /// Number of counters in [`Counter`].
-pub const NUM_COUNTERS: usize = Counter::PairCacheInserts as usize + 1;
+pub const NUM_COUNTERS: usize = Counter::SpillBytes as usize + 1;
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 
@@ -305,6 +317,31 @@ pub struct PairCacheMetrics {
     pub distance_calls_saved: u64,
 }
 
+/// Lock-step verification batching (`nnindex` layer): how much of the
+/// candidate-verification workload went through the batched kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyBatchMetrics {
+    /// Batches flushed by the batching driver.
+    pub batches: u64,
+    /// Candidates verified inside those batches (the rest of the
+    /// distance calls took the scalar prepared path).
+    pub batched_candidates: u64,
+}
+
+/// `NN_Reln` spill accounting (`core` layer) plus the run's memory
+/// high-water mark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillMetrics {
+    /// Entries spilled to heap-file storage (0 = the relation stayed in
+    /// memory).
+    pub entries: u64,
+    /// Bytes written to the spill heap.
+    pub bytes: u64,
+    /// Peak resident set size of the process in bytes (filled by the
+    /// pipeline from [`peak_rss_bytes`], not counter-backed).
+    pub peak_rss_bytes: u64,
+}
+
 /// Buffer-pool accounting (`storage` layer) — the unified surface over
 /// the pool's `BufferStats`.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -339,6 +376,9 @@ pub struct Phase1Metrics {
     /// Worker threads that drove Phase 1 (1 = the sequential ordered
     /// scan; filled by the pipeline, not counter-backed).
     pub threads: u64,
+    /// Work-stealing blocks claimed by those threads (0 for the
+    /// sequential scan).
+    pub steal_blocks: u64,
 }
 
 /// Phase-2 relational accounting.
@@ -394,6 +434,10 @@ pub struct RunMetrics {
     pub prepared: PreparedMetrics,
     /// Symmetric pair-distance memo traffic.
     pub pair_cache: PairCacheMetrics,
+    /// Lock-step verification batching.
+    pub verify_batch: VerifyBatchMetrics,
+    /// `NN_Reln` spill traffic and peak RSS.
+    pub spill: SpillMetrics,
     /// Buffer-pool accounting.
     pub storage: StorageMetrics,
     /// Phase-1 probes and lookup-order telemetry.
@@ -449,6 +493,16 @@ impl RunMetrics {
             inserts: d.get(Counter::PairCacheInserts),
             distance_calls_saved: hits,
         };
+        self.verify_batch = VerifyBatchMetrics {
+            batches: d.get(Counter::VerifyBatches),
+            batched_candidates: d.get(Counter::VerifyBatchedCandidates),
+        };
+        self.spill = SpillMetrics {
+            entries: d.get(Counter::SpillEntries),
+            bytes: d.get(Counter::SpillBytes),
+            peak_rss_bytes: self.spill.peak_rss_bytes, // pipeline-filled
+        };
+        self.phase1.steal_blocks = d.get(Counter::Phase1StealBlocks);
         self.phase2 = Phase2Metrics {
             unnested_rows: d.get(Counter::Phase2UnnestedRows),
             cs_pairs: d.get(Counter::Phase2CsPairs),
@@ -504,6 +558,15 @@ impl RunMetrics {
                 .u64("inserts", self.pair_cache.inserts)
                 .u64("distance_calls_saved", self.pair_cache.distance_calls_saved);
         });
+        w.object("verify_batch", |o| {
+            o.u64("batches", self.verify_batch.batches)
+                .u64("batched_candidates", self.verify_batch.batched_candidates);
+        });
+        w.object("spill", |o| {
+            o.u64("entries", self.spill.entries)
+                .u64("bytes", self.spill.bytes)
+                .u64("peak_rss_bytes", self.spill.peak_rss_bytes);
+        });
         w.object("storage", |o| {
             o.u64("hits", self.storage.hits)
                 .u64("misses", self.storage.misses)
@@ -517,7 +580,8 @@ impl RunMetrics {
                 .u64("fallback_probes", self.phase1.fallback_probes)
                 .u64("bf_queue_high_water", self.phase1.bf_queue_high_water)
                 .f64("visit_stride_mean", self.phase1.visit_stride_mean)
-                .u64("threads", self.phase1.threads);
+                .u64("threads", self.phase1.threads)
+                .u64("steal_blocks", self.phase1.steal_blocks);
         });
         w.object("phase2", |o| {
             o.u64("unnested_rows", self.phase2.unnested_rows)
@@ -537,6 +601,31 @@ impl RunMetrics {
         });
         w.finish()
     }
+}
+
+/// Peak resident set size of the current process in bytes, read from
+/// Linux's `VmHWM` line in `/proc/self/status`. Some kernels (and some
+/// container runtimes that filter the status file) omit `VmHWM`; there
+/// we fall back to the current `VmRSS`, which sampled at the end of a
+/// run is a lower bound on the true high-water mark. Returns 0 when the
+/// file or both lines are unavailable (non-Linux platforms), so callers
+/// can report it unconditionally.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    let parse_kb =
+        |rest: &str| -> u64 { rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0) };
+    let mut vm_rss = 0;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return parse_kb(rest) * 1024;
+        }
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            vm_rss = parse_kb(rest) * 1024;
+        }
+    }
+    vm_rss
 }
 
 /// Mean |id distance| between consecutive entries of a visit order —
@@ -593,6 +682,8 @@ mod tests {
             "cand_gen",
             "prepared",
             "pair_cache",
+            "verify_batch",
+            "spill",
             "storage",
             "phase1",
             "phase2",
@@ -628,9 +719,15 @@ mod tests {
         incr(Counter::PairCacheMisses, 5);
         incr(Counter::PairCacheEvictions, 1);
         incr(Counter::PairCacheInserts, 12);
+        incr(Counter::VerifyBatches, 3);
+        incr(Counter::VerifyBatchedCandidates, 90);
+        incr(Counter::Phase1StealBlocks, 16);
+        incr(Counter::SpillEntries, 25);
+        incr(Counter::SpillBytes, 4096);
         let delta = snapshot().delta(&before);
         let mut m = RunMetrics::default();
         m.phase2.threads = 4; // pipeline-filled fields survive the delta
+        m.spill.peak_rss_bytes = 1234;
         m.apply_counter_delta(&delta);
         assert_eq!(m.textdist.fms, 5);
         assert_eq!(m.nnindex.postings_scanned, 11);
@@ -663,6 +760,17 @@ mod tests {
                 distance_calls_saved: 7,
             }
         );
+        assert_eq!(m.verify_batch, VerifyBatchMetrics { batches: 3, batched_candidates: 90 });
+        assert_eq!(m.spill, SpillMetrics { entries: 25, bytes: 4096, peak_rss_bytes: 1234 });
+        assert_eq!(m.phase1.steal_blocks, 16);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_is_nonzero_on_linux() {
+        // Either VmHWM or the VmRSS fallback must yield a real figure —
+        // a running process always has resident pages.
+        assert!(peak_rss_bytes() > 0);
     }
 
     #[test]

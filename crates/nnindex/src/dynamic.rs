@@ -15,12 +15,12 @@ use std::collections::HashMap;
 
 use fuzzydedup_metrics::{incr, Counter};
 use fuzzydedup_relation::Neighbor;
-use fuzzydedup_textdist::{record_term_set, Distance};
+use fuzzydedup_textdist::{record_string, record_term_set, Distance};
 
 use crate::candgen::{select_top_candidates, CandFilter, RecordMeta};
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
-    NnIndex, PairDistanceCache,
+    NnIndex, PairDistanceCache, RecordView,
 };
 
 /// Configuration of the dynamic index (mirrors
@@ -62,12 +62,16 @@ pub struct DynamicInvertedIndex<D> {
     meta: Vec<RecordMeta>,
     /// Whether the distance admits the q-gram pruning filters.
     filter_ok: bool,
+    /// Pre-joined normalized record strings, maintained on `push` when the
+    /// distance is [`Distance::record_string_invariant`] (`None` otherwise).
+    norm: Option<Vec<String>>,
 }
 
 impl<D: Distance> DynamicInvertedIndex<D> {
     /// Create an empty index.
     pub fn new(distance: D, config: DynamicIndexConfig) -> Self {
         let filter_ok = distance.admits_qgram_filter();
+        let norm = distance.record_string_invariant().then(Vec::new);
         Self {
             records: Vec::new(),
             distance,
@@ -75,6 +79,7 @@ impl<D: Distance> DynamicInvertedIndex<D> {
             postings: HashMap::new(),
             meta: Vec::new(),
             filter_ok,
+            norm,
         }
     }
 
@@ -87,8 +92,19 @@ impl<D: Distance> DynamicInvertedIndex<D> {
             self.postings.entry(term).or_default().push(id);
         }
         self.meta.push(RecordMeta { chars: ts.chars, grams: ts.gram_total });
+        if let Some(norm) = &mut self.norm {
+            norm.push(record_string(&fields));
+        }
         self.records.push(record);
         id
+    }
+
+    /// Record access for verification: the pre-joined cache when available.
+    fn record_view(&self) -> RecordView<'_> {
+        match &self.norm {
+            Some(norm) => RecordView::Joined(norm),
+            None => RecordView::Fields(&self.records),
+        }
     }
 
     /// The indexed records.
@@ -182,7 +198,7 @@ impl<D: Distance> DynamicInvertedIndex<D> {
         let filter = self.make_filter(id, &gathered);
         let (verified, _) = verify_candidates_bounded(
             &self.distance,
-            &self.records,
+            self.record_view(),
             id,
             &gathered.ids,
             spec,
@@ -235,7 +251,7 @@ impl<D: Distance> NnIndex for DynamicInvertedIndex<D> {
         let filter = self.make_filter(id, &gathered);
         let (verified, attempted) = verify_candidates_bounded(
             &self.distance,
-            &self.records,
+            self.record_view(),
             id,
             &gathered.ids,
             spec,

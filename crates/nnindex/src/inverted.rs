@@ -43,15 +43,21 @@ use std::sync::Arc;
 
 use fuzzydedup_relation::Neighbor;
 use fuzzydedup_storage::{BufferPool, HeapFile, RecordId};
-use fuzzydedup_textdist::{record_term_set, Distance};
+use fuzzydedup_textdist::{record_string, record_term_set, Distance};
 
 use crate::candgen::{select_top_candidates, CandFilter, CsrPostings, RecordMeta};
 use crate::scratch::with_scoreboard;
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
-    NnIndex, PairDistanceCache,
+    NnIndex, PairDistanceCache, RecordView,
 };
 use fuzzydedup_metrics::{incr, Counter};
+
+/// How far ahead of the merge scan to prefetch scoreboard slots: deep
+/// enough to cover an L2 miss at ~4 posting ids scored per miss window,
+/// shallow enough that the prefetched lines are still resident when the
+/// scan reaches them.
+const SLOT_LOOKAHEAD: usize = 16;
 
 /// Where candidate generation reads postings from.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -152,6 +158,11 @@ pub struct InvertedIndex<D> {
     queries: Vec<Vec<QueryTerm>>,
     /// Per-record length/gram statistics for the pruning filters.
     meta: Vec<RecordMeta>,
+    /// Pre-joined normalized record strings, built once when the distance
+    /// is [`Distance::record_string_invariant`] (`None` otherwise):
+    /// verification then passes `[norm[c]]` single-field views instead of
+    /// re-normalizing every field of every candidate per query.
+    norm: Option<Vec<String>>,
     postings: HeapFile,
     /// Whether the distance admits the q-gram pruning filters.
     filter_ok: bool,
@@ -232,7 +243,28 @@ impl<D: Distance> InvertedIndex<D> {
             meta.push(RecordMeta { chars: ts.chars, grams: ts.gram_total });
         }
         let filter_ok = distance.admits_qgram_filter();
-        Self { records, distance, config, term_ids, terms, csr, queries, meta, postings, filter_ok }
+        let norm = distance.record_string_invariant().then(|| {
+            records
+                .iter()
+                .map(|record| {
+                    let fields: Vec<&str> = record.iter().map(String::as_str).collect();
+                    record_string(&fields)
+                })
+                .collect()
+        });
+        Self {
+            records,
+            distance,
+            config,
+            term_ids,
+            terms,
+            csr,
+            queries,
+            meta,
+            norm,
+            postings,
+            filter_ok,
+        }
     }
 
     /// The indexed records.
@@ -248,6 +280,15 @@ impl<D: Distance> InvertedIndex<D> {
     /// Number of heap pages occupied by postings.
     pub fn postings_pages(&self) -> usize {
         self.postings.num_pages()
+    }
+
+    /// The record view verification reads: the pre-joined normalized
+    /// strings when the distance admits them, raw fields otherwise.
+    fn record_view(&self) -> RecordView<'_> {
+        match &self.norm {
+            Some(norm) => RecordView::Joined(norm),
+            None => RecordView::Fields(&self.records),
+        }
     }
 
     /// Exact distance between two indexed records.
@@ -335,10 +376,17 @@ impl<D: Distance> InvertedIndex<D> {
         let mut frozen: Vec<u32> = Vec::new();
         let scored = with_scoreboard(|board| {
             board.begin(self.records.len());
-            for &(tid, gram_count) in query {
+            for (qi, &(tid, gram_count)) in query.iter().enumerate() {
                 let entry = &self.terms[tid as usize];
                 if !include_stops && entry.stop {
                     continue; // counted in slack above
+                }
+                // Pull the next mergeable term's posting list toward L1
+                // while this one is being scored.
+                if let Some(&(next_tid, _)) = query.get(qi + 1) {
+                    if include_stops || !self.terms[next_tid as usize].stop {
+                        self.csr.prefetch(next_tid);
+                    }
                 }
                 if !skipping {
                     if let Some(b_min) = b_min {
@@ -364,7 +412,10 @@ impl<D: Distance> InvertedIndex<D> {
                         }
                     } else {
                         scanned += list.len() as u64;
-                        for &other in list {
+                        for (j, &other) in list.iter().enumerate() {
+                            if let Some(&ahead) = list.get(j + SLOT_LOOKAHEAD) {
+                                board.prefetch(ahead);
+                            }
                             if other != id && board.contains(other) {
                                 board.add(other, entry.weight, gram_count);
                             }
@@ -372,7 +423,10 @@ impl<D: Distance> InvertedIndex<D> {
                     }
                 } else {
                     scanned += list.len() as u64;
-                    for &other in list {
+                    for (j, &other) in list.iter().enumerate() {
+                        if let Some(&ahead) = list.get(j + SLOT_LOOKAHEAD) {
+                            board.prefetch(ahead);
+                        }
                         if other != id {
                             board.add(other, entry.weight, gram_count);
                         }
@@ -446,7 +500,7 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
         let filter = self.make_filter(id, &gathered);
         let (mut verified, _) = verify_candidates_bounded(
             &self.distance,
-            &self.records,
+            self.record_view(),
             id,
             &gathered.ids,
             LookupSpec::TopK(k),
@@ -464,7 +518,7 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
         let filter = self.make_filter(id, &gathered);
         let (mut verified, _) = verify_candidates_bounded(
             &self.distance,
-            &self.records,
+            self.record_view(),
             id,
             &gathered.ids,
             LookupSpec::Radius(radius),
@@ -497,7 +551,7 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
         let filter = self.make_filter(id, &gathered);
         let (verified, attempted) = verify_candidates_bounded(
             &self.distance,
-            &self.records,
+            self.record_view(),
             id,
             &gathered.ids,
             spec,
@@ -823,5 +877,55 @@ mod tests {
         assert_eq!(idx.csr.postings(tid).len(), 300, "CSR mirrors the page postings");
         // And the index still answers queries.
         assert!(!idx.top_k(0, 2).is_empty());
+    }
+
+    /// Delegates to [`EditDistance`] but opts out of the normalized-record
+    /// cache, forcing the per-candidate field-join path.
+    struct NoCacheEdit;
+
+    impl Distance for NoCacheEdit {
+        fn distance(&self, a: &[&str], b: &[&str]) -> f64 {
+            EditDistance.distance(a, b)
+        }
+        fn distance_bounded(&self, a: &[&str], b: &[&str], cutoff: f64) -> Option<f64> {
+            EditDistance.distance_bounded(a, b, cutoff)
+        }
+        fn prepare<'a>(&'a self, query: &[&str]) -> fuzzydedup_textdist::Prepared<'a> {
+            EditDistance.prepare(query)
+        }
+        fn record_string_invariant(&self) -> bool {
+            false
+        }
+        fn name(&self) -> &str {
+            "nocache-ed"
+        }
+    }
+
+    #[test]
+    fn norm_cache_matches_field_join_path() {
+        // Multi-field records with messy whitespace/case so the per-field
+        // normalize+join actually has work to do.
+        let records: Vec<Vec<String>> = [
+            vec!["Acme  Widgets", "12 Main St", "Springfield"],
+            vec!["ACME widgets", "12 Main Street", "Springfield"],
+            vec!["Beta Corp", "9 Pier Rd", "Oakland"],
+            vec!["beta corp.", "9 pier road", "oakland"],
+            vec!["Gamma LLC", "1 First Ave", "Dover"],
+            vec!["Gama LLC", "1 First Ave", "Dover"],
+        ]
+        .into_iter()
+        .map(|r| r.into_iter().map(str::to_owned).collect())
+        .collect();
+        let config = InvertedIndexConfig::default();
+        let cached = build_records(records.clone(), config.clone());
+        assert!(cached.norm.is_some(), "EditDistance is record-string invariant");
+        let disk = Arc::new(InMemoryDisk::new());
+        let pool = Arc::new(BufferPool::new(BufferPoolConfig::with_capacity(16), disk));
+        let control = InvertedIndex::build(records, NoCacheEdit, pool, config);
+        assert!(control.norm.is_none(), "opt-out must disable the cache");
+        for id in 0..cached.len() as u32 {
+            assert_eq!(cached.top_k(id, 3), control.top_k(id, 3), "top_k id {id}");
+            assert_eq!(cached.within(id, 0.4), control.within(id, 0.4), "within id {id}");
+        }
     }
 }

@@ -47,7 +47,7 @@ use candgen::CandFilter;
 
 use fuzzydedup_metrics::{incr, Counter};
 use fuzzydedup_relation::Neighbor;
-use fuzzydedup_textdist::Distance;
+use fuzzydedup_textdist::{Distance, Prepared};
 
 /// Cost accounting for one combined [`NnIndex::lookup`], reported by every
 /// implementation and aggregated by Phase 1 into `Phase1Stats` /
@@ -276,7 +276,7 @@ pub enum LookupSpec {
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn verify_candidates_bounded<D: Distance>(
     distance: &D,
-    records: &[Vec<String>],
+    records: RecordView<'_>,
     id: u32,
     candidates: &[u32],
     spec: LookupSpec,
@@ -284,34 +284,21 @@ pub(crate) fn verify_candidates_bounded<D: Distance>(
     filter: Option<&CandFilter<'_>>,
     cache: Option<&dyn PairDistanceCache>,
 ) -> (Vec<Neighbor>, u64) {
-    let query: Vec<&str> = records[id as usize].iter().map(String::as_str).collect();
+    let mut query: Vec<&str> = Vec::new();
+    records.extend_fields(id, &mut query);
     let mut prepared = distance.prepare(&query);
     let mut survivors: Vec<Neighbor> = Vec::with_capacity(candidates.len());
-    // Candidate field slices, reused across the whole list.
+    // Candidate field slices, reused across the whole list (scalar path).
     let mut fields: Vec<&str> = Vec::new();
+    // Lock-step batch state: candidate ids awaiting verification, the
+    // cutoff frozen when the first of them was deferred, and reusable
+    // flush buffers.
+    let mut pending: Vec<u32> = Vec::with_capacity(VERIFY_BATCH);
+    let mut batch_cutoff = f64::INFINITY;
+    let mut fields_flat: Vec<&str> = Vec::new();
+    let mut results: Vec<Option<f64>> = Vec::new();
     let mut nn_running = f64::INFINITY;
     let mut attempted = 0u64;
-    // Record a survivor and tighten the running cutoffs.
-    fn survive(
-        survivors: &mut Vec<Neighbor>,
-        kth: &mut Vec<f64>,
-        nn_running: &mut f64,
-        spec: LookupSpec,
-        c: u32,
-        d: f64,
-    ) {
-        survivors.push(Neighbor::new(c, d));
-        *nn_running = nn_running.min(d);
-        if let LookupSpec::TopK(k) = spec {
-            if k > 0 {
-                let pos = kth.partition_point(|&x| x <= d);
-                if pos < k {
-                    kth.insert(pos, d);
-                    kth.truncate(k);
-                }
-            }
-        }
-    }
     scratch::with_verify_scratch(|scratch| {
         // Ascending running top-k distances (TopK spec only), capped at k.
         let kth = &mut scratch.kth;
@@ -351,9 +338,40 @@ pub(crate) fn verify_candidates_bounded<D: Distance>(
                     PairProbe::Miss => incr(Counter::PairCacheMisses, 1),
                 }
             }
+            // Finite sub-ratio-1 cutoffs defer into a lock-step batch at
+            // the cutoff frozen from the batch's first (loosest) member;
+            // everything else — the ∞ warm-up before the running cutoffs
+            // tighten, and ratios the bounded ladder resolves via the
+            // plain kernel anyway — verifies immediately on the scalar
+            // path so tightening starts as early as possible.
+            if cutoff < 1.0 {
+                if pending.is_empty() {
+                    batch_cutoff = cutoff;
+                }
+                records.prefetch(c);
+                pending.push(c);
+                if pending.len() == VERIFY_BATCH {
+                    flush_batch(
+                        &mut prepared,
+                        records,
+                        id,
+                        &mut pending,
+                        batch_cutoff,
+                        &mut survivors,
+                        kth,
+                        &mut nn_running,
+                        spec,
+                        cache,
+                        &mut attempted,
+                        &mut fields_flat,
+                        &mut results,
+                    );
+                }
+                continue;
+            }
             attempted += 1;
             fields.clear();
-            fields.extend(records[c as usize].iter().map(String::as_str));
+            records.extend_fields(c, &mut fields);
             match prepared.distance_bounded(&fields, cutoff) {
                 Some(d) => {
                     if let Some(cache) = cache {
@@ -370,8 +388,164 @@ pub(crate) fn verify_candidates_bounded<D: Distance>(
                 }
             }
         }
+        flush_batch(
+            &mut prepared,
+            records,
+            id,
+            &mut pending,
+            batch_cutoff,
+            &mut survivors,
+            kth,
+            &mut nn_running,
+            spec,
+            cache,
+            &mut attempted,
+            &mut fields_flat,
+            &mut results,
+        );
     });
     (survivors, attempted)
+}
+
+/// Candidates accumulated per lock-step verification flush. Large enough
+/// to fill the 8-lane Myers kernel several times over (so length
+/// bucketing inside the batch finds same-length company), small enough
+/// that the running cutoffs still tighten many times per lookup.
+const VERIFY_BATCH: usize = 32;
+
+/// Record a survivor and tighten the running cutoffs.
+fn survive(
+    survivors: &mut Vec<Neighbor>,
+    kth: &mut Vec<f64>,
+    nn_running: &mut f64,
+    spec: LookupSpec,
+    c: u32,
+    d: f64,
+) {
+    survivors.push(Neighbor::new(c, d));
+    *nn_running = nn_running.min(d);
+    if let LookupSpec::TopK(k) = spec {
+        if k > 0 {
+            let pos = kth.partition_point(|&x| x <= d);
+            if pos < k {
+                kth.insert(pos, d);
+                kth.truncate(k);
+            }
+        }
+    }
+}
+
+/// Verify every pending candidate against the prepared query in one
+/// lock-step batch at `batch_cutoff` — the running cutoff frozen when the
+/// batch's **first** member was deferred.
+///
+/// Running cutoffs only shrink over the candidate order, so the frozen
+/// cutoff dominates the cutoff every later member would have seen on the
+/// scalar path: the batch is *over-inclusive*. Any extra survivor it
+/// admits has `d` above its own scalar cutoff — hence above the final
+/// `max(spec, p·nn)` threshold — and [`lookup_from_verified`]'s
+/// sort/filter discards it, while feeding it into [`survive`] meanwhile
+/// only tightens the running cutoffs toward (never past) their final
+/// values. A batch rejection proves `d > batch_cutoff ≥` the member's own
+/// cutoff, so caching the bound and dropping the candidate is exactly
+/// what the scalar path would have done. The final relation is therefore
+/// bit-identical to unbatched verification.
+#[allow(clippy::too_many_arguments)]
+fn flush_batch<'r>(
+    prepared: &mut Prepared,
+    records: RecordView<'r>,
+    id: u32,
+    pending: &mut Vec<u32>,
+    batch_cutoff: f64,
+    survivors: &mut Vec<Neighbor>,
+    kth: &mut Vec<f64>,
+    nn_running: &mut f64,
+    spec: LookupSpec,
+    cache: Option<&dyn PairDistanceCache>,
+    attempted: &mut u64,
+    fields_flat: &mut Vec<&'r str>,
+    results: &mut Vec<Option<f64>>,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    incr(Counter::VerifyBatches, 1);
+    incr(Counter::VerifyBatchedCandidates, pending.len() as u64);
+    *attempted += pending.len() as u64;
+    fields_flat.clear();
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(pending.len());
+    for &c in pending.iter() {
+        let start = fields_flat.len();
+        records.extend_fields(c, fields_flat);
+        spans.push((start, fields_flat.len()));
+    }
+    let cands: Vec<&[&str]> = spans.iter().map(|&(s, e)| &fields_flat[s..e]).collect();
+    prepared.distance_bounded_batch(&cands, batch_cutoff, results);
+    for (&c, res) in pending.iter().zip(results.iter()) {
+        match *res {
+            Some(d) => {
+                if let Some(cache) = cache {
+                    cache.store_exact(id, c, d);
+                }
+                survive(survivors, kth, nn_running, spec, c, d);
+            }
+            None => {
+                if let Some(cache) = cache {
+                    if batch_cutoff.is_finite() {
+                        cache.store_bound(id, c, batch_cutoff);
+                    }
+                }
+            }
+        }
+    }
+    pending.clear();
+}
+
+/// How verification reads a record's attribute strings: raw fields, or a
+/// pre-joined normalized record string built once at index construction
+/// (only offered when the distance is
+/// [`Distance::record_string_invariant`], so both views give bit-identical
+/// distances — the joined view just skips re-normalizing every field of
+/// every candidate on every query it appears in).
+#[derive(Clone, Copy)]
+pub(crate) enum RecordView<'r> {
+    /// One slice of attribute strings per record.
+    Fields(&'r [Vec<String>]),
+    /// One pre-joined normalized record string per record.
+    Joined(&'r [String]),
+}
+
+impl<'r> RecordView<'r> {
+    /// Append record `c`'s field view to `out`.
+    #[inline]
+    pub fn extend_fields(self, c: u32, out: &mut Vec<&'r str>) {
+        match self {
+            RecordView::Fields(records) => {
+                out.extend(records[c as usize].iter().map(String::as_str));
+            }
+            RecordView::Joined(norm) => out.push(norm[c as usize].as_str()),
+        }
+    }
+
+    /// Hint the CPU to pull a deferred candidate's record toward L1 while
+    /// the earlier batch members are still accumulating, so the flush's
+    /// gather of field slices doesn't stall on cold record memory.
+    #[inline]
+    pub fn prefetch(self, c: u32) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `c` is a candidate id, so it indexes in-bounds; prefetch
+        // itself has no other requirements.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let ptr = match self {
+                RecordView::Fields(records) => records.as_ptr().add(c as usize).cast::<i8>(),
+                RecordView::Joined(norm) => norm.as_ptr().add(c as usize).cast::<i8>(),
+            };
+            _mm_prefetch(ptr, _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = c;
+    }
 }
 
 /// Shared implementation of the combined lookup over a *verified*
@@ -500,7 +674,7 @@ mod tests {
             for p in [1.0, 2.0, 4.0] {
                 let (survivors, attempted) = verify_candidates_bounded(
                     &EditDistance,
-                    &records,
+                    RecordView::Fields(&records),
                     0,
                     &candidates,
                     spec,
@@ -517,6 +691,119 @@ mod tests {
                 assert_eq!(got_ng, want_ng, "{spec:?} p={p}");
             }
         }
+    }
+
+    /// Scalar reference: the pre-batching driver — one immediate
+    /// `distance_bounded` per candidate at its own running cutoff.
+    fn verify_scalar(
+        records: &[Vec<String>],
+        id: u32,
+        candidates: &[u32],
+        spec: LookupSpec,
+        p: f64,
+    ) -> Vec<Neighbor> {
+        let query: Vec<&str> = records[id as usize].iter().map(String::as_str).collect();
+        let mut prepared = EditDistance.prepare(&query);
+        let mut survivors = Vec::new();
+        let mut kth: Vec<f64> = Vec::new();
+        let mut nn_running = f64::INFINITY;
+        for &c in candidates {
+            let spec_cut = match spec {
+                LookupSpec::TopK(0) => f64::NEG_INFINITY,
+                LookupSpec::TopK(k) => {
+                    if kth.len() < k {
+                        f64::INFINITY
+                    } else {
+                        kth[k - 1]
+                    }
+                }
+                LookupSpec::Radius(theta) => theta,
+            };
+            let cutoff = spec_cut.max(p * nn_running);
+            let fields: Vec<&str> = records[c as usize].iter().map(String::as_str).collect();
+            if let Some(d) = prepared.distance_bounded(&fields, cutoff) {
+                survive(&mut survivors, &mut kth, &mut nn_running, spec, c, d);
+            }
+        }
+        survivors
+    }
+
+    #[test]
+    fn batched_driver_recall_identity_with_scalar_driver() {
+        // Recall identity: the batching driver must reproduce the scalar
+        // driver's final NN lists and growth estimates bit-for-bit. A
+        // duplicate-heavy corpus well past VERIFY_BATCH forces several
+        // ragged flushes per lookup and survivors *inside* batches.
+        let records: Vec<Vec<String>> = (0..200)
+            .map(|i| {
+                let s = match i % 4 {
+                    0 => format!("golden dragon palace branch {:02}", i / 4),
+                    1 => format!("golden dragon palace branch {:02}x", i / 4),
+                    2 => format!("golden drgon palace branch {:02}", i / 4),
+                    _ => format!("totally different payload {i:03}"),
+                };
+                vec![s]
+            })
+            .collect();
+        let specs = [
+            LookupSpec::TopK(1),
+            LookupSpec::TopK(5),
+            LookupSpec::Radius(0.25),
+            LookupSpec::Radius(0.6),
+        ];
+        for id in [0u32, 7, 199] {
+            let candidates: Vec<u32> = (0..records.len() as u32).filter(|&c| c != id).collect();
+            for spec in specs {
+                for p in [1.0, 2.0] {
+                    let (survivors, attempted) = verify_candidates_bounded(
+                        &EditDistance,
+                        RecordView::Fields(&records),
+                        id,
+                        &candidates,
+                        spec,
+                        p,
+                        None,
+                        None,
+                    );
+                    assert_eq!(attempted, candidates.len() as u64);
+                    let scalar = verify_scalar(&records, id, &candidates, spec, p);
+                    let n = candidates.len() as u64;
+                    let (got_n, got_ng, _) = lookup_from_verified(survivors, n, attempted, spec, p);
+                    let (want_n, want_ng, _) = lookup_from_verified(scalar, n, attempted, spec, p);
+                    assert_eq!(got_n, want_n, "id={id} {spec:?} p={p}");
+                    assert_eq!(got_ng, want_ng, "id={id} {spec:?} p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_driver_counts_batches() {
+        // The duplicate-heavy setup above must actually exercise the
+        // batch path; counters are process-global, so serialize.
+        let _serial = fuzzydedup_metrics::serial_guard();
+        let records: Vec<Vec<String>> =
+            (0..100).map(|i| vec![format!("golden dragon palace branch {:02}", i / 2)]).collect();
+        let candidates: Vec<u32> = (1..100).collect();
+        let before = fuzzydedup_metrics::snapshot();
+        let (_, attempted) = verify_candidates_bounded(
+            &EditDistance,
+            RecordView::Fields(&records),
+            0,
+            &candidates,
+            LookupSpec::TopK(3),
+            2.0,
+            None,
+            None,
+        );
+        let d = fuzzydedup_metrics::snapshot().delta(&before);
+        let batches = d.get(Counter::VerifyBatches);
+        let batched = d.get(Counter::VerifyBatchedCandidates);
+        // Lower bounds only: counters are process-global and other tests
+        // in this binary may run (and increment) concurrently.
+        assert!(attempted > 0);
+        assert!(batches > 0, "tight cutoffs must defer candidates into batches");
+        assert!(batched >= batches, "every batch holds at least one candidate");
     }
 
     #[test]
@@ -579,7 +866,7 @@ mod tests {
             for p in [1.0, 2.0] {
                 let (filtered, f_attempted) = verify_candidates_bounded(
                     &EditDistance,
-                    &records,
+                    RecordView::Fields(&records),
                     0,
                     &candidates,
                     spec,
@@ -589,7 +876,7 @@ mod tests {
                 );
                 let (unfiltered, u_attempted) = verify_candidates_bounded(
                     &EditDistance,
-                    &records,
+                    RecordView::Fields(&records),
                     0,
                     &candidates,
                     spec,
@@ -627,7 +914,7 @@ mod tests {
         let before = fuzzydedup_metrics::snapshot();
         let (survivors, _) = verify_candidates_bounded(
             &EditDistance,
-            &records,
+            RecordView::Fields(&records),
             0,
             &candidates,
             LookupSpec::TopK(1),

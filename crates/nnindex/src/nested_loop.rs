@@ -9,7 +9,7 @@ use fuzzydedup_textdist::Distance;
 
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
-    NnIndex, PairDistanceCache,
+    NnIndex, PairDistanceCache, RecordView,
 };
 
 /// Exact nearest-neighbor search by full scan.
@@ -90,7 +90,7 @@ impl<D: Distance> NnIndex for NestedLoopIndex<D> {
         let generated = candidates.len() as u64;
         let (verified, attempted) = verify_candidates_bounded(
             &self.distance,
-            &self.records,
+            RecordView::Fields(&self.records),
             id,
             &candidates,
             spec,

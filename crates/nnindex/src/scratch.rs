@@ -12,33 +12,44 @@
 
 use std::cell::RefCell;
 
+/// One candidate's accumulator cell: epoch stamp, shared gram mass, and
+/// shared IDF weight, fused so the merge loop's random access costs one
+/// cache line.
+#[derive(Clone, Copy, Default)]
+struct Slot {
+    stamp: u32,
+    overlap: u32,
+    score: f64,
+}
+
 /// Epoch-stamped dense accumulator over record ids; see module docs.
 ///
-/// Laid out as parallel arrays (stamp / score / overlap) rather than one
-/// `Vec<(u32, f64, u32)>` so the common miss — a stale stamp — touches one
-/// cache line per slot check.
+/// Laid out as a single slot array rather than parallel stamp / score /
+/// overlap slabs: every [`Scoreboard::add`] — hit or first contact —
+/// writes all three fields, and the postings merge issues hundreds of
+/// millions of adds at effectively random ids, so fusing the fields turns
+/// three random cache-line touches per posting into one (a 16-byte `Slot`
+/// never straddles a 64-byte line).
 #[derive(Default)]
 pub(crate) struct Scoreboard {
     epoch: u32,
-    stamps: Vec<u32>,
-    scores: Vec<f64>,
-    overlaps: Vec<u32>,
+    slots: Vec<Slot>,
     touched: Vec<u32>,
 }
 
 impl Scoreboard {
-    /// Start a new accumulation over ids `0..n`: grows the slabs if the
-    /// corpus outgrew them and advances the epoch (wrapping safely — on
+    /// Start a new accumulation over ids `0..n`: grows the slab if the
+    /// corpus outgrew it and advances the epoch (wrapping safely — on
     /// wrap-around every stamp is reset so stale epochs cannot alias).
     pub fn begin(&mut self, n: usize) {
-        if self.stamps.len() < n {
-            self.stamps.resize(n, 0);
-            self.scores.resize(n, 0.0);
-            self.overlaps.resize(n, 0);
+        if self.slots.len() < n {
+            self.slots.resize(n, Slot::default());
         }
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
-            self.stamps.fill(0);
+            for slot in &mut self.slots {
+                slot.stamp = 0;
+            }
             self.epoch = 1;
         }
         self.touched.clear();
@@ -48,22 +59,38 @@ impl Scoreboard {
     /// touching it on first contact this epoch.
     #[inline]
     pub fn add(&mut self, id: u32, weight: f64, overlap: u32) {
-        let i = id as usize;
-        if self.stamps[i] == self.epoch {
-            self.scores[i] += weight;
-            self.overlaps[i] += overlap;
+        let epoch = self.epoch;
+        let slot = &mut self.slots[id as usize];
+        if slot.stamp == epoch {
+            slot.score += weight;
+            slot.overlap += overlap;
         } else {
-            self.stamps[i] = self.epoch;
-            self.scores[i] = weight;
-            self.overlaps[i] = overlap;
+            *slot = Slot { stamp: epoch, overlap, score: weight };
             self.touched.push(id);
         }
+    }
+
+    /// Pull a candidate's slot toward L1 ahead of its [`Scoreboard::add`]
+    /// — the merge scan knows the next several posting ids while the
+    /// current one is being scored, and the slot accesses are the loop's
+    /// only unpredictable loads.
+    #[inline]
+    pub fn prefetch(&self, id: u32) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: prefetch is a hint; any address is safe to pass. The id
+        // is in-bounds anyway (posting ids index the record table).
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(self.slots.as_ptr().add(id as usize).cast::<i8>(), _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = id;
     }
 
     /// Whether a candidate has been touched this epoch.
     #[inline]
     pub fn contains(&self, id: u32) -> bool {
-        self.stamps[id as usize] == self.epoch
+        self.slots[id as usize].stamp == self.epoch
     }
 
     /// Ids touched this epoch, in first-contact order.
@@ -73,9 +100,14 @@ impl Scoreboard {
 
     /// Drain the touched candidates as `(id, score, overlap)` tuples.
     pub fn drain(&mut self) -> Vec<(u32, f64, u32)> {
-        let scores = &self.scores;
-        let overlaps = &self.overlaps;
-        self.touched.iter().map(|&id| (id, scores[id as usize], overlaps[id as usize])).collect()
+        let slots = &self.slots;
+        self.touched
+            .iter()
+            .map(|&id| {
+                let slot = slots[id as usize];
+                (id, slot.score, slot.overlap)
+            })
+            .collect()
     }
 }
 

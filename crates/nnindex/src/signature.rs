@@ -31,7 +31,7 @@ use fuzzydedup_textdist::{record_term_set, Distance};
 use crate::candgen::{CandFilter, RecordMeta};
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
-    NnIndex, PairDistanceCache,
+    NnIndex, PairDistanceCache, RecordView,
 };
 
 /// Configuration of the MinHash index.
@@ -190,7 +190,7 @@ impl<D: Distance> NnIndex for MinHashIndex<D> {
         let filter = self.make_filter(id);
         let (mut verified, _) = verify_candidates_bounded(
             &self.distance,
-            &self.records,
+            RecordView::Fields(&self.records),
             id,
             &candidates,
             LookupSpec::TopK(k),
@@ -208,7 +208,7 @@ impl<D: Distance> NnIndex for MinHashIndex<D> {
         let filter = self.make_filter(id);
         let (mut verified, _) = verify_candidates_bounded(
             &self.distance,
-            &self.records,
+            RecordView::Fields(&self.records),
             id,
             &candidates,
             LookupSpec::Radius(radius),
@@ -234,7 +234,7 @@ impl<D: Distance> NnIndex for MinHashIndex<D> {
         let filter = self.make_filter(id);
         let (verified, attempted) = verify_candidates_bounded(
             &self.distance,
-            &self.records,
+            RecordView::Fields(&self.records),
             id,
             &candidates,
             spec,

@@ -81,6 +81,12 @@ impl<D: Distance> Distance for CompositeDistance<D> {
         }
     }
 
+    /// Field boundaries are load-bearing here: collapsing a record to its
+    /// joined record string would erase the per-field weighting.
+    fn record_string_invariant(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -235,6 +235,9 @@ impl Distance for EditDistance {
             pattern: PreparedPattern::new(sq.chars().collect()),
             text: String::new(),
             chars: Vec::new(),
+            arena: Vec::new(),
+            spans: Vec::new(),
+            raw_out: Vec::new(),
         }))
     }
 
@@ -249,6 +252,12 @@ struct PreparedEdit {
     pattern: PreparedPattern,
     text: String,
     chars: Vec<char>,
+    /// Batch-path scratch: every candidate's normalized chars packed into
+    /// one arena (`spans` indexes it), so a whole batch is live at once
+    /// for the lock-step kernel without per-candidate allocation.
+    arena: Vec<char>,
+    spans: Vec<(usize, usize)>,
+    raw_out: Vec<Option<usize>>,
 }
 
 impl PreparedDistance for PreparedEdit {
@@ -273,6 +282,61 @@ impl PreparedDistance for PreparedEdit {
         let raw = self.pattern.bounded(&self.chars, raw_bound)?;
         let d = raw as f64 / max as f64;
         (d <= cutoff).then_some(d)
+    }
+
+    /// The scalar ladder above, applied per candidate, with every request
+    /// that reaches the bounded kernel routed through the lock-step
+    /// [`PreparedPattern::bounded_batch`] instead of one scan at a time.
+    fn distance_bounded_batch(
+        &mut self,
+        candidates: &[&[&str]],
+        cutoff: f64,
+        out: &mut Vec<Option<f64>>,
+    ) {
+        fuzzydedup_metrics::incr(fuzzydedup_metrics::Counter::DistEdit, candidates.len() as u64);
+        out.clear();
+        out.resize(candidates.len(), None);
+        self.arena.clear();
+        self.spans.clear();
+        for cand in candidates {
+            record_string_into(cand, &mut self.text);
+            let start = self.arena.len();
+            self.arena.extend(self.text.chars());
+            self.spans.push((start, self.arena.len()));
+        }
+        let qlen = self.pattern.query().len();
+        // Split borrows: the requests reference the arena while the
+        // pattern advances its own mutable scratch.
+        let PreparedEdit { pattern, arena, spans, raw_out, .. } = self;
+        let mut requests: Vec<(&[char], usize)> = Vec::with_capacity(candidates.len());
+        let mut slots: Vec<(usize, usize)> = Vec::with_capacity(candidates.len());
+        for (i, &(start, end)) in spans.iter().enumerate() {
+            let chars = &arena[start..end];
+            let max = qlen.max(chars.len());
+            if max == 0 {
+                out[i] = (cutoff >= 0.0).then_some(0.0);
+                continue;
+            }
+            if cutoff < 0.0 {
+                continue;
+            }
+            if cutoff >= 1.0 {
+                // Every normalized distance qualifies; no point bounding.
+                out[i] = Some(pattern.distance(chars) as f64 / max as f64);
+                continue;
+            }
+            // Same over-inclusive raw bound as the scalar path.
+            let raw_bound = (cutoff * max as f64).ceil() as usize;
+            requests.push((chars, raw_bound));
+            slots.push((i, max));
+        }
+        pattern.bounded_batch(&requests, raw_out);
+        for (&(i, max), raw) in slots.iter().zip(raw_out.iter()) {
+            if let Some(raw) = raw {
+                let d = *raw as f64 / max as f64;
+                out[i] = (d <= cutoff).then_some(d);
+            }
+        }
     }
 }
 

@@ -104,6 +104,20 @@ pub trait Distance: Send + Sync {
         false
     }
 
+    /// Whether this distance sees a record's fields only through the
+    /// joined normalized view ([`record_string`] / [`tokenize_record`]):
+    /// `true` promises
+    /// `d(a, b) == d([record_string(a)], [record_string(b)])` for every
+    /// pair, so callers that verify the same records against many queries
+    /// (the nearest-neighbor indexes) may pre-join each record once and
+    /// pass the single-field view instead of re-normalizing every field
+    /// per verification. Every whole-record distance in this crate
+    /// qualifies; per-field combinators ([`CompositeDistance`]) must
+    /// return `false`.
+    fn record_string_invariant(&self) -> bool {
+        true
+    }
+
     /// Compile a query record once for repeated bounded evaluation
     /// against many candidates (the verification loops of
     /// `fuzzydedup-nnindex` prepare each query once and reuse it across
@@ -139,6 +153,27 @@ pub trait PreparedDistance: Send {
     /// `Some(d)` iff `d <= cutoff`, else `None`, exactly as
     /// [`Distance::distance_bounded`] on the original query.
     fn distance_bounded_prepared(&mut self, candidate: &[&str], cutoff: f64) -> Option<f64>;
+
+    /// Bounded distance to a whole batch of candidates at one shared
+    /// cutoff: `out[i]` must equal
+    /// `distance_bounded_prepared(candidates[i], cutoff)` bit-exactly.
+    ///
+    /// The default is the scalar loop, so every implementation is correct
+    /// by construction; implementations with a lock-step kernel (the
+    /// prepared edit distance) override it to verify the batch in one
+    /// pass over their compiled tables.
+    fn distance_bounded_batch(
+        &mut self,
+        candidates: &[&[&str]],
+        cutoff: f64,
+        out: &mut Vec<Option<f64>>,
+    ) {
+        out.clear();
+        for cand in candidates {
+            let d = self.distance_bounded_prepared(cand, cutoff);
+            out.push(d);
+        }
+    }
 }
 
 /// A query compiled by [`Distance::prepare`], borrowing the distance it
@@ -160,6 +195,23 @@ impl<'a> Prepared<'a> {
     pub fn distance_bounded(&mut self, candidate: &[&str], cutoff: f64) -> Option<f64> {
         fuzzydedup_metrics::incr(fuzzydedup_metrics::Counter::PreparedReuses, 1);
         self.0.distance_bounded_prepared(candidate, cutoff)
+    }
+
+    /// Bounded distances to a batch of candidates at one shared cutoff;
+    /// `out[i]` equals `distance_bounded(candidates[i], cutoff)`
+    /// bit-exactly, with lock-step kernels where the distance provides
+    /// them (see [`PreparedDistance::distance_bounded_batch`]).
+    pub fn distance_bounded_batch(
+        &mut self,
+        candidates: &[&[&str]],
+        cutoff: f64,
+        out: &mut Vec<Option<f64>>,
+    ) {
+        fuzzydedup_metrics::incr(
+            fuzzydedup_metrics::Counter::PreparedReuses,
+            candidates.len() as u64,
+        );
+        self.0.distance_bounded_batch(candidates, cutoff, out);
     }
 }
 
@@ -192,6 +244,11 @@ impl<D: Distance + ?Sized> Distance for &D {
         // the default `false` silently disables pruning through `&D`.
         (**self).admits_qgram_filter()
     }
+    fn record_string_invariant(&self) -> bool {
+        // Same vtable gotcha, opposite polarity: the default `true` would
+        // wrongly bless a per-field inner distance seen through `&D`.
+        (**self).record_string_invariant()
+    }
     fn prepare<'a>(&'a self, query: &[&str]) -> Prepared<'a> {
         // Same vtable gotcha: without this the default fallback would
         // recompile per call even when the inner type compiles queries.
@@ -211,6 +268,9 @@ impl Distance for Box<dyn Distance> {
     }
     fn admits_qgram_filter(&self) -> bool {
         (**self).admits_qgram_filter()
+    }
+    fn record_string_invariant(&self) -> bool {
+        (**self).record_string_invariant()
     }
     fn prepare<'a>(&'a self, query: &[&str]) -> Prepared<'a> {
         (**self).prepare(query)
@@ -232,6 +292,9 @@ impl<D: Distance> Distance for UnfilteredDistance<D> {
     }
     fn distance_bounded(&self, a: &[&str], b: &[&str], cutoff: f64) -> Option<f64> {
         self.0.distance_bounded(a, b, cutoff)
+    }
+    fn record_string_invariant(&self) -> bool {
+        self.0.record_string_invariant()
     }
     fn prepare<'a>(&'a self, query: &[&str]) -> Prepared<'a> {
         // Filter admissibility is hidden, but prepared kernels stay live:

@@ -106,6 +106,23 @@ impl PeqBlocks {
             self.spill.iter().find(|(s, _)| *s == c).map_or(&self.zero[..], |(_, m)| m)
         }
     }
+
+    /// 64 consecutive equality bits of `c` starting at pattern position
+    /// `pre` — the single-word view of a ≤ 64-char window into a blocked
+    /// table. Bits past the end of the pattern are garbage exactly as the
+    /// word kernel's bits above `m − 1` are; callers mask to the window
+    /// width.
+    #[inline]
+    fn window(&self, c: char, pre: usize) -> u64 {
+        let words = self.get(c);
+        let (blk, off) = (pre / 64, pre % 64);
+        let lo = words[blk] >> off;
+        if off == 0 || blk + 1 == self.w {
+            lo
+        } else {
+            lo | (words[blk + 1] << (64 - off))
+        }
+    }
 }
 
 /// One column transition of one 64-row block (Hyyrö's formulation of the
@@ -406,17 +423,118 @@ impl PreparedPattern {
         }
     }
 
+    /// Batched k-bounded distances: `out[i]` ends up exactly what
+    /// [`PreparedPattern::bounded`]`(texts[i], bounds[i])` returns — same
+    /// results, same metrics totals — but single-word candidates are
+    /// verified in *lock-step*: their per-candidate column states are laid
+    /// out struct-of-arrays style and advanced one text column at a time
+    /// across several candidates, so the serial dependency chain of one
+    /// Myers recurrence overlaps with its neighbors'. Candidates are
+    /// sorted into length buckets first so the lanes of a chunk retire
+    /// together. Blocked, affix-fallback, and degenerate requests take
+    /// the scalar rungs unchanged.
+    pub fn bounded_batch(&mut self, requests: &[(&[char], usize)], out: &mut Vec<Option<usize>>) {
+        out.clear();
+        out.resize(requests.len(), None);
+        let mut lanes: Vec<BatchLane> = Vec::with_capacity(requests.len());
+        let mut blocked_lanes: Vec<BlockedLane> = Vec::new();
+        let mut bounded_calls = 0u64;
+        let mut early_exits = 0u64;
+        for (i, &(text, bound)) in requests.iter().enumerate() {
+            let (pre, suf) = self.affixes(text);
+            let sp_len = self.query.len() - pre - suf;
+            if let PreparedKind::Blocked(_) = &self.kind {
+                // Mirrors the scalar rung: a multi-word window after affix
+                // stripping falls back to the stock kernel, a ≤ 64-char
+                // window joins the single-word lanes below.
+                if (pre != 0 || suf != 0) && sp_len > 64 {
+                    out[i] = myers_bounded_chars(&self.query, text, bound);
+                    continue;
+                }
+            }
+            bounded_calls += 1;
+            let st_len = text.len() - pre - suf;
+            if st_len.abs_diff(sp_len) > bound {
+                early_exits += 1;
+                continue;
+            }
+            if sp_len == 0 {
+                out[i] = (st_len <= bound).then_some(st_len);
+                continue;
+            }
+            let st = &text[pre..text.len() - suf];
+            match &self.kind {
+                PreparedKind::Word(_) | PreparedKind::Blocked(_) if sp_len <= 64 => {
+                    let mask = if sp_len == 64 { !0u64 } else { (1u64 << sp_len) - 1 };
+                    lanes.push(BatchLane {
+                        text: st,
+                        pre: pre as u32,
+                        out_idx: i as u32,
+                        mask,
+                        high: 1u64 << (sp_len - 1),
+                        pv: !0u64,
+                        mv: 0,
+                        score: sp_len as isize,
+                        bound: bound as isize,
+                    });
+                }
+                PreparedKind::Word(_) => unreachable!("word queries are ≤ 64 chars"),
+                PreparedKind::Blocked(peq) if (2..=BLOCKED_MAX_W).contains(&peq.w) => {
+                    blocked_lanes.push(BlockedLane {
+                        text: st,
+                        out_idx: i as u32,
+                        pv: [!0u64; BLOCKED_MAX_W],
+                        mv: [0u64; BLOCKED_MAX_W],
+                        score: sp_len as isize,
+                        bound: bound as isize,
+                    });
+                }
+                PreparedKind::Blocked(peq) => {
+                    out[i] = blocked_bounded_prepared(
+                        peq,
+                        self.query.len(),
+                        st,
+                        bound,
+                        &mut self.pv,
+                        &mut self.mv,
+                    );
+                }
+            }
+        }
+        if bounded_calls > 0 {
+            incr(Counter::EdKernelBounded, bounded_calls);
+        }
+        match &self.kind {
+            PreparedKind::Word(peq) => {
+                early_exits += word_bounded_lockstep(|c, pre| peq.get(c) >> pre, &mut lanes, out);
+            }
+            PreparedKind::Blocked(peq) => {
+                early_exits +=
+                    word_bounded_lockstep(|c, pre| peq.window(c, pre as usize), &mut lanes, out);
+                early_exits +=
+                    blocked_bounded_lockstep(peq, self.query.len(), &mut blocked_lanes, out);
+            }
+        }
+        if early_exits > 0 {
+            incr(Counter::EdKernelEarlyExit, early_exits);
+        }
+    }
+
     /// k-bounded distance to a candidate (equivalent to
     /// [`myers_bounded_chars`]`(query, text, bound)`).
     pub fn bounded(&mut self, text: &[char], bound: usize) -> Option<usize> {
         let (pre, suf) = self.affixes(text);
+        let sp_len = self.query.len() - pre - suf;
         if let PreparedKind::Blocked(_) = &self.kind {
-            if pre != 0 || suf != 0 {
+            // A shared affix leaves a shifted window of the blocked table.
+            // When the window still spans multiple words, stripping shrinks
+            // the scan enough to dwarf a table rebuild; fall back. A ≤ 64
+            // window reuses the table via [`PeqBlocks::window`] below.
+            if (pre != 0 || suf != 0) && sp_len > 64 {
                 return myers_bounded_chars(&self.query, text, bound);
             }
         }
         incr(Counter::EdKernelBounded, 1);
-        let sp_len = self.query.len() - pre - suf;
         let st_len = text.len() - pre - suf;
         // The length gap bounds the distance from below; the query may sit
         // on either side of the candidate's length.
@@ -430,6 +548,9 @@ impl PreparedPattern {
         let st = &text[pre..text.len() - suf];
         match &self.kind {
             PreparedKind::Word(peq) => word_bounded_shifted(peq, pre, sp_len, st, bound),
+            PreparedKind::Blocked(peq) if sp_len <= 64 => {
+                blocked_window_bounded(peq, pre, sp_len, st, bound)
+            }
             PreparedKind::Blocked(peq) => blocked_bounded_prepared(
                 peq,
                 self.query.len(),
@@ -510,6 +631,198 @@ fn word_bounded_shifted(
     (score as usize <= bound).then_some(score as usize)
 }
 
+/// k-bounded single-word kernel over a ≤ 64-char window of a blocked
+/// table ([`PeqBlocks::window`]); the affix-stripped fast path for > 64
+/// char queries whose candidates share most of both flanks.
+fn blocked_window_bounded(
+    peq: &PeqBlocks,
+    pre: usize,
+    sp_len: usize,
+    text: &[char],
+    bound: usize,
+) -> Option<usize> {
+    let mask = if sp_len == 64 { !0u64 } else { (1u64 << sp_len) - 1 };
+    let high = 1u64 << (sp_len - 1);
+    let n = text.len();
+    let mut pv = !0u64;
+    let mut mv = 0u64;
+    let mut score = sp_len as isize;
+    for (j, &c) in text.iter().enumerate() {
+        let eq = peq.window(c, pre) & mask;
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let mut ph = mv | !(xh | pv);
+        let mut mh = pv & xh;
+        score += isize::from(ph & high != 0);
+        score -= isize::from(mh & high != 0);
+        ph = (ph << 1) | 1;
+        mh <<= 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+        if score - (n - j - 1) as isize > bound as isize {
+            incr(Counter::EdKernelEarlyExit, 1);
+            return None;
+        }
+    }
+    (score as usize <= bound).then_some(score as usize)
+}
+
+/// One candidate's column state in the lock-step word path: everything
+/// [`word_bounded_shifted`] keeps in locals, owned per lane so a chunk of
+/// lanes can advance together.
+struct BatchLane<'t> {
+    text: &'t [char],
+    pre: u32,
+    out_idx: u32,
+    mask: u64,
+    high: u64,
+    pv: u64,
+    mv: u64,
+    score: isize,
+    bound: isize,
+}
+
+/// Lanes advanced together per chunk. Wide enough to overlap the Myers
+/// recurrence's serial dependency chain across candidates, small enough
+/// that a chunk's state stays in L1.
+const BATCH_LANES: usize = 8;
+
+/// Lock-step driver for the shifted single-word path: lanes are sorted
+/// into length buckets, then each chunk advances one text column at a
+/// time across all its live lanes. Per lane the transition and the
+/// early-exit check are bit-identical to [`word_bounded_shifted`];
+/// returns the number of early exits (callers aggregate the counter).
+///
+/// `eq_at(c, pre)` supplies the (unmasked) equality word of `c` for the
+/// lane's window: `PeqWord::get >> pre` for word queries,
+/// [`PeqBlocks::window`] for ≤ 64-char windows of blocked queries.
+fn word_bounded_lockstep(
+    eq_at: impl Fn(char, u32) -> u64,
+    lanes: &mut [BatchLane],
+    out: &mut [Option<usize>],
+) -> u64 {
+    lanes.sort_unstable_by_key(|l| l.text.len());
+    let mut early_exits = 0u64;
+    for chunk in lanes.chunks_mut(BATCH_LANES) {
+        let mut active = chunk.len();
+        let mut j = 0usize;
+        while active > 0 {
+            let mut i = 0;
+            while i < active {
+                let lane = &mut chunk[i];
+                let n = lane.text.len();
+                if j == n {
+                    // Same final check as the scalar kernel's fallthrough.
+                    out[lane.out_idx as usize] =
+                        (lane.score as usize <= lane.bound as usize).then_some(lane.score as usize);
+                    active -= 1;
+                    chunk.swap(i, active);
+                    continue;
+                }
+                let eq = eq_at(lane.text[j], lane.pre) & lane.mask;
+                let xv = eq | lane.mv;
+                let xh = (((eq & lane.pv).wrapping_add(lane.pv)) ^ lane.pv) | eq;
+                let mut ph = lane.mv | !(xh | lane.pv);
+                let mut mh = lane.pv & xh;
+                lane.score += isize::from(ph & lane.high != 0);
+                lane.score -= isize::from(mh & lane.high != 0);
+                ph = (ph << 1) | 1;
+                mh <<= 1;
+                lane.pv = mh | !(xv | ph);
+                lane.mv = ph & xv;
+                if lane.score - (n - j - 1) as isize > lane.bound {
+                    early_exits += 1;
+                    out[lane.out_idx as usize] = None;
+                    active -= 1;
+                    chunk.swap(i, active);
+                    continue;
+                }
+                i += 1;
+            }
+            j += 1;
+        }
+    }
+    early_exits
+}
+
+/// One candidate's column state in the lock-step blocked path: the
+/// `w`-word `Pv`/`Mv` columns [`blocked_bounded_prepared`] keeps in its
+/// scratch vectors, inlined into fixed arrays so a chunk of lanes lives
+/// in a handful of cache lines.
+struct BlockedLane<'t> {
+    text: &'t [char],
+    out_idx: u32,
+    pv: [u64; BLOCKED_MAX_W],
+    mv: [u64; BLOCKED_MAX_W],
+    score: isize,
+    bound: isize,
+}
+
+/// Widest blocked query (in 64-row blocks) eligible for lock-step; wider
+/// queries take the scalar blocked rung. 4 blocks = 256 pattern chars,
+/// comfortably past record-string lengths in the evaluation datasets.
+const BLOCKED_MAX_W: usize = 4;
+
+/// Lanes advanced together in the blocked lock-step. Half the word
+/// path's width: each lane carries `w ≥ 2` words of column state, so 4
+/// lanes already expose enough independent chains to fill the ALUs.
+const BLOCKED_BATCH_LANES: usize = 4;
+
+/// Lock-step driver for the blocked (no shared affix) path, the
+/// multi-word sibling of [`word_bounded_lockstep`]: per lane the
+/// transition and early-exit check are bit-identical to
+/// [`blocked_bounded_prepared`]; returns the number of early exits.
+fn blocked_bounded_lockstep(
+    peq: &PeqBlocks,
+    m: usize,
+    lanes: &mut [BlockedLane],
+    out: &mut [Option<usize>],
+) -> u64 {
+    if lanes.is_empty() {
+        return 0;
+    }
+    let w = peq.w;
+    debug_assert!((2..=BLOCKED_MAX_W).contains(&w));
+    let last_high = 1u64 << ((m - 1) % 64);
+    lanes.sort_unstable_by_key(|l| l.text.len());
+    let mut early_exits = 0u64;
+    for chunk in lanes.chunks_mut(BLOCKED_BATCH_LANES) {
+        let mut active = chunk.len();
+        let mut j = 0usize;
+        while active > 0 {
+            let mut i = 0;
+            while i < active {
+                let lane = &mut chunk[i];
+                let n = lane.text.len();
+                if j == n {
+                    out[lane.out_idx as usize] =
+                        (lane.score as usize <= lane.bound as usize).then_some(lane.score as usize);
+                    active -= 1;
+                    chunk.swap(i, active);
+                    continue;
+                }
+                let eqs = peq.get(lane.text[j]);
+                let mut hin = 1i32;
+                for (k, &eq) in eqs.iter().enumerate().take(w) {
+                    let high = if k + 1 == w { last_high } else { 1u64 << 63 };
+                    hin = advance_block(&mut lane.pv[k], &mut lane.mv[k], eq, hin, high);
+                }
+                lane.score += hin as isize;
+                if lane.score - (n - j - 1) as isize > lane.bound {
+                    early_exits += 1;
+                    out[lane.out_idx as usize] = None;
+                    active -= 1;
+                    chunk.swap(i, active);
+                    continue;
+                }
+                i += 1;
+            }
+            j += 1;
+        }
+    }
+    early_exits
+}
+
 /// [`blocked_distance`] over a prepared table, with the column state
 /// borrowed from the prepared query so repeated candidates allocate
 /// nothing.
@@ -581,6 +894,7 @@ mod tests {
 
     #[test]
     fn classic_examples() {
+        let _serial = fuzzydedup_metrics::serial_guard();
         assert_eq!(myers("kitten", "sitting"), 3);
         assert_eq!(myers("flaw", "lawn"), 2);
         assert_eq!(myers("gumbo", "gambol"), 2);
@@ -592,6 +906,7 @@ mod tests {
 
     #[test]
     fn unicode_chars_count_once() {
+        let _serial = fuzzydedup_metrics::serial_guard();
         assert_eq!(myers("café", "cafe"), 1);
         assert_eq!(myers("日本語", "日本"), 1);
         assert_eq!(myers("αβγδ", "αβxδ"), 1);
@@ -599,6 +914,7 @@ mod tests {
 
     #[test]
     fn exact_word_boundary_lengths() {
+        let _serial = fuzzydedup_metrics::serial_guard();
         // Pattern lengths 63, 64, 65 straddle the word/blocked dispatch.
         for m in [1usize, 2, 63, 64, 65, 128, 129, 200] {
             let a: String = (0..m).map(|i| (b'a' + (i % 23) as u8) as char).collect();
@@ -612,6 +928,7 @@ mod tests {
 
     #[test]
     fn blocked_path_matches_dp_on_long_strings() {
+        let _serial = fuzzydedup_metrics::serial_guard();
         let a = "the quick brown fox jumps over the lazy dog, then naps in the warm afternoon sun";
         let b = "the quick brown cat jumps over the lazy dog, then naps in a warm afternoon sun!";
         assert!(a.chars().count() > 64);
@@ -620,6 +937,7 @@ mod tests {
 
     #[test]
     fn bounded_agrees_with_banded_dp_both_sides() {
+        let _serial = fuzzydedup_metrics::serial_guard();
         let pairs = [
             ("kitten", "sitting"),
             ("the doors la woman", "doors la woman"),
@@ -642,12 +960,14 @@ mod tests {
 
     #[test]
     fn bounded_rejects_on_length_gap() {
+        let _serial = fuzzydedup_metrics::serial_guard();
         assert_eq!(myers_bounded("ab", "abcdefgh", 3), None);
         assert_eq!(myers_bounded("abcdefgh", "ab", 3), None);
     }
 
     #[test]
     fn bounded_long_strings() {
+        let _serial = fuzzydedup_metrics::serial_guard();
         let a: String = (0..150).map(|i| (b'a' + (i % 17) as u8) as char).collect();
         let mut b: Vec<char> = a.chars().collect();
         b[10] = 'z';
@@ -659,6 +979,7 @@ mod tests {
 
     #[test]
     fn prepared_pattern_matches_stock_kernels() {
+        let _serial = fuzzydedup_metrics::serial_guard();
         let queries = [
             "",
             "a",
@@ -696,6 +1017,89 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn bounded_batch_matches_scalar_bounded() {
+        // Emits enough kernel counters to pollute concurrently-running
+        // exact-counter assertions; serialize with them.
+        let _serial = fuzzydedup_metrics::serial_guard();
+        let queries = [
+            "",
+            "a",
+            "the doors",
+            "microsoft corporation",
+            &"x".repeat(64),
+            &format!("a{}b", "y".repeat(78)),
+            // Blocked query whose candidates share long affixes: the
+            // stripped window fits one word and joins the word lanes.
+            &"prefix shared middle differs suffix shared tail tail tail tail tail!".repeat(2),
+        ];
+        let texts: Vec<String> = vec![
+            String::new(),
+            "a".into(),
+            "doors".into(),
+            "the doors la woman".into(),
+            "microsft corp".into(),
+            "日本語 café".into(),
+            "x".repeat(64),
+            "x".repeat(90),
+            format!("a{}b", "y".repeat(78)),
+            format!("c{}d", "y".repeat(78)),
+            "completely unrelated".into(),
+            "prefix shared middle DIFFERS suffix shared tail tail tail tail tail!".repeat(2),
+            "prefix shared middle differs suffix shared tail tail tail tail tail?".repeat(2),
+        ];
+        let text_chars: Vec<Vec<char>> = texts.iter().map(|t| t.chars().collect()).collect();
+        for q in queries {
+            let qc: Vec<char> = q.chars().collect();
+            let mut scalar = PreparedPattern::new(qc.clone());
+            let mut batched = PreparedPattern::new(qc.clone());
+            for bound in [0usize, 1, 2, 5, 30, 100] {
+                let requests: Vec<(&[char], usize)> =
+                    text_chars.iter().map(|t| (t.as_slice(), bound)).collect();
+                let expect: Vec<Option<usize>> =
+                    text_chars.iter().map(|t| scalar.bounded(t, bound)).collect();
+                let mut out = Vec::new();
+                batched.bounded_batch(&requests, &mut out);
+                assert_eq!(out, expect, "{q:?} bound {bound}");
+                // Ragged tails and batch size 1 reuse the same lanes.
+                for chunk in requests.chunks(1).chain(requests.chunks(3)) {
+                    let mut small = Vec::new();
+                    batched.bounded_batch(chunk, &mut small);
+                    for (req, got) in chunk.iter().zip(&small) {
+                        assert_eq!(*got, scalar.bounded(req.0, req.1), "{q:?} bound {bound}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_batch_counters_match_scalar() {
+        let _serial = fuzzydedup_metrics::serial_guard();
+        fuzzydedup_metrics::enable();
+        let query: Vec<char> = "golden dragon palace".chars().collect();
+        let texts: Vec<Vec<char>> =
+            ["golden dragon palce", "golden dragon", "palace dragon golden", "zzz"]
+                .iter()
+                .map(|t| t.chars().collect())
+                .collect();
+        let mut scalar = PreparedPattern::new(query.clone());
+        let before = fuzzydedup_metrics::snapshot();
+        for t in &texts {
+            scalar.bounded(t, 6);
+        }
+        let scalar_delta = fuzzydedup_metrics::snapshot().delta(&before);
+        let mut batched = PreparedPattern::new(query);
+        let requests: Vec<(&[char], usize)> = texts.iter().map(|t| (t.as_slice(), 6)).collect();
+        let before = fuzzydedup_metrics::snapshot();
+        let mut out = Vec::new();
+        batched.bounded_batch(&requests, &mut out);
+        let batch_delta = fuzzydedup_metrics::snapshot().delta(&before);
+        for c in [Counter::EdKernelBounded, Counter::EdKernelEarlyExit, Counter::EdKernelWord] {
+            assert_eq!(batch_delta.get(c), scalar_delta.get(c), "{c:?}");
         }
     }
 

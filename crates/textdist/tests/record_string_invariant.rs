@@ -1,0 +1,75 @@
+//! Property backing the index-side normalized-record cache: every distance
+//! reporting [`Distance::record_string_invariant`] must satisfy
+//! `d(a, b) == d([record_string(a)], [record_string(b)])` — i.e. collapsing
+//! a record's fields to its joined normalized string does not change the
+//! distance. Verification paths exploit this to join + normalize each record
+//! once at build time instead of once per candidate pair.
+
+use fuzzydedup_textdist::{
+    record_string, CompositeDistance, CosineDistance, Distance, EditDistance, FuzzyMatchDistance,
+    IdfModel, JaccardDistance, JaroWinklerDistance, MongeElkanDistance,
+};
+
+fn corpus() -> Vec<Vec<String>> {
+    [
+        vec!["Acme Widgets Inc", "12 Main St", "Springfield", "IL", "62704"],
+        vec!["ACME widgets, inc.", "12 Main Street", "Springfield", "IL", "62704"],
+        vec!["Global Trans-Shipping", "Pier 9", "Oakland", "CA", "94607"],
+        vec!["globel  transshipping", "pier 9", "oakland", "CA", "94607"],
+        vec!["Müller & Söhne GmbH", "Hauptstraße 1", "Köln", "", "50667"],
+        vec!["", "", "", "", ""],
+        vec!["single"],
+        vec!["a", "b", "c"],
+    ]
+    .into_iter()
+    .map(|r| r.into_iter().map(str::to_owned).collect())
+    .collect()
+}
+
+fn check_invariant(d: &dyn Distance) {
+    assert!(d.record_string_invariant(), "{} should be invariant", d.name());
+    let records = corpus();
+    for a in &records {
+        for b in &records {
+            let fa: Vec<&str> = a.iter().map(String::as_str).collect();
+            let fb: Vec<&str> = b.iter().map(String::as_str).collect();
+            let direct = d.distance(&fa, &fb);
+            let ja = record_string(&fa);
+            let jb = record_string(&fb);
+            let joined = d.distance(&[ja.as_str()], &[jb.as_str()]);
+            assert!(
+                (direct - joined).abs() < 1e-12,
+                "{}: d({a:?}, {b:?}) = {direct} but joined form gives {joined}",
+                d.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn whole_record_distances_are_record_string_invariant() {
+    let idf = IdfModel::fit_records(&corpus());
+    check_invariant(&EditDistance);
+    check_invariant(&JaccardDistance::default());
+    check_invariant(&JaccardDistance::qgrams(3));
+    check_invariant(&JaroWinklerDistance);
+    check_invariant(&MongeElkanDistance);
+    check_invariant(&CosineDistance::new(idf.clone()));
+    check_invariant(&FuzzyMatchDistance::new(idf));
+}
+
+#[test]
+fn composite_distance_is_not_invariant() {
+    // Field boundaries carry the weighting, so the joined form is a
+    // different function — the flag must opt it out of the cache.
+    assert!(!CompositeDistance::uniform(EditDistance).record_string_invariant());
+}
+
+#[test]
+fn invariant_flag_survives_trait_object_and_reference() {
+    let composite: Box<dyn Distance> = Box::new(CompositeDistance::uniform(EditDistance));
+    assert!(!composite.record_string_invariant());
+    assert!(!Distance::record_string_invariant(&&*composite));
+    let edit: Box<dyn Distance> = Box::new(EditDistance);
+    assert!(edit.record_string_invariant());
+}

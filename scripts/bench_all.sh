@@ -9,19 +9,12 @@
 # its stdout table). Review the diff and commit it to refresh baselines
 # intentionally.
 #
-# Gotcha this script exists to avoid: the criterion shim writes to
-# $BENCH_OUT_DIR when set, else to <workspace-root>/results/. Run the
-# benches with BENCH_OUT_DIR *unset* (or absolute) — a relative
-# BENCH_OUT_DIR resolves against the *package* directory under
-# `cargo bench`, scattering artifacts across crates/*/results/.
+# The criterion shim writes to $BENCH_OUT_DIR when set, else to
+# <workspace-root>/results/. Relative values are resolved against the
+# workspace root by the shim itself (not the per-package CWD `cargo
+# bench` runs with), so both absolute and relative overrides are safe.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-
-if [[ -n "${BENCH_OUT_DIR:-}" && "${BENCH_OUT_DIR}" != /* ]]; then
-    echo "bench_all: BENCH_OUT_DIR must be unset or absolute (got '${BENCH_OUT_DIR}');" >&2
-    echo "bench_all: a relative path resolves per-package under cargo bench." >&2
-    exit 2
-fi
 
 benches=(
     bench_distances
@@ -30,6 +23,7 @@ benches=(
     bench_candidates
     bench_phase1
     bench_phase1_cache
+    bench_phase1_batch
     bench_phase2
 )
 

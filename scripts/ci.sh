@@ -16,6 +16,8 @@
 #   test-ws      cargo test -q --workspace
 #   bench-smoke  ci_bench_gate: re-run cheap benches, fail on regression
 #                vs the committed results/BENCH_*.json baselines
+#   scale-smoke  exp_scale_1m at 50k records: the full spill-backed,
+#                work-stealing pipeline end to end on a FileDisk pool
 #
 # bench-smoke tolerance: the gate binary defaults to ±15%; on shared /
 # virtualized machines timing noise alone exceeds that, so this driver
@@ -86,11 +88,17 @@ fi
 
 if [[ $fast -eq 1 || $skip_bench -eq 1 ]]; then
     skip_stage bench-smoke
+    skip_stage scale-smoke
 else
     # Build the gate quietly first so stage time reflects the benches.
     cargo build -q --release -p fuzzydedup-bench --bin ci_bench_gate || true
     run_stage bench-smoke env BENCH_GATE_TOLERANCE="${BENCH_GATE_TOLERANCE:-0.35}" \
         cargo run -q --release -p fuzzydedup-bench --bin ci_bench_gate
+    # 50k-record smoke of the 1M scale-out driver: exercises the
+    # FileDisk-backed pool, the NN_Reln spill round-trip, and the
+    # work-stealing Phase 1 end to end (~1-2 min on 2 cores).
+    run_stage scale-smoke cargo run -q --release -p fuzzydedup-bench --bin exp_scale_1m -- \
+        --records 50000 --spill-threshold 10000 --out results/ci_scale_smoke.json
 fi
 
 # ---- summary table ---------------------------------------------------

@@ -213,7 +213,8 @@ impl BenchmarkGroup<'_> {
             return;
         }
         self.finished = true;
-        let path = bench_json_path(&self.name);
+        let out_dir = self.criterion.out_dir.clone().unwrap_or_else(bench_out_dir);
+        let path = bench_json_path_in(&out_dir, &self.name);
         let json = render_json(&self.name, &self.measurements);
         if let Some(parent) = path.parent() {
             let _ = std::fs::create_dir_all(parent);
@@ -235,34 +236,47 @@ impl Drop for BenchmarkGroup<'_> {
 }
 
 /// Where `BENCH_<group>.json` files land: `$BENCH_OUT_DIR`, or `results/`
-/// under the workspace root. `cargo bench` runs with the *package*
-/// directory as CWD, so a bare relative `results/` would scatter
-/// artifacts across `crates/*/results/`; walk up to the `[workspace]`
-/// manifest instead.
+/// under the workspace root.
 fn bench_out_dir() -> std::path::PathBuf {
-    if let Ok(dir) = std::env::var("BENCH_OUT_DIR") {
-        return std::path::PathBuf::from(dir);
+    resolve_out_dir(std::env::var("BENCH_OUT_DIR").ok().as_deref())
+}
+
+/// Resolve the artifact directory from an optional `$BENCH_OUT_DIR`
+/// value. An absolute override is taken as-is; a **relative** override is
+/// anchored at the workspace root — `cargo bench` runs with the *package*
+/// directory as CWD, so resolving it there would scatter artifacts across
+/// `crates/*/results/`. No override defaults to `<workspace>/results`.
+fn resolve_out_dir(env_value: Option<&str>) -> std::path::PathBuf {
+    match env_value {
+        Some(dir) if std::path::Path::new(dir).is_absolute() => std::path::PathBuf::from(dir),
+        Some(dir) => workspace_root().join(dir),
+        None => workspace_root().join("results"),
     }
+}
+
+/// Walk up from CWD to the directory holding the `[workspace]` manifest
+/// (falling back to `.` when none is found).
+fn workspace_root() -> std::path::PathBuf {
     let mut dir = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
     loop {
         let manifest = dir.join("Cargo.toml");
         let is_workspace_root =
             std::fs::read_to_string(&manifest).map(|s| s.contains("[workspace]")).unwrap_or(false);
         if is_workspace_root {
-            return dir.join("results");
+            return dir;
         }
         if !dir.pop() {
-            return std::path::PathBuf::from("results");
+            return std::path::PathBuf::from(".");
         }
     }
 }
 
-fn bench_json_path(group: &str) -> std::path::PathBuf {
+fn bench_json_path_in(dir: &std::path::Path, group: &str) -> std::path::PathBuf {
     let safe: String = group
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
         .collect();
-    bench_out_dir().join(format!("BENCH_{safe}.json"))
+    dir.join(format!("BENCH_{safe}.json"))
 }
 
 fn render_json(group: &str, measurements: &[Measurement]) -> String {
@@ -289,11 +303,12 @@ fn render_json(group: &str, measurements: &[Measurement]) -> String {
 pub struct Criterion {
     default_sample_size: usize,
     groups_flushed: usize,
+    out_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { default_sample_size: 10, groups_flushed: 0 }
+        Self { default_sample_size: 10, groups_flushed: 0, out_dir: None }
     }
 }
 
@@ -322,6 +337,15 @@ impl Criterion {
     /// Set the default sample size for subsequent groups.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.default_sample_size = n.max(2);
+        self
+    }
+
+    /// Pin where this driver's `BENCH_<group>.json` artifacts land,
+    /// taking precedence over `$BENCH_OUT_DIR`. Primarily for tests: it
+    /// replaces `std::env::set_var`, which races every other environment
+    /// read on `cargo test`'s parallel threads.
+    pub fn with_output_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.out_dir = Some(dir.into());
         self
     }
 }
@@ -359,9 +383,10 @@ mod tests {
 
     #[test]
     fn measures_and_writes_json() {
+        // The output-dir override keeps this test off the process
+        // environment — `set_var` would race parallel test threads.
         let dir = std::env::temp_dir().join("criterion_shim_test");
-        std::env::set_var("BENCH_OUT_DIR", &dir);
-        let mut c = Criterion::default();
+        let mut c = Criterion::default().with_output_dir(&dir);
         {
             let mut g = c.benchmark_group("shim_smoke");
             g.sample_size(3);
@@ -376,7 +401,23 @@ mod tests {
         assert!(text.contains("\"group\": \"shim_smoke\""));
         assert!(text.contains("\"name\": \"add\""));
         assert!(text.contains("\"name\": \"add/7\""));
-        std::env::remove_var("BENCH_OUT_DIR");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn absolute_out_dir_is_taken_verbatim() {
+        let abs = std::env::temp_dir().join("criterion_abs_check");
+        assert_eq!(resolve_out_dir(Some(abs.to_str().unwrap())), abs);
+    }
+
+    #[test]
+    fn relative_out_dir_resolves_against_workspace_root() {
+        // `cargo test` runs with the *package* directory as CWD; a
+        // relative override must still land under the workspace root,
+        // exactly where the no-override default lands.
+        let root = workspace_root();
+        assert!(root.join("Cargo.toml").exists(), "walked to a manifest");
+        assert_eq!(resolve_out_dir(Some("custom_results")), root.join("custom_results"));
+        assert_eq!(resolve_out_dir(None), root.join("results"));
     }
 }
