@@ -1,17 +1,23 @@
-//! Criterion bench: candidate generation, CSR mirror vs page-backed
-//! postings (the tentpole claim of the filtered-candidate-generation PR).
+//! Criterion bench: candidate generation across the three postings
+//! layouts — packed delta-blocks (default), the scalar CSR mirror, and
+//! page-backed heap files.
 //!
-//! Emits `results/BENCH_candidates.json`. The committed baseline backs
-//! the acceptance claim that CSR candidate generation is ≥ 3× faster
-//! than the page-backed path on a 10k-record datagen corpus, and the
-//! bench-regression gate (`ci_bench_gate`) watches both paths for
-//! slowdowns.
+//! Emits `results/BENCH_candidates.json`. Committed rows follow the
+//! worst-window protocol (`scripts/bench_refresh.sh`): in-memory
+//! candidate generation runs ≥ 6× faster than the page-backed path,
+//! and the packed frontier merge beats same-revision CSR by ~5%
+//! worst-window (~8% quiet) at a 2.5× smaller postings footprint —
+//! the honest breakdown is in DESIGN §7.7. The bench-regression gate
+//! (`ci_bench_gate`) watches all rows for slowdowns.
 //!
-//! Both benches drive [`InvertedIndex::generate_candidates`] — the full
+//! All `gen` rows drive [`InvertedIndex::generate_candidates`] — the full
 //! merge + score + truncate pipeline — over the same fixed query sample,
-//! so the only variable is where postings come from: contiguous CSR
+//! so the only variable is where postings come from: delta-compressed
+//! blocks decoded through the staged lane-wise merge, contiguous CSR
 //! slices with build-time term ids, or heap-file chunks fetched through
-//! the buffer pool with query-time re-tokenization.
+//! the buffer pool with query-time re-tokenization. The `radius` row
+//! additionally arms the MergeSkip overlap bound, exercising the packed
+//! skip-pointer top-up on frozen lists.
 
 use std::sync::Arc;
 
@@ -59,11 +65,20 @@ fn bench_candidates(c: &mut Criterion) {
     let queries: Vec<u32> = (0..QUERIES).map(|_| rng.gen_range(0..CORPUS) as u32).collect();
 
     let mut group = c.benchmark_group("candidates");
-    group.sample_size(10);
+    // One iteration is ~15 ms of merge work — long enough to straddle
+    // scheduler quanta on a shared machine, so the per-sample minimum
+    // needs more draws than the 10-sample default to reach the real
+    // noise floor (noise only ever adds time; the workload per
+    // iteration is unchanged, keeping baselines comparable).
+    group.sample_size(30);
 
-    for (label, source) in [("pages", PostingsSource::Pages), ("csr", PostingsSource::Csr)] {
+    for (label, source) in [
+        ("pages", PostingsSource::Pages),
+        ("csr", PostingsSource::Csr),
+        ("packed", PostingsSource::Packed),
+    ] {
         let index = build(&records, source);
-        // Sanity: both paths must produce real candidate sets.
+        // Sanity: every path must produce real candidate sets.
         assert!(!index.generate_candidates(queries[0]).is_empty());
         group.bench_function(format!("{label}/gen"), |b| {
             b.iter(|| {
@@ -72,6 +87,18 @@ fn bench_candidates(c: &mut Criterion) {
                 }
             })
         });
+        if source == PostingsSource::Packed {
+            // Radius flavor: the overlap bound freezes long tails early,
+            // so this row watches the skip-pointer top-up, not just the
+            // staged decode.
+            group.bench_function(format!("{label}/radius"), |b| {
+                b.iter(|| {
+                    for &id in &queries {
+                        black_box(index.generate_candidates_radius(id, 0.2));
+                    }
+                })
+            });
+        }
     }
     group.finish();
 }

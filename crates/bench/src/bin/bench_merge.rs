@@ -1,0 +1,108 @@
+//! `bench_merge` — worst-window merge of repeated bench passes.
+//!
+//! `scripts/bench_refresh.sh` runs every gated bench N times into
+//! `pass_1/ .. pass_N/` scratch directories and then calls this binary to
+//! fold them into one baseline: for each benchmark row, the pass with the
+//! **largest** `min_ns` wins (see `gate::merge_worst_window` for why the
+//! per-pass minimum is optimistic across passes and the per-row maximum
+//! of minima is the level a fresh run can actually reproduce).
+//!
+//! Usage: `bench_merge --out DIR PASS_DIR [PASS_DIR ...]`
+//!
+//! Every `BENCH_*.json` in the first pass directory is merged across all
+//! pass directories and written — in the criterion shim's exact artifact
+//! shape — into `--out`. A pass missing an artifact (or an artifact
+//! missing a row) is an error: partial passes would silently bias the
+//! baseline toward whichever rows happened to be present.
+
+use std::path::{Path, PathBuf};
+
+use fuzzydedup_bench::gate::{merge_worst_window, parse_bench_doc, render_bench_doc, BenchDoc};
+
+struct Args {
+    out_dir: PathBuf,
+    pass_dirs: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out_dir = None;
+    let mut pass_dirs = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_dir = Some(PathBuf::from(it.next().ok_or("--out needs a value")?)),
+            "--help" | "-h" => {
+                println!(
+                    "bench_merge --out DIR PASS_DIR [PASS_DIR ...]\n\
+                     Worst-window merge: per benchmark row, keep the pass with the largest min_ns."
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown argument {other:?}")),
+            dir => pass_dirs.push(PathBuf::from(dir)),
+        }
+    }
+    let out_dir = out_dir.ok_or("missing --out DIR")?;
+    if pass_dirs.is_empty() {
+        return Err("need at least one PASS_DIR".to_string());
+    }
+    Ok(Args { out_dir, pass_dirs })
+}
+
+/// `BENCH_*.json` file names in `dir`, sorted for deterministic output.
+fn bench_artifacts(dir: &Path) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            names.push(name);
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+fn load_doc(dir: &Path, artifact: &str) -> Result<BenchDoc, String> {
+    let path = dir.join(artifact);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_bench_doc(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let artifacts = bench_artifacts(&args.pass_dirs[0])?;
+    if artifacts.is_empty() {
+        return Err(format!("no BENCH_*.json artifacts in {}", args.pass_dirs[0].display()));
+    }
+    std::fs::create_dir_all(&args.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", args.out_dir.display()))?;
+    for artifact in &artifacts {
+        let mut passes = Vec::with_capacity(args.pass_dirs.len());
+        for dir in &args.pass_dirs {
+            passes.push(load_doc(dir, artifact)?);
+        }
+        let merged = merge_worst_window(&passes).map_err(|e| format!("{artifact}: {e}"))?;
+        let out_path = args.out_dir.join(artifact);
+        std::fs::write(&out_path, render_bench_doc(&merged))
+            .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
+        eprintln!("merge: {artifact} <- {} passes -> {}", passes.len(), out_path.display());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_merge: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&args) {
+        eprintln!("bench_merge: {e}");
+        std::process::exit(1);
+    }
+}

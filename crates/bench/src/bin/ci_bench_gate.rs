@@ -9,20 +9,26 @@
 //! `BENCH_OUT_DIR` unset writes over `results/`; commit the diff).
 //!
 //! Usage: `ci_bench_gate [--tolerance 0.15] [--baseline-dir results]
-//! [--fresh-dir DIR]`. With `--fresh-dir` the benches are NOT re-run; the
-//! artifacts already in that directory are compared instead (used by the
-//! CI driver to decouple measurement from judgment, and by the
-//! injected-slowdown scratch test).
+//! [--fresh-dir DIR] [--json-out PATH]`. With `--fresh-dir` the benches
+//! are NOT re-run; the artifacts already in that directory are compared
+//! instead (used by the CI driver to decouple measurement from judgment,
+//! and by the injected-slowdown scratch test). With `--json-out` the
+//! per-bench verdicts (name, baseline `min_ns`, fresh `min_ns`, delta,
+//! verdict) are also written as one compact JSON object, which
+//! `scripts/ci.sh` merges into `results/ci_summary.json`.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use fuzzydedup_bench::gate::{compare, has_regression, parse_bench_file, render_table};
+use fuzzydedup_bench::gate::{
+    compare, has_regression, parse_bench_file, render_table, verdicts_json, Comparison,
+};
 
 /// The cheap benches the gate re-runs: seconds each, covering the edit
 /// kernel, the distance-function ladder above it, the storage layer below
-/// the index, candidate generation (CSR vs page-backed postings), and the
-/// two phase drivers (Phase 1 prepared/cached ladder, Phase 2 seq/par).
+/// the index, candidate generation (packed vs CSR vs page-backed
+/// postings), and the two phase drivers (Phase 1 prepared/cached ladder,
+/// Phase 2 seq/par).
 const CHEAP_BENCHES: &[&str] = &[
     "bench_edit_kernel",
     "bench_distances",
@@ -48,6 +54,7 @@ struct Args {
     tolerance: f64,
     baseline_dir: PathBuf,
     fresh_dir: Option<PathBuf>,
+    json_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
             .unwrap_or(0.15),
         baseline_dir: PathBuf::from("results"),
         fresh_dir: None,
+        json_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -73,10 +81,14 @@ fn parse_args() -> Result<Args, String> {
             "--fresh-dir" => {
                 args.fresh_dir = Some(PathBuf::from(it.next().ok_or("--fresh-dir needs a value")?))
             }
+            "--json-out" => {
+                args.json_out = Some(PathBuf::from(it.next().ok_or("--json-out needs a value")?))
+            }
             "--help" | "-h" => {
                 println!(
-                    "ci_bench_gate [--tolerance F] [--baseline-dir DIR] [--fresh-dir DIR]\n\
-                     Re-runs cheap benches and fails on >F relative slowdown vs baselines."
+                    "ci_bench_gate [--tolerance F] [--baseline-dir DIR] [--fresh-dir DIR] [--json-out PATH]\n\
+                     Re-runs cheap benches and fails on >F relative slowdown vs baselines.\n\
+                     --json-out also writes the per-bench verdicts as one JSON object."
                 );
                 std::process::exit(0);
             }
@@ -133,6 +145,7 @@ fn main() {
 
     let mut any_regression = false;
     let mut compared = 0usize;
+    let mut verdict_groups: Vec<(String, Vec<Comparison>)> = Vec::new();
     for artifact in GATED_ARTIFACTS {
         let base_path = args.baseline_dir.join(artifact);
         let fresh_path = fresh_dir.join(artifact);
@@ -173,10 +186,25 @@ fn main() {
         print!("{}", render_table(artifact, &rows));
         compared += rows.len();
         any_regression |= has_regression(&rows);
+        verdict_groups.push((artifact.to_string(), rows));
     }
 
     if args.fresh_dir.is_none() {
         let _ = std::fs::remove_dir_all(&fresh_dir);
+    }
+
+    if let Some(path) = &args.json_out {
+        let json = verdicts_json(args.tolerance, &verdict_groups);
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(path, json + "\n") {
+            Ok(()) => eprintln!("gate: verdicts -> {}", path.display()),
+            Err(e) => {
+                eprintln!("ci_bench_gate: cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
     }
 
     if any_regression {

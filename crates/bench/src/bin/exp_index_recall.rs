@@ -1,16 +1,28 @@
 //! Experiment X3 (ours) — validating the paper's "treat probabilistic
-//! indexes as exact" assumption.
+//! indexes as exact" assumption, and the `recall-smoke` stage of
+//! `scripts/ci.sh`.
 //!
 //! §4 of the paper: "For the purpose of this paper, we treat these
 //! probabilistic indexes as exact nearest neighbor indexes. The
 //! experimental results ... illustrate that this assumption does not
-//! negatively impact the actual results." We quantify that claim for both
-//! probabilistic index families against the exact nested-loop reference:
+//! negatively impact the actual results." We quantify that claim for
+//! every index family against the exact nested-loop reference:
 //!
 //! * nearest-neighbor recall (does `top_1` agree with the truth?),
 //!   conditioned on the truth being close (the only case the partitioning
 //!   phase cares about);
+//! * the same recall with the candidate ladder disarmed
+//!   (`UnfilteredDistance`), **asserted identical** — the length, q-gram
+//!   count, MergeSkip, and prefix filters must be recall-lossless;
+//! * the three inverted postings layouts (packed, CSR, page-backed),
+//!   asserted to agree with each other (the packed merge promises
+//!   bit-identical candidate sets, not merely close recall);
+//! * the prefix filter's radius queries, asserted identical to the plain
+//!   MergeSkip path;
 //! * end-to-end quality deltas when the whole pipeline runs on each index.
+//!
+//! Any violated assertion exits non-zero, which is what makes this binary
+//! a CI gate and not just a table printer.
 //!
 //! Run with: `cargo run --release -p fuzzydedup-bench --bin exp_index_recall`
 
@@ -19,7 +31,8 @@ use std::sync::Arc;
 use fuzzydedup_core::{evaluate, CutSpec, DedupConfig, Deduplicator, IndexChoice};
 use fuzzydedup_datagen::{restaurants, DatasetSpec};
 use fuzzydedup_nnindex::{
-    InvertedIndex, InvertedIndexConfig, MinHashConfig, MinHashIndex, NestedLoopIndex, NnIndex,
+    DynamicIndexConfig, DynamicInvertedIndex, InvertedIndex, InvertedIndexConfig, MinHashConfig,
+    MinHashIndex, NestedLoopIndex, NnIndex, PostingsSource,
 };
 use fuzzydedup_storage::{BufferPool, BufferPoolConfig, InMemoryDisk};
 use fuzzydedup_textdist::{DistanceKind, EditDistance, UnfilteredDistance};
@@ -42,6 +55,28 @@ fn nn_recall(approx: &dyn NnIndex, exact: &dyn NnIndex, close: f64) -> (f64, usi
     (agree as f64 / relevant.max(1) as f64, relevant)
 }
 
+fn pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(BufferPoolConfig::with_capacity(4096), Arc::new(InMemoryDisk::new())))
+}
+
+fn build_inverted(
+    records: &[Vec<String>],
+    source: PostingsSource,
+    prefix_filter: bool,
+) -> InvertedIndex<EditDistance> {
+    let config =
+        InvertedIndexConfig { postings_source: source, prefix_filter, ..Default::default() };
+    InvertedIndex::build(records.to_vec(), EditDistance, pool(), config)
+}
+
+fn build_inverted_unfiltered(
+    records: &[Vec<String>],
+    source: PostingsSource,
+) -> InvertedIndex<UnfilteredDistance<EditDistance>> {
+    let config = InvertedIndexConfig { postings_source: source, ..Default::default() };
+    InvertedIndex::build(records.to_vec(), UnfilteredDistance(EditDistance), pool(), config)
+}
+
 fn main() {
     let mut rng = StdRng::seed_from_u64(42);
     let dataset = restaurants::generate(&mut rng, DatasetSpec::small());
@@ -49,55 +84,96 @@ fn main() {
     println!("corpus: Restaurants, {} records, {} true pairs", records.len(), dataset.true_pairs());
 
     let exact = NestedLoopIndex::new(records.clone(), EditDistance);
-    let pool = Arc::new(BufferPool::new(
-        BufferPoolConfig::with_capacity(4096),
-        Arc::new(InMemoryDisk::new()),
-    ));
-    let inverted = InvertedIndex::build(
-        records.clone(),
-        DistanceKind::EditDistance.build(&records),
-        pool,
-        InvertedIndexConfig::default(),
-    );
+
+    // One inverted index per postings layout, each with an
+    // `UnfilteredDistance` control (`admits_qgram_filter() == false`
+    // degrades the whole candidate ladder to a no-op).
+    let sources = [PostingsSource::Packed, PostingsSource::Csr, PostingsSource::Pages];
+    let inverted: Vec<(String, InvertedIndex<EditDistance>)> = sources
+        .iter()
+        .map(|&s| (format!("inverted/{s:?}").to_lowercase(), build_inverted(&records, s, false)))
+        .collect();
+    let inverted_nofilter: Vec<InvertedIndex<UnfilteredDistance<EditDistance>>> =
+        sources.iter().map(|&s| build_inverted_unfiltered(&records, s)).collect();
+
+    let mut dynamic = DynamicInvertedIndex::new(EditDistance, DynamicIndexConfig::default());
+    let mut dynamic_nofilter =
+        DynamicInvertedIndex::new(UnfilteredDistance(EditDistance), DynamicIndexConfig::default());
+    for rec in &records {
+        dynamic.push(rec.clone());
+        dynamic_nofilter.push(rec.clone());
+    }
+
     let minhash = MinHashIndex::build(records.clone(), EditDistance, MinHashConfig::default());
-    // The same inverted index with the candidate ladder disarmed
-    // (`UnfilteredDistance` reports `admits_qgram_filter() == false`):
-    // side-by-side recall shows the length/count/MergeSkip filters are
-    // recall-lossless, not just fast.
-    let unfiltered_pool = Arc::new(BufferPool::new(
-        BufferPoolConfig::with_capacity(4096),
-        Arc::new(InMemoryDisk::new()),
-    ));
-    let inverted_nofilter = InvertedIndex::build(
-        records.clone(),
-        UnfilteredDistance(EditDistance),
-        unfiltered_pool,
-        InvertedIndexConfig::default(),
-    );
 
     println!("\n# Nearest-neighbor recall vs exact reference (truth within distance bound):");
     println!("{:<18} {:>12} {:>12} {:>12}", "index", "nn<0.2", "nn<0.3", "nn<0.4");
-    for (name, idx) in [
-        ("inverted", &inverted as &dyn NnIndex),
-        ("inverted-nofilter", &inverted_nofilter as &dyn NnIndex),
-        ("minhash", &minhash as &dyn NnIndex),
-    ] {
+    let mut rows: Vec<(&str, &dyn NnIndex)> = Vec::new();
+    for (name, idx) in &inverted {
+        rows.push((name.as_str(), idx as &dyn NnIndex));
+    }
+    rows.push(("dynamic", &dynamic as &dyn NnIndex));
+    rows.push(("minhash", &minhash as &dyn NnIndex));
+    for (name, idx) in &rows {
         let mut row = format!("{name:<18}");
         for bound in [0.2, 0.3, 0.4] {
-            let (recall, n) = nn_recall(idx, &exact, bound);
+            let (recall, n) = nn_recall(*idx, &exact, bound);
             row.push_str(&format!(" {:>7.3}({n:>3})", recall));
         }
         println!("{row}");
     }
+
+    // Gate 1: the candidate ladder is recall-lossless on every index
+    // that arms it (inverted × 3 layouts, dynamic).
     for bound in [0.2, 0.3, 0.4] {
-        let (filtered, _) = nn_recall(&inverted, &exact, bound);
-        let (unfiltered, _) = nn_recall(&inverted_nofilter, &exact, bound);
+        for (i, (name, idx)) in inverted.iter().enumerate() {
+            let (filtered, _) = nn_recall(idx, &exact, bound);
+            let (unfiltered, _) = nn_recall(&inverted_nofilter[i], &exact, bound);
+            assert_eq!(
+                filtered, unfiltered,
+                "{name}: candidate filters changed nn<{bound} recall — they must be lossless"
+            );
+        }
+        let (filtered, _) = nn_recall(&dynamic, &exact, bound);
+        let (unfiltered, _) = nn_recall(&dynamic_nofilter, &exact, bound);
         assert_eq!(
             filtered, unfiltered,
-            "candidate filters changed nn<{bound} recall — they must be lossless"
+            "dynamic: candidate filters changed nn<{bound} recall — they must be lossless"
         );
     }
     println!("(filters on/off rows are asserted identical: the candidate ladder is lossless)");
+
+    // Gate 2: the three postings layouts answer every query identically —
+    // the packed merge claims bit-identical candidate sets, so this is an
+    // equality check on full top-1 results, not a recall comparison.
+    let (reference_name, reference) = &inverted[0];
+    for (name, idx) in &inverted[1..] {
+        for id in 0..records.len() as u32 {
+            assert_eq!(
+                reference.top_k(id, 1),
+                idx.top_k(id, 1),
+                "{reference_name} vs {name}: top_1({id}) diverged across postings layouts"
+            );
+        }
+    }
+    println!("(postings layouts packed/csr/pages are asserted to answer top_1 identically)");
+
+    // Gate 3: the prefix filter only short-circuits radius queries, and
+    // losslessly — `within` must match the plain MergeSkip path exactly.
+    for source in [PostingsSource::Packed, PostingsSource::Csr] {
+        let plain = build_inverted(&records, source, false);
+        let prefix = build_inverted(&records, source, true);
+        for id in 0..records.len() as u32 {
+            for radius in [0.1, 0.25] {
+                assert_eq!(
+                    prefix.within(id, radius),
+                    plain.within(id, radius),
+                    "{source:?}: prefix filter changed within({id}, {radius})"
+                );
+            }
+        }
+    }
+    println!("(prefix filter is asserted lossless for radius queries on packed and csr)");
 
     println!("\n# End-to-end quality per index (DE_S(4), c=6, fms):");
     println!("{:<12} {:>8} {:>10} {:>7}", "index", "recall", "precision", "f1");
@@ -116,4 +192,5 @@ fn main() {
         println!("{:<12} {:>8.3} {:>10.3} {:>7.3}", name, pr.recall, pr.precision, pr.f1());
     }
     println!("\n(paper's claim holds when the probabilistic rows track the nested row closely)");
+    println!("recall-smoke: ok — all losslessness and layout-equivalence assertions held");
 }

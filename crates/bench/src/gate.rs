@@ -10,7 +10,7 @@
 //! the baseline but missing from the fresh run also fails: renames must
 //! be accompanied by a baseline refresh, not slip through silently.
 
-use fuzzydedup_metrics::json::{parse, JsonValue};
+use fuzzydedup_metrics::json::{parse, JsonArray, JsonObject, JsonValue};
 
 /// One benchmark's measurements from a `BENCH_*.json` artifact.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +21,147 @@ pub struct BenchCase {
     pub min_ns: f64,
     /// Mean sample in nanoseconds.
     pub mean_ns: f64,
+}
+
+/// One benchmark row of a `BENCH_*.json` artifact with every field the
+/// criterion shim emits — the full-fidelity counterpart of [`BenchCase`],
+/// used where the artifact must be rewritten (the worst-window baseline
+/// merge of `bench_merge` / `scripts/bench_refresh.sh`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Mean sample in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest observed sample in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest observed sample in nanoseconds.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: u64,
+    /// Iterations batched into each sample.
+    pub iters_per_sample: u64,
+}
+
+/// A whole `BENCH_<group>.json` document, parse/render round-trippable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// Benchmark group name (`BENCH_<group>.json`).
+    pub group: String,
+    /// Time unit (always `ns` from the shim).
+    pub unit: String,
+    /// Benchmark rows in artifact order.
+    pub rows: Vec<BenchRow>,
+}
+
+/// Parse a `BENCH_<group>.json` document keeping every field, so the
+/// document can be rewritten without losing `max_ns`/`samples`/... .
+pub fn parse_bench_doc(text: &str) -> Result<BenchDoc, String> {
+    let doc = parse(text)?;
+    let group = doc
+        .get("group")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "missing \"group\"".to_string())?
+        .to_string();
+    let unit = doc.get("unit").and_then(JsonValue::as_str).unwrap_or("ns").to_string();
+    let benches = doc
+        .get("benchmarks")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing \"benchmarks\" array".to_string())?;
+    let mut rows = Vec::with_capacity(benches.len());
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "benchmark entry without \"name\"".to_string())?
+            .to_string();
+        let field = |key: &str| -> Result<f64, String> {
+            b.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("benchmark {name:?} without numeric {key:?}"))
+        };
+        let min_ns = field("min_ns")?;
+        rows.push(BenchRow {
+            mean_ns: b.get("mean_ns").and_then(JsonValue::as_f64).unwrap_or(min_ns),
+            max_ns: b.get("max_ns").and_then(JsonValue::as_f64).unwrap_or(min_ns),
+            samples: b.get("samples").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64,
+            iters_per_sample: b.get("iters_per_sample").and_then(JsonValue::as_f64).unwrap_or(1.0)
+                as u64,
+            name,
+            min_ns,
+        });
+    }
+    Ok(BenchDoc { group, unit, rows })
+}
+
+/// Render a [`BenchDoc`] in exactly the criterion shim's artifact shape
+/// (same field order, one row per line, fixed one-decimal precision), so
+/// merged baselines diff cleanly against shim-written ones.
+pub fn render_bench_doc(doc: &BenchDoc) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"group\": \"{}\",\n", doc.group));
+    out.push_str(&format!("  \"unit\": \"{}\",\n  \"benchmarks\": [\n", doc.unit));
+    for (i, r) in doc.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            r.name.replace('"', "'"),
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            r.iters_per_sample,
+            if i + 1 < doc.rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Worst-window merge of N passes of the same benchmark group: for each
+/// row, keep the pass with the **largest** `min_ns`.
+///
+/// `min_ns` is noise-floor-stable *within* a pass but optimistic *across*
+/// passes: a single quiet window makes the whole baseline unbeatable on a
+/// normal day, and the regression gate then cries wolf. Taking the
+/// per-row maximum of the per-pass minima keeps the baseline at the level
+/// a fresh run can actually reproduce. The winning pass's full row (mean,
+/// max, sample counts) is kept, so the artifact stays internally
+/// consistent.
+///
+/// Every pass must contain exactly the rows of the first pass (order may
+/// differ); a vanished or extra row is an error, not a silent drop.
+pub fn merge_worst_window(passes: &[BenchDoc]) -> Result<BenchDoc, String> {
+    let first = passes.first().ok_or("no passes to merge")?;
+    let mut merged = first.clone();
+    for (i, pass) in passes.iter().enumerate().skip(1) {
+        if pass.group != first.group {
+            return Err(format!(
+                "pass {} is group {:?}, expected {:?}",
+                i + 1,
+                pass.group,
+                first.group
+            ));
+        }
+        if pass.rows.len() != first.rows.len() {
+            return Err(format!(
+                "pass {} has {} rows, expected {}",
+                i + 1,
+                pass.rows.len(),
+                first.rows.len()
+            ));
+        }
+        for row in &mut merged.rows {
+            let other = pass
+                .rows
+                .iter()
+                .find(|r| r.name == row.name)
+                .ok_or_else(|| format!("pass {} is missing benchmark {:?}", i + 1, row.name))?;
+            if other.min_ns > row.min_ns {
+                *row = other.clone();
+            }
+        }
+    }
+    Ok(merged)
 }
 
 /// Parse the benchmark cases out of a `BENCH_<group>.json` document (the
@@ -169,6 +310,43 @@ pub fn render_table(group: &str, rows: &[Comparison]) -> String {
     out
 }
 
+/// Render per-bench verdicts as one compact JSON object — the shape
+/// `ci_bench_gate --json-out` writes and `scripts/ci.sh` embeds verbatim
+/// under the `"bench"` key of `results/ci_summary.json`.
+///
+/// `groups` pairs each artifact name (`BENCH_candidates.json`, ...) with
+/// its comparison rows. `delta` is the relative change (`fresh/baseline −
+/// 1`; +0.08 = 8% slower), omitted — like the absent side of the
+/// measurement — for `missing`/`new` rows.
+pub fn verdicts_json(tolerance: f64, groups: &[(String, Vec<Comparison>)]) -> String {
+    let mut rows = JsonArray::new();
+    let mut any_fails = false;
+    for (artifact, comparisons) in groups {
+        for r in comparisons {
+            any_fails |= r.verdict.fails();
+            rows.push_object(|o| {
+                o.str("artifact", artifact);
+                o.str("name", &r.name);
+                if let Some(v) = r.baseline_ns {
+                    o.f64_fixed("baseline_min_ns", v, 1);
+                }
+                if let Some(v) = r.fresh_ns {
+                    o.f64_fixed("fresh_min_ns", v, 1);
+                }
+                if let Some(ratio) = r.ratio {
+                    o.f64_fixed("delta", ratio - 1.0, 4);
+                }
+                o.str("verdict", r.verdict.label());
+            });
+        }
+    }
+    let mut out = JsonObject::new();
+    out.f64("tolerance", tolerance);
+    out.str("result", if any_fails { "fail" } else { "pass" });
+    out.raw("benchmarks", &rows.finish());
+    out.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +436,97 @@ mod tests {
         assert!(table.contains("REGRESSED"));
         assert!(table.contains("new"));
         assert!(table.contains("1.60x"));
+    }
+
+    fn row(name: &str, min_ns: f64) -> BenchRow {
+        BenchRow {
+            name: name.to_string(),
+            mean_ns: min_ns * 1.2,
+            min_ns,
+            max_ns: min_ns * 2.0,
+            samples: 10,
+            iters_per_sample: 3,
+        }
+    }
+
+    #[test]
+    fn bench_doc_round_trips_through_the_shim_format() {
+        // Values exact at one decimal: the render is fixed-precision
+        // (matching the shim), so only such docs round-trip bit-exactly.
+        let exact = |name: &str, min_ns: f64| BenchRow {
+            name: name.to_string(),
+            mean_ns: min_ns + 0.5,
+            min_ns,
+            max_ns: min_ns * 2.0,
+            samples: 10,
+            iters_per_sample: 3,
+        };
+        let doc = BenchDoc {
+            group: "candidates".to_string(),
+            unit: "ns".to_string(),
+            rows: vec![exact("csr/gen", 17424231.0), exact("packed/gen", 9000001.5)],
+        };
+        let text = render_bench_doc(&doc);
+        // The render must be byte-compatible with what the shim writes:
+        // the summary parser must see the same cases either way.
+        let cases = parse_bench_file(&text).unwrap();
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[1].min_ns, 9000001.5);
+        let reparsed = parse_bench_doc(&text).unwrap();
+        assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn worst_window_merge_keeps_the_slowest_minimum_per_row() {
+        let mk = |a: f64, b: f64| BenchDoc {
+            group: "g".to_string(),
+            unit: "ns".to_string(),
+            rows: vec![row("a", a), row("b", b)],
+        };
+        // Pass 2 hit a quiet window on "a" (faster min); pass 3 on "b".
+        // The merge must keep the reproducible (slower) minimum of each.
+        let merged =
+            merge_worst_window(&[mk(1000.0, 2200.0), mk(900.0, 2500.0), mk(1100.0, 2000.0)])
+                .unwrap();
+        assert_eq!(merged.rows[0].min_ns, 1100.0);
+        assert_eq!(merged.rows[1].min_ns, 2500.0);
+        // The winning row is taken whole, so mean/max stay consistent
+        // with the min they were measured alongside.
+        assert_eq!(merged.rows[0].mean_ns, 1100.0 * 1.2);
+        assert_eq!(merged.rows[1].max_ns, 2500.0 * 2.0);
+    }
+
+    #[test]
+    fn worst_window_merge_rejects_row_mismatches() {
+        let one =
+            BenchDoc { group: "g".to_string(), unit: "ns".to_string(), rows: vec![row("a", 1.0)] };
+        let renamed =
+            BenchDoc { group: "g".to_string(), unit: "ns".to_string(), rows: vec![row("b", 1.0)] };
+        assert!(merge_worst_window(&[]).is_err());
+        assert!(merge_worst_window(&[one.clone(), renamed]).is_err());
+        let other_group = BenchDoc { group: "h".to_string(), ..one.clone() };
+        assert!(merge_worst_window(&[one, other_group]).is_err());
+    }
+
+    #[test]
+    fn verdicts_json_carries_every_row_and_parses_back() {
+        use fuzzydedup_metrics::json::parse;
+        let rows = compare(&[case("a", 1000.0), case("gone", 5.0)], &[case("a", 1500.0)], 0.15);
+        let text = verdicts_json(0.15, &[("BENCH_x.json".to_string(), rows)]);
+        let doc = parse(&text).unwrap();
+        assert_eq!(doc.get("result").and_then(JsonValue::as_str), Some("fail"));
+        let benches = doc.get("benchmarks").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(benches.len(), 2);
+        let a = &benches[0];
+        assert_eq!(a.get("name").and_then(JsonValue::as_str), Some("a"));
+        assert_eq!(a.get("verdict").and_then(JsonValue::as_str), Some("REGRESSED"));
+        assert_eq!(a.get("baseline_min_ns").and_then(JsonValue::as_f64), Some(1000.0));
+        assert_eq!(a.get("fresh_min_ns").and_then(JsonValue::as_f64), Some(1500.0));
+        assert!((a.get("delta").and_then(JsonValue::as_f64).unwrap() - 0.5).abs() < 1e-9);
+        // The missing row has no fresh side and no delta.
+        let gone = &benches[1];
+        assert_eq!(gone.get("verdict").and_then(JsonValue::as_str), Some("MISSING"));
+        assert!(gone.get("fresh_min_ns").is_none());
+        assert!(gone.get("delta").is_none());
     }
 }

@@ -130,10 +130,18 @@ pub enum Counter {
     SpillEntries,
     /// Bytes written to the `NN_Reln` spill heap (`core`).
     SpillBytes,
+    /// Packed-postings delta blocks decoded during candidate generation
+    /// (`nnindex`).
+    CandBlocksScanned,
+    /// Packed-postings delta blocks skipped via the per-block max-id
+    /// pointers without decoding (`nnindex`).
+    CandBlockSkips,
+    /// Frontier batches flushed by the lane-wise staged merge (`nnindex`).
+    CandFrontierBatches,
 }
 
 /// Number of counters in [`Counter`].
-pub const NUM_COUNTERS: usize = Counter::SpillBytes as usize + 1;
+pub const NUM_COUNTERS: usize = Counter::CandFrontierBatches as usize + 1;
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 
@@ -289,6 +297,12 @@ pub struct CandGenMetrics {
     pub stop_grams_dropped: u64,
     /// Scored candidates cut away by the `candidate_limit` cap.
     pub truncated: u64,
+    /// Packed-postings delta blocks decoded by the merge.
+    pub blocks_scanned: u64,
+    /// Packed-postings delta blocks skipped via max-id pointers.
+    pub block_skips: u64,
+    /// Frontier batches flushed by the staged lane-wise merge.
+    pub frontier_batches: u64,
 }
 
 /// Prepared-query accounting (`textdist` layer): how often query
@@ -480,6 +494,9 @@ impl RunMetrics {
             postings_skipped: d.get(Counter::PostingsSkipped),
             stop_grams_dropped: d.get(Counter::StopGramsDropped),
             truncated: d.get(Counter::CandidatesTruncated),
+            blocks_scanned: d.get(Counter::CandBlocksScanned),
+            block_skips: d.get(Counter::CandBlockSkips),
+            frontier_batches: d.get(Counter::CandFrontierBatches),
         };
         self.prepared = PreparedMetrics {
             prepares: d.get(Counter::PreparedQueries),
@@ -546,7 +563,10 @@ impl RunMetrics {
                 .u64("pruned_by_count", self.cand_gen.pruned_by_count)
                 .u64("postings_skipped", self.cand_gen.postings_skipped)
                 .u64("stop_grams_dropped", self.cand_gen.stop_grams_dropped)
-                .u64("truncated", self.cand_gen.truncated);
+                .u64("truncated", self.cand_gen.truncated)
+                .u64("blocks_scanned", self.cand_gen.blocks_scanned)
+                .u64("block_skips", self.cand_gen.block_skips)
+                .u64("frontier_batches", self.cand_gen.frontier_batches);
         });
         w.object("prepared", |o| {
             o.u64("prepares", self.prepared.prepares).u64("reuses", self.prepared.reuses);
@@ -724,6 +744,9 @@ mod tests {
         incr(Counter::Phase1StealBlocks, 16);
         incr(Counter::SpillEntries, 25);
         incr(Counter::SpillBytes, 4096);
+        incr(Counter::CandBlocksScanned, 31);
+        incr(Counter::CandBlockSkips, 14);
+        incr(Counter::CandFrontierBatches, 5);
         let delta = snapshot().delta(&before);
         let mut m = RunMetrics::default();
         m.phase2.threads = 4; // pipeline-filled fields survive the delta
@@ -747,6 +770,9 @@ mod tests {
                 postings_skipped: 21,
                 stop_grams_dropped: 2,
                 truncated: 8,
+                blocks_scanned: 31,
+                block_skips: 14,
+                frontier_batches: 5,
             }
         );
         assert_eq!(m.prepared, PreparedMetrics { prepares: 4, reuses: 40 });

@@ -18,6 +18,7 @@ use fuzzydedup_relation::Neighbor;
 use fuzzydedup_textdist::{record_string, record_term_set, Distance};
 
 use crate::candgen::{select_top_candidates, CandFilter, RecordMeta};
+use crate::scratch::with_scoreboard;
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
     NnIndex, PairDistanceCache, RecordView,
@@ -146,38 +147,42 @@ impl<D: Distance> DynamicInvertedIndex<D> {
         }
         let generated = scored.len() as u64;
         incr(Counter::CandidatesGenerated, generated);
-        let (ids, overlaps) = select_top_candidates(scored, limit);
+        let (ids, overlaps) = select_top_candidates(&mut scored, limit);
         Gathered { ids, overlaps, slack, generated }
     }
 
     /// One merge pass: scored candidates `(id, weight, shared gram mass)`,
     /// plus the stop-gram slack and the number of dropped stop terms.
+    /// Accumulates on the epoch-stamped thread-local scoreboard (the same
+    /// kernel as the static index) instead of the historical per-query
+    /// `HashMap`; the query's own id is excluded by pre-stamping its slot.
+    /// Terms are applied in the term-set's sorted order, so per-candidate
+    /// weight sums match the historical path bit for bit.
     fn generate(&self, id: u32, include_stops: bool) -> (Vec<(u32, f64, u32)>, u32, u64) {
         let n = self.records.len().max(1) as f64;
         let max_df = (self.config.max_df_fraction * n).max(f64::from(self.config.stop_df_floor));
         let fields: Vec<&str> = self.records[id as usize].iter().map(String::as_str).collect();
         let ts = record_term_set(&fields, self.config.q, self.config.index_tokens);
-        let mut scores: HashMap<u32, (f64, u32)> = HashMap::new();
         let mut slack = 0u32;
         let mut dropped = 0u64;
-        for (term, gram_count) in &ts.terms {
-            let Some(ids) = self.postings.get(term) else { continue };
-            let df = ids.len() as f64;
-            if !include_stops && df > max_df {
-                slack += gram_count;
-                dropped += 1;
-                continue;
-            }
-            let weight = (1.0 + n / df).ln();
-            for &other in ids {
-                if other != id {
-                    let slot = scores.entry(other).or_insert((0.0, 0));
-                    slot.0 += weight;
-                    slot.1 += gram_count;
+        let scored = with_scoreboard(|board| {
+            board.begin(self.records.len());
+            board.exclude(id);
+            for (term, gram_count) in &ts.terms {
+                let Some(ids) = self.postings.get(term) else { continue };
+                let df = ids.len() as f64;
+                if !include_stops && df > max_df {
+                    slack += gram_count;
+                    dropped += 1;
+                    continue;
+                }
+                let weight = (1.0 + n / df).ln();
+                for &other in ids {
+                    board.add(other, weight, *gram_count);
                 }
             }
-        }
-        let scored = scores.into_iter().map(|(c, (w, o))| (c, w, o)).collect();
+            board.drain()
+        });
         (scored, slack, dropped)
     }
 

@@ -43,10 +43,10 @@ use std::sync::Arc;
 
 use fuzzydedup_relation::Neighbor;
 use fuzzydedup_storage::{BufferPool, HeapFile, RecordId};
-use fuzzydedup_textdist::{record_string, record_term_set, Distance};
+use fuzzydedup_textdist::{merge_overlap_bound, record_string, record_term_set, Distance};
 
-use crate::candgen::{select_top_candidates, CandFilter, CsrPostings, RecordMeta};
-use crate::scratch::with_scoreboard;
+use crate::candgen::{select_top_candidates, CandFilter, CsrPostings, PackedPostings, RecordMeta};
+use crate::scratch::{with_merge_stage, with_scoreboard, with_scored, StageRun};
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
     NnIndex, PairDistanceCache, RecordView,
@@ -59,24 +59,40 @@ use fuzzydedup_metrics::{incr, Counter};
 /// scan reaches them.
 const SLOT_LOOKAHEAD: usize = 16;
 
+/// Most term runs staged per frontier flush of the packed merge. The
+/// cached query is df-ascending — i.e. already sorted by posting-list
+/// length — so a flush advances the next (up to) eight shortest unmerged
+/// lists in lock-step through one flat SoA buffer.
+const FRONTIER_LANES: usize = 8;
+
+/// Most staged ids per frontier flush: bounds the stage buffer (16 KiB of
+/// ids) so a flush's flat array stays L1/L2-resident while the scoreboard
+/// adds stream over it.
+const STAGE_CAP: usize = 4096;
+
 /// Where candidate generation reads postings from.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum PostingsSource {
-    /// The in-memory CSR mirror (default): contiguous posting slices,
-    /// build-time term ids per record, no page fetches or re-tokenization
-    /// on the lookup path.
+    /// The delta-encoded block-compressed arena (default): ~4× denser
+    /// than raw `u32` postings, merged by the staged lane-wise frontier,
+    /// topped up post-freeze through per-block max-id skip pointers.
     #[default]
+    Packed,
+    /// The in-memory CSR mirror: contiguous raw-`u32` posting slices,
+    /// scalar one-term-at-a-time merge. The behavioral reference for the
+    /// packed path.
     Csr,
     /// The page-backed postings through the buffer pool: the historical
     /// path, kept selectable for the buffer-locality experiments and as
-    /// the behavioral reference for the CSR mirror.
+    /// the behavioral reference for both in-memory mirrors.
     Pages,
 }
 
 impl PostingsSource {
-    /// Parse from driver flags ("csr" | "pages").
+    /// Parse from driver flags ("packed" | "csr" | "pages").
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
+            "packed" => Some(Self::Packed),
             "csr" => Some(Self::Csr),
             "pages" => Some(Self::Pages),
             _ => None,
@@ -108,6 +124,17 @@ pub struct InvertedIndexConfig {
     /// Which postings representation lookups read (the heap-file copy is
     /// always written).
     pub postings_source: PostingsSource,
+    /// SSJoin-style prefix filter for radius queries (packed and CSR
+    /// sources): once the rarest merged terms pin the admission set —
+    /// the same `B_min` freeze point as MergeSkip — stop merging
+    /// entirely and credit the unmerged gram mass to the count filter's
+    /// slack, instead of topping up admitted candidates through the
+    /// remaining (longest) lists. Lossless for the final neighbor set by
+    /// the PR 3 cutoff argument; only the overlap *proxies* weaken, which
+    /// the slack credit absorbs. Off by default because the weaker
+    /// proxies can cost verification-time count-filter prunes and, under
+    /// a `candidate_limit`, reorder which candidates are kept.
+    pub prefix_filter: bool,
 }
 
 impl Default for InvertedIndexConfig {
@@ -119,7 +146,8 @@ impl Default for InvertedIndexConfig {
             max_df_fraction: 0.2,
             stop_df_floor: 100,
             chunk_size: 256,
-            postings_source: PostingsSource::Csr,
+            postings_source: PostingsSource::Packed,
+            prefix_filter: false,
         }
     }
 }
@@ -153,6 +181,8 @@ pub struct InvertedIndex<D> {
     terms: Vec<TermEntry>,
     /// CSR mirror of the postings, one slice per term id.
     csr: CsrPostings,
+    /// Delta-encoded block-compressed mirror of the same postings.
+    packed: PackedPostings,
     /// Per-record query terms cached at build, document-frequency
     /// ascending (rarest first, the MergeSkip merge order).
     queries: Vec<Vec<QueryTerm>>,
@@ -216,6 +246,7 @@ impl<D: Distance> InvertedIndex<D> {
         let mut term_ids = HashMap::with_capacity(sorted.len());
         let mut terms = Vec::with_capacity(sorted.len());
         let mut csr = CsrPostings::new();
+        let mut packed = PackedPostings::new();
         for (term, ids) in sorted {
             let df = ids.len() as u32;
             let mut chunks = Vec::with_capacity(ids.len() / config.chunk_size + 1);
@@ -228,6 +259,7 @@ impl<D: Distance> InvertedIndex<D> {
             }
             term_ids.insert(term.to_string(), terms.len() as u32);
             csr.push_list(&ids);
+            packed.push_list(&ids);
             let weight = (1.0 + n / f64::from(df)).ln();
             terms.push(TermEntry { weight, df, stop: f64::from(df) > max_df, chunks });
         }
@@ -259,6 +291,7 @@ impl<D: Distance> InvertedIndex<D> {
             term_ids,
             terms,
             csr,
+            packed,
             queries,
             meta,
             norm,
@@ -298,38 +331,66 @@ impl<D: Distance> InvertedIndex<D> {
         self.distance.distance(&ra, &rb)
     }
 
+    /// Bytes the in-memory candidate-generation postings occupy, as
+    /// `(csr, packed)`: the CSR mirror's raw `4 × postings` against the
+    /// delta arena plus its block directory (first/last/offset 4 B each,
+    /// length 2 B, width 1 B per block). Per-term offset tables are
+    /// common to both layouts and excluded from both counts. Backs the
+    /// compression ratio quoted in DESIGN §7.7.
+    pub fn postings_bytes(&self) -> (usize, usize) {
+        let csr = self.csr.num_postings() * 4;
+        let packed = self.packed.arena_bytes() + self.packed.num_blocks() * 15;
+        (csr, packed)
+    }
+
     /// Candidate ids for a query record in verification order (highest
     /// shared IDF weight first). Public for benchmarks and experiments.
     pub fn generate_candidates(&self, id: u32) -> Vec<u32> {
         self.gather(id, None).ids
     }
 
+    /// Candidate ids for a radius query: same as
+    /// [`Self::generate_candidates`] but with the MergeSkip / prefix
+    /// bound active for `radius`. Public for benchmarks and experiments.
+    pub fn generate_candidates_radius(&self, id: u32, radius: f64) -> Vec<u32> {
+        self.gather(id, Some(radius)).ids
+    }
+
     /// Generate, score, truncate. `radius_bound` (set only by [`Self::within`])
     /// enables the MergeSkip bound for that radius; the combined lookup
     /// must not pass it, because its growth estimate needs neighbors out
     /// to `p · nn(v)`, which the radius does not bound.
+    ///
+    /// The untruncated scored set drains into a thread-local buffer
+    /// ([`with_scored`]) reused across lookups, so the steady-state hot
+    /// path allocates only the two truncated output lists.
     fn gather(&self, id: u32, radius_bound: Option<f64>) -> Gathered {
-        let (mut scored, mut slack, dropped) = match self.config.postings_source {
-            PostingsSource::Csr => self.generate_csr(id, false, radius_bound),
-            PostingsSource::Pages => self.generate_pages(id, false),
-        };
-        incr(Counter::StopGramsDropped, dropped);
-        if scored.is_empty() && dropped > 0 {
-            // Every candidate-bearing term was a stop gram (common for
-            // short records in skewed corpora). Dropping the query on the
-            // floor would silently cost recall — and the SN criterion its
-            // growth estimate — so retry with stop grams included.
-            let (rescored, reslack, _) = match self.config.postings_source {
-                PostingsSource::Csr => self.generate_csr(id, true, None),
-                PostingsSource::Pages => self.generate_pages(id, true),
+        with_scored(|scored| {
+            scored.clear();
+            let (mut slack, dropped) = match self.config.postings_source {
+                PostingsSource::Packed => self.generate_packed(id, false, radius_bound, scored),
+                PostingsSource::Csr => self.generate_csr(id, false, radius_bound, scored),
+                PostingsSource::Pages => self.generate_pages(id, false, scored),
             };
-            scored = rescored;
-            slack = reslack;
-        }
-        let generated = scored.len() as u64;
-        incr(Counter::CandidatesGenerated, generated);
-        let (ids, overlaps) = select_top_candidates(scored, self.config.candidate_limit);
-        Gathered { ids, overlaps, slack, generated }
+            incr(Counter::StopGramsDropped, dropped);
+            if scored.is_empty() && dropped > 0 {
+                // Every candidate-bearing term was a stop gram (common for
+                // short records in skewed corpora). Dropping the query on
+                // the floor would silently cost recall — and the SN
+                // criterion its growth estimate — so retry with stop grams
+                // included.
+                let (reslack, _) = match self.config.postings_source {
+                    PostingsSource::Packed => self.generate_packed(id, true, None, scored),
+                    PostingsSource::Csr => self.generate_csr(id, true, None, scored),
+                    PostingsSource::Pages => self.generate_pages(id, true, scored),
+                };
+                slack = reslack;
+            }
+            let generated = scored.len() as u64;
+            incr(Counter::CandidatesGenerated, generated);
+            let (ids, overlaps) = select_top_candidates(scored, self.config.candidate_limit);
+            Gathered { ids, overlaps, slack, generated }
+        })
     }
 
     /// CSR merge: walk the cached query terms rarest-first over contiguous
@@ -350,7 +411,8 @@ impl<D: Distance> InvertedIndex<D> {
         id: u32,
         include_stops: bool,
         radius_bound: Option<f64>,
-    ) -> (Vec<(u32, f64, u32)>, u32, u64) {
+        out: &mut Vec<(u32, f64, u32)>,
+    ) -> (u32, u64) {
         let query = &self.queries[id as usize];
         let q = self.config.q;
         let mut slack = 0u32;
@@ -365,16 +427,15 @@ impl<D: Distance> InvertedIndex<D> {
             }
         }
         let b_min = radius_bound.and_then(|theta| {
-            let qf = q as f64;
-            if !self.filter_ok || theta * qf >= 1.0 {
+            if !self.filter_ok {
                 return None;
             }
-            Some(f64::from(self.meta[id as usize].chars) * (1.0 - theta * qf) + (qf - 1.0))
+            merge_overlap_bound(self.meta[id as usize].chars, q, theta)
         });
         let mut scanned = 0u64;
         let mut skipping = false;
         let mut frozen: Vec<u32> = Vec::new();
-        let scored = with_scoreboard(|board| {
+        with_scoreboard(|board| {
             board.begin(self.records.len());
             for (qi, &(tid, gram_count)) in query.iter().enumerate() {
                 let entry = &self.terms[tid as usize];
@@ -392,8 +453,17 @@ impl<D: Distance> InvertedIndex<D> {
                     if let Some(b_min) = b_min {
                         // Conservative margin: on a tie, keep admitting.
                         if f64::from(remaining) + f64::from(slack) + 1e-9 < b_min {
+                            if self.config.prefix_filter {
+                                // Prefix mode: the admission set is
+                                // already pinned; credit everything
+                                // unmerged to the slack and stop instead
+                                // of topping up through the long tail.
+                                slack += remaining;
+                                remaining = 0;
+                                break;
+                            }
                             skipping = true;
-                            frozen = board.touched().to_vec();
+                            frozen = board.admitted_ids();
                         }
                     }
                 }
@@ -434,16 +504,177 @@ impl<D: Distance> InvertedIndex<D> {
                 }
                 remaining -= gram_count;
             }
-            board.drain()
+            board.drain_into(out);
         });
         incr(Counter::NnPostingsScanned, scanned);
-        (scored, slack, dropped)
+        (slack, dropped)
+    }
+
+    /// Packed merge: the staged lane-wise frontier over the delta-block
+    /// arena (DESIGN.md §7.7). Produces the *same scored candidates as
+    /// [`Self::generate_csr`], bit for bit* — the packed-equivalence
+    /// property suite holds the two paths to identical output — via three
+    /// structural guarantees:
+    ///
+    /// * terms are applied to the scoreboard strictly in cached-query
+    ///   order (df-ascending = list-length-ascending), so every
+    ///   candidate's `f64` weight accumulates in the scalar order;
+    /// * the MergeSkip freeze point is *precomputed*: it depends only on
+    ///   the remaining-mass trajectory, never on the scoreboard, so the
+    ///   staged merge freezes before exactly the same term as the scalar
+    ///   loop checks it;
+    /// * the query's own id is excluded by pre-stamping its slot, which
+    ///   removes the scalar loop's per-posting `other != id` branch
+    ///   without changing the admitted set.
+    ///
+    /// Post-freeze top-ups walk the per-block max-id skip pointers
+    /// ([`PackedPostings::probe_sorted`]) instead of per-id binary
+    /// search; in prefix-filter mode the top-up phase is skipped
+    /// entirely (see [`InvertedIndexConfig::prefix_filter`]).
+    fn generate_packed(
+        &self,
+        id: u32,
+        include_stops: bool,
+        radius_bound: Option<f64>,
+        out: &mut Vec<(u32, f64, u32)>,
+    ) -> (u32, u64) {
+        let query = &self.queries[id as usize];
+        let mut slack = 0u32;
+        let mut dropped = 0u64;
+        let mut remaining = 0u32; // mergeable gram mass not yet consumed
+                                  // The mergeable terms, in query (df-ascending) order.
+        let mut mergeable: Vec<(u32, u32)> = Vec::with_capacity(query.len());
+        for &(tid, gram_count) in query {
+            if !include_stops && self.terms[tid as usize].stop {
+                slack += gram_count;
+                dropped += 1;
+            } else {
+                mergeable.push((tid, gram_count));
+                remaining += gram_count;
+            }
+        }
+        let b_min = radius_bound.and_then(|theta| {
+            if !self.filter_ok {
+                return None;
+            }
+            merge_overlap_bound(self.meta[id as usize].chars, self.config.q, theta)
+        });
+        // Precompute the freeze point: the first mergeable term before
+        // whose merge the scalar loop would stop admitting. The check
+        // depends only on the remaining/slack trajectory (same
+        // conservative tie margin as the scalar loop).
+        let mut freeze_at = mergeable.len();
+        if let Some(b_min) = b_min {
+            let mut rem = remaining;
+            for (k, &(_, gram_count)) in mergeable.iter().enumerate() {
+                if f64::from(rem) + f64::from(slack) + 1e-9 < b_min {
+                    freeze_at = k;
+                    break;
+                }
+                rem -= gram_count;
+            }
+        }
+        let mut scanned = 0u64;
+        let mut batches = 0u64;
+        let mut blocks_scanned = 0u64;
+        let mut block_skips = 0u64;
+        let mut postings_skipped = 0u64;
+        with_scoreboard(|board| {
+            with_merge_stage(|stage| {
+                board.begin(self.records.len());
+                board.exclude(id);
+                // Admission phase: decode whole lists into the flat
+                // stage and flush up to FRONTIER_LANES term runs per
+                // scoreboard pass.
+                stage.clear();
+                for (k, &(tid, gram_count)) in mergeable[..freeze_at].iter().enumerate() {
+                    // Pull the next list's delta bytes toward L1 while
+                    // this one is decoded.
+                    if let Some(&(next_tid, _)) = mergeable.get(k + 1) {
+                        self.packed.prefetch(next_tid);
+                    }
+                    let before = stage.ids.len();
+                    blocks_scanned += self.packed.decode_list(tid, &mut stage.ids);
+                    let len = (stage.ids.len() - before) as u32;
+                    scanned += u64::from(len);
+                    let entry = &self.terms[tid as usize];
+                    stage.runs.push(StageRun { len, weight: entry.weight, overlap: gram_count });
+                    if stage.runs.len() >= FRONTIER_LANES || stage.ids.len() >= STAGE_CAP {
+                        board.apply_runs(&stage.ids, &stage.runs);
+                        batches += 1;
+                        stage.clear();
+                    }
+                }
+                if !stage.runs.is_empty() {
+                    board.apply_runs(&stage.ids, &stage.runs);
+                    batches += 1;
+                    stage.clear();
+                }
+                if freeze_at < mergeable.len() {
+                    if self.config.prefix_filter {
+                        // Prefix mode: stop merging; the unmerged mass
+                        // becomes count-filter slack.
+                        slack +=
+                            remaining - mergeable[..freeze_at].iter().map(|&(_, g)| g).sum::<u32>();
+                    } else {
+                        // Top-up phase: only already-admitted candidates
+                        // can still gain mass. The stamp scan yields ids
+                        // already sorted, which lets the probe walk ride
+                        // the block skip pointers.
+                        let frozen_sorted = board.admitted_ids();
+                        for &(tid, gram_count) in &mergeable[freeze_at..] {
+                            let entry = &self.terms[tid as usize];
+                            let list_len = self.packed.list_len(tid);
+                            // Same probe-vs-scan cost heuristic as the
+                            // scalar path.
+                            let probe_cost = frozen_sorted.len()
+                                * (usize::BITS - list_len.leading_zeros()) as usize;
+                            if probe_cost < list_len {
+                                postings_skipped += list_len as u64;
+                                let (dec, skip) = self.packed.probe_sorted(
+                                    tid,
+                                    &frozen_sorted,
+                                    &mut stage.block,
+                                    |fid| board.add(fid, entry.weight, gram_count),
+                                );
+                                blocks_scanned += dec;
+                                block_skips += skip;
+                            } else {
+                                scanned += list_len as u64;
+                                for block in self.packed.blocks(tid) {
+                                    stage.block.clear();
+                                    self.packed.decode_block(block, &mut stage.block);
+                                    blocks_scanned += 1;
+                                    for &other in &stage.block {
+                                        if board.contains(other) {
+                                            board.add(other, entry.weight, gram_count);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                board.drain_into(out);
+            })
+        });
+        incr(Counter::NnPostingsScanned, scanned);
+        incr(Counter::PostingsSkipped, postings_skipped);
+        incr(Counter::CandBlocksScanned, blocks_scanned);
+        incr(Counter::CandBlockSkips, block_skips);
+        incr(Counter::CandFrontierBatches, batches);
+        (slack, dropped)
     }
 
     /// Page-backed merge: the historical path. Re-extracts the query's
     /// term set, resolves term strings through the dictionary, and fetches
     /// every postings chunk through the buffer pool.
-    fn generate_pages(&self, id: u32, include_stops: bool) -> (Vec<(u32, f64, u32)>, u32, u64) {
+    fn generate_pages(
+        &self,
+        id: u32,
+        include_stops: bool,
+        out: &mut Vec<(u32, f64, u32)>,
+    ) -> (u32, u64) {
         let record = &self.records[id as usize];
         let fields: Vec<&str> = record.iter().map(String::as_str).collect();
         let ts = record_term_set(&fields, self.config.q, self.config.index_tokens);
@@ -473,8 +704,8 @@ impl<D: Distance> InvertedIndex<D> {
             }
         }
         incr(Counter::NnPostingsScanned, scanned);
-        let scored = scores.into_iter().map(|(c, (w, o))| (c, w, o)).collect();
-        (scored, slack, dropped)
+        out.extend(scores.into_iter().map(|(c, (w, o))| (c, w, o)));
+        (slack, dropped)
     }
 
     /// The pruning filter for a gathered candidate list, or `None` when
@@ -619,6 +850,18 @@ mod tests {
     }
 
     #[test]
+    fn postings_bytes_reports_both_layouts() {
+        let idx = build(InvertedIndexConfig::default());
+        let (csr, packed) = idx.postings_bytes();
+        assert_eq!(csr, idx.csr.num_postings() * 4);
+        assert_eq!(packed, idx.packed.arena_bytes() + idx.packed.num_blocks() * 15);
+        assert!(csr > 0 && packed > 0);
+        // The tiny test corpus is directory-dominated (mostly df-1
+        // terms), so no compression claim here — that lives in the
+        // DESIGN §7.7 numbers measured on the 10k bench corpus.
+    }
+
+    #[test]
     fn agrees_with_nested_loop_on_close_pairs() {
         let idx = build(InvertedIndexConfig::default());
         let exact = NestedLoopIndex::new(corpus(), EditDistance);
@@ -671,33 +914,46 @@ mod tests {
     }
 
     #[test]
-    fn csr_lookups_stay_off_the_pool() {
-        let disk = Arc::new(InMemoryDisk::new());
-        let pool = Arc::new(BufferPool::new(BufferPoolConfig::with_capacity(2), disk));
-        let idx = InvertedIndex::build(corpus(), EditDistance, pool.clone(), Default::default());
-        // The page copy is still written at build time...
-        assert!(idx.postings_pages() >= 1);
-        pool.reset_stats();
-        let nn = idx.top_k(0, 1);
-        assert_eq!(nn[0].id, 1);
-        // ...but the CSR lookup path never reads it back.
-        assert_eq!(pool.stats().accesses(), 0, "CSR lookups must not fetch pages");
+    fn in_memory_lookups_stay_off_the_pool() {
+        for source in [PostingsSource::Packed, PostingsSource::Csr] {
+            let disk = Arc::new(InMemoryDisk::new());
+            let pool = Arc::new(BufferPool::new(BufferPoolConfig::with_capacity(2), disk));
+            let config = InvertedIndexConfig { postings_source: source, ..Default::default() };
+            let idx = InvertedIndex::build(corpus(), EditDistance, pool.clone(), config);
+            // The page copy is still written at build time...
+            assert!(idx.postings_pages() >= 1);
+            pool.reset_stats();
+            let nn = idx.top_k(0, 1);
+            assert_eq!(nn[0].id, 1);
+            // ...but the in-memory lookup paths never read it back.
+            assert_eq!(pool.stats().accesses(), 0, "{source:?} lookups must not fetch pages");
+        }
     }
 
     #[test]
-    fn csr_matches_page_backed_results() {
+    fn all_postings_sources_agree() {
         for candidate_limit in [0, 3, 256] {
-            let csr = build(InvertedIndexConfig { candidate_limit, ..Default::default() });
+            let packed = build(InvertedIndexConfig { candidate_limit, ..Default::default() });
+            let csr = build(InvertedIndexConfig {
+                candidate_limit,
+                postings_source: PostingsSource::Csr,
+                ..Default::default()
+            });
             let pages = build(InvertedIndexConfig {
                 candidate_limit,
                 postings_source: PostingsSource::Pages,
                 ..Default::default()
             });
-            for id in 0..csr.len() as u32 {
-                assert_eq!(csr.top_k(id, 4), pages.top_k(id, 4), "id {id}");
-                assert_eq!(csr.within(id, 0.4), pages.within(id, 0.4), "id {id}");
+            for id in 0..packed.len() as u32 {
+                assert_eq!(packed.top_k(id, 4), csr.top_k(id, 4), "packed/csr id {id}");
+                assert_eq!(csr.top_k(id, 4), pages.top_k(id, 4), "csr/pages id {id}");
+                assert_eq!(packed.within(id, 0.4), csr.within(id, 0.4), "packed/csr id {id}");
+                assert_eq!(csr.within(id, 0.4), pages.within(id, 0.4), "csr/pages id {id}");
+                let (n_k, ng_k, _) = packed.lookup(id, LookupSpec::TopK(3), 2.0);
                 let (n_c, ng_c, _) = csr.lookup(id, LookupSpec::TopK(3), 2.0);
                 let (n_p, ng_p, _) = pages.lookup(id, LookupSpec::TopK(3), 2.0);
+                assert_eq!(n_k, n_c, "id {id}");
+                assert_eq!(ng_k, ng_c, "id {id}");
                 assert_eq!(n_c, n_p, "id {id}");
                 assert_eq!(ng_c, ng_p, "id {id}");
             }
@@ -728,7 +984,7 @@ mod tests {
             .iter()
             .map(|s| vec![s.to_string()])
             .collect();
-        for source in [PostingsSource::Csr, PostingsSource::Pages] {
+        for source in [PostingsSource::Packed, PostingsSource::Csr, PostingsSource::Pages] {
             let _serial = fuzzydedup_metrics::serial_guard();
             fuzzydedup_metrics::enable();
             let config = InvertedIndexConfig {

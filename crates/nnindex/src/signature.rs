@@ -29,6 +29,7 @@ use fuzzydedup_relation::Neighbor;
 use fuzzydedup_textdist::{record_term_set, Distance};
 
 use crate::candgen::{CandFilter, RecordMeta};
+use crate::scratch::with_scoreboard;
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
     NnIndex, PairDistanceCache, RecordView,
@@ -132,22 +133,29 @@ impl<D: Distance> MinHashIndex<D> {
     }
 
     /// Candidate ids: all records colliding with `id` in at least one
-    /// band.
+    /// band. Cross-band duplicates (near-duplicates collide in *many*
+    /// bands) are deduplicated on the epoch-stamped scoreboard — one
+    /// stamp check per collision instead of sorting the multiset — with
+    /// the query's own id excluded by pre-stamping its slot.
     fn candidates(&self, id: u32) -> Vec<u32> {
         let sig = &self.signatures[id as usize];
-        let mut out: Vec<u32> = Vec::new();
-        for (band, bucket_map) in self.buckets.iter().enumerate() {
-            let slice = &sig[band * self.config.rows..(band + 1) * self.config.rows];
-            let mut key: u64 = 0x9E37_79B9;
-            for &v in slice {
-                key = mix(key ^ v);
+        let out = with_scoreboard(|board| {
+            board.begin(self.records.len());
+            board.exclude(id);
+            for (band, bucket_map) in self.buckets.iter().enumerate() {
+                let slice = &sig[band * self.config.rows..(band + 1) * self.config.rows];
+                let mut key: u64 = 0x9E37_79B9;
+                for &v in slice {
+                    key = mix(key ^ v);
+                }
+                if let Some(ids) = bucket_map.get(&key) {
+                    for &o in ids {
+                        board.add(o, 0.0, 0);
+                    }
+                }
             }
-            if let Some(ids) = bucket_map.get(&key) {
-                out.extend(ids.iter().copied().filter(|&o| o != id));
-            }
-        }
-        out.sort_unstable();
-        out.dedup();
+            board.admitted_ids() // ascending — the stamp scan sorts
+        });
         incr(Counter::CandidatesGenerated, out.len() as u64);
         out
     }

@@ -50,7 +50,7 @@ pub use jaccard::{qgram_jaccard, token_jaccard, JaccardDistance};
 pub use jaro::{jaro, jaro_winkler, JaroWinklerDistance};
 pub use monge_elkan::MongeElkanDistance;
 pub use myers::{myers, myers_bounded, myers_bounded_chars, myers_chars};
-pub use qgram::{qgrams, record_term_set, QgramProfile, TermSet};
+pub use qgram::{merge_overlap_bound, qgrams, record_term_set, QgramProfile, TermSet};
 pub use soundex::soundex;
 pub use tokenize::{normalize, tokenize, Token};
 

@@ -3,21 +3,29 @@
 # order, with a per-stage pass/fail summary and a machine-readable
 # results/ci_summary.json.
 #
-#   scripts/ci.sh                # all stages
-#   scripts/ci.sh --fast        # tier-1 only: build + root tests
-#   scripts/ci.sh --skip-bench  # all stages except bench-smoke
-#   scripts/ci.sh --bench-only  # only the bench-smoke stage
+#   scripts/ci.sh                 # all stages
+#   scripts/ci.sh --fast          # tier-1 only: build + root tests
+#   scripts/ci.sh --skip-bench    # all stages except bench-smoke/scale-smoke
+#   scripts/ci.sh --bench-only    # only the bench-smoke stage
+#   scripts/ci.sh --stage NAME    # exactly one stage (e.g. --stage recall-smoke)
 #
 # Stages (ROADMAP.md tier-1 is build + test):
-#   build        cargo build --release
-#   fmt          cargo fmt --check
-#   clippy       cargo clippy --workspace --all-targets -- -D warnings
-#   test         cargo test -q (tier-1 root suite)
-#   test-ws      cargo test -q --workspace
-#   bench-smoke  ci_bench_gate: re-run cheap benches, fail on regression
-#                vs the committed results/BENCH_*.json baselines
-#   scale-smoke  exp_scale_1m at 50k records: the full spill-backed,
-#                work-stealing pipeline end to end on a FileDisk pool
+#   build         cargo build --release
+#   fmt           cargo fmt --check
+#   clippy        cargo clippy --workspace --all-targets -- -D warnings
+#   test          cargo test -q (tier-1 root suite)
+#   test-ws       cargo test -q --workspace
+#   recall-smoke  exp_index_recall: every index type vs the exact
+#                 nested-loop reference, with the candidate ladder
+#                 asserted recall-lossless (filtered vs
+#                 UnfilteredDistance), the three postings layouts
+#                 asserted to agree, and the prefix filter asserted
+#                 lossless for radius queries
+#   bench-smoke   ci_bench_gate: re-run cheap benches, fail on regression
+#                 vs the committed results/BENCH_*.json baselines; the
+#                 per-bench verdicts land in results/ci_summary.json
+#   scale-smoke   exp_scale_1m at 50k records: the full spill-backed,
+#                 work-stealing pipeline end to end on a FileDisk pool
 #
 # bench-smoke tolerance: the gate binary defaults to ±15%; on shared /
 # virtualized machines timing noise alone exceeds that, so this driver
@@ -29,21 +37,37 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
+all_stages=(build fmt clippy test test-ws recall-smoke bench-smoke scale-smoke)
+
 fast=0
 skip_bench=0
 bench_only=0
+only_stage=""
 case "${1:-}" in
     --fast) fast=1 ;;
     --skip-bench) skip_bench=1 ;;
     --bench-only) bench_only=1 ;;
+    --stage)
+        only_stage="${2:-}"
+        if [[ -z "$only_stage" ]]; then
+            echo "usage: scripts/ci.sh --stage <name>" >&2; exit 2
+        fi
+        known=0
+        for s in "${all_stages[@]}"; do [[ "$s" == "$only_stage" ]] && known=1; done
+        if [[ $known -eq 0 ]]; then
+            echo "ci: unknown stage '$only_stage' (stages: ${all_stages[*]})" >&2; exit 2
+        fi
+        ;;
     "") ;;
-    *) echo "usage: scripts/ci.sh [--fast|--skip-bench|--bench-only]" >&2; exit 2 ;;
+    *) echo "usage: scripts/ci.sh [--fast|--skip-bench|--bench-only|--stage <name>]" >&2; exit 2 ;;
 esac
 
 stages=()      # name
 results=()     # pass | FAIL | skipped
 seconds=()     # wall seconds per stage
 overall=0
+verdicts_json="results/ci_bench_verdicts.json"
+rm -f "$verdicts_json"
 
 run_stage() {
     local name="$1"; shift
@@ -67,46 +91,79 @@ skip_stage() {
     seconds+=(0)
 }
 
-if [[ $bench_only -eq 0 ]]; then
-    run_stage build cargo build --release
-    if [[ $fast -eq 0 ]]; then
-        run_stage fmt cargo fmt --check
-        run_stage clippy cargo clippy --workspace --all-targets -- -D warnings
-    else
-        skip_stage fmt
-        skip_stage clippy
-    fi
-    run_stage test cargo test -q
-    if [[ $fast -eq 0 ]]; then
-        run_stage test-ws cargo test -q --workspace
-    else
-        skip_stage test-ws
-    fi
-else
-    for s in build fmt clippy test test-ws; do skip_stage "$s"; done
-fi
+fail_stage() {
+    local name="$1"; shift
+    stages+=("$name")
+    results+=("FAIL")
+    seconds+=(0)
+    overall=1
+    echo "==> [$name] FAILED: $*" >&2
+}
 
-if [[ $fast -eq 1 || $skip_bench -eq 1 ]]; then
-    skip_stage bench-smoke
-    skip_stage scale-smoke
-else
-    # Build the gate quietly first so stage time reflects the benches.
-    cargo build -q --release -p fuzzydedup-bench --bin ci_bench_gate || true
-    run_stage bench-smoke env BENCH_GATE_TOLERANCE="${BENCH_GATE_TOLERANCE:-0.35}" \
-        cargo run -q --release -p fuzzydedup-bench --bin ci_bench_gate
-    # 50k-record smoke of the 1M scale-out driver: exercises the
-    # FileDisk-backed pool, the NN_Reln spill round-trip, and the
-    # work-stealing Phase 1 end to end (~1-2 min on 2 cores).
-    run_stage scale-smoke cargo run -q --release -p fuzzydedup-bench --bin exp_scale_1m -- \
-        --records 50000 --spill-threshold 10000 --out results/ci_scale_smoke.json
-fi
+# Whether a stage should run under the current flag set.
+wants() {
+    local name="$1"
+    if [[ -n "$only_stage" ]]; then
+        [[ "$name" == "$only_stage" ]]; return
+    fi
+    case "$name" in
+        build|test) [[ $bench_only -eq 0 ]] ;;
+        fmt|clippy|test-ws|recall-smoke) [[ $bench_only -eq 0 && $fast -eq 0 ]] ;;
+        bench-smoke) [[ $fast -eq 0 && $skip_bench -eq 0 ]] ;;
+        scale-smoke) [[ $bench_only -eq 0 && $fast -eq 0 && $skip_bench -eq 0 ]] ;;
+    esac
+}
+
+for stage in "${all_stages[@]}"; do
+    if ! wants "$stage"; then
+        skip_stage "$stage"
+        continue
+    fi
+    case "$stage" in
+        build) run_stage build cargo build --release ;;
+        fmt) run_stage fmt cargo fmt --check ;;
+        clippy) run_stage clippy cargo clippy --workspace --all-targets -- -D warnings ;;
+        test) run_stage test cargo test -q ;;
+        test-ws) run_stage test-ws cargo test -q --workspace ;;
+        recall-smoke)
+            # Index recall/losslessness gate: the binary's own assertions
+            # (filters lossless, postings layouts identical, prefix
+            # filter lossless) fail the stage by exiting non-zero.
+            run_stage recall-smoke cargo run -q --release -p fuzzydedup-bench \
+                --bin exp_index_recall
+            ;;
+        bench-smoke)
+            # Build the gate quietly first so stage time reflects the
+            # benches — but a broken gate build is a real failure, not
+            # something to paper over and rediscover as a confusing
+            # cargo-run error inside the stage.
+            if cargo build -q --release -p fuzzydedup-bench --bin ci_bench_gate; then
+                run_stage bench-smoke env BENCH_GATE_TOLERANCE="${BENCH_GATE_TOLERANCE:-0.35}" \
+                    cargo run -q --release -p fuzzydedup-bench --bin ci_bench_gate -- \
+                    --json-out "$verdicts_json"
+            else
+                fail_stage bench-smoke "ci_bench_gate failed to build"
+            fi
+            ;;
+        scale-smoke)
+            # 50k-record smoke of the 1M scale-out driver: exercises the
+            # FileDisk-backed pool, the NN_Reln spill round-trip, and the
+            # work-stealing Phase 1 end to end (~1-2 min on 2 cores). The
+            # JSON artifact is a scratch output — remove it so a smoke
+            # run never leaves an untracked file shadowing real results.
+            run_stage scale-smoke cargo run -q --release -p fuzzydedup-bench --bin exp_scale_1m -- \
+                --records 50000 --spill-threshold 10000 --out results/ci_scale_smoke.json
+            rm -f results/ci_scale_smoke.json
+            ;;
+    esac
+done
 
 # ---- summary table ---------------------------------------------------
 echo
-echo "stage        result   wall(s)"
-echo "-----------  -------  -------"
+echo "stage         result   wall(s)"
+echo "------------  -------  -------"
 for i in "${!stages[@]}"; do
-    printf '%-12s %-8s %6ss\n' "${stages[$i]}" "${results[$i]}" "${seconds[$i]}"
+    printf '%-13s %-8s %6ss\n' "${stages[$i]}" "${results[$i]}" "${seconds[$i]}"
 done
 if [[ $overall -eq 0 ]]; then
     echo "ci: OK"
@@ -125,9 +182,17 @@ mkdir -p results
         [[ $i -eq $((${#stages[@]} - 1)) ]] && sep=''
         echo "    {\"name\": \"${stages[$i]}\", \"result\": \"${results[$i]}\", \"wall_s\": ${seconds[$i]}}$sep"
     done
-    echo '  ]'
+    # bench-smoke's per-bench verdicts (name, baseline/fresh min_ns,
+    # delta, verdict), merged verbatim from ci_bench_gate --json-out.
+    if [[ -s "$verdicts_json" ]]; then
+        echo '  ],'
+        echo "  \"bench\": $(cat "$verdicts_json")"
+    else
+        echo '  ]'
+    fi
     echo '}'
 } > results/ci_summary.json
+rm -f "$verdicts_json"
 echo "ci summary -> results/ci_summary.json"
 
 exit $overall
