@@ -1,0 +1,95 @@
+//! Criterion bench: Phase 1 with pivot-anchored triangle-inequality
+//! pruning — the tentpole claim of the pivot-pruning PR.
+//!
+//! Emits `results/BENCH_phase1_pivot.json`. Four rows over the same
+//! 10k-record Org corpus, edit distance, CSR inverted index, TopK(5) as
+//! `bench_phase1_batch` (whose committed `batched_steal` row is the
+//! baseline the acceptance claim is measured against):
+//!
+//! - `no_pivots` — the sequential batched lane with the pivot layer off
+//!   (identical configuration to `bench_phase1_batch`'s `batched` row;
+//!   re-measured here so the pivot delta is visible inside one artifact).
+//! - `pivots` — the same lane with a 16-anchor pivot table: candidates
+//!   failing the triangle lower bound skip the Myers kernel, and the
+//!   per-lookup upper bounds warm-start the running cutoff.
+//! - `no_pivot_steal` — work-stealing parallel Phase 1 (`threads = 0`),
+//!   pivots off — the committed `batched_steal` configuration.
+//! - `pivot_steal` — pivots plus work-stealing: the headline row the
+//!   ≥1.25× acceptance claim compares against `batched_steal`.
+//!
+//! Before timing starts the NN relation is asserted bit-identical with
+//! pivots on and off (the triangle bound only rejects candidates the
+//! kernel would reject — see `fuzzydedup_nnindex::pivot`), and the
+//! `PivotLbSkips` counter is asserted to actually fire on this corpus.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fuzzydedup_core::{compute_nn_reln, compute_nn_reln_parallel_cached, NeighborSpec};
+use fuzzydedup_datagen::{org, DatasetSpec};
+use fuzzydedup_metrics::{snapshot, Counter};
+use fuzzydedup_nnindex::{InvertedIndex, InvertedIndexConfig, LookupOrder};
+use fuzzydedup_storage::{BufferPool, BufferPoolConfig, InMemoryDisk};
+use fuzzydedup_textdist::EditDistance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CORPUS: usize = 10_000;
+const PIVOTS: usize = 16;
+
+fn build_index(records: Vec<Vec<String>>, pivots: usize) -> InvertedIndex<EditDistance> {
+    let pool = Arc::new(BufferPool::new(
+        BufferPoolConfig::with_capacity(4096),
+        Arc::new(InMemoryDisk::new()),
+    ));
+    let config = InvertedIndexConfig { pivots, ..Default::default() };
+    InvertedIndex::build(records, EditDistance, pool, config)
+}
+
+fn bench_phase1_pivot(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let dataset = org::generate(&mut rng, DatasetSpec::with_entities(8200));
+    let mut records = dataset.records;
+    assert!(records.len() >= CORPUS, "need {CORPUS} records, got {}", records.len());
+    records.truncate(CORPUS);
+
+    let plain_index = build_index(records.clone(), 0);
+    let pivot_index = build_index(records, PIVOTS);
+    let spec = NeighborSpec::TopK(5);
+    let order = LookupOrder::breadth_first();
+
+    // Sanity before timing: the pivot layer is lossless (bit-identical
+    // relation sequentially and under work-stealing) and actually prunes
+    // on this corpus (a bound that never fires would "win" any benchmark
+    // by measuring nothing).
+    let before = snapshot();
+    let (base, _) = compute_nn_reln(&plain_index, spec, order, 2.0);
+    let (pruned, _) = compute_nn_reln(&pivot_index, spec, order, 2.0);
+    assert_eq!(base, pruned, "pivot pruning changed the NN relation");
+    let (stolen, _) = compute_nn_reln_parallel_cached(&pivot_index, spec, 2.0, 0, None);
+    assert_eq!(base, stolen, "pivot pruning + work stealing changed the NN relation");
+    let delta = snapshot().delta(&before);
+    assert!(delta.get(Counter::PivotLbSkips) > 0, "the triangle bound never fired");
+
+    // Each iteration is a full 10k-record Phase 1 (seconds, not micros);
+    // 5 samples keeps wall time tolerable while the worst-window baseline
+    // protocol absorbs the extra min_ns jitter.
+    let mut group = c.benchmark_group("phase1_pivot");
+    group.sample_size(5);
+    group.bench_function("no_pivots", |b| {
+        b.iter(|| black_box(compute_nn_reln(&plain_index, spec, order, 2.0)))
+    });
+    group.bench_function("pivots", |b| {
+        b.iter(|| black_box(compute_nn_reln(&pivot_index, spec, order, 2.0)))
+    });
+    group.bench_function("no_pivot_steal", |b| {
+        b.iter(|| black_box(compute_nn_reln_parallel_cached(&plain_index, spec, 2.0, 0, None)))
+    });
+    group.bench_function("pivot_steal", |b| {
+        b.iter(|| black_box(compute_nn_reln_parallel_cached(&pivot_index, spec, 2.0, 0, None)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase1_pivot);
+criterion_main!(benches);

@@ -36,6 +36,7 @@ const CHEAP_BENCHES: &[&str] = &[
     "bench_candidates",
     "bench_phase1_cache",
     "bench_phase1_batch",
+    "bench_phase1_pivot",
     "bench_phase2",
 ];
 
@@ -47,6 +48,7 @@ const GATED_ARTIFACTS: &[&str] = &[
     "BENCH_candidates.json",
     "BENCH_phase1_cache.json",
     "BENCH_phase1_batch.json",
+    "BENCH_phase1_pivot.json",
     "BENCH_phase2.json",
 ];
 

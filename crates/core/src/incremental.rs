@@ -321,6 +321,55 @@ mod tests {
     }
 
     #[test]
+    fn pivots_do_not_change_incremental_results() {
+        // Counter-backed assertion: serialize against other metric tests.
+        let _serial = fuzzydedup_metrics::serial_guard();
+        let with_pivots = || {
+            IncrementalDedup::new(
+                EditDistance,
+                DynamicIndexConfig { pivots: 5, ..Default::default() },
+                CutSpec::Size(4),
+                Aggregation::Max,
+                4.0,
+            )
+            .unwrap()
+        };
+        // Permuted-token triples: same gram multiset (invisible to the
+        // count filter) but far in edit distance, so the triangle bound
+        // has real work to do; appended in batches so the pivot table
+        // extends incrementally.
+        let batches: Vec<Vec<Vec<String>>> = (0..4)
+            .map(|b| {
+                (0..3)
+                    .flat_map(|g| {
+                        let g = b * 3 + g;
+                        [
+                            vec![format!("alpha bravo charlie delta {g:02}")],
+                            vec![format!("alpha bravo charlie detla {g:02}")],
+                            vec![format!("delta charlie bravo alpha {g:02}")],
+                        ]
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut plain = fresh();
+        let mut pruned = with_pivots();
+        let before = fuzzydedup_metrics::snapshot();
+        for batch in &batches {
+            plain.insert_batch(batch.clone());
+            pruned.insert_batch(batch.clone());
+            assert_eq!(plain.partition(), pruned.partition());
+            assert_eq!(plain.nn_reln(), pruned.nn_reln());
+        }
+        let d = fuzzydedup_metrics::snapshot().delta(&before);
+        assert!(
+            d.get(fuzzydedup_metrics::Counter::PivotLbSkips) > 0,
+            "the triangle bound must fire on permuted candidates"
+        );
+        assert!(d.get(fuzzydedup_metrics::Counter::PivotTableBuildNs) > 0, "pushes were timed");
+    }
+
+    #[test]
     fn refresh_counts_are_bounded_by_corpus() {
         let mut inc = fresh();
         inc.insert_batch((0..20).map(|i| vec![format!("record {i:02}")]));

@@ -18,6 +18,7 @@ use fuzzydedup_relation::Neighbor;
 use fuzzydedup_textdist::{record_string, record_term_set, Distance};
 
 use crate::candgen::{select_top_candidates, CandFilter, RecordMeta};
+use crate::pivot::PivotTable;
 use crate::scratch::with_scoreboard;
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
@@ -39,6 +40,12 @@ pub struct DynamicIndexConfig {
     pub max_df_fraction: f64,
     /// Stop-gram document-frequency floor.
     pub stop_df_floor: u32,
+    /// Pivots for LAESA-style triangle-inequality pruning (0 = off). The
+    /// first `pivots` pushed records become the pivots; the table extends
+    /// with every append. Only takes effect when the distance reports
+    /// [`Distance::admits_metric_pruning`] and is record-string
+    /// invariant; otherwise the layer degrades to a no-op.
+    pub pivots: usize,
 }
 
 impl Default for DynamicIndexConfig {
@@ -49,6 +56,7 @@ impl Default for DynamicIndexConfig {
             candidate_limit: 256,
             max_df_fraction: 0.2,
             stop_df_floor: 100,
+            pivots: 0,
         }
     }
 }
@@ -66,6 +74,10 @@ pub struct DynamicInvertedIndex<D> {
     /// Pre-joined normalized record strings, maintained on `push` when the
     /// distance is [`Distance::record_string_invariant`] (`None` otherwise).
     norm: Option<Vec<String>>,
+    /// Pivot-distance table, extended on every `push`; present only when
+    /// `config.pivots > 0`, the distance admits metric pruning, and the
+    /// norm cache exists to feed it.
+    pivot: Option<PivotTable>,
 }
 
 impl<D: Distance> DynamicInvertedIndex<D> {
@@ -73,6 +85,11 @@ impl<D: Distance> DynamicInvertedIndex<D> {
     pub fn new(distance: D, config: DynamicIndexConfig) -> Self {
         let filter_ok = distance.admits_qgram_filter();
         let norm = distance.record_string_invariant().then(Vec::new);
+        let pivot = if norm.is_some() && distance.admits_metric_pruning() {
+            PivotTable::new_dynamic(config.pivots)
+        } else {
+            None
+        };
         Self {
             records: Vec::new(),
             distance,
@@ -81,6 +98,7 @@ impl<D: Distance> DynamicInvertedIndex<D> {
             meta: Vec::new(),
             filter_ok,
             norm,
+            pivot,
         }
     }
 
@@ -94,7 +112,13 @@ impl<D: Distance> DynamicInvertedIndex<D> {
         }
         self.meta.push(RecordMeta { chars: ts.chars, grams: ts.gram_total });
         if let Some(norm) = &mut self.norm {
-            norm.push(record_string(&fields));
+            let joined = record_string(&fields);
+            if let Some(pivot) = &mut self.pivot {
+                let start = std::time::Instant::now();
+                pivot.push(&joined);
+                incr(Counter::PivotTableBuildNs, start.elapsed().as_nanos() as u64);
+            }
+            norm.push(joined);
         }
         self.records.push(record);
         id
@@ -201,6 +225,7 @@ impl<D: Distance> DynamicInvertedIndex<D> {
     fn answer(&self, id: u32, spec: LookupSpec) -> Vec<Neighbor> {
         let gathered = self.gather(id, self.config.candidate_limit);
         let filter = self.make_filter(id, &gathered);
+        let pivot = self.pivot.as_ref().map(|t| t.query(id));
         let (verified, _) = verify_candidates_bounded(
             &self.distance,
             self.record_view(),
@@ -209,6 +234,7 @@ impl<D: Distance> DynamicInvertedIndex<D> {
             spec,
             1.0,
             filter.as_ref(),
+            pivot.as_ref(),
             None,
         );
         verified
@@ -254,6 +280,7 @@ impl<D: Distance> NnIndex for DynamicInvertedIndex<D> {
     ) -> (Vec<Neighbor>, f64, LookupCost) {
         let gathered = self.gather(id, self.config.candidate_limit);
         let filter = self.make_filter(id, &gathered);
+        let pivot = self.pivot.as_ref().map(|t| t.query(id));
         let (verified, attempted) = verify_candidates_bounded(
             &self.distance,
             self.record_view(),
@@ -262,6 +289,7 @@ impl<D: Distance> NnIndex for DynamicInvertedIndex<D> {
             spec,
             p,
             filter.as_ref(),
+            pivot.as_ref(),
             cache,
         );
         lookup_from_verified(verified, gathered.generated, attempted, spec, p)
@@ -360,6 +388,40 @@ mod tests {
         assert!(ng >= 2.0);
         assert_eq!(cost.probes, 1);
         assert!(cost.distance_calls <= cost.candidates);
+    }
+
+    #[test]
+    fn pivot_pruning_is_lossless_across_appends() {
+        let records: Vec<String> = (0..50)
+            .map(|i| match i % 3 {
+                0 => format!("golden dragon palace branch {:02}", i / 3),
+                1 => format!("golden drgon palace branch {:02}", i / 3),
+                _ => format!("completely unrelated payload row {i:03}"),
+            })
+            .collect();
+        let base = DynamicIndexConfig { candidate_limit: 0, ..Default::default() };
+        let mut plain = DynamicInvertedIndex::new(EditDistance, base.clone());
+        let mut pruned =
+            DynamicInvertedIndex::new(EditDistance, DynamicIndexConfig { pivots: 6, ..base });
+        for (step, r) in records.iter().enumerate() {
+            plain.push(vec![r.clone()]);
+            pruned.push(vec![r.clone()]);
+            // Interleave queries with appends: the table must stay
+            // consistent at every growth stage, not just at the end.
+            if step % 7 == 0 {
+                let id = (step / 2) as u32;
+                assert_eq!(plain.top_k(id, 3), pruned.top_k(id, 3), "step {step}");
+            }
+        }
+        assert!(pruned.pivot.is_some());
+        assert_eq!(pruned.pivot.as_ref().unwrap().num_pivots(), 6);
+        for id in 0..plain.len() as u32 {
+            assert_eq!(plain.top_k(id, 5), pruned.top_k(id, 5), "id {id}");
+            assert_eq!(plain.within(id, 0.3), pruned.within(id, 0.3), "id {id}");
+            let (n_a, ng_a, _) = plain.lookup(id, LookupSpec::TopK(3), 2.0);
+            let (n_b, ng_b, _) = pruned.lookup(id, LookupSpec::TopK(3), 2.0);
+            assert_eq!((n_a, ng_a), (n_b, ng_b), "id {id}");
+        }
     }
 
     #[test]

@@ -46,6 +46,7 @@ use fuzzydedup_storage::{BufferPool, HeapFile, RecordId};
 use fuzzydedup_textdist::{merge_overlap_bound, record_string, record_term_set, Distance};
 
 use crate::candgen::{select_top_candidates, CandFilter, CsrPostings, PackedPostings, RecordMeta};
+use crate::pivot::PivotTable;
 use crate::scratch::{with_merge_stage, with_scoreboard, with_scored, StageRun};
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
@@ -135,6 +136,12 @@ pub struct InvertedIndexConfig {
     /// proxies can cost verification-time count-filter prunes and, under
     /// a `candidate_limit`, reorder which candidates are kept.
     pub prefix_filter: bool,
+    /// Pivots for LAESA-style triangle-inequality pruning (0 = off).
+    /// Only takes effect when the distance reports
+    /// [`Distance::admits_metric_pruning`] *and* is record-string
+    /// invariant (the table is built over the normalized record strings);
+    /// otherwise the layer degrades to a no-op.
+    pub pivots: usize,
 }
 
 impl Default for InvertedIndexConfig {
@@ -148,6 +155,7 @@ impl Default for InvertedIndexConfig {
             chunk_size: 256,
             postings_source: PostingsSource::Packed,
             prefix_filter: false,
+            pivots: 0,
         }
     }
 }
@@ -196,6 +204,10 @@ pub struct InvertedIndex<D> {
     postings: HeapFile,
     /// Whether the distance admits the q-gram pruning filters.
     filter_ok: bool,
+    /// Pivot-distance table for triangle-inequality pruning; present only
+    /// when `config.pivots > 0`, the distance admits metric pruning, and
+    /// the normalized record strings exist to build it over.
+    pivot: Option<PivotTable>,
 }
 
 /// Result of one candidate gather, ready for verification.
@@ -275,7 +287,7 @@ impl<D: Distance> InvertedIndex<D> {
             meta.push(RecordMeta { chars: ts.chars, grams: ts.gram_total });
         }
         let filter_ok = distance.admits_qgram_filter();
-        let norm = distance.record_string_invariant().then(|| {
+        let norm: Option<Vec<String>> = distance.record_string_invariant().then(|| {
             records
                 .iter()
                 .map(|record| {
@@ -284,6 +296,18 @@ impl<D: Distance> InvertedIndex<D> {
                 })
                 .collect()
         });
+        // The pivot table speaks raw Levenshtein over the normalized
+        // record strings, so it needs both the metric capability and the
+        // norm cache; absent either, pruning silently stays off.
+        let pivot = match &norm {
+            Some(norm) if config.pivots > 0 && distance.admits_metric_pruning() => {
+                let start = std::time::Instant::now();
+                let table = PivotTable::build(norm, config.pivots, 0);
+                incr(Counter::PivotTableBuildNs, start.elapsed().as_nanos() as u64);
+                table
+            }
+            _ => None,
+        };
         Self {
             records,
             distance,
@@ -297,6 +321,7 @@ impl<D: Distance> InvertedIndex<D> {
             norm,
             postings,
             filter_ok,
+            pivot,
         }
     }
 
@@ -729,6 +754,7 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
     fn top_k(&self, id: u32, k: usize) -> Vec<Neighbor> {
         let gathered = self.gather(id, None);
         let filter = self.make_filter(id, &gathered);
+        let pivot = self.pivot.as_ref().map(|t| t.query(id));
         let (mut verified, _) = verify_candidates_bounded(
             &self.distance,
             self.record_view(),
@@ -737,6 +763,7 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
             LookupSpec::TopK(k),
             1.0,
             filter.as_ref(),
+            pivot.as_ref(),
             None,
         );
         sort_neighbors(&mut verified);
@@ -747,6 +774,7 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
     fn within(&self, id: u32, radius: f64) -> Vec<Neighbor> {
         let gathered = self.gather(id, Some(radius));
         let filter = self.make_filter(id, &gathered);
+        let pivot = self.pivot.as_ref().map(|t| t.query(id));
         let (mut verified, _) = verify_candidates_bounded(
             &self.distance,
             self.record_view(),
@@ -755,6 +783,7 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
             LookupSpec::Radius(radius),
             1.0,
             filter.as_ref(),
+            pivot.as_ref(),
             None,
         );
         verified.retain(|n| n.dist < radius);
@@ -780,6 +809,7 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
     ) -> (Vec<Neighbor>, f64, LookupCost) {
         let gathered = self.gather(id, None);
         let filter = self.make_filter(id, &gathered);
+        let pivot = self.pivot.as_ref().map(|t| t.query(id));
         let (verified, attempted) = verify_candidates_bounded(
             &self.distance,
             self.record_view(),
@@ -788,6 +818,7 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
             spec,
             p,
             filter.as_ref(),
+            pivot.as_ref(),
             cache,
         );
         lookup_from_verified(verified, gathered.generated, attempted, spec, p)
@@ -1133,6 +1164,50 @@ mod tests {
         assert_eq!(idx.csr.postings(tid).len(), 300, "CSR mirrors the page postings");
         // And the index still answers queries.
         assert!(!idx.top_k(0, 2).is_empty());
+    }
+
+    #[test]
+    fn pivot_pruning_is_lossless_and_fires() {
+        // Counters are process-global: serialize for the lb_skips check.
+        let _serial = fuzzydedup_metrics::serial_guard();
+        fuzzydedup_metrics::enable();
+        // Each group holds a near-duplicate pair plus a token *permutation*
+        // of it: the permutation shares the pair's gram multiset (so the
+        // q-gram count filter cannot prune it) but sits far away in edit
+        // distance — exactly the candidate only the triangle bound can
+        // reject once the near-dupe has tightened the cutoff.
+        let records: Vec<Vec<String>> = (0..60)
+            .map(|i| {
+                let g = i / 3;
+                let s = match i % 3 {
+                    0 => format!("alpha bravo charlie delta {g:02}"),
+                    1 => format!("alpha bravo charlie detla {g:02}"),
+                    _ => format!("delta charlie bravo alpha {g:02}"),
+                };
+                vec![s]
+            })
+            .collect();
+        let base = InvertedIndexConfig { candidate_limit: 0, ..Default::default() };
+        let plain = build_records(records.clone(), base.clone());
+        let pruned = build_records(records, InvertedIndexConfig { pivots: 8, ..base });
+        assert!(pruned.pivot.is_some(), "edit distance admits metric pruning");
+        let before = fuzzydedup_metrics::snapshot();
+        for id in 0..plain.len() as u32 {
+            assert_eq!(plain.top_k(id, 5), pruned.top_k(id, 5), "top_k id {id}");
+            assert_eq!(plain.within(id, 0.3), pruned.within(id, 0.3), "within id {id}");
+            for spec in [LookupSpec::TopK(3), LookupSpec::Radius(0.25)] {
+                let (n_a, ng_a, _) = plain.lookup(id, spec, 2.0);
+                let (n_b, ng_b, _) = pruned.lookup(id, spec, 2.0);
+                assert_eq!(n_a, n_b, "id {id} {spec:?}");
+                assert_eq!(ng_a, ng_b, "id {id} {spec:?}");
+            }
+        }
+        let delta = fuzzydedup_metrics::snapshot().delta(&before);
+        assert!(
+            delta.get(Counter::PivotLbSkips) > 0,
+            "the triangle bound must reject some far candidates"
+        );
+        assert!(delta.get(Counter::PivotQueryDists) > 0);
     }
 
     /// Delegates to [`EditDistance`] but opts out of the normalized-record

@@ -96,6 +96,7 @@ impl<D: Distance> NnIndex for NestedLoopIndex<D> {
             spec,
             p,
             None,
+            None,
             cache,
         );
         lookup_from_verified(verified, generated, attempted, spec, p)

@@ -1,0 +1,432 @@
+//! LAESA-style pivot-distance table for triangle-inequality pruning.
+//!
+//! Raw Levenshtein distance over the normalized record strings is a true
+//! metric, so for any pivot `p` and records `q`, `c`:
+//!
+//! ```text
+//!   |lev(q,p) − lev(c,p)|  ≤  lev(q,c)  ≤  lev(q,p) + lev(c,p)
+//! ```
+//!
+//! At index build we pick `P` pivots by farthest-point (max-min) sampling
+//! and precompute the `n × P` table of raw pivot distances through the
+//! batched lock-step kernel, sharded across worker threads by the same
+//! work-stealing idiom as the Phase-1 driver. At lookup the query's row
+//! gives `lev(q, p_j)` for free, and each candidate costs `P` subtractions
+//! to bound from both sides — a lower bound that can reject the candidate
+//! before any Myers call, and an upper bound that warm-starts the running
+//! cutoff.
+//!
+//! The bounds are over *raw* edit counts; callers normalize against
+//! `max(|q|, |c|)` chars to compare with the pipeline's normalized
+//! cutoffs, mirroring the bounded kernel's own rounding
+//! (`raw_bound = ceil(cutoff · max_chars)` accepts `raw/max ≤ cutoff`),
+//! so pruning on `lb_raw/max_chars > cutoff` is exactly lossless.
+//!
+//! Gating on [`Distance::admits_metric_pruning`] is the caller's job: the
+//! table itself only ever speaks raw Levenshtein over whatever strings it
+//! was given.
+
+use fuzzydedup_metrics::{incr, Counter};
+use fuzzydedup_textdist::PreparedPattern;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Work-stealing block size for the column builds: the same shaping rule
+/// as the Phase-1 sharder (`core::parallel`), small enough to rebalance
+/// across skewed string lengths, large enough to amortize the steal.
+fn steal_block(n: usize, threads: usize) -> usize {
+    n.div_ceil(threads * 8).clamp(1, 1024)
+}
+
+/// Worker-count resolution, mirroring `core::parallel::resolve_threads`
+/// (`core` depends on this crate, so the five lines are replicated rather
+/// than imported): `0` means all available cores, and the result is
+/// clamped to `[1, n_items]`.
+fn resolve_threads(n_threads: usize, n_items: usize) -> usize {
+    let requested = if n_threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        n_threads
+    };
+    requested.max(1).min(n_items.max(1))
+}
+
+/// One column of raw Levenshtein distances from `pivot` to every string
+/// in `norm`, sharded across `threads` workers. Each worker compiles its
+/// own [`PreparedPattern`] (the pattern bit-vectors are query-side state)
+/// and streams its blocks through `bounded_batch` with a per-request
+/// bound of `max(|pivot|, |text|)` — never exceeded by Levenshtein, so no
+/// request is rejected and every lane runs lock-step.
+fn pivot_column(pivot_chars: &[char], norm: &[String], threads: usize) -> Vec<u32> {
+    let n = norm.len();
+    let plen = pivot_chars.len();
+    let threads = resolve_threads(threads, n);
+    if threads <= 1 {
+        let mut pattern = PreparedPattern::new(pivot_chars.to_vec());
+        return column_block(&mut pattern, plen, norm, 0, n);
+    }
+    let block = steal_block(n, threads);
+    let next = AtomicUsize::new(0);
+    let parts: Mutex<Vec<(usize, Vec<u32>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut pattern = PreparedPattern::new(pivot_chars.to_vec());
+                let mut local: Vec<(usize, Vec<u32>)> = Vec::new();
+                loop {
+                    let start = next.fetch_add(block, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + block).min(n);
+                    local.push((start, column_block(&mut pattern, plen, norm, start, end)));
+                }
+                parts.lock().unwrap().append(&mut local);
+            });
+        }
+    });
+    let mut column = vec![0u32; n];
+    for (start, part) in parts.into_inner().unwrap() {
+        column[start..start + part.len()].copy_from_slice(&part);
+    }
+    column
+}
+
+/// Distances from one compiled pivot pattern to `norm[start..end]`.
+fn column_block(
+    pattern: &mut PreparedPattern,
+    plen: usize,
+    norm: &[String],
+    start: usize,
+    end: usize,
+) -> Vec<u32> {
+    let texts: Vec<Vec<char>> = norm[start..end].iter().map(|s| s.chars().collect()).collect();
+    let requests: Vec<(&[char], usize)> =
+        texts.iter().map(|t| (t.as_slice(), plen.max(t.len()))).collect();
+    let mut out = Vec::with_capacity(requests.len());
+    pattern.bounded_batch(&requests, &mut out);
+    out.into_iter()
+        .map(|d| d.expect("levenshtein cannot exceed max(|pattern|, |text|)") as u32)
+        .collect()
+}
+
+/// The `n × P` pivot-distance table (row-major: `table[i·P .. i·P+P]` is
+/// record `i`'s distances to the `P` pivots, contiguous so the
+/// per-candidate bound scan stays in one cache line for small `P`).
+#[derive(Debug)]
+pub struct PivotTable {
+    /// Record ids of the chosen pivots (diagnostic / test surface).
+    pivots: Vec<u32>,
+    /// Char decomposition of each pivot's normalized string, kept for
+    /// dynamic appends (each pushed record needs `P` fresh distances).
+    pivot_chars: Vec<Vec<char>>,
+    /// Row-major `n × P` raw Levenshtein distances.
+    table: Vec<u32>,
+    /// Char count of each record's normalized string, the denominator
+    /// for normalizing raw bounds.
+    chars: Vec<u32>,
+    /// Pivot count still wanted by a dynamic table (`pivots.len()` keeps
+    /// growing with the first pushes until it reaches this target).
+    target: usize,
+}
+
+impl PivotTable {
+    /// Build a static table over `norm` with `pivot_count` pivots picked
+    /// by farthest-point sampling: pivot 0 is record 0, and each further
+    /// pivot is the record maximizing its minimum distance to the pivots
+    /// chosen so far (smallest id wins ties — deterministic). Returns
+    /// `None` when `pivot_count == 0` or the corpus is empty.
+    pub fn build(norm: &[String], pivot_count: usize, threads: usize) -> Option<PivotTable> {
+        let n = norm.len();
+        if pivot_count == 0 || n == 0 {
+            return None;
+        }
+        let pivot_count = pivot_count.min(n);
+        let mut pivots: Vec<u32> = Vec::with_capacity(pivot_count);
+        let mut pivot_chars: Vec<Vec<char>> = Vec::with_capacity(pivot_count);
+        let mut columns: Vec<Vec<u32>> = Vec::with_capacity(pivot_count);
+        // min over chosen pivots of each record's pivot distance — the
+        // farthest-point objective.
+        let mut min_dist = vec![u32::MAX; n];
+        let mut next_pivot = 0usize;
+        for _ in 0..pivot_count {
+            let chars: Vec<char> = norm[next_pivot].chars().collect();
+            let column = pivot_column(&chars, norm, threads);
+            pivots.push(next_pivot as u32);
+            pivot_chars.push(chars);
+            let mut best = usize::MAX;
+            let mut best_dist = 0u32;
+            for (i, (&d, slot)) in column.iter().zip(min_dist.iter_mut()).enumerate() {
+                *slot = (*slot).min(d);
+                // Strictly-greater keeps the smallest id on ties; chosen
+                // pivots have min_dist == 0 and never win (unless every
+                // record is already a chosen pivot's duplicate, where any
+                // repeat pick is harmless — the loop is length-bounded).
+                if best == usize::MAX || *slot > best_dist {
+                    best = i;
+                    best_dist = *slot;
+                }
+            }
+            columns.push(column);
+            next_pivot = best;
+        }
+        // Interleave the columns into the row-major table.
+        let p = pivots.len();
+        let mut table = vec![0u32; n * p];
+        for (j, column) in columns.iter().enumerate() {
+            for (i, &d) in column.iter().enumerate() {
+                table[i * p + j] = d;
+            }
+        }
+        let chars = norm.iter().map(|s| s.chars().count() as u32).collect();
+        Some(PivotTable { pivots, pivot_chars, table, chars, target: p })
+    }
+
+    /// Start an empty dynamic table that will adopt the first
+    /// `min(target, n)` pushed records as its pivots. Returns `None` for
+    /// `target == 0` (pruning disabled).
+    pub fn new_dynamic(target: usize) -> Option<PivotTable> {
+        (target > 0).then(|| PivotTable {
+            pivots: Vec::new(),
+            pivot_chars: Vec::new(),
+            table: Vec::new(),
+            chars: Vec::new(),
+            target,
+        })
+    }
+
+    /// Extend the table with one appended record (the dynamic index's
+    /// `push`). While the pivot set is still filling, every record seen
+    /// so far *is* a pivot (pivots are the first `target` pushed
+    /// records), so the new record becomes pivot `r`: its `r` distances
+    /// to the existing pivots serve, by symmetry, both as the new table
+    /// column and as the new row — O(P²) raw distances in total across
+    /// the first `P` pushes. Once the set is full, each push costs
+    /// exactly `P` prepared distance calls against the stored pivot
+    /// char decompositions.
+    pub fn push(&mut self, norm: &str) {
+        let r = self.chars.len();
+        let chars: Vec<char> = norm.chars().collect();
+        let mut pattern = PreparedPattern::new(chars.clone());
+        let p_old = self.pivots.len();
+        // Distances from the new record to every existing pivot.
+        let dists: Vec<u32> =
+            self.pivot_chars.iter().map(|pc| pattern.distance(pc) as u32).collect();
+        if p_old < self.target {
+            // While filling, the old table is r rows × r columns and
+            // record r becomes pivot r: rebuild row-major as
+            // (r+1) × (r+1), interleaving `dists` as the new column.
+            debug_assert_eq!(p_old, r, "while filling, every record is a pivot");
+            let p_new = p_old + 1;
+            let mut table = vec![0u32; (r + 1) * p_new];
+            for i in 0..r {
+                table[i * p_new..i * p_new + p_old]
+                    .copy_from_slice(&self.table[i * p_old..(i + 1) * p_old]);
+                table[i * p_new + p_old] = dists[i];
+            }
+            table[r * p_new..r * p_new + p_old].copy_from_slice(&dists);
+            // d(new, new) = 0, already zeroed.
+            self.table = table;
+            self.pivots.push(r as u32);
+            self.pivot_chars.push(chars.clone());
+        } else {
+            self.table.extend_from_slice(&dists);
+        }
+        self.chars.push(chars.len() as u32);
+    }
+
+    /// Number of pivots currently in the table.
+    pub fn num_pivots(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// Record ids of the chosen pivots.
+    pub fn pivot_ids(&self) -> &[u32] {
+        &self.pivots
+    }
+
+    /// Number of records covered by the table.
+    pub fn num_records(&self) -> usize {
+        self.chars.len()
+    }
+
+    /// Per-lookup pruning context for query record `id`: borrows the
+    /// query's table row so each candidate bound is `P` subtractions.
+    /// Counts the row as `P` query-pivot distances served.
+    pub fn query(&self, id: u32) -> PivotQuery<'_> {
+        let p = self.pivots.len();
+        incr(Counter::PivotQueryDists, p as u64);
+        let row = (id as usize) * p;
+        PivotQuery { table: self, row }
+    }
+}
+
+/// Borrowed per-lookup pruning context: the query's pivot-distance row.
+#[derive(Debug, Clone, Copy)]
+pub struct PivotQuery<'a> {
+    table: &'a PivotTable,
+    row: usize,
+}
+
+impl PivotQuery<'_> {
+    /// Raw triangle bounds for candidate `c`:
+    /// `(max_j |q_j − c_j|, min_j (q_j + c_j))`.
+    #[inline]
+    pub fn bounds(&self, c: u32) -> (u32, u32) {
+        let p = self.table.pivots.len();
+        let qrow = &self.table.table[self.row..self.row + p];
+        let crow_start = (c as usize) * p;
+        let crow = &self.table.table[crow_start..crow_start + p];
+        let mut lb = 0u32;
+        let mut ub = u32::MAX;
+        for (&q, &c) in qrow.iter().zip(crow.iter()) {
+            lb = lb.max(q.abs_diff(c));
+            ub = ub.min(q + c);
+        }
+        (lb, ub)
+    }
+
+    /// Char count of record `i`'s normalized string (the normalization
+    /// denominator for raw bounds).
+    #[inline]
+    pub fn chars(&self, i: u32) -> u32 {
+        self.table.chars[i as usize]
+    }
+
+    /// Pull candidate `c`'s table row toward L1 ahead of its
+    /// [`PivotQuery::bounds`] scan — the verification prepass knows the
+    /// whole candidate list upfront, and the row reads are its only
+    /// unpredictable loads. One hint per 64-byte line of the row.
+    #[inline]
+    pub fn prefetch(&self, c: u32) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: prefetch is a hint; any address is safe to pass. The
+        // row is in-bounds anyway (candidate ids index the table).
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let p = self.table.pivots.len();
+            let base = self.table.table.as_ptr().add((c as usize) * p);
+            let mut off = 0usize;
+            while off < p {
+                _mm_prefetch(base.add(off).cast::<i8>(), _MM_HINT_T0);
+                off += 16; // 16 `u32` distances per cache line
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = c;
+    }
+
+    /// Number of pivots backing the bounds.
+    pub fn num_pivots(&self) -> usize {
+        self.table.pivots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<String> {
+        vec![
+            "kangaroo court".into(),
+            "kangaroo courts".into(),
+            "zebra crossing".into(),
+            "aardvark".into(),
+            "kangaroo".into(),
+            "".into(),
+        ]
+    }
+
+    fn raw_lev(a: &str, b: &str) -> u32 {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        fuzzydedup_textdist::myers_chars(&a, &b) as u32
+    }
+
+    #[test]
+    fn table_matches_direct_distances() {
+        let norm = corpus();
+        let table = PivotTable::build(&norm, 3, 1).unwrap();
+        assert_eq!(table.num_pivots(), 3);
+        for (j, &p) in table.pivot_ids().iter().enumerate() {
+            for i in 0..norm.len() {
+                let expect = raw_lev(&norm[i], &norm[p as usize]);
+                assert_eq!(table.table[i * 3 + j], expect, "record {i} pivot {j} (id {p})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let norm: Vec<String> =
+            (0..300).map(|i| format!("record number {} street {}", i % 37, i % 11)).collect();
+        let serial = PivotTable::build(&norm, 4, 1).unwrap();
+        let parallel = PivotTable::build(&norm, 4, 4).unwrap();
+        assert_eq!(serial.pivots, parallel.pivots);
+        assert_eq!(serial.table, parallel.table);
+    }
+
+    #[test]
+    fn farthest_point_picks_are_deterministic_and_spread() {
+        let norm = corpus();
+        let table = PivotTable::build(&norm, 3, 1).unwrap();
+        assert_eq!(table.pivot_ids()[0], 0, "first pivot is record 0");
+        let a = PivotTable::build(&norm, 3, 1).unwrap();
+        assert_eq!(a.pivots, table.pivots, "deterministic");
+        // The second pivot maximizes distance to record 0.
+        let d0: Vec<u32> = norm.iter().map(|s| raw_lev(s, &norm[0])).collect();
+        let max = d0.iter().max().unwrap();
+        assert_eq!(d0[table.pivot_ids()[1] as usize], *max);
+    }
+
+    #[test]
+    fn bounds_bracket_the_true_distance() {
+        let norm = corpus();
+        let table = PivotTable::build(&norm, 3, 1).unwrap();
+        for q in 0..norm.len() as u32 {
+            let query = table.query(q);
+            for c in 0..norm.len() as u32 {
+                let (lb, ub) = query.bounds(c);
+                let d = raw_lev(&norm[q as usize], &norm[c as usize]);
+                assert!(lb <= d, "lb {lb} > d {d} for ({q},{c})");
+                assert!(ub >= d, "ub {ub} < d {d} for ({q},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_push_matches_direct_distances() {
+        let norm = corpus();
+        let mut table = PivotTable::new_dynamic(3).unwrap();
+        for s in &norm {
+            table.push(s);
+        }
+        assert_eq!(table.num_pivots(), 3);
+        assert_eq!(table.pivot_ids(), &[0, 1, 2], "first pushes become pivots");
+        assert_eq!(table.num_records(), norm.len());
+        for (j, &p) in table.pivot_ids().iter().enumerate() {
+            for i in 0..norm.len() {
+                let expect = raw_lev(&norm[i], &norm[p as usize]);
+                assert_eq!(table.table[i * 3 + j], expect, "record {i} pivot {j}");
+            }
+        }
+        // Bounds still bracket the truth after dynamic growth.
+        for q in 0..norm.len() as u32 {
+            let query = table.query(q);
+            for c in 0..norm.len() as u32 {
+                let (lb, ub) = query.bounds(c);
+                let d = raw_lev(&norm[q as usize], &norm[c as usize]);
+                assert!(lb <= d && ub >= d, "({q},{c}): lb {lb} d {d} ub {ub}");
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_count_clamps_to_corpus_size() {
+        let norm = vec!["a".to_string(), "b".to_string()];
+        let table = PivotTable::build(&norm, 10, 1).unwrap();
+        assert_eq!(table.num_pivots(), 2);
+        assert!(PivotTable::build(&norm, 0, 1).is_none());
+        assert!(PivotTable::build(&[], 3, 1).is_none());
+    }
+}

@@ -205,6 +205,7 @@ impl<D: Distance> NnIndex for MinHashIndex<D> {
             1.0,
             filter.as_ref(),
             None,
+            None,
         );
         sort_neighbors(&mut verified);
         verified.truncate(k);
@@ -222,6 +223,7 @@ impl<D: Distance> NnIndex for MinHashIndex<D> {
             LookupSpec::Radius(radius),
             1.0,
             filter.as_ref(),
+            None,
             None,
         );
         verified.retain(|n| n.dist < radius);
@@ -248,6 +250,7 @@ impl<D: Distance> NnIndex for MinHashIndex<D> {
             spec,
             p,
             filter.as_ref(),
+            None,
             cache,
         );
         lookup_from_verified(verified, candidates.len() as u64, attempted, spec, p)

@@ -24,6 +24,7 @@ benches=(
     bench_phase1
     bench_phase1_cache
     bench_phase1_batch
+    bench_phase1_pivot
     bench_phase2
 )
 

@@ -39,6 +39,7 @@ if [[ ${#benches[@]} -eq 0 ]]; then
         bench_candidates
         bench_phase1_cache
         bench_phase1_batch
+        bench_phase1_pivot
         bench_phase2
     )
 fi
@@ -71,6 +72,39 @@ cargo run -q --release -p fuzzydedup-bench --bin bench_merge -- \
 echo "==> confirmation: ci_bench_gate against the refreshed baseline"
 env BENCH_GATE_TOLERANCE="${BENCH_GATE_TOLERANCE:-0.35}" \
     cargo run -q --release -p fuzzydedup-bench --bin ci_bench_gate
+
+# ---- headline trajectory --------------------------------------------
+# Append the headline Phase-1 min_ns of this refresh to
+# results/BENCH_trajectory.json (a JSON array, one entry per refresh), so
+# the per-PR performance story is readable without digging through git
+# history of the individual artifacts. The headline rows are the
+# acceptance-claim lanes: bench_phase1_batch/batched_steal and (when
+# present) bench_phase1_pivot/pivot_steal.
+trajectory="results/BENCH_trajectory.json"
+extract_min_ns() { # file row-name -> min_ns or empty
+    [[ -f "$1" ]] || return 0
+    sed -n "s/.*\"name\": \"$2\", \"mean_ns\": [0-9.]*, \"min_ns\": \([0-9.]*\).*/\1/p" "$1"
+}
+batched_steal="$(extract_min_ns results/BENCH_phase1_batch.json batched_steal)"
+pivot_steal="$(extract_min_ns results/BENCH_phase1_pivot.json pivot_steal)"
+if [[ -n "$batched_steal" || -n "$pivot_steal" ]]; then
+    entry="{\"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\", \"passes\": $passes"
+    [[ -n "$batched_steal" ]] && entry+=", \"phase1_batch_batched_steal_min_ns\": $batched_steal"
+    [[ -n "$pivot_steal" ]] && entry+=", \"phase1_pivot_pivot_steal_min_ns\": $pivot_steal"
+    entry+="}"
+    if [[ -s "$trajectory" ]]; then
+        # Append before the closing bracket of the existing array.
+        tmp="$(mktemp)"
+        sed '$ d' "$trajectory" > "$tmp" # drop trailing "]"
+        # Add a comma to the previous last entry unless the array is empty.
+        if grep -q '}' "$tmp"; then sed -i '$ s/$/,/' "$tmp"; fi
+        printf '  %s\n]\n' "$entry" >> "$tmp"
+        mv "$tmp" "$trajectory"
+    else
+        printf '[\n  %s\n]\n' "$entry" > "$trajectory"
+    fi
+    echo "bench_refresh: headline trajectory appended -> $trajectory"
+fi
 
 echo
 echo "bench_refresh: baselines refreshed (worst window of $passes passes)"

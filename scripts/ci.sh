@@ -32,6 +32,15 @@
 # widens it to ±35% unless BENCH_GATE_TOLERANCE is set explicitly. A
 # deliberate slowdown (the acceptance scenario is 50%) still fails.
 #
+# bench-smoke storm retry: a throttle storm (the host briefly clamping
+# CPU) slows *every* bench at once, which looks like a mass regression.
+# When a failing gate pass reports >= 2 REGRESSED rows, this driver
+# sleeps BENCH_STORM_COOLDOWN seconds (default 150) and re-runs the gate
+# once; the stage result is the retry's verdict, and BOTH verdict sets
+# land in results/ci_summary.json ("bench" = final, "bench_first_attempt"
+# = the suspected-storm pass) so a flake is auditable, not erased. A
+# single-bench regression (a real slowdown) is never retried.
+#
 # Exits non-zero if any attempted stage fails; later stages still run so
 # one summary shows everything that is broken.
 set -uo pipefail
@@ -48,9 +57,15 @@ case "${1:-}" in
     --skip-bench) skip_bench=1 ;;
     --bench-only) bench_only=1 ;;
     --stage)
+        # Stage names are validated up front: an unknown or missing name
+        # exits 2 with the full stage list, before any work starts — a
+        # typo must not silently skip every stage and report "OK".
         only_stage="${2:-}"
         if [[ -z "$only_stage" ]]; then
-            echo "usage: scripts/ci.sh --stage <name>" >&2; exit 2
+            echo "usage: scripts/ci.sh --stage <name> (stages: ${all_stages[*]})" >&2; exit 2
+        fi
+        if [[ $# -gt 2 ]]; then
+            echo "ci: unexpected arguments after --stage $only_stage: ${*:3}" >&2; exit 2
         fi
         known=0
         for s in "${all_stages[@]}"; do [[ "$s" == "$only_stage" ]] && known=1; done
@@ -67,7 +82,8 @@ results=()     # pass | FAIL | skipped
 seconds=()     # wall seconds per stage
 overall=0
 verdicts_json="results/ci_bench_verdicts.json"
-rm -f "$verdicts_json"
+first_attempt_json="results/ci_bench_verdicts_first_attempt.json"
+rm -f "$verdicts_json" "$first_attempt_json"
 
 run_stage() {
     local name="$1"; shift
@@ -98,6 +114,34 @@ fail_stage() {
     seconds+=(0)
     overall=1
     echo "==> [$name] FAILED: $*" >&2
+}
+
+# One ci_bench_gate pass, verdicts to $1.
+bench_gate_once() {
+    env BENCH_GATE_TOLERANCE="${BENCH_GATE_TOLERANCE:-0.35}" \
+        cargo run -q --release -p fuzzydedup-bench --bin ci_bench_gate -- \
+        --json-out "$1"
+}
+
+# The bench gate with the storm retry: a failing pass whose verdicts show
+# >= 2 REGRESSED rows smells like a host throttle storm (everything slow
+# at once), so cool down and give the gate one more chance. The first
+# pass's verdicts are preserved for the summary either way.
+bench_gate_with_storm_retry() {
+    if bench_gate_once "$verdicts_json"; then
+        return 0
+    fi
+    local regressed
+    regressed=$(grep -o '"verdict": "REGRESSED"' "$verdicts_json" 2>/dev/null | wc -l)
+    if [[ "$regressed" -lt 2 ]]; then
+        return 1 # isolated regression: believe it
+    fi
+    local cooldown="${BENCH_STORM_COOLDOWN:-150}"
+    echo "==> [bench-smoke] $regressed benches REGRESSED at once — suspected throttle storm;" \
+         "cooling down ${cooldown}s and retrying the gate" >&2
+    mv "$verdicts_json" "$first_attempt_json"
+    sleep "$cooldown"
+    bench_gate_once "$verdicts_json"
 }
 
 # Whether a stage should run under the current flag set.
@@ -138,9 +182,7 @@ for stage in "${all_stages[@]}"; do
             # something to paper over and rediscover as a confusing
             # cargo-run error inside the stage.
             if cargo build -q --release -p fuzzydedup-bench --bin ci_bench_gate; then
-                run_stage bench-smoke env BENCH_GATE_TOLERANCE="${BENCH_GATE_TOLERANCE:-0.35}" \
-                    cargo run -q --release -p fuzzydedup-bench --bin ci_bench_gate -- \
-                    --json-out "$verdicts_json"
+                run_stage bench-smoke bench_gate_with_storm_retry
             else
                 fail_stage bench-smoke "ci_bench_gate failed to build"
             fi
@@ -184,15 +226,20 @@ mkdir -p results
     done
     # bench-smoke's per-bench verdicts (name, baseline/fresh min_ns,
     # delta, verdict), merged verbatim from ci_bench_gate --json-out.
+    # When the storm retry fired, the suspected-storm first attempt is
+    # kept alongside the final verdicts.
     if [[ -s "$verdicts_json" ]]; then
         echo '  ],'
+        if [[ -s "$first_attempt_json" ]]; then
+            echo "  \"bench_first_attempt\": $(cat "$first_attempt_json"),"
+        fi
         echo "  \"bench\": $(cat "$verdicts_json")"
     else
         echo '  ]'
     fi
     echo '}'
 } > results/ci_summary.json
-rm -f "$verdicts_json"
+rm -f "$verdicts_json" "$first_attempt_json"
 echo "ci summary -> results/ci_summary.json"
 
 exit $overall

@@ -30,6 +30,11 @@
 //!                         memoize up to N symmetric pair distances during
 //!                         Phase-1 verification (0 = off, the default);
 //!                         the partition is identical either way
+//!   --pivots N            precompute N pivot anchors and prune Phase-1
+//!                         verification by the triangle inequality (0 =
+//!                         off, the default; metric distances only — ed;
+//!                         a no-op otherwise); the partition is identical
+//!                         either way
 //!   --demo NAME           run on a built-in dataset instead of --input:
 //!                         table1 | restaurants | media | org
 //! ```
@@ -63,6 +68,7 @@ struct Options {
     metrics: bool,
     threads: Option<usize>,
     pair_cache_capacity: usize,
+    pivots: usize,
     demo: Option<String>,
 }
 
@@ -71,7 +77,8 @@ fn usage() -> &'static str {
      \x20                 [--columns 0,1] [--gold-column N] [--distance fms|ed|cosine|jaccard|jw|monge-elkan]\n\
      \x20                 [--k N | --theta X] [--c X | --dup-fraction F] [--agg max|avg|max2]\n\
      \x20                 [--minimality] [--report] [--metrics] [--threads N]\n\
-     \x20                 [--pair-cache-capacity N] [--demo table1|restaurants|media|org]"
+     \x20                 [--pair-cache-capacity N] [--pivots N]\n\
+     \x20                 [--demo table1|restaurants|media|org]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -92,6 +99,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         metrics: false,
         threads: None,
         pair_cache_capacity: 0,
+        pivots: 0,
         demo: None,
     };
     let mut i = 0;
@@ -155,6 +163,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--pair-cache-capacity" => {
                 opts.pair_cache_capacity =
                     next(&mut i)?.parse().map_err(|e| format!("bad --pair-cache-capacity: {e}"))?
+            }
+            "--pivots" => {
+                opts.pivots = next(&mut i)?.parse().map_err(|e| format!("bad --pivots: {e}"))?
             }
             "--demo" => opts.demo = Some(next(&mut i)?.clone()),
             "--help" | "-h" => return Err(usage().to_string()),
@@ -257,7 +268,8 @@ fn run() -> Result<(), String> {
         .cut(opts.cut)
         .aggregation(opts.agg)
         .minimality(opts.minimality)
-        .pair_cache_capacity(opts.pair_cache_capacity);
+        .pair_cache_capacity(opts.pair_cache_capacity)
+        .pivot_count(opts.pivots);
     if let Some(threads) = opts.threads {
         config = config.parallelism(Parallelism::threads(threads));
     }
