@@ -13,14 +13,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn state_with(records: &[Vec<String>], idf: &IdfModel) -> IncrementalDedup<FuzzyMatchDistance> {
-    let mut state = IncrementalDedup::new(
-        FuzzyMatchDistance::new(idf.clone()),
-        DynamicIndexConfig::default(),
-        CutSpec::Size(4),
-        Aggregation::Max,
-        6.0,
-    )
-    .unwrap();
+    let mut state = IncrementalDedup::builder(FuzzyMatchDistance::new(idf.clone()))
+        .index_config(DynamicIndexConfig::default())
+        .cut(CutSpec::Size(4))
+        .aggregation(Aggregation::Max)
+        .sn_threshold(6.0)
+        .build()
+        .unwrap();
     state.insert_batch(records.to_vec());
     state
 }

@@ -38,6 +38,7 @@ const CHEAP_BENCHES: &[&str] = &[
     "bench_phase1_batch",
     "bench_phase1_pivot",
     "bench_phase2",
+    "bench_service",
 ];
 
 /// `BENCH_*.json` artifacts those benches emit.
@@ -50,6 +51,7 @@ const GATED_ARTIFACTS: &[&str] = &[
     "BENCH_phase1_batch.json",
     "BENCH_phase1_pivot.json",
     "BENCH_phase2.json",
+    "BENCH_service.json",
 ];
 
 struct Args {

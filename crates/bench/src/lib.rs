@@ -11,6 +11,7 @@
 //! `ci_bench_gate` (the `bench-smoke` stage of `scripts/ci.sh`).
 
 pub mod gate;
+pub mod replay;
 
 use fuzzydedup_core::{
     evaluate, partition_entries, single_linkage, Aggregation, CutSpec, DedupConfig, Deduplicator,

@@ -1,0 +1,306 @@
+//! Traffic replay over the long-running dedup service.
+//!
+//! Drives a [`DedupService`] with a mixed ingest/query workload over the
+//! synthetic Org corpus — the service-shaped counterpart of
+//! `exp_scale_1m`'s batch scale-out. One replay:
+//!
+//! 1. generates `records` Org rows (same `82/100` entity inflation and
+//!    seed as the scale driver, so corpora are comparable across
+//!    experiments);
+//! 2. submits every record through the bounded ingest queue
+//!    (`submit_wait`, i.e. backpressure-respecting) while interleaving
+//!    point queries at `query_ratio` queries per op, probing the text of
+//!    already-generated records — queries run against the published
+//!    epoch snapshot while the writer admits batches concurrently;
+//! 3. optionally paces the op stream to `qps` operations per second;
+//! 4. drains, then reports exact point-query latency quantiles (computed
+//!    from every recorded request, not the service's coarse log2
+//!    histogram), the final partition for identity checks, and a
+//!    `RunMetrics` with the `service` section filled in.
+//!
+//! The replay itself is deterministic given the config (corpus seed,
+//! interleave pattern, probe choice); only the measured latencies vary
+//! run to run.
+
+use std::time::{Duration, Instant};
+
+use fuzzydedup_core::{
+    CutSpec, DedupService, IncrementalDedup, Parallelism, Partition, ServiceConfig, ServiceStats,
+};
+use fuzzydedup_datagen::{org, DatasetSpec};
+use fuzzydedup_metrics::RunMetrics;
+use fuzzydedup_textdist::EditDistance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gate::{render_bench_doc, BenchDoc, BenchRow};
+
+/// Replay workload shape.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayConfig {
+    /// Org records to generate and ingest.
+    pub records: usize,
+    /// Service admission batch size ([`ServiceConfig::admit_batch_size`]).
+    pub batch_size: usize,
+    /// Bounded ingest-queue capacity.
+    pub queue_capacity: usize,
+    /// Point queries issued per operation, as a fraction of total ops in
+    /// `[0, 1)` — e.g. `0.3` ≈ 30% of the op stream are queries.
+    pub query_ratio: f64,
+    /// Total operations (ingest + query) per second; `0` = unpaced.
+    pub qps: u64,
+    /// RNG seed for probe selection (corpus seed is fixed at 42 to match
+    /// `exp_scale_1m`).
+    pub seed: u64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            records: 10_000,
+            batch_size: 64,
+            queue_capacity: 1024,
+            query_ratio: 0.3,
+            qps: 0,
+            seed: 7,
+        }
+    }
+}
+
+/// Everything one replay produced.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// The generated corpus, in submission order.
+    pub records: Vec<Vec<String>>,
+    /// Final (post-drain) partition from the service snapshot.
+    pub partition: Partition,
+    /// Final service statistics.
+    pub stats: ServiceStats,
+    /// Run metrics with the `service` section filled (exact quantiles).
+    pub metrics: RunMetrics,
+    /// Per-request point-query latencies, sorted ascending (ns).
+    pub query_latencies_ns: Vec<u64>,
+    /// Wall-clock of the whole mixed phase, submit of the first record to
+    /// drain completion (ns).
+    pub replay_wall_ns: u64,
+}
+
+impl ReplayOutcome {
+    /// Exact latency quantile from the recorded requests (0 if none).
+    pub fn query_quantile_ns(&self, q: f64) -> u64 {
+        percentile_ns(&self.query_latencies_ns, q)
+    }
+
+    /// Mean ingest cost per record over the mixed phase (ns) — total wall
+    /// divided by records admitted, the service-level throughput figure.
+    pub fn ingest_ns_per_record(&self) -> u64 {
+        if self.records.is_empty() {
+            return 0;
+        }
+        self.replay_wall_ns / self.records.len() as u64
+    }
+}
+
+/// Exact quantile over an ascending-sorted latency slice (0 if empty).
+pub fn percentile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Generate the Org corpus used by the replay (the scale driver's shape:
+/// seed 42, `records * 82 / 100` entities, truncated to `records`).
+pub fn org_corpus(records: usize) -> Vec<Vec<String>> {
+    let entities = (records * 82 / 100).max(1);
+    let mut rng = StdRng::seed_from_u64(42);
+    let dataset =
+        org::generate(&mut rng, DatasetSpec { n_entities: entities, ..DatasetSpec::medium() });
+    let mut out = dataset.records;
+    assert!(out.len() >= records, "need {records} Org records, got {}", out.len());
+    out.truncate(records);
+    out
+}
+
+/// Run one traffic replay; see module docs. The service is configured
+/// with `EditDistance` + `DE_S(4)` / `Max` / `c = 4` — the same knobs the
+/// drain-identity suite pins, so callers can cheaply verify the final
+/// partition against a from-scratch batch run.
+pub fn replay(config: ReplayConfig) -> ReplayOutcome {
+    assert!((0.0..1.0).contains(&config.query_ratio), "query_ratio must be in [0, 1)");
+    let records = org_corpus(config.records);
+    let service_config = ServiceConfig::new()
+        .admit_batch_size(config.batch_size.max(1))
+        .queue_capacity(config.queue_capacity.max(1));
+    let before = fuzzydedup_metrics::snapshot();
+    // Pair cache + parallel refresh: batch-to-batch refreshes re-verify
+    // mostly unchanged pairs, so the memo absorbs the bulk of the work;
+    // both knobs are partition-identical by the incremental test suite,
+    // so drain-identity against the (cache-less, sequential) batch
+    // pipeline still holds bit-for-bit.
+    let mut service = DedupService::spawn(
+        IncrementalDedup::builder(EditDistance)
+            .cut(CutSpec::Size(4))
+            .sn_threshold(4.0)
+            .pair_cache_capacity(1 << 22)
+            .parallelism(Parallelism::threads(0)),
+        service_config,
+    )
+    .expect("spawn replay service");
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Queries per ingest op: ratio r of total ops means r/(1-r) queries
+    // accompany each submitted record.
+    let queries_per_ingest = config.query_ratio / (1.0 - config.query_ratio);
+    let pacing = (config.qps > 0).then(|| Duration::from_nanos(1_000_000_000 / config.qps));
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut query_debt = 0.0f64;
+    let mut ops = 0u64;
+    let started = Instant::now();
+    for (i, record) in records.iter().enumerate() {
+        service.submit_wait(record.clone()).expect("service accepts while running");
+        ops += 1;
+        query_debt += queries_per_ingest;
+        while query_debt >= 1.0 {
+            query_debt -= 1.0;
+            // Probe the text of a record generated so far (it may or may
+            // not be admitted yet — query-by-content either way).
+            let probe = &records[rng.gen_range(0..=i)];
+            let fields: Vec<&str> = probe.iter().map(String::as_str).collect();
+            let t = Instant::now();
+            let answer = service.query(&fields);
+            latencies.push(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            ops += 1;
+            debug_assert!(answer.corpus_len <= records.len());
+        }
+        if let Some(per_op) = pacing {
+            let due = per_op * ops as u32;
+            let elapsed = started.elapsed();
+            if due > elapsed {
+                std::thread::sleep(due - elapsed);
+            }
+        }
+    }
+    service.drain();
+    let replay_wall_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+
+    let stats = service.stats();
+    let (_, partition) = service.snapshot_partition();
+    let mut metrics = RunMetrics::default();
+    metrics.apply_counter_delta(&fuzzydedup_metrics::snapshot().delta(&before));
+    // Service-filled fields: high-water from the service, quantiles exact
+    // from the recorded requests (the in-service histogram is log2-coarse).
+    latencies.sort_unstable();
+    metrics.service.queue_depth_high_water = stats.queue_depth_high_water as u64;
+    metrics.service.query_p50_ns = percentile_ns(&latencies, 0.50);
+    metrics.service.query_p99_ns = percentile_ns(&latencies, 0.99);
+    service.shutdown();
+
+    ReplayOutcome {
+        records,
+        partition,
+        stats,
+        metrics,
+        query_latencies_ns: latencies,
+        replay_wall_ns,
+    }
+}
+
+/// Where `BENCH_<group>.json` artifacts land for custom (non-criterion)
+/// bench mains: `$BENCH_OUT_DIR` (relative values anchored at the
+/// workspace root, matching the criterion shim), else
+/// `<workspace>/results`.
+pub fn bench_out_dir() -> std::path::PathBuf {
+    let root = workspace_root();
+    match std::env::var("BENCH_OUT_DIR") {
+        Ok(dir) if std::path::Path::new(&dir).is_absolute() => std::path::PathBuf::from(dir),
+        Ok(dir) => root.join(dir),
+        Err(_) => root.join("results"),
+    }
+}
+
+/// Walk up from CWD to the `[workspace]` manifest (the criterion shim's
+/// rule — `cargo bench` runs with the package directory as CWD).
+fn workspace_root() -> std::path::PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        let is_root =
+            std::fs::read_to_string(&manifest).map(|s| s.contains("[workspace]")).unwrap_or(false);
+        if is_root {
+            return dir;
+        }
+        if !dir.pop() {
+            return std::path::PathBuf::from(".");
+        }
+    }
+}
+
+/// Write a `BENCH_<group>.json` artifact in the criterion shim's exact
+/// shape from `(name, min_ns-style value)` rows. `samples` records how
+/// many replay repetitions backed each row.
+pub fn write_bench_artifact(
+    group: &str,
+    rows: &[(String, u64)],
+    samples: u64,
+) -> std::path::PathBuf {
+    let doc = BenchDoc {
+        group: group.to_string(),
+        unit: "ns".to_string(),
+        rows: rows
+            .iter()
+            .map(|(name, ns)| BenchRow {
+                name: name.clone(),
+                mean_ns: *ns as f64,
+                min_ns: *ns as f64,
+                max_ns: *ns as f64,
+                samples,
+                iters_per_sample: 1,
+            })
+            .collect(),
+    };
+    let dir = bench_out_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("BENCH_{group}.json"));
+    std::fs::write(&path, render_bench_doc(&doc)).expect("write bench artifact");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_exact_on_small_slices() {
+        assert_eq!(percentile_ns(&[], 0.5), 0);
+        assert_eq!(percentile_ns(&[7], 0.5), 7);
+        assert_eq!(percentile_ns(&[7], 0.99), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&v, 0.50), 50);
+        assert_eq!(percentile_ns(&v, 0.99), 99);
+        assert_eq!(percentile_ns(&v, 1.0), 100);
+    }
+
+    #[test]
+    fn tiny_replay_round_trips() {
+        let outcome = replay(ReplayConfig {
+            records: 300,
+            batch_size: 32,
+            queue_capacity: 128,
+            query_ratio: 0.25,
+            qps: 0,
+            seed: 7,
+        });
+        assert_eq!(outcome.stats.records_admitted, 300);
+        assert_eq!(outcome.stats.corpus_len, 300);
+        assert!(outcome.stats.point_queries as usize == outcome.query_latencies_ns.len());
+        // ~1 query per 3 ingests at ratio 0.25.
+        assert!(outcome.query_latencies_ns.len() >= 90);
+        assert!(outcome.metrics.service.query_p50_ns > 0);
+        assert!(outcome.metrics.service.batches_admitted >= 300 / 32);
+        let covered: usize = outcome.partition.groups().iter().map(Vec::len).sum();
+        assert_eq!(covered, 300);
+    }
+}

@@ -17,28 +17,199 @@
 //! any NN list, so its entry cannot have depended on the new record.
 //! Equivalence with full recomputation is asserted by the test suite on
 //! randomized batch splits.
+//!
+//! Construct states with [`IncrementalDedup::builder`], which exposes the
+//! same configuration surface as [`crate::pipeline::DedupConfig`] —
+//! including the pivot-pruning and per-phase parallelism knobs that the
+//! historical positional constructor could not reach.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use fuzzydedup_metrics::{incr, Counter};
 use fuzzydedup_nnindex::{
-    DynamicIndexConfig, DynamicInvertedIndex, LookupSpec, NnIndex, PairDistanceCache,
+    DynamicIndexConfig, DynamicInvertedIndex, LookupCost, LookupSpec, NnIndex, PairDistanceCache,
 };
+use fuzzydedup_relation::Neighbor;
 use fuzzydedup_textdist::Distance;
 
 use crate::criteria::Aggregation;
 use crate::nnreln::{NnEntry, NnReln};
 use crate::pair_cache::PairCache;
+use crate::parallel::resolve_threads;
 use crate::partition::Partition;
 use crate::phase1::NeighborSpec;
-use crate::phase2::partition_entries;
+use crate::phase2::{partition_entries, partition_entries_parallel};
+use crate::pipeline::{DedupError, Parallelism};
 use crate::problem::CutSpec;
 
 /// Statistics of one incremental batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct BatchStats {
     /// Records appended in this batch.
     pub inserted: usize,
     /// Pre-existing entries recomputed because a new record entered their
     /// candidate neighborhoods.
     pub refreshed: usize,
+}
+
+/// Builder for [`IncrementalDedup`], mirroring the
+/// [`crate::pipeline::DedupConfig`] surface on the incremental path.
+///
+/// Defaults match `DedupConfig::new`: `DE_S(5)`, `Max` aggregation,
+/// `c = 4`, `p = 2`, no pair cache, no pivots, both phases sequential,
+/// and [`DynamicIndexConfig::default`] for the index.
+///
+/// ```no_run
+/// use fuzzydedup_core::{Aggregation, CutSpec, IncrementalDedup, Parallelism};
+/// use fuzzydedup_textdist::EditDistance;
+///
+/// let state = IncrementalDedup::builder(EditDistance)
+///     .cut(CutSpec::Size(4))
+///     .aggregation(Aggregation::Max)
+///     .sn_threshold(4.0)
+///     .pair_cache_capacity(1 << 14)
+///     .pivot_count(8)
+///     .parallelism(Parallelism::threads(0))
+///     .build()
+///     .unwrap();
+/// # let _ = state;
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalDedupBuilder<D> {
+    distance: D,
+    index: DynamicIndexConfig,
+    cut: CutSpec,
+    agg: Aggregation,
+    c: f64,
+    p: f64,
+    pair_cache_capacity: usize,
+    pivot_count: Option<usize>,
+    parallelism: Parallelism,
+}
+
+impl<D: Distance> IncrementalDedupBuilder<D> {
+    /// Start from the defaults (see the type docs).
+    pub fn new(distance: D) -> Self {
+        Self {
+            distance,
+            index: DynamicIndexConfig::default(),
+            cut: CutSpec::Size(5),
+            agg: Aggregation::Max,
+            c: 4.0,
+            p: 2.0,
+            pair_cache_capacity: 0,
+            pivot_count: None,
+            parallelism: Parallelism::sequential(),
+        }
+    }
+
+    /// Set the cut specification (`DE_S(K)` / `DE_D(θ)` / both / none).
+    pub fn cut(mut self, cut: CutSpec) -> Self {
+        self.cut = cut;
+        self
+    }
+
+    /// Set the SN aggregation function.
+    pub fn aggregation(mut self, agg: Aggregation) -> Self {
+        self.agg = agg;
+        self
+    }
+
+    /// Set the SN threshold `c`.
+    pub fn sn_threshold(mut self, c: f64) -> Self {
+        self.c = c;
+        self
+    }
+
+    /// Set the neighborhood-growth multiplier `p` (the paper fixes 2).
+    pub fn growth_multiplier(mut self, p: f64) -> Self {
+        self.p = p;
+        self
+    }
+
+    /// Set the dynamic index configuration (q-gram length, candidate
+    /// limit, stop-gram thresholds, ...). A later [`Self::pivot_count`]
+    /// call overrides its `pivots` field.
+    pub fn index_config(mut self, config: DynamicIndexConfig) -> Self {
+        self.index = config;
+        self
+    }
+
+    /// Number of pivot anchors for triangle-inequality pruning during
+    /// verification; `0` disables the layer. The incremental mirror of
+    /// [`crate::pipeline::DedupConfig::pivot_count`]: only takes effect
+    /// when the distance admits metric pruning, and the partition is
+    /// bit-identical either way.
+    pub fn pivot_count(mut self, pivots: usize) -> Self {
+        self.pivot_count = Some(pivots);
+        self
+    }
+
+    /// Capacity (in entries) of the symmetric pair-distance memo consulted
+    /// during verification; `0` (the default) disables it. Refreshed
+    /// entries re-verify many unchanged pairs batch after batch, so the
+    /// memo pays off exactly here; the partition and `NN_Reln` are
+    /// identical with the cache on or off (see
+    /// [`crate::pair_cache::PairCache`] for the soundness contract —
+    /// symmetric distance kernels only).
+    pub fn pair_cache_capacity(mut self, capacity: usize) -> Self {
+        self.pair_cache_capacity = capacity;
+        self
+    }
+
+    /// Per-phase worker-thread counts, as on the batch pipeline: entry
+    /// refreshes shard over `phase1_threads` workers and the partition
+    /// recompute over `phase2_threads`. Results are identical to the
+    /// sequential drive either way — every entry is an independent
+    /// lookup (see [`crate::parallel`]).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Build the empty incremental state.
+    ///
+    /// # Errors
+    /// [`DedupError::InvalidConfig`] for an invalid cut, a non-positive
+    /// (or NaN) SN threshold, or a growth multiplier below 1.
+    pub fn build(self) -> Result<IncrementalDedup<D>, DedupError> {
+        self.cut.validate().map_err(DedupError::InvalidConfig)?;
+        // `!(c > 0.0)` deliberately rejects NaN as well as non-positives.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let bad_c = !(self.c > 0.0);
+        if bad_c {
+            return Err(DedupError::InvalidConfig(format!(
+                "SN threshold c must be positive, got {}",
+                self.c
+            )));
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let bad_p = !(self.p >= 1.0);
+        if bad_p {
+            return Err(DedupError::InvalidConfig(format!(
+                "growth multiplier p must be >= 1, got {}",
+                self.p
+            )));
+        }
+        let mut index_config = self.index;
+        if let Some(pivots) = self.pivot_count {
+            index_config.pivots = pivots;
+        }
+        Ok(IncrementalDedup {
+            index: DynamicInvertedIndex::new(self.distance, index_config),
+            entries: Vec::new(),
+            cut: self.cut,
+            agg: self.agg,
+            c: self.c,
+            p: self.p,
+            partition: Partition::singletons(0),
+            pair_cache: (self.pair_cache_capacity > 0)
+                .then(|| PairCache::new(self.pair_cache_capacity)),
+            parallelism: self.parallelism,
+        })
+    }
 }
 
 /// An incrementally-maintained deduplication state; see module docs.
@@ -51,13 +222,26 @@ pub struct IncrementalDedup<D: Distance> {
     p: f64,
     partition: Partition,
     pair_cache: Option<PairCache>,
+    parallelism: Parallelism,
 }
 
 impl<D: Distance> IncrementalDedup<D> {
+    /// Configure an incremental state with the [`IncrementalDedupBuilder`]
+    /// — the incremental counterpart of [`crate::pipeline::DedupConfig`].
+    pub fn builder(distance: D) -> IncrementalDedupBuilder<D> {
+        IncrementalDedupBuilder::new(distance)
+    }
+
     /// Create an empty incremental state.
     ///
     /// # Errors
-    /// Returns the cut-validation message for invalid parameters.
+    /// Returns the validation message for invalid parameters.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `IncrementalDedup::builder(distance)` — the builder carries the full \
+                `DedupConfig` surface (pivots, parallelism, pair cache) the positional \
+                constructor cannot reach"
+    )]
     pub fn new(
         distance: D,
         index_config: DynamicIndexConfig,
@@ -65,33 +249,24 @@ impl<D: Distance> IncrementalDedup<D> {
         agg: Aggregation,
         c: f64,
     ) -> Result<Self, String> {
-        cut.validate()?;
-        // `!(c > 0.0)` deliberately rejects NaN as well as non-positives.
-        #[allow(clippy::neg_cmp_op_on_partial_ord)]
-        let bad_c = !(c > 0.0);
-        if bad_c {
-            return Err(format!("SN threshold c must be positive, got {c}"));
-        }
-        Ok(Self {
-            index: DynamicInvertedIndex::new(distance, index_config),
-            entries: Vec::new(),
-            cut,
-            agg,
-            c,
-            p: 2.0,
-            partition: Partition::singletons(0),
-            pair_cache: None,
-        })
+        Self::builder(distance)
+            .index_config(index_config)
+            .cut(cut)
+            .aggregation(agg)
+            .sn_threshold(c)
+            .build()
+            .map_err(|e| match e {
+                DedupError::InvalidConfig(why) => why,
+                other => other.to_string(),
+            })
     }
 
     /// Attach a symmetric pair-distance memo of `capacity` entries (`0`
-    /// detaches it), the incremental mirror of
-    /// [`crate::pipeline::DedupConfig::pair_cache_capacity`]. Refreshed
-    /// entries re-verify many unchanged pairs batch after batch, so the
-    /// memo pays off exactly here; the partition and `NN_Reln` are
-    /// identical with the cache on or off (see
-    /// [`crate::pair_cache::PairCache`] for the soundness contract —
-    /// symmetric distance kernels only).
+    /// detaches it).
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure via `IncrementalDedup::builder(...).pair_cache_capacity(...)`"
+    )]
     pub fn pair_cache_capacity(mut self, capacity: usize) -> Self {
         self.pair_cache = (capacity > 0).then(|| PairCache::new(capacity));
         self
@@ -117,6 +292,21 @@ impl<D: Distance> IncrementalDedup<D> {
         NnReln::new(self.entries.clone())
     }
 
+    /// The indexed records.
+    pub fn records(&self) -> &[Vec<String>] {
+        self.index.records()
+    }
+
+    /// Point query by content: the neighbor list and growth estimate the
+    /// given record sees against the *current* corpus, plus the lookup
+    /// cost paid — without inserting anything. Probing with the text of
+    /// an indexed record returns that record itself at distance 0. This
+    /// is the read primitive behind the dedup service's "find duplicates
+    /// of this record now" API (see `crate::service`).
+    pub fn query_record(&self, fields: &[&str]) -> (Vec<Neighbor>, f64, LookupCost) {
+        self.index.probe(fields, self.spec(), self.p)
+    }
+
     fn spec(&self) -> LookupSpec {
         match NeighborSpec::from_cut(&self.cut, self.index.len()) {
             NeighborSpec::TopK(k) => LookupSpec::TopK(k),
@@ -130,6 +320,60 @@ impl<D: Distance> IncrementalDedup<D> {
         let cache = self.pair_cache.as_ref().map(|c| c as &dyn PairDistanceCache);
         let (neighbors, ng, _cost) = self.index.lookup_cached(id, self.spec(), self.p, cache);
         self.entries[id as usize] = NnEntry::new(id, neighbors, ng);
+    }
+
+    /// Recompute the entries for `ids`, sequentially or sharded over the
+    /// configured Phase-1 worker threads. Every entry is an independent
+    /// lookup, so the parallel drive produces bit-identical results (the
+    /// same argument as [`crate::parallel::compute_nn_reln_parallel`]);
+    /// the shared pair cache stays sound under interleaving by its
+    /// contract.
+    fn recompute_entries(&mut self, ids: &[u32]) {
+        let threads = match self.parallelism.phase1_threads {
+            None => 1,
+            Some(n) => resolve_threads(n, ids.len()),
+        };
+        if threads <= 1 {
+            for &id in ids {
+                self.recompute_entry(id);
+            }
+            return;
+        }
+        let spec = self.spec();
+        let p = self.p;
+        let index = &self.index;
+        let cache = self.pair_cache.as_ref().map(|c| c as &dyn PairDistanceCache);
+        // Work-stealing over fixed blocks of the refresh list — the same
+        // dispenser as parallel Phase 1 (duplicate-dense entries verify
+        // far more candidates than sparse ones, so static sharding
+        // strands workers).
+        let slots: Vec<OnceLock<NnEntry>> = ids.iter().map(|_| OnceLock::new()).collect();
+        let block = ids.len().div_ceil(threads * 8).clamp(1, 1024);
+        let n_blocks = ids.len().div_ceil(block);
+        let next_block = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let slots = &slots;
+                let next_block = &next_block;
+                scope.spawn(move || loop {
+                    let b = next_block.fetch_add(1, Ordering::Relaxed);
+                    if b >= n_blocks {
+                        break;
+                    }
+                    incr(Counter::Phase1StealBlocks, 1);
+                    let start = b * block;
+                    let end = (start + block).min(ids.len());
+                    for (i, &id) in ids.iter().enumerate().take(end).skip(start) {
+                        let (neighbors, ng, _cost) = index.lookup_cached(id, spec, p, cache);
+                        let claimed = slots[i].set(NnEntry::new(id, neighbors, ng)).is_ok();
+                        debug_assert!(claimed, "id {id} computed twice");
+                    }
+                });
+            }
+        });
+        for (slot, &id) in slots.into_iter().zip(ids) {
+            self.entries[id as usize] = slot.into_inner().expect("all ids computed");
+        }
     }
 
     /// Append a batch of records, refresh affected entries, and recompute
@@ -162,16 +406,17 @@ impl<D: Distance> IncrementalDedup<D> {
         affected.sort_unstable();
         affected.dedup();
 
-        for &id in &new_ids {
-            self.recompute_entry(id);
-        }
-        for &id in &affected {
-            self.recompute_entry(id);
-        }
+        let mut refresh: Vec<u32> = Vec::with_capacity(new_ids.len() + affected.len());
+        refresh.extend_from_slice(&new_ids);
+        refresh.extend_from_slice(&affected);
+        self.recompute_entries(&refresh);
 
         // Phase 2 from scratch (cheap).
         let reln = NnReln::new(self.entries.clone());
-        self.partition = partition_entries(&reln, self.cut, self.agg, self.c);
+        self.partition = match self.parallelism.phase2_threads {
+            None => partition_entries(&reln, self.cut, self.agg, self.c),
+            Some(n) => partition_entries_parallel(&reln, self.cut, self.agg, self.c, n),
+        };
         BatchStats { inserted: new_ids.len(), refreshed: affected.len() }
     }
 }
@@ -183,8 +428,39 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
+    fn fresh_builder() -> IncrementalDedupBuilder<EditDistance> {
+        IncrementalDedup::builder(EditDistance).cut(CutSpec::Size(4)).sn_threshold(4.0)
+    }
+
     fn fresh() -> IncrementalDedup<EditDistance> {
-        IncrementalDedup::new(
+        fresh_builder().build().unwrap()
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let bad_cut = fresh_builder().cut(CutSpec::Size(1)).build();
+        assert!(matches!(bad_cut, Err(DedupError::InvalidConfig(_))));
+        let bad_c = fresh_builder().sn_threshold(f64::NAN).build();
+        assert!(matches!(bad_c, Err(DedupError::InvalidConfig(_))));
+        let bad_p = fresh_builder().growth_multiplier(0.5).build();
+        assert!(matches!(bad_p, Err(DedupError::InvalidConfig(_))));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_shim_matches_builder() {
+        // The one-PR compatibility shim: same validation, same results.
+        assert!(IncrementalDedup::new(
+            EditDistance,
+            DynamicIndexConfig::default(),
+            CutSpec::Size(1),
+            Aggregation::Max,
+            4.0,
+        )
+        .is_err());
+        let records: Vec<Vec<String>> =
+            ["the doors", "the doorz", "aaliyah"].iter().map(|s| vec![s.to_string()]).collect();
+        let mut old = IncrementalDedup::new(
             EditDistance,
             DynamicIndexConfig::default(),
             CutSpec::Size(4),
@@ -192,26 +468,12 @@ mod tests {
             4.0,
         )
         .unwrap()
-    }
-
-    #[test]
-    fn invalid_params_rejected() {
-        let bad_cut = IncrementalDedup::new(
-            EditDistance,
-            DynamicIndexConfig::default(),
-            CutSpec::Size(1),
-            Aggregation::Max,
-            4.0,
-        );
-        assert!(bad_cut.is_err());
-        let bad_c = IncrementalDedup::new(
-            EditDistance,
-            DynamicIndexConfig::default(),
-            CutSpec::Size(4),
-            Aggregation::Max,
-            f64::NAN,
-        );
-        assert!(bad_c.is_err());
+        .pair_cache_capacity(1 << 10);
+        let mut new = fresh_builder().pair_cache_capacity(1 << 10).build().unwrap();
+        old.insert_batch(records.clone());
+        new.insert_batch(records);
+        assert_eq!(old.partition(), new.partition());
+        assert_eq!(old.nn_reln(), new.nn_reln());
     }
 
     #[test]
@@ -279,6 +541,53 @@ mod tests {
     }
 
     #[test]
+    fn parallelism_does_not_change_results() {
+        // Counter-backed assertion below: serialize against other tests.
+        let _serial = fuzzydedup_metrics::serial_guard();
+        let base: Vec<Vec<String>> = (0..80)
+            .map(|i| {
+                let v = if i % 4 == 0 {
+                    format!("workload entity {:03} omega", i / 4)
+                } else {
+                    format!("workload entity {:03} omegaa", i / 4)
+                };
+                vec![v]
+            })
+            .collect();
+        let mut seq = fresh();
+        let mut par = fresh_builder().parallelism(Parallelism::threads(2)).build().unwrap();
+        let before = fuzzydedup_metrics::snapshot();
+        for chunk in base.chunks(17) {
+            seq.insert_batch(chunk.to_vec());
+            par.insert_batch(chunk.to_vec());
+            assert_eq!(seq.partition(), par.partition());
+            assert_eq!(seq.nn_reln(), par.nn_reln());
+        }
+        let d = fuzzydedup_metrics::snapshot().delta(&before);
+        assert!(
+            d.get(fuzzydedup_metrics::Counter::Phase1StealBlocks) > 0,
+            "the parallel refresh must actually steal blocks"
+        );
+    }
+
+    #[test]
+    fn query_record_matches_partition_membership() {
+        let mut inc = fresh();
+        inc.insert_batch(vec![
+            vec!["golden dragon palace".to_string()],
+            vec!["golden dragon palce".to_string()],
+            vec!["unrelated payload".to_string()],
+        ]);
+        // Probing with an indexed record's text sees that record at 0.
+        let (neighbors, _, _) = inc.query_record(&["golden dragon palace"]);
+        assert_eq!(neighbors[0].id, 0);
+        assert_eq!(neighbors[0].dist, 0.0);
+        // Probing with a near-duplicate of the cluster ranks it first.
+        let (neighbors, _, _) = inc.query_record(&["golden dragon  palace"]);
+        assert!(inc.partition().are_together(0, neighbors[0].id));
+    }
+
+    #[test]
     fn empty_batches_are_noops() {
         let mut inc = fresh();
         let stats = inc.insert_batch(Vec::<Vec<String>>::new());
@@ -303,7 +612,7 @@ mod tests {
             })
             .collect();
         let mut plain = fresh();
-        let mut cached = fresh().pair_cache_capacity(1 << 14);
+        let mut cached = fresh_builder().pair_cache_capacity(1 << 14).build().unwrap();
         let before = fuzzydedup_metrics::snapshot();
         for batch in &batches {
             plain.insert_batch(batch.clone());
@@ -324,16 +633,7 @@ mod tests {
     fn pivots_do_not_change_incremental_results() {
         // Counter-backed assertion: serialize against other metric tests.
         let _serial = fuzzydedup_metrics::serial_guard();
-        let with_pivots = || {
-            IncrementalDedup::new(
-                EditDistance,
-                DynamicIndexConfig { pivots: 5, ..Default::default() },
-                CutSpec::Size(4),
-                Aggregation::Max,
-                4.0,
-            )
-            .unwrap()
-        };
+        let with_pivots = || fresh_builder().pivot_count(5).build().unwrap();
         // Permuted-token triples: same gram multiset (invisible to the
         // count filter) but far in edit distance, so the triangle bound
         // has real work to do; appended in batches so the pivot table

@@ -51,6 +51,7 @@ pub mod blocking;
 pub mod components;
 pub mod constraints;
 pub mod criteria;
+pub mod distinct;
 pub mod eval;
 pub mod incremental;
 pub mod matrix;
@@ -64,6 +65,7 @@ pub mod phase2;
 pub mod pipeline;
 pub mod problem;
 pub mod report;
+pub mod service;
 pub mod spill;
 pub mod threshold;
 
@@ -71,8 +73,9 @@ pub use baseline::{single_linkage, star_componentize};
 pub use blocking::{blocked_single_linkage, BlockingKey};
 pub use components::{balance_components, UnionFind};
 pub use criteria::{is_compact_set, sparse_neighborhood_ok, Aggregation};
+pub use distinct::DistinctEstimator;
 pub use eval::{evaluate, evaluate_bcubed, BCubed, PrecisionRecall};
-pub use incremental::{BatchStats, IncrementalDedup};
+pub use incremental::{BatchStats, IncrementalDedup, IncrementalDedupBuilder};
 pub use matrix::MatrixIndex;
 pub use nnreln::{NnEntry, NnReln};
 pub use pair_cache::PairCache;
@@ -87,5 +90,9 @@ pub use phase2::{
 pub use pipeline::{DedupConfig, DedupError, DedupOutcome, Deduplicator, IndexChoice, Parallelism};
 pub use problem::CutSpec;
 pub use report::{render_report, ReportOptions};
+pub use service::{
+    epoch_pair, DedupService, EpochReader, EpochWriter, QueryAnswer, ServiceConfig, ServiceError,
+    ServiceStats,
+};
 pub use spill::{read_nn_reln, spill_nn_reln};
 pub use threshold::{estimate_sn_threshold, estimate_sn_threshold_parallel};

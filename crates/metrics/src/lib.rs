@@ -149,10 +149,23 @@ pub enum Counter {
     PivotUbCutoffSeeds,
     /// Raw query-to-pivot distances computed at lookup time (`nnindex`).
     PivotQueryDists,
+    /// Ingest batches admitted by the dedup service's writer thread
+    /// (`core` service).
+    ServiceBatchesAdmitted,
+    /// Records admitted through those batches (`core` service).
+    ServiceRecordsAdmitted,
+    /// Snapshot epochs published by the service writer — one per admitted
+    /// batch under the left-right protocol (`core` service).
+    ServiceEpochsPublished,
+    /// Point queries served from the epoch snapshot (`core` service).
+    ServicePointQueries,
+    /// Non-blocking submits rejected with `QueueFull` backpressure
+    /// (`core` service).
+    ServiceQueueRejections,
 }
 
 /// Number of counters in [`Counter`].
-pub const NUM_COUNTERS: usize = Counter::PivotQueryDists as usize + 1;
+pub const NUM_COUNTERS: usize = Counter::ServiceQueueRejections as usize + 1;
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 
@@ -442,6 +455,34 @@ pub struct Phase2Metrics {
     pub threads: u64,
 }
 
+/// Long-running dedup-service accounting (`core` service layer): ingest
+/// admission, snapshot publication, and point-query traffic. The latency
+/// quantiles and the queue high-water mark are filled by the service from
+/// its own histogram/state (like [`SpillMetrics::peak_rss_bytes`]), not
+/// counter-backed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Ingest batches admitted by the writer thread.
+    pub batches_admitted: u64,
+    /// Records admitted through those batches.
+    pub records_admitted: u64,
+    /// Snapshot epochs published (one per admitted batch).
+    pub epochs_published: u64,
+    /// Point queries served from the epoch snapshot.
+    pub point_queries: u64,
+    /// Non-blocking submits rejected with `QueueFull` backpressure.
+    pub queue_rejections: u64,
+    /// Ingest-queue depth high-water mark (service-filled, not
+    /// counter-backed).
+    pub queue_depth_high_water: u64,
+    /// Median point-query latency in nanoseconds (service-filled from its
+    /// latency histogram, not counter-backed).
+    pub query_p50_ns: u64,
+    /// 99th-percentile point-query latency in nanoseconds
+    /// (service-filled, not counter-backed).
+    pub query_p99_ns: u64,
+}
+
 /// Per-stage wall times in nanoseconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimings {
@@ -487,6 +528,8 @@ pub struct RunMetrics {
     pub phase1: Phase1Metrics,
     /// Phase-2 relational accounting.
     pub phase2: Phase2Metrics,
+    /// Long-running dedup-service traffic (zeroed for batch runs).
+    pub service: ServiceMetrics,
     /// Per-stage wall times.
     pub timings: StageTimings,
 }
@@ -562,6 +605,17 @@ impl RunMetrics {
             join_passes: d.get(Counter::Phase2JoinPasses),
             components: d.get(Counter::Phase2Components),
             threads: self.phase2.threads, // pipeline-filled, not a counter
+        };
+        self.service = ServiceMetrics {
+            batches_admitted: d.get(Counter::ServiceBatchesAdmitted),
+            records_admitted: d.get(Counter::ServiceRecordsAdmitted),
+            epochs_published: d.get(Counter::ServiceEpochsPublished),
+            point_queries: d.get(Counter::ServicePointQueries),
+            queue_rejections: d.get(Counter::ServiceQueueRejections),
+            // Service-filled, not counter-backed.
+            queue_depth_high_water: self.service.queue_depth_high_water,
+            query_p50_ns: self.service.query_p50_ns,
+            query_p99_ns: self.service.query_p99_ns,
         };
     }
 
@@ -651,6 +705,16 @@ impl RunMetrics {
                 .u64("join_passes", self.phase2.join_passes)
                 .u64("components", self.phase2.components)
                 .u64("threads", self.phase2.threads);
+        });
+        w.object("service", |o| {
+            o.u64("batches_admitted", self.service.batches_admitted)
+                .u64("records_admitted", self.service.records_admitted)
+                .u64("epochs_published", self.service.epochs_published)
+                .u64("point_queries", self.service.point_queries)
+                .u64("queue_rejections", self.service.queue_rejections)
+                .u64("queue_depth_high_water", self.service.queue_depth_high_water)
+                .u64("query_p50_ns", self.service.query_p50_ns)
+                .u64("query_p99_ns", self.service.query_p99_ns);
         });
         w.object("timings_ns", |o| {
             o.u64("build_distance", self.timings.build_distance_ns)
@@ -749,6 +813,7 @@ mod tests {
             "storage",
             "phase1",
             "phase2",
+            "service",
             "timings_ns",
         ] {
             assert!(json.contains(&format!("\"{section}\"")), "missing {section}: {json}");
@@ -793,10 +858,18 @@ mod tests {
         incr(Counter::PivotLbSkips, 19);
         incr(Counter::PivotUbCutoffSeeds, 6);
         incr(Counter::PivotQueryDists, 48);
+        incr(Counter::ServiceBatchesAdmitted, 2);
+        incr(Counter::ServiceRecordsAdmitted, 120);
+        incr(Counter::ServiceEpochsPublished, 2);
+        incr(Counter::ServicePointQueries, 55);
+        incr(Counter::ServiceQueueRejections, 1);
         let delta = snapshot().delta(&before);
         let mut m = RunMetrics::default();
         m.phase2.threads = 4; // pipeline-filled fields survive the delta
         m.spill.peak_rss_bytes = 1234;
+        m.service.queue_depth_high_water = 9; // service-filled fields survive
+        m.service.query_p50_ns = 1_000;
+        m.service.query_p99_ns = 9_000;
         m.apply_counter_delta(&delta);
         assert_eq!(m.textdist.fms, 5);
         assert_eq!(m.nnindex.postings_scanned, 11);
@@ -844,6 +917,19 @@ mod tests {
         );
         assert_eq!(m.spill, SpillMetrics { entries: 25, bytes: 4096, peak_rss_bytes: 1234 });
         assert_eq!(m.phase1.steal_blocks, 16);
+        assert_eq!(
+            m.service,
+            ServiceMetrics {
+                batches_admitted: 2,
+                records_admitted: 120,
+                epochs_published: 2,
+                point_queries: 55,
+                queue_rejections: 1,
+                queue_depth_high_water: 9,
+                query_p50_ns: 1_000,
+                query_p99_ns: 9_000,
+            }
+        );
     }
 
     #[cfg(target_os = "linux")]

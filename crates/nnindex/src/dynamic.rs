@@ -15,14 +15,14 @@ use std::collections::HashMap;
 
 use fuzzydedup_metrics::{incr, Counter};
 use fuzzydedup_relation::Neighbor;
-use fuzzydedup_textdist::{record_string, record_term_set, Distance};
+use fuzzydedup_textdist::{record_string, record_term_set, Distance, TermSet};
 
 use crate::candgen::{select_top_candidates, CandFilter, RecordMeta};
 use crate::pivot::PivotTable;
 use crate::scratch::with_scoreboard;
 use crate::{
-    lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
-    NnIndex, PairDistanceCache, RecordView,
+    lookup_from_verified, sort_neighbors, survive, verify_candidates_bounded, LookupCost,
+    LookupSpec, NnIndex, PairDistanceCache, RecordView,
 };
 
 /// Configuration of the dynamic index (mirrors
@@ -162,10 +162,19 @@ impl<D: Distance> DynamicInvertedIndex<D> {
     /// Generate, score, truncate; mirrors the static index's gather,
     /// including the stop-gram fallback for fully-stopped queries.
     fn gather(&self, id: u32, limit: usize) -> Gathered {
-        let (mut scored, mut slack, dropped) = self.generate(id, false);
+        let fields: Vec<&str> = self.records[id as usize].iter().map(String::as_str).collect();
+        let ts = record_term_set(&fields, self.config.q, self.config.index_tokens);
+        self.gather_terms(&ts, Some(id), limit)
+    }
+
+    /// [`Self::gather`] over an explicit term set — the shared entry for
+    /// indexed queries (`exclude = Some(id)`) and by-content probes of
+    /// records not (yet) in the index (`exclude = None`).
+    fn gather_terms(&self, ts: &TermSet, exclude: Option<u32>, limit: usize) -> Gathered {
+        let (mut scored, mut slack, dropped) = self.generate_terms(ts, exclude, false);
         incr(Counter::StopGramsDropped, dropped);
         if scored.is_empty() && dropped > 0 {
-            let (rescored, reslack, _) = self.generate(id, true);
+            let (rescored, reslack, _) = self.generate_terms(ts, exclude, true);
             scored = rescored;
             slack = reslack;
         }
@@ -179,19 +188,24 @@ impl<D: Distance> DynamicInvertedIndex<D> {
     /// plus the stop-gram slack and the number of dropped stop terms.
     /// Accumulates on the epoch-stamped thread-local scoreboard (the same
     /// kernel as the static index) instead of the historical per-query
-    /// `HashMap`; the query's own id is excluded by pre-stamping its slot.
-    /// Terms are applied in the term-set's sorted order, so per-candidate
-    /// weight sums match the historical path bit for bit.
-    fn generate(&self, id: u32, include_stops: bool) -> (Vec<(u32, f64, u32)>, u32, u64) {
+    /// `HashMap`; an indexed query's own id is excluded by pre-stamping
+    /// its slot. Terms are applied in the term-set's sorted order, so
+    /// per-candidate weight sums match the historical path bit for bit.
+    fn generate_terms(
+        &self,
+        ts: &TermSet,
+        exclude: Option<u32>,
+        include_stops: bool,
+    ) -> (Vec<(u32, f64, u32)>, u32, u64) {
         let n = self.records.len().max(1) as f64;
         let max_df = (self.config.max_df_fraction * n).max(f64::from(self.config.stop_df_floor));
-        let fields: Vec<&str> = self.records[id as usize].iter().map(String::as_str).collect();
-        let ts = record_term_set(&fields, self.config.q, self.config.index_tokens);
         let mut slack = 0u32;
         let mut dropped = 0u64;
         let scored = with_scoreboard(|board| {
             board.begin(self.records.len());
-            board.exclude(id);
+            if let Some(id) = exclude {
+                board.exclude(id);
+            }
             for (term, gram_count) in &ts.terms {
                 let Some(ids) = self.postings.get(term) else { continue };
                 let df = ids.len() as f64;
@@ -220,6 +234,79 @@ impl<D: Distance> DynamicInvertedIndex<D> {
             overlaps: Some(&gathered.overlaps),
             slack: gathered.slack,
         })
+    }
+
+    /// Combined lookup **by content**: the nearest neighbors of a record
+    /// given as attribute strings, whether or not it is in the index,
+    /// with the same candidate generation and bounded, filtered
+    /// verification as [`NnIndex::lookup`]. Nothing is inserted and no id
+    /// is excluded — probing with the text of an indexed record returns
+    /// that record itself at distance 0. This is the read side of a
+    /// point-query API ("find duplicates of this record now").
+    ///
+    /// The pivot table is not consulted (a probe has no pivot row) and
+    /// verification is scalar rather than lock-step batched; both are
+    /// pure performance levers, so the answer is exactly what an
+    /// identical appended record would see under the same corpus
+    /// statistics (document frequencies, stop-gram thresholds).
+    pub fn probe(
+        &self,
+        fields: &[&str],
+        spec: LookupSpec,
+        p: f64,
+    ) -> (Vec<Neighbor>, f64, LookupCost) {
+        let ts = record_term_set(fields, self.config.q, self.config.index_tokens);
+        let gathered = self.gather_terms(&ts, None, self.config.candidate_limit);
+        let filter = self.filter_ok.then(|| CandFilter {
+            q: self.config.q as u32,
+            query: RecordMeta { chars: ts.chars, grams: ts.gram_total },
+            meta: &self.meta,
+            overlaps: Some(&gathered.overlaps),
+            slack: gathered.slack,
+        });
+        // Prepare the query through the same view verification reads the
+        // candidates from (pre-joined when the distance is record-string
+        // invariant), so distances match the indexed path bit for bit.
+        let joined;
+        let query_fields: Vec<&str> = if self.norm.is_some() {
+            joined = record_string(fields);
+            vec![joined.as_str()]
+        } else {
+            fields.to_vec()
+        };
+        let mut prepared = self.distance.prepare(&query_fields);
+        let view = self.record_view();
+        let mut survivors: Vec<Neighbor> = Vec::with_capacity(gathered.ids.len());
+        let mut kth: Vec<f64> = Vec::new();
+        let mut nn_running = f64::INFINITY;
+        let mut attempted = 0u64;
+        let mut cand_fields: Vec<&str> = Vec::new();
+        for (i, &c) in gathered.ids.iter().enumerate() {
+            let spec_cut = match spec {
+                LookupSpec::TopK(0) => f64::NEG_INFINITY,
+                LookupSpec::TopK(k) => {
+                    if kth.len() < k {
+                        f64::INFINITY
+                    } else {
+                        kth[k - 1]
+                    }
+                }
+                LookupSpec::Radius(theta) => theta,
+            };
+            let cutoff = spec_cut.max(p * nn_running);
+            if let Some(f) = &filter {
+                if f.prunes(i, c, cutoff) {
+                    continue;
+                }
+            }
+            attempted += 1;
+            cand_fields.clear();
+            view.extend_fields(c, &mut cand_fields);
+            if let Some(d) = prepared.distance_bounded(&cand_fields, cutoff) {
+                survive(&mut survivors, &mut kth, &mut nn_running, spec, c, d);
+            }
+        }
+        lookup_from_verified(survivors, gathered.generated, attempted, spec, p)
     }
 
     fn answer(&self, id: u32, spec: LookupSpec) -> Vec<Neighbor> {
@@ -422,6 +509,56 @@ mod tests {
             let (n_b, ng_b, _) = pruned.lookup(id, LookupSpec::TopK(3), 2.0);
             assert_eq!((n_a, ng_a), (n_b, ng_b), "id {id}");
         }
+    }
+
+    #[test]
+    fn probe_finds_indexed_duplicate_at_distance_zero() {
+        let mut idx = DynamicInvertedIndex::new(EditDistance, DynamicIndexConfig::default());
+        push_all(&mut idx, &["golden dragon", "golden palace", "unrelated thing"]);
+        let (neighbors, ng, cost) = idx.probe(&["golden dragon"], LookupSpec::TopK(2), 2.0);
+        assert_eq!(neighbors[0].id, 0);
+        assert_eq!(neighbors[0].dist, 0.0);
+        assert!(ng >= 1.0);
+        assert_eq!(cost.probes, 1);
+        assert!(cost.distance_calls <= cost.candidates);
+    }
+
+    #[test]
+    fn probe_matches_appended_record_lookup() {
+        // A probe must answer exactly what the same record would see if it
+        // were appended and queried — provided the corpus statistics
+        // match, so the control index holds the probe record too. Small
+        // corpus: the stop floor (df > 100) never fires and no candidate
+        // truncation occurs, hence identical candidate sets.
+        let corpus =
+            ["the doors", "doors", "the beatles", "beatles the", "shania twain", "aaliyah"];
+        let probes = ["the doorz", "shania twin", "zzz nothing shared"];
+        for probe_text in probes {
+            let mut base = DynamicInvertedIndex::new(EditDistance, DynamicIndexConfig::default());
+            let mut ctrl = DynamicInvertedIndex::new(EditDistance, DynamicIndexConfig::default());
+            push_all(&mut base, &corpus);
+            push_all(&mut ctrl, &corpus);
+            // The control holds the probe record (the appended shift of
+            // document frequencies only reorders candidates; with no
+            // stop-grams and no truncation at this size the answer is
+            // unchanged), and `lookup` excludes it from its own results.
+            let probe_id = ctrl.push(vec![probe_text.to_string()]);
+            for spec in [LookupSpec::TopK(3), LookupSpec::Radius(0.4)] {
+                let (got, got_ng, _) = base.probe(&[probe_text], spec, 2.0);
+                let (want, want_ng, _) = ctrl.lookup(probe_id, spec, 2.0);
+                assert_eq!(got, want, "probe {probe_text:?} {spec:?}");
+                assert_eq!(got_ng, want_ng, "probe {probe_text:?} {spec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_on_empty_index_is_empty() {
+        let idx =
+            DynamicInvertedIndex::<EditDistance>::new(EditDistance, DynamicIndexConfig::default());
+        let (neighbors, ng, _) = idx.probe(&["anything"], LookupSpec::TopK(3), 2.0);
+        assert!(neighbors.is_empty());
+        assert_eq!(ng, 1.0);
     }
 
     #[test]

@@ -28,14 +28,13 @@ fn main() {
     // IDF weights fit on a historical sample (here: the stream itself; in
     // production, yesterday's corpus).
     let idf = IdfModel::fit_records(&records);
-    let mut state = IncrementalDedup::new(
-        FuzzyMatchDistance::new(idf),
-        DynamicIndexConfig::default(),
-        CutSpec::Size(4),
-        Aggregation::Max,
-        6.0,
-    )
-    .expect("valid configuration");
+    let mut state = IncrementalDedup::builder(FuzzyMatchDistance::new(idf))
+        .index_config(DynamicIndexConfig::default())
+        .cut(CutSpec::Size(4))
+        .aggregation(Aggregation::Max)
+        .sn_threshold(6.0)
+        .build()
+        .expect("valid configuration");
 
     let batch_size = 75;
     let mut total_refreshed = 0usize;

@@ -26,6 +26,7 @@ benches=(
     bench_phase1_batch
     bench_phase1_pivot
     bench_phase2
+    bench_service
 )
 
 for bench in "${benches[@]}"; do

@@ -5,7 +5,7 @@
 #
 #   scripts/ci.sh                 # all stages
 #   scripts/ci.sh --fast          # tier-1 only: build + root tests
-#   scripts/ci.sh --skip-bench    # all stages except bench-smoke/scale-smoke
+#   scripts/ci.sh --skip-bench    # all stages except the smoke/bench tiers
 #   scripts/ci.sh --bench-only    # only the bench-smoke stage
 #   scripts/ci.sh --stage NAME    # exactly one stage (e.g. --stage recall-smoke)
 #
@@ -26,6 +26,8 @@
 #                 per-bench verdicts land in results/ci_summary.json
 #   scale-smoke   exp_scale_1m at 50k records: the full spill-backed,
 #                 work-stealing pipeline end to end on a FileDisk pool
+#   service-smoke exp_service_replay at 5k records: mixed ingest/query
+#                 through the live dedup service, drain-identity asserted
 #
 # bench-smoke tolerance: the gate binary defaults to ±15%; on shared /
 # virtualized machines timing noise alone exceeds that, so this driver
@@ -46,7 +48,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-all_stages=(build fmt clippy test test-ws recall-smoke bench-smoke scale-smoke)
+all_stages=(build fmt clippy test test-ws recall-smoke bench-smoke scale-smoke service-smoke)
 
 fast=0
 skip_bench=0
@@ -155,6 +157,7 @@ wants() {
         fmt|clippy|test-ws|recall-smoke) [[ $bench_only -eq 0 && $fast -eq 0 ]] ;;
         bench-smoke) [[ $fast -eq 0 && $skip_bench -eq 0 ]] ;;
         scale-smoke) [[ $bench_only -eq 0 && $fast -eq 0 && $skip_bench -eq 0 ]] ;;
+        service-smoke) [[ $bench_only -eq 0 && $fast -eq 0 && $skip_bench -eq 0 ]] ;;
     esac
 }
 
@@ -196,6 +199,18 @@ for stage in "${all_stages[@]}"; do
             run_stage scale-smoke cargo run -q --release -p fuzzydedup-bench --bin exp_scale_1m -- \
                 --records 50000 --spill-threshold 10000 --out results/ci_scale_smoke.json
             rm -f results/ci_scale_smoke.json
+            ;;
+        service-smoke)
+            # 5k-record mixed ingest/query replay through the live dedup
+            # service: exercises batched admission, epoch-snapshot point
+            # queries, and drain — the binary exits non-zero if the
+            # drained service partition is not bit-identical to a
+            # from-scratch batch run (~2 min on 2 cores). Scratch
+            # artifact, same policy as scale-smoke.
+            run_stage service-smoke cargo run -q --release -p fuzzydedup-bench \
+                --bin exp_service_replay -- \
+                --records 5000 --query-ratio 0.3 --out results/ci_service_smoke.json
+            rm -f results/ci_service_smoke.json
             ;;
     esac
 done

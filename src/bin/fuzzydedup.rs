@@ -38,13 +38,44 @@
 //!   --demo NAME           run on a built-in dataset instead of --input:
 //!                         table1 | restaurants | media | org
 //! ```
+//!
+//! ## `fuzzydedup replay` — stream the input through the live service
+//!
+//! ```text
+//! fuzzydedup replay --input records.csv [options]
+//!
+//!   --input / --output / --no-header / --columns / --demo
+//!                         as above
+//!   --distance NAME       ed | fms (service needs a cloneable kernel)
+//!   --k N | --theta X     cut specification (default DE_S(4))
+//!   --c X                 SN threshold (default 4)
+//!   --agg NAME            max | avg | max2 (default max)
+//!   --batch-size N        records admitted per insert_batch (default 64)
+//!   --queue-capacity N    bounded ingest queue; submission blocks when
+//!                         full — backpressure, not loss (default 1024)
+//!   --query-ratio F       interleave F point queries per op in [0,1)
+//!                         against the live epoch snapshot (default 0)
+//!   --seed N              probe-selection seed (default 7)
+//!   --metrics             print the run-metrics JSON (with the service
+//!                         section) to stderr
+//! ```
+//!
+//! Instead of one batch run, records stream through a
+//! [`fuzzydedup::core::DedupService`]: batched admission off a bounded
+//! queue, point queries answered wait-free from the epoch snapshot while
+//! the writer admits, then a drain. The drained partition is what the
+//! batch pipeline would compute on the same corpus (the drain-identity
+//! invariant), so the CSV output is identical — the subcommand trades
+//! end-to-end latency for live queryability and reports service
+//! statistics (admitted batches, epochs, query p50/p99) on stderr.
 
 use std::io::Read;
 use std::process::ExitCode;
 
 use fuzzydedup::core::{
     estimate_sn_threshold_parallel, evaluate, Aggregation, CutSpec, DedupConfig, DedupError,
-    Deduplicator, Parallelism,
+    DedupService, Deduplicator, IncrementalDedup, Parallelism, Partition, ServiceConfig,
+    ServiceError,
 };
 use fuzzydedup::datagen::csvio::{parse_csv, write_csv};
 use fuzzydedup::datagen::{media, org, restaurants, Dataset, DatasetSpec};
@@ -241,8 +272,274 @@ fn load_input(opts: &Options) -> Result<LoadedInput, String> {
     Ok((header, rows, gold))
 }
 
+// ---------------------------------------------------------------------------
+// `replay` subcommand: stream the input through the live dedup service.
+// ---------------------------------------------------------------------------
+
+struct ReplayOptions {
+    io: Options,
+    c: f64,
+    batch_size: usize,
+    queue_capacity: usize,
+    query_ratio: f64,
+    seed: u64,
+}
+
+fn replay_usage() -> &'static str {
+    "usage: fuzzydedup replay (--input records.csv | --demo NAME) [--output out.csv]\n\
+     \x20                 [--no-header] [--columns 0,1] [--distance ed|fms]\n\
+     \x20                 [--k N | --theta X] [--c X] [--agg max|avg|max2]\n\
+     \x20                 [--batch-size N] [--queue-capacity N] [--query-ratio F]\n\
+     \x20                 [--seed N] [--metrics]"
+}
+
+fn parse_replay_args(args: &[String]) -> Result<ReplayOptions, String> {
+    let mut cut_set = false;
+    let mut opts = ReplayOptions {
+        io: Options {
+            input: None,
+            output: None,
+            header: true,
+            columns: None,
+            gold_column: None,
+            distance: DistanceKind::FuzzyMatch,
+            cut: CutSpec::Size(4),
+            c: None,
+            dup_fraction: None,
+            agg: Aggregation::Max,
+            minimality: false,
+            report: false,
+            metrics: false,
+            threads: None,
+            pair_cache_capacity: 0,
+            pivots: 0,
+            demo: None,
+        },
+        c: 4.0,
+        batch_size: 64,
+        queue_capacity: 1024,
+        query_ratio: 0.0,
+        seed: 7,
+    };
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<&String, String> {
+        *i += 1;
+        args.get(*i).ok_or_else(|| format!("missing value for {}", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--input" => opts.io.input = Some(next(&mut i)?.clone()),
+            "--output" => opts.io.output = Some(next(&mut i)?.clone()),
+            "--no-header" => opts.io.header = false,
+            "--columns" => {
+                let spec = next(&mut i)?;
+                let cols: Result<Vec<usize>, _> =
+                    spec.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                opts.io.columns = Some(cols.map_err(|e| format!("bad --columns: {e}"))?);
+            }
+            "--demo" => opts.io.demo = Some(next(&mut i)?.clone()),
+            "--distance" => {
+                let name = next(&mut i)?;
+                opts.io.distance = DistanceKind::parse(name)
+                    .ok_or_else(|| format!("unknown distance {name:?}"))?;
+            }
+            "--k" => {
+                if cut_set {
+                    return Err("--k and --theta are mutually exclusive".to_string());
+                }
+                cut_set = true;
+                let k = next(&mut i)?.parse().map_err(|e| format!("bad --k: {e}"))?;
+                opts.io.cut = CutSpec::Size(k);
+            }
+            "--theta" => {
+                if cut_set {
+                    return Err("--k and --theta are mutually exclusive".to_string());
+                }
+                cut_set = true;
+                let t = next(&mut i)?.parse().map_err(|e| format!("bad --theta: {e}"))?;
+                opts.io.cut = CutSpec::Diameter(t);
+            }
+            "--c" => opts.c = next(&mut i)?.parse().map_err(|e| format!("bad --c: {e}"))?,
+            "--agg" => {
+                let name = next(&mut i)?;
+                opts.io.agg = Aggregation::parse(name)
+                    .ok_or_else(|| format!("unknown aggregation {name:?}"))?;
+            }
+            "--batch-size" => {
+                opts.batch_size =
+                    next(&mut i)?.parse().map_err(|e| format!("bad --batch-size: {e}"))?
+            }
+            "--queue-capacity" => {
+                opts.queue_capacity =
+                    next(&mut i)?.parse().map_err(|e| format!("bad --queue-capacity: {e}"))?
+            }
+            "--query-ratio" => {
+                opts.query_ratio =
+                    next(&mut i)?.parse().map_err(|e| format!("bad --query-ratio: {e}"))?;
+                if !(0.0..1.0).contains(&opts.query_ratio) {
+                    return Err("--query-ratio must be in [0, 1)".to_string());
+                }
+            }
+            "--seed" => {
+                opts.seed = next(&mut i)?.parse().map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--metrics" => opts.io.metrics = true,
+            "--help" | "-h" => return Err(replay_usage().to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{}", replay_usage())),
+        }
+        i += 1;
+    }
+    if opts.io.input.is_none() && opts.io.demo.is_none() {
+        return Err(format!("--input or --demo is required\n{}", replay_usage()));
+    }
+    Ok(opts)
+}
+
+/// Stream `records` through a [`DedupService`] built on `distance`,
+/// interleaving point queries, and return the drained partition.
+fn run_service<D: fuzzydedup::textdist::Distance + Clone + 'static>(
+    distance: D,
+    records: &[Vec<String>],
+    opts: &ReplayOptions,
+) -> Result<Partition, String> {
+    let before = fuzzydedup::metrics::snapshot();
+    let mut service = DedupService::spawn(
+        IncrementalDedup::builder(distance)
+            .cut(opts.io.cut)
+            .aggregation(opts.io.agg)
+            .sn_threshold(opts.c),
+        ServiceConfig::new()
+            .admit_batch_size(opts.batch_size.max(1))
+            .queue_capacity(opts.queue_capacity.max(1)),
+    )
+    .map_err(|e| render_service_error(&e))?;
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let queries_per_ingest = opts.query_ratio / (1.0 - opts.query_ratio);
+    let mut query_debt = 0.0f64;
+    let started = std::time::Instant::now();
+    for (i, record) in records.iter().enumerate() {
+        service.submit_wait(record.clone()).map_err(|e| render_service_error(&e))?;
+        query_debt += queries_per_ingest;
+        while query_debt >= 1.0 {
+            query_debt -= 1.0;
+            let probe = &records[rand::Rng::gen_range(&mut rng, 0..=i)];
+            let fields: Vec<&str> = probe.iter().map(String::as_str).collect();
+            let _ = service.query(&fields);
+        }
+    }
+    service.drain();
+    let stats = service.stats();
+    eprintln!(
+        "service: {} records in {} batches over {} epochs ({:.1?} wall); \
+         queue high-water {}; {} point queries (p50 ~{} ns, p99 ~{} ns); \
+         distinct-entity estimate {}{}",
+        stats.records_admitted,
+        stats.batches_admitted,
+        stats.epochs_published,
+        started.elapsed(),
+        stats.queue_depth_high_water,
+        stats.point_queries,
+        stats.query_p50_ns,
+        stats.query_p99_ns,
+        stats.distinct_groups_estimate,
+        if stats.distinct_is_exact { " (exact)" } else { "" },
+    );
+    if opts.io.metrics {
+        let mut m = fuzzydedup::metrics::RunMetrics::default();
+        m.apply_counter_delta(&fuzzydedup::metrics::snapshot().delta(&before));
+        m.service = service.service_metrics();
+        eprintln!("{}", m.to_json());
+    }
+    let (_, partition) = service.snapshot_partition();
+    service.shutdown();
+    Ok(partition)
+}
+
+fn render_service_error(e: &ServiceError) -> String {
+    use std::error::Error;
+    let mut msg = e.to_string();
+    let mut cause: Option<&dyn Error> = e.source();
+    while let Some(c) = cause {
+        msg.push_str(": ");
+        msg.push_str(&c.to_string());
+        cause = c.source();
+    }
+    msg
+}
+
+fn run_replay(args: &[String]) -> Result<(), String> {
+    let opts = parse_replay_args(args)?;
+    let (header, rows, gold) = load_input(&opts.io)?;
+    if rows.is_empty() {
+        eprintln!("no records");
+        return Ok(());
+    }
+    let match_columns: Vec<usize> = match &opts.io.columns {
+        Some(cols) => cols.clone(),
+        None => (0..header.len()).collect(),
+    };
+    for &c in &match_columns {
+        if c >= header.len() {
+            return Err(format!("--columns index {c} out of range (arity {})", header.len()));
+        }
+    }
+    let records: Vec<Vec<String>> =
+        rows.iter().map(|r| match_columns.iter().map(|&c| r[c].clone()).collect()).collect();
+
+    let partition = match opts.io.distance {
+        DistanceKind::EditDistance => {
+            run_service(fuzzydedup::textdist::EditDistance, &records, &opts)?
+        }
+        DistanceKind::FuzzyMatch => {
+            let idf = fuzzydedup::textdist::IdfModel::fit_records(&records);
+            run_service(fuzzydedup::textdist::FuzzyMatchDistance::new(idf), &records, &opts)?
+        }
+        other => {
+            return Err(format!(
+                "replay supports --distance ed|fms (the service clones its kernel), got {other:?}"
+            ))
+        }
+    };
+
+    eprintln!(
+        "{} records -> {} groups ({} duplicate pairs)",
+        records.len(),
+        partition.num_groups(),
+        partition.num_duplicate_pairs(),
+    );
+    if let Some(gold) = &gold {
+        let pr = evaluate(&partition, gold);
+        eprintln!(
+            "vs gold labels: recall={:.3} precision={:.3} f1={:.3}",
+            pr.recall,
+            pr.precision,
+            pr.f1()
+        );
+    }
+
+    let mut out_rows: Vec<Vec<String>> = Vec::with_capacity(rows.len() + 1);
+    let mut out_header = header.clone();
+    out_header.push("group_id".to_string());
+    out_rows.push(out_header);
+    for (i, row) in rows.iter().enumerate() {
+        let mut out = row.clone();
+        out.push(partition.group_index_of(i as u32).to_string());
+        out_rows.push(out);
+    }
+    let text = write_csv(&out_rows);
+    match &opts.io.output {
+        Some(path) => std::fs::write(path, text).map_err(|e| e.to_string())?,
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("replay") {
+        return run_replay(&args[1..]);
+    }
     let opts = parse_args(&args)?;
     let (header, rows, gold) = load_input(&opts)?;
     if rows.is_empty() {
