@@ -21,7 +21,8 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use fuzzydedup_bench::gate::{
-    compare, has_regression, parse_bench_file, render_table, verdicts_json, Comparison,
+    compare_with_tolerances, has_regression, parse_bench_file, render_table, verdicts_json,
+    Comparison,
 };
 
 /// The cheap benches the gate re-runs: seconds each, covering the edit
@@ -37,6 +38,7 @@ const CHEAP_BENCHES: &[&str] = &[
     "bench_phase1_cache",
     "bench_phase1_batch",
     "bench_phase1_pivot",
+    "bench_phase1_collapse",
     "bench_phase2",
     "bench_service",
 ];
@@ -50,9 +52,18 @@ const GATED_ARTIFACTS: &[&str] = &[
     "BENCH_phase1_cache.json",
     "BENCH_phase1_batch.json",
     "BENCH_phase1_pivot.json",
+    "BENCH_phase1_collapse.json",
     "BENCH_phase2.json",
     "BENCH_service.json",
 ];
+
+/// Per-row tolerance overrides: `(artifact, row, tolerance)`. The service
+/// replay's p99 point-query latency is a tail statistic — one scheduler
+/// preemption inside the measured window moves it far beyond ±15% even on
+/// a quiet machine — so it gets a wider band of its own instead of
+/// dragging the whole stage into a storm retry.
+const ROW_TOLERANCES: &[(&str, &str, f64)] =
+    &[("BENCH_service.json", "replay/point_query_p99", 0.60)];
 
 struct Args {
     tolerance: f64,
@@ -186,7 +197,12 @@ fn main() {
                 continue;
             }
         };
-        let rows = compare(&baseline, &fresh, args.tolerance);
+        let rows = compare_with_tolerances(&baseline, &fresh, args.tolerance, &|row| {
+            ROW_TOLERANCES
+                .iter()
+                .find(|(a, name, _)| a == artifact && *name == row)
+                .map(|&(_, _, t)| t)
+        });
         print!("{}", render_table(artifact, &rows));
         compared += rows.len();
         any_regression |= has_regression(&rows);

@@ -28,7 +28,7 @@
 
 use std::sync::Arc;
 
-use fuzzydedup_core::{evaluate, CutSpec, DedupConfig, Deduplicator, IndexChoice};
+use fuzzydedup_core::{evaluate, CollapseKey, CutSpec, DedupConfig, Deduplicator, IndexChoice};
 use fuzzydedup_datagen::{restaurants, DatasetSpec};
 use fuzzydedup_nnindex::{
     DynamicIndexConfig, DynamicInvertedIndex, InvertedIndex, InvertedIndexConfig, MinHashConfig,
@@ -174,6 +174,44 @@ fn main() {
         }
     }
     println!("(prefix filter is asserted lossless for radius queries on packed and csr)");
+
+    // Gate 4: the exact-duplicate collapse pre-pass. In the exact regime
+    // (no candidate budget, so the budget can never bisect a duplicate
+    // class — DESIGN.md §7.10) the expanded NN relation is asserted
+    // bit-identical to the collapse-off run. Under the default budget a
+    // cut through a weight tie-block keeps a per-representative
+    // *superset* of the full-corpus candidates (NG can only grow), so
+    // the assertion there is partition identity — the invariant Phase 2
+    // actually consumes.
+    let mut rng = StdRng::seed_from_u64(7);
+    let dup_heavy = restaurants::generate(&mut rng, DatasetSpec::small().dup_rate(0.4));
+    let uncapped = InvertedIndexConfig { candidate_limit: 0, ..Default::default() };
+    for (name, choice, exact) in [
+        ("nested", IndexChoice::NestedLoop, true),
+        ("inverted/uncapped", IndexChoice::Inverted(uncapped), true),
+        ("inverted/default", IndexChoice::Inverted(InvertedIndexConfig::default()), false),
+        ("minhash", IndexChoice::MinHash(MinHashConfig::default()), true),
+    ] {
+        let base = DedupConfig::new(DistanceKind::EditDistance)
+            .cut(CutSpec::Size(4))
+            .sn_threshold(4.0)
+            .index_choice(choice);
+        let plain =
+            Deduplicator::new(base.clone()).run_records(&dup_heavy.records).expect("pipeline");
+        let collapsed = Deduplicator::new(base.collapse(Some(CollapseKey::RecordString)))
+            .run_records(&dup_heavy.records)
+            .expect("pipeline");
+        assert_eq!(plain.partition, collapsed.partition, "{name}: collapse moved the partition");
+        if exact {
+            assert_eq!(plain.nn_reln, collapsed.nn_reln, "{name}: collapse moved the NN relation");
+        }
+        assert!(
+            collapsed.metrics.collapse.collapsed_records > 0,
+            "{name}: a 40% duplicate stream collapsed nothing"
+        );
+    }
+    println!("(exact-duplicate collapse: relation asserted bit-identical in the exact regime,");
+    println!(" partition asserted identical under the default candidate budget)");
 
     println!("\n# End-to-end quality per index (DE_S(4), c=6, fms):");
     println!("{:<12} {:>8} {:>10} {:>7}", "index", "recall", "precision", "f1");

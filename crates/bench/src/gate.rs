@@ -242,8 +242,23 @@ pub struct Comparison {
 /// tolerance (e.g. `0.15` = ±15%). Rows come back in baseline order with
 /// fresh-only rows appended, so the report is stable.
 pub fn compare(baseline: &[BenchCase], fresh: &[BenchCase], tolerance: f64) -> Vec<Comparison> {
+    compare_with_tolerances(baseline, fresh, tolerance, &|_| None)
+}
+
+/// [`compare`] with a per-row tolerance override: `row_tolerance(name)`
+/// returning `Some(t)` replaces the global tolerance for that row. Tail
+/// statistics (a p99 latency) legitimately wobble far more than a `min_ns`
+/// hot-loop row; giving them a wider band here beats either failing the
+/// stage into a retry storm or widening the gate for everything.
+pub fn compare_with_tolerances(
+    baseline: &[BenchCase],
+    fresh: &[BenchCase],
+    tolerance: f64,
+    row_tolerance: &dyn Fn(&str) -> Option<f64>,
+) -> Vec<Comparison> {
     let mut rows = Vec::with_capacity(baseline.len());
     for base in baseline {
+        let tolerance = row_tolerance(&base.name).unwrap_or(tolerance);
         match fresh.iter().find(|f| f.name == base.name) {
             Some(f) => {
                 let ratio = if base.min_ns > 0.0 { f.min_ns / base.min_ns } else { 1.0 };
@@ -419,6 +434,26 @@ mod tests {
         assert_eq!(rows[0].verdict, Verdict::Missing);
         assert_eq!(rows[1].verdict, Verdict::New);
         assert!(has_regression(&rows));
+    }
+
+    #[test]
+    fn per_row_tolerance_override_widens_only_that_row() {
+        let baseline = vec![case("replay/point_query_p99", 1000.0), case("hot/loop", 1000.0)];
+        let fresh = vec![case("replay/point_query_p99", 1500.0), case("hot/loop", 1500.0)];
+        // Globally ±15% both rows regress; with the p99 row widened to
+        // ±60%, only the hot loop still fails.
+        let rows = compare_with_tolerances(&baseline, &fresh, 0.15, &|name| {
+            (name == "replay/point_query_p99").then_some(0.60)
+        });
+        assert_eq!(rows[0].verdict, Verdict::Ok);
+        assert_eq!(rows[1].verdict, Verdict::Regressed);
+        // Improvements are judged against the same per-row band.
+        let fast = vec![case("replay/point_query_p99", 500.0), case("hot/loop", 500.0)];
+        let rows = compare_with_tolerances(&baseline, &fast, 0.15, &|name| {
+            (name == "replay/point_query_p99").then_some(0.60)
+        });
+        assert_eq!(rows[0].verdict, Verdict::Ok, "within the wide band");
+        assert_eq!(rows[1].verdict, Verdict::Improved);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! including the pivot-pruning and per-phase parallelism knobs that the
 //! historical positional constructor could not reach.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -33,6 +34,7 @@ use fuzzydedup_nnindex::{
 use fuzzydedup_relation::Neighbor;
 use fuzzydedup_textdist::Distance;
 
+use crate::collapse::{CollapseKey, CollapseMap};
 use crate::criteria::Aggregation;
 use crate::nnreln::{NnEntry, NnReln};
 use crate::pair_cache::PairCache;
@@ -87,6 +89,7 @@ pub struct IncrementalDedupBuilder<D> {
     pair_cache_capacity: usize,
     pivot_count: Option<usize>,
     parallelism: Parallelism,
+    collapse: Option<CollapseKey>,
 }
 
 impl<D: Distance> IncrementalDedupBuilder<D> {
@@ -102,6 +105,7 @@ impl<D: Distance> IncrementalDedupBuilder<D> {
             pair_cache_capacity: 0,
             pivot_count: None,
             parallelism: Parallelism::sequential(),
+            collapse: None,
         }
     }
 
@@ -169,6 +173,20 @@ impl<D: Distance> IncrementalDedupBuilder<D> {
         self
     }
 
+    /// Enable the exact-duplicate collapse pre-pass on the incremental
+    /// path — the mirror of [`crate::pipeline::DedupConfig::collapse`].
+    /// Arriving records that normalize to an already-indexed key (see
+    /// [`CollapseKey`]) are *not* re-indexed: their representative's
+    /// multiplicity is bumped instead
+    /// ([`DynamicInvertedIndex::note_duplicate`]), lookups weight cutoffs
+    /// and growth counts in full-corpus units, and the partition /
+    /// `NN_Reln` / point-query surfaces are expanded back to full-corpus
+    /// ids — identical to running with the knob off (DESIGN.md §7.10).
+    pub fn collapse(mut self, key: Option<CollapseKey>) -> Self {
+        self.collapse = key;
+        self
+    }
+
     /// Build the empty incremental state.
     ///
     /// # Errors
@@ -197,8 +215,24 @@ impl<D: Distance> IncrementalDedupBuilder<D> {
         if let Some(pivots) = self.pivot_count {
             index_config.pivots = pivots;
         }
+        if self.collapse == Some(CollapseKey::RecordString)
+            && !self.distance.record_string_invariant()
+        {
+            return Err(DedupError::InvalidConfig(format!(
+                "collapse key RecordString requires a record-string-invariant distance; {} is \
+                 not — use CollapseKey::ExactFields",
+                self.distance.name()
+            )));
+        }
+        let (index, collapse) = match self.collapse {
+            Some(key) => (
+                DynamicInvertedIndex::new_collapsed(self.distance, index_config),
+                Some(IncCollapse { key, by_key: HashMap::new(), classes: Vec::new() }),
+            ),
+            None => (DynamicInvertedIndex::new(self.distance, index_config), None),
+        };
         Ok(IncrementalDedup {
-            index: DynamicInvertedIndex::new(self.distance, index_config),
+            index,
             entries: Vec::new(),
             cut: self.cut,
             agg: self.agg,
@@ -208,8 +242,22 @@ impl<D: Distance> IncrementalDedupBuilder<D> {
             pair_cache: (self.pair_cache_capacity > 0)
                 .then(|| PairCache::new(self.pair_cache_capacity)),
             parallelism: self.parallelism,
+            collapse,
         })
     }
+}
+
+/// Collapse bookkeeping on the incremental path: the normalization-key
+/// map and the class structure, maintained as records arrive. Index ids
+/// are representative ids; full-corpus ids are assigned in arrival order
+/// and only materialize on the expansion surfaces.
+struct IncCollapse {
+    key: CollapseKey,
+    /// Normalization key → representative (index) id.
+    by_key: HashMap<String, u32>,
+    /// Per representative, the full-corpus member ids, ascending (appends
+    /// arrive in full-id order, so pushes keep each class sorted).
+    classes: Vec<Vec<u32>>,
 }
 
 /// An incrementally-maintained deduplication state; see module docs.
@@ -223,6 +271,7 @@ pub struct IncrementalDedup<D: Distance> {
     partition: Partition,
     pair_cache: Option<PairCache>,
     parallelism: Parallelism,
+    collapse: Option<IncCollapse>,
 }
 
 impl<D: Distance> IncrementalDedup<D> {
@@ -272,9 +321,11 @@ impl<D: Distance> IncrementalDedup<D> {
         self
     }
 
-    /// Number of records.
+    /// Number of records, in full-corpus units: with the collapse
+    /// pre-pass on, exact duplicates count even though only their
+    /// representative is indexed.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.index.n_full() as usize
     }
 
     /// Whether the state is empty.
@@ -282,17 +333,22 @@ impl<D: Distance> IncrementalDedup<D> {
         self.index.is_empty()
     }
 
-    /// The current partition.
+    /// The current partition (over full-corpus ids).
     pub fn partition(&self) -> &Partition {
         &self.partition
     }
 
-    /// The current `NN_Reln` (rebuilt view over the maintained entries).
+    /// The current `NN_Reln` over full-corpus ids (rebuilt view over the
+    /// maintained entries; with collapse on, the representative-space
+    /// entries expanded through [`CollapseMap::expand_reln`]).
     pub fn nn_reln(&self) -> NnReln {
-        NnReln::new(self.entries.clone())
+        self.full_reln()
     }
 
-    /// The indexed records.
+    /// The indexed records — one per exact-duplicate class when the
+    /// collapse pre-pass is on (members of a class are bytewise
+    /// indistinguishable to the pipeline, so the representative stands in
+    /// for all of them).
     pub fn records(&self) -> &[Vec<String>] {
         self.index.records()
     }
@@ -304,13 +360,49 @@ impl<D: Distance> IncrementalDedup<D> {
     /// is the read primitive behind the dedup service's "find duplicates
     /// of this record now" API (see `crate::service`).
     pub fn query_record(&self, fields: &[&str]) -> (Vec<Neighbor>, f64, LookupCost) {
-        self.index.probe(fields, self.spec(), self.p)
+        let (neighbors, ng, cost) = self.index.probe(fields, self.spec(), self.p);
+        let Some(col) = &self.collapse else {
+            return (neighbors, ng, cost);
+        };
+        // Expand representative hits to full-corpus ids: every member of a
+        // hit class sits at the representative's distance. The weighted
+        // probe already counts in full-corpus units (a TopK lookup returns
+        // all survivors), so only the canonical re-sort and the final cut
+        // happen here.
+        let mut full: Vec<Neighbor> = neighbors
+            .iter()
+            .flat_map(|nb| {
+                col.classes[nb.id as usize].iter().map(|&member| Neighbor::new(member, nb.dist))
+            })
+            .collect();
+        full.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        if let LookupSpec::TopK(k) = self.spec() {
+            full.truncate(k);
+        }
+        (full, ng, cost)
     }
 
     fn spec(&self) -> LookupSpec {
-        match NeighborSpec::from_cut(&self.cut, self.index.len()) {
+        // Full-corpus units: a weighted lookup's cutoffs and k count every
+        // collapsed duplicate, so the spec is derived from the full count.
+        match NeighborSpec::from_cut(&self.cut, self.len()) {
             NeighborSpec::TopK(k) => LookupSpec::TopK(k),
             NeighborSpec::Radius(theta) => LookupSpec::Radius(theta),
+        }
+    }
+
+    /// The full-corpus `NN_Reln`: the maintained entries, expanded through
+    /// the class structure when collapse is on.
+    fn full_reln(&self) -> NnReln {
+        let reln = NnReln::new(self.entries.clone());
+        match &self.collapse {
+            None => reln,
+            Some(col) => {
+                let map = CollapseMap::from_parts(col.classes.clone());
+                let visible: Vec<bool> =
+                    (0..map.n_reps()).map(|r| self.index.has_terms(r as u32)).collect();
+                map.expand_reln(&reln, NeighborSpec::from_cut(&self.cut, self.len()), &visible)
+            }
         }
     }
 
@@ -381,7 +473,34 @@ impl<D: Distance> IncrementalDedup<D> {
     pub fn insert_batch(&mut self, records: impl IntoIterator<Item = Vec<String>>) -> BatchStats {
         let first_new = self.index.len() as u32;
         let mut new_ids: Vec<u32> = Vec::new();
+        // Pre-existing representatives whose multiplicity this batch bumped
+        // (collapse mode): their own entries change (ng pins to 1, the
+        // weighted cutoff tightens), and so may any entry that sees them.
+        let mut dup_reps: Vec<u32> = Vec::new();
+        let mut inserted = 0usize;
         for record in records {
+            inserted += 1;
+            if let Some(col) = self.collapse.as_mut() {
+                let fields: Vec<&str> = record.iter().map(String::as_str).collect();
+                let key = col.key.key_of(&fields);
+                let full_id = self.index.n_full() as u32;
+                if let Some(&rep) = col.by_key.get(&key) {
+                    // Exact duplicate of an indexed class: no re-indexing,
+                    // just the multiplicity bump.
+                    self.index.note_duplicate(rep);
+                    col.classes[rep as usize].push(full_id);
+                    if rep < first_new {
+                        dup_reps.push(rep);
+                    }
+                    continue;
+                }
+                let rep = self.index.push(record);
+                col.by_key.insert(key, rep);
+                col.classes.push(vec![full_id]);
+                self.entries.push(NnEntry::new(rep, Vec::new(), 1.0));
+                new_ids.push(rep);
+                continue;
+            }
             let id = self.index.push(record);
             // Placeholder; filled below once all ids exist (a batch can
             // contain mutual duplicates, so entries must see the whole
@@ -389,20 +508,25 @@ impl<D: Distance> IncrementalDedup<D> {
             self.entries.push(NnEntry::new(id, Vec::new(), 1.0));
             new_ids.push(id);
         }
+        dup_reps.sort_unstable();
+        dup_reps.dedup();
 
-        // Affected pre-existing ids: candidates of the new records. The
+        // Affected pre-existing ids: candidates of the changed records —
+        // the appended representatives plus (collapse mode) the bumped
+        // ones, whose weight shift moves every entry they survive in. The
         // scan is *uncapped*: term-sharing visibility is symmetric, but the
         // per-query candidate cap is not — an old record can rank a new one
         // inside its own top-k even when the (capped) reverse query drops
         // it, and that old record's entry must still refresh.
         let mut affected: Vec<u32> = Vec::new();
-        for &id in &new_ids {
+        for &id in new_ids.iter().chain(&dup_reps) {
             for candidate in self.index.candidates_with_limit(id, 0) {
                 if candidate < first_new {
                     affected.push(candidate);
                 }
             }
         }
+        affected.extend_from_slice(&dup_reps);
         affected.sort_unstable();
         affected.dedup();
 
@@ -411,13 +535,13 @@ impl<D: Distance> IncrementalDedup<D> {
         refresh.extend_from_slice(&affected);
         self.recompute_entries(&refresh);
 
-        // Phase 2 from scratch (cheap).
-        let reln = NnReln::new(self.entries.clone());
+        // Phase 2 from scratch (cheap), over the full-corpus relation.
+        let reln = self.full_reln();
         self.partition = match self.parallelism.phase2_threads {
             None => partition_entries(&reln, self.cut, self.agg, self.c),
             Some(n) => partition_entries_parallel(&reln, self.cut, self.agg, self.c, n),
         };
-        BatchStats { inserted: new_ids.len(), refreshed: affected.len() }
+        BatchStats { inserted, refreshed: affected.len() }
     }
 }
 
@@ -667,6 +791,71 @@ mod tests {
             "the triangle bound must fire on permuted candidates"
         );
         assert!(d.get(fuzzydedup_metrics::Counter::PivotTableBuildNs) > 0, "pushes were timed");
+    }
+
+    #[test]
+    fn collapse_does_not_change_incremental_results() {
+        // Duplicate-heavy append stream with exact repeats inside and
+        // across batches: collapse-on must track collapse-off (and thus
+        // the batch pipeline, by the existing identity tests) exactly.
+        let batches: Vec<Vec<Vec<String>>> = (0..5)
+            .map(|b| {
+                (0..12)
+                    .map(|i| {
+                        let e = (b * 12 + i) % 9;
+                        let v = if i % 3 == 2 {
+                            format!("incr entity {e:02} lambdaa")
+                        } else {
+                            format!("incr entity {e:02} lambda")
+                        };
+                        vec![v]
+                    })
+                    .collect()
+            })
+            .collect();
+        for key in [CollapseKey::RecordString, CollapseKey::ExactFields] {
+            let mut plain = fresh();
+            let mut collapsed = fresh_builder().collapse(Some(key)).build().unwrap();
+            for batch in &batches {
+                let a = plain.insert_batch(batch.clone());
+                let b = collapsed.insert_batch(batch.clone());
+                assert_eq!(a.inserted, b.inserted, "{key:?}");
+                assert_eq!(plain.partition(), collapsed.partition(), "{key:?}");
+                assert_eq!(plain.nn_reln(), collapsed.nn_reln(), "{key:?}");
+                assert_eq!(plain.len(), collapsed.len(), "{key:?}");
+            }
+            // Only unique keys were indexed.
+            assert!(collapsed.records().len() < plain.records().len(), "{key:?}");
+            // Point queries agree after expansion back to full ids.
+            for probe in ["incr entity 04 lambda", "incr entity 07 lambdaa", "no such thing"] {
+                let (n_plain, ng_plain, _) = plain.query_record(&[probe]);
+                let (n_coll, ng_coll, _) = collapsed.query_record(&[probe]);
+                assert_eq!(n_plain, n_coll, "{key:?}: probe {probe:?}");
+                assert_eq!(ng_plain, ng_coll, "{key:?}: probe {probe:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn collapse_record_string_requires_invariant_distance() {
+        // EditDistance is whole-record, so RecordString is accepted.
+        assert!(fresh_builder().collapse(Some(CollapseKey::RecordString)).build().is_ok());
+        // A per-field composite is not; the builder must reject the pair.
+        let composite = fuzzydedup_textdist::CompositeDistance::uniform(EditDistance);
+        let rejected = IncrementalDedup::builder(composite)
+            .cut(CutSpec::Size(4))
+            .sn_threshold(4.0)
+            .collapse(Some(CollapseKey::RecordString))
+            .build();
+        assert!(matches!(rejected, Err(DedupError::InvalidConfig(_))));
+        // ... while ExactFields stays sound for every distance.
+        let composite = fuzzydedup_textdist::CompositeDistance::uniform(EditDistance);
+        assert!(IncrementalDedup::builder(composite)
+            .cut(CutSpec::Size(4))
+            .sn_threshold(4.0)
+            .collapse(Some(CollapseKey::ExactFields))
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -48,6 +48,7 @@
 pub mod axioms;
 pub mod baseline;
 pub mod blocking;
+pub mod collapse;
 pub mod components;
 pub mod constraints;
 pub mod criteria;
@@ -71,6 +72,7 @@ pub mod threshold;
 
 pub use baseline::{single_linkage, star_componentize};
 pub use blocking::{blocked_single_linkage, BlockingKey};
+pub use collapse::{CollapseKey, CollapseMap};
 pub use components::{balance_components, UnionFind};
 pub use criteria::{is_compact_set, sparse_neighborhood_ok, Aggregation};
 pub use distinct::DistinctEstimator;

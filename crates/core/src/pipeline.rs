@@ -19,7 +19,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fuzzydedup_metrics::{Phase1Metrics, RunMetrics, StageTimings, StorageMetrics};
+use fuzzydedup_metrics::{
+    CollapseMetrics, Phase1Metrics, RunMetrics, StageTimings, StorageMetrics,
+};
 use fuzzydedup_nnindex::{
     InvertedIndex, InvertedIndexConfig, LookupOrder, MinHashConfig, MinHashIndex, NestedLoopIndex,
     NnIndex,
@@ -28,6 +30,7 @@ use fuzzydedup_relation::RelationError;
 use fuzzydedup_storage::{BufferPool, BufferPoolConfig, BufferStats, InMemoryDisk, StorageError};
 use fuzzydedup_textdist::DistanceKind;
 
+use crate::collapse::{CollapseKey, CollapseMap};
 use crate::criteria::Aggregation;
 use crate::minimality::enforce_minimality;
 use crate::nnreln::NnReln;
@@ -148,6 +151,15 @@ pub struct DedupConfig {
     /// footprint (see [`crate::spill`]). The round-trip is bit-exact —
     /// results are identical either way.
     pub spill_threshold: usize,
+    /// Collapse exact duplicates into weighted representatives before
+    /// Phase 1 and expand the `NN_Reln` back afterwards (DESIGN.md §7.10);
+    /// `None` (the default) disables the pass. The expanded partition is
+    /// bit-identical to the collapse-off run — this is purely a
+    /// performance lever for duplicate-heavy corpora. Only applies to the
+    /// record entry points ([`Deduplicator::run_records`]); a run over a
+    /// pre-built index is rejected. [`CollapseKey::RecordString`] requires
+    /// a record-string-invariant distance.
+    pub collapse: Option<CollapseKey>,
 }
 
 impl DedupConfig {
@@ -170,6 +182,7 @@ impl DedupConfig {
             pair_cache_capacity: 0,
             pivot_count: 0,
             spill_threshold: 0,
+            collapse: None,
         }
     }
 
@@ -250,6 +263,13 @@ impl DedupConfig {
     /// least `tuples` entries (`0` disables).
     pub fn spill_threshold(mut self, tuples: usize) -> Self {
         self.spill_threshold = tuples;
+        self
+    }
+
+    /// Enable/disable the exact-duplicate collapse pre-pass
+    /// (`None` disables; see [`DedupConfig::collapse`]).
+    pub fn collapse(mut self, key: Option<CollapseKey>) -> Self {
+        self.collapse = key;
         self
     }
 }
@@ -376,6 +396,16 @@ pub struct Deduplicator {
     config: DedupConfig,
 }
 
+/// Collapse context threaded from the record entry points into the phase
+/// driver: the class map, per-representative sibling visibility (whether
+/// a representative generates index terms), and the wall time already
+/// spent building the map.
+struct CollapseCtx<'a> {
+    map: &'a CollapseMap,
+    sibling_visible: Vec<bool>,
+    build_ns: u64,
+}
+
 impl Deduplicator {
     /// Wrap a configuration. The configuration is validated on each run
     /// (not here) so a `Deduplicator` can be constructed in const-ish
@@ -420,6 +450,26 @@ impl Deduplicator {
         let t_dist = Instant::now();
         let distance = config.distance.build(records);
         let build_distance = t_dist.elapsed();
+        // Collapse pre-pass: hash the full corpus into exact-duplicate
+        // classes *after* the distance fit (IDF weights and corpus
+        // statistics are fit on the full relation, same as collapse-off)
+        // but before index construction, so Phase 1 only ever sees the
+        // representatives.
+        let collapse_pass = match config.collapse {
+            Some(key) => {
+                if key == CollapseKey::RecordString && !distance.record_string_invariant() {
+                    return Err(DedupError::InvalidConfig(format!(
+                        "collapse key RecordString requires a record-string-invariant \
+                         distance; {:?} is not — use CollapseKey::ExactFields",
+                        config.distance
+                    )));
+                }
+                let t_collapse = Instant::now();
+                let map = CollapseMap::build(records, key);
+                Some((map, t_collapse.elapsed().as_nanos() as u64))
+            }
+            None => None,
+        };
         let t_index = Instant::now();
         // The pivot table is built inside the index constructor, before
         // `run_phases` opens its counter window — capture its build-time
@@ -431,22 +481,79 @@ impl Deduplicator {
                 if config.pivot_count > 0 {
                     index_config.pivots = config.pivot_count;
                 }
-                let index =
-                    InvertedIndex::build(records.to_vec(), distance, pool.clone(), index_config);
-                let build_index = t_index.elapsed();
-                pool.reset_stats(); // measure lookups, not the build
-                (self.run_phases(&index, pool)?, build_index)
+                match &collapse_pass {
+                    Some((map, build_ns)) => {
+                        let index = InvertedIndex::build_collapsed(
+                            map.rep_records(records),
+                            map.multiplicities().to_vec(),
+                            distance,
+                            pool.clone(),
+                            index_config,
+                        );
+                        let build_index = t_index.elapsed();
+                        pool.reset_stats(); // measure lookups, not the build
+                                            // A term-less representative gathers no candidates
+                                            // in the full corpus, so its duplicates never see
+                                            // each other there (see `CollapseMap::expand_reln`).
+                        let sibling_visible: Vec<bool> =
+                            (0..map.n_reps() as u32).map(|r| index.record_has_terms(r)).collect();
+                        let ctx = CollapseCtx { map, sibling_visible, build_ns: *build_ns };
+                        (self.run_phases_collapsed(&index, pool, Some(ctx))?, build_index)
+                    }
+                    None => {
+                        let index = InvertedIndex::build(
+                            records.to_vec(),
+                            distance,
+                            pool.clone(),
+                            index_config,
+                        );
+                        let build_index = t_index.elapsed();
+                        pool.reset_stats(); // measure lookups, not the build
+                        (self.run_phases(&index, pool)?, build_index)
+                    }
+                }
             }
-            IndexChoice::NestedLoop => {
-                let index = NestedLoopIndex::new(records.to_vec(), distance);
-                let build_index = t_index.elapsed();
-                (self.run_phases(&index, pool)?, build_index)
-            }
-            IndexChoice::MinHash(minhash_config) => {
-                let index = MinHashIndex::build(records.to_vec(), distance, minhash_config.clone());
-                let build_index = t_index.elapsed();
-                (self.run_phases(&index, pool)?, build_index)
-            }
+            IndexChoice::NestedLoop => match &collapse_pass {
+                Some((map, build_ns)) => {
+                    let index = NestedLoopIndex::with_multiplicities(
+                        map.rep_records(records),
+                        map.multiplicities().to_vec(),
+                        distance,
+                    );
+                    let build_index = t_index.elapsed();
+                    // The exact scan sees every pair — siblings included.
+                    let sibling_visible = vec![true; map.n_reps()];
+                    let ctx = CollapseCtx { map, sibling_visible, build_ns: *build_ns };
+                    (self.run_phases_collapsed(&index, pool, Some(ctx))?, build_index)
+                }
+                None => {
+                    let index = NestedLoopIndex::new(records.to_vec(), distance);
+                    let build_index = t_index.elapsed();
+                    (self.run_phases(&index, pool)?, build_index)
+                }
+            },
+            IndexChoice::MinHash(minhash_config) => match &collapse_pass {
+                Some((map, build_ns)) => {
+                    let index = MinHashIndex::build_collapsed(
+                        map.rep_records(records),
+                        map.multiplicities().to_vec(),
+                        distance,
+                        minhash_config.clone(),
+                    );
+                    let build_index = t_index.elapsed();
+                    // Identical records hash to identical signatures, so
+                    // siblings always share every band bucket.
+                    let sibling_visible = vec![true; map.n_reps()];
+                    let ctx = CollapseCtx { map, sibling_visible, build_ns: *build_ns };
+                    (self.run_phases_collapsed(&index, pool, Some(ctx))?, build_index)
+                }
+                None => {
+                    let index =
+                        MinHashIndex::build(records.to_vec(), distance, minhash_config.clone());
+                    let build_index = t_index.elapsed();
+                    (self.run_phases(&index, pool)?, build_index)
+                }
+            },
         };
         let timings = &mut outcome.metrics.timings;
         timings.build_distance_ns = build_distance.as_nanos() as u64;
@@ -462,8 +569,16 @@ impl Deduplicator {
 
     /// Run the pipeline over an arbitrary pre-built index (used for matrix
     /// relations and custom indexes). A private pool is created for
-    /// Phase-2 tables.
+    /// Phase-2 tables. Rejects configurations with
+    /// [`DedupConfig::collapse`] set — the pass needs the raw records.
     pub fn run(&self, index: &dyn NnIndex) -> Result<DedupOutcome, DedupError> {
+        if self.config.collapse.is_some() {
+            return Err(DedupError::InvalidConfig(
+                "collapse requires the record entry points (run_records); \
+                 a pre-built index carries no raw records to hash"
+                    .into(),
+            ));
+        }
         let pool = Arc::new(BufferPool::new(
             BufferPoolConfig::with_capacity(self.config.buffer_frames),
             Arc::new(InMemoryDisk::new()),
@@ -479,10 +594,28 @@ impl Deduplicator {
         index: &dyn NnIndex,
         pool: Arc<BufferPool>,
     ) -> Result<DedupOutcome, DedupError> {
+        self.run_phases_collapsed(index, pool, None)
+    }
+
+    /// [`Deduplicator::run_phases`] with an optional collapse context:
+    /// the index then holds weighted representatives, Phase 1 runs in
+    /// representative space, and the relation is expanded back to full
+    /// ids (inside the Phase-1 window — materializing `NN_Reln` is
+    /// Phase-1 work) before Phase 2 runs unchanged.
+    fn run_phases_collapsed(
+        &self,
+        index: &dyn NnIndex,
+        pool: Arc<BufferPool>,
+        collapse: Option<CollapseCtx<'_>>,
+    ) -> Result<DedupOutcome, DedupError> {
         let config = &self.config;
         validate(config)?;
         let n = index.len();
-        let spec = NeighborSpec::from_cut(&config.cut, n);
+        // The cut's neighbor spec counts *full corpus* neighbors: under
+        // collapse the index holds representatives, but k/θ budgets (and
+        // the Unbounded k = n − 1) are corpus-level quantities.
+        let n_full = collapse.as_ref().map_or(n, |c| c.map.n_full());
+        let spec = NeighborSpec::from_cut(&config.cut, n_full);
         let counters_before = fuzzydedup_metrics::snapshot();
 
         let t1 = Instant::now();
@@ -498,11 +631,28 @@ impl Deduplicator {
                 crate::phase1::compute_nn_reln_cached(index, spec, config.order, config.p, cache)
             }
         };
+        // Expand the representative-space relation back to full ids; the
+        // partition downstream is bit-identical to the collapse-off run
+        // (DESIGN.md §7.10). Inside the Phase-1 window, like the spill.
+        let (nn_reln, collapse_metrics) = match &collapse {
+            Some(ctx) => {
+                let t_expand = Instant::now();
+                let full = ctx.map.expand_reln(&nn_reln, spec, &ctx.sibling_visible);
+                let expand_ns = t_expand.elapsed().as_nanos() as u64;
+                let metrics = CollapseMetrics {
+                    classes: ctx.map.n_reps() as u64,
+                    collapsed_records: ctx.map.collapsed_records() as u64,
+                    collapse_ns: ctx.build_ns + expand_ns,
+                };
+                (full, metrics)
+            }
+            None => (nn_reln, CollapseMetrics::default()),
+        };
         // Spill round-trip: write the relation to heap pages (bounded by
         // the pool) and rehydrate it for Phase 2. Part of the Phase-1
         // window — materializing `NN_Reln` into the database is Phase-1
         // work in the paper's architecture.
-        let nn_reln = if config.spill_threshold > 0 && n >= config.spill_threshold {
+        let nn_reln = if config.spill_threshold > 0 && n_full >= config.spill_threshold {
             let spill_file = fuzzydedup_storage::HeapFile::create(pool.clone());
             crate::spill::spill_nn_reln(&nn_reln, &spill_file)?;
             drop(nn_reln);
@@ -536,8 +686,9 @@ impl Deduplicator {
         // delta is applied; `apply_counter_delta` preserves them.
         run_metrics.phase2.threads = match (config.via_tables, config.parallelism.phase2_threads) {
             (true, _) | (false, None) => 1,
-            (false, Some(t)) => resolve_threads(t, n) as u64,
+            (false, Some(t)) => resolve_threads(t, n_full) as u64,
         };
+        run_metrics.collapse = collapse_metrics;
         run_metrics.spill.peak_rss_bytes = fuzzydedup_metrics::peak_rss_bytes();
         run_metrics.apply_counter_delta(&fuzzydedup_metrics::snapshot().delta(&counters_before));
         // Storage section covers the whole run on this pool: Phase-1 index
@@ -844,6 +995,98 @@ mod tests {
         assert_eq!(fms_plain.partition, fms_pivot.partition);
         assert_eq!(fms_pivot.metrics.pivot.lb_skips, 0, "non-metric: layer inert");
         assert_eq!(fms_pivot.metrics.pivot.query_pivot_dists, 0);
+    }
+
+    #[test]
+    fn collapse_does_not_change_the_partition() {
+        let _serial = fuzzydedup_metrics::serial_guard();
+        // Duplicate-heavy corpus: exact repeats, normalization-equal
+        // variants, fuzzy variants, and unrelated rows.
+        let mut records: Vec<Vec<String>> = Vec::new();
+        for g in 0..8 {
+            records.push(vec![format!("Golden Dragon Palace {g:02}"), "main st".into()]);
+            records.push(vec![format!("Golden Dragon Palace {g:02}"), "main st".into()]);
+            records.push(vec![format!("golden dragon palace {g:02}!"), "Main St.".into()]);
+            records.push(vec![format!("golden drgon palace {g:02}"), "main st".into()]);
+            records.push(vec![format!("completely unrelated row {g:02}"), "x".into()]);
+        }
+        let base =
+            DedupConfig::new(DistanceKind::EditDistance).cut(CutSpec::Size(4)).sn_threshold(4.0);
+        let plain = dedup(&records, &base).unwrap();
+        assert_eq!(plain.metrics.collapse.classes, 0, "knob defaults off");
+        for key in
+            [crate::collapse::CollapseKey::RecordString, crate::collapse::CollapseKey::ExactFields]
+        {
+            let collapsed = dedup(&records, &base.clone().collapse(Some(key))).unwrap();
+            assert_eq!(plain.partition, collapsed.partition, "{key:?}: partition moved");
+            assert_eq!(plain.nn_reln, collapsed.nn_reln, "{key:?}: relation moved");
+            assert!(collapsed.metrics.collapse.classes > 0, "{key:?}: pass ran");
+            assert!(
+                collapsed.metrics.collapse.collapsed_records > 0,
+                "{key:?}: duplicates collapsed"
+            );
+            assert_eq!(
+                collapsed.metrics.collapse.classes + collapsed.metrics.collapse.collapsed_records,
+                records.len() as u64
+            );
+        }
+        // RecordString merges normalization-equal variants too, so it
+        // collapses strictly more than ExactFields on this corpus.
+        let by_string = dedup(
+            &records,
+            &base.clone().collapse(Some(crate::collapse::CollapseKey::RecordString)),
+        )
+        .unwrap();
+        let by_fields = dedup(
+            &records,
+            &base.clone().collapse(Some(crate::collapse::CollapseKey::ExactFields)),
+        )
+        .unwrap();
+        assert!(
+            by_string.metrics.collapse.collapsed_records
+                > by_fields.metrics.collapse.collapsed_records
+        );
+        // The other index families honor the pass too.
+        let nl = base.clone().index_choice(IndexChoice::NestedLoop);
+        assert_eq!(
+            dedup(&records, &nl).unwrap().partition,
+            dedup(&records, &nl.clone().collapse(Some(crate::collapse::CollapseKey::RecordString)))
+                .unwrap()
+                .partition
+        );
+        let mh = base
+            .clone()
+            .index_choice(IndexChoice::MinHash(fuzzydedup_nnindex::MinHashConfig::default()));
+        assert_eq!(
+            dedup(&records, &mh).unwrap().partition,
+            dedup(&records, &mh.clone().collapse(Some(crate::collapse::CollapseKey::RecordString)))
+                .unwrap()
+                .partition
+        );
+        // Every built-in DistanceKind is whole-record, so both keys are
+        // legal for fms too (the RecordString invariance guard only trips
+        // for per-field composite distances).
+        let fms =
+            DedupConfig::new(DistanceKind::FuzzyMatch).cut(CutSpec::Size(4)).sn_threshold(4.0);
+        let fms_plain = dedup(&records, &fms).unwrap();
+        for key in
+            [crate::collapse::CollapseKey::RecordString, crate::collapse::CollapseKey::ExactFields]
+        {
+            assert_eq!(
+                fms_plain.partition,
+                dedup(&records, &fms.clone().collapse(Some(key))).unwrap().partition,
+                "{key:?}: fms partition moved"
+            );
+        }
+        // A pre-built index has no records to collapse.
+        let m = MatrixIndex::from_points_1d(&[1.0, 2.0, 4.0]);
+        let over_index = Deduplicator::new(
+            base.clone()
+                .cut(CutSpec::Size(2))
+                .collapse(Some(crate::collapse::CollapseKey::ExactFields)),
+        )
+        .run(&m);
+        assert!(matches!(over_index, Err(DedupError::InvalidConfig(_))));
     }
 
     #[test]

@@ -848,6 +848,51 @@ mod tests {
     }
 
     #[test]
+    fn drain_identity_holds_with_collapse() {
+        // The collapse pre-pass on the ingest path: duplicate-heavy
+        // streams bump representative multiplicities instead of
+        // re-indexing, and the service surfaces (partition, corpus_len,
+        // point queries) still match the collapse-off batch pipeline.
+        let records = corpus(90); // 30 entities × (1 kappa + 2 kappaa): exact repeats
+        let mut service = DedupService::spawn(
+            builder().collapse(Some(crate::collapse::CollapseKey::RecordString)),
+            ServiceConfig::new().admit_batch_size(16),
+        )
+        .unwrap();
+        for r in records.clone() {
+            service.submit_wait(r).unwrap();
+        }
+        service.drain();
+        let batch = Deduplicator::new(
+            DedupConfig::new(DistanceKind::EditDistance)
+                .cut(CutSpec::Size(4))
+                .aggregation(Aggregation::Max)
+                .sn_threshold(4.0),
+        )
+        .run_records(&records)
+        .unwrap();
+        let (_, live) = service.snapshot_partition();
+        assert_eq!(live, batch.partition, "collapsed service must equal collapse-off batch");
+        let (live_reln, live_len) =
+            service.with_snapshot(|_, state| (state.nn_reln(), state.len()));
+        assert_eq!(live_reln, batch.nn_reln, "full-corpus relation must match too");
+        assert_eq!(live_len, records.len());
+        // Point queries answer in full-corpus ids, duplicates included.
+        for record in records.iter().step_by(13) {
+            let fields: Vec<&str> = record.iter().map(String::as_str).collect();
+            let answer = service.query(&fields);
+            assert_eq!(answer.corpus_len, records.len());
+            let hit = answer.neighbors[0];
+            assert_eq!(hit.dist, 0.0);
+            assert_eq!(&records[hit.id as usize], record);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.records_admitted, records.len() as u64);
+        assert_eq!(stats.corpus_len, records.len());
+        service.shutdown();
+    }
+
+    #[test]
     fn queries_never_observe_torn_state_during_ingest() {
         let records = corpus(120);
         let mut service = DedupService::spawn(

@@ -455,6 +455,22 @@ pub struct Phase2Metrics {
     pub threads: u64,
 }
 
+/// Exact-duplicate collapse pre-pass accounting (`core` collapse layer).
+/// Entirely pipeline-filled (like [`Phase2Metrics::threads`]), not
+/// counter-backed: the pass is a single deterministic hash scan plus one
+/// expansion, both timed by the pipeline directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollapseMetrics {
+    /// Exact-duplicate classes (= representative records Phase 1 ran on);
+    /// 0 when the pass is disabled.
+    pub classes: u64,
+    /// Records removed by collapsing (full corpus minus classes).
+    pub collapsed_records: u64,
+    /// Wall time of the pass: key hashing/class building plus the
+    /// `NN_Reln` expansion back to full ids.
+    pub collapse_ns: u64,
+}
+
 /// Long-running dedup-service accounting (`core` service layer): ingest
 /// admission, snapshot publication, and point-query traffic. The latency
 /// quantiles and the queue high-water mark are filled by the service from
@@ -528,6 +544,8 @@ pub struct RunMetrics {
     pub phase1: Phase1Metrics,
     /// Phase-2 relational accounting.
     pub phase2: Phase2Metrics,
+    /// Exact-duplicate collapse pre-pass (zeroed when disabled).
+    pub collapse: CollapseMetrics,
     /// Long-running dedup-service traffic (zeroed for batch runs).
     pub service: ServiceMetrics,
     /// Per-stage wall times.
@@ -706,6 +724,11 @@ impl RunMetrics {
                 .u64("components", self.phase2.components)
                 .u64("threads", self.phase2.threads);
         });
+        w.object("collapse", |o| {
+            o.u64("classes", self.collapse.classes)
+                .u64("collapsed_records", self.collapse.collapsed_records)
+                .u64("collapse_ns", self.collapse.collapse_ns);
+        });
         w.object("service", |o| {
             o.u64("batches_admitted", self.service.batches_admitted)
                 .u64("records_admitted", self.service.records_admitted)
@@ -813,6 +836,7 @@ mod tests {
             "storage",
             "phase1",
             "phase2",
+            "collapse",
             "service",
             "timings_ns",
         ] {

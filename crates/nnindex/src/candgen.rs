@@ -531,6 +531,44 @@ pub(crate) fn select_top_candidates(
     (scored.iter().map(|s| s.0).collect(), scored.iter().map(|s| s.2).collect())
 }
 
+/// [`select_top_candidates`] for a collapsed corpus (DESIGN.md §7.10):
+/// the `limit` budget counts **full-corpus** candidates, so each kept
+/// representative debits its multiplicity and the query's own duplicates
+/// (`self_mult − 1` of them, the highest-weight candidates the full
+/// corpus would generate) debit the budget up front. The walk keeps
+/// representatives in the same `(weight desc, id asc)` order the full
+/// sort uses, stops once the cumulative multiplicity covers the budget,
+/// and then completes the final weight tie-block — a full-corpus cut
+/// inside a tie block lands on ids the representative order cannot see,
+/// so taking the whole block keeps every class the full corpus kept
+/// (identity is exact unless the full-corpus cut bisects a class; the
+/// collapse property suites and bench assert identity on their corpora).
+pub(crate) fn select_top_candidates_weighted(
+    scored: &mut Vec<(u32, f64, u32)>,
+    limit: usize,
+    mult: &[u32],
+    self_mult: u32,
+) -> (Vec<u32>, Vec<u32>) {
+    scored.sort_unstable_by(cand_cmp);
+    if limit > 0 {
+        let budget = limit.saturating_sub(self_mult as usize - 1) as u64;
+        let mut cum = 0u64;
+        let mut keep = scored.len();
+        for (i, s) in scored.iter().enumerate() {
+            if cum >= budget && (i == 0 || s.1 != scored[i - 1].1) {
+                keep = i;
+                break;
+            }
+            cum += u64::from(mult[s.0 as usize]);
+        }
+        if keep < scored.len() {
+            incr(Counter::CandidatesTruncated, (scored.len() - keep) as u64);
+            scored.truncate(keep);
+        }
+    }
+    (scored.iter().map(|s| s.0).collect(), scored.iter().map(|s| s.2).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,12 +17,14 @@ use fuzzydedup_metrics::{incr, Counter};
 use fuzzydedup_relation::Neighbor;
 use fuzzydedup_textdist::{record_string, record_term_set, Distance, TermSet};
 
-use crate::candgen::{select_top_candidates, CandFilter, RecordMeta};
+use crate::candgen::{
+    select_top_candidates, select_top_candidates_weighted, CandFilter, RecordMeta,
+};
 use crate::pivot::PivotTable;
 use crate::scratch::with_scoreboard;
 use crate::{
     lookup_from_verified, sort_neighbors, survive, verify_candidates_bounded, LookupCost,
-    LookupSpec, NnIndex, PairDistanceCache, RecordView,
+    LookupSpec, LookupWeights, NnIndex, PairDistanceCache, RecordView,
 };
 
 /// Configuration of the dynamic index (mirrors
@@ -78,6 +80,15 @@ pub struct DynamicInvertedIndex<D> {
     /// `config.pivots > 0`, the distance admits metric pruning, and the
     /// norm cache exists to feed it.
     pivot: Option<PivotTable>,
+    /// Per-record multiplicities when the index fronts a collapsed corpus
+    /// (DESIGN.md §7.10); `None` in ordinary mode. Maintained by
+    /// [`Self::push`] (new class, multiplicity 1) and
+    /// [`Self::note_duplicate`].
+    mult: Option<Vec<u32>>,
+    /// Full-corpus record count behind the index (`records.len()` in
+    /// ordinary mode); drives query-time IDF weights and stop thresholds
+    /// so collapsed-mode lookups see full-corpus statistics.
+    n_full: u64,
 }
 
 impl<D: Distance> DynamicInvertedIndex<D> {
@@ -99,7 +110,18 @@ impl<D: Distance> DynamicInvertedIndex<D> {
             filter_ok,
             norm,
             pivot,
+            mult: None,
+            n_full: 0,
         }
+    }
+
+    /// Create an empty index in **collapsed mode**: each pushed record is
+    /// a class representative with multiplicity 1, bumped by
+    /// [`Self::note_duplicate`] when an exact duplicate arrives. Lookups
+    /// then weight document frequencies, candidate budgets, cutoffs and
+    /// growth counts in full-corpus units (DESIGN.md §7.10).
+    pub fn new_collapsed(distance: D, config: DynamicIndexConfig) -> Self {
+        Self { mult: Some(Vec::new()), ..Self::new(distance, config) }
     }
 
     /// Append a record, returning its id.
@@ -121,7 +143,39 @@ impl<D: Distance> DynamicInvertedIndex<D> {
             norm.push(joined);
         }
         self.records.push(record);
+        if let Some(mult) = &mut self.mult {
+            mult.push(1);
+        }
+        self.n_full += 1;
         id
+    }
+
+    /// Record the arrival of an exact duplicate of representative `id`
+    /// (collapsed mode only): bumps its multiplicity and the full-corpus
+    /// count, shifting query-time document frequencies accordingly.
+    pub fn note_duplicate(&mut self, id: u32) {
+        let mult = self.mult.as_mut().expect("note_duplicate requires collapsed mode");
+        mult[id as usize] += 1;
+        self.n_full += 1;
+    }
+
+    /// Full-corpus record count (equals [`NnIndex::len`] in ordinary mode).
+    pub fn n_full(&self) -> u64 {
+        self.n_full
+    }
+
+    /// Multiplicity of representative `id` (1 in ordinary mode).
+    pub fn multiplicity(&self, id: u32) -> u32 {
+        self.mult.as_ref().map_or(1, |m| m[id as usize])
+    }
+
+    /// Whether record `id` generates at least one index term. A term-less
+    /// record gathers no candidates, so an exact duplicate of it cannot
+    /// see its sibling through the index; expansion of a collapsed answer
+    /// consults this to decide sibling visibility (DESIGN.md §7.10).
+    pub fn has_terms(&self, id: u32) -> bool {
+        let fields: Vec<&str> = self.records[id as usize].iter().map(String::as_str).collect();
+        !record_term_set(&fields, self.config.q, self.config.index_tokens).terms.is_empty()
     }
 
     /// Record access for verification: the pre-joined cache when available.
@@ -180,7 +234,13 @@ impl<D: Distance> DynamicInvertedIndex<D> {
         }
         let generated = scored.len() as u64;
         incr(Counter::CandidatesGenerated, generated);
-        let (ids, overlaps) = select_top_candidates(&mut scored, limit);
+        let (ids, overlaps) = match &self.mult {
+            Some(m) => {
+                let self_mult = exclude.map_or(1, |id| m[id as usize]);
+                select_top_candidates_weighted(&mut scored, limit, m, self_mult)
+            }
+            None => select_top_candidates(&mut scored, limit),
+        };
         Gathered { ids, overlaps, slack, generated }
     }
 
@@ -197,7 +257,7 @@ impl<D: Distance> DynamicInvertedIndex<D> {
         exclude: Option<u32>,
         include_stops: bool,
     ) -> (Vec<(u32, f64, u32)>, u32, u64) {
-        let n = self.records.len().max(1) as f64;
+        let n = self.n_full.max(1) as f64;
         let max_df = (self.config.max_df_fraction * n).max(f64::from(self.config.stop_df_floor));
         let mut slack = 0u32;
         let mut dropped = 0u64;
@@ -208,7 +268,13 @@ impl<D: Distance> DynamicInvertedIndex<D> {
             }
             for (term, gram_count) in &ts.terms {
                 let Some(ids) = self.postings.get(term) else { continue };
-                let df = ids.len() as f64;
+                // Collapsed mode: df in full-corpus units — identical
+                // records have identical term sets, so the weighted sum is
+                // exactly the document frequency of the full corpus.
+                let df = match &self.mult {
+                    Some(m) => ids.iter().map(|&i| u64::from(m[i as usize])).sum::<u64>() as f64,
+                    None => ids.len() as f64,
+                };
                 if !include_stops && df > max_df {
                     slack += gram_count;
                     dropped += 1;
@@ -276,6 +342,10 @@ impl<D: Distance> DynamicInvertedIndex<D> {
         };
         let mut prepared = self.distance.prepare(&query_fields);
         let view = self.record_view();
+        // An external probe record has multiplicity 1, so no kth-seeding
+        // or nn-zeroing applies; candidate copies still count in
+        // full-corpus units when the index is collapsed.
+        let weights = self.mult.as_deref().map(LookupWeights::external);
         let mut survivors: Vec<Neighbor> = Vec::with_capacity(gathered.ids.len());
         let mut kth: Vec<f64> = Vec::new();
         let mut nn_running = f64::INFINITY;
@@ -303,10 +373,11 @@ impl<D: Distance> DynamicInvertedIndex<D> {
             cand_fields.clear();
             view.extend_fields(c, &mut cand_fields);
             if let Some(d) = prepared.distance_bounded(&cand_fields, cutoff) {
-                survive(&mut survivors, &mut kth, &mut nn_running, spec, c, d);
+                let copies = weights.as_ref().map_or(1, |w| w.of(c));
+                survive(&mut survivors, &mut kth, &mut nn_running, spec, c, d, copies);
             }
         }
-        lookup_from_verified(survivors, gathered.generated, attempted, spec, p)
+        lookup_from_verified(survivors, gathered.generated, attempted, spec, p, weights.as_ref())
     }
 
     fn answer(&self, id: u32, spec: LookupSpec) -> Vec<Neighbor> {
@@ -320,6 +391,7 @@ impl<D: Distance> DynamicInvertedIndex<D> {
             &gathered.ids,
             spec,
             1.0,
+            None,
             filter.as_ref(),
             pivot.as_ref(),
             None,
@@ -368,6 +440,7 @@ impl<D: Distance> NnIndex for DynamicInvertedIndex<D> {
         let gathered = self.gather(id, self.config.candidate_limit);
         let filter = self.make_filter(id, &gathered);
         let pivot = self.pivot.as_ref().map(|t| t.query(id));
+        let weights = self.mult.as_deref().map(|m| LookupWeights::for_query(m, id));
         let (verified, attempted) = verify_candidates_bounded(
             &self.distance,
             self.record_view(),
@@ -375,11 +448,12 @@ impl<D: Distance> NnIndex for DynamicInvertedIndex<D> {
             &gathered.ids,
             spec,
             p,
+            weights.as_ref(),
             filter.as_ref(),
             pivot.as_ref(),
             cache,
         );
-        lookup_from_verified(verified, gathered.generated, attempted, spec, p)
+        lookup_from_verified(verified, gathered.generated, attempted, spec, p, weights.as_ref())
     }
 }
 

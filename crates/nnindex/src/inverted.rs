@@ -45,12 +45,15 @@ use fuzzydedup_relation::Neighbor;
 use fuzzydedup_storage::{BufferPool, HeapFile, RecordId};
 use fuzzydedup_textdist::{merge_overlap_bound, record_string, record_term_set, Distance};
 
-use crate::candgen::{select_top_candidates, CandFilter, CsrPostings, PackedPostings, RecordMeta};
+use crate::candgen::{
+    select_top_candidates, select_top_candidates_weighted, CandFilter, CsrPostings, PackedPostings,
+    RecordMeta,
+};
 use crate::pivot::PivotTable;
 use crate::scratch::{with_merge_stage, with_scoreboard, with_scored, StageRun};
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
-    NnIndex, PairDistanceCache, RecordView,
+    LookupWeights, NnIndex, PairDistanceCache, RecordView,
 };
 use fuzzydedup_metrics::{incr, Counter};
 
@@ -208,6 +211,13 @@ pub struct InvertedIndex<D> {
     /// when `config.pivots > 0`, the distance admits metric pruning, and
     /// the normalized record strings exist to build it over.
     pivot: Option<PivotTable>,
+    /// Per-record multiplicities of a collapsed corpus (DESIGN.md §7.10):
+    /// record `i` stands for `mult[i]` identical originals. `None` for an
+    /// ordinary corpus. When present, document frequencies, IDF weights,
+    /// stop-gram thresholds, the candidate budget, and the verification
+    /// cutoffs are all computed in **full-corpus** units, so lookups are
+    /// bit-equivalent to querying the uncollapsed corpus.
+    mult: Option<Vec<u32>>,
 }
 
 /// Result of one candidate gather, ready for verification.
@@ -226,6 +236,34 @@ impl<D: Distance> InvertedIndex<D> {
     /// Build the index over a corpus, storing postings through `pool`.
     pub fn build(
         records: Vec<Vec<String>>,
+        distance: D,
+        pool: Arc<BufferPool>,
+        config: InvertedIndexConfig,
+    ) -> Self {
+        Self::build_inner(records, None, distance, pool, config)
+    }
+
+    /// Build over a collapsed corpus: record `i` stands for
+    /// `multiplicities[i]` identical originals (DESIGN.md §7.10).
+    /// Identical records contribute identical term sets, so weighting each
+    /// posting by its multiplicity reproduces the full corpus's document
+    /// frequencies — and with them the IDF weights, stop-gram set, and
+    /// query term order — exactly.
+    pub fn build_collapsed(
+        records: Vec<Vec<String>>,
+        multiplicities: Vec<u32>,
+        distance: D,
+        pool: Arc<BufferPool>,
+        config: InvertedIndexConfig,
+    ) -> Self {
+        assert_eq!(records.len(), multiplicities.len(), "one multiplicity per record");
+        assert!(multiplicities.iter().all(|&m| m >= 1), "multiplicities are positive");
+        Self::build_inner(records, Some(multiplicities), distance, pool, config)
+    }
+
+    fn build_inner(
+        records: Vec<Vec<String>>,
+        mult: Option<Vec<u32>>,
         distance: D,
         pool: Arc<BufferPool>,
         config: InvertedIndexConfig,
@@ -252,15 +290,26 @@ impl<D: Distance> InvertedIndex<D> {
         // page locality and lexicographic adjacency of similar grams.
         let mut sorted: Vec<(&str, Vec<u32>)> = term_postings.into_iter().collect();
         sorted.sort_by(|a, b| a.0.cmp(b.0));
-        let n = records.len().max(1) as f64;
-        let max_df =
-            (config.max_df_fraction * records.len() as f64).max(f64::from(config.stop_df_floor));
+        // All corpus-level statistics are in full-corpus units: for a
+        // collapsed corpus, N is the original record count and each
+        // posting counts its multiplicity toward df — identical records
+        // carry identical term sets, so these are exactly the df values
+        // the uncollapsed build would compute.
+        let n_full: u64 = match &mult {
+            Some(m) => m.iter().map(|&x| u64::from(x)).sum(),
+            None => records.len() as u64,
+        };
+        let n = n_full.max(1) as f64;
+        let max_df = (config.max_df_fraction * n_full as f64).max(f64::from(config.stop_df_floor));
         let mut term_ids = HashMap::with_capacity(sorted.len());
         let mut terms = Vec::with_capacity(sorted.len());
         let mut csr = CsrPostings::new();
         let mut packed = PackedPostings::new();
         for (term, ids) in sorted {
-            let df = ids.len() as u32;
+            let df = match &mult {
+                Some(m) => ids.iter().map(|&i| m[i as usize]).sum::<u32>(),
+                None => ids.len() as u32,
+            };
             let mut chunks = Vec::with_capacity(ids.len() / config.chunk_size + 1);
             for chunk in ids.chunks(config.chunk_size.max(1)) {
                 let mut bytes = Vec::with_capacity(chunk.len() * 4);
@@ -322,7 +371,17 @@ impl<D: Distance> InvertedIndex<D> {
             postings,
             filter_ok,
             pivot,
+            mult,
         }
+    }
+
+    /// Whether record `id` produces any indexed terms. For a collapsed
+    /// corpus this decides whether a class's members can see each other at
+    /// all in the full corpus (a term-less record generates no candidates,
+    /// not even its exact duplicates), which the expansion of the
+    /// representative relation must reproduce.
+    pub fn record_has_terms(&self, id: u32) -> bool {
+        !self.queries[id as usize].is_empty()
     }
 
     /// The indexed records.
@@ -413,7 +472,15 @@ impl<D: Distance> InvertedIndex<D> {
             }
             let generated = scored.len() as u64;
             incr(Counter::CandidatesGenerated, generated);
-            let (ids, overlaps) = select_top_candidates(scored, self.config.candidate_limit);
+            let (ids, overlaps) = match &self.mult {
+                Some(m) => select_top_candidates_weighted(
+                    scored,
+                    self.config.candidate_limit,
+                    m,
+                    m[id as usize],
+                ),
+                None => select_top_candidates(scored, self.config.candidate_limit),
+            };
             Gathered { ids, overlaps, slack, generated }
         })
     }
@@ -762,6 +829,7 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
             &gathered.ids,
             LookupSpec::TopK(k),
             1.0,
+            None,
             filter.as_ref(),
             pivot.as_ref(),
             None,
@@ -782,6 +850,7 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
             &gathered.ids,
             LookupSpec::Radius(radius),
             1.0,
+            None,
             filter.as_ref(),
             pivot.as_ref(),
             None,
@@ -810,6 +879,7 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
         let gathered = self.gather(id, None);
         let filter = self.make_filter(id, &gathered);
         let pivot = self.pivot.as_ref().map(|t| t.query(id));
+        let weights = self.mult.as_deref().map(|m| LookupWeights::for_query(m, id));
         let (verified, attempted) = verify_candidates_bounded(
             &self.distance,
             self.record_view(),
@@ -817,11 +887,12 @@ impl<D: Distance> NnIndex for InvertedIndex<D> {
             &gathered.ids,
             spec,
             p,
+            weights.as_ref(),
             filter.as_ref(),
             pivot.as_ref(),
             cache,
         );
-        lookup_from_verified(verified, gathered.generated, attempted, spec, p)
+        lookup_from_verified(verified, gathered.generated, attempted, spec, p, weights.as_ref())
     }
 }
 

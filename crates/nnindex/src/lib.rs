@@ -238,6 +238,53 @@ pub enum LookupSpec {
     Radius(f64),
 }
 
+/// Multiplicities of a collapsed corpus (DESIGN.md §7.10): record `id` of
+/// the indexed corpus stands for `mult[id]` identical originals, so a
+/// weighted lookup must treat every candidate as `mult[c]` co-located
+/// records and the query itself as `self_mult` co-located records at
+/// distance 0. Threading this through verification keeps the running
+/// TopK k-th-best cutoff, the growth cutoff, and `ng` bit-equivalent to
+/// running the same lookup over the full (uncollapsed) corpus:
+///
+/// * the k-th best list is seeded with `self_mult − 1` zeros (the query's
+///   own duplicates are its closest "neighbors" in the full corpus) and
+///   every survivor inserts `mult[c]` copies of its distance, so the
+///   running k-th value equals the full corpus's k-th value at every
+///   step — the weighted cutoff is never looser *or* tighter than the
+///   full-corpus one, which is what makes collapse a pure win;
+/// * `nn_running` starts at 0 when `self_mult ≥ 2` (the full corpus
+///   reaches 0 after verifying the first duplicate; seeding it is sound
+///   because the final growth threshold is `p·0 = 0` and the inclusive
+///   bounded call still admits every distance-0 candidate);
+/// * `ng` sums candidate multiplicities over survivors inside `p·nn`,
+///   and is 1 outright when `self_mult ≥ 2` (then `nn = 0` and the
+///   strict `<` count is empty, exactly as in the full corpus).
+#[derive(Clone, Copy)]
+pub(crate) struct LookupWeights<'a> {
+    /// Per-record multiplicity of the indexed (collapsed) corpus.
+    pub mult: &'a [u32],
+    /// Multiplicity of the query record (`mult[id]` of the lookup).
+    pub self_mult: u32,
+}
+
+impl<'a> LookupWeights<'a> {
+    /// Weights for a lookup whose query is indexed record `id`.
+    pub fn for_query(mult: &'a [u32], id: u32) -> Self {
+        Self { mult, self_mult: mult[id as usize] }
+    }
+
+    /// Weights for an external (non-indexed) query record.
+    pub fn external(mult: &'a [u32]) -> Self {
+        Self { mult, self_mult: 1 }
+    }
+
+    /// Multiplicity of candidate `c`.
+    #[inline]
+    fn of(&self, c: u32) -> u32 {
+        self.mult[c as usize]
+    }
+}
+
 /// Bounded verification of a candidate list: score every candidate with
 /// [`Distance::distance_bounded`], passing the current best-so-far as the
 /// cutoff so the k-bounded edit kernel can abandon hopeless pairs early.
@@ -315,6 +362,7 @@ pub(crate) fn verify_candidates_bounded<D: Distance>(
     candidates: &[u32],
     spec: LookupSpec,
     p: f64,
+    weights: Option<&LookupWeights<'_>>,
     filter: Option<&CandFilter<'_>>,
     pivot: Option<&PivotQuery<'_>>,
     cache: Option<&dyn PairDistanceCache>,
@@ -332,12 +380,23 @@ pub(crate) fn verify_candidates_bounded<D: Distance>(
     let mut batch_cutoff = f64::INFINITY;
     let mut fields_flat: Vec<&str> = Vec::new();
     let mut results: Vec<Option<f64>> = Vec::new();
-    let mut nn_running = f64::INFINITY;
+    let self_mult = weights.map_or(1, |w| w.self_mult);
+    // A query standing for m ≥ 2 identical records has nn = 0 in the full
+    // corpus (its own duplicates); seeding the running nn is sound — see
+    // [`LookupWeights`].
+    let mut nn_running = if self_mult >= 2 { 0.0 } else { f64::INFINITY };
     let mut attempted = 0u64;
     scratch::with_verify_scratch(|scratch| {
         // Ascending running top-k distances (TopK spec only), capped at k.
         let kth = &mut scratch.kth;
         kth.clear();
+        if self_mult >= 2 {
+            if let LookupSpec::TopK(k) = spec {
+                // The query's m − 1 duplicates occupy the head of the full
+                // corpus's top-k at distance 0.
+                kth.resize((self_mult as usize - 1).min(k), 0.0);
+            }
+        }
         // Pivot prepass: per-candidate normalized lower bounds plus the
         // two static warm-start cutoff components derived from the upper
         // bounds (see the doc comment for the soundness argument). The
@@ -424,7 +483,8 @@ pub(crate) fn verify_candidates_bounded<D: Distance>(
                     PairProbe::Exact(d) => {
                         incr(Counter::PairCacheHits, 1);
                         if d <= cutoff {
-                            survive(&mut survivors, kth, &mut nn_running, spec, c, d);
+                            let copies = weights.map_or(1, |w| w.of(c));
+                            survive(&mut survivors, kth, &mut nn_running, spec, c, d, copies);
                         }
                         continue;
                     }
@@ -458,6 +518,7 @@ pub(crate) fn verify_candidates_bounded<D: Distance>(
                         kth,
                         &mut nn_running,
                         spec,
+                        weights,
                         cache,
                         &mut attempted,
                         &mut fields_flat,
@@ -474,7 +535,8 @@ pub(crate) fn verify_candidates_bounded<D: Distance>(
                     if let Some(cache) = cache {
                         cache.store_exact(id, c, d);
                     }
-                    survive(&mut survivors, kth, &mut nn_running, spec, c, d);
+                    let copies = weights.map_or(1, |w| w.of(c));
+                    survive(&mut survivors, kth, &mut nn_running, spec, c, d, copies);
                 }
                 None => {
                     if let Some(cache) = cache {
@@ -498,6 +560,7 @@ pub(crate) fn verify_candidates_bounded<D: Distance>(
             kth,
             &mut nn_running,
             spec,
+            weights,
             cache,
             &mut attempted,
             &mut fields_flat,
@@ -513,7 +576,11 @@ pub(crate) fn verify_candidates_bounded<D: Distance>(
 /// that the running cutoffs still tighten many times per lookup.
 const VERIFY_BATCH: usize = 32;
 
-/// Record a survivor and tighten the running cutoffs.
+/// Record a survivor and tighten the running cutoffs. `copies` is the
+/// survivor's multiplicity (1 for an uncollapsed corpus): a weighted
+/// survivor inserts that many copies of its distance into the running
+/// top-k list, exactly as its duplicates would have one by one in the
+/// full corpus.
 fn survive(
     survivors: &mut Vec<Neighbor>,
     kth: &mut Vec<f64>,
@@ -521,6 +588,7 @@ fn survive(
     spec: LookupSpec,
     c: u32,
     d: f64,
+    copies: u32,
 ) {
     survivors.push(Neighbor::new(c, d));
     *nn_running = nn_running.min(d);
@@ -528,7 +596,8 @@ fn survive(
         if k > 0 {
             let pos = kth.partition_point(|&x| x <= d);
             if pos < k {
-                kth.insert(pos, d);
+                let ins = (copies as usize).min(k - pos);
+                kth.splice(pos..pos, std::iter::repeat_n(d, ins));
                 kth.truncate(k);
             }
         }
@@ -561,6 +630,7 @@ fn flush_batch<'r>(
     kth: &mut Vec<f64>,
     nn_running: &mut f64,
     spec: LookupSpec,
+    weights: Option<&LookupWeights<'_>>,
     cache: Option<&dyn PairDistanceCache>,
     attempted: &mut u64,
     fields_flat: &mut Vec<&'r str>,
@@ -587,7 +657,8 @@ fn flush_batch<'r>(
                 if let Some(cache) = cache {
                     cache.store_exact(id, c, d);
                 }
-                survive(survivors, kth, nn_running, spec, c, d);
+                let copies = weights.map_or(1, |w| w.of(c));
+                survive(survivors, kth, nn_running, spec, c, d, copies);
             }
             None => {
                 if let Some(cache) = cache {
@@ -661,6 +732,7 @@ pub(crate) fn lookup_from_verified(
     attempted: u64,
     spec: LookupSpec,
     p: f64,
+    weights: Option<&LookupWeights<'_>>,
 ) -> (Vec<Neighbor>, f64, LookupCost) {
     let cost = LookupCost {
         probes: 1,
@@ -670,14 +742,40 @@ pub(crate) fn lookup_from_verified(
     };
     sort_neighbors(&mut verified);
     let nn = verified.first().map(|n| n.dist);
-    let ng = match nn {
-        Some(nn) if nn > 0.0 => verified.iter().filter(|n| n.dist < p * nn).count() as f64 + 1.0,
-        Some(_) => 1.0,
-        None => 1.0,
+    let ng = match weights {
+        // A query standing for m ≥ 2 identical records has nn = 0 (its
+        // own duplicates) and therefore ng = 1 under the strict `<`.
+        Some(w) if w.self_mult >= 2 => 1.0,
+        Some(w) => match nn {
+            Some(nn) if nn > 0.0 => {
+                let within: u64 = verified
+                    .iter()
+                    .filter(|n| n.dist < p * nn)
+                    .map(|n| u64::from(w.of(n.id)))
+                    .sum();
+                within as f64 + 1.0
+            }
+            Some(_) => 1.0,
+            None => 1.0,
+        },
+        None => match nn {
+            Some(nn) if nn > 0.0 => {
+                verified.iter().filter(|n| n.dist < p * nn).count() as f64 + 1.0
+            }
+            Some(_) => 1.0,
+            None => 1.0,
+        },
     };
     let neighbors = match spec {
         LookupSpec::TopK(k) => {
-            verified.truncate(k);
+            // A weighted lookup keeps every survivor: `k` counts *full
+            // corpus* neighbors, and the caller expands each survivor to
+            // its `mult` duplicates before truncating per member — cutting
+            // the representative list at `k` here could drop part of the
+            // expansion the k-th full-corpus slot still needs.
+            if weights.is_none() {
+                verified.truncate(k);
+            }
             verified
         }
         LookupSpec::Radius(theta) => {
@@ -782,12 +880,14 @@ mod tests {
                     None,
                     None,
                     None,
+                    None,
                 );
                 assert_eq!(attempted, candidates.len() as u64);
                 let n = candidates.len() as u64;
                 let full = verify_full(&records, 0, &candidates);
-                let (got_n, got_ng, _) = lookup_from_verified(survivors, n, attempted, spec, p);
-                let (want_n, want_ng, _) = lookup_from_verified(full, n, attempted, spec, p);
+                let (got_n, got_ng, _) =
+                    lookup_from_verified(survivors, n, attempted, spec, p, None);
+                let (want_n, want_ng, _) = lookup_from_verified(full, n, attempted, spec, p, None);
                 assert_eq!(got_n, want_n, "{spec:?} p={p}");
                 assert_eq!(got_ng, want_ng, "{spec:?} p={p}");
             }
@@ -823,7 +923,7 @@ mod tests {
             let cutoff = spec_cut.max(p * nn_running);
             let fields: Vec<&str> = records[c as usize].iter().map(String::as_str).collect();
             if let Some(d) = prepared.distance_bounded(&fields, cutoff) {
-                survive(&mut survivors, &mut kth, &mut nn_running, spec, c, d);
+                survive(&mut survivors, &mut kth, &mut nn_running, spec, c, d, 1);
             }
         }
         survivors
@@ -866,12 +966,15 @@ mod tests {
                         None,
                         None,
                         None,
+                        None,
                     );
                     assert_eq!(attempted, candidates.len() as u64);
                     let scalar = verify_scalar(&records, id, &candidates, spec, p);
                     let n = candidates.len() as u64;
-                    let (got_n, got_ng, _) = lookup_from_verified(survivors, n, attempted, spec, p);
-                    let (want_n, want_ng, _) = lookup_from_verified(scalar, n, attempted, spec, p);
+                    let (got_n, got_ng, _) =
+                        lookup_from_verified(survivors, n, attempted, spec, p, None);
+                    let (want_n, want_ng, _) =
+                        lookup_from_verified(scalar, n, attempted, spec, p, None);
                     assert_eq!(got_n, want_n, "id={id} {spec:?} p={p}");
                     assert_eq!(got_ng, want_ng, "id={id} {spec:?} p={p}");
                 }
@@ -895,6 +998,7 @@ mod tests {
             &candidates,
             LookupSpec::TopK(3),
             2.0,
+            None,
             None,
             None,
             None,
@@ -974,6 +1078,7 @@ mod tests {
                     &candidates,
                     spec,
                     p,
+                    None,
                     Some(&filter),
                     None,
                     None,
@@ -988,13 +1093,15 @@ mod tests {
                     None,
                     None,
                     None,
+                    None,
                 );
                 assert!(f_attempted <= u_attempted);
                 pruned_somewhere |= f_attempted < u_attempted;
                 let n = candidates.len() as u64;
-                let (got_n, got_ng, _) = lookup_from_verified(filtered, n, f_attempted, spec, p);
+                let (got_n, got_ng, _) =
+                    lookup_from_verified(filtered, n, f_attempted, spec, p, None);
                 let (want_n, want_ng, _) =
-                    lookup_from_verified(unfiltered, n, u_attempted, spec, p);
+                    lookup_from_verified(unfiltered, n, u_attempted, spec, p, None);
                 assert_eq!(got_n, want_n, "{spec:?} p={p}");
                 assert_eq!(got_ng, want_ng, "{spec:?} p={p}");
             }
@@ -1024,6 +1131,7 @@ mod tests {
             &candidates,
             LookupSpec::TopK(1),
             2.0,
+            None,
             None,
             None,
             None,

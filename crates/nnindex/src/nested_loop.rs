@@ -9,19 +9,36 @@ use fuzzydedup_textdist::Distance;
 
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
-    NnIndex, PairDistanceCache, RecordView,
+    LookupWeights, NnIndex, PairDistanceCache, RecordView,
 };
 
 /// Exact nearest-neighbor search by full scan.
 pub struct NestedLoopIndex<D> {
     records: Vec<Vec<String>>,
     distance: D,
+    /// Per-record multiplicities of a collapsed corpus (DESIGN.md §7.10);
+    /// `None` for an ordinary (uncollapsed) corpus.
+    mult: Option<Vec<u32>>,
 }
 
 impl<D: Distance> NestedLoopIndex<D> {
     /// Build over a corpus of records.
     pub fn new(records: Vec<Vec<String>>, distance: D) -> Self {
-        Self { records, distance }
+        Self { records, distance, mult: None }
+    }
+
+    /// Build over a collapsed corpus: record `i` stands for
+    /// `multiplicities[i]` identical originals, and combined lookups
+    /// weight cutoffs and growth counts accordingly (bit-equivalent to
+    /// scanning the full corpus).
+    pub fn with_multiplicities(
+        records: Vec<Vec<String>>,
+        multiplicities: Vec<u32>,
+        distance: D,
+    ) -> Self {
+        assert_eq!(records.len(), multiplicities.len(), "one multiplicity per record");
+        assert!(multiplicities.iter().all(|&m| m >= 1), "multiplicities are positive");
+        Self { records, distance, mult: Some(multiplicities) }
     }
 
     /// The indexed records.
@@ -88,6 +105,7 @@ impl<D: Distance> NnIndex for NestedLoopIndex<D> {
         let candidates: Vec<u32> =
             (0..self.records.len() as u32).filter(|&other| other != id).collect();
         let generated = candidates.len() as u64;
+        let weights = self.mult.as_deref().map(|m| LookupWeights::for_query(m, id));
         let (verified, attempted) = verify_candidates_bounded(
             &self.distance,
             RecordView::Fields(&self.records),
@@ -95,11 +113,12 @@ impl<D: Distance> NnIndex for NestedLoopIndex<D> {
             &candidates,
             spec,
             p,
+            weights.as_ref(),
             None,
             None,
             cache,
         );
-        lookup_from_verified(verified, generated, attempted, spec, p)
+        lookup_from_verified(verified, generated, attempted, spec, p, weights.as_ref())
     }
 }
 

@@ -32,7 +32,7 @@ use crate::candgen::{CandFilter, RecordMeta};
 use crate::scratch::with_scoreboard;
 use crate::{
     lookup_from_verified, sort_neighbors, verify_candidates_bounded, LookupCost, LookupSpec,
-    NnIndex, PairDistanceCache, RecordView,
+    LookupWeights, NnIndex, PairDistanceCache, RecordView,
 };
 
 /// Configuration of the MinHash index.
@@ -89,6 +89,9 @@ pub struct MinHashIndex<D> {
     /// index tracks no per-candidate overlap mass, so only the length
     /// bound applies.
     filter_ok: bool,
+    /// Per-record multiplicities of a collapsed corpus (DESIGN.md §7.10);
+    /// `None` for an ordinary (uncollapsed) corpus.
+    mult: Option<Vec<u32>>,
 }
 
 impl<D: Distance> MinHashIndex<D> {
@@ -129,7 +132,24 @@ impl<D: Distance> MinHashIndex<D> {
             }
         }
         let filter_ok = distance.admits_qgram_filter();
-        Self { records, distance, config, buckets, signatures, meta, filter_ok }
+        Self { records, distance, config, buckets, signatures, meta, filter_ok, mult: None }
+    }
+
+    /// Build over a collapsed corpus: record `i` stands for
+    /// `multiplicities[i]` identical originals. Identical records hash to
+    /// identical signatures, so banding is unchanged; combined lookups
+    /// weight cutoffs and growth counts by multiplicity.
+    pub fn build_collapsed(
+        records: Vec<Vec<String>>,
+        multiplicities: Vec<u32>,
+        distance: D,
+        config: MinHashConfig,
+    ) -> Self {
+        assert_eq!(records.len(), multiplicities.len(), "one multiplicity per record");
+        assert!(multiplicities.iter().all(|&m| m >= 1), "multiplicities are positive");
+        let mut built = Self::build(records, distance, config);
+        built.mult = Some(multiplicities);
+        built
     }
 
     /// Candidate ids: all records colliding with `id` in at least one
@@ -203,6 +223,7 @@ impl<D: Distance> NnIndex for MinHashIndex<D> {
             &candidates,
             LookupSpec::TopK(k),
             1.0,
+            None,
             filter.as_ref(),
             None,
             None,
@@ -222,6 +243,7 @@ impl<D: Distance> NnIndex for MinHashIndex<D> {
             &candidates,
             LookupSpec::Radius(radius),
             1.0,
+            None,
             filter.as_ref(),
             None,
             None,
@@ -242,6 +264,7 @@ impl<D: Distance> NnIndex for MinHashIndex<D> {
     ) -> (Vec<Neighbor>, f64, LookupCost) {
         let candidates = self.candidates(id);
         let filter = self.make_filter(id);
+        let weights = self.mult.as_deref().map(|m| LookupWeights::for_query(m, id));
         let (verified, attempted) = verify_candidates_bounded(
             &self.distance,
             RecordView::Fields(&self.records),
@@ -249,11 +272,19 @@ impl<D: Distance> NnIndex for MinHashIndex<D> {
             &candidates,
             spec,
             p,
+            weights.as_ref(),
             filter.as_ref(),
             None,
             cache,
         );
-        lookup_from_verified(verified, candidates.len() as u64, attempted, spec, p)
+        lookup_from_verified(
+            verified,
+            candidates.len() as u64,
+            attempted,
+            spec,
+            p,
+            weights.as_ref(),
+        )
     }
 }
 

@@ -40,6 +40,7 @@ if [[ ${#benches[@]} -eq 0 ]]; then
         bench_phase1_cache
         bench_phase1_batch
         bench_phase1_pivot
+        bench_phase1_collapse
         bench_phase2
         bench_service
     )

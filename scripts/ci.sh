@@ -19,8 +19,10 @@
 #                 nested-loop reference, with the candidate ladder
 #                 asserted recall-lossless (filtered vs
 #                 UnfilteredDistance), the three postings layouts
-#                 asserted to agree, and the prefix filter asserted
-#                 lossless for radius queries
+#                 asserted to agree, the prefix filter asserted
+#                 lossless for radius queries, and the exact-duplicate
+#                 collapse pre-pass asserted partition-lossless on a
+#                 duplicate-heavy corpus for every index family
 #   bench-smoke   ci_bench_gate: re-run cheap benches, fail on regression
 #                 vs the committed results/BENCH_*.json baselines; the
 #                 per-bench verdicts land in results/ci_summary.json

@@ -35,6 +35,12 @@
 //!                         off, the default; metric distances only — ed;
 //!                         a no-op otherwise); the partition is identical
 //!                         either way
+//!   --collapse KEY        collapse exact duplicates before Phase 1 and
+//!                         run it weighted over the representatives:
+//!                         record-string (normalized join; whole-record
+//!                         distances only) | exact-fields (raw fields;
+//!                         any distance). The partition is identical
+//!                         either way (off by default)
 //!   --demo NAME           run on a built-in dataset instead of --input:
 //!                         table1 | restaurants | media | org
 //! ```
@@ -73,9 +79,9 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use fuzzydedup::core::{
-    estimate_sn_threshold_parallel, evaluate, Aggregation, CutSpec, DedupConfig, DedupError,
-    DedupService, Deduplicator, IncrementalDedup, Parallelism, Partition, ServiceConfig,
-    ServiceError,
+    estimate_sn_threshold_parallel, evaluate, Aggregation, CollapseKey, CutSpec, DedupConfig,
+    DedupError, DedupService, Deduplicator, IncrementalDedup, Parallelism, Partition,
+    ServiceConfig, ServiceError,
 };
 use fuzzydedup::datagen::csvio::{parse_csv, write_csv};
 use fuzzydedup::datagen::{media, org, restaurants, Dataset, DatasetSpec};
@@ -100,7 +106,16 @@ struct Options {
     threads: Option<usize>,
     pair_cache_capacity: usize,
     pivots: usize,
+    collapse: Option<CollapseKey>,
     demo: Option<String>,
+}
+
+fn parse_collapse_key(name: &str) -> Result<CollapseKey, String> {
+    match name {
+        "record-string" => Ok(CollapseKey::RecordString),
+        "exact-fields" => Ok(CollapseKey::ExactFields),
+        other => Err(format!("unknown collapse key {other:?} (want record-string | exact-fields)")),
+    }
 }
 
 fn usage() -> &'static str {
@@ -109,6 +124,7 @@ fn usage() -> &'static str {
      \x20                 [--k N | --theta X] [--c X | --dup-fraction F] [--agg max|avg|max2]\n\
      \x20                 [--minimality] [--report] [--metrics] [--threads N]\n\
      \x20                 [--pair-cache-capacity N] [--pivots N]\n\
+     \x20                 [--collapse record-string|exact-fields]\n\
      \x20                 [--demo table1|restaurants|media|org]"
 }
 
@@ -131,6 +147,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         threads: None,
         pair_cache_capacity: 0,
         pivots: 0,
+        collapse: None,
         demo: None,
     };
     let mut i = 0;
@@ -198,6 +215,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--pivots" => {
                 opts.pivots = next(&mut i)?.parse().map_err(|e| format!("bad --pivots: {e}"))?
             }
+            "--collapse" => opts.collapse = Some(parse_collapse_key(next(&mut i)?)?),
             "--demo" => opts.demo = Some(next(&mut i)?.clone()),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
@@ -290,7 +308,7 @@ fn replay_usage() -> &'static str {
      \x20                 [--no-header] [--columns 0,1] [--distance ed|fms]\n\
      \x20                 [--k N | --theta X] [--c X] [--agg max|avg|max2]\n\
      \x20                 [--batch-size N] [--queue-capacity N] [--query-ratio F]\n\
-     \x20                 [--seed N] [--metrics]"
+     \x20                 [--collapse record-string|exact-fields] [--seed N] [--metrics]"
 }
 
 fn parse_replay_args(args: &[String]) -> Result<ReplayOptions, String> {
@@ -313,6 +331,7 @@ fn parse_replay_args(args: &[String]) -> Result<ReplayOptions, String> {
             threads: None,
             pair_cache_capacity: 0,
             pivots: 0,
+            collapse: None,
             demo: None,
         },
         c: 4.0,
@@ -380,6 +399,7 @@ fn parse_replay_args(args: &[String]) -> Result<ReplayOptions, String> {
                     return Err("--query-ratio must be in [0, 1)".to_string());
                 }
             }
+            "--collapse" => opts.io.collapse = Some(parse_collapse_key(next(&mut i)?)?),
             "--seed" => {
                 opts.seed = next(&mut i)?.parse().map_err(|e| format!("bad --seed: {e}"))?
             }
@@ -407,7 +427,8 @@ fn run_service<D: fuzzydedup::textdist::Distance + Clone + 'static>(
         IncrementalDedup::builder(distance)
             .cut(opts.io.cut)
             .aggregation(opts.io.agg)
-            .sn_threshold(opts.c),
+            .sn_threshold(opts.c)
+            .collapse(opts.io.collapse),
         ServiceConfig::new()
             .admit_batch_size(opts.batch_size.max(1))
             .queue_capacity(opts.queue_capacity.max(1)),
@@ -566,7 +587,8 @@ fn run() -> Result<(), String> {
         .aggregation(opts.agg)
         .minimality(opts.minimality)
         .pair_cache_capacity(opts.pair_cache_capacity)
-        .pivot_count(opts.pivots);
+        .pivot_count(opts.pivots)
+        .collapse(opts.collapse);
     if let Some(threads) = opts.threads {
         config = config.parallelism(Parallelism::threads(threads));
     }
